@@ -1,0 +1,90 @@
+// Experiment F2 — CPU execution engines: interpreter vs. dynamic binary
+// translation, measured in host-side guest-MIPS with google-benchmark.
+//
+// Expected shape: once blocks are hot, the DBT engine retires guest
+// instructions several times faster than the per-instruction decoder; the
+// translation-cache stats show one translation amortized over thousands of
+// executions.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+using namespace hyperion;
+using namespace hyperion::bench;
+
+namespace {
+
+// One compute kernel execution = `iters` outer loops of ~72 instructions.
+void RunEngine(benchmark::State& state, cpu::EngineKind kind) {
+  const uint32_t iters = static_cast<uint32_t>(state.range(0));
+  std::string prog = guest::ComputeProgram(iters);
+
+  uint64_t instructions = 0;
+  uint64_t blocks_translated = 0;
+  uint64_t block_executions = 0;
+  for (auto _ : state) {
+    MiniMachine m(1u << 20, mmu::PagingMode::kNested, kind);
+    if (!m.Load(prog)) {
+      state.SkipWithError("load failed");
+      return;
+    }
+    auto r = m.RunToHalt();
+    if (r.reason != cpu::ExitReason::kHalt) {
+      state.SkipWithError("guest did not halt");
+      return;
+    }
+    instructions += m.ctx().stats.instructions;
+    blocks_translated += m.ctx().stats.blocks_translated;
+    block_executions += m.ctx().stats.block_executions;
+  }
+  state.counters["guest_mips"] = benchmark::Counter(
+      static_cast<double>(instructions) / 1e6, benchmark::Counter::kIsRate);
+  if (kind == cpu::EngineKind::kDbt && blocks_translated > 0) {
+    state.counters["execs_per_translation"] =
+        static_cast<double>(block_executions) / static_cast<double>(blocks_translated);
+  }
+}
+
+void BM_Interpreter(benchmark::State& state) {
+  RunEngine(state, cpu::EngineKind::kInterpreter);
+}
+
+void BM_Dbt(benchmark::State& state) { RunEngine(state, cpu::EngineKind::kDbt); }
+
+// Memory-heavy variant: translations interleave with TLB lookups.
+void RunEngineMem(benchmark::State& state, cpu::EngineKind kind) {
+  guest::MemTouchParams p;
+  p.pages = 64;
+  p.stride_bytes = 64;
+  p.iterations = static_cast<uint32_t>(state.range(0));
+  std::string prog = guest::MemTouchProgram(p);
+
+  uint64_t instructions = 0;
+  for (auto _ : state) {
+    MiniMachine m(8u << 20, mmu::PagingMode::kNested, kind);
+    if (!m.Load(prog)) {
+      state.SkipWithError("load failed");
+      return;
+    }
+    m.RunToHalt();
+    instructions += m.ctx().stats.instructions;
+  }
+  state.counters["guest_mips"] = benchmark::Counter(
+      static_cast<double>(instructions) / 1e6, benchmark::Counter::kIsRate);
+}
+
+void BM_InterpreterMemTouch(benchmark::State& state) {
+  RunEngineMem(state, cpu::EngineKind::kInterpreter);
+}
+
+void BM_DbtMemTouch(benchmark::State& state) { RunEngineMem(state, cpu::EngineKind::kDbt); }
+
+}  // namespace
+
+BENCHMARK(BM_Interpreter)->Arg(20000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Dbt)->Arg(20000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_InterpreterMemTouch)->Arg(50)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DbtMemTouch)->Arg(50)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

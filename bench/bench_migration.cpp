@@ -1,0 +1,112 @@
+// Experiment F4 — live migration: pre-copy vs. post-copy.
+//
+// Sweeps the guest's dirty rate and the VM size and reports downtime, total
+// migration time, pages sent (with resends) and post-copy stalls.
+//
+// Expected shape: pre-copy downtime explodes past the dirty-rate knee where
+// the guest redirties pages faster than the link drains them (rounds hit the
+// cap); post-copy downtime stays flat and tiny, paying instead with demand-
+// fetch stalls. Pre-copy total bytes grow with dirty rate; post-copy bytes
+// stay ~RAM size.
+
+#include "bench/bench_util.h"
+#include "src/migrate/migrate.h"
+
+using namespace hyperion;
+using namespace hyperion::bench;
+
+namespace {
+
+struct Run {
+  migrate::MigrationReport report;
+  bool ok = false;
+};
+
+Run Migrate(bool postcopy, uint32_t ram_mb, uint32_t dirty_pages, uint32_t compute_per_write) {
+  core::Host src, dst;
+  std::string prog = guest::DirtyRateProgram(dirty_pages, compute_per_write);
+  core::VmConfig cfg;
+  cfg.name = "mig";
+  cfg.ram_bytes = ram_mb << 20;
+  core::Vm* vm = MustBoot(src, cfg, prog);
+  src.RunFor(20 * kSimTicksPerMs);
+
+  Run run;
+  migrate::MigrateOptions options;
+  auto moved = postcopy ? migrate::PostCopyMigrate(src, vm, dst, options, &run.report)
+                        : migrate::PreCopyMigrate(src, vm, dst, options, &run.report);
+  run.ok = moved.ok() && (*moved)->state() == core::VmState::kRunning;
+  if (!moved.ok()) {
+    std::fprintf(stderr, "migration failed: %s\n", moved.status().ToString().c_str());
+  }
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  Section("F4: pre-copy vs post-copy — downtime vs dirty rate (4 MiB VM, 1 Gb/s link)");
+  Row("%-10s %16s %8s %12s %12s %12s %14s", "strategy", "dirty-intensity", "rounds",
+      "downtime", "total", "pages-sent", "stalls(total)");
+  // compute_per_write controls the write rate: lower = dirtier.
+  struct Rate {
+    const char* label;
+    uint32_t compute_per_write;
+    uint32_t pages;
+  };
+  for (Rate rate : {Rate{"idle", 2'000'000, 8}, Rate{"low", 50000, 64},
+                    Rate{"medium", 5000, 128}, Rate{"high", 500, 256},
+                    Rate{"extreme", 50, 512}}) {
+    Run pre = Migrate(false, 4, rate.pages, rate.compute_per_write);
+    Row("%-10s %16s %8u %9.3f ms %9.2f ms %12llu %14s", "pre-copy", rate.label,
+        pre.report.rounds, pre.report.DowntimeMs(), pre.report.TotalMs(),
+        static_cast<unsigned long long>(pre.report.pages_sent), "-");
+    Run post = Migrate(true, 4, rate.pages, rate.compute_per_write);
+    char stalls[64];
+    std::snprintf(stalls, sizeof(stalls), "%llu (%.2f ms)",
+                  static_cast<unsigned long long>(post.report.demand_fetches),
+                  SimTimeToMs(post.report.demand_stall_total));
+    Row("%-10s %16s %8s %9.3f ms %9.2f ms %12llu %14s", "post-copy", rate.label, "-",
+        post.report.DowntimeMs(), post.report.TotalMs(),
+        static_cast<unsigned long long>(post.report.pages_sent), stalls);
+  }
+
+  Section("F4b: migration vs VM size (medium dirty rate)");
+  Row("%-10s %8s %12s %12s %14s", "strategy", "RAM", "downtime", "total", "bytes-sent");
+  for (uint32_t ram_mb : {4u, 8u, 16u}) {
+    Run pre = Migrate(false, ram_mb, 64, 5000);
+    Row("%-10s %6u M %9.3f ms %9.2f ms %11.2f MiB", "pre-copy", ram_mb,
+        pre.report.DowntimeMs(), pre.report.TotalMs(),
+        static_cast<double>(pre.report.bytes_sent) / (1 << 20));
+    Run post = Migrate(true, ram_mb, 64, 5000);
+    Row("%-10s %6u M %9.3f ms %9.2f ms %11.2f MiB", "post-copy", ram_mb,
+        post.report.DowntimeMs(), post.report.TotalMs(),
+        static_cast<double>(post.report.bytes_sent) / (1 << 20));
+  }
+  Section("F4c: zero-page elision ablation (pre-copy, 16 MiB VM, 64-page hot set)");
+  Row("%-18s %14s %12s %12s", "variant", "bytes-sent", "total", "downtime");
+  for (bool skip : {true, false}) {
+    core::Host src, dst;
+    std::string prog = guest::DirtyRateProgram(64, 5000);
+    core::VmConfig cfg;
+    cfg.name = "z";
+    cfg.ram_bytes = 16u << 20;
+    core::Vm* vm = MustBoot(src, cfg, prog);
+    src.RunFor(20 * kSimTicksPerMs);
+    migrate::MigrateOptions options;
+    options.skip_zero_pages = skip;
+    migrate::MigrationReport report;
+    auto moved = migrate::PreCopyMigrate(src, vm, dst, options, &report);
+    if (!moved.ok()) {
+      std::abort();
+    }
+    Row("%-18s %11.2f MiB %9.2f ms %9.3f ms", skip ? "zero-elide (prod)" : "send-all",
+        static_cast<double>(report.bytes_sent) / (1 << 20), report.TotalMs(),
+        report.DowntimeMs());
+  }
+
+  Row("\nshape check: pre-copy downtime tracks the dirty rate and RAM size;");
+  Row("post-copy downtime is constant (machine state only) at the cost of stalls;");
+  Row("zero-page elision cuts wire bytes to ~the touched footprint.");
+  return 0;
+}

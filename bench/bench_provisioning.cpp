@@ -1,0 +1,168 @@
+// Experiment T3 — provisioning: cold install vs. template cloning.
+//
+// The deck asks for "instant (or very rapid) provisioning of servers".
+// Three strategies are timed per VM size:
+//   cold-install   : boot a fresh VM and run the "installer" workload that
+//                    writes the OS footprint into memory and disk
+//   template-clone : restore a captured golden snapshot (RAM state) plus an
+//                    O(1) copy-on-write disk overlay
+//   disk-overlay   : the storage-only cost of a clone (no RAM state)
+//
+// Expected shape: cold install scales with footprint; template cloning is
+// orders of magnitude faster and scales only with *touched* RAM;
+// the COW overlay is O(1) regardless of disk size.
+
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "src/snapshot/snapshot.h"
+#include "src/storage/hvd.h"
+
+using namespace hyperion;
+using namespace hyperion::bench;
+
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+double WallMs(WallClock::time_point a, WallClock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+// The "installer": fills `pages` pages of RAM (the OS image) and parks.
+std::string InstallerProgram(uint32_t pages) {
+  return guest::PatternFillProgram(pages, pages, /*seed=*/7);
+}
+
+}  // namespace
+
+int main() {
+  Section("T3: provisioning cost per strategy (simulated guest time + host wall time)");
+  Row("%-16s %10s %16s %14s %14s", "strategy", "footprint", "sim-time", "host-wall",
+      "bytes-moved");
+
+  for (uint32_t pages : {128u, 512u, 1024u}) {
+    uint32_t ram_mb = 8;
+    std::string installer = InstallerProgram(pages);
+
+    // --- Cold install --------------------------------------------------------
+    {
+      core::HostConfig hc;
+      hc.ram_bytes = 64u << 20;
+      core::Host host(hc);
+      core::VmConfig cfg;
+      cfg.name = "cold";
+      cfg.ram_bytes = ram_mb << 20;
+      auto w0 = WallClock::now();
+      core::Vm* vm = MustBoot(host, cfg, installer);
+      // Run until the installer parks (progress = 1).
+      SimTime t0 = host.clock().now();
+      while (Progress(vm, installer) == 0 && host.clock().now() - t0 < 10 * kSimTicksPerSec) {
+        host.RunFor(kSimTicksPerMs / 4);  // fine-grained so sim-time resolves
+      }
+      auto w1 = WallClock::now();
+      Row("%-16s %7u pg %13.2f ms %11.2f ms %11.1f MiB", "cold-install", pages,
+          SimTimeToMs(host.clock().now() - t0), WallMs(w0, w1),
+          static_cast<double>(pages) * isa::kPageSize / (1 << 20));
+    }
+
+    // --- Template clone -------------------------------------------------------
+    {
+      core::HostConfig hc;
+      hc.ram_bytes = 128u << 20;
+      core::Host host(hc);
+      core::VmConfig cfg;
+      cfg.name = "golden";
+      cfg.ram_bytes = ram_mb << 20;
+      core::Vm* golden = MustBoot(host, cfg, installer);
+      SimTime t0 = host.clock().now();
+      while (Progress(golden, installer) == 0 &&
+             host.clock().now() - t0 < 10 * kSimTicksPerSec) {
+        host.RunFor(5 * kSimTicksPerMs);
+      }
+      golden->Pause();
+      auto tmpl = snapshot::SaveVm(*golden);
+      if (!tmpl.ok()) {
+        std::abort();
+      }
+
+      constexpr int kClones = 8;
+      auto w0 = WallClock::now();
+      for (int i = 0; i < kClones; ++i) {
+        core::VmConfig ccfg;
+        ccfg.name = "clone" + std::to_string(i);
+        ccfg.ram_bytes = ram_mb << 20;
+        auto clone = snapshot::CloneVm(host, ccfg, *tmpl);
+        if (!clone.ok()) {
+          std::abort();
+        }
+      }
+      auto w1 = WallClock::now();
+      // Cloning costs no simulated guest time at all: the clone starts live.
+      Row("%-16s %7u pg %13.2f ms %11.2f ms %11.1f MiB  (template %zu KiB)",
+          "template-clone", pages, 0.0, WallMs(w0, w1) / kClones,
+          static_cast<double>(tmpl->size()) / (1 << 20),
+          tmpl->size() / 1024);
+    }
+
+    // --- COW fork ---------------------------------------------------------------
+    {
+      core::HostConfig hc;
+      hc.ram_bytes = 128u << 20;
+      core::Host host(hc);
+      core::VmConfig cfg;
+      cfg.name = "parent";
+      cfg.ram_bytes = ram_mb << 20;
+      core::Vm* parent = MustBoot(host, cfg, installer);
+      SimTime t0 = host.clock().now();
+      while (Progress(parent, installer) == 0 &&
+             host.clock().now() - t0 < 10 * kSimTicksPerSec) {
+        host.RunFor(5 * kSimTicksPerMs);
+      }
+      parent->Pause();
+
+      constexpr int kForks = 8;
+      size_t frames_before = host.pool().used_frames();
+      auto w0 = WallClock::now();
+      for (int i = 0; i < kForks; ++i) {
+        core::VmConfig fcfg;
+        fcfg.name = "fork" + std::to_string(i);
+        fcfg.ram_bytes = ram_mb << 20;
+        auto child = snapshot::ForkVm(host, fcfg, *parent);
+        if (!child.ok()) {
+          std::abort();
+        }
+      }
+      auto w1 = WallClock::now();
+      size_t extra_frames = host.pool().used_frames() - frames_before;
+      Row("%-16s %7u pg %13s %11.3f ms %13s  (+%zu frames for %d forks)", "cow-fork", pages,
+          "0 (COW)", WallMs(w0, w1) / kForks, "shared frames", extra_frames, kForks);
+    }
+
+    // --- Disk overlay ----------------------------------------------------------
+    {
+      auto base = storage::HvdImage::Create(std::make_unique<storage::MemByteStore>(),
+                                            uint64_t{pages} * 64 * 1024);
+      if (!base.ok()) {
+        std::abort();
+      }
+      std::shared_ptr<storage::BlockStore> base_shared = std::move(*base);
+      auto w0 = WallClock::now();
+      constexpr int kOverlays = 64;
+      for (int i = 0; i < kOverlays; ++i) {
+        auto overlay = storage::CreateOverlay(base_shared, "base",
+                                              std::make_unique<storage::MemByteStore>());
+        if (!overlay.ok()) {
+          std::abort();
+        }
+      }
+      auto w1 = WallClock::now();
+      Row("%-16s %7u pg %13s %11.3f ms %13s", "disk-overlay", pages, "0 (O(1))",
+          WallMs(w0, w1) / kOverlays, "metadata only");
+    }
+  }
+
+  Row("\nshape check: cold install scales with footprint; template cloning moves");
+  Row("only touched pages; COW forks move none; disk overlays are O(1) metadata.");
+  return 0;
+}

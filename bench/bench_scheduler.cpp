@@ -1,0 +1,126 @@
+// Experiment T2 — vCPU scheduling under consolidation.
+//
+// Eight VMs with unequal weights share two pCPUs under (a) the credit
+// scheduler and (b) round-robin. Reports each VM's achieved share against
+// its weight-proportional entitlement, Jain fairness on the normalized
+// shares, caps, and wake-to-run latency for an interactive (ticker) VM
+// sharing the host with CPU hogs.
+//
+// Expected shape: credit tracks entitlements closely (normalized fairness
+// ~1.0) where round-robin flattens everything; caps bound consumption; the
+// interactive VM's latency stays bounded under credit.
+
+#include "bench/bench_util.h"
+#include "src/util/histogram.h"
+
+using namespace hyperion;
+using namespace hyperion::bench;
+
+namespace {
+
+constexpr SimTime kWindow = 60 * kSimTicksPerMs;
+
+void WeightExperiment(sched::SchedPolicy policy, const char* label) {
+  core::HostConfig hc;
+  hc.num_pcpus = 2;
+  hc.ram_bytes = 256u << 20;
+  hc.sched_policy = policy;
+  core::Host host(hc);
+
+  const uint32_t weights[8] = {256, 256, 256, 256, 512, 512, 1024, 1024};
+  std::string prog = guest::ComputeProgram(0);
+  std::vector<core::Vm*> vms;
+  uint32_t total_weight = 0;
+  for (int i = 0; i < 8; ++i) {
+    core::VmConfig cfg;
+    cfg.name = "vm" + std::to_string(i);
+    cfg.sched.weight = weights[i];
+    vms.push_back(MustBoot(host, cfg, prog));
+    total_weight += weights[i];
+  }
+  host.RunFor(kWindow);
+
+  uint64_t total_work = 0;
+  for (auto* vm : vms) {
+    total_work += Progress(vm, prog);
+  }
+
+  Section(std::string("T2: ") + label + " — 8 VMs, weights 256/512/1024, 2 pCPUs");
+  Row("%-6s %8s %12s %10s %12s", "vm", "weight", "work", "share%", "entitled%");
+  std::vector<double> normalized;
+  for (int i = 0; i < 8; ++i) {
+    uint32_t work = Progress(vms[i], prog);
+    double share = total_work ? 100.0 * work / static_cast<double>(total_work) : 0;
+    double entitled = 100.0 * weights[i] / total_weight;
+    normalized.push_back(share / entitled);
+    Row("%-6d %8u %12u %9.1f%% %11.1f%%", i, weights[i], work, share, entitled);
+  }
+  Row("fairness on share/entitlement: %.3f (1.0 = perfectly weight-proportional)",
+      JainFairness(normalized));
+}
+
+void CapExperiment() {
+  core::HostConfig hc;
+  hc.num_pcpus = 2;
+  hc.ram_bytes = 128u << 20;
+  core::Host host(hc);
+  std::string prog = guest::ComputeProgram(0);
+
+  core::VmConfig capped;
+  capped.name = "capped25";
+  capped.sched.cap_percent = 25;
+  core::Vm* vc = MustBoot(host, capped, prog);
+  core::VmConfig free_cfg;
+  free_cfg.name = "uncapped";
+  core::Vm* vf = MustBoot(host, free_cfg, prog);
+  host.RunFor(kWindow);
+
+  Section("T2b: caps — 25%-capped vs uncapped VM on 2 pCPUs");
+  double cap_cycles = static_cast<double>(vc->TotalStats().cycles);
+  double free_cycles = static_cast<double>(vf->TotalStats().cycles);
+  Row("%-10s cpu-share %5.1f%% of one pCPU", "capped25",
+      100.0 * cap_cycles / static_cast<double>(kWindow));
+  Row("%-10s cpu-share %5.1f%% of one pCPU", "uncapped",
+      100.0 * free_cycles / static_cast<double>(kWindow));
+}
+
+void LatencyExperiment(sched::SchedPolicy policy, const char* label) {
+  core::HostConfig hc;
+  hc.num_pcpus = 1;
+  hc.ram_bytes = 128u << 20;
+  hc.sched_policy = policy;
+  core::Host host(hc);
+
+  // One interactive ticker among 3 CPU hogs.
+  std::string tick = guest::IdleTickProgram(1'000'000);  // 1 ms period
+  std::string hog = guest::ComputeProgram(0);
+  core::VmConfig tcfg;
+  tcfg.name = "ticker";
+  core::Vm* ticker = MustBoot(host, tcfg, tick);
+  for (int i = 0; i < 3; ++i) {
+    core::VmConfig cfg;
+    cfg.name = "hog" + std::to_string(i);
+    MustBoot(host, cfg, hog);
+  }
+  host.RunFor(kWindow);
+
+  uint32_t ticks = Progress(ticker, tick);
+  const auto& st = host.scheduler().stats().at(1);  // ticker is entity 1
+  double avg_wait_us =
+      st.runs ? SimTimeToUs(st.total_wait) / static_cast<double>(st.runs) : 0;
+  Row("%-12s ticks=%4u (ideal %llu)  avg wake-to-run latency %7.1f us", label, ticks,
+      static_cast<unsigned long long>(kWindow / 1'000'000), avg_wait_us);
+}
+
+}  // namespace
+
+int main() {
+  WeightExperiment(sched::SchedPolicy::kCredit, "credit scheduler");
+  WeightExperiment(sched::SchedPolicy::kRoundRobin, "round-robin baseline");
+  CapExperiment();
+  Section("T2c: interactive latency next to CPU hogs (1 pCPU) — BOOST ablation");
+  LatencyExperiment(sched::SchedPolicy::kCredit, "credit+boost");
+  LatencyExperiment(sched::SchedPolicy::kCreditNoBoost, "credit-noboost");
+  LatencyExperiment(sched::SchedPolicy::kRoundRobin, "round-robin");
+  return 0;
+}

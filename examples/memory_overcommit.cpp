@@ -1,0 +1,124 @@
+// Memory overcommit: running more guest RAM than the host physically has,
+// using KSM page sharing plus ballooning — the "cost savings in H/W" theme
+// of the source deck taken to its memory conclusion.
+//
+//   $ ./memory_overcommit
+
+#include <cstdio>
+
+#include "src/balloon/balloon.h"
+#include "src/core/host.h"
+#include "src/guest/programs.h"
+#include "src/ksm/ksm.h"
+
+using namespace hyperion;
+
+int main() {
+  // A deliberately small host: 36 MiB of RAM. Four 8 MiB guests fit; the
+  // fifth only fits after page sharing frees duplicate frames — 40 MiB of
+  // guest RAM on a 36 MiB host (1.1x overcommit, growing with similarity).
+  core::HostConfig hc;
+  hc.name = "small-host";
+  hc.ram_bytes = 36u << 20;
+  core::Host host(hc);
+
+  std::printf("host RAM: %zu MiB; creating 4 x 8 MiB guests (32 MiB guest RAM)\n",
+              host.pool().total_frames() * isa::kPageSize / (1 << 20));
+
+  // Guests fill 512 pages each; 384 of them (75%) have identical content
+  // across guests (same "OS image"), the rest is instance-specific.
+  std::vector<core::Vm*> vms;
+  for (int i = 0; i < 4; ++i) {
+    auto image = guest::Build(guest::PatternFillProgram(512, 384, 100 + i));
+    if (!image.ok()) {
+      return 1;
+    }
+    core::VmConfig cfg;
+    cfg.name = "guest" + std::to_string(i);
+    cfg.ram_bytes = 8u << 20;
+    auto vm = host.CreateVm(cfg);
+    if (!vm.ok()) {
+      std::fprintf(stderr, "guest%d: %s\n", i, vm.status().ToString().c_str());
+      return 1;
+    }
+    if (!(*vm)->LoadImage(*image).ok()) {
+      return 1;
+    }
+    vms.push_back(*vm);
+  }
+  host.RunFor(400 * kSimTicksPerMs);  // guests populate their memory
+
+  size_t used = host.pool().used_frames();
+  size_t total = host.pool().total_frames();
+  std::printf("after boot : %5zu / %zu frames used (%.0f%%)\n", used, total,
+              100.0 * used / total);
+
+  // KSM pass: merge identical content (OS image + untouched zero pages).
+  ksm::KsmDaemon daemon(&host.pool());
+  for (auto* vm : vms) {
+    daemon.AddClient(&vm->memory());
+  }
+  uint64_t merged = daemon.ScanOnce();
+  used = host.pool().used_frames();
+  std::printf("after KSM  : %5zu / %zu frames used (%.0f%%) — %llu pages merged, %.1f MiB saved\n",
+              used, total, 100.0 * used / total,
+              static_cast<unsigned long long>(merged),
+              static_cast<double>(daemon.stats().BytesSaved()) / (1 << 20));
+
+  // The freed frames admit a FIFTH 8 MiB guest that would not have fit
+  // before sharing: that is memory overcommit.
+  {
+    auto image = guest::Build(guest::PatternFillProgram(512, 384, 200));
+    core::VmConfig cfg;
+    cfg.name = "guest4";
+    cfg.ram_bytes = 8u << 20;
+    auto vm = host.CreateVm(cfg);
+    if (!vm.ok()) {
+      std::fprintf(stderr, "guest4: %s\n", vm.status().ToString().c_str());
+      return 1;
+    }
+    if (!image.ok() || !(*vm)->LoadImage(*image).ok()) {
+      return 1;
+    }
+    host.RunFor(200 * kSimTicksPerMs);
+    (void)daemon.ScanOnce();  // fold the newcomer into the share groups
+    std::printf("fifth guest: booted OK -> %zu MiB of guest RAM on a %zu MiB host "
+                "(%5zu / %zu frames used)\n",
+                size_t{40}, host.pool().total_frames() * isa::kPageSize / (1 << 20),
+                host.pool().used_frames(), host.pool().total_frames());
+  }
+
+  // Memory pressure arrives: reclaim 1024 frames via ballooning. The guests
+  // would normally run balloon drivers; here we demonstrate the controller's
+  // proportional plan on freshly booted driver VMs.
+  core::HostConfig hc2 = hc;
+  hc2.ram_bytes = 48u << 20;
+  core::Host host2(hc2);
+  std::vector<core::Vm*> drivers;
+  for (int i = 0; i < 4; ++i) {
+    auto image = guest::Build(guest::BalloonDriverProgram(1024, 1024, 100000));
+    core::VmConfig cfg;
+    cfg.name = "drv" + std::to_string(i);
+    cfg.ram_bytes = 8u << 20;
+    auto vm = host2.CreateVm(cfg);
+    if (!image.ok() || !vm.ok() || !(*vm)->LoadImage(*image).ok()) {
+      return 1;
+    }
+    drivers.push_back(*vm);
+  }
+  balloon::BalloonController controller(&host2);
+  size_t free_before = host2.pool().free_frames();
+  auto plan = controller.ReclaimPages(1024);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "reclaim: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  host2.RunFor(300 * kSimTicksPerMs);
+  std::printf("\nballoon   : demanded 1024 pages, reclaimed %u "
+              "(host free frames %zu -> %zu)\n",
+              controller.TotalBallooned(), free_before, host2.pool().free_frames());
+  for (auto* vm : drivers) {
+    std::printf("  %-6s gave back %4u pages\n", vm->name().c_str(), vm->ballooned_pages());
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: create a host, boot a guest, watch it print and shut down.
+//
+//   $ ./quickstart
+//
+// This is the smallest end-to-end use of the hyperion API: a Host supplies
+// physical resources, a Vm is configured and booted from an assembled guest
+// image, and the host run loop drives everything in simulated time.
+
+#include <cstdio>
+
+#include "src/core/host.h"
+#include "src/guest/programs.h"
+
+using namespace hyperion;
+
+int main() {
+  // A host with 2 pCPUs and 64 MiB of RAM.
+  core::HostConfig host_config;
+  host_config.name = "demo-host";
+  host_config.num_pcpus = 2;
+  host_config.ram_bytes = 64u << 20;
+  core::Host host(host_config);
+
+  // A 4 MiB guest using nested paging and the interpreter engine.
+  core::VmConfig vm_config;
+  vm_config.name = "hello-vm";
+  vm_config.ram_bytes = 4u << 20;
+
+  auto vm = host.CreateVm(vm_config);
+  if (!vm.ok()) {
+    std::fprintf(stderr, "CreateVm: %s\n", vm.status().ToString().c_str());
+    return 1;
+  }
+
+  // Guests are HV32 programs. HelloProgram prints via the console hypercall;
+  // you can also hand-write assembly and assemble it with guest::Build.
+  auto image = guest::Build(guest::HelloProgram("Hello from a hyperion guest!\n"));
+  if (!image.ok() || !(*vm)->LoadImage(*image).ok()) {
+    std::fprintf(stderr, "image load failed\n");
+    return 1;
+  }
+
+  // Run until the guest powers itself off (or 1 simulated second passes).
+  host.RunUntilVmStops(*vm, kSimTicksPerSec);
+
+  std::printf("guest state : %s\n",
+              (*vm)->state() == core::VmState::kShutdown ? "shutdown" : "not finished");
+  std::printf("console     : %s", (*vm)->console().c_str());
+
+  auto stats = (*vm)->TotalStats();
+  std::printf("instructions: %llu\n", static_cast<unsigned long long>(stats.instructions));
+  std::printf("cycles      : %llu\n", static_cast<unsigned long long>(stats.cycles));
+  std::printf("hypercalls  : %llu\n", static_cast<unsigned long long>(stats.hypercalls));
+  std::printf("sim time    : %.3f ms\n", SimTimeToMs(host.clock().now()));
+  return 0;
+}

@@ -1,0 +1,955 @@
+#include "src/asm/assembler.h"
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/isa/hv32.h"
+
+namespace hyperion::assembler {
+
+namespace {
+
+using isa::AluOp;
+using isa::BranchCond;
+using isa::Instruction;
+using isa::Opcode;
+
+// ---------------------------------------------------------------------------
+// Lexical helpers
+// ---------------------------------------------------------------------------
+
+std::string_view TrimLeft(std::string_view s) {
+  size_t i = 0;
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  return s.substr(i);
+}
+
+std::string_view TrimRight(std::string_view s) {
+  size_t n = s.size();
+  while (n > 0 && (s[n - 1] == ' ' || s[n - 1] == '\t' || s[n - 1] == '\r')) --n;
+  return s.substr(0, n);
+}
+
+std::string_view Trim(std::string_view s) { return TrimRight(TrimLeft(s)); }
+
+// Strips ';' / '#' comments, respecting double-quoted strings.
+std::string_view StripComment(std::string_view line) {
+  bool in_string = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (c == '"' && (i == 0 || line[i - 1] != '\\')) {
+      in_string = !in_string;
+    } else if (!in_string && (c == ';' || c == '#')) {
+      return line.substr(0, i);
+    }
+  }
+  return line;
+}
+
+bool IsSymbolStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '.'; }
+bool IsSymbolChar(char c) { return IsSymbolStart(c) || std::isdigit(static_cast<unsigned char>(c)); }
+
+// Splits "a, b, c" on top-level commas (no nesting to worry about except
+// parens in memory operands, which contain no commas).
+std::vector<std::string> SplitOperands(std::string_view s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  bool in_string = false;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i < s.size() && s[i] == '"' && (i == 0 || s[i - 1] != '\\')) {
+      in_string = !in_string;
+    }
+    if (i == s.size() || (s[i] == ',' && !in_string)) {
+      std::string_view piece = Trim(s.substr(start, i - start));
+      if (!piece.empty()) {
+        out.emplace_back(piece);
+      }
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+const std::map<std::string, uint8_t, std::less<>>& GprTable() {
+  static const std::map<std::string, uint8_t, std::less<>> table = [] {
+    std::map<std::string, uint8_t, std::less<>> t;
+    for (uint8_t i = 0; i < isa::kNumGprs; ++i) {
+      t.emplace(std::string(isa::GprName(i)), i);
+      t.emplace("r" + std::to_string(i), i);
+    }
+    return t;
+  }();
+  return table;
+}
+
+Result<uint8_t> ParseGpr(std::string_view s) {
+  auto it = GprTable().find(s);
+  if (it == GprTable().end()) {
+    return InvalidArgumentError("not a register: '" + std::string(s) + "'");
+  }
+  return it->second;
+}
+
+const std::map<std::string, uint16_t, std::less<>>& CsrTable() {
+  static const std::map<std::string, uint16_t, std::less<>> table = {
+      {"status", 0x000}, {"cause", 0x001},   {"epc", 0x002},    {"tvec", 0x003},
+      {"tval", 0x004},   {"scratch", 0x005}, {"ptbr", 0x006},   {"time", 0x010},
+      {"timecmp", 0x011},{"cycle", 0x012},   {"instret", 0x013},{"hartid", 0x014},
+      {"ipend", 0x020},
+  };
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (evaluated against the symbol table)
+// ---------------------------------------------------------------------------
+
+class ExprParser {
+ public:
+  ExprParser(std::string_view text, const std::map<std::string, uint32_t>& symbols)
+      : text_(text), symbols_(symbols) {}
+
+  Result<int64_t> Parse() {
+    HYP_ASSIGN_OR_RETURN(int64_t v, ParseSum());
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return InvalidArgumentError("trailing junk in expression: '" + std::string(text_) + "'");
+    }
+    return v;
+  }
+
+ private:
+  Result<int64_t> ParseSum() {
+    HYP_ASSIGN_OR_RETURN(int64_t v, ParseProduct());
+    for (;;) {
+      SkipWs();
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        char op = text_[pos_++];
+        HYP_ASSIGN_OR_RETURN(int64_t rhs, ParseProduct());
+        v = op == '+' ? v + rhs : v - rhs;
+      } else {
+        return v;
+      }
+    }
+  }
+
+  Result<int64_t> ParseProduct() {
+    HYP_ASSIGN_OR_RETURN(int64_t v, ParseTerm());
+    for (;;) {
+      SkipWs();
+      if (pos_ < text_.size() && (text_[pos_] == '*' || text_[pos_] == '/')) {
+        char op = text_[pos_++];
+        HYP_ASSIGN_OR_RETURN(int64_t rhs, ParseTerm());
+        if (op == '/' && rhs == 0) {
+          return InvalidArgumentError("division by zero in expression");
+        }
+        v = op == '*' ? v * rhs : v / rhs;
+      } else {
+        return v;
+      }
+    }
+  }
+
+  Result<int64_t> ParseTerm() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return InvalidArgumentError("empty expression");
+    }
+    char c = text_[pos_];
+    if (c == '-') {
+      ++pos_;
+      HYP_ASSIGN_OR_RETURN(int64_t v, ParseTerm());
+      return -v;
+    }
+    if (c == '(') {
+      ++pos_;
+      HYP_ASSIGN_OR_RETURN(int64_t v, ParseSum());
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        return InvalidArgumentError("missing ')'");
+      }
+      ++pos_;
+      return v;
+    }
+    if (c == '\'') {
+      // Character literal, with the usual escapes.
+      ++pos_;
+      if (pos_ >= text_.size()) return InvalidArgumentError("bad char literal");
+      char v = text_[pos_++];
+      if (v == '\\' && pos_ < text_.size()) {
+        char e = text_[pos_++];
+        switch (e) {
+          case 'n': v = '\n'; break;
+          case 't': v = '\t'; break;
+          case '0': v = '\0'; break;
+          case '\\': v = '\\'; break;
+          case '\'': v = '\''; break;
+          default: return InvalidArgumentError("bad escape in char literal");
+        }
+      }
+      if (pos_ >= text_.size() || text_[pos_] != '\'') {
+        return InvalidArgumentError("unterminated char literal");
+      }
+      ++pos_;
+      return static_cast<int64_t>(static_cast<unsigned char>(v));
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseNumber();
+    }
+    if (IsSymbolStart(c)) {
+      size_t start = pos_;
+      while (pos_ < text_.size() && IsSymbolChar(text_[pos_])) ++pos_;
+      std::string name(text_.substr(start, pos_ - start));
+      auto it = symbols_.find(name);
+      if (it == symbols_.end()) {
+        return NotFoundError("undefined symbol: " + name);
+      }
+      return static_cast<int64_t>(it->second);
+    }
+    return InvalidArgumentError("bad expression near '" + std::string(text_.substr(pos_)) + "'");
+  }
+
+  Result<int64_t> ParseNumber() {
+    int base = 10;
+    if (text_.size() - pos_ >= 2 && text_[pos_] == '0' &&
+        (text_[pos_ + 1] == 'x' || text_[pos_ + 1] == 'X')) {
+      base = 16;
+      pos_ += 2;
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+      ++pos_;
+    }
+    std::string digits(text_.substr(start, pos_ - start));
+    std::erase(digits, '_');
+    if (digits.empty()) {
+      return InvalidArgumentError("bad number");
+    }
+    int64_t v = 0;
+    for (char d : digits) {
+      int dv;
+      if (d >= '0' && d <= '9') {
+        dv = d - '0';
+      } else if (base == 16 && d >= 'a' && d <= 'f') {
+        dv = d - 'a' + 10;
+      } else if (base == 16 && d >= 'A' && d <= 'F') {
+        dv = d - 'A' + 10;
+      } else {
+        return InvalidArgumentError("bad digit in number: '" + digits + "'");
+      }
+      v = v * base + dv;
+      if (v > 0xFFFFFFFFll) {
+        return OutOfRangeError("number does not fit in 32 bits: " + digits);
+      }
+    }
+    return v;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t')) ++pos_;
+  }
+
+  std::string_view text_;
+  const std::map<std::string, uint32_t>& symbols_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Statement model
+// ---------------------------------------------------------------------------
+
+// One pending emission. Instructions keep unresolved operand expressions for
+// pass 2; data is stored as expression lists or raw bytes.
+struct Stmt {
+  enum class Kind { kInstr, kWords, kBytes, kRaw } kind = Kind::kRaw;
+  uint32_t addr = 0;
+  int line = 0;
+
+  // kInstr
+  Instruction instr;                    // register fields resolved in pass 1
+  std::string imm_expr;                 // unresolved immediate / target, if any
+  bool pc_relative = false;             // branch/jal: imm = value(target) - addr
+  bool is_li = false;                   // li/la expansion: lui+addi pair
+
+  // kWords / kBytes
+  std::vector<std::string> exprs;
+
+  // kRaw
+  std::vector<uint8_t> raw;
+
+  uint32_t Size() const {
+    switch (kind) {
+      case Kind::kInstr:
+        return is_li ? 8 : 4;
+      case Kind::kWords:
+        return static_cast<uint32_t>(exprs.size() * 4);
+      case Kind::kBytes:
+        return static_cast<uint32_t>(exprs.size());
+      case Kind::kRaw:
+        return static_cast<uint32_t>(raw.size());
+    }
+    return 0;
+  }
+};
+
+struct MnemonicInfo {
+  enum class Family {
+    kR3,      // add rd, rs1, rs2
+    kI3,      // addi rd, rs1, imm
+    kLoad,    // lw rd, imm(rs1)
+    kStore,   // sw rsrc, imm(rs1)
+    kBranch,  // beq rs1, rs2, target
+    kBranchSwap,  // bgt/ble: swapped operands
+    kBranchZero,  // beqz/bnez rs, target
+    kJal,
+    kJalr,
+    kLui,     // lui rd, expr
+    kCsr,     // csrrw rd, csr, rs1
+    kSys,     // no operands
+    kSfence,
+    kLi,      // li/la rd, expr
+    kMv,      // mv rd, rs
+    kNot,
+    kNeg,
+    kJ,       // j target
+    kJr,      // jr rs
+    kCall,    // call target
+    kRet,
+    kNop,
+    kCsrR,    // csrr rd, csr
+    kCsrW,    // csrw csr, rs
+  };
+  Family family;
+  Opcode opcode = Opcode::kIllegal;
+  uint8_t funct = 0;
+};
+
+const std::map<std::string, MnemonicInfo, std::less<>>& Mnemonics() {
+  using F = MnemonicInfo::Family;
+  static const std::map<std::string, MnemonicInfo, std::less<>> table = [] {
+    std::map<std::string, MnemonicInfo, std::less<>> t;
+    static constexpr std::string_view kAlu[] = {"add", "sub", "and", "or",  "xor", "sll",
+                                                "srl", "sra", "slt", "sltu", "mul", "mulhu",
+                                                "div", "divu", "rem", "remu"};
+    for (uint8_t i = 0; i < 16; ++i) {
+      t.emplace(std::string(kAlu[i]), MnemonicInfo{F::kR3, Opcode::kOp, i});
+      t.emplace(std::string(kAlu[i]) + "i", MnemonicInfo{F::kI3, Opcode::kOpImm, i});
+    }
+    t.emplace("lw", MnemonicInfo{F::kLoad, Opcode::kLw});
+    t.emplace("lh", MnemonicInfo{F::kLoad, Opcode::kLh});
+    t.emplace("lhu", MnemonicInfo{F::kLoad, Opcode::kLhu});
+    t.emplace("lb", MnemonicInfo{F::kLoad, Opcode::kLb});
+    t.emplace("lbu", MnemonicInfo{F::kLoad, Opcode::kLbu});
+    t.emplace("sw", MnemonicInfo{F::kStore, Opcode::kSw});
+    t.emplace("sh", MnemonicInfo{F::kStore, Opcode::kSh});
+    t.emplace("sb", MnemonicInfo{F::kStore, Opcode::kSb});
+    static constexpr std::string_view kBr[] = {"beq", "bne", "blt", "bge", "bltu", "bgeu"};
+    for (uint8_t i = 0; i < 6; ++i) {
+      t.emplace(std::string(kBr[i]), MnemonicInfo{F::kBranch, Opcode::kBranch, i});
+    }
+    t.emplace("bgt", MnemonicInfo{F::kBranchSwap, Opcode::kBranch,
+                                  static_cast<uint8_t>(BranchCond::kLt)});
+    t.emplace("ble", MnemonicInfo{F::kBranchSwap, Opcode::kBranch,
+                                  static_cast<uint8_t>(BranchCond::kGe)});
+    t.emplace("bgtu", MnemonicInfo{F::kBranchSwap, Opcode::kBranch,
+                                   static_cast<uint8_t>(BranchCond::kLtu)});
+    t.emplace("bleu", MnemonicInfo{F::kBranchSwap, Opcode::kBranch,
+                                   static_cast<uint8_t>(BranchCond::kGeu)});
+    t.emplace("beqz", MnemonicInfo{F::kBranchZero, Opcode::kBranch,
+                                   static_cast<uint8_t>(BranchCond::kEq)});
+    t.emplace("bnez", MnemonicInfo{F::kBranchZero, Opcode::kBranch,
+                                   static_cast<uint8_t>(BranchCond::kNe)});
+    t.emplace("jal", MnemonicInfo{F::kJal, Opcode::kJal});
+    t.emplace("jalr", MnemonicInfo{F::kJalr, Opcode::kJalr});
+    t.emplace("lui", MnemonicInfo{F::kLui, Opcode::kLui});
+    t.emplace("auipc", MnemonicInfo{F::kLui, Opcode::kAuipc});
+    t.emplace("csrrw", MnemonicInfo{F::kCsr, Opcode::kCsrrw});
+    t.emplace("csrrs", MnemonicInfo{F::kCsr, Opcode::kCsrrs});
+    t.emplace("csrrc", MnemonicInfo{F::kCsr, Opcode::kCsrrc});
+    t.emplace("ecall", MnemonicInfo{F::kSys, Opcode::kEcall});
+    t.emplace("ebreak", MnemonicInfo{F::kSys, Opcode::kEbreak});
+    t.emplace("sret", MnemonicInfo{F::kSys, Opcode::kSret});
+    t.emplace("wfi", MnemonicInfo{F::kSys, Opcode::kWfi});
+    t.emplace("hcall", MnemonicInfo{F::kSys, Opcode::kHcall});
+    t.emplace("halt", MnemonicInfo{F::kSys, Opcode::kHalt});
+    t.emplace("sfence", MnemonicInfo{F::kSfence, Opcode::kSfence});
+    t.emplace("li", MnemonicInfo{F::kLi});
+    t.emplace("la", MnemonicInfo{F::kLi});
+    t.emplace("mv", MnemonicInfo{F::kMv});
+    t.emplace("not", MnemonicInfo{F::kNot});
+    t.emplace("neg", MnemonicInfo{F::kNeg});
+    t.emplace("j", MnemonicInfo{F::kJ});
+    t.emplace("jr", MnemonicInfo{F::kJr});
+    t.emplace("call", MnemonicInfo{F::kCall});
+    t.emplace("ret", MnemonicInfo{F::kRet});
+    t.emplace("nop", MnemonicInfo{F::kNop});
+    t.emplace("csrr", MnemonicInfo{F::kCsrR});
+    t.emplace("csrw", MnemonicInfo{F::kCsrW});
+    return t;
+  }();
+  return table;
+}
+
+// Parses "imm(reg)" into its parts.
+Status ParseMemOperand(std::string_view op, std::string* imm_expr, uint8_t* base_reg) {
+  size_t open = op.rfind('(');
+  if (open == std::string_view::npos || op.back() != ')') {
+    return InvalidArgumentError("expected imm(reg) operand, got '" + std::string(op) + "'");
+  }
+  std::string_view imm = Trim(op.substr(0, open));
+  std::string_view reg = Trim(op.substr(open + 1, op.size() - open - 2));
+  HYP_ASSIGN_OR_RETURN(*base_reg, ParseGpr(reg));
+  *imm_expr = imm.empty() ? "0" : std::string(imm);
+  return OkStatus();
+}
+
+Result<uint16_t> ParseCsr(std::string_view s, const std::map<std::string, uint32_t>& equs) {
+  auto it = CsrTable().find(s);
+  if (it != CsrTable().end()) {
+    return it->second;
+  }
+  ExprParser p(s, equs);
+  auto v = p.Parse();
+  if (!v.ok() || *v < 0 || *v > 0x3FFF) {
+    return InvalidArgumentError("not a CSR: '" + std::string(s) + "'");
+  }
+  return static_cast<uint16_t>(*v);
+}
+
+// ---------------------------------------------------------------------------
+// The assembler
+// ---------------------------------------------------------------------------
+
+class Assembler {
+ public:
+  Result<Image> Run(std::string_view source) {
+    HYP_RETURN_IF_ERROR(Pass1(source));
+    HYP_RETURN_IF_ERROR(Pass2());
+    return BuildImage();
+  }
+
+ private:
+  Status Errorf(int line, const std::string& message) const {
+    return InvalidArgumentError("line " + std::to_string(line) + ": " + message);
+  }
+
+  Status Pass1(std::string_view source) {
+    int line_no = 0;
+    size_t pos = 0;
+    while (pos <= source.size()) {
+      size_t eol = source.find('\n', pos);
+      std::string_view line = source.substr(pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+      pos = eol == std::string_view::npos ? source.size() + 1 : eol + 1;
+      ++line_no;
+
+      line = Trim(StripComment(line));
+      // Peel off any leading labels.
+      while (!line.empty()) {
+        size_t i = 0;
+        while (i < line.size() && IsSymbolChar(line[i])) ++i;
+        if (i > 0 && i < line.size() && line[i] == ':') {
+          std::string label(line.substr(0, i));
+          if (symbols_.count(label)) {
+            return Errorf(line_no, "duplicate label: " + label);
+          }
+          symbols_[label] = lc_;
+          line = TrimLeft(line.substr(i + 1));
+        } else {
+          break;
+        }
+      }
+      if (line.empty()) {
+        continue;
+      }
+      HYP_RETURN_IF_ERROR(ParseStatement(line, line_no));
+    }
+    return OkStatus();
+  }
+
+  Status ParseStatement(std::string_view line, int line_no) {
+    // Split mnemonic from operands.
+    size_t sp = 0;
+    while (sp < line.size() && !std::isspace(static_cast<unsigned char>(line[sp]))) ++sp;
+    std::string mnemonic(line.substr(0, sp));
+    std::string_view rest = Trim(line.substr(sp));
+    for (auto& c : mnemonic) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+
+    if (mnemonic[0] == '.') {
+      return ParseDirective(mnemonic, rest, line_no);
+    }
+
+    auto it = Mnemonics().find(mnemonic);
+    if (it == Mnemonics().end()) {
+      return Errorf(line_no, "unknown mnemonic: " + mnemonic);
+    }
+    const MnemonicInfo& info = it->second;
+    std::vector<std::string> ops = SplitOperands(rest);
+
+    auto need = [&](size_t n) -> Status {
+      if (ops.size() != n) {
+        return Errorf(line_no, mnemonic + " expects " + std::to_string(n) + " operands, got " +
+                                   std::to_string(ops.size()));
+      }
+      return OkStatus();
+    };
+
+    Stmt s;
+    s.kind = Stmt::Kind::kInstr;
+    s.addr = lc_;
+    s.line = line_no;
+    Instruction& in = s.instr;
+
+    using F = MnemonicInfo::Family;
+    switch (info.family) {
+      case F::kR3: {
+        HYP_RETURN_IF_ERROR(need(3));
+        in.opcode = info.opcode;
+        in.funct = info.funct;
+        HYP_ASSIGN_OR_RETURN(in.rd, ParseGpr(ops[0]));
+        HYP_ASSIGN_OR_RETURN(in.rs1, ParseGpr(ops[1]));
+        HYP_ASSIGN_OR_RETURN(in.rs2, ParseGpr(ops[2]));
+        break;
+      }
+      case F::kI3: {
+        HYP_RETURN_IF_ERROR(need(3));
+        in.opcode = info.opcode;
+        in.funct = info.funct;
+        HYP_ASSIGN_OR_RETURN(in.rd, ParseGpr(ops[0]));
+        HYP_ASSIGN_OR_RETURN(in.rs1, ParseGpr(ops[1]));
+        s.imm_expr = ops[2];
+        break;
+      }
+      case F::kLoad: {
+        HYP_RETURN_IF_ERROR(need(2));
+        in.opcode = info.opcode;
+        HYP_ASSIGN_OR_RETURN(in.rd, ParseGpr(ops[0]));
+        HYP_RETURN_IF_ERROR(ParseMemOperand(ops[1], &s.imm_expr, &in.rs1));
+        break;
+      }
+      case F::kStore: {
+        HYP_RETURN_IF_ERROR(need(2));
+        in.opcode = info.opcode;
+        HYP_ASSIGN_OR_RETURN(in.rd, ParseGpr(ops[0]));  // store data register
+        HYP_RETURN_IF_ERROR(ParseMemOperand(ops[1], &s.imm_expr, &in.rs1));
+        break;
+      }
+      case F::kBranch:
+      case F::kBranchSwap: {
+        HYP_RETURN_IF_ERROR(need(3));
+        in.opcode = Opcode::kBranch;
+        in.funct = info.funct;
+        size_t a = info.family == F::kBranchSwap ? 1 : 0;
+        size_t b = info.family == F::kBranchSwap ? 0 : 1;
+        HYP_ASSIGN_OR_RETURN(in.rs1, ParseGpr(ops[a]));
+        HYP_ASSIGN_OR_RETURN(in.rs2, ParseGpr(ops[b]));
+        s.imm_expr = ops[2];
+        s.pc_relative = true;
+        break;
+      }
+      case F::kBranchZero: {
+        HYP_RETURN_IF_ERROR(need(2));
+        in.opcode = Opcode::kBranch;
+        in.funct = info.funct;
+        HYP_ASSIGN_OR_RETURN(in.rs1, ParseGpr(ops[0]));
+        in.rs2 = isa::kZero;
+        s.imm_expr = ops[1];
+        s.pc_relative = true;
+        break;
+      }
+      case F::kJal: {
+        in.opcode = Opcode::kJal;
+        if (ops.size() == 1) {
+          in.rd = isa::kRa;
+          s.imm_expr = ops[0];
+        } else {
+          HYP_RETURN_IF_ERROR(need(2));
+          HYP_ASSIGN_OR_RETURN(in.rd, ParseGpr(ops[0]));
+          s.imm_expr = ops[1];
+        }
+        s.pc_relative = true;
+        break;
+      }
+      case F::kJalr: {
+        in.opcode = Opcode::kJalr;
+        if (ops.size() == 1) {
+          in.rd = isa::kRa;
+          HYP_ASSIGN_OR_RETURN(in.rs1, ParseGpr(ops[0]));
+          s.imm_expr = "0";
+        } else {
+          HYP_RETURN_IF_ERROR(need(3));
+          HYP_ASSIGN_OR_RETURN(in.rd, ParseGpr(ops[0]));
+          HYP_ASSIGN_OR_RETURN(in.rs1, ParseGpr(ops[1]));
+          s.imm_expr = ops[2];
+        }
+        break;
+      }
+      case F::kLui: {
+        HYP_RETURN_IF_ERROR(need(2));
+        in.opcode = info.opcode;
+        HYP_ASSIGN_OR_RETURN(in.rd, ParseGpr(ops[0]));
+        s.imm_expr = ops[1];
+        break;
+      }
+      case F::kCsr: {
+        HYP_RETURN_IF_ERROR(need(3));
+        in.opcode = info.opcode;
+        HYP_ASSIGN_OR_RETURN(in.rd, ParseGpr(ops[0]));
+        HYP_ASSIGN_OR_RETURN(uint16_t csr, ParseCsr(ops[1], symbols_));
+        in.imm = csr;
+        HYP_ASSIGN_OR_RETURN(in.rs1, ParseGpr(ops[2]));
+        s.imm_expr.clear();
+        break;
+      }
+      case F::kCsrR: {
+        HYP_RETURN_IF_ERROR(need(2));
+        in.opcode = Opcode::kCsrrs;
+        HYP_ASSIGN_OR_RETURN(in.rd, ParseGpr(ops[0]));
+        HYP_ASSIGN_OR_RETURN(uint16_t csr, ParseCsr(ops[1], symbols_));
+        in.imm = csr;
+        in.rs1 = isa::kZero;
+        break;
+      }
+      case F::kCsrW: {
+        HYP_RETURN_IF_ERROR(need(2));
+        in.opcode = Opcode::kCsrrw;
+        in.rd = isa::kZero;
+        HYP_ASSIGN_OR_RETURN(uint16_t csr, ParseCsr(ops[0], symbols_));
+        in.imm = csr;
+        HYP_ASSIGN_OR_RETURN(in.rs1, ParseGpr(ops[1]));
+        break;
+      }
+      case F::kSys: {
+        HYP_RETURN_IF_ERROR(need(0));
+        in.opcode = info.opcode;
+        break;
+      }
+      case F::kSfence: {
+        in.opcode = Opcode::kSfence;
+        if (ops.size() == 1) {
+          HYP_ASSIGN_OR_RETURN(in.rs1, ParseGpr(ops[0]));
+        } else {
+          HYP_RETURN_IF_ERROR(need(0));
+        }
+        break;
+      }
+      case F::kLi: {
+        HYP_RETURN_IF_ERROR(need(2));
+        s.is_li = true;
+        HYP_ASSIGN_OR_RETURN(in.rd, ParseGpr(ops[0]));
+        s.imm_expr = ops[1];
+        break;
+      }
+      case F::kMv: {
+        HYP_RETURN_IF_ERROR(need(2));
+        in.opcode = Opcode::kOpImm;
+        in.funct = static_cast<uint8_t>(AluOp::kAdd);
+        HYP_ASSIGN_OR_RETURN(in.rd, ParseGpr(ops[0]));
+        HYP_ASSIGN_OR_RETURN(in.rs1, ParseGpr(ops[1]));
+        s.imm_expr = "0";
+        break;
+      }
+      case F::kNot: {
+        HYP_RETURN_IF_ERROR(need(2));
+        in.opcode = Opcode::kOpImm;
+        in.funct = static_cast<uint8_t>(AluOp::kXor);
+        HYP_ASSIGN_OR_RETURN(in.rd, ParseGpr(ops[0]));
+        HYP_ASSIGN_OR_RETURN(in.rs1, ParseGpr(ops[1]));
+        s.imm_expr = "-1";
+        break;
+      }
+      case F::kNeg: {
+        HYP_RETURN_IF_ERROR(need(2));
+        in.opcode = Opcode::kOp;
+        in.funct = static_cast<uint8_t>(AluOp::kSub);
+        HYP_ASSIGN_OR_RETURN(in.rd, ParseGpr(ops[0]));
+        in.rs1 = isa::kZero;
+        HYP_ASSIGN_OR_RETURN(in.rs2, ParseGpr(ops[1]));
+        break;
+      }
+      case F::kJ: {
+        HYP_RETURN_IF_ERROR(need(1));
+        in.opcode = Opcode::kJal;
+        in.rd = isa::kZero;
+        s.imm_expr = ops[0];
+        s.pc_relative = true;
+        break;
+      }
+      case F::kJr: {
+        HYP_RETURN_IF_ERROR(need(1));
+        in.opcode = Opcode::kJalr;
+        in.rd = isa::kZero;
+        HYP_ASSIGN_OR_RETURN(in.rs1, ParseGpr(ops[0]));
+        s.imm_expr = "0";
+        break;
+      }
+      case F::kCall: {
+        HYP_RETURN_IF_ERROR(need(1));
+        in.opcode = Opcode::kJal;
+        in.rd = isa::kRa;
+        s.imm_expr = ops[0];
+        s.pc_relative = true;
+        break;
+      }
+      case F::kRet: {
+        HYP_RETURN_IF_ERROR(need(0));
+        in.opcode = Opcode::kJalr;
+        in.rd = isa::kZero;
+        in.rs1 = isa::kRa;
+        s.imm_expr = "0";
+        break;
+      }
+      case F::kNop: {
+        HYP_RETURN_IF_ERROR(need(0));
+        in.opcode = Opcode::kOpImm;
+        in.funct = static_cast<uint8_t>(AluOp::kAdd);
+        in.rd = isa::kZero;
+        in.rs1 = isa::kZero;
+        s.imm_expr = "0";
+        break;
+      }
+    }
+
+    lc_ += s.Size();
+    stmts_.push_back(std::move(s));
+    return OkStatus();
+  }
+
+  Status ParseDirective(const std::string& name, std::string_view rest, int line_no) {
+    if (name == ".org") {
+      HYP_ASSIGN_OR_RETURN(int64_t v, EvalNow(rest, line_no));
+      lc_ = static_cast<uint32_t>(v);
+      if (!org_set_) {
+        org_set_ = true;
+      }
+      return OkStatus();
+    }
+    if (name == ".equ" || name == ".set") {
+      std::vector<std::string> ops = SplitOperands(rest);
+      if (ops.size() != 2) {
+        return Errorf(line_no, name + " expects NAME, expr");
+      }
+      HYP_ASSIGN_OR_RETURN(int64_t v, EvalNow(ops[1], line_no));
+      symbols_[ops[0]] = static_cast<uint32_t>(v);
+      return OkStatus();
+    }
+    if (name == ".align") {
+      HYP_ASSIGN_OR_RETURN(int64_t v, EvalNow(rest, line_no));
+      if (v <= 0 || (v & (v - 1)) != 0) {
+        return Errorf(line_no, ".align requires a power of two");
+      }
+      uint32_t align = static_cast<uint32_t>(v);
+      uint32_t pad = (align - (lc_ % align)) % align;
+      if (pad > 0) {
+        Stmt s;
+        s.kind = Stmt::Kind::kRaw;
+        s.addr = lc_;
+        s.line = line_no;
+        s.raw.assign(pad, 0);
+        lc_ += pad;
+        stmts_.push_back(std::move(s));
+      }
+      return OkStatus();
+    }
+    if (name == ".space") {
+      HYP_ASSIGN_OR_RETURN(int64_t v, EvalNow(rest, line_no));
+      if (v < 0) {
+        return Errorf(line_no, ".space requires a non-negative size");
+      }
+      Stmt s;
+      s.kind = Stmt::Kind::kRaw;
+      s.addr = lc_;
+      s.line = line_no;
+      s.raw.assign(static_cast<size_t>(v), 0);
+      lc_ += static_cast<uint32_t>(v);
+      stmts_.push_back(std::move(s));
+      return OkStatus();
+    }
+    if (name == ".word" || name == ".byte") {
+      Stmt s;
+      s.kind = name == ".word" ? Stmt::Kind::kWords : Stmt::Kind::kBytes;
+      s.addr = lc_;
+      s.line = line_no;
+      s.exprs = SplitOperands(rest);
+      if (s.exprs.empty()) {
+        return Errorf(line_no, name + " expects at least one value");
+      }
+      lc_ += s.Size();
+      stmts_.push_back(std::move(s));
+      return OkStatus();
+    }
+    if (name == ".ascii" || name == ".asciz") {
+      std::string_view t = Trim(rest);
+      if (t.size() < 2 || t.front() != '"' || t.back() != '"') {
+        return Errorf(line_no, name + " expects a quoted string");
+      }
+      Stmt s;
+      s.kind = Stmt::Kind::kRaw;
+      s.addr = lc_;
+      s.line = line_no;
+      std::string_view body = t.substr(1, t.size() - 2);
+      for (size_t i = 0; i < body.size(); ++i) {
+        char c = body[i];
+        if (c == '\\' && i + 1 < body.size()) {
+          char e = body[++i];
+          switch (e) {
+            case 'n': c = '\n'; break;
+            case 't': c = '\t'; break;
+            case '0': c = '\0'; break;
+            case '\\': c = '\\'; break;
+            case '"': c = '"'; break;
+            default:
+              return Errorf(line_no, "bad string escape");
+          }
+        }
+        s.raw.push_back(static_cast<uint8_t>(c));
+      }
+      if (name == ".asciz") {
+        s.raw.push_back(0);
+      }
+      lc_ += static_cast<uint32_t>(s.raw.size());
+      stmts_.push_back(std::move(s));
+      return OkStatus();
+    }
+    return Errorf(line_no, "unknown directive: " + name);
+  }
+
+  // Pass-1 (layout-affecting) expressions may only use already-known symbols.
+  Result<int64_t> EvalNow(std::string_view expr, int line_no) {
+    ExprParser p(expr, symbols_);
+    auto v = p.Parse();
+    if (!v.ok()) {
+      return Errorf(line_no, v.status().message());
+    }
+    return *v;
+  }
+
+  Status Pass2() {
+    for (Stmt& s : stmts_) {
+      switch (s.kind) {
+        case Stmt::Kind::kRaw:
+          break;
+        case Stmt::Kind::kWords:
+        case Stmt::Kind::kBytes: {
+          for (const std::string& e : s.exprs) {
+            ExprParser p(e, symbols_);
+            auto v = p.Parse();
+            if (!v.ok()) {
+              return Errorf(s.line, v.status().message());
+            }
+            uint32_t u = static_cast<uint32_t>(*v);
+            if (s.kind == Stmt::Kind::kWords) {
+              for (int b = 0; b < 4; ++b) {
+                s.raw.push_back(static_cast<uint8_t>(u >> (8 * b)));
+              }
+            } else {
+              s.raw.push_back(static_cast<uint8_t>(u));
+            }
+          }
+          break;
+        }
+        case Stmt::Kind::kInstr: {
+          if (!s.imm_expr.empty()) {
+            ExprParser p(s.imm_expr, symbols_);
+            auto v = p.Parse();
+            if (!v.ok()) {
+              return Errorf(s.line, v.status().message());
+            }
+            int64_t value = *v;
+            if (s.is_li) {
+              HYP_RETURN_IF_ERROR(EmitLi(s, static_cast<uint32_t>(value)));
+              break;
+            }
+            if (s.pc_relative) {
+              value -= s.addr;
+            }
+            s.instr.imm = static_cast<int32_t>(value);
+          }
+          auto word = isa::Encode(s.instr);
+          if (!word.ok()) {
+            return Errorf(s.line, word.status().message());
+          }
+          AppendWord(s, *word);
+          break;
+        }
+      }
+    }
+    return OkStatus();
+  }
+
+  // li/la expansion: lui rd, hi ; addi rd, rd, lo  with lo sign-extended.
+  Status EmitLi(Stmt& s, uint32_t value) {
+    int32_t lo = static_cast<int32_t>(value << 18) >> 18;  // low 14 bits, signed
+    uint32_t hi = value - static_cast<uint32_t>(lo);       // multiple of 1<<14
+
+    Instruction lui;
+    lui.opcode = Opcode::kLui;
+    lui.rd = s.instr.rd;
+    lui.imm = static_cast<int32_t>(hi);
+    auto w1 = isa::Encode(lui);
+    if (!w1.ok()) {
+      return Errorf(s.line, w1.status().message());
+    }
+
+    Instruction addi;
+    addi.opcode = Opcode::kOpImm;
+    addi.funct = static_cast<uint8_t>(AluOp::kAdd);
+    addi.rd = s.instr.rd;
+    addi.rs1 = s.instr.rd;
+    addi.imm = lo;
+    auto w2 = isa::Encode(addi);
+    if (!w2.ok()) {
+      return Errorf(s.line, w2.status().message());
+    }
+    AppendWord(s, *w1);
+    AppendWord(s, *w2);
+    return OkStatus();
+  }
+
+  static void AppendWord(Stmt& s, uint32_t word) {
+    for (int b = 0; b < 4; ++b) {
+      s.raw.push_back(static_cast<uint8_t>(word >> (8 * b)));
+    }
+  }
+
+  Result<Image> BuildImage() {
+    Image image;
+    image.symbols = symbols_;
+    if (stmts_.empty()) {
+      return image;
+    }
+    uint32_t lo = UINT32_MAX, hi = 0;
+    for (const Stmt& s : stmts_) {
+      if (s.raw.empty()) continue;
+      lo = std::min(lo, s.addr);
+      hi = std::max(hi, s.addr + static_cast<uint32_t>(s.raw.size()));
+    }
+    if (lo > hi) {  // nothing emitted
+      return image;
+    }
+    image.base = lo;
+    image.bytes.assign(hi - lo, 0);
+    for (const Stmt& s : stmts_) {
+      std::copy(s.raw.begin(), s.raw.end(), image.bytes.begin() + (s.addr - lo));
+    }
+    return image;
+  }
+
+  uint32_t lc_ = isa::kResetPc;
+  bool org_set_ = false;
+  std::map<std::string, uint32_t> symbols_;
+  std::vector<Stmt> stmts_;
+};
+
+}  // namespace
+
+Result<Image> Assemble(std::string_view source) {
+  Assembler assembler;
+  return assembler.Run(source);
+}
+
+}  // namespace hyperion::assembler

@@ -1,0 +1,73 @@
+// Two-pass assembler for HV32 text assembly.
+//
+// Guest kernels and workloads in hyperion are written as assembly text and
+// assembled into loadable images (see src/guest). Syntax summary:
+//
+//   ; comment            # comment
+//   label:               defines `label` at the current location counter
+//   .org 0x1000          sets the location counter (absolute)
+//   .align 4             pads to a 2^n... no: pads to the given byte alignment
+//   .word 1, 2, sym+4    emits 32-bit little-endian words
+//   .byte 1, 2           emits bytes
+//   .space 64            emits zero bytes
+//   .asciz "hello"       emits a NUL-terminated string
+//   .equ NAME, expr      defines a constant (must precede use)
+//
+//   add a0, a1, t0       R-type ALU (add sub and or xor sll srl sra slt sltu
+//                        mul mulhu div divu rem remu)
+//   addi a0, a1, -4      I-type ALU (same mnemonics + "i")
+//   lw a0, 8(sp)         loads: lw lh lhu lb lbu
+//   sw a0, 8(sp)         stores: sw sh sb
+//   beq a0, a1, label    branches: beq bne blt bge bltu bgeu (+ bgt ble pseudos)
+//   jal ra, label / jalr ra, t0, 0
+//   csrrw a0, status, a1 / csrrs / csrrc
+//   ecall ebreak sret wfi hcall sfence halt
+//
+// Pseudo-instructions: li rd, imm32; la rd, symbol; mv rd, rs; not rd, rs;
+// neg rd, rs; j label; jr rs; call label; ret; nop; csrr rd, csr;
+// csrw csr, rs; beqz/bnez rs, label.
+//
+// Expressions: decimal/hex/char literals, symbols, unary minus, + and -.
+
+#ifndef SRC_ASM_ASSEMBLER_H_
+#define SRC_ASM_ASSEMBLER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace hyperion::assembler {
+
+// The result of assembling a program: a contiguous byte image to be loaded
+// at guest-physical address `base`, plus the resolved symbol table.
+struct Image {
+  uint32_t base = 0;
+  std::vector<uint8_t> bytes;
+  std::map<std::string, uint32_t> symbols;
+
+  // Entry point: the `_start` symbol if defined, otherwise `base`.
+  uint32_t entry() const {
+    auto it = symbols.find("_start");
+    return it != symbols.end() ? it->second : base;
+  }
+
+  // Resolved address of `name`, or an error if undefined.
+  Result<uint32_t> SymbolAddress(const std::string& name) const {
+    auto it = symbols.find(name);
+    if (it == symbols.end()) {
+      return NotFoundError("undefined symbol: " + name);
+    }
+    return it->second;
+  }
+};
+
+// Assembles `source`. On error the Status message includes the line number.
+Result<Image> Assemble(std::string_view source);
+
+}  // namespace hyperion::assembler
+
+#endif  // SRC_ASM_ASSEMBLER_H_

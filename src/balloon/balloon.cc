@@ -1,0 +1,67 @@
+#include "src/balloon/balloon.h"
+
+namespace hyperion::balloon {
+
+Result<std::vector<BalloonPlanEntry>> BalloonController::ReclaimPages(uint32_t pages_needed) {
+  // Reclaimable capacity per VM: pages not yet ballooned, keeping a floor of
+  // 25% of RAM so guests stay functional.
+  struct Candidate {
+    core::Vm* vm;
+    uint32_t reclaimable;
+  };
+  std::vector<Candidate> candidates;
+  uint64_t total_reclaimable = 0;
+  for (const auto& vm : host_->vms()) {
+    if (vm->state() != core::VmState::kRunning) {
+      continue;
+    }
+    uint32_t pages = vm->memory().num_pages();
+    uint32_t floor = pages / 4;
+    uint32_t ballooned = vm->ballooned_pages();
+    uint32_t reclaimable = pages - floor > ballooned ? pages - floor - ballooned : 0;
+    if (reclaimable > 0) {
+      candidates.push_back({vm.get(), reclaimable});
+      total_reclaimable += reclaimable;
+    }
+  }
+  if (total_reclaimable < pages_needed) {
+    return ResourceExhaustedError("cannot reclaim " + std::to_string(pages_needed) +
+                                  " pages; only " + std::to_string(total_reclaimable) +
+                                  " reclaimable");
+  }
+
+  std::vector<BalloonPlanEntry> plan;
+  uint32_t assigned = 0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const Candidate& c = candidates[i];
+    uint32_t share;
+    if (i + 1 == candidates.size()) {
+      share = pages_needed - assigned;  // remainder to the last VM
+    } else {
+      share = static_cast<uint32_t>(static_cast<uint64_t>(pages_needed) * c.reclaimable /
+                                    total_reclaimable);
+    }
+    share = std::min(share, c.reclaimable);
+    assigned += share;
+    uint32_t target = c.vm->ballooned_pages() + share;
+    c.vm->SetBalloonTarget(target);
+    plan.push_back({c.vm, target});
+  }
+  return plan;
+}
+
+void BalloonController::ReleaseAll() {
+  for (const auto& vm : host_->vms()) {
+    vm->SetBalloonTarget(0);
+  }
+}
+
+uint32_t BalloonController::TotalBallooned() const {
+  uint32_t total = 0;
+  for (const auto& vm : host_->vms()) {
+    total += vm->ballooned_pages();
+  }
+  return total;
+}
+
+}  // namespace hyperion::balloon

@@ -1,0 +1,48 @@
+// Memory ballooning: host-driven cooperative reclaim.
+//
+// The host sets a per-VM balloon target (pages to give back). The guest's
+// balloon driver (see guest::BalloonDriverProgram) polls the target with the
+// kBalloonGetTarget hypercall and inflates/deflates with kBalloonInflate /
+// kBalloonDeflate, releasing its own chosen pages — which is the whole point
+// of ballooning: only the guest knows which pages are cheap to give up.
+//
+// BalloonController implements the host-side policy: distributing a reclaim
+// demand across VMs proportionally to their reclaimable memory.
+
+#ifndef SRC_BALLOON_BALLOON_H_
+#define SRC_BALLOON_BALLOON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/host.h"
+
+namespace hyperion::balloon {
+
+struct BalloonPlanEntry {
+  core::Vm* vm = nullptr;
+  uint32_t target_pages = 0;
+};
+
+class BalloonController {
+ public:
+  explicit BalloonController(core::Host* host) : host_(host) {}
+
+  // Computes and applies balloon targets so that at least `pages_needed`
+  // host frames become reclaimable, spread proportionally to each VM's
+  // unballooned RAM. Returns the plan for inspection.
+  Result<std::vector<BalloonPlanEntry>> ReclaimPages(uint32_t pages_needed);
+
+  // Clears every VM's target (guests deflate on their next poll).
+  void ReleaseAll();
+
+  // Frames currently ballooned out across all VMs.
+  uint32_t TotalBallooned() const;
+
+ private:
+  core::Host* host_;
+};
+
+}  // namespace hyperion::balloon
+
+#endif  // SRC_BALLOON_BALLOON_H_

@@ -1,0 +1,178 @@
+#include "src/core/host.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace hyperion::core {
+
+Host::Host(HostConfig config)
+    : config_(std::move(config)),
+      pool_(config_.ram_bytes / isa::kPageSize),
+      switch_(&clock_),
+      sched_(sched::MakeScheduler(config_.sched_policy, config_.num_pcpus)),
+      pcpu_free_at_(config_.num_pcpus, 0),
+      pcpu_last_entity_(config_.num_pcpus, sched::kIdle) {}
+
+Host::~Host() = default;
+
+Result<Vm*> Host::CreateVm(VmConfig vm_config) {
+  for (const auto& vm : vms_) {
+    if (vm->name() == vm_config.name) {
+      return AlreadyExistsError("vm name already in use: " + vm_config.name);
+    }
+  }
+  auto vm = std::unique_ptr<Vm>(new Vm(this, std::move(vm_config)));
+  HYP_RETURN_IF_ERROR(vm->Init());
+
+  sched::EntityId base = next_entity_;
+  next_entity_ += vm->num_vcpus();
+  vm_base_entity_[vm.get()] = base;
+  for (uint32_t i = 0; i < vm->num_vcpus(); ++i) {
+    HYP_RETURN_IF_ERROR(sched_->AddEntity(base + i, vm->config().sched));
+    entities_[base + i] = EntityRef{vm.get(), i};
+    sched_->SetRunnable(base + i, true, clock_.now());
+  }
+  vms_.push_back(std::move(vm));
+  return vms_.back().get();
+}
+
+Status Host::DestroyVm(Vm* vm) {
+  auto it = std::find_if(vms_.begin(), vms_.end(),
+                         [vm](const std::unique_ptr<Vm>& p) { return p.get() == vm; });
+  if (it == vms_.end()) {
+    return NotFoundError("vm is not on this host");
+  }
+  sched::EntityId base = vm_base_entity_[vm];
+  for (uint32_t i = 0; i < vm->num_vcpus(); ++i) {
+    (void)sched_->RemoveEntity(base + i);
+    entities_.erase(base + i);
+  }
+  vm_base_entity_.erase(vm);
+  vms_.erase(it);
+  return OkStatus();
+}
+
+Vm* Host::FindVm(const std::string& name) {
+  for (const auto& vm : vms_) {
+    if (vm->name() == name) {
+      return vm.get();
+    }
+  }
+  return nullptr;
+}
+
+sched::EntityId Host::EntityOf(Vm* vm, uint32_t vcpu) const {
+  auto it = vm_base_entity_.find(vm);
+  return it == vm_base_entity_.end() ? sched::kIdle : it->second + vcpu;
+}
+
+void Host::WakeVcpu(Vm* vm, uint32_t vcpu) {
+  sched::EntityId id = EntityOf(vm, vcpu);
+  if (id != sched::kIdle) {
+    vm->vcpu(vcpu).state.waiting = false;
+    sched_->SetRunnable(id, true, clock_.now());
+  }
+}
+
+void Host::BlockVcpu(Vm* vm, uint32_t vcpu) {
+  sched::EntityId id = EntityOf(vm, vcpu);
+  if (id != sched::kIdle) {
+    sched_->SetRunnable(id, false, clock_.now());
+  }
+}
+
+void Host::RunFor(SimTime duration) {
+  SimTime end = clock_.now() + duration;
+  while (clock_.now() < end) {
+    // Pick the pCPU that frees first.
+    size_t p = 0;
+    for (size_t i = 1; i < pcpu_free_at_.size(); ++i) {
+      if (pcpu_free_at_[i] < pcpu_free_at_[p]) {
+        p = i;
+      }
+    }
+    SimTime t = std::max(pcpu_free_at_[p], clock_.now());
+    if (t >= end) {
+      clock_.RunUntil(end);
+      return;
+    }
+    clock_.RunUntil(t);  // deliver device completions and timer wakes due by t
+
+    sched::EntityId id = sched_->PickNext(clock_.now());
+    if (id == sched::kIdle) {
+      ++stats_.idle_picks;
+      // Nothing runnable now: advance this pCPU to the next interesting
+      // moment — the next clock event, another pCPU freeing, or `end`.
+      SimTime next = end;
+      if (clock_.HasPending()) {
+        next = std::min(next, clock_.NextEventTime());
+      }
+      for (size_t i = 0; i < pcpu_free_at_.size(); ++i) {
+        if (i != p && pcpu_free_at_[i] > t) {
+          next = std::min(next, pcpu_free_at_[i]);
+        }
+      }
+      next = std::min(next, sched_->NextEligibleTime(t));
+      if (next <= t) {
+        // Fully idle with no future events: nothing can happen before `end`.
+        clock_.RunUntil(end);
+        return;
+      }
+      pcpu_free_at_[p] = next;
+      continue;
+    }
+
+    EntityRef ref = entities_[id];
+    uint64_t budget = std::min<uint64_t>(config_.timeslice_cycles, end - t);
+    SliceResult r = ref.vm->RunVcpuSlice(ref.vcpu, budget, t);
+    SimTime done = t + std::max<uint64_t>(r.cycles, 1);
+    // Switching the pCPU to a different vCPU costs a world switch plus the
+    // cold-cache tail; consolidation efficiency decays slightly with it.
+    if (pcpu_last_entity_[p] != id) {
+      done += config_.costs.context_switch;
+      pcpu_last_entity_[p] = id;
+      ++stats_.context_switches;
+    }
+    pcpu_free_at_[p] = done;
+    ++stats_.slices;
+    stats_.cycles_executed += r.cycles;
+
+    bool still_runnable = r.end == SliceEnd::kBudget || r.end == SliceEnd::kYielded;
+    sched_->Account(id, r.cycles, still_runnable, done);
+  }
+}
+
+bool Host::RunUntilQuiescent(SimTime max_time) {
+  while (clock_.now() < max_time) {
+    SimTime before = clock_.now();
+    RunFor(std::min<SimTime>(max_time - clock_.now(), 50 * kSimTicksPerMs));
+    // Quiescent when the run loop made no scheduling progress and nothing is
+    // pending.
+    bool any_runnable = false;
+    for (const auto& [id, ref] : entities_) {
+      (void)id;
+      const cpu::CpuState& s = ref.vm->vcpu(ref.vcpu).state;
+      if (ref.vm->state() == VmState::kRunning && !s.halted && !s.waiting) {
+        any_runnable = true;
+        break;
+      }
+    }
+    if (!any_runnable && !clock_.HasPending()) {
+      return true;
+    }
+    if (clock_.now() == before) {
+      return false;  // no progress possible
+    }
+  }
+  return false;
+}
+
+bool Host::RunUntilVmStops(Vm* vm, SimTime max_time) {
+  while (clock_.now() < max_time && vm->state() == VmState::kRunning) {
+    RunFor(std::min<SimTime>(max_time - clock_.now(), 10 * kSimTicksPerMs));
+  }
+  return vm->state() != VmState::kRunning;
+}
+
+}  // namespace hyperion::core

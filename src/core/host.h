@@ -1,0 +1,109 @@
+// The physical host: frames, clock, switch, scheduler, and the run loop
+// that time-slices vCPUs over simulated pCPUs.
+
+#ifndef SRC_CORE_HOST_H_
+#define SRC_CORE_HOST_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/vm.h"
+#include "src/mem/frame_pool.h"
+#include "src/net/network.h"
+#include "src/sched/scheduler.h"
+#include "src/util/cost_model.h"
+#include "src/util/sim_clock.h"
+
+namespace hyperion::core {
+
+struct HostConfig {
+  std::string name = "host";
+  uint32_t num_pcpus = 4;
+  uint64_t ram_bytes = 256u << 20;  // host physical memory
+  sched::SchedPolicy sched_policy = sched::SchedPolicy::kCredit;
+  uint64_t timeslice_cycles = 1'000'000;  // 1 ms
+  CostModel costs;
+};
+
+class Host {
+ public:
+  explicit Host(HostConfig config = HostConfig{});
+  ~Host();
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  const HostConfig& config() const { return config_; }
+  SimClock& clock() { return clock_; }
+  mem::FramePool& pool() { return pool_; }
+  net::VirtualSwitch& vswitch() { return switch_; }
+  sched::Scheduler& scheduler() { return *sched_; }
+  const CostModel& costs() const { return config_.costs; }
+
+  // --- VM management -----------------------------------------------------
+
+  Result<Vm*> CreateVm(VmConfig config);
+  Status DestroyVm(Vm* vm);
+  Vm* FindVm(const std::string& name);
+  const std::vector<std::unique_ptr<Vm>>& vms() const { return vms_; }
+
+  // --- Run loop ------------------------------------------------------------
+
+  // Advances simulated time by `duration`, scheduling vCPUs and firing
+  // device events.
+  void RunFor(SimTime duration);
+
+  // Runs until every VM is halted/crashed/paused and no events are pending,
+  // or until `max_time` is reached. Returns true when quiescent.
+  bool RunUntilQuiescent(SimTime max_time);
+
+  // Convenience: run until `vm` leaves the running state (or max_time).
+  bool RunUntilVmStops(Vm* vm, SimTime max_time);
+
+  // --- Hooks used by Vm --------------------------------------------------
+
+  // Marks a vCPU runnable (device interrupt, page arrival, resume).
+  void WakeVcpu(Vm* vm, uint32_t vcpu);
+  // Marks a vCPU not runnable (WFI, stall, halt).
+  void BlockVcpu(Vm* vm, uint32_t vcpu);
+
+  struct HostStats {
+    uint64_t slices = 0;
+    uint64_t idle_picks = 0;
+    uint64_t cycles_executed = 0;
+    uint64_t context_switches = 0;
+  };
+  const HostStats& stats() const { return stats_; }
+
+ private:
+  friend class Vm;
+
+  struct EntityRef {
+    Vm* vm;
+    uint32_t vcpu;
+  };
+
+  sched::EntityId EntityOf(Vm* vm, uint32_t vcpu) const;
+  void StepOnce(SimTime end);
+
+  HostConfig config_;
+  SimClock clock_;
+  mem::FramePool pool_;
+  net::VirtualSwitch switch_;
+  std::unique_ptr<sched::Scheduler> sched_;
+  std::vector<std::unique_ptr<Vm>> vms_;
+
+  std::map<sched::EntityId, EntityRef> entities_;
+  std::map<const Vm*, sched::EntityId> vm_base_entity_;
+  sched::EntityId next_entity_ = 1;
+
+  std::vector<SimTime> pcpu_free_at_;
+  std::vector<sched::EntityId> pcpu_last_entity_;
+  HostStats stats_;
+};
+
+}  // namespace hyperion::core
+
+#endif  // SRC_CORE_HOST_H_

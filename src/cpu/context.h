@@ -1,0 +1,103 @@
+// Execution context shared by the interpreter and DBT engines.
+
+#ifndef SRC_CPU_CONTEXT_H_
+#define SRC_CPU_CONTEXT_H_
+
+#include <cstdint>
+
+#include "src/cpu/state.h"
+#include "src/mem/guest_memory.h"
+#include "src/mmu/virtualizer.h"
+#include "src/util/cost_model.h"
+#include "src/util/sim_clock.h"
+
+namespace hyperion::cpu {
+
+// CPU-virtualization flavor.
+//
+//  * kTrapAndEmulate — the guest kernel is deprivileged: every privileged
+//    instruction (CSR access, sret, wfi, sfence, halt) and every trap
+//    redirection is intercepted and emulated by the VMM, paying an exit.
+//  * kHardwareAssist — VT-x-style: privileged guest state is context-switched
+//    by hardware, so those instructions run at native cost; only MMIO,
+//    hypercalls and host-level faults exit.
+enum class VirtMode : uint8_t { kTrapAndEmulate = 0, kHardwareAssist = 1 };
+
+// Why Run() returned.
+enum class ExitReason : uint8_t {
+  kBudget = 0,    // cycle budget exhausted (timeslice over)
+  kHalt,          // guest executed HALT
+  kWfi,           // guest parked in WFI with no deliverable interrupt
+  kHypercall,     // guest invoked the VMM (number in a0); pc already advanced
+  kMissingPage,   // access to an absent page (post-copy demand fetch)
+  kError,         // internal error; see `error`
+};
+
+struct RunResult {
+  ExitReason reason = ExitReason::kBudget;
+  uint64_t cycles = 0;        // simulated cycles consumed by this Run call
+  uint64_t instructions = 0;  // instructions retired by this Run call
+  uint32_t missing_gpn = 0;   // kMissingPage
+  Status error;               // kError
+};
+
+// Devices attach through this interface (implemented by devices::MmioBus).
+// Addresses are guest-physical within the MMIO window; size is 1, 2 or 4.
+class MmioHandler {
+ public:
+  virtual ~MmioHandler() = default;
+  virtual Result<uint32_t> MmioRead(uint32_t gpa, uint32_t size) = 0;
+  virtual Status MmioWrite(uint32_t gpa, uint32_t size, uint32_t value) = 0;
+};
+
+struct VcpuStats {
+  uint64_t instructions = 0;
+  uint64_t cycles = 0;
+  uint64_t mmio_exits = 0;
+  uint64_t hypercalls = 0;
+  uint64_t pt_write_exits = 0;
+  uint64_t cow_breaks = 0;
+  uint64_t wfi_exits = 0;
+  uint64_t priv_emulations = 0;  // trap-and-emulate interceptions
+  uint64_t guest_traps = 0;      // exceptions delivered into the guest
+  uint64_t interrupts_delivered = 0;
+  uint64_t dirty_first_writes = 0;
+  uint64_t blocks_translated = 0;  // DBT only
+  uint64_t block_executions = 0;   // DBT only
+
+  uint64_t TotalExits() const {
+    return mmio_exits + hypercalls + pt_write_exits + cow_breaks + priv_emulations;
+  }
+};
+
+// Everything an execution engine needs to run one vCPU.
+struct VcpuContext {
+  CpuState state;
+  mem::GuestMemory* memory = nullptr;
+  mmu::MemoryVirtualizer* virt = nullptr;
+  MmioHandler* mmio = nullptr;  // may be null: all MMIO faults the guest
+  const CostModel* costs = &CostModel::Default();
+  VirtMode virt_mode = VirtMode::kHardwareAssist;
+  VcpuStats stats;
+
+  // Simulated time at the start of the current Run call; the engine computes
+  // guest time as slice_start + cycles-consumed-so-far.
+  SimTime slice_start = 0;
+};
+
+// An execution engine runs guest instructions until `max_cycles` simulated
+// cycles are consumed or an exit condition arises.
+class ExecutionEngine {
+ public:
+  virtual ~ExecutionEngine() = default;
+  virtual std::string_view name() const = 0;
+  virtual RunResult Run(VcpuContext& ctx, uint64_t max_cycles) = 0;
+  // Discards cached translations derived from guest page `gpn` (DBT).
+  virtual void InvalidateCodePage(uint32_t gpn) { (void)gpn; }
+  // Discards all cached translations.
+  virtual void FlushCodeCache() {}
+};
+
+}  // namespace hyperion::cpu
+
+#endif  // SRC_CPU_CONTEXT_H_

@@ -1,0 +1,229 @@
+#include "src/cpu/dbt.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/cpu/exec_core.h"
+#include "src/cpu/interpreter.h"
+
+namespace hyperion::cpu {
+
+namespace {
+
+using isa::Opcode;
+
+// An instruction that may change control flow, privileged state, or the
+// validity of cached translations ends its block.
+bool EndsBlock(const isa::Instruction& in) {
+  switch (in.opcode) {
+    case Opcode::kJal:
+    case Opcode::kJalr:
+    case Opcode::kBranch:
+    case Opcode::kEcall:
+    case Opcode::kEbreak:
+    case Opcode::kSret:
+    case Opcode::kWfi:
+    case Opcode::kHcall:
+    case Opcode::kSfence:
+    case Opcode::kHalt:
+    case Opcode::kCsrrw:
+    case Opcode::kCsrrs:
+    case Opcode::kCsrrc:
+    case Opcode::kIllegal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+class DbtEngine final : public ExecutionEngine {
+ public:
+  explicit DbtEngine(size_t max_blocks) : max_blocks_(max_blocks) {}
+
+  std::string_view name() const override { return "dbt"; }
+
+  RunResult Run(VcpuContext& ctx, uint64_t max_cycles) override {
+    ExecCore core(ctx, this);
+    CpuState& s = ctx.state;
+
+    if (s.halted) {
+      core.Exit(ExitReason::kHalt);
+      return core.Finish();
+    }
+    if (s.waiting) {
+      core.CheckTimer();
+      if (s.ipend == 0) {
+        core.Charge(1);
+        core.Exit(ExitReason::kWfi);
+        return core.Finish();
+      }
+      s.waiting = false;
+    }
+
+    while (!core.exited() && core.cycles() < max_cycles) {
+      ApplyPendingInvalidations();
+      core.CheckTimer();
+      if (core.DeliverInterruptIfPending() && core.exited()) {
+        break;
+      }
+
+      uint64_t key = Key(s.pc, s.ptbr, s.paging_enabled());
+      auto it = blocks_.find(key);
+      if (it == blocks_.end()) {
+        Block block = TranslateBlock(core, ctx, s.pc);
+        if (block.instrs.empty()) {
+          // First instruction is unfetchable (fault) or an MMIO/absent page:
+          // let the faithful single-step path produce the trap or exit.
+          SingleStep(core, ctx);
+          continue;
+        }
+        ++ctx.stats.blocks_translated;
+        core.Charge(kTranslateCostPerInsn * block.instrs.size());
+        if (blocks_.size() >= max_blocks_) {
+          EvictAll();  // simple full-flush policy, as early DBTs used
+        }
+        it = blocks_.emplace(key, std::move(block)).first;
+        for (uint32_t gpn : it->second.gpns) {
+          code_pages_.insert(gpn);
+          page_blocks_[gpn].push_back(key);
+        }
+      }
+
+      // Execute the block. Interrupts are only checked at block boundaries
+      // (standard DBT behavior). A trap inside the block redirects pc, which
+      // we detect by comparing against the expected fall-through.
+      const Block& block = it->second;
+      ++ctx.stats.block_executions;
+      uint32_t expect_pc = block.start_va;
+      for (const isa::Instruction& in : block.instrs) {
+        if (s.pc != expect_pc) {
+          break;  // a trap inside the block redirected control
+        }
+        if (!core.Execute(in)) {
+          break;  // exit latched
+        }
+        expect_pc += 4;
+      }
+    }
+    return core.Finish();
+  }
+
+  void InvalidateCodePage(uint32_t gpn) override {
+    if (code_pages_.count(gpn)) {
+      pending_page_invalidations_.push_back(gpn);
+    }
+  }
+
+  void FlushCodeCache() override { pending_flush_ = true; }
+
+ private:
+  struct Block {
+    uint32_t start_va = 0;
+    std::vector<isa::Instruction> instrs;
+    std::vector<uint32_t> gpns;  // guest pages the code bytes came from
+  };
+
+  static constexpr size_t kMaxBlockInstrs = 64;
+  static constexpr uint64_t kTranslateCostPerInsn = 6;
+
+  static uint64_t Key(uint32_t va, uint32_t ptbr, bool paging) {
+    uint64_t k = va;
+    k |= static_cast<uint64_t>(ptbr) << 32;
+    // ptbr values are page numbers (< 2^20 in practice); fold paging on top.
+    return k ^ (paging ? 0x8000000000000000ull : 0);
+  }
+
+  // Decodes instructions starting at `va` without delivering any trap: a
+  // fetch problem simply ends the block.
+  Block TranslateBlock(ExecCore& core, VcpuContext& ctx, uint32_t va) {
+    Block block;
+    block.start_va = va;
+    CpuState& s = ctx.state;
+    while (block.instrs.size() < kMaxBlockInstrs) {
+      if (va & 3u) {
+        break;
+      }
+      mmu::TranslateOutcome out =
+          ctx.virt->Translate(va, mmu::Access::kFetch, s.priv(), s.paging_enabled(), s.ptbr);
+      core.Charge(out.cost);
+      if (out.event != mmu::MemEvent::kNone || out.is_mmio) {
+        break;
+      }
+      const uint8_t* page = ctx.memory->pool().FrameData(out.frame);
+      uint32_t word;
+      std::memcpy(&word, page + isa::VaPageOffset(out.gpa), 4);
+      isa::Instruction in = isa::Decode(word);
+      block.instrs.push_back(in);
+      uint32_t gpn = isa::PageNumber(out.gpa);
+      if (block.gpns.empty() || block.gpns.back() != gpn) {
+        block.gpns.push_back(gpn);
+      }
+      if (EndsBlock(in)) {
+        break;
+      }
+      va += 4;
+    }
+    return block;
+  }
+
+  void SingleStep(ExecCore& core, VcpuContext& ctx) {
+    uint32_t word = 0;
+    if (!core.Fetch(ctx.state.pc, &word)) {
+      return;  // trap vectored or exit latched
+    }
+    core.Execute(isa::Decode(word));
+  }
+
+  void ApplyPendingInvalidations() {
+    if (pending_flush_) {
+      EvictAll();
+      pending_flush_ = false;
+      pending_page_invalidations_.clear();
+      return;
+    }
+    for (uint32_t gpn : pending_page_invalidations_) {
+      auto it = page_blocks_.find(gpn);
+      if (it == page_blocks_.end()) {
+        continue;
+      }
+      for (uint64_t key : it->second) {
+        blocks_.erase(key);
+      }
+      page_blocks_.erase(it);
+      code_pages_.erase(gpn);
+    }
+    pending_page_invalidations_.clear();
+  }
+
+  void EvictAll() {
+    blocks_.clear();
+    page_blocks_.clear();
+    code_pages_.clear();
+  }
+
+  size_t max_blocks_;
+  std::unordered_map<uint64_t, Block> blocks_;
+  std::unordered_map<uint32_t, std::vector<uint64_t>> page_blocks_;
+  std::unordered_set<uint32_t> code_pages_;
+  std::vector<uint32_t> pending_page_invalidations_;
+  bool pending_flush_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<ExecutionEngine> MakeDbtEngine(size_t max_blocks) {
+  return std::make_unique<DbtEngine>(max_blocks);
+}
+
+std::unique_ptr<ExecutionEngine> MakeEngine(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kInterpreter:
+      return MakeInterpreter();
+    case EngineKind::kDbt:
+      return MakeDbtEngine();
+  }
+  return nullptr;
+}
+
+}  // namespace hyperion::cpu

@@ -1,0 +1,25 @@
+// Dynamic binary translation engine.
+//
+// Guest code is translated into cached basic blocks of pre-decoded
+// instructions keyed by (pc, ptbr, paging). Hot paths skip per-instruction
+// fetch and decode entirely, the classic DBT win. The cache is kept coherent
+// with guest stores (self-modifying code), sfence, and paging changes.
+
+#ifndef SRC_CPU_DBT_H_
+#define SRC_CPU_DBT_H_
+
+#include <memory>
+
+#include "src/cpu/context.h"
+
+namespace hyperion::cpu {
+
+std::unique_ptr<ExecutionEngine> MakeDbtEngine(size_t max_blocks = 4096);
+
+enum class EngineKind : uint8_t { kInterpreter = 0, kDbt = 1 };
+
+std::unique_ptr<ExecutionEngine> MakeEngine(EngineKind kind);
+
+}  // namespace hyperion::cpu
+
+#endif  // SRC_CPU_DBT_H_

@@ -1,0 +1,24 @@
+// Fetch-decode-execute interpreter engine.
+
+#ifndef SRC_CPU_INTERPRETER_H_
+#define SRC_CPU_INTERPRETER_H_
+
+#include <memory>
+
+#include "src/cpu/context.h"
+
+namespace hyperion::cpu {
+
+// Baseline execution engine: decodes every instruction on every execution.
+// Simple and exactly faithful; the DBT engine trades memory for speed.
+class Interpreter final : public ExecutionEngine {
+ public:
+  std::string_view name() const override { return "interpreter"; }
+  RunResult Run(VcpuContext& ctx, uint64_t max_cycles) override;
+};
+
+std::unique_ptr<ExecutionEngine> MakeInterpreter();
+
+}  // namespace hyperion::cpu
+
+#endif  // SRC_CPU_INTERPRETER_H_

@@ -1,0 +1,108 @@
+// Architectural state of one HV32 virtual CPU.
+
+#ifndef SRC_CPU_STATE_H_
+#define SRC_CPU_STATE_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/isa/hv32.h"
+#include "src/util/byte_stream.h"
+#include "src/util/status.h"
+
+namespace hyperion::cpu {
+
+struct CpuState {
+  std::array<uint32_t, isa::kNumGprs> regs{};
+  uint32_t pc = isa::kResetPc;
+
+  // CSRs. Boot state: supervisor mode, interrupts off, paging off.
+  uint32_t status = isa::StatusBits::kPrv;
+  uint32_t cause = 0;
+  uint32_t epc = 0;
+  uint32_t tvec = 0;
+  uint32_t tval = 0;
+  uint32_t scratch = 0;
+  uint32_t ptbr = 0;
+  uint64_t timecmp = 0;  // 0 disables the timer
+  uint64_t cycle = 0;    // retired cycles (accumulated across slices)
+  uint64_t instret = 0;  // retired instructions
+  uint32_t hartid = 0;
+  uint32_t ipend = 0;  // pending interrupt lines (bit per isa::Interrupt)
+
+  bool halted = false;   // HALT executed
+  bool waiting = false;  // parked in WFI
+
+  // --- Helpers -------------------------------------------------------------
+
+  isa::PrivMode priv() const {
+    return (status & isa::StatusBits::kPrv) ? isa::PrivMode::kSupervisor : isa::PrivMode::kUser;
+  }
+  bool interrupts_enabled() const { return status & isa::StatusBits::kIe; }
+  bool paging_enabled() const { return status & isa::StatusBits::kPg; }
+
+  uint32_t ReadReg(uint8_t r) const { return r == 0 ? 0 : regs[r]; }
+  void WriteReg(uint8_t r, uint32_t v) {
+    if (r != 0) {
+      regs[r] = v;
+    }
+  }
+
+  void RaisePending(isa::Interrupt line) { ipend |= 1u << static_cast<uint32_t>(line); }
+  void ClearPending(isa::Interrupt line) { ipend &= ~(1u << static_cast<uint32_t>(line)); }
+  bool HasDeliverableInterrupt() const { return interrupts_enabled() && ipend != 0; }
+
+  // --- Serialization (snapshots, live migration) ----------------------------
+
+  void Serialize(ByteWriter& w) const {
+    for (uint32_t r : regs) {
+      w.WriteU32(r);
+    }
+    w.WriteU32(pc);
+    w.WriteU32(status);
+    w.WriteU32(cause);
+    w.WriteU32(epc);
+    w.WriteU32(tvec);
+    w.WriteU32(tval);
+    w.WriteU32(scratch);
+    w.WriteU32(ptbr);
+    w.WriteU64(timecmp);
+    w.WriteU64(cycle);
+    w.WriteU64(instret);
+    w.WriteU32(hartid);
+    w.WriteU32(ipend);
+    w.WriteU8(halted ? 1 : 0);
+    w.WriteU8(waiting ? 1 : 0);
+  }
+
+  static Result<CpuState> Deserialize(ByteReader& r) {
+    CpuState s;
+    for (auto& reg : s.regs) {
+      HYP_ASSIGN_OR_RETURN(reg, r.ReadU32());
+    }
+    HYP_ASSIGN_OR_RETURN(s.pc, r.ReadU32());
+    HYP_ASSIGN_OR_RETURN(s.status, r.ReadU32());
+    HYP_ASSIGN_OR_RETURN(s.cause, r.ReadU32());
+    HYP_ASSIGN_OR_RETURN(s.epc, r.ReadU32());
+    HYP_ASSIGN_OR_RETURN(s.tvec, r.ReadU32());
+    HYP_ASSIGN_OR_RETURN(s.tval, r.ReadU32());
+    HYP_ASSIGN_OR_RETURN(s.scratch, r.ReadU32());
+    HYP_ASSIGN_OR_RETURN(s.ptbr, r.ReadU32());
+    HYP_ASSIGN_OR_RETURN(s.timecmp, r.ReadU64());
+    HYP_ASSIGN_OR_RETURN(s.cycle, r.ReadU64());
+    HYP_ASSIGN_OR_RETURN(s.instret, r.ReadU64());
+    HYP_ASSIGN_OR_RETURN(s.hartid, r.ReadU32());
+    HYP_ASSIGN_OR_RETURN(s.ipend, r.ReadU32());
+    HYP_ASSIGN_OR_RETURN(uint8_t halted, r.ReadU8());
+    HYP_ASSIGN_OR_RETURN(uint8_t waiting, r.ReadU8());
+    s.halted = halted != 0;
+    s.waiting = waiting != 0;
+    return s;
+  }
+
+  bool operator==(const CpuState&) const = default;
+};
+
+}  // namespace hyperion::cpu
+
+#endif  // SRC_CPU_STATE_H_

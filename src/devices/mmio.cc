@@ -1,0 +1,44 @@
+#include "src/devices/mmio.h"
+
+namespace hyperion::devices {
+
+Status MmioBus::Map(uint32_t base, uint32_t size, MmioDevice* device) {
+  for (const Region& r : regions_) {
+    if (base < r.base + r.size && r.base < base + size) {
+      return AlreadyExistsError("MMIO region overlaps " + std::string(r.device->name()));
+    }
+  }
+  regions_.push_back({base, size, device});
+  device_list_.push_back(device);
+  return OkStatus();
+}
+
+MmioDevice* MmioBus::Find(uint32_t gpa, uint32_t* offset) {
+  for (const Region& r : regions_) {
+    if (gpa >= r.base && gpa < r.base + r.size) {
+      *offset = gpa - r.base;
+      return r.device;
+    }
+  }
+  return nullptr;
+}
+
+Result<uint32_t> MmioBus::MmioRead(uint32_t gpa, uint32_t size) {
+  uint32_t offset = 0;
+  MmioDevice* dev = Find(gpa, &offset);
+  if (dev == nullptr) {
+    return NotFoundError("no device at gpa");
+  }
+  return dev->Read(offset, size);
+}
+
+Status MmioBus::MmioWrite(uint32_t gpa, uint32_t size, uint32_t value) {
+  uint32_t offset = 0;
+  MmioDevice* dev = Find(gpa, &offset);
+  if (dev == nullptr) {
+    return NotFoundError("no device at gpa");
+  }
+  return dev->Write(offset, size, value);
+}
+
+}  // namespace hyperion::devices

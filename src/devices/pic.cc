@@ -1,0 +1,75 @@
+#include "src/devices/pic.h"
+
+#include <bit>
+
+namespace hyperion::devices {
+
+void InterruptController::Assert(uint8_t line) {
+  pending_ |= 1u << line;
+  UpdateLevel();
+}
+
+Result<uint32_t> InterruptController::Read(uint32_t offset, uint32_t size) {
+  if (size != 4) {
+    return InvalidArgumentError("pic registers are word-only");
+  }
+  switch (offset) {
+    case 0x00:
+      return pending_;
+    case 0x04:
+      return enable_;
+    case 0x10: {
+      uint32_t active = pending_ & enable_;
+      return active == 0 ? 0xFFFFFFFFu : static_cast<uint32_t>(std::countr_zero(active));
+    }
+    default:
+      return NotFoundError("bad pic register");
+  }
+}
+
+Status InterruptController::Write(uint32_t offset, uint32_t size, uint32_t value) {
+  if (size != 4) {
+    return InvalidArgumentError("pic registers are word-only");
+  }
+  switch (offset) {
+    case 0x04:
+      enable_ = value;
+      break;
+    case 0x08:
+      pending_ &= ~value;
+      break;
+    case 0x0C:
+      pending_ |= value;
+      break;
+    default:
+      return NotFoundError("bad pic register");
+  }
+  UpdateLevel();
+  return OkStatus();
+}
+
+void InterruptController::Reset() {
+  pending_ = 0;
+  enable_ = 0;
+  UpdateLevel();
+}
+
+void InterruptController::UpdateLevel() {
+  if (sink_) {
+    sink_((pending_ & enable_) != 0);
+  }
+}
+
+void InterruptController::Serialize(ByteWriter& w) const {
+  w.WriteU32(pending_);
+  w.WriteU32(enable_);
+}
+
+Status InterruptController::Deserialize(ByteReader& r) {
+  HYP_ASSIGN_OR_RETURN(pending_, r.ReadU32());
+  HYP_ASSIGN_OR_RETURN(enable_, r.ReadU32());
+  UpdateLevel();
+  return OkStatus();
+}
+
+}  // namespace hyperion::devices

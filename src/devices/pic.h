@@ -1,0 +1,73 @@
+// Platform interrupt controller.
+//
+// Devices assert numbered lines; the PIC latches them into PENDING and
+// drives the vCPU's external-interrupt input whenever (PENDING & ENABLE)
+// is nonzero. The guest claims the lowest pending enabled line via CLAIM
+// and acknowledges with a write-1-to-clear ACK.
+//
+// Register map (word access):
+//   0x00 PENDING (RO)   latched lines
+//   0x04 ENABLE  (RW)   per-line mask
+//   0x08 ACK     (W1C)  clear pending bits
+//   0x0C RAISE   (WO)   software-set pending bits (IPIs, tests)
+//   0x10 CLAIM   (RO)   lowest pending&enabled line, 0xFFFFFFFF if none
+
+#ifndef SRC_DEVICES_PIC_H_
+#define SRC_DEVICES_PIC_H_
+
+#include <functional>
+
+#include "src/devices/mmio.h"
+
+namespace hyperion::devices {
+
+class InterruptController final : public MmioDevice {
+ public:
+  // `sink` is invoked with the level of the external-interrupt output
+  // whenever it may have changed (the VMM wires it to the vCPU's IPEND bit).
+  using LevelSink = std::function<void(bool)>;
+
+  void SetSink(LevelSink sink) { sink_ = std::move(sink); }
+
+  // Device-side line assertion (edge-latched into PENDING).
+  void Assert(uint8_t line);
+
+  std::string_view name() const override { return "pic"; }
+  Result<uint32_t> Read(uint32_t offset, uint32_t size) override;
+  Status Write(uint32_t offset, uint32_t size, uint32_t value) override;
+  void Reset() override;
+
+  void Serialize(ByteWriter& w) const override;
+  Status Deserialize(ByteReader& r) override;
+
+  uint32_t pending() const { return pending_; }
+  uint32_t enable() const { return enable_; }
+
+ private:
+  void UpdateLevel();
+
+  uint32_t pending_ = 0;
+  uint32_t enable_ = 0;
+  LevelSink sink_;
+};
+
+// A device's handle to one PIC line.
+class IrqLine {
+ public:
+  IrqLine() = default;
+  IrqLine(InterruptController* pic, uint8_t line) : pic_(pic), line_(line) {}
+
+  void Assert() {
+    if (pic_ != nullptr) {
+      pic_->Assert(line_);
+    }
+  }
+
+ private:
+  InterruptController* pic_ = nullptr;
+  uint8_t line_ = 0;
+};
+
+}  // namespace hyperion::devices
+
+#endif  // SRC_DEVICES_PIC_H_

@@ -1,0 +1,488 @@
+// Guest drivers for the emulated (PIO) and virtio devices.
+//
+// The virtio drivers pre-build their rings as image data sections (the
+// layout is static), so the runtime loop is just: bump avail.idx, kick,
+// wait for the interrupt, acknowledge. The emulated drivers move every data
+// word through the trapped DATA port, which is exactly their point.
+
+#include <sstream>
+
+#include "src/guest/programs.h"
+
+namespace hyperion::guest {
+
+namespace {
+
+// Device register bases and PIC line masks (see src/devices/mmio.h).
+constexpr char kIoEqus[] = R"(
+.equ BLK_BASE, 0xF0010000
+.equ NET_BASE, 0xF0020000
+.equ VBLK_BASE, 0xF0100000
+.equ VNET_BASE, 0xF0101000
+.equ BLK_IRQ_BIT, 2          ; 1 << 1
+.equ NET_IRQ_BIT, 4          ; 1 << 2
+.equ VBLK_IRQ_BIT, 256       ; 1 << 8
+.equ VNET_IRQ_BIT, 512       ; 1 << 9
+)";
+
+std::string Header() {
+  return R"(.org 0x1000
+.equ HC_WRITE, 1
+.equ HC_SHUTDOWN, 4
+.equ HC_KICK, 7
+.equ HC_LOG, 8
+.equ PIC_BASE, 0xF0001000
+)" + std::string(kIoEqus) +
+         R"(    j _start
+.align 8
+progress:
+    .word 0
+)";
+}
+
+constexpr char kBumpProgress[] = R"(
+    la t3, progress
+    lw t2, 0(t3)
+    addi t2, t2, 1
+    sw t2, 0(t3)
+)";
+
+constexpr char kShutdown[] = R"(
+    li a0, HC_SHUTDOWN
+    hcall
+    halt
+)";
+
+uint32_t FloorPow2(uint32_t v) {
+  uint32_t p = 1;
+  while (p * 2 <= v) {
+    p *= 2;
+  }
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Emulated (PIO) block driver
+// ---------------------------------------------------------------------------
+
+std::string EmulatedBlkProgram(const BlkIoParams& params) {
+  uint32_t sectors = std::min<uint32_t>(std::max<uint32_t>(params.sectors, 1), 8);
+  uint32_t nwords = sectors * 512 / 4;
+  std::ostringstream out;
+  out << Header();
+  out << "_start:\n"
+         "    li gp, BLK_BASE\n"
+         "    li t0, PIC_BASE\n"
+         "    li t1, BLK_IRQ_BIT\n"
+         "    sw t1, 4(t0)             ; enable the blk line\n"
+         "    li s0, 0\n"
+         "    li s1, " << params.iterations << "\n"
+         "cmd_loop:\n"
+         "    andi t1, s0, 63\n"
+         "    sw t1, 0x00(gp)          ; LBA\n"
+         "    li t1, " << sectors << "\n"
+         "    sw t1, 0x04(gp)          ; COUNT\n"
+         "    sw zero, 0x14(gp)        ; rewind the data pointer\n";
+  if (params.write) {
+    out << "    li t2, " << nwords << "\n"
+           "    mv t3, s0\n"
+           "fill:\n"
+           "    sw t3, 0x10(gp)          ; one exit per word\n"
+           "    addi t3, t3, 7\n"
+           "    addi t2, t2, -1\n"
+           "    bnez t2, fill\n"
+           "    li t1, 2                 ; CMD: write\n"
+           "    sw t1, 0x08(gp)\n";
+  } else {
+    out << "    li t1, 1                 ; CMD: read\n"
+           "    sw t1, 0x08(gp)\n";
+  }
+  out << "    wfi                      ; completion interrupt\n"
+         "    li t0, PIC_BASE\n"
+         "    li t1, BLK_IRQ_BIT\n"
+         "    sw t1, 8(t0)             ; ack the PIC\n";
+  if (!params.write) {
+    out << "    li t2, " << nwords << "\n"
+           "drain:\n"
+           "    lw t3, 0x10(gp)          ; one exit per word\n"
+           "    addi t2, t2, -1\n"
+           "    bnez t2, drain\n";
+  }
+  out << "    sw zero, 0x14(gp)        ; device ack\n"
+      << kBumpProgress
+      << "    addi s0, s0, 1\n"
+         "    bltu s0, s1, cmd_loop\n"
+      << kShutdown;
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Virtio block driver
+// ---------------------------------------------------------------------------
+
+std::string VirtioBlkProgram(const BlkIoParams& params) {
+  constexpr uint32_t kQSize = 64;
+  constexpr uint32_t kDesc = 0x20000;
+  constexpr uint32_t kAvail = 0x20400;
+  constexpr uint32_t kUsed = 0x20600;
+  constexpr uint32_t kHdr = 0x21000;
+  constexpr uint32_t kStatus = 0x21800;
+  constexpr uint32_t kData = 0x22000;
+
+  uint32_t sectors = std::min<uint32_t>(std::max<uint32_t>(params.sectors, 1), 8);
+  uint32_t batch = FloorPow2(std::min<uint32_t>(std::max<uint32_t>(params.batch, 1), 16));
+  uint32_t bytes = sectors * 512;
+
+  std::ostringstream out;
+  out << Header();
+
+  // --- Static ring and buffer data -----------------------------------------
+  out << ".org " << kDesc << "\n";
+  for (uint32_t i = 0; i < batch; ++i) {
+    uint32_t data_flags = params.write ? 1u : 3u;  // NEXT | (WRITE for reads)
+    // Header descriptor (device-readable).
+    out << ".word " << kHdr + 16 * i << ", 16, " << (1u | ((3 * i + 1) << 16)) << "\n";
+    // Data descriptor.
+    out << ".word " << kData + bytes * i << ", " << bytes << ", "
+        << (data_flags | ((3 * i + 2) << 16)) << "\n";
+    // Status descriptor (device-writable).
+    out << ".word " << kStatus + i << ", 1, " << 2u << "\n";
+  }
+  // Avail ring: flags=0 idx=0, ring[j] = head of request (j % batch).
+  out << ".org " << kAvail << "\n.word 0\n";
+  for (uint32_t j = 0; j < kQSize; j += 2) {
+    uint32_t lo = 3 * (j % batch);
+    uint32_t hi = 3 * ((j + 1) % batch);
+    out << ".word " << (lo | (hi << 16)) << "\n";
+  }
+  // Used ring: zeroed.
+  out << ".org " << kUsed << "\n.space " << 4 + 8 * kQSize << "\n";
+  // Request headers: type, pad, sector(lo,hi).
+  for (uint32_t i = 0; i < batch; ++i) {
+    out << ".org " << kHdr + 16 * i << "\n";
+    out << ".word " << (params.write ? 1 : 0) << ", 0, " << i * sectors << ", 0\n";
+  }
+  // Data payload: deterministic words so disk contents are checkable.
+  out << ".org " << kData << "\n";
+  for (uint32_t w = 0; w < batch * bytes / 4; w += 2) {
+    out << ".word " << (0xB10C0000u + w) << ", " << (0xB10C0000u + w + 1) << "\n";
+  }
+
+  // --- Code ------------------------------------------------------------------
+  out << ".org 0x10000\n_start:\n"
+         "    li gp, VBLK_BASE\n"
+         "    li t0, PIC_BASE\n"
+         "    li t1, VBLK_IRQ_BIT\n"
+         "    sw t1, 4(t0)\n"
+         "    sw zero, 0x04(gp)        ; queue_sel 0\n"
+         "    li t1, " << kQSize << "\n"
+         "    sw t1, 0x08(gp)\n"
+         "    li t1, " << kDesc << "\n"
+         "    sw t1, 0x0C(gp)\n"
+         "    li t1, " << kAvail << "\n"
+         "    sw t1, 0x10(gp)\n"
+         "    li t1, " << kUsed << "\n"
+         "    sw t1, 0x14(gp)\n"
+         "    li t1, 1\n"
+         "    sw t1, 0x18(gp)          ; ready\n"
+         "    li s0, 0\n"
+         "    li s1, " << params.iterations << "\n"
+         "kick_loop:\n"
+         "    li t0, " << kAvail << "\n"
+         "    lhu t1, 2(t0)\n"
+         "    addi t1, t1, " << batch << "\n"
+         "    sh t1, 2(t0)             ; publish the batch\n";
+  if (params.kick_with_hypercall) {
+    out << "    li a0, HC_KICK\n"
+           "    li a1, 0                 ; slot 0 = virtio-blk\n"
+           "    li a2, 0\n"
+           "    hcall\n";
+  } else {
+    out << "    sw zero, 0x1C(gp)        ; MMIO doorbell\n";
+  }
+  out << "    wfi                      ; completion interrupt\n"
+         "    li t1, 1\n"
+         "    sw t1, 0x24(gp)          ; ack ISR\n"
+         "    li t0, PIC_BASE\n"
+         "    li t1, VBLK_IRQ_BIT\n"
+         "    sw t1, 8(t0)\n"
+      << kBumpProgress
+      << "    addi s0, s0, 1\n"
+         "    bltu s0, s1, kick_loop\n"
+      << kShutdown;
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Emulated (PIO) network driver
+// ---------------------------------------------------------------------------
+
+std::string EmulatedNetPingProgram(const NetParams& params) {
+  uint32_t nwords = params.payload_bytes / 4;
+  std::ostringstream out;
+  out << Header();
+  out << "_start:\n"
+         "    li gp, NET_BASE\n"
+         "    li t0, PIC_BASE\n"
+         "    li t1, NET_IRQ_BIT\n"
+         "    sw t1, 4(t0)\n"
+         "    li s0, 0\n"
+         "    li s1, " << params.iterations << "\n"
+         "ping:\n"
+         "    sw zero, 0x1C(gp)        ; rewind data pointer\n"
+         "    li t2, " << nwords << "\n"
+         "    mv t3, s0\n"
+         "fill:\n"
+         "    sw t3, 0x10(gp)\n"
+         "    addi t3, t3, 1\n"
+         "    addi t2, t2, -1\n"
+         "    bnez t2, fill\n"
+         "    li t1, " << params.payload_bytes << "\n"
+         "    sw t1, 0x00(gp)          ; TX_LEN\n"
+         "    li t1, " << params.peer_mac << "\n"
+         "    sw t1, 0x04(gp)          ; TX_DST\n"
+         "    li t1, 1\n"
+         "    sw t1, 0x08(gp)          ; SEND\n"
+         "    wfi                      ; reply interrupt\n"
+         "    li t0, PIC_BASE\n"
+         "    li t1, NET_IRQ_BIT\n"
+         "    sw t1, 8(t0)\n"
+         "    li t1, 2\n"
+         "    sw t1, 0x08(gp)          ; pop the reply\n"
+      << kBumpProgress
+      << "    addi s0, s0, 1\n";
+  if (params.iterations != 0) {
+    out << "    bltu s0, s1, ping\n" << kShutdown;
+  } else {
+    out << "    j ping\n";
+  }
+  return out.str();
+}
+
+std::string EmulatedNetEchoProgram() {
+  std::ostringstream out;
+  out << Header();
+  out << "_start:\n"
+         "    li gp, NET_BASE\n"
+         "    li t0, PIC_BASE\n"
+         "    li t1, NET_IRQ_BIT\n"
+         "    sw t1, 4(t0)\n"
+         "echo_wait:\n"
+         "    wfi\n"
+         "    li t0, PIC_BASE\n"
+         "    li t1, NET_IRQ_BIT\n"
+         "    sw t1, 8(t0)\n"
+         "echo_pop:\n"
+         "    li t1, 2\n"
+         "    sw t1, 0x08(gp)          ; latch next frame\n"
+         "    lw t2, 0x14(gp)          ; RX_LEN\n"
+         "    beqz t2, echo_wait\n"
+         "    lw t3, 0x18(gp)          ; RX_SRC\n"
+         "    sw t2, 0x00(gp)          ; TX_LEN = RX_LEN\n"
+         "    sw t3, 0x04(gp)          ; TX_DST = RX_SRC\n"
+         "    sw zero, 0x1C(gp)\n"
+         "    srli t2, t2, 2\n"
+         "refill:\n"
+         "    sw t3, 0x10(gp)\n"
+         "    addi t2, t2, -1\n"
+         "    bnez t2, refill\n"
+         "    li t1, 1\n"
+         "    sw t1, 0x08(gp)          ; SEND reply\n"
+      << kBumpProgress
+      << "    lw t1, 0x0C(gp)          ; more frames queued?\n"
+         "    andi t1, t1, 1\n"
+         "    bnez t1, echo_pop\n"
+         "    j echo_wait\n";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Virtio network drivers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct VnetLayout {
+  static constexpr uint32_t kQSize = 16;
+  static constexpr uint32_t kRxDesc = 0x24000;
+  static constexpr uint32_t kRxAvail = 0x24200;
+  static constexpr uint32_t kRxUsed = 0x24300;
+  static constexpr uint32_t kTxDesc = 0x25000;
+  static constexpr uint32_t kTxAvail = 0x25200;
+  static constexpr uint32_t kTxUsed = 0x25300;
+  static constexpr uint32_t kRxBuf = 0x26000;   // 16 x 2048
+  static constexpr uint32_t kTxBuf = 0x2E000;
+  static constexpr uint32_t kRxBufStride = 2048;
+};
+
+// Emits the static rings: all RX buffers pre-posted (avail.idx = qsize),
+// one TX descriptor covering the TX buffer.
+std::string VnetRingData(uint32_t tx_len_bytes) {
+  using L = VnetLayout;
+  std::ostringstream out;
+  out << ".org " << L::kRxDesc << "\n";
+  for (uint32_t i = 0; i < L::kQSize; ++i) {
+    out << ".word " << L::kRxBuf + i * L::kRxBufStride << ", " << L::kRxBufStride << ", 2\n";
+  }
+  out << ".org " << L::kRxAvail << "\n.word " << (L::kQSize << 16) << "\n";  // idx = qsize
+  for (uint32_t j = 0; j < L::kQSize; j += 2) {
+    out << ".word " << (j | ((j + 1) << 16)) << "\n";
+  }
+  out << ".org " << L::kRxUsed << "\n.space " << 4 + 8 * L::kQSize << "\n";
+
+  out << ".org " << L::kTxDesc << "\n";
+  for (uint32_t i = 0; i < L::kQSize; ++i) {
+    out << ".word " << L::kTxBuf << ", " << tx_len_bytes << ", 0\n";
+  }
+  out << ".org " << L::kTxAvail << "\n.word 0\n";
+  for (uint32_t j = 0; j < L::kQSize; j += 2) {
+    out << ".word " << (j | ((j + 1) << 16)) << "\n";
+  }
+  out << ".org " << L::kTxUsed << "\n.space " << 4 + 8 * L::kQSize << "\n";
+  return out.str();
+}
+
+// Emits the queue-configuration preamble for both vnet queues.
+std::string VnetSetup() {
+  using L = VnetLayout;
+  std::ostringstream out;
+  out << "    li gp, VNET_BASE\n"
+         "    li t0, PIC_BASE\n"
+         "    li t1, VNET_IRQ_BIT\n"
+         "    sw t1, 4(t0)\n";
+  struct QueueCfg {
+    uint32_t sel, desc, avail, used;
+  };
+  for (const QueueCfg& q : {QueueCfg{0, L::kRxDesc, L::kRxAvail, L::kRxUsed},
+                            QueueCfg{1, L::kTxDesc, L::kTxAvail, L::kTxUsed}}) {
+    out << "    li t1, " << q.sel << "\n"
+           "    sw t1, 0x04(gp)\n"
+           "    li t1, " << L::kQSize << "\n"
+           "    sw t1, 0x08(gp)\n"
+           "    li t1, " << q.desc << "\n"
+           "    sw t1, 0x0C(gp)\n"
+           "    li t1, " << q.avail << "\n"
+           "    sw t1, 0x10(gp)\n"
+           "    li t1, " << q.used << "\n"
+           "    sw t1, 0x14(gp)\n"
+           "    li t1, 1\n"
+           "    sw t1, 0x18(gp)\n";
+  }
+  return out.str();
+}
+
+constexpr char kVnetAckIrq[] =
+    "    li t1, 1\n"
+    "    sw t1, 0x24(gp)          ; ack ISR\n"
+    "    li t0, PIC_BASE\n"
+    "    li t1, VNET_IRQ_BIT\n"
+    "    sw t1, 8(t0)\n";
+
+}  // namespace
+
+std::string VirtioNetPingProgram(const NetParams& params) {
+  using L = VnetLayout;
+  uint32_t frame_bytes = 8 + params.payload_bytes;
+  std::ostringstream out;
+  out << Header();
+  out << VnetRingData(frame_bytes);
+  // TX frame: header {dst, len} + payload.
+  out << ".org " << L::kTxBuf << "\n.word " << params.peer_mac << ", "
+      << params.payload_bytes << "\n";
+  for (uint32_t w = 0; w < params.payload_bytes / 4; w += 2) {
+    out << ".word " << 0xA0000000u + w << ", " << 0xA0000000u + w + 1 << "\n";
+  }
+
+  out << ".org 0x10000\n_start:\n" << VnetSetup();
+  out << "    li s0, 0                 ; round trips done\n"
+         "    li s1, " << params.iterations << "\n"
+         "    li s3, 0                 ; rx frames consumed\n"
+         "ping:\n"
+         "    li t0, " << L::kTxAvail << "\n"
+         "    lhu t1, 2(t0)\n"
+         "    addi t1, t1, 1\n"
+         "    sh t1, 2(t0)\n"
+         "    li a0, HC_KICK\n"
+         "    li a1, 1                 ; slot 1 = virtio-net\n"
+         "    li a2, 1                 ; tx queue\n"
+         "    hcall\n"
+         "wait_reply:\n"
+         "    li t0, " << L::kRxUsed << "\n"
+         "    lhu t1, 2(t0)\n"
+         "    bne t1, s3, got_reply\n"
+         "    wfi\n"
+      << kVnetAckIrq
+      << "    j wait_reply\n"
+         "got_reply:\n"
+         "    addi s3, s3, 1\n"
+         "    li t0, " << L::kRxAvail << "\n"
+         "    lhu t1, 2(t0)\n"
+         "    addi t1, t1, 1\n"
+         "    sh t1, 2(t0)             ; repost the buffer\n"
+         "    li a0, HC_KICK\n"
+         "    li a1, 1\n"
+         "    li a2, 0                 ; rx queue kick (buffer repost)\n"
+         "    hcall\n"
+      << kBumpProgress
+      << "    addi s0, s0, 1\n";
+  if (params.iterations != 0) {
+    out << "    bltu s0, s1, ping\n" << kShutdown;
+  } else {
+    out << "    j ping\n";
+  }
+  return out.str();
+}
+
+std::string VirtioNetEchoProgram(uint32_t payload_bytes) {
+  using L = VnetLayout;
+  uint32_t frame_bytes = 8 + payload_bytes;
+  std::ostringstream out;
+  out << Header();
+  out << VnetRingData(frame_bytes);
+  out << ".org " << L::kTxBuf << "\n.space " << frame_bytes << "\n";
+
+  out << ".org 0x10000\n_start:\n" << VnetSetup();
+  out << "    li s3, 0                 ; rx frames consumed\n"
+         "echo_wait:\n"
+         "    li t0, " << L::kRxUsed << "\n"
+         "    lhu t1, 2(t0)\n"
+         "    bne t1, s3, got_frame\n"
+         "    wfi\n"
+      << kVnetAckIrq
+      << "    j echo_wait\n"
+         "got_frame:\n"
+         // Locate the consumed buffer: used.ring[s3 % qsize].id.
+         "    andi t1, s3, " << (L::kQSize - 1) << "\n"
+         "    slli t1, t1, 3\n"
+         "    li t0, " << L::kRxUsed + 4 << "\n"
+         "    add t0, t0, t1\n"
+         "    lw t2, 0(t0)             ; descriptor id\n"
+         "    li t0, " << L::kRxBuf << "\n"
+         "    slli t2, t2, 11          ; id * 2048\n"
+         "    add t0, t0, t2           ; rx frame base\n"
+         "    lw t1, 0(t0)             ; src\n"
+         "    lw t2, 4(t0)             ; len\n"
+         "    li t0, " << L::kTxBuf << "\n"
+         "    sw t1, 0(t0)             ; dst = src\n"
+         "    sw t2, 4(t0)             ; len = len\n"
+         "    addi s3, s3, 1\n"
+         "    li t0, " << L::kRxAvail << "\n"
+         "    lhu t1, 2(t0)\n"
+         "    addi t1, t1, 1\n"
+         "    sh t1, 2(t0)             ; repost rx buffer\n"
+         "    li t0, " << L::kTxAvail << "\n"
+         "    lhu t1, 2(t0)\n"
+         "    addi t1, t1, 1\n"
+         "    sh t1, 2(t0)\n"
+         "    li a0, HC_KICK\n"
+         "    li a1, 1\n"
+         "    li a2, 1                 ; send the reply\n"
+         "    hcall\n"
+      << kBumpProgress
+      << "    j echo_wait\n";
+  return out.str();
+}
+
+}  // namespace hyperion::guest

@@ -1,0 +1,378 @@
+#include "src/guest/programs.h"
+
+#include <sstream>
+
+#include "src/isa/hv32.h"
+
+namespace hyperion::guest {
+
+namespace {
+
+// Common image header: a jump over the progress word plus hypercall numbers.
+std::string Header() {
+  return R"(.org 0x1000
+.equ HC_PUTCHAR, 0
+.equ HC_WRITE, 1
+.equ HC_YIELD, 2
+.equ HC_GETTIME, 3
+.equ HC_SHUTDOWN, 4
+.equ HC_INFLATE, 5
+.equ HC_DEFLATE, 6
+.equ HC_KICK, 7
+.equ HC_LOG, 8
+.equ HC_TARGET, 9
+.equ PIC_BASE, 0xF0001000
+    j _start
+.align 8
+progress:
+    .word 0
+)";
+}
+
+// Emits "progress += 1" (clobbers t2, t3).
+constexpr char kBumpProgress[] = R"(
+    la t3, progress
+    lw t2, 0(t3)
+    addi t2, t2, 1
+    sw t2, 0(t3)
+)";
+
+constexpr char kShutdown[] = R"(
+    li a0, HC_SHUTDOWN
+    hcall
+    halt
+)";
+
+}  // namespace
+
+Result<assembler::Image> Build(const std::string& source) {
+  auto image = assembler::Assemble(source);
+  if (!image.ok()) {
+    return InternalError("guest program failed to assemble: " + image.status().message());
+  }
+  return image;
+}
+
+Result<uint32_t> ProgressAddress(const assembler::Image& image) {
+  return image.SymbolAddress(kProgressSymbol);
+}
+
+std::string HelloProgram(const std::string& message) {
+  std::ostringstream out;
+  out << Header();
+  out << "_start:\n"
+         "    li a0, HC_WRITE\n"
+         "    la a1, msg\n"
+         "    li a2, "
+      << message.size()
+      << "\n"
+         "    hcall\n"
+      << kBumpProgress << kShutdown;
+  out << "msg:\n    .ascii \"";
+  for (char c : message) {
+    switch (c) {
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      default:
+        out << c;
+    }
+  }
+  out << "\"\n";
+  return out.str();
+}
+
+std::string ComputeProgram(uint32_t iterations) {
+  std::ostringstream out;
+  out << Header();
+  out << "_start:\n"
+         "    li s0, 0\n"
+         "    li s1, " << iterations << "\n"
+         "outer:\n"
+         "    li t0, 7\n"
+         "    li t1, 13\n"
+         "    li s2, 64\n"
+         "inner:\n"
+         "    mul t1, t1, t0\n"
+         "    addi t1, t1, 3\n"
+         "    xor t0, t0, t1\n"
+         "    srli t2, t1, 3\n"
+         "    add t0, t0, t2\n"
+         "    sltu t2, t0, t1\n"
+         "    add t1, t1, t2\n"
+         "    addi s2, s2, -1\n"
+         "    bnez s2, inner\n"
+      << kBumpProgress
+      << "    addi s0, s0, 1\n";
+  if (iterations != 0) {
+    out << "    bltu s0, s1, outer\n" << kShutdown;
+  } else {
+    out << "    j outer\n";
+  }
+  return out.str();
+}
+
+std::string IdleTickProgram(uint32_t period_cycles) {
+  std::ostringstream out;
+  out << Header();
+  out << "_start:\n"
+         "    la t0, handler\n"
+         "    csrw tvec, t0\n"
+         "    li t1, " << period_cycles << "\n"
+         "    csrw timecmp, t1\n"
+         "    csrr t1, status\n"
+         "    ori t1, t1, 1\n"
+         "    csrw status, t1\n"
+         "idle:\n"
+         "    wfi\n"
+         "    j idle\n"
+         "handler:\n"
+      << kBumpProgress
+      << "    li t1, " << period_cycles << "\n"
+         "    csrw timecmp, t1\n"
+         "    sret\n";
+  return out.str();
+}
+
+std::string SmpCounterProgram(uint32_t work_per_vcpu) {
+  std::ostringstream out;
+  out << R"(.org 0x1000
+.equ HC_SHUTDOWN, 4
+.equ HC_START_VCPU, 10
+.equ HC_VCPU_COUNT, 11
+    j _start
+.align 8
+progress:
+    .word 0
+counters:
+    .space 64              ; one word per possible vCPU
+_start:
+    li a0, HC_VCPU_COUNT
+    hcall
+    mv s1, a0              ; total vCPUs
+    li s0, 1
+start_loop:
+    bgeu s0, s1, wait_workers
+    li a0, HC_START_VCPU
+    mv a1, s0
+    la a2, worker
+    mv a3, s0              ; worker receives its hart index in a0
+    hcall
+    addi s0, s0, 1
+    j start_loop
+
+worker:
+    la t3, counters
+    slli t1, a0, 2
+    add t3, t3, t1         ; this worker's counter slot
+    li t2, )" << work_per_vcpu << R"(
+wloop:
+    lw t0, 0(t3)
+    addi t0, t0, 1
+    sw t0, 0(t3)
+    addi t2, t2, -1
+    bnez t2, wloop
+    halt                   ; worker vCPU is done
+
+wait_workers:
+    li s0, 1               ; re-scan until every counter reaches the target
+    li s2, 0               ; running total
+check:
+    bgeu s0, s1, maybe_done
+    la t3, counters
+    slli t1, s0, 2
+    add t3, t3, t1
+    lw t0, 0(t3)
+    li t1, )" << work_per_vcpu << R"(
+    bltu t0, t1, wait_workers
+    add s2, s2, t0
+    addi s0, s0, 1
+    j check
+maybe_done:
+    la t3, progress
+    sw s2, 0(t3)
+    li a0, HC_SHUTDOWN
+    hcall
+    halt
+)";
+  return out.str();
+}
+
+std::string PagingBootPrelude() {
+  return R"(.equ PT_ROOT, 0x80000
+    li t0, PT_ROOT
+    li t1, 0x7F              ; identity 4MiB superpage V|R|W|X|U|A|D
+    sw t1, 0(t0)
+    li t1, 0xF0000067        ; MMIO window superpage V|R|W|A|D
+    li t2, PT_ROOT + 960*4
+    sw t1, 0(t2)
+    li t1, 0x80              ; root PT page number
+    csrw ptbr, t1
+    csrr t1, status
+    ori t1, t1, 0x10         ; STATUS.PG
+    csrw status, t1
+)";
+}
+
+std::string MemTouchProgram(const MemTouchParams& params) {
+  constexpr uint32_t kBase = 0x100000;
+  std::ostringstream out;
+  out << Header() << "_start:\n";
+  if (params.with_paging) {
+    out << PagingBootPrelude();
+  }
+  out << "    li s0, 0\n"
+         "    li s1, " << params.iterations << "\n"
+         "sweep_start:\n"
+         "    li t0, " << kBase << "\n"
+         "    li t1, " << kBase + params.pages * isa::kPageSize << "\n"
+         "sweep:\n"
+         "    lw t2, 0(t0)\n"
+         "    addi t2, t2, 1\n"
+         "    sw t2, 0(t0)\n"
+         "    addi t0, t0, " << params.stride_bytes << "\n"
+         "    bltu t0, t1, sweep\n"
+      << kBumpProgress
+      << "    addi s0, s0, 1\n";
+  if (params.iterations != 0) {
+    out << "    bltu s0, s1, sweep_start\n" << kShutdown;
+  } else {
+    out << "    j sweep_start\n";
+  }
+  return out.str();
+}
+
+std::string PtChurnProgram(uint32_t iterations) {
+  std::ostringstream out;
+  out << Header() << "_start:\n" << PagingBootPrelude();
+  out << "    li t0, PT_ROOT + 4\n"
+         "    li t1, 0x82001           ; L1[1] -> L2 table at page 0x82\n"
+         "    sw t1, 0(t0)\n"
+         "    li s0, 0x82000           ; L2 base\n"
+         "    li s1, " << iterations << "\n"
+         "    li s2, 0x400000          ; churned va\n"
+         "churn:\n"
+         "    li t1, 0x1006F           ; va -> pa 0x10000\n"
+         "    sw t1, 0(s0)\n"
+         "    sfence\n"
+         "    sw s1, 0(s2)\n"
+         "    li t1, 0x1106F           ; va -> pa 0x11000\n"
+         "    sw t1, 0(s0)\n"
+         "    sfence\n"
+         "    sw s1, 0(s2)\n"
+      << kBumpProgress
+      << "    addi s1, s1, -1\n"
+         "    bnez s1, churn\n"
+      << kShutdown;
+  return out.str();
+}
+
+std::string DirtyRateProgram(uint32_t pages, uint32_t compute_per_write) {
+  constexpr uint32_t kBase = 0x100000;
+  std::ostringstream out;
+  out << Header();
+  out << "_start:\n"
+         "    li s2, " << kBase << "\n"
+         "    li s3, " << kBase + pages * isa::kPageSize << "\n"
+         "    mv t0, s2\n"
+         "loop:\n"
+         "    li t3, " << compute_per_write << "\n"
+         "pad:\n"
+         "    addi t3, t3, -1\n"
+         "    bnez t3, pad\n"
+         "    lw t2, 0(t0)\n"
+         "    addi t2, t2, 1\n"
+         "    sw t2, 0(t0)\n"
+         "    addi t0, t0, 4096\n"
+         "    bltu t0, s3, loop\n"
+         "    mv t0, s2\n"
+      << kBumpProgress
+      << "    j loop\n";
+  return out.str();
+}
+
+std::string PatternFillProgram(uint32_t pages, uint32_t shared_pages, uint32_t seed) {
+  constexpr uint32_t kBase = 0x100000;
+  uint32_t seed_const = seed * 2654435761u;
+  std::ostringstream out;
+  out << Header();
+  out << "_start:\n"
+         "    li s0, 0\n"
+         "    li s1, " << pages << "\n"
+         "    li s2, " << kBase << "\n"
+         "page_loop:\n"
+         "    li t1, " << shared_pages << "\n"
+         "    bltu s0, t1, use_shared\n"
+         "    li t2, " << seed_const << "\n"
+         "    add t0, t2, s0\n"
+         "    j fill\n"
+         "use_shared:\n"
+         "    mv t0, s0\n"
+         "fill:\n"
+         "    mv t1, s2\n"
+         "    li t3, 1024\n"
+         "w:\n"
+         "    sw t0, 0(t1)\n"
+         "    addi t1, t1, 4\n"
+         "    addi t3, t3, -1\n"
+         "    bnez t3, w\n"
+         "    addi s2, s2, 4096\n"
+         "    addi s0, s0, 1\n"
+         "    bltu s0, s1, page_loop\n"
+         "    la t3, progress\n"
+         "    li t2, 1\n"
+         "    sw t2, 0(t3)\n"
+         "park:\n"
+         "    wfi\n"
+         "    j park\n";
+  return out.str();
+}
+
+std::string BalloonDriverProgram(uint32_t free_base_page, uint32_t max_pages,
+                                 uint32_t poll_cycles) {
+  std::ostringstream out;
+  out << Header();
+  out << "_start:\n"
+         "    li s0, 0                 ; currently ballooned\n"
+         "    li s2, " << free_base_page << "\n"
+         "loop:\n"
+         "    li a0, HC_TARGET\n"
+         "    hcall\n"
+         "    mv s1, a0                ; target\n"
+         "    li t1, " << max_pages << "\n"
+         "    bleu s1, t1, clamped\n"
+         "    mv s1, t1\n"
+         "clamped:\n"
+         "    la t3, progress\n"
+         "    sw s0, 0(t3)             ; report current balloon size\n"
+         "    beq s1, s0, wait\n"
+         "    bltu s0, s1, inflate\n"
+         "    addi s0, s0, -1          ; deflate one page\n"
+         "    add a1, s2, s0\n"
+         "    li a0, HC_DEFLATE\n"
+         "    hcall\n"
+         "    j loop\n"
+         "inflate:\n"
+         "    add a1, s2, s0\n"
+         "    li a0, HC_INFLATE\n"
+         "    hcall\n"
+         "    addi s0, s0, 1\n"
+         "    j loop\n"
+         "wait:\n"
+         "    li t1, " << poll_cycles << "\n"
+         "    csrw timecmp, t1\n"
+         "    wfi\n"
+         "    j loop\n";
+  return out.str();
+}
+
+}  // namespace hyperion::guest

@@ -1,0 +1,124 @@
+// Guest software: generators for HV32 assembly programs.
+//
+// These are the "guest OS + applications" of hyperion's experiments: compute
+// kernels, memory-touch and page-table-churn loops, dirty-page generators
+// for migration, I/O drivers for the emulated and virtio devices, a balloon
+// driver, and idle/interactive tick loops.
+//
+// Conventions shared by all programs:
+//  * a `progress` word (symbol "progress") counts completed work units; the
+//    host polls it via image.SymbolAddress(kProgressSymbol).
+//  * programs either HALT / shutdown when their work bound is reached, or
+//    run forever when constructed with iterations == 0.
+//  * unless stated otherwise, programs run in supervisor mode with paging
+//    off (bare identity addressing).
+
+#ifndef SRC_GUEST_PROGRAMS_H_
+#define SRC_GUEST_PROGRAMS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/asm/assembler.h"
+
+namespace hyperion::guest {
+
+inline constexpr char kProgressSymbol[] = "progress";
+
+// Assembles a program source (thin wrapper with a better error prefix).
+Result<assembler::Image> Build(const std::string& source);
+
+// Reads the progress counter convention out of an image.
+Result<uint32_t> ProgressAddress(const assembler::Image& image);
+
+// --- CPU workloads ----------------------------------------------------------
+
+// Prints `message` through the console hypercall, then shuts down.
+std::string HelloProgram(const std::string& message);
+
+// Integer-heavy kernel; progress++ per outer iteration. iterations == 0
+// runs forever.
+std::string ComputeProgram(uint32_t iterations);
+
+// Idle/interactive tick: a timer fires every `period_cycles`; the handler
+// bumps progress and re-arms. Models the mostly idle server VMs of a
+// consolidation rack.
+std::string IdleTickProgram(uint32_t period_cycles);
+
+// SMP workload: the boot vCPU starts every secondary via kStartVcpu; each
+// worker increments its own counter (progress + 4*hartid) `work` times and
+// halts. The boot vCPU spins until all workers finish, stores the grand
+// total in progress[0], and shuts the VM down. Requires num_vcpus >= 2.
+std::string SmpCounterProgram(uint32_t work_per_vcpu);
+
+// --- Memory workloads -------------------------------------------------------
+
+// The boot stub from the test suite, exported for reuse: identity 4 MiB
+// superpage (user-accessible) + MMIO superpage; enables paging. Guest RAM
+// must be at least 8 MiB when this prelude is used.
+std::string PagingBootPrelude();
+
+struct MemTouchParams {
+  uint32_t pages = 64;          // working-set size
+  uint32_t stride_bytes = 64;   // touch granularity
+  uint32_t iterations = 0;      // sweeps; 0 = forever
+  bool with_paging = true;      // run under guest paging (exercises the MMU)
+};
+// Read-modify-write sweeps over a region; progress++ per sweep.
+std::string MemTouchProgram(const MemTouchParams& params);
+
+// Remaps one VA between two physical pages `iterations` times (PT churn:
+// the shadow-vs-nested discriminator). Runs under paging. progress++ per
+// remap pair.
+std::string PtChurnProgram(uint32_t iterations);
+
+// Dirties `pages` pages round-robin, spacing writes with `compute_per_write`
+// ALU iterations (controls the dirty rate). Runs forever; progress++ per
+// full sweep.
+std::string DirtyRateProgram(uint32_t pages, uint32_t compute_per_write);
+
+// Fills `pages` pages with deterministic content: page i gets words of value
+// (i < shared_pages ? i : seed*2654435761 + i). VMs with equal shared_pages
+// share that prefix byte-for-byte (KSM fodder). Parks forever afterwards.
+std::string PatternFillProgram(uint32_t pages, uint32_t shared_pages, uint32_t seed);
+
+// Balloon driver: polls the host target and inflates/deflates using pages
+// from [free_base_page, free_base_page + max_pages). Polls every
+// `poll_cycles` via timer+wfi. Runs forever.
+std::string BalloonDriverProgram(uint32_t free_base_page, uint32_t max_pages,
+                                 uint32_t poll_cycles);
+
+// --- I/O workloads ----------------------------------------------------------
+
+struct BlkIoParams {
+  uint32_t iterations = 100;      // commands (emulated) or kicks (virtio)
+  uint32_t sectors = 4;           // sectors per request (1..8)
+  uint32_t batch = 4;             // virtio only: requests per kick
+  bool write = true;              // write vs read
+  bool kick_with_hypercall = true;  // virtio doorbell: hypercall vs MMIO
+};
+
+// Drives the emulated PIO block device; progress++ per command.
+std::string EmulatedBlkProgram(const BlkIoParams& params);
+
+// Drives virtio-blk with pre-built rings; progress++ per kick (batch).
+std::string VirtioBlkProgram(const BlkIoParams& params);
+
+struct NetParams {
+  uint32_t peer_mac = 2;        // destination address
+  uint32_t payload_bytes = 256; // frame payload (multiple of 4)
+  uint32_t iterations = 100;    // round trips; 0 = forever
+};
+
+// Request/response pair over the emulated PIO NIC. The ping side counts
+// round trips in progress; the echo side reflects frames forever.
+std::string EmulatedNetPingProgram(const NetParams& params);
+std::string EmulatedNetEchoProgram();
+
+// Same pair over virtio-net.
+std::string VirtioNetPingProgram(const NetParams& params);
+std::string VirtioNetEchoProgram(uint32_t payload_bytes = 256);
+
+}  // namespace hyperion::guest
+
+#endif  // SRC_GUEST_PROGRAMS_H_

@@ -1,0 +1,189 @@
+#include <cstdint>
+
+#include "src/isa/hv32.h"
+
+namespace hyperion::isa {
+
+namespace {
+
+constexpr uint32_t kOpcodeShift = 26;
+constexpr uint32_t kRdShift = 22;
+constexpr uint32_t kRs1Shift = 18;
+constexpr uint32_t kRs2Shift = 14;
+constexpr uint32_t kFieldMask = 0xF;
+constexpr uint32_t kImm14Mask = 0x3FFF;
+constexpr uint32_t kImm18Mask = 0x3FFFF;
+
+constexpr int32_t SignExtend(uint32_t value, int bits) {
+  uint32_t shift = 32 - static_cast<uint32_t>(bits);
+  return static_cast<int32_t>(value << shift) >> shift;
+}
+
+constexpr bool FitsSigned(int64_t value, int bits) {
+  int64_t lo = -(int64_t{1} << (bits - 1));
+  int64_t hi = (int64_t{1} << (bits - 1)) - 1;
+  return value >= lo && value <= hi;
+}
+
+// True when the opcode uses the imm18 layout (rd + 18-bit immediate).
+constexpr bool UsesImm18(Opcode op) {
+  return op == Opcode::kLui || op == Opcode::kAuipc || op == Opcode::kJal;
+}
+
+}  // namespace
+
+Result<uint32_t> Encode(const Instruction& instr) {
+  if (instr.opcode > Opcode::kMaxOpcode) {
+    return InvalidArgumentError("cannot encode illegal opcode");
+  }
+  if (instr.rd >= kNumGprs || instr.rs1 >= kNumGprs || instr.rs2 >= kNumGprs) {
+    return InvalidArgumentError("register operand out of range");
+  }
+
+  uint32_t word = static_cast<uint32_t>(instr.opcode) << kOpcodeShift;
+
+  switch (instr.opcode) {
+    case Opcode::kLui: {
+      // LUI's immediate is the *upper* 18 bits, stored unshifted.
+      uint32_t imm = static_cast<uint32_t>(instr.imm);
+      if ((imm & ((1u << 14) - 1)) != 0) {
+        return InvalidArgumentError("lui immediate must be a multiple of 1<<14");
+      }
+      word |= static_cast<uint32_t>(instr.rd) << kRdShift;
+      word |= (imm >> 14) & kImm18Mask;
+      return word;
+    }
+    case Opcode::kAuipc: {
+      uint32_t imm = static_cast<uint32_t>(instr.imm);
+      if ((imm & ((1u << 14) - 1)) != 0) {
+        return InvalidArgumentError("auipc immediate must be a multiple of 1<<14");
+      }
+      word |= static_cast<uint32_t>(instr.rd) << kRdShift;
+      word |= (imm >> 14) & kImm18Mask;
+      return word;
+    }
+    case Opcode::kJal: {
+      if (instr.imm % 4 != 0) {
+        return InvalidArgumentError("jal offset must be 4-byte aligned");
+      }
+      int32_t words = instr.imm / 4;
+      if (!FitsSigned(words, 18)) {
+        return OutOfRangeError("jal offset does not fit in 18 bits");
+      }
+      word |= static_cast<uint32_t>(instr.rd) << kRdShift;
+      word |= static_cast<uint32_t>(words) & kImm18Mask;
+      return word;
+    }
+    case Opcode::kBranch: {
+      if (instr.imm % 4 != 0) {
+        return InvalidArgumentError("branch offset must be 4-byte aligned");
+      }
+      int32_t words = instr.imm / 4;
+      if (!FitsSigned(words, 14)) {
+        return OutOfRangeError("branch offset does not fit in 14 bits");
+      }
+      if (instr.funct > static_cast<uint8_t>(BranchCond::kGeu)) {
+        return InvalidArgumentError("bad branch condition");
+      }
+      word |= static_cast<uint32_t>(instr.funct) << kRdShift;  // cond in rd slot
+      word |= static_cast<uint32_t>(instr.rs1) << kRs1Shift;
+      word |= static_cast<uint32_t>(instr.rs2) << kRs2Shift;
+      word |= static_cast<uint32_t>(words) & kImm14Mask;
+      return word;
+    }
+    case Opcode::kOp: {
+      word |= static_cast<uint32_t>(instr.rd) << kRdShift;
+      word |= static_cast<uint32_t>(instr.rs1) << kRs1Shift;
+      word |= static_cast<uint32_t>(instr.rs2) << kRs2Shift;
+      word |= static_cast<uint32_t>(instr.funct) & kImm14Mask;
+      return word;
+    }
+    case Opcode::kOpImm: {
+      if (!FitsSigned(instr.imm, 14)) {
+        return OutOfRangeError("immediate does not fit in 14 bits");
+      }
+      word |= static_cast<uint32_t>(instr.rd) << kRdShift;
+      word |= static_cast<uint32_t>(instr.rs1) << kRs1Shift;
+      word |= (static_cast<uint32_t>(instr.funct) & kFieldMask) << kRs2Shift;  // aluop
+      word |= static_cast<uint32_t>(instr.imm) & kImm14Mask;
+      return word;
+    }
+    case Opcode::kCsrrw:
+    case Opcode::kCsrrs:
+    case Opcode::kCsrrc: {
+      if (instr.imm < 0 || instr.imm > static_cast<int32_t>(kImm14Mask)) {
+        return OutOfRangeError("csr number does not fit in 14 bits");
+      }
+      word |= static_cast<uint32_t>(instr.rd) << kRdShift;
+      word |= static_cast<uint32_t>(instr.rs1) << kRs1Shift;
+      word |= static_cast<uint32_t>(instr.imm) & kImm14Mask;
+      return word;
+    }
+    default: {
+      // Uniform rd/rs1/imm14 layout: loads, stores, jalr, and the zero-operand
+      // system instructions (whose fields are simply zero).
+      if (!FitsSigned(instr.imm, 14)) {
+        return OutOfRangeError("immediate does not fit in 14 bits");
+      }
+      word |= static_cast<uint32_t>(instr.rd) << kRdShift;
+      word |= static_cast<uint32_t>(instr.rs1) << kRs1Shift;
+      word |= static_cast<uint32_t>(instr.rs2) << kRs2Shift;
+      word |= static_cast<uint32_t>(instr.imm) & kImm14Mask;
+      return word;
+    }
+  }
+}
+
+Instruction Decode(uint32_t word) {
+  Instruction instr;
+  uint8_t op = static_cast<uint8_t>(word >> kOpcodeShift);
+  if (op > static_cast<uint8_t>(Opcode::kMaxOpcode)) {
+    instr.opcode = Opcode::kIllegal;
+    return instr;
+  }
+  instr.opcode = static_cast<Opcode>(op);
+  instr.rd = static_cast<uint8_t>((word >> kRdShift) & kFieldMask);
+  instr.rs1 = static_cast<uint8_t>((word >> kRs1Shift) & kFieldMask);
+  instr.rs2 = static_cast<uint8_t>((word >> kRs2Shift) & kFieldMask);
+
+  switch (instr.opcode) {
+    case Opcode::kLui:
+    case Opcode::kAuipc:
+      instr.rs1 = instr.rs2 = 0;
+      instr.imm = static_cast<int32_t>((word & kImm18Mask) << 14);
+      break;
+    case Opcode::kJal:
+      instr.rs1 = instr.rs2 = 0;
+      instr.imm = SignExtend(word & kImm18Mask, 18) * 4;
+      break;
+    case Opcode::kBranch:
+      instr.funct = instr.rd;  // condition rides in the rd slot
+      instr.rd = 0;
+      instr.imm = SignExtend(word & kImm14Mask, 14) * 4;
+      if (instr.funct > static_cast<uint8_t>(BranchCond::kGeu)) {
+        instr.opcode = Opcode::kIllegal;
+      }
+      break;
+    case Opcode::kOp:
+      instr.funct = static_cast<uint8_t>(word & kFieldMask);
+      instr.imm = 0;
+      break;
+    case Opcode::kOpImm:
+      instr.funct = instr.rs2;  // aluop rides in the rs2 slot
+      instr.rs2 = 0;
+      instr.imm = SignExtend(word & kImm14Mask, 14);
+      break;
+    case Opcode::kCsrrw:
+    case Opcode::kCsrrs:
+    case Opcode::kCsrrc:
+      instr.rs2 = 0;  // field unused by CSR ops
+      instr.imm = static_cast<int32_t>(word & kImm14Mask);  // csr number, unsigned
+      break;
+    default:
+      instr.imm = SignExtend(word & kImm14Mask, 14);
+      break;
+  }
+  return instr;
+}
+
+}  // namespace hyperion::isa

@@ -1,0 +1,65 @@
+#include "src/ksm/ksm.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "src/util/crc32.h"
+
+namespace hyperion::ksm {
+
+uint64_t KsmDaemon::ScanOnce() {
+  ++stats_.scan_passes;
+  uint64_t merged_this_pass = 0;
+
+  // hash -> representative pages with that content hash. Rebuilt every pass:
+  // page contents are volatile, so a persistent table would chase stale data.
+  std::unordered_map<uint32_t, std::vector<PageRef>> table;
+
+  for (mem::GuestMemory* memory : clients_) {
+    for (uint32_t gpn = 0; gpn < memory->num_pages(); ++gpn) {
+      if (!memory->IsPresent(gpn) || memory->IsWriteProtected(gpn)) {
+        continue;
+      }
+      ++stats_.pages_scanned;
+      const uint8_t* data = memory->PageData(gpn);
+      uint32_t hash = Crc32(data, isa::kPageSize);
+
+      auto& bucket = table[hash];
+      bool merged = false;
+      for (const PageRef& rep : bucket) {
+        mem::HostFrame rep_frame = rep.memory->FrameForPage(rep.gpn);
+        mem::HostFrame my_frame = memory->FrameForPage(gpn);
+        if (rep_frame == my_frame) {
+          merged = true;  // already sharing this frame
+          break;
+        }
+        if (std::memcmp(pool_->FrameData(rep_frame), data, isa::kPageSize) != 0) {
+          continue;  // hash collision
+        }
+        // Merge: both map the representative's frame copy-on-write.
+        size_t used_before = pool_->used_frames();
+        if (!memory->RemapPage(gpn, rep_frame).ok()) {
+          continue;
+        }
+        memory->SetShared(gpn, true);
+        rep.memory->SetShared(rep.gpn, true);
+        // The representative's cached writable mappings must be dropped; its
+        // page content did not change, so a targeted invalidate suffices.
+        if (rep.memory != memory || rep.gpn != gpn) {
+          rep.memory->NotifySharedExternally(rep.gpn);
+        }
+        stats_.frames_freed += used_before - pool_->used_frames();
+        ++stats_.pages_merged;
+        ++merged_this_pass;
+        merged = true;
+        break;
+      }
+      if (!merged) {
+        bucket.push_back(PageRef{memory, gpn});
+      }
+    }
+  }
+  return merged_this_pass;
+}
+
+}  // namespace hyperion::ksm

@@ -1,0 +1,59 @@
+#include "src/mem/frame_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace hyperion::mem {
+
+FramePool::FramePool(size_t num_frames)
+    : memory_(num_frames * isa::kPageSize),
+      refcount_(num_frames, 0),
+      free_count_(num_frames) {}
+
+Result<HostFrame> FramePool::Allocate() {
+  if (free_count_ == 0) {
+    return ResourceExhaustedError("host frame pool exhausted");
+  }
+  // Next-fit scan; wraps once.
+  size_t n = refcount_.size();
+  for (size_t step = 0; step < n; ++step) {
+    size_t i = (alloc_cursor_ + step) % n;
+    if (refcount_[i] == 0) {
+      alloc_cursor_ = (i + 1) % n;
+      refcount_[i] = 1;
+      --free_count_;
+      std::memset(memory_.data() + i * isa::kPageSize, 0, isa::kPageSize);
+      return static_cast<HostFrame>(i);
+    }
+  }
+  return InternalError("free_count_ positive but no free frame found");
+}
+
+void FramePool::DecRef(HostFrame frame) {
+  assert(IsAllocated(frame));
+  if (--refcount_[frame] == 0) {
+    ++free_count_;
+  }
+}
+
+void FramePool::AddRef(HostFrame frame) {
+  assert(IsAllocated(frame));
+  ++refcount_[frame];
+}
+
+uint32_t FramePool::RefCount(HostFrame frame) const {
+  assert(frame < refcount_.size());
+  return refcount_[frame];
+}
+
+uint8_t* FramePool::FrameData(HostFrame frame) {
+  assert(IsAllocated(frame));
+  return memory_.data() + static_cast<size_t>(frame) * isa::kPageSize;
+}
+
+const uint8_t* FramePool::FrameData(HostFrame frame) const {
+  assert(IsAllocated(frame));
+  return memory_.data() + static_cast<size_t>(frame) * isa::kPageSize;
+}
+
+}  // namespace hyperion::mem

@@ -1,0 +1,61 @@
+// Host physical memory: a pool of 4 KiB frames shared by every VM on a host.
+//
+// Frames are reference-counted so that content-based page sharing (src/ksm)
+// can map one host frame into several guests copy-on-write.
+
+#ifndef SRC_MEM_FRAME_POOL_H_
+#define SRC_MEM_FRAME_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/isa/hv32.h"
+#include "src/util/bitmap.h"
+#include "src/util/status.h"
+
+namespace hyperion::mem {
+
+// Index of a host physical frame within a FramePool.
+using HostFrame = uint32_t;
+inline constexpr HostFrame kInvalidFrame = UINT32_MAX;
+
+class FramePool {
+ public:
+  // A pool holding `num_frames` 4 KiB frames (all initially free).
+  explicit FramePool(size_t num_frames);
+
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
+
+  // Allocates a zeroed frame with refcount 1.
+  Result<HostFrame> Allocate();
+
+  // Drops one reference; the frame returns to the free list at refcount 0.
+  void DecRef(HostFrame frame);
+
+  // Adds a reference (page-sharing).
+  void AddRef(HostFrame frame);
+
+  uint32_t RefCount(HostFrame frame) const;
+
+  uint8_t* FrameData(HostFrame frame);
+  const uint8_t* FrameData(HostFrame frame) const;
+
+  size_t total_frames() const { return refcount_.size(); }
+  size_t free_frames() const { return free_count_; }
+  size_t used_frames() const { return total_frames() - free_count_; }
+
+ private:
+  bool IsAllocated(HostFrame frame) const {
+    return frame < refcount_.size() && refcount_[frame] > 0;
+  }
+
+  std::vector<uint8_t> memory_;
+  std::vector<uint32_t> refcount_;
+  size_t free_count_;
+  size_t alloc_cursor_ = 0;  // next-fit scan position
+};
+
+}  // namespace hyperion::mem
+
+#endif  // SRC_MEM_FRAME_POOL_H_

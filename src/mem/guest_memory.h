@@ -1,0 +1,132 @@
+// Guest-physical address space of one VM.
+//
+// GuestMemory maps guest page numbers to host frames from the shared
+// FramePool. It provides bounds-checked byte access (used by device DMA,
+// snapshotting and migration), dirty-page logging (pre-copy migration),
+// page-presence tracking (ballooning, post-copy demand paging) and per-page
+// share/write-protect flags (KSM copy-on-write and shadow-paging traps).
+
+#ifndef SRC_MEM_GUEST_MEMORY_H_
+#define SRC_MEM_GUEST_MEMORY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/mem/frame_pool.h"
+#include "src/util/bitmap.h"
+#include "src/util/status.h"
+
+namespace hyperion::mem {
+
+class GuestMemory {
+ public:
+  // Creates a fully populated gPA space of `ram_bytes` (must be page-aligned)
+  // backed by `pool`. Fails if the pool cannot supply enough frames.
+  static Result<std::unique_ptr<GuestMemory>> Create(FramePool* pool, uint32_t ram_bytes);
+
+  ~GuestMemory();
+
+  GuestMemory(const GuestMemory&) = delete;
+  GuestMemory& operator=(const GuestMemory&) = delete;
+
+  uint32_t ram_size() const { return static_cast<uint32_t>(pages_.size()) * isa::kPageSize; }
+  uint32_t num_pages() const { return static_cast<uint32_t>(pages_.size()); }
+  FramePool& pool() { return *pool_; }
+
+  // Invoked whenever the backing of a page changes under the guest (remap,
+  // release, populate, COW break), so the owner can drop cached translations.
+  void SetInvalidateHook(std::function<void(uint32_t)> hook) { invalidate_hook_ = std::move(hook); }
+
+  // --- Page mapping -------------------------------------------------------
+
+  // Host frame backing guest page `gpn`, or kInvalidFrame when not present
+  // (ballooned out or not yet arrived during post-copy).
+  HostFrame FrameForPage(uint32_t gpn) const;
+  bool IsPresent(uint32_t gpn) const { return FrameForPage(gpn) != kInvalidFrame; }
+
+  // Releases the frame backing `gpn` (balloon inflate / migration source).
+  Status ReleasePage(uint32_t gpn);
+
+  // Installs a fresh zeroed frame at `gpn` (balloon deflate).
+  Status PopulatePage(uint32_t gpn);
+
+  // Replaces the mapping of `gpn` with `frame` (KSM merge; takes a ref on
+  // `frame` and drops the old frame's ref).
+  Status RemapPage(uint32_t gpn, HostFrame frame);
+
+  // Direct pointer to the page's data; null when not present.
+  uint8_t* PageData(uint32_t gpn);
+  const uint8_t* PageData(uint32_t gpn) const;
+
+  // True when the page is present and holds only zero bytes (snapshot and
+  // migration elide such pages).
+  bool PageIsZero(uint32_t gpn) const;
+
+  // --- Byte access (crosses page boundaries; fails on absent pages) --------
+
+  Status Read(uint32_t gpa, void* out, size_t size) const;
+  Status Write(uint32_t gpa, const void* data, size_t size);
+
+  Result<uint8_t> ReadU8(uint32_t gpa) const;
+  Result<uint16_t> ReadU16(uint32_t gpa) const;
+  Result<uint32_t> ReadU32(uint32_t gpa) const;
+  Status WriteU8(uint32_t gpa, uint8_t v);
+  Status WriteU16(uint32_t gpa, uint16_t v);
+  Status WriteU32(uint32_t gpa, uint32_t v);
+
+  // --- Dirty logging (pre-copy migration, incremental snapshots) -----------
+
+  void EnableDirtyLog();
+  void DisableDirtyLog();
+  bool dirty_log_enabled() const { return dirty_log_enabled_; }
+  // Records a write to `gpn`. Returns true when this is the first write since
+  // the last harvest while logging is enabled (the caller charges the
+  // write-protect-fault cost real dirty logging would incur).
+  bool MarkDirty(uint32_t gpn);
+  // Returns the dirty set accumulated since the last harvest and clears it.
+  Bitmap HarvestDirty();
+  size_t DirtyCount() const { return dirty_.Count(); }
+
+  // --- Per-page flags -------------------------------------------------------
+
+  // COW-shared pages (KSM): stores must break sharing before writing.
+  bool IsShared(uint32_t gpn) const;
+  void SetShared(uint32_t gpn, bool shared);
+
+  // Allocates a private copy of a shared page and remaps gpn to it.
+  Status BreakSharing(uint32_t gpn);
+
+  // Fires the invalidate hook for `gpn` without changing the mapping (KSM
+  // flips the shared bit on a representative page: cached writable
+  // translations must drop even though the frame is unchanged).
+  void NotifySharedExternally(uint32_t gpn) { NotifyInvalidate(gpn); }
+
+  // Write-protected pages (shadow paging traps guest page-table writes).
+  bool IsWriteProtected(uint32_t gpn) const;
+  void SetWriteProtected(uint32_t gpn, bool wp);
+  size_t WriteProtectedCount() const { return write_protected_.Count(); }
+
+ private:
+  GuestMemory(FramePool* pool, std::vector<HostFrame> pages);
+
+  Status CheckRange(uint32_t gpa, size_t size) const;
+  void NotifyInvalidate(uint32_t gpn) {
+    if (invalidate_hook_) {
+      invalidate_hook_(gpn);
+    }
+  }
+
+  std::function<void(uint32_t)> invalidate_hook_;
+  FramePool* pool_;
+  std::vector<HostFrame> pages_;  // gpn -> host frame (or kInvalidFrame)
+  Bitmap dirty_;
+  Bitmap shared_;
+  Bitmap write_protected_;
+  bool dirty_log_enabled_ = false;
+};
+
+}  // namespace hyperion::mem
+
+#endif  // SRC_MEM_GUEST_MEMORY_H_

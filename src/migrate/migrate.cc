@@ -1,0 +1,308 @@
+#include "src/migrate/migrate.h"
+
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "src/snapshot/snapshot.h"
+#include "src/util/logging.h"
+
+namespace hyperion::migrate {
+
+namespace {
+
+uint64_t PageWireBytes(const MigrateOptions& options) {
+  return isa::kPageSize + options.page_meta_bytes;
+}
+
+// Conservative size of the non-RAM machine state on the wire.
+uint64_t MachineStateBytes(core::Vm& vm) {
+  return 4096 + static_cast<uint64_t>(vm.num_vcpus()) * 256;
+}
+
+core::VmConfig DestConfig(const core::Vm& vm) {
+  // Same configuration; the disk is shared storage, so the shared_ptr simply
+  // attaches at the destination too.
+  return vm.config();
+}
+
+}  // namespace
+
+Result<core::Vm*> PreCopyMigrate(core::Host& src, core::Vm* vm, core::Host& dst,
+                                 const MigrateOptions& options, MigrationReport* report) {
+  if (vm->state() != core::VmState::kRunning && vm->state() != core::VmState::kPaused) {
+    return FailedPreconditionError("vm is not migratable in its current state");
+  }
+  MigrationReport rep;
+  SimTime t0 = src.clock().now();
+  mem::GuestMemory& mem = vm->memory();
+  mem.EnableDirtyLog();
+
+  // Round 1: every present page (all-zero pages collapse to their wire
+  // header when skip_zero_pages is on). Later rounds: pages dirtied
+  // meanwhile, rescanned for zero content.
+  uint64_t round_pages = 0;
+  uint64_t round_zero_pages = 0;
+  for (uint32_t gpn = 0; gpn < mem.num_pages(); ++gpn) {
+    if (!mem.IsPresent(gpn)) {
+      continue;
+    }
+    ++round_pages;
+    if (options.skip_zero_pages && mem.PageIsZero(gpn)) {
+      ++round_zero_pages;
+    }
+  }
+
+  uint64_t dirty_count = 0;
+  for (uint32_t round = 1; round <= options.max_precopy_rounds; ++round) {
+    rep.rounds = round;
+    uint64_t bytes = (round_pages - round_zero_pages) * PageWireBytes(options) +
+                     round_zero_pages * options.page_meta_bytes;
+    rep.pages_sent += round_pages;
+    rep.bytes_sent += bytes;
+    SimTime transfer = options.link.TransmitTime(bytes) + options.link.latency;
+    // The guest keeps running while this round is on the wire.
+    src.RunFor(transfer);
+
+    Bitmap dirty = mem.HarvestDirty();
+    dirty_count = dirty.Count();
+    if (dirty_count <= options.stop_copy_threshold_pages) {
+      break;
+    }
+    if (vm->state() != core::VmState::kRunning) {
+      // Guest shut down mid-migration; whatever is dirty goes in the final copy.
+      break;
+    }
+    round_pages = dirty_count;
+    round_zero_pages = 0;
+    if (options.skip_zero_pages) {
+      for (size_t gpn : dirty.SetBits()) {
+        if (mem.PageIsZero(static_cast<uint32_t>(gpn))) {
+          ++round_zero_pages;
+        }
+      }
+    }
+  }
+
+  // Stop-and-copy: pause, ship the remainder plus machine state.
+  vm->Pause();
+  uint64_t final_bytes = dirty_count * PageWireBytes(options) + MachineStateBytes(*vm);
+  rep.pages_sent += dirty_count;
+  rep.bytes_sent += final_bytes;
+  rep.downtime = options.link.TransmitTime(final_bytes) + options.link.latency;
+  src.RunFor(rep.downtime);  // wall time passes; the guest is paused
+  mem.DisableDirtyLog();
+
+  // Materialize the destination from the (now consistent) source state.
+  HYP_ASSIGN_OR_RETURN(std::vector<uint8_t> image, snapshot::SaveVm(*vm));
+  HYP_ASSIGN_OR_RETURN(core::Vm * dvm, dst.CreateVm(DestConfig(*vm)));
+  Status st = snapshot::LoadVm(*dvm, image);
+  if (!st.ok()) {
+    (void)dst.DestroyVm(dvm);
+    return st;
+  }
+  dvm->Pause();   // align lifecycle state, then resume cleanly
+  dvm->Resume();
+
+  rep.total_time = src.clock().now() - t0;
+  if (report != nullptr) {
+    *report = rep;
+  }
+  return dvm;
+}
+
+namespace {
+
+// Post-copy machinery living on the destination host: serves demand faults
+// from the paused source VM's memory and pushes the rest in the background.
+class PostCopyServer : public std::enable_shared_from_this<PostCopyServer> {
+ public:
+  PostCopyServer(core::Vm* src_vm, core::Vm* dst_vm, core::Host* dst_host,
+                 const MigrateOptions& options, MigrationReport* rep)
+      : src_vm_(src_vm),
+        dst_vm_(dst_vm),
+        dst_host_(dst_host),
+        options_(options),
+        link_(&dst_host->clock(), options.link),
+        rep_(rep) {
+    for (uint32_t gpn = 0; gpn < src_vm_->memory().num_pages(); ++gpn) {
+      if (src_vm_->memory().IsPresent(gpn)) {
+        missing_.insert(gpn);
+      }
+    }
+    dst_vm_->SetMissingPageHandler(
+        [this](uint32_t vcpu, uint32_t gpn) { return OnFault(vcpu, gpn); });
+  }
+
+  bool Done() const { return missing_.empty() && in_flight_.empty(); }
+
+  void StartBackgroundPush() { PushNextBatch(); }
+
+  // Called when the caller abandons the migration: stop touching its report.
+  void DetachReport() {
+    static MigrationReport sink;
+    rep_ = &sink;
+  }
+
+ private:
+  bool OnFault(uint32_t vcpu, uint32_t gpn) {
+    if (!missing_.count(gpn) && !in_flight_.count(gpn)) {
+      return false;  // truly absent page (ballooned) — a real guest bug
+    }
+    waiters_[gpn].push_back(vcpu);
+    SimTime start = dst_host_->clock().now();
+    ++rep_->demand_fetches;
+    if (in_flight_.count(gpn)) {
+      // Already on the wire from a background batch; just wait for it.
+      stall_started_[gpn] = std::min(stall_started_.count(gpn) ? stall_started_[gpn] : start,
+                                     start);
+      return true;
+    }
+    missing_.erase(gpn);
+    in_flight_.insert(gpn);
+    stall_started_[gpn] = start;
+    rep_->pages_sent += 1;
+    rep_->bytes_sent += PageWireBytes(options_);
+    auto self = weak_from_this();
+    link_.Transfer(PageWireBytes(options_), [self, gpn] {
+      if (auto s = self.lock()) {
+        s->DeliverPage(gpn);
+      }
+    });
+    return true;
+  }
+
+  void DeliverPage(uint32_t gpn) {
+    in_flight_.erase(gpn);
+    // Copy the bytes from the (paused) source.
+    mem::GuestMemory& dmem = dst_vm_->memory();
+    if (!dmem.IsPresent(gpn)) {
+      (void)dmem.PopulatePage(gpn);
+    }
+    const uint8_t* from = src_vm_->memory().PageData(gpn);
+    if (from != nullptr) {
+      std::memcpy(dmem.PageData(gpn), from, isa::kPageSize);
+    }
+    dst_vm_->InvalidateGpn(gpn);
+
+    auto stall_it = stall_started_.find(gpn);
+    if (stall_it != stall_started_.end()) {
+      rep_->demand_stall_total += dst_host_->clock().now() - stall_it->second;
+      stall_started_.erase(stall_it);
+    }
+    auto waiter_it = waiters_.find(gpn);
+    if (waiter_it != waiters_.end()) {
+      for (uint32_t vcpu : waiter_it->second) {
+        dst_host_->WakeVcpu(dst_vm_, vcpu);
+      }
+      waiters_.erase(waiter_it);
+    }
+  }
+
+  void PushNextBatch() {
+    if (missing_.empty()) {
+      return;
+    }
+    std::vector<uint32_t> batch;
+    for (uint32_t gpn : missing_) {
+      batch.push_back(gpn);
+      if (batch.size() >= options_.background_batch_pages) {
+        break;
+      }
+    }
+    for (uint32_t gpn : batch) {
+      missing_.erase(gpn);
+      in_flight_.insert(gpn);
+    }
+    uint64_t bytes = batch.size() * PageWireBytes(options_);
+    rep_->pages_sent += batch.size();
+    rep_->bytes_sent += bytes;
+    auto self = weak_from_this();
+    link_.Transfer(bytes, [self, batch] {
+      auto s = self.lock();
+      if (s == nullptr) {
+        return;
+      }
+      for (uint32_t gpn : batch) {
+        s->DeliverPage(gpn);
+      }
+      s->PushNextBatch();
+    });
+  }
+
+  core::Vm* src_vm_;
+  core::Vm* dst_vm_;
+  core::Host* dst_host_;
+  MigrateOptions options_;
+  net::Link link_;
+  MigrationReport* rep_;
+
+  std::set<uint32_t> missing_;
+  std::set<uint32_t> in_flight_;
+  std::map<uint32_t, std::vector<uint32_t>> waiters_;
+  std::map<uint32_t, SimTime> stall_started_;
+};
+
+}  // namespace
+
+Result<core::Vm*> PostCopyMigrate(core::Host& src, core::Vm* vm, core::Host& dst,
+                                  const MigrateOptions& options, MigrationReport* report) {
+  if (vm->state() != core::VmState::kRunning && vm->state() != core::VmState::kPaused) {
+    return FailedPreconditionError("vm is not migratable in its current state");
+  }
+  MigrationReport rep;
+  SimTime t0 = src.clock().now();
+
+  // Switchover: only the machine state crosses before the guest resumes.
+  vm->Pause();
+  uint64_t state_bytes = MachineStateBytes(*vm);
+  rep.bytes_sent += state_bytes;
+  rep.downtime = options.link.TransmitTime(state_bytes) + options.link.latency;
+  src.RunFor(rep.downtime);
+
+  HYP_ASSIGN_OR_RETURN(std::vector<uint8_t> image, snapshot::SaveVm(*vm));
+  HYP_ASSIGN_OR_RETURN(core::Vm * dvm, dst.CreateVm(DestConfig(*vm)));
+  Status st = snapshot::LoadVm(*dvm, image);
+  if (!st.ok()) {
+    (void)dst.DestroyVm(dvm);
+    return st;
+  }
+  // Strip all RAM: pages fault over on demand.
+  for (uint32_t gpn = 0; gpn < dvm->memory().num_pages(); ++gpn) {
+    if (dvm->memory().IsPresent(gpn)) {
+      HYP_RETURN_IF_ERROR(dvm->memory().ReleasePage(gpn));
+    }
+  }
+  dvm->virt().FlushAll();
+
+  auto server = std::make_shared<PostCopyServer>(vm, dvm, &dst, options, &rep);
+  dvm->Pause();
+  dvm->Resume();
+  server->StartBackgroundPush();
+
+  // Drive the destination until fully resident.
+  SimTime run_start = dst.clock().now();
+  while (!server->Done() && dst.clock().now() - run_start < options.postcopy_run_limit) {
+    dst.RunFor(kSimTicksPerMs);
+    if (dvm->state() == core::VmState::kCrashed) {
+      return InternalError("destination vm crashed during post-copy: " +
+                           dvm->crash_reason().ToString());
+    }
+  }
+  dvm->SetMissingPageHandler(nullptr);
+  if (!server->Done()) {
+    server->DetachReport();
+    return InternalError("post-copy did not reach residency within the run limit");
+  }
+
+  rep.total_time = rep.downtime + (dst.clock().now() - run_start);
+  (void)t0;
+  if (report != nullptr) {
+    *report = rep;
+  }
+  return dvm;
+}
+
+}  // namespace hyperion::migrate

@@ -1,0 +1,66 @@
+// Live migration between hosts.
+//
+// Pre-copy: iterative rounds stream (re-)dirtied pages while the guest keeps
+// running; when the dirty set stops shrinking past a threshold the VM pauses
+// for a final stop-and-copy. Downtime grows with the dirty rate.
+//
+// Post-copy: the VM pauses only for its (tiny) CPU/device state, resumes at
+// the destination immediately, and faults pages over on demand while a
+// background pusher drains the rest. Downtime is constant; the cost moves
+// into demand-fetch stalls.
+//
+// Storage is assumed shared between hosts (the standard deployment); only
+// RAM and machine state move.
+
+#ifndef SRC_MIGRATE_MIGRATE_H_
+#define SRC_MIGRATE_MIGRATE_H_
+
+#include "src/core/host.h"
+#include "src/core/vm.h"
+#include "src/net/network.h"
+
+namespace hyperion::migrate {
+
+struct MigrateOptions {
+  net::LinkParams link{1'000'000'000ull, 50 * kSimTicksPerUs};  // 1 Gb/s, 50 us
+  uint32_t max_precopy_rounds = 30;
+  // Enter stop-and-copy when a round's dirty set is at most this many pages.
+  uint32_t stop_copy_threshold_pages = 64;
+  uint32_t page_meta_bytes = 8;  // per-page wire header
+  // Pre-copy: scan pages and send a marker instead of 4 KiB for all-zero
+  // pages (untouched guest RAM). Disable for the ablation baseline.
+  bool skip_zero_pages = true;
+  // Post-copy: pages pushed per background batch.
+  uint32_t background_batch_pages = 32;
+  // Post-copy: bound on how long to drive the destination until residency.
+  SimTime postcopy_run_limit = 60 * kSimTicksPerSec;
+};
+
+struct MigrationReport {
+  uint32_t rounds = 0;          // pre-copy rounds (incl. the full first pass)
+  uint64_t pages_sent = 0;      // page transfers, including resends
+  uint64_t bytes_sent = 0;
+  SimTime total_time = 0;       // start -> all state resident at destination
+  SimTime downtime = 0;         // guest fully paused / unavailable
+  uint64_t demand_fetches = 0;  // post-copy only
+  SimTime demand_stall_total = 0;
+
+  double DowntimeMs() const { return SimTimeToMs(downtime); }
+  double TotalMs() const { return SimTimeToMs(total_time); }
+};
+
+// Migrates `vm` from `src` to `dst` with iterative pre-copy. On success the
+// source VM is left paused (caller destroys it) and the returned pointer is
+// the running destination VM. The report lands in *report.
+Result<core::Vm*> PreCopyMigrate(core::Host& src, core::Vm* vm, core::Host& dst,
+                                 const MigrateOptions& options, MigrationReport* report);
+
+// Migrates `vm` with post-copy: instant switchover, then demand paging. The
+// destination host is driven until every needed page is resident (or the
+// run limit hits, which fails the migration).
+Result<core::Vm*> PostCopyMigrate(core::Host& src, core::Vm* vm, core::Host& dst,
+                                  const MigrateOptions& options, MigrationReport* report);
+
+}  // namespace hyperion::migrate
+
+#endif  // SRC_MIGRATE_MIGRATE_H_

@@ -1,0 +1,301 @@
+// Shadow page tables.
+//
+// The VMM maintains, per guest root (PTBR value), a software map from guest
+// VPN to host translation. Misses model the "hidden page fault" VM exit of
+// classic shadow paging: the VMM walks the guest tables, constructs a shadow
+// entry, and write-protects the guest PT pages it consulted so that later
+// guest PTE stores trap (OnPtWriteEmulated) and invalidate exactly the
+// entries derived from the touched PT page.
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mmu/virtualizer.h"
+
+namespace hyperion::mmu {
+
+namespace {
+
+class ShadowPaging final : public MemoryVirtualizer {
+ public:
+  using MemoryVirtualizer::MemoryVirtualizer;
+
+  ~ShadowPaging() override {
+    // Drop every write-protection this virtualizer installed.
+    for (auto& root : roots_) {
+      for (auto& [pt_gpn, vpns] : root->derived) {
+        (void)vpns;
+        memory_->SetWriteProtected(pt_gpn, false);
+      }
+    }
+  }
+
+  std::string_view name() const override { return "shadow"; }
+
+  TranslateOutcome Translate(uint32_t va, Access access, isa::PrivMode priv, bool paging,
+                             uint32_t ptbr) override {
+    if (!paging) {
+      return TranslateBare(va, access);
+    }
+    ++stats_.translations;
+    uint32_t vpn = isa::PageNumber(va);
+
+    // 1. TLB fast path.
+    const TlbEntry* e = tlb_.Lookup(vpn);
+    if (e != nullptr && (access != Access::kStore || e->writable) &&
+        (priv != isa::PrivMode::kUser || e->user)) {
+      TranslateOutcome out;
+      out.gpa = (e->gpn << isa::kPageBits) | isa::VaPageOffset(va);
+      out.frame = e->frame;
+      out.writable = e->writable;
+      out.cost = costs_.tlb_hit;
+      return out;
+    }
+
+    Root& root = ActiveRoot(ptbr);
+
+    // 2. Shadow-structure hit (no exit modeled: hardware walks the shadow
+    //    table and finds the entry).
+    auto it = root.map.find(vpn);
+    if (it != root.map.end()) {
+      const ShadowEntry& se = it->second;
+      bool perm_ok = (access != Access::kStore || se.writable) &&
+                     (priv != isa::PrivMode::kUser || se.user);
+      if (perm_ok) {
+        return FillFromShadow(va, se, costs_.pt_walk_step * 2 + costs_.tlb_fill);
+      }
+      // Permission mismatch (e.g. first store to a clean page): resync below.
+      root.map.erase(it);
+    }
+
+    // 3. Hidden page fault: VM exit, software walk, shadow sync.
+    uint64_t cost = costs_.vm_exit;
+    ++stats_.hidden_faults;
+    ++stats_.walks;
+    WalkResult wr = WalkGuest(*memory_, ptbr, va, access, priv);
+    stats_.walk_steps += static_cast<uint64_t>(wr.steps);
+    cost += static_cast<uint64_t>(wr.steps) * costs_.pt_walk_step;
+    if (!wr.ok) {
+      TranslateOutcome out;
+      out.event = MemEvent::kGuestFault;
+      out.fault_cause = wr.fault;
+      out.cost = cost;
+      ++stats_.guest_faults;
+      return out;
+    }
+
+    cost += costs_.shadow_sync_entry;
+    TranslateOutcome out = ResolveGpa(wr.gpa, access, wr.writable, cost);
+    if (out.event != MemEvent::kNone) {
+      return out;  // PT-write trap, COW break, missing page, or bus fault
+    }
+    if (out.is_mmio) {
+      return out;  // device addresses are never cached in the shadow
+    }
+
+    // Construct the shadow entry and write-protect the PT pages it came from.
+    ShadowEntry se;
+    se.gpn = isa::PageNumber(wr.gpa);
+    se.writable = out.writable;
+    se.user = wr.user;
+    root.map[vpn] = se;
+    ++stats_.shadow_syncs;
+
+    RegisterPtPage(root, isa::PageNumber(wr.l1_pte_gpa), vpn);
+    if (!wr.superpage) {
+      uint32_t leaf_gpn = isa::PageNumber(wr.leaf_pte_gpa);
+      if (leaf_gpn != isa::PageNumber(wr.l1_pte_gpa)) {
+        RegisterPtPage(root, leaf_gpn, vpn);
+      }
+    }
+
+    InsertTlb(vpn, se);
+    return out;
+  }
+
+  uint64_t OnPtbrWrite(uint32_t new_ptbr) override {
+    tlb_.FlushAll();
+    for (auto& root : roots_) {
+      if (root->ptbr == new_ptbr) {
+        root->last_used = ++tick_;
+        active_ = root.get();
+        ++stats_.root_switches;
+        return costs_.shadow_root_switch;
+      }
+    }
+    active_ = &CreateRoot(new_ptbr);
+    return costs_.shadow_root_build;
+  }
+
+  void OnPtWriteEmulated(uint32_t gpa, uint32_t size) override {
+    // Invalidate every shadow entry derived from the touched PT page(s).
+    uint32_t first = isa::PageNumber(gpa);
+    uint32_t last = isa::PageNumber(gpa + (size ? size - 1 : 0));
+    for (uint32_t pt_gpn = first; pt_gpn <= last; ++pt_gpn) {
+      for (auto& root : roots_) {
+        auto it = root->derived.find(pt_gpn);
+        if (it == root->derived.end()) {
+          continue;
+        }
+        for (uint32_t vpn : it->second) {
+          root->map.erase(vpn);
+          tlb_.FlushPage(vpn);
+        }
+        root->derived.erase(it);
+      }
+      if (!AnyRootDerives(pt_gpn)) {
+        memory_->SetWriteProtected(pt_gpn, false);
+      }
+    }
+  }
+
+  void InvalidateGpn(uint32_t gpn) override {
+    tlb_.FlushGpn(gpn);
+    for (auto& root : roots_) {
+      for (auto it = root->map.begin(); it != root->map.end();) {
+        if (it->second.gpn == gpn) {
+          tlb_.FlushPage(it->first);
+          it = root->map.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  void FlushAll() override {
+    tlb_.FlushAll();
+    // Keep shadow roots: they stay coherent through write-protection.
+  }
+
+ private:
+  struct ShadowEntry {
+    uint32_t gpn = 0;
+    bool writable = false;
+    bool user = false;
+  };
+
+  struct Root {
+    uint32_t ptbr = 0;
+    uint64_t last_used = 0;
+    std::unordered_map<uint32_t, ShadowEntry> map;                // vpn -> entry
+    std::unordered_map<uint32_t, std::vector<uint32_t>> derived;  // PT gpn -> vpns
+  };
+
+  static constexpr size_t kMaxRoots = 8;
+
+  Root& ActiveRoot(uint32_t ptbr) {
+    if (active_ != nullptr && active_->ptbr == ptbr) {
+      return *active_;
+    }
+    // Defensive path: the CPU normally reports PTBR writes via OnPtbrWrite.
+    OnPtbrWrite(ptbr);
+    return *active_;
+  }
+
+  Root& CreateRoot(uint32_t ptbr) {
+    ++stats_.root_builds;
+    if (roots_.size() >= kMaxRoots) {
+      EvictLruRoot();
+    }
+    auto root = std::make_unique<Root>();
+    root->ptbr = ptbr;
+    root->last_used = ++tick_;
+    roots_.push_back(std::move(root));
+    return *roots_.back();
+  }
+
+  void EvictLruRoot() {
+    size_t victim = SIZE_MAX;
+    for (size_t i = 0; i < roots_.size(); ++i) {
+      if (roots_[i].get() == active_) {
+        continue;
+      }
+      if (victim == SIZE_MAX || roots_[i]->last_used < roots_[victim]->last_used) {
+        victim = i;
+      }
+    }
+    if (victim == SIZE_MAX) {
+      return;
+    }
+    // Remove this root's WP registrations if nobody else derives from them.
+    std::vector<uint32_t> pt_pages;
+    pt_pages.reserve(roots_[victim]->derived.size());
+    for (auto& [pt_gpn, vpns] : roots_[victim]->derived) {
+      (void)vpns;
+      pt_pages.push_back(pt_gpn);
+    }
+    roots_.erase(roots_.begin() + static_cast<ptrdiff_t>(victim));
+    for (uint32_t pt_gpn : pt_pages) {
+      if (!AnyRootDerives(pt_gpn)) {
+        memory_->SetWriteProtected(pt_gpn, false);
+      }
+    }
+  }
+
+  bool AnyRootDerives(uint32_t pt_gpn) const {
+    for (const auto& root : roots_) {
+      if (root->derived.count(pt_gpn)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void RegisterPtPage(Root& root, uint32_t pt_gpn, uint32_t vpn) {
+    if (!memory_->IsWriteProtected(pt_gpn)) {
+      memory_->SetWriteProtected(pt_gpn, true);
+      // Any cached translation that could still write this page must go.
+      tlb_.FlushGpn(pt_gpn);
+      for (auto& r : roots_) {
+        for (auto it = r->map.begin(); it != r->map.end();) {
+          if (it->second.gpn == pt_gpn && it->second.writable) {
+            tlb_.FlushPage(it->first);
+            it = r->map.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+    root.derived[pt_gpn].push_back(vpn);
+  }
+
+  TranslateOutcome FillFromShadow(uint32_t va, const ShadowEntry& se, uint64_t cost) {
+    TranslateOutcome out;
+    out.gpa = (se.gpn << isa::kPageBits) | isa::VaPageOffset(va);
+    out.frame = memory_->FrameForPage(se.gpn);
+    assert(out.frame != mem::kInvalidFrame && "shadow entry to an absent page");
+    out.writable = se.writable;
+    out.cost = cost;
+    InsertTlb(isa::PageNumber(va), se);
+    return out;
+  }
+
+  void InsertTlb(uint32_t vpn, const ShadowEntry& se) {
+    TlbEntry e;
+    e.vpn = vpn;
+    e.gpn = se.gpn;
+    e.frame = memory_->FrameForPage(se.gpn);
+    e.writable = se.writable;
+    e.user = se.user;
+    tlb_.Insert(e);
+    ++stats_.tlb_fill;
+  }
+
+  std::vector<std::unique_ptr<Root>> roots_;
+  Root* active_ = nullptr;
+  uint64_t tick_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<MemoryVirtualizer> MakeShadowPaging(mem::GuestMemory* memory,
+                                                    const CostModel& costs, size_t tlb_entries) {
+  return std::make_unique<ShadowPaging>(memory, costs, tlb_entries);
+}
+
+}  // namespace hyperion::mmu

@@ -1,0 +1,79 @@
+#include "src/mmu/tlb.h"
+
+#include <cassert>
+
+namespace hyperion::mmu {
+
+Tlb::Tlb(size_t entries) {
+  assert(entries >= kWays && (entries & (entries - 1)) == 0);
+  sets_ = entries / kWays;
+  entries_.resize(entries);
+}
+
+const TlbEntry* Tlb::Lookup(uint32_t vpn, uint32_t asid) {
+  TlbEntry* set = &entries_[SetOf(vpn) * kWays];
+  for (size_t w = 0; w < kWays; ++w) {
+    if (set[w].valid && set[w].vpn == vpn && set[w].asid == asid) {
+      set[w].lru = ++tick_;
+      ++stats_.hits;
+      return &set[w];
+    }
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+void Tlb::Insert(const TlbEntry& entry) {
+  TlbEntry* set = &entries_[SetOf(entry.vpn) * kWays];
+  size_t victim = 0;
+  for (size_t w = 0; w < kWays; ++w) {
+    if (!set[w].valid) {
+      victim = w;
+      break;
+    }
+    if (set[w].vpn == entry.vpn && set[w].asid == entry.asid) {
+      victim = w;  // re-insert over the stale copy
+      break;
+    }
+    if (set[w].lru < set[victim].lru) {
+      victim = w;
+    }
+  }
+  set[victim] = entry;
+  set[victim].valid = true;
+  set[victim].lru = ++tick_;
+}
+
+void Tlb::FlushAll() {
+  for (auto& e : entries_) {
+    e.valid = false;
+  }
+  ++stats_.flushes;
+}
+
+void Tlb::FlushPage(uint32_t vpn) {
+  TlbEntry* set = &entries_[SetOf(vpn) * kWays];
+  for (size_t w = 0; w < kWays; ++w) {
+    if (set[w].valid && set[w].vpn == vpn) {
+      set[w].valid = false;
+    }
+  }
+}
+
+void Tlb::FlushAsid(uint32_t asid) {
+  for (auto& e : entries_) {
+    if (e.valid && e.asid == asid) {
+      e.valid = false;
+    }
+  }
+}
+
+void Tlb::FlushGpn(uint32_t gpn) {
+  for (auto& e : entries_) {
+    if (e.valid && e.gpn == gpn) {
+      e.valid = false;
+    }
+  }
+}
+
+}  // namespace hyperion::mmu

@@ -1,0 +1,75 @@
+// Software TLB: a set-associative cache of virtual-to-host translations.
+//
+// Both memory virtualizers fill this TLB; the interpreter and DBT engines
+// consult it on every memory access, so its hit path is branch-light.
+
+#ifndef SRC_MMU_TLB_H_
+#define SRC_MMU_TLB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/frame_pool.h"
+
+namespace hyperion::mmu {
+
+struct TlbEntry {
+  uint32_t vpn = 0;            // virtual page number (tag)
+  uint32_t asid = 0;           // address-space tag (0 when untagged)
+  uint32_t gpn = 0;            // guest-physical page number
+  mem::HostFrame frame = mem::kInvalidFrame;
+  bool valid = false;
+  bool writable = false;       // store fast path allowed
+  bool user = false;           // user-mode access allowed
+  bool superpage = false;      // entry derived from a 4 MiB mapping
+  uint64_t lru = 0;
+};
+
+struct TlbStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t flushes = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class Tlb {
+ public:
+  // `entries` must be a power of two; associativity fixed at 4 ways.
+  explicit Tlb(size_t entries = 256);
+
+  // Looks up `vpn` under address-space tag `asid`; returns nullptr on miss.
+  // Hit bumps LRU and stats. Untagged callers pass asid 0 everywhere.
+  const TlbEntry* Lookup(uint32_t vpn, uint32_t asid = 0);
+
+  // Installs a translation, evicting the LRU way of the set.
+  void Insert(const TlbEntry& entry);
+
+  void FlushAll();
+  void FlushPage(uint32_t vpn);
+  // Drops every entry carrying address-space tag `asid`.
+  void FlushAsid(uint32_t asid);
+  // Drops every entry translating to guest page `gpn` (sharing/WP changes).
+  void FlushGpn(uint32_t gpn);
+
+  const TlbStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = TlbStats{}; }
+  size_t num_entries() const { return sets_ * kWays; }
+
+ private:
+  static constexpr size_t kWays = 4;
+
+  size_t SetOf(uint32_t vpn) const { return vpn & (sets_ - 1); }
+
+  size_t sets_;
+  std::vector<TlbEntry> entries_;  // sets_ * kWays, set-major
+  TlbStats stats_;
+  uint64_t tick_ = 0;
+};
+
+}  // namespace hyperion::mmu
+
+#endif  // SRC_MMU_TLB_H_

@@ -1,0 +1,125 @@
+#include "src/mmu/virtualizer.h"
+
+namespace hyperion::mmu {
+
+void MemoryVirtualizer::OnSfence(uint32_t va) {
+  if (va == 0) {
+    tlb_.FlushAll();
+  } else {
+    tlb_.FlushPage(isa::PageNumber(va));
+  }
+}
+
+void MemoryVirtualizer::OnPagingToggle() { tlb_.FlushAll(); }
+
+void MemoryVirtualizer::OnPtWriteEmulated(uint32_t gpa, uint32_t size) {
+  (void)gpa;
+  (void)size;
+}
+
+void MemoryVirtualizer::InvalidateGpn(uint32_t gpn) { tlb_.FlushGpn(gpn); }
+
+TranslateOutcome MemoryVirtualizer::ResolveGpa(uint32_t gpa, Access access, bool pte_writable,
+                                               uint64_t cost) {
+  TranslateOutcome out;
+  out.cost = cost;
+  out.gpa = gpa;
+  if (isa::IsMmio(gpa)) {
+    out.is_mmio = true;
+    return out;
+  }
+  uint32_t gpn = isa::PageNumber(gpa);
+  if (gpn >= memory_->num_pages()) {
+    // Access beyond RAM: surfaced to the guest as a page fault.
+    out.event = MemEvent::kGuestFault;
+    out.fault_cause = FaultCauseFor(access);
+    ++stats_.guest_faults;
+    return out;
+  }
+  if (!memory_->IsPresent(gpn)) {
+    out.event = MemEvent::kMissingPage;
+    return out;
+  }
+  bool wp = memory_->IsWriteProtected(gpn);
+  bool shared = memory_->IsShared(gpn);
+  if (access == Access::kStore) {
+    if (wp) {
+      out.event = MemEvent::kPtWriteTrap;
+      ++stats_.pt_write_traps;
+      return out;
+    }
+    if (shared) {
+      out.event = MemEvent::kCowBreak;
+      return out;
+    }
+  }
+  out.frame = memory_->FrameForPage(gpn);
+  out.writable = pte_writable && !wp && !shared;
+  return out;
+}
+
+TranslateOutcome MemoryVirtualizer::TranslateBare(uint32_t va, Access access) {
+  ++stats_.translations;
+  if (!isa::IsMmio(va)) {
+    uint32_t vpn = isa::PageNumber(va);
+    const TlbEntry* e = tlb_.Lookup(vpn);
+    if (e != nullptr && (access != Access::kStore || e->writable)) {
+      TranslateOutcome out;
+      out.gpa = va;
+      out.frame = e->frame;
+      out.writable = e->writable;
+      out.cost = costs_.tlb_hit;
+      return out;
+    }
+  }
+  TranslateOutcome out = ResolveGpa(va, access, /*pte_writable=*/true, costs_.tlb_fill);
+  if (out.event == MemEvent::kNone && !out.is_mmio) {
+    TlbEntry e;
+    e.vpn = isa::PageNumber(va);
+    e.gpn = isa::PageNumber(out.gpa);
+    e.frame = out.frame;
+    e.writable = out.writable;
+    e.user = true;
+    tlb_.Insert(e);
+    ++stats_.tlb_fill;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// BarePassthrough
+// ---------------------------------------------------------------------------
+
+TranslateOutcome BarePassthrough::Translate(uint32_t va, Access access, isa::PrivMode priv,
+                                            bool paging, uint32_t ptbr) {
+  (void)priv;
+  (void)paging;  // with no page tables there is nothing paging could change
+  (void)ptbr;
+  return TranslateBare(va, access);
+}
+
+uint64_t BarePassthrough::OnPtbrWrite(uint32_t new_ptbr) {
+  (void)new_ptbr;
+  return 0;
+}
+
+std::unique_ptr<MemoryVirtualizer> MakeBarePassthrough(mem::GuestMemory* memory,
+                                                       const CostModel& costs,
+                                                       size_t tlb_entries) {
+  return std::make_unique<BarePassthrough>(memory, costs, tlb_entries);
+}
+
+std::unique_ptr<MemoryVirtualizer> MakeVirtualizer(PagingMode mode, mem::GuestMemory* memory,
+                                                   const CostModel& costs, size_t tlb_entries) {
+  switch (mode) {
+    case PagingMode::kShadow:
+      return MakeShadowPaging(memory, costs, tlb_entries);
+    case PagingMode::kNested:
+      return MakeNestedPaging(memory, costs, tlb_entries);
+    case PagingMode::kNestedAsid:
+      return MakeNestedPaging(memory, costs, tlb_entries, /*asid_tlb=*/true);
+  }
+  return nullptr;
+}
+
+}  // namespace hyperion::mmu

@@ -1,0 +1,114 @@
+#include "src/mmu/walker.h"
+
+namespace hyperion::mmu {
+
+using isa::Pte;
+using isa::TrapCause;
+
+isa::TrapCause FaultCauseFor(Access access) {
+  switch (access) {
+    case Access::kFetch:
+      return TrapCause::kInstrPageFault;
+    case Access::kLoad:
+      return TrapCause::kLoadPageFault;
+    case Access::kStore:
+      return TrapCause::kStorePageFault;
+  }
+  return TrapCause::kLoadPageFault;
+}
+
+namespace {
+
+bool PermissionsAllow(uint32_t pte, Access access, isa::PrivMode priv) {
+  if (priv == isa::PrivMode::kUser && !(pte & Pte::kUser)) {
+    return false;
+  }
+  switch (access) {
+    case Access::kFetch:
+      return pte & Pte::kExec;
+    case Access::kLoad:
+      return pte & Pte::kRead;
+    case Access::kStore:
+      return pte & Pte::kWrite;
+  }
+  return false;
+}
+
+}  // namespace
+
+WalkResult WalkGuest(mem::GuestMemory& memory, uint32_t ptbr_page, uint32_t va, Access access,
+                     isa::PrivMode priv) {
+  WalkResult result;
+  result.fault = FaultCauseFor(access);
+
+  // Level 1.
+  uint32_t l1_gpa = (ptbr_page << isa::kPageBits) + isa::VaL1Index(va) * 4;
+  result.l1_pte_gpa = l1_gpa;
+  result.steps = 1;
+  auto l1 = memory.ReadU32(l1_gpa);
+  if (!l1.ok()) {
+    return result;  // PT located outside RAM: guest fault
+  }
+  uint32_t l1_pte = *l1;
+  if (!Pte::IsValid(l1_pte)) {
+    return result;
+  }
+
+  uint32_t leaf_pte;
+  uint32_t leaf_gpa_of_pte;
+  bool superpage = Pte::IsLeaf(l1_pte);
+  if (superpage) {
+    // 4 MiB superpage: PPN must be superpage-aligned.
+    if (Pte::Ppn(l1_pte) & (isa::kPtEntries - 1)) {
+      return result;  // misaligned superpage is a fault
+    }
+    leaf_pte = l1_pte;
+    leaf_gpa_of_pte = l1_gpa;
+  } else {
+    // Level 2.
+    uint32_t l2_gpa = (Pte::Ppn(l1_pte) << isa::kPageBits) + isa::VaL2Index(va) * 4;
+    result.steps = 2;
+    auto l2 = memory.ReadU32(l2_gpa);
+    if (!l2.ok()) {
+      return result;
+    }
+    leaf_pte = *l2;
+    leaf_gpa_of_pte = l2_gpa;
+    if (!Pte::IsValid(leaf_pte) || !Pte::IsLeaf(leaf_pte)) {
+      return result;  // invalid, or a pointer where a leaf must be
+    }
+  }
+
+  if (!PermissionsAllow(leaf_pte, access, priv)) {
+    return result;
+  }
+
+  // Set accessed/dirty bits the way walker hardware would. The write-back
+  // goes through GuestMemory so the PT page is marked dirty for migration.
+  uint32_t updated = leaf_pte | Pte::kAccessed;
+  if (access == Access::kStore) {
+    updated |= Pte::kDirty;
+  }
+  if (updated != leaf_pte) {
+    // The PTE was readable a moment ago; a failed write-back means the
+    // backing page vanished mid-walk, which we surface as a fault.
+    if (!memory.WriteU32(leaf_gpa_of_pte, updated).ok()) {
+      return result;
+    }
+  }
+
+  uint32_t offset_bits = superpage ? isa::kSuperPageBits : isa::kPageBits;
+  uint32_t mask = (1u << offset_bits) - 1;
+  result.ok = true;
+  result.gpa = (Pte::Ppn(leaf_pte) << isa::kPageBits) | (va & mask);
+  // Writable only if W is set *and* D is already set: the first store still
+  // takes the store path above, later stores can use a write-enabled TLB
+  // entry without losing the D-bit update.
+  result.writable = (leaf_pte & Pte::kWrite) && (updated & Pte::kDirty);
+  result.user = (leaf_pte & Pte::kUser) != 0;
+  result.superpage = superpage;
+  result.leaf_pte_gpa = leaf_gpa_of_pte;
+  return result;
+}
+
+}  // namespace hyperion::mmu

@@ -1,0 +1,49 @@
+// Guest page-table walker for HV32 two-level paging.
+//
+// The walker reads page tables that live in *guest-physical* memory. It is
+// used directly by the nested-paging virtualizer (modeling the hardware 2-D
+// walk) and by the shadow-paging virtualizer (modeling the VMM's software
+// walk when it constructs shadow entries).
+
+#ifndef SRC_MMU_WALKER_H_
+#define SRC_MMU_WALKER_H_
+
+#include <cstdint>
+
+#include "src/isa/hv32.h"
+#include "src/mem/guest_memory.h"
+
+namespace hyperion::mmu {
+
+enum class Access : uint8_t { kFetch = 0, kLoad = 1, kStore = 2 };
+
+// Outcome of a guest page walk.
+struct WalkResult {
+  bool ok = false;
+  isa::TrapCause fault = isa::TrapCause::kLoadPageFault;  // when !ok
+
+  uint32_t gpa = 0;           // translated guest-physical address
+  bool writable = false;      // leaf W permission (after A/D handling)
+  bool user = false;          // leaf U permission
+  bool superpage = false;     // mapped by a 4 MiB L1 leaf
+  uint32_t leaf_pte_gpa = 0;  // where the leaf PTE lives (shadow WP tracking)
+  uint32_t l1_pte_gpa = 0;    // where the L1 entry lives
+  int steps = 0;              // page-table memory references performed
+};
+
+// Walks the guest page table rooted at page `ptbr_page` for `va`.
+//
+// Permission model: user mode requires the U bit on the leaf; supervisor mode
+// may access any valid mapping. kFetch requires X, kLoad requires R, kStore
+// requires W. On success the walker sets the A bit (and D on stores) in the
+// guest PTE, exactly as page-walk hardware with A/D assistance would, which
+// also marks the PT page dirty for migration purposes.
+WalkResult WalkGuest(mem::GuestMemory& memory, uint32_t ptbr_page, uint32_t va, Access access,
+                     isa::PrivMode priv);
+
+// Maps an access type to its page-fault trap cause.
+isa::TrapCause FaultCauseFor(Access access);
+
+}  // namespace hyperion::mmu
+
+#endif  // SRC_MMU_WALKER_H_

@@ -1,0 +1,62 @@
+#include "src/net/network.h"
+
+namespace hyperion::net {
+
+Status VirtualSwitch::Attach(MacAddr addr, FrameSink* sink, LinkParams params) {
+  if (addr == kBroadcast) {
+    return InvalidArgumentError("cannot attach at the broadcast address");
+  }
+  auto [it, inserted] =
+      ports_.emplace(addr, std::make_unique<PortState>(PortState{sink, Link(clock_, params)}));
+  if (!inserted) {
+    return AlreadyExistsError("port address already attached");
+  }
+  return OkStatus();
+}
+
+Status VirtualSwitch::Detach(MacAddr addr) {
+  if (ports_.erase(addr) == 0) {
+    return NotFoundError("no port at that address");
+  }
+  return OkStatus();
+}
+
+void VirtualSwitch::Send(Frame frame) {
+  ++stats_.frames_sent;
+  if (frame.payload.size() > kMaxFrameBytes) {
+    ++stats_.frames_dropped;
+    return;
+  }
+  if (frame.dst == kBroadcast) {
+    for (auto& [addr, port] : ports_) {
+      if (addr != frame.src) {
+        DeliverTo(addr, *port, frame);
+      }
+    }
+    return;
+  }
+  auto it = ports_.find(frame.dst);
+  if (it == ports_.end()) {
+    ++stats_.frames_dropped;
+    return;
+  }
+  DeliverTo(it->first, *it->second, frame);
+}
+
+void VirtualSwitch::DeliverTo(MacAddr dst_key, PortState& port, const Frame& frame) {
+  // The port may detach while the frame is in flight, so the closure looks
+  // the port up again by address at delivery time.
+  size_t wire = frame.wire_bytes();
+  port.link.Transfer(wire, [this, dst_key, frame] {
+    auto it = ports_.find(dst_key);
+    if (it == ports_.end()) {
+      ++stats_.frames_dropped;  // port detached in flight
+      return;
+    }
+    ++stats_.frames_delivered;
+    stats_.bytes_delivered += frame.wire_bytes();
+    it->second->sink->OnFrame(frame);
+  });
+}
+
+}  // namespace hyperion::net

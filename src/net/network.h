@@ -1,0 +1,126 @@
+// Simulated networking: point-to-point links with a bandwidth/latency model
+// and an L2-style virtual switch connecting VM NICs on a host.
+//
+// Time is the host's SimClock; a frame of S bytes on a link with bandwidth B
+// and propagation delay D arrives D + S/B after transmission begins, and a
+// link serializes back-to-back transmissions (store-and-forward).
+
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/util/sim_clock.h"
+#include "src/util/status.h"
+
+namespace hyperion::net {
+
+inline constexpr size_t kMaxFrameBytes = 9216;  // jumbo frame cap
+
+// A network endpoint address (flat L2 space).
+using MacAddr = uint32_t;
+inline constexpr MacAddr kBroadcast = 0xFFFFFFFFu;
+
+struct Frame {
+  MacAddr src = 0;
+  MacAddr dst = 0;
+  std::vector<uint8_t> payload;
+
+  size_t wire_bytes() const { return payload.size() + 18; }  // header+fcs overhead
+};
+
+// Transmission characteristics of a link or switch port.
+struct LinkParams {
+  uint64_t bandwidth_bps = 10'000'000'000ull;  // 10 Gb/s
+  SimTime latency = 5 * kSimTicksPerUs;        // propagation + switching
+
+  SimTime TransmitTime(size_t bytes) const {
+    return static_cast<SimTime>(static_cast<double>(bytes) * 8.0 * 1e9 /
+                                static_cast<double>(bandwidth_bps));
+  }
+};
+
+// A unidirectional-capacity, bidirectional link that serializes transfers.
+// Used directly by live migration and by switch ports.
+class Link {
+ public:
+  Link(SimClock* clock, LinkParams params) : clock_(clock), params_(params) {}
+
+  const LinkParams& params() const { return params_; }
+
+  // Schedules a transfer of `bytes`; returns its completion time. Transfers
+  // queue behind one another (the link is busy while transmitting).
+  SimTime ScheduleTransfer(size_t bytes) {
+    SimTime start = std::max(clock_->now(), busy_until_);
+    SimTime done = start + params_.TransmitTime(bytes) + params_.latency;
+    busy_until_ = start + params_.TransmitTime(bytes);
+    bytes_carried_ += bytes;
+    return done;
+  }
+
+  // Convenience: transfer and invoke `on_done` at completion.
+  SimTime Transfer(size_t bytes, std::function<void()> on_done) {
+    SimTime done = ScheduleTransfer(bytes);
+    clock_->ScheduleAt(done, std::move(on_done));
+    return done;
+  }
+
+  uint64_t bytes_carried() const { return bytes_carried_; }
+  SimTime busy_until() const { return busy_until_; }
+
+ private:
+  SimClock* clock_;
+  LinkParams params_;
+  SimTime busy_until_ = 0;
+  uint64_t bytes_carried_ = 0;
+};
+
+// Receives frames delivered by the switch.
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  virtual void OnFrame(const Frame& frame) = 0;
+};
+
+// A learningless switch: ports register with their address; unicast goes to
+// the owning port, broadcast to everyone else. Each port has its own link
+// characteristics; delivery happens through the SimClock.
+class VirtualSwitch {
+ public:
+  explicit VirtualSwitch(SimClock* clock) : clock_(clock) {}
+
+  // Attaches `sink` with address `addr`. Fails on duplicate addresses.
+  Status Attach(MacAddr addr, FrameSink* sink, LinkParams params = LinkParams{});
+  Status Detach(MacAddr addr);
+
+  // Queues `frame` for delivery. Invalid frames are counted and dropped.
+  void Send(Frame frame);
+
+  struct Stats {
+    uint64_t frames_sent = 0;
+    uint64_t frames_delivered = 0;
+    uint64_t frames_dropped = 0;  // unknown destination or oversized
+    uint64_t bytes_delivered = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct PortState {
+    FrameSink* sink;
+    Link link;
+  };
+
+  void DeliverTo(MacAddr dst_key, PortState& port, const Frame& frame);
+
+  SimClock* clock_;
+  std::map<MacAddr, std::unique_ptr<PortState>> ports_;
+  Stats stats_;
+};
+
+}  // namespace hyperion::net
+
+#endif  // SRC_NET_NETWORK_H_

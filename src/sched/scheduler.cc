@@ -1,0 +1,319 @@
+#include "src/sched/scheduler.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace hyperion::sched {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Credit scheduler
+// ---------------------------------------------------------------------------
+
+class CreditScheduler final : public Scheduler {
+ public:
+  CreditScheduler(uint32_t num_pcpus, uint64_t period_cycles, bool boost)
+      : num_pcpus_(num_pcpus), period_(period_cycles), boost_enabled_(boost) {}
+
+  std::string_view name() const override { return "credit"; }
+
+  Status AddEntity(EntityId id, EntityConfig config) override {
+    if (entities_.count(id)) {
+      return AlreadyExistsError("entity already registered");
+    }
+    if (config.weight == 0) {
+      return InvalidArgumentError("weight must be positive");
+    }
+    Entity e;
+    e.config = config;
+    entities_[id] = e;
+    RefillCredits();
+    return OkStatus();
+  }
+
+  Status RemoveEntity(EntityId id) override {
+    if (entities_.erase(id) == 0) {
+      return NotFoundError("unknown entity");
+    }
+    std::erase(run_queue_, id);
+    RefillCredits();
+    return OkStatus();
+  }
+
+  void SetRunnable(EntityId id, bool runnable, SimTime now) override {
+    auto it = entities_.find(id);
+    if (it == entities_.end()) {
+      return;
+    }
+    Entity& e = it->second;
+    if (runnable && !e.runnable) {
+      e.runnable = true;
+      e.runnable_since = now;
+      // A wake with credit left earns one BOOST pick (I/O responsiveness).
+      e.boosted = boost_enabled_ && e.credits > 0;
+      Enqueue(id);
+    } else if (!runnable && e.runnable) {
+      e.runnable = false;
+      std::erase(run_queue_, id);
+    }
+  }
+
+  EntityId PickNext(SimTime now) override {
+    MaybeNewPeriod(now);
+    // BOOST first (fresh wakers), then UNDER, then OVER; FIFO within class.
+    EntityId pick = ScanBoosted(now);
+    if (pick == kIdle) {
+      pick = ScanQueue(/*want_under=*/true, now);
+    }
+    if (pick == kIdle) {
+      pick = ScanQueue(/*want_under=*/false, now);
+    }
+    if (pick == kIdle) {
+      return kIdle;
+    }
+    std::erase(run_queue_, pick);
+    Entity& e = entities_[pick];
+    e.boosted = false;  // boost is consumed by the pick
+    stats_[pick].total_wait += now - e.runnable_since;
+    ++stats_[pick].runs;
+    return pick;
+  }
+
+  void Account(EntityId id, uint64_t cycles, bool still_runnable, SimTime now) override {
+    auto it = entities_.find(id);
+    if (it == entities_.end()) {
+      return;
+    }
+    Entity& e = it->second;
+    e.credits -= static_cast<int64_t>(cycles);
+    e.period_usage += cycles;
+    stats_[id].cpu_cycles += cycles;
+    e.runnable = still_runnable;
+    e.not_before = now;  // the slice occupied simulated time up to `now`
+    if (still_runnable) {
+      e.runnable_since = now;
+      Enqueue(id);
+    } else {
+      std::erase(run_queue_, id);
+    }
+  }
+
+  SimTime NextEligibleTime(SimTime now) const override {
+    SimTime next = SIZE_MAX;
+    for (EntityId id : run_queue_) {
+      const Entity& e = entities_.at(id);
+      if (e.not_before > now) {
+        next = std::min(next, e.not_before);
+      }
+    }
+    return next;
+  }
+
+  const std::map<EntityId, EntityStats>& stats() const override { return stats_; }
+
+ private:
+  struct Entity {
+    EntityConfig config;
+    int64_t credits = 0;
+    uint64_t period_usage = 0;  // cycles consumed this period (cap enforcement)
+    bool runnable = false;
+    bool boosted = false;
+    SimTime runnable_since = 0;
+    SimTime not_before = 0;  // end of the last granted slice
+  };
+
+  bool CapExceeded(const Entity& e) const {
+    if (e.config.cap_percent == 0) {
+      return false;
+    }
+    uint64_t cap_cycles = period_ * e.config.cap_percent / 100;
+    return e.period_usage >= cap_cycles;
+  }
+
+  EntityId ScanBoosted(SimTime now) {
+    for (EntityId id : run_queue_) {
+      const Entity& e = entities_[id];
+      if (e.boosted && !CapExceeded(e) && e.not_before <= now) {
+        return id;
+      }
+    }
+    return kIdle;
+  }
+
+  EntityId ScanQueue(bool want_under, SimTime now) {
+    for (EntityId id : run_queue_) {
+      const Entity& e = entities_[id];
+      if (CapExceeded(e) || e.not_before > now) {
+        continue;  // capped, or its previous slice still occupies a pCPU
+      }
+      bool under = e.credits > 0;
+      if (under == want_under) {
+        return id;
+      }
+    }
+    return kIdle;
+  }
+
+  void Enqueue(EntityId id) {
+    if (std::find(run_queue_.begin(), run_queue_.end(), id) == run_queue_.end()) {
+      run_queue_.push_back(id);
+    }
+  }
+
+  void MaybeNewPeriod(SimTime now) {
+    if (now < period_start_ + period_) {
+      return;
+    }
+    period_start_ = now - (now - period_start_) % period_;
+    RefillCredits();
+    for (auto& [id, e] : entities_) {
+      e.period_usage = 0;
+    }
+  }
+
+  void RefillCredits() {
+    uint64_t total_weight = 0;
+    for (const auto& [id, e] : entities_) {
+      total_weight += e.config.weight;
+    }
+    if (total_weight == 0) {
+      return;
+    }
+    // Each period hands out period_ * num_pcpus_ cycles of capacity,
+    // proportionally to weight. Credits are reset (not accumulated) so an
+    // idle entity cannot hoard unbounded credit (Xen clamps similarly).
+    uint64_t capacity = period_ * num_pcpus_;
+    for (auto& [id, e] : entities_) {
+      e.credits = static_cast<int64_t>(capacity * e.config.weight / total_weight);
+    }
+  }
+
+  uint32_t num_pcpus_;
+  uint64_t period_;
+  bool boost_enabled_;
+  SimTime period_start_ = 0;
+  std::map<EntityId, Entity> entities_;
+  std::deque<EntityId> run_queue_;
+  std::map<EntityId, EntityStats> stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Round-robin baseline
+// ---------------------------------------------------------------------------
+
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  std::string_view name() const override { return "round-robin"; }
+
+  Status AddEntity(EntityId id, EntityConfig config) override {
+    (void)config;  // weights ignored by design
+    if (known_.count(id)) {
+      return AlreadyExistsError("entity already registered");
+    }
+    known_[id] = Entity{};
+    return OkStatus();
+  }
+
+  Status RemoveEntity(EntityId id) override {
+    if (known_.erase(id) == 0) {
+      return NotFoundError("unknown entity");
+    }
+    std::erase(queue_, id);
+    return OkStatus();
+  }
+
+  void SetRunnable(EntityId id, bool runnable, SimTime now) override {
+    auto it = known_.find(id);
+    if (it == known_.end()) {
+      return;
+    }
+    if (runnable && !it->second.runnable) {
+      it->second.runnable = true;
+      it->second.runnable_since = now;
+      queue_.push_back(id);
+    } else if (!runnable && it->second.runnable) {
+      it->second.runnable = false;
+      std::erase(queue_, id);
+    }
+  }
+
+  EntityId PickNext(SimTime now) override {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (known_[*it].not_before <= now) {
+        EntityId id = *it;
+        queue_.erase(it);
+        stats_[id].total_wait += now - known_[id].runnable_since;
+        ++stats_[id].runs;
+        return id;
+      }
+    }
+    return kIdle;
+  }
+
+  SimTime NextEligibleTime(SimTime now) const override {
+    SimTime next = SIZE_MAX;
+    for (EntityId id : queue_) {
+      SimTime nb = known_.at(id).not_before;
+      if (nb > now) {
+        next = std::min(next, nb);
+      }
+    }
+    return next;
+  }
+
+  void Account(EntityId id, uint64_t cycles, bool still_runnable, SimTime now) override {
+    stats_[id].cpu_cycles += cycles;
+    auto it = known_.find(id);
+    if (it == known_.end()) {
+      return;
+    }
+    it->second.runnable = still_runnable;
+    it->second.not_before = now;
+    if (still_runnable) {
+      it->second.runnable_since = now;
+      if (std::find(queue_.begin(), queue_.end(), id) == queue_.end()) {
+        queue_.push_back(id);
+      }
+    } else {
+      std::erase(queue_, id);
+    }
+  }
+
+  const std::map<EntityId, EntityStats>& stats() const override { return stats_; }
+
+ private:
+  struct Entity {
+    bool runnable = false;
+    SimTime runnable_since = 0;
+    SimTime not_before = 0;
+  };
+  std::map<EntityId, Entity> known_;
+  std::deque<EntityId> queue_;
+  std::map<EntityId, EntityStats> stats_;
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> MakeCreditScheduler(uint32_t num_pcpus, uint64_t period_cycles,
+                                               bool boost) {
+  return std::make_unique<CreditScheduler>(num_pcpus, period_cycles, boost);
+}
+
+std::unique_ptr<Scheduler> MakeRoundRobinScheduler() {
+  return std::make_unique<RoundRobinScheduler>();
+}
+
+std::unique_ptr<Scheduler> MakeScheduler(SchedPolicy policy, uint32_t num_pcpus) {
+  switch (policy) {
+    case SchedPolicy::kCredit:
+      return MakeCreditScheduler(num_pcpus);
+    case SchedPolicy::kCreditNoBoost:
+      return MakeCreditScheduler(num_pcpus, 30'000'000, /*boost=*/false);
+    case SchedPolicy::kRoundRobin:
+      return MakeRoundRobinScheduler();
+  }
+  return nullptr;
+}
+
+}  // namespace hyperion::sched

@@ -1,0 +1,290 @@
+#include "src/snapshot/snapshot.h"
+
+#include <cstring>
+
+#include "src/util/byte_stream.h"
+#include "src/util/crc32.h"
+
+namespace hyperion::snapshot {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x504E5348;  // "HSNP"
+constexpr uint32_t kVersion = 1;
+
+constexpr uint8_t kPageData = 0;
+constexpr uint8_t kPageZero = 1;
+constexpr uint8_t kPageAbsent = 2;
+
+constexpr uint8_t kFlagIncremental = 1;
+
+}  // namespace
+
+Result<std::vector<uint8_t>> SaveVm(core::Vm& vm, SaveOptions options, SnapshotInfo* info) {
+  ByteWriter w;
+  w.WriteU32(kMagic);
+  w.WriteU32(kVersion);
+  w.WriteU8(options.incremental ? kFlagIncremental : 0);
+  w.WriteU32(vm.memory().ram_size());
+  w.WriteU32(vm.num_vcpus());
+
+  for (uint32_t i = 0; i < vm.num_vcpus(); ++i) {
+    vm.vcpu(i).state.Serialize(w);
+  }
+
+  w.WriteString(vm.console());
+  w.WriteU32(static_cast<uint32_t>(vm.logged_values().size()));
+  for (uint32_t v : vm.logged_values()) {
+    w.WriteU32(v);
+  }
+  w.WriteU32(vm.balloon_target());
+
+  // Page section.
+  SnapshotInfo local_info;
+  mem::GuestMemory& mem = vm.memory();
+  std::vector<uint32_t> pages;
+  if (options.incremental) {
+    Bitmap dirty = mem.HarvestDirty();
+    for (size_t gpn : dirty.SetBits()) {
+      pages.push_back(static_cast<uint32_t>(gpn));
+    }
+  } else {
+    pages.reserve(mem.num_pages());
+    for (uint32_t gpn = 0; gpn < mem.num_pages(); ++gpn) {
+      pages.push_back(gpn);
+    }
+  }
+
+  size_t count_at = w.size();
+  w.WriteU32(0);  // patched below with the emitted entry count
+  uint32_t emitted = 0;
+  for (uint32_t gpn : pages) {
+    ++local_info.pages_total;
+    if (!mem.IsPresent(gpn)) {
+      w.WriteU32(gpn);
+      w.WriteU8(kPageAbsent);
+      ++local_info.pages_absent;
+      ++emitted;
+      continue;
+    }
+    const uint8_t* data = mem.PageData(gpn);
+    if (mem.PageIsZero(gpn)) {
+      if (options.incremental) {
+        // Incremental restores patch over existing state, so a page that
+        // became zero must be recorded explicitly.
+        w.WriteU32(gpn);
+        w.WriteU8(kPageZero);
+        ++emitted;
+      }
+      ++local_info.pages_zero;
+      continue;  // full snapshots elide zero pages entirely
+    }
+    w.WriteU32(gpn);
+    w.WriteU8(kPageData);
+    w.WriteBytes(data, isa::kPageSize);
+    ++local_info.pages_data;
+    ++emitted;
+  }
+  w.PatchU32(count_at, emitted);
+
+  // Device section, in bus mapping order.
+  const auto& devs = vm.bus().devices();
+  w.WriteU32(static_cast<uint32_t>(devs.size()));
+  for (const devices::MmioDevice* dev : devs) {
+    w.WriteString(std::string(dev->name()));
+    ByteWriter dw;
+    dev->Serialize(dw);
+    w.WriteBlob(dw.buffer());
+  }
+
+  uint32_t crc = Crc32(w.buffer().data(), w.size());
+  w.WriteU32(crc);
+
+  local_info.bytes = w.size();
+  if (info != nullptr) {
+    *info = local_info;
+  }
+  return w.TakeBuffer();
+}
+
+Status LoadVm(core::Vm& vm, std::span<const uint8_t> bytes) {
+  if (bytes.size() < 8) {
+    return DataLossError("snapshot too small");
+  }
+  uint32_t crc_stored;
+  std::memcpy(&crc_stored, bytes.data() + bytes.size() - 4, 4);
+  if (Crc32(bytes.data(), bytes.size() - 4) != crc_stored) {
+    return DataLossError("snapshot checksum mismatch");
+  }
+
+  ByteReader r(bytes.first(bytes.size() - 4));
+  HYP_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kMagic) {
+    return DataLossError("bad snapshot magic");
+  }
+  HYP_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kVersion) {
+    return UnimplementedError("unsupported snapshot version");
+  }
+  HYP_ASSIGN_OR_RETURN(uint8_t flags, r.ReadU8());
+  bool incremental = flags & kFlagIncremental;
+
+  HYP_ASSIGN_OR_RETURN(uint32_t ram, r.ReadU32());
+  HYP_ASSIGN_OR_RETURN(uint32_t vcpus, r.ReadU32());
+  if (ram != vm.memory().ram_size() || vcpus != vm.num_vcpus()) {
+    return FailedPreconditionError("snapshot geometry does not match the target VM");
+  }
+
+  for (uint32_t i = 0; i < vcpus; ++i) {
+    HYP_ASSIGN_OR_RETURN(vm.vcpu(i).state, cpu::CpuState::Deserialize(r));
+  }
+
+  HYP_ASSIGN_OR_RETURN(std::string console, r.ReadString());
+  HYP_ASSIGN_OR_RETURN(uint32_t nlog, r.ReadU32());
+  std::vector<uint32_t> logged(nlog);
+  for (auto& v : logged) {
+    HYP_ASSIGN_OR_RETURN(v, r.ReadU32());
+  }
+  HYP_ASSIGN_OR_RETURN(uint32_t balloon_target, r.ReadU32());
+
+  mem::GuestMemory& mem = vm.memory();
+  if (!incremental) {
+    // Full restore baseline: every page present and zeroed.
+    for (uint32_t gpn = 0; gpn < mem.num_pages(); ++gpn) {
+      if (!mem.IsPresent(gpn)) {
+        HYP_RETURN_IF_ERROR(mem.PopulatePage(gpn));
+      } else {
+        std::memset(mem.PageData(gpn), 0, isa::kPageSize);
+      }
+    }
+  }
+
+  HYP_ASSIGN_OR_RETURN(uint32_t entries, r.ReadU32());
+  for (uint32_t i = 0; i < entries; ++i) {
+    HYP_ASSIGN_OR_RETURN(uint32_t gpn, r.ReadU32());
+    HYP_ASSIGN_OR_RETURN(uint8_t kind, r.ReadU8());
+    if (gpn >= mem.num_pages()) {
+      return DataLossError("snapshot page out of range");
+    }
+    switch (kind) {
+      case kPageData: {
+        if (!mem.IsPresent(gpn)) {
+          HYP_RETURN_IF_ERROR(mem.PopulatePage(gpn));
+        }
+        HYP_RETURN_IF_ERROR(r.ReadBytes(mem.PageData(gpn), isa::kPageSize));
+        break;
+      }
+      case kPageZero:
+        if (!mem.IsPresent(gpn)) {
+          HYP_RETURN_IF_ERROR(mem.PopulatePage(gpn));
+        } else {
+          std::memset(mem.PageData(gpn), 0, isa::kPageSize);
+        }
+        break;
+      case kPageAbsent:
+        if (mem.IsPresent(gpn)) {
+          HYP_RETURN_IF_ERROR(mem.ReleasePage(gpn));
+        }
+        break;
+      default:
+        return DataLossError("bad page kind in snapshot");
+    }
+  }
+
+  HYP_ASSIGN_OR_RETURN(uint32_t ndev, r.ReadU32());
+  const auto& devs = vm.bus().devices();
+  if (ndev != devs.size()) {
+    return FailedPreconditionError("snapshot device set does not match the target VM");
+  }
+  for (uint32_t i = 0; i < ndev; ++i) {
+    HYP_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    if (name != devs[i]->name()) {
+      return FailedPreconditionError("device order mismatch: snapshot has '" + name +
+                                     "', vm has '" + std::string(devs[i]->name()) + "'");
+    }
+    HYP_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, r.ReadBlob());
+    ByteReader dr(blob);
+    HYP_RETURN_IF_ERROR(devs[i]->Deserialize(dr));
+  }
+
+  // Host-side state last: balloon accounting depends on final page presence.
+  vm.RestoreHostSideState(std::move(console), std::move(logged), balloon_target);
+
+  // Every cached translation is now stale.
+  vm.virt().FlushAll();
+  for (uint32_t i = 0; i < vm.num_vcpus(); ++i) {
+    vm.engine(i).FlushCodeCache();
+  }
+  return OkStatus();
+}
+
+Result<core::Vm*> CloneVm(core::Host& host, core::VmConfig config,
+                          std::span<const uint8_t> template_snapshot) {
+  HYP_ASSIGN_OR_RETURN(core::Vm * vm, host.CreateVm(std::move(config)));
+  Status st = LoadVm(*vm, template_snapshot);
+  if (!st.ok()) {
+    (void)host.DestroyVm(vm);
+    return st;
+  }
+  return vm;
+}
+
+Result<core::Vm*> ForkVm(core::Host& host, core::VmConfig config, core::Vm& parent) {
+  if (parent.state() != core::VmState::kPaused) {
+    return FailedPreconditionError("fork requires a paused parent");
+  }
+  if (config.ram_bytes != parent.memory().ram_size() ||
+      config.num_vcpus != parent.num_vcpus()) {
+    return InvalidArgumentError("fork config geometry must match the parent");
+  }
+
+  HYP_ASSIGN_OR_RETURN(core::Vm * child, host.CreateVm(std::move(config)));
+  auto fail = [&host, child](Status st) -> Result<core::Vm*> {
+    (void)host.DestroyVm(child);
+    return st;
+  };
+
+  // Non-RAM machine state transfers through a RAM-less snapshot: serialize
+  // the parent with an empty incremental page set (the dirty log is off, so
+  // an incremental save carries zero pages), which copies CPU, device and
+  // console state only.
+  parent.memory().DisableDirtyLog();
+  SaveOptions opts;
+  opts.incremental = true;
+  auto state_image = SaveVm(parent, opts);
+  if (!state_image.ok()) {
+    return fail(state_image.status());
+  }
+  if (Status st = LoadVm(*child, *state_image); !st.ok()) {
+    return fail(st);
+  }
+
+  // Share every present parent page into the child, copy-on-write.
+  mem::GuestMemory& pmem = parent.memory();
+  mem::GuestMemory& cmem = child->memory();
+  for (uint32_t gpn = 0; gpn < pmem.num_pages(); ++gpn) {
+    if (!pmem.IsPresent(gpn)) {
+      if (cmem.IsPresent(gpn)) {
+        if (Status st = cmem.ReleasePage(gpn); !st.ok()) {
+          return fail(st);
+        }
+      }
+      continue;
+    }
+    if (Status st = cmem.RemapPage(gpn, pmem.FrameForPage(gpn)); !st.ok()) {
+      return fail(st);
+    }
+    cmem.SetShared(gpn, true);
+    pmem.SetShared(gpn, true);
+    pmem.NotifySharedExternally(gpn);
+  }
+  child->virt().FlushAll();
+  for (uint32_t i = 0; i < child->num_vcpus(); ++i) {
+    child->engine(i).FlushCodeCache();
+  }
+  child->Pause();
+  child->Resume();
+  return child;
+}
+
+}  // namespace hyperion::snapshot

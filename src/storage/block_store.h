@@ -1,0 +1,72 @@
+// Block storage interface used by the emulated and virtio block devices,
+// plus a trivial RAM-backed implementation.
+
+#ifndef SRC_STORAGE_BLOCK_STORE_H_
+#define SRC_STORAGE_BLOCK_STORE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace hyperion::storage {
+
+inline constexpr uint32_t kSectorSize = 512;
+
+class BlockStore {
+ public:
+  virtual ~BlockStore() = default;
+
+  virtual uint64_t num_sectors() const = 0;
+
+  // Reads `count` sectors starting at `lba` into `out` (count*512 bytes).
+  virtual Status ReadSectors(uint64_t lba, uint32_t count, uint8_t* out) = 0;
+
+  // Writes `count` sectors starting at `lba` from `data`.
+  virtual Status WriteSectors(uint64_t lba, uint32_t count, const uint8_t* data) = 0;
+
+  virtual Status Flush() { return OkStatus(); }
+
+ protected:
+  Status CheckRange(uint64_t lba, uint32_t count) const {
+    if (lba + count > num_sectors() || lba + count < lba) {
+      return OutOfRangeError("sector range [" + std::to_string(lba) + ", +" +
+                             std::to_string(count) + ") past device end");
+    }
+    return OkStatus();
+  }
+};
+
+// RAM-backed store, mainly for tests and small scratch disks.
+class MemBlockStore final : public BlockStore {
+ public:
+  explicit MemBlockStore(uint64_t num_sectors)
+      : data_(num_sectors * kSectorSize), sectors_(num_sectors) {}
+
+  uint64_t num_sectors() const override { return sectors_; }
+
+  Status ReadSectors(uint64_t lba, uint32_t count, uint8_t* out) override {
+    HYP_RETURN_IF_ERROR(CheckRange(lba, count));
+    std::copy_n(data_.begin() + static_cast<ptrdiff_t>(lba * kSectorSize),
+                static_cast<size_t>(count) * kSectorSize, out);
+    return OkStatus();
+  }
+
+  Status WriteSectors(uint64_t lba, uint32_t count, const uint8_t* data) override {
+    HYP_RETURN_IF_ERROR(CheckRange(lba, count));
+    std::copy_n(data, static_cast<size_t>(count) * kSectorSize,
+                data_.begin() + static_cast<ptrdiff_t>(lba * kSectorSize));
+    return OkStatus();
+  }
+
+ private:
+  std::vector<uint8_t> data_;
+  uint64_t sectors_;
+};
+
+}  // namespace hyperion::storage
+
+#endif  // SRC_STORAGE_BLOCK_STORE_H_

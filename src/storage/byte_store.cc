@@ -1,0 +1,88 @@
+#include "src/storage/byte_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hyperion::storage {
+
+Status MemByteStore::ReadAt(uint64_t offset, void* out, size_t n) const {
+  if (offset + n > data_.size()) {
+    return OutOfRangeError("read past end of byte store");
+  }
+  std::memcpy(out, data_.data() + offset, n);
+  return OkStatus();
+}
+
+Status MemByteStore::WriteAt(uint64_t offset, const void* data, size_t n) {
+  if (offset + n > data_.size()) {
+    data_.resize(offset + n, 0);
+  }
+  std::memcpy(data_.data() + offset, data, n);
+  return OkStatus();
+}
+
+Result<std::unique_ptr<FileByteStore>> FileByteStore::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return InternalError("open(" + path + "): " + std::strerror(errno));
+  }
+  off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd);
+    return InternalError("lseek(" + path + "): " + std::strerror(errno));
+  }
+  return std::unique_ptr<FileByteStore>(new FileByteStore(fd, static_cast<uint64_t>(end)));
+}
+
+FileByteStore::~FileByteStore() { ::close(fd_); }
+
+Status FileByteStore::ReadAt(uint64_t offset, void* out, size_t n) const {
+  if (offset + n > size_) {
+    return OutOfRangeError("read past end of file store");
+  }
+  size_t done = 0;
+  while (done < n) {
+    ssize_t got = ::pread(fd_, static_cast<uint8_t*>(out) + done, n - done,
+                          static_cast<off_t>(offset + done));
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return InternalError(std::string("pread: ") + std::strerror(errno));
+    }
+    if (got == 0) {
+      return DataLossError("unexpected EOF in file store");
+    }
+    done += static_cast<size_t>(got);
+  }
+  return OkStatus();
+}
+
+Status FileByteStore::WriteAt(uint64_t offset, const void* data, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t put = ::pwrite(fd_, static_cast<const uint8_t*>(data) + done, n - done,
+                           static_cast<off_t>(offset + done));
+    if (put < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return InternalError(std::string("pwrite: ") + std::strerror(errno));
+    }
+    done += static_cast<size_t>(put);
+  }
+  size_ = std::max(size_, offset + n);
+  return OkStatus();
+}
+
+Status FileByteStore::Sync() {
+  if (::fsync(fd_) != 0) {
+    return InternalError(std::string("fsync: ") + std::strerror(errno));
+  }
+  return OkStatus();
+}
+
+}  // namespace hyperion::storage

@@ -1,0 +1,65 @@
+// Growable random-access byte containers backing HVD images: an in-memory
+// implementation for tests/benches and a file-backed one proving the on-disk
+// format.
+
+#ifndef SRC_STORAGE_BYTE_STORE_H_
+#define SRC_STORAGE_BYTE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace hyperion::storage {
+
+class ByteStore {
+ public:
+  virtual ~ByteStore() = default;
+
+  virtual uint64_t size() const = 0;
+
+  // Reads `n` bytes at `offset`; reading past EOF is an error.
+  virtual Status ReadAt(uint64_t offset, void* out, size_t n) const = 0;
+
+  // Writes `n` bytes at `offset`, growing the store as needed.
+  virtual Status WriteAt(uint64_t offset, const void* data, size_t n) = 0;
+
+  virtual Status Sync() { return OkStatus(); }
+};
+
+class MemByteStore final : public ByteStore {
+ public:
+  uint64_t size() const override { return data_.size(); }
+
+  Status ReadAt(uint64_t offset, void* out, size_t n) const override;
+  Status WriteAt(uint64_t offset, const void* data, size_t n) override;
+
+  const std::vector<uint8_t>& data() const { return data_; }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+class FileByteStore final : public ByteStore {
+ public:
+  // Opens (creating if absent) the file at `path` for read/write.
+  static Result<std::unique_ptr<FileByteStore>> Open(const std::string& path);
+  ~FileByteStore() override;
+
+  uint64_t size() const override { return size_; }
+  Status ReadAt(uint64_t offset, void* out, size_t n) const override;
+  Status WriteAt(uint64_t offset, const void* data, size_t n) override;
+  Status Sync() override;
+
+ private:
+  FileByteStore(int fd, uint64_t file_size) : fd_(fd), size_(file_size) {}
+
+  int fd_;
+  uint64_t size_;
+};
+
+}  // namespace hyperion::storage
+
+#endif  // SRC_STORAGE_BYTE_STORE_H_

@@ -1,0 +1,272 @@
+#include "src/storage/hvd.h"
+
+#include <cstring>
+#include <vector>
+
+#include "src/util/byte_stream.h"
+#include "src/util/crc32.h"
+
+namespace hyperion::storage {
+
+namespace {
+
+constexpr uint64_t RoundUp(uint64_t v, uint64_t align) { return (v + align - 1) / align * align; }
+
+}  // namespace
+
+Result<std::unique_ptr<HvdImage>> HvdImage::Create(std::unique_ptr<ByteStore> store,
+                                                   uint64_t virtual_size, uint32_t cluster_bits,
+                                                   std::string backing_name) {
+  if (virtual_size == 0 || virtual_size % kSectorSize != 0) {
+    return InvalidArgumentError("virtual size must be a positive multiple of 512");
+  }
+  if (cluster_bits < 12 || cluster_bits > 22) {
+    return InvalidArgumentError("cluster_bits must be in [12, 22]");
+  }
+  if (store->size() != 0) {
+    return InvalidArgumentError("store is not empty");
+  }
+  auto image = std::unique_ptr<HvdImage>(new HvdImage());
+  image->store_ = std::move(store);
+  image->virtual_size_ = virtual_size;
+  image->cluster_bits_ = cluster_bits;
+  image->backing_name_ = std::move(backing_name);
+
+  uint64_t cluster = image->cluster_size();
+  uint64_t entries_per_l2 = cluster / 8;
+  uint64_t clusters = RoundUp(virtual_size, cluster) / cluster;
+  image->l1_entries_ = static_cast<uint32_t>((clusters + entries_per_l2 - 1) / entries_per_l2);
+  image->l1_offset_ = cluster;  // header occupies cluster 0
+
+  HYP_RETURN_IF_ERROR(image->WriteHeader());
+  // Zero-fill the L1 table.
+  std::vector<uint8_t> zeros(image->l1_entries_ * 8, 0);
+  HYP_RETURN_IF_ERROR(image->store_->WriteAt(image->l1_offset_, zeros.data(), zeros.size()));
+  image->next_alloc_ = RoundUp(image->l1_offset_ + zeros.size(), cluster);
+  return image;
+}
+
+Result<std::unique_ptr<HvdImage>> HvdImage::Open(std::unique_ptr<ByteStore> store) {
+  // Header layout: magic, version, virtual_size, cluster_bits, l1_entries,
+  // l1_offset, backing string, crc over the preceding fields.
+  uint8_t fixed[32];
+  if (store->size() < sizeof(fixed)) {
+    return DataLossError("image too small for an HVD header");
+  }
+  HYP_RETURN_IF_ERROR(store->ReadAt(0, fixed, sizeof(fixed)));
+  ByteReader r(std::span<const uint8_t>(fixed, sizeof(fixed)));
+  HYP_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kMagic) {
+    return DataLossError("bad HVD magic");
+  }
+  HYP_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kVersion) {
+    return UnimplementedError("unsupported HVD version " + std::to_string(version));
+  }
+  auto image = std::unique_ptr<HvdImage>(new HvdImage());
+  HYP_ASSIGN_OR_RETURN(image->virtual_size_, r.ReadU64());
+  HYP_ASSIGN_OR_RETURN(image->cluster_bits_, r.ReadU32());
+  HYP_ASSIGN_OR_RETURN(image->l1_entries_, r.ReadU32());
+  HYP_ASSIGN_OR_RETURN(image->l1_offset_, r.ReadU64());
+
+  // Variable part: backing name length + bytes + crc.
+  uint8_t len_buf[4];
+  HYP_RETURN_IF_ERROR(store->ReadAt(sizeof(fixed), len_buf, 4));
+  uint32_t name_len;
+  std::memcpy(&name_len, len_buf, 4);
+  if (name_len > 4096) {
+    return DataLossError("implausible backing name length");
+  }
+  std::vector<uint8_t> var(name_len + 4);
+  HYP_RETURN_IF_ERROR(store->ReadAt(sizeof(fixed) + 4, var.data(), var.size()));
+  image->backing_name_.assign(var.begin(), var.begin() + name_len);
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, var.data() + name_len, 4);
+  uint32_t crc = Crc32(fixed, sizeof(fixed));
+  crc = Crc32(len_buf, 4, crc);
+  crc = Crc32(var.data(), name_len, crc);
+  if (crc != stored_crc) {
+    return DataLossError("HVD header checksum mismatch");
+  }
+
+  if (image->cluster_bits_ < 12 || image->cluster_bits_ > 22 || image->virtual_size_ == 0) {
+    return DataLossError("corrupt HVD geometry");
+  }
+  image->store_ = std::move(store);
+  image->next_alloc_ = RoundUp(image->store_->size(), image->cluster_size());
+
+  // Count allocated clusters for reporting.
+  uint64_t entries_per_l2 = image->cluster_size() / 8;
+  for (uint32_t i = 0; i < image->l1_entries_; ++i) {
+    HYP_ASSIGN_OR_RETURN(uint64_t l2_off, image->ReadTableEntry(image->l1_offset_ + i * 8));
+    if (l2_off == 0) {
+      continue;
+    }
+    for (uint64_t j = 0; j < entries_per_l2; ++j) {
+      HYP_ASSIGN_OR_RETURN(uint64_t c, image->ReadTableEntry(l2_off + j * 8));
+      if (c != 0) {
+        ++image->allocated_clusters_;
+      }
+    }
+  }
+  return image;
+}
+
+Status HvdImage::WriteHeader() {
+  ByteWriter w;
+  w.WriteU32(kMagic);
+  w.WriteU32(kVersion);
+  w.WriteU64(virtual_size_);
+  w.WriteU32(cluster_bits_);
+  w.WriteU32(l1_entries_);
+  w.WriteU64(l1_offset_);
+  w.WriteString(backing_name_);
+  uint32_t crc = Crc32(w.buffer().data(), w.size());
+  w.WriteU32(crc);
+  if (w.size() > cluster_size()) {
+    return InvalidArgumentError("backing name too long for the header cluster");
+  }
+  return store_->WriteAt(0, w.buffer().data(), w.size());
+}
+
+Result<uint64_t> HvdImage::ReadTableEntry(uint64_t entry_offset) {
+  uint64_t v = 0;
+  if (entry_offset + 8 > store_->size()) {
+    return v;  // sparse region never written: entry is zero
+  }
+  HYP_RETURN_IF_ERROR(store_->ReadAt(entry_offset, &v, 8));
+  return v;
+}
+
+Status HvdImage::WriteTableEntry(uint64_t entry_offset, uint64_t value) {
+  return store_->WriteAt(entry_offset, &value, 8);
+}
+
+uint64_t HvdImage::AllocateRaw() {
+  uint64_t off = next_alloc_;
+  next_alloc_ += cluster_size();
+  return off;
+}
+
+Result<uint64_t> HvdImage::LookupCluster(uint64_t voff) {
+  uint64_t cluster = cluster_size();
+  uint64_t index = voff / cluster;
+  uint64_t entries_per_l2 = cluster / 8;
+  uint32_t l1 = static_cast<uint32_t>(index / entries_per_l2);
+  uint64_t l2_index = index % entries_per_l2;
+  if (l1 >= l1_entries_) {
+    return OutOfRangeError("virtual offset past image end");
+  }
+  HYP_ASSIGN_OR_RETURN(uint64_t l2_off, ReadTableEntry(l1_offset_ + l1 * 8));
+  if (l2_off == 0) {
+    return uint64_t{0};
+  }
+  return ReadTableEntry(l2_off + l2_index * 8);
+}
+
+Result<uint64_t> HvdImage::EnsureCluster(uint64_t voff) {
+  uint64_t cluster = cluster_size();
+  uint64_t index = voff / cluster;
+  uint64_t entries_per_l2 = cluster / 8;
+  uint32_t l1 = static_cast<uint32_t>(index / entries_per_l2);
+  uint64_t l2_index = index % entries_per_l2;
+  if (l1 >= l1_entries_) {
+    return OutOfRangeError("virtual offset past image end");
+  }
+  HYP_ASSIGN_OR_RETURN(uint64_t l2_off, ReadTableEntry(l1_offset_ + l1 * 8));
+  if (l2_off == 0) {
+    l2_off = AllocateRaw();
+    std::vector<uint8_t> zeros(cluster, 0);
+    HYP_RETURN_IF_ERROR(store_->WriteAt(l2_off, zeros.data(), zeros.size()));
+    HYP_RETURN_IF_ERROR(WriteTableEntry(l1_offset_ + l1 * 8, l2_off));
+  }
+  HYP_ASSIGN_OR_RETURN(uint64_t data_off, ReadTableEntry(l2_off + l2_index * 8));
+  if (data_off == 0) {
+    data_off = AllocateRaw();
+    // COW fill: seed the fresh cluster from the backing image (or zeros).
+    std::vector<uint8_t> seed(cluster, 0);
+    uint64_t cluster_voff = index * cluster;
+    if (backing_ != nullptr) {
+      uint64_t backing_bytes = backing_->num_sectors() * kSectorSize;
+      if (cluster_voff < backing_bytes) {
+        uint64_t n = std::min<uint64_t>(cluster, backing_bytes - cluster_voff);
+        HYP_RETURN_IF_ERROR(backing_->ReadSectors(cluster_voff / kSectorSize,
+                                                  static_cast<uint32_t>(n / kSectorSize),
+                                                  seed.data()));
+      }
+    }
+    HYP_RETURN_IF_ERROR(store_->WriteAt(data_off, seed.data(), seed.size()));
+    HYP_RETURN_IF_ERROR(WriteTableEntry(l2_off + l2_index * 8, data_off));
+    ++allocated_clusters_;
+  }
+  return data_off;
+}
+
+Status HvdImage::ReadSectors(uint64_t lba, uint32_t count, uint8_t* out) {
+  HYP_RETURN_IF_ERROR(CheckRange(lba, count));
+  return ReadRange(lba * kSectorSize, out, static_cast<uint64_t>(count) * kSectorSize);
+}
+
+Status HvdImage::WriteSectors(uint64_t lba, uint32_t count, const uint8_t* data) {
+  HYP_RETURN_IF_ERROR(CheckRange(lba, count));
+  return WriteRange(lba * kSectorSize, data, static_cast<uint64_t>(count) * kSectorSize);
+}
+
+Status HvdImage::ReadRange(uint64_t offset, uint8_t* out, uint64_t n) {
+  uint64_t cluster = cluster_size();
+  while (n > 0) {
+    uint64_t in_cluster = offset % cluster;
+    uint64_t chunk = std::min(n, cluster - in_cluster);
+    HYP_ASSIGN_OR_RETURN(uint64_t data_off, LookupCluster(offset));
+    if (data_off != 0) {
+      HYP_RETURN_IF_ERROR(store_->ReadAt(data_off + in_cluster, out, chunk));
+    } else if (backing_ != nullptr) {
+      // Fall through to the backing image sector-by-sector-aligned range.
+      uint64_t backing_bytes = backing_->num_sectors() * kSectorSize;
+      if (offset < backing_bytes) {
+        uint64_t avail = std::min(chunk, backing_bytes - offset);
+        HYP_RETURN_IF_ERROR(backing_->ReadSectors(offset / kSectorSize,
+                                                  static_cast<uint32_t>(avail / kSectorSize),
+                                                  out));
+        if (avail < chunk) {
+          std::memset(out + avail, 0, chunk - avail);
+        }
+      } else {
+        std::memset(out, 0, chunk);
+      }
+    } else {
+      std::memset(out, 0, chunk);
+    }
+    out += chunk;
+    offset += chunk;
+    n -= chunk;
+  }
+  return OkStatus();
+}
+
+Status HvdImage::WriteRange(uint64_t offset, const uint8_t* data, uint64_t n) {
+  uint64_t cluster = cluster_size();
+  while (n > 0) {
+    uint64_t in_cluster = offset % cluster;
+    uint64_t chunk = std::min(n, cluster - in_cluster);
+    HYP_ASSIGN_OR_RETURN(uint64_t data_off, EnsureCluster(offset));
+    HYP_RETURN_IF_ERROR(store_->WriteAt(data_off + in_cluster, data, chunk));
+    data += chunk;
+    offset += chunk;
+    n -= chunk;
+  }
+  return OkStatus();
+}
+
+Result<std::unique_ptr<HvdImage>> CreateOverlay(std::shared_ptr<BlockStore> base,
+                                                std::string base_name,
+                                                std::unique_ptr<ByteStore> store,
+                                                uint32_t cluster_bits) {
+  uint64_t size = base->num_sectors() * kSectorSize;
+  HYP_ASSIGN_OR_RETURN(auto overlay,
+                       HvdImage::Create(std::move(store), size, cluster_bits, std::move(base_name)));
+  overlay->SetBacking(std::move(base));
+  return overlay;
+}
+
+}  // namespace hyperion::storage

@@ -1,0 +1,94 @@
+// HVD: hyperion virtual disk — a qcow-style copy-on-write image format.
+//
+// Layout: a header cluster, an L1 table of offsets to L2 tables, L2 tables
+// of offsets to data clusters. Unallocated clusters read through to the
+// backing image (or zeros). Writes allocate at end-of-file and COW the
+// backing contents, so overlays ("clone from template", "disk snapshot")
+// are O(1) to create regardless of image size.
+//
+// Snapshot model: external/overlay snapshots only — freeze an image by
+// stacking a fresh overlay on top of it — so no refcount tables are needed.
+
+#ifndef SRC_STORAGE_HVD_H_
+#define SRC_STORAGE_HVD_H_
+
+#include <memory>
+#include <string>
+
+#include "src/storage/block_store.h"
+#include "src/storage/byte_store.h"
+
+namespace hyperion::storage {
+
+class HvdImage final : public BlockStore {
+ public:
+  static constexpr uint32_t kMagic = 0x31445648;  // "HVD1"
+  static constexpr uint32_t kVersion = 1;
+  static constexpr uint32_t kDefaultClusterBits = 16;  // 64 KiB clusters
+
+  // Creates a fresh, fully sparse image of `virtual_size` bytes (must be a
+  // multiple of the sector size) in `store`. `backing_name` is recorded in
+  // the header; attach the actual backing store after opening.
+  static Result<std::unique_ptr<HvdImage>> Create(std::unique_ptr<ByteStore> store,
+                                                  uint64_t virtual_size,
+                                                  uint32_t cluster_bits = kDefaultClusterBits,
+                                                  std::string backing_name = "");
+
+  // Opens an existing image, validating the header.
+  static Result<std::unique_ptr<HvdImage>> Open(std::unique_ptr<ByteStore> store);
+
+  // Attaches the backing image named in the header (resolved by the caller).
+  // The backing store is used read-only.
+  void SetBacking(std::shared_ptr<BlockStore> backing) { backing_ = std::move(backing); }
+
+  const std::string& backing_name() const { return backing_name_; }
+  uint64_t virtual_size() const { return virtual_size_; }
+  uint32_t cluster_size() const { return 1u << cluster_bits_; }
+  uint64_t allocated_clusters() const { return allocated_clusters_; }
+  // Bytes the image occupies in its store (the "thin-provisioned" size).
+  uint64_t store_size() const { return store_->size(); }
+
+  // BlockStore interface.
+  uint64_t num_sectors() const override { return virtual_size_ / kSectorSize; }
+  Status ReadSectors(uint64_t lba, uint32_t count, uint8_t* out) override;
+  Status WriteSectors(uint64_t lba, uint32_t count, const uint8_t* data) override;
+  Status Flush() override { return store_->Sync(); }
+
+ private:
+  HvdImage() = default;
+
+  Status WriteHeader();
+  Status ReadRange(uint64_t offset, uint8_t* out, uint64_t n);
+  Status WriteRange(uint64_t offset, const uint8_t* data, uint64_t n);
+
+  // Returns the file offset of the data cluster covering virtual offset
+  // `voff`, or 0 when unallocated.
+  Result<uint64_t> LookupCluster(uint64_t voff);
+  // Like LookupCluster but allocates (with COW fill) when absent.
+  Result<uint64_t> EnsureCluster(uint64_t voff);
+
+  Result<uint64_t> ReadTableEntry(uint64_t entry_offset);
+  Status WriteTableEntry(uint64_t entry_offset, uint64_t value);
+  uint64_t AllocateRaw();  // reserves one cluster-aligned region at EOF
+
+  std::unique_ptr<ByteStore> store_;
+  std::shared_ptr<BlockStore> backing_;
+  std::string backing_name_;
+  uint64_t virtual_size_ = 0;
+  uint32_t cluster_bits_ = kDefaultClusterBits;
+  uint32_t l1_entries_ = 0;
+  uint64_t l1_offset_ = 0;
+  uint64_t next_alloc_ = 0;
+  uint64_t allocated_clusters_ = 0;
+};
+
+// Creates an O(1) overlay (clone/snapshot) on `store` whose reads fall
+// through to `base`. `base_name` is recorded for later re-open resolution.
+Result<std::unique_ptr<HvdImage>> CreateOverlay(std::shared_ptr<BlockStore> base,
+                                                std::string base_name,
+                                                std::unique_ptr<ByteStore> store,
+                                                uint32_t cluster_bits = HvdImage::kDefaultClusterBits);
+
+}  // namespace hyperion::storage
+
+#endif  // SRC_STORAGE_HVD_H_

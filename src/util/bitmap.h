@@ -1,0 +1,125 @@
+// Dynamic bitmap with fast scan operations, used by the frame allocator and
+// dirty-page logging.
+
+#ifndef SRC_UTIL_BITMAP_H_
+#define SRC_UTIL_BITMAP_H_
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hyperion {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(size_t bits) { Resize(bits); }
+
+  void Resize(size_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+  }
+
+  size_t size() const { return bits_; }
+
+  bool Test(size_t i) const {
+    assert(i < bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void Set(size_t i) {
+    assert(i < bits_);
+    words_[i >> 6] |= (1ull << (i & 63));
+  }
+
+  void Clear(size_t i) {
+    assert(i < bits_);
+    words_[i >> 6] &= ~(1ull << (i & 63));
+  }
+
+  void Assign(size_t i, bool v) { v ? Set(i) : Clear(i); }
+
+  void ClearAll() { words_.assign(words_.size(), 0); }
+  void SetAll() {
+    words_.assign(words_.size(), ~0ull);
+    TrimTail();
+  }
+
+  // Number of set bits.
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : words_) {
+      n += static_cast<size_t>(std::popcount(w));
+    }
+    return n;
+  }
+
+  // Index of the first set (clear) bit at or after `from`; size() if none.
+  size_t FindFirstSet(size_t from = 0) const { return FindFirst<true>(from); }
+  size_t FindFirstClear(size_t from = 0) const { return FindFirst<false>(from); }
+
+  // Collects the indices of all set bits (dirty-page harvesting).
+  std::vector<size_t> SetBits() const {
+    std::vector<size_t> out;
+    out.reserve(Count());
+    for (size_t i = FindFirstSet(); i < bits_; i = FindFirstSet(i + 1)) {
+      out.push_back(i);
+    }
+    return out;
+  }
+
+  // Moves all set bits out of this bitmap into a fresh copy and clears them
+  // here (atomic "harvest and reset" for dirty logging).
+  Bitmap ExchangeClear() {
+    Bitmap out;
+    out.bits_ = bits_;
+    out.words_ = words_;
+    ClearAll();
+    return out;
+  }
+
+  // Bitwise OR with another bitmap of the same size.
+  void OrWith(const Bitmap& other) {
+    assert(other.bits_ == bits_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      words_[i] |= other.words_[i];
+    }
+  }
+
+ private:
+  template <bool kSet>
+  size_t FindFirst(size_t from) const {
+    if (from >= bits_) {
+      return bits_;
+    }
+    size_t word = from >> 6;
+    uint64_t w = kSet ? words_[word] : ~words_[word];
+    w &= ~0ull << (from & 63);
+    while (true) {
+      if (w != 0) {
+        size_t i = (word << 6) + static_cast<size_t>(std::countr_zero(w));
+        return i < bits_ ? i : bits_;
+      }
+      if (++word == words_.size()) {
+        return bits_;
+      }
+      w = kSet ? words_[word] : ~words_[word];
+    }
+  }
+
+  void TrimTail() {
+    size_t tail = bits_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (1ull << tail) - 1;
+    }
+  }
+
+  size_t bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace hyperion
+
+#endif  // SRC_UTIL_BITMAP_H_

@@ -1,0 +1,10 @@
+#include "src/util/byte_stream.h"
+
+#include <bit>
+
+namespace hyperion {
+
+static_assert(std::endian::native == std::endian::little,
+              "hyperion's serialization assumes a little-endian host");
+
+}  // namespace hyperion

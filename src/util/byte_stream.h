@@ -1,0 +1,134 @@
+// Little-endian byte cursors used for VM snapshots, disk-image metadata and
+// the migration wire format. ByteWriter appends to an owned buffer;
+// ByteReader walks a borrowed span and fails softly (Status) on truncation.
+
+#ifndef SRC_UTIL_BYTE_STREAM_H_
+#define SRC_UTIL_BYTE_STREAM_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace hyperion {
+
+// Appends little-endian primitives and length-prefixed blobs to a buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void WriteU8(uint8_t v) { buffer_.push_back(v); }
+  void WriteU16(uint16_t v) { AppendLe(&v, sizeof(v)); }
+  void WriteU32(uint32_t v) { AppendLe(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { AppendLe(&v, sizeof(v)); }
+
+  void WriteBytes(const void* data, size_t size) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buffer_.insert(buffer_.end(), p, p + size);
+  }
+
+  // u32 length prefix followed by the raw bytes.
+  void WriteBlob(std::span<const uint8_t> blob) {
+    WriteU32(static_cast<uint32_t>(blob.size()));
+    WriteBytes(blob.data(), blob.size());
+  }
+  void WriteString(std::string_view s) {
+    WriteU32(static_cast<uint32_t>(s.size()));
+    WriteBytes(s.data(), s.size());
+  }
+
+  size_t size() const { return buffer_.size(); }
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  std::vector<uint8_t> TakeBuffer() { return std::move(buffer_); }
+
+  // Overwrites 4 bytes at `offset` (for back-patching section sizes).
+  void PatchU32(size_t offset, uint32_t v) {
+    std::memcpy(buffer_.data() + offset, &v, sizeof(v));
+  }
+
+ private:
+  void AppendLe(const void* v, size_t size) {
+    // Host is little-endian on every supported platform; a static_assert in
+    // byte_stream.cc guards the assumption.
+    WriteBytes(v, size);
+  }
+
+  std::vector<uint8_t> buffer_;
+};
+
+// Reads little-endian primitives from a borrowed buffer with bounds checks.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  Result<uint8_t> ReadU8() { return ReadScalar<uint8_t>(); }
+  Result<uint16_t> ReadU16() { return ReadScalar<uint16_t>(); }
+  Result<uint32_t> ReadU32() { return ReadScalar<uint32_t>(); }
+  Result<uint64_t> ReadU64() { return ReadScalar<uint64_t>(); }
+
+  Status ReadBytes(void* out, size_t size) {
+    if (remaining() < size) {
+      return DataLossError("byte stream truncated");
+    }
+    std::memcpy(out, data_.data() + pos_, size);
+    pos_ += size;
+    return OkStatus();
+  }
+
+  // Reads a u32-length-prefixed blob.
+  Result<std::vector<uint8_t>> ReadBlob() {
+    HYP_ASSIGN_OR_RETURN(uint32_t size, ReadU32());
+    if (remaining() < size) {
+      return DataLossError("blob truncated");
+    }
+    std::vector<uint8_t> out(data_.begin() + static_cast<ptrdiff_t>(pos_),
+                             data_.begin() + static_cast<ptrdiff_t>(pos_ + size));
+    pos_ += size;
+    return out;
+  }
+
+  Result<std::string> ReadString() {
+    HYP_ASSIGN_OR_RETURN(uint32_t size, ReadU32());
+    if (remaining() < size) {
+      return DataLossError("string truncated");
+    }
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_), size);
+    pos_ += size;
+    return out;
+  }
+
+  Status Skip(size_t size) {
+    if (remaining() < size) {
+      return DataLossError("skip past end of stream");
+    }
+    pos_ += size;
+    return OkStatus();
+  }
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  Result<T> ReadScalar() {
+    if (remaining() < sizeof(T)) {
+      return DataLossError("byte stream truncated");
+    }
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace hyperion
+
+#endif  // SRC_UTIL_BYTE_STREAM_H_

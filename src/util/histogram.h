@@ -1,0 +1,111 @@
+// Simple statistics helpers for benchmark reporting: a streaming summary
+// (min/max/mean/stddev) and a power-of-two bucketed histogram for latencies.
+
+#ifndef SRC_UTIL_HISTOGRAM_H_
+#define SRC_UTIL_HISTOGRAM_H_
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hyperion {
+
+// Welford's online mean/variance plus min/max.
+class SummaryStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Histogram over uint64 samples with one bucket per power of two.
+// Percentiles are estimated at bucket upper bounds — good enough for
+// order-of-magnitude latency reporting.
+class LogHistogram {
+ public:
+  void Add(uint64_t x) {
+    ++buckets_[BucketOf(x)];
+    ++count_;
+    sum_ += x;
+  }
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0; }
+
+  // Upper bound of the bucket containing the q-quantile (q in [0,1]).
+  uint64_t Percentile(double q) const {
+    if (count_ == 0) {
+      return 0;
+    }
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+    uint64_t seen = 0;
+    for (size_t b = 0; b < buckets_.size(); ++b) {
+      seen += buckets_[b];
+      if (seen > rank) {
+        return BucketUpperBound(b);
+      }
+    }
+    return BucketUpperBound(buckets_.size() - 1);
+  }
+
+  void Reset() {
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = 0;
+  }
+
+ private:
+  static size_t BucketOf(uint64_t x) { return x == 0 ? 0 : static_cast<size_t>(std::bit_width(x)); }
+  static uint64_t BucketUpperBound(size_t b) { return b == 0 ? 0 : (1ull << b) - 1; }
+
+  std::array<uint64_t, 65> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+};
+
+// Jain's fairness index over a set of allocations: (Σx)² / (n·Σx²).
+// 1.0 is perfectly fair; 1/n is maximally unfair.
+inline double JainFairness(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 1.0;
+  }
+  double sum = 0, sumsq = 0;
+  for (double x : xs) {
+    sum += x;
+    sumsq += x * x;
+  }
+  if (sumsq == 0) {
+    return 1.0;
+  }
+  return (sum * sum) / (static_cast<double>(xs.size()) * sumsq);
+}
+
+}  // namespace hyperion
+
+#endif  // SRC_UTIL_HISTOGRAM_H_

@@ -1,0 +1,51 @@
+#include "src/util/logging.h"
+
+#include <cstdio>
+
+namespace hyperion {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "T";
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+namespace internal {
+
+bool LogEnabled(LogLevel level) { return level >= g_level && g_level != LogLevel::kOff; }
+
+LogMessage::LogMessage(LogLevel level, std::string_view file, int line) : level_(level) {
+  // Strip the directory part; the basename is enough to locate the call site.
+  size_t slash = file.rfind('/');
+  if (slash != std::string_view::npos) {
+    file = file.substr(slash + 1);
+  }
+  stream_ << "[" << LevelTag(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+}
+
+}  // namespace internal
+}  // namespace hyperion

@@ -1,0 +1,55 @@
+// Minimal leveled logger.
+//
+// Logging is off by default (benchmarks must stay quiet); tests and examples
+// raise the level explicitly. Not thread-safe by design: the simulation is
+// single-threaded (see DESIGN.md §4).
+
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string_view>
+
+namespace hyperion {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+// Process-wide minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+bool LogEnabled(LogLevel level);
+
+// Accumulates one message and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define HYP_LOG(level)                                            \
+  if (!::hyperion::internal::LogEnabled(::hyperion::LogLevel::level)) \
+    ;                                                             \
+  else                                                            \
+    ::hyperion::internal::LogMessage(::hyperion::LogLevel::level, __FILE__, __LINE__)
+
+}  // namespace hyperion
+
+#endif  // SRC_UTIL_LOGGING_H_

@@ -1,0 +1,109 @@
+// Simulated time.
+//
+// Hyperion is an event-driven simulation: all durations are expressed in
+// simulated cycles of a nominal 1 GHz machine, so 1 cycle == 1 ns. The clock
+// only moves when the simulation advances it, which makes every run
+// deterministic regardless of host speed.
+
+#ifndef SRC_UTIL_SIM_CLOCK_H_
+#define SRC_UTIL_SIM_CLOCK_H_
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hyperion {
+
+// Simulated time in cycles (1 cycle == 1 ns at the nominal 1 GHz).
+using SimTime = uint64_t;
+
+constexpr SimTime kSimTicksPerUs = 1000;
+constexpr SimTime kSimTicksPerMs = 1000 * kSimTicksPerUs;
+constexpr SimTime kSimTicksPerSec = 1000 * kSimTicksPerMs;
+
+inline double SimTimeToMs(SimTime t) { return static_cast<double>(t) / kSimTicksPerMs; }
+inline double SimTimeToUs(SimTime t) { return static_cast<double>(t) / kSimTicksPerUs; }
+inline double SimTimeToSec(SimTime t) { return static_cast<double>(t) / kSimTicksPerSec; }
+
+// A monotonically advancing simulated clock with a pending-event queue.
+// Events scheduled at the same time fire in scheduling order (stable).
+class SimClock {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `when` (>= now).
+  void ScheduleAt(SimTime when, Callback fn) {
+    assert(when >= now_);
+    queue_.push(Event{when, seq_++, std::move(fn)});
+  }
+
+  // Schedules `fn` to run `delay` cycles from now.
+  void ScheduleAfter(SimTime delay, Callback fn) { ScheduleAt(now_ + delay, std::move(fn)); }
+
+  // Moves time forward by `delta` without running events (callers that manage
+  // their own event dispatch, e.g. the vCPU run loop, use this).
+  void Advance(SimTime delta) { now_ += delta; }
+
+  // Advances to `when`, firing every event due on the way, in order.
+  void RunUntil(SimTime when) {
+    while (!queue_.empty() && queue_.top().when <= when) {
+      Event ev = PopTop();
+      now_ = ev.when;
+      ev.fn();
+    }
+    if (when > now_) {
+      now_ = when;
+    }
+  }
+
+  // Runs events until the queue drains (or `max_events` fire). Returns the
+  // number of events dispatched.
+  size_t RunAll(size_t max_events = SIZE_MAX) {
+    size_t fired = 0;
+    while (!queue_.empty() && fired < max_events) {
+      Event ev = PopTop();
+      now_ = ev.when;
+      ev.fn();
+      ++fired;
+    }
+    return fired;
+  }
+
+  bool HasPending() const { return !queue_.empty(); }
+  SimTime NextEventTime() const {
+    assert(!queue_.empty());
+    return queue_.top().when;
+  }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;  // tie-breaker: stable FIFO order among same-time events
+    Callback fn;
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  Event PopTop() {
+    // priority_queue::top() is const; the event is moved out via const_cast,
+    // which is safe because pop() immediately removes the slot.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    return ev;
+  }
+
+  SimTime now_ = 0;
+  uint64_t seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace hyperion
+
+#endif  // SRC_UTIL_SIM_CLOCK_H_

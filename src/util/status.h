@@ -1,0 +1,136 @@
+// Error-handling primitives for hyperion.
+//
+// Library code does not throw exceptions (kernel-style discipline); fallible
+// operations return Status or Result<T>. Both are cheap value types.
+
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace hyperion {
+
+// Coarse error taxonomy. Modules attach detail via the message string.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // lookup missed
+  kAlreadyExists,     // uniqueness violated
+  kOutOfRange,        // address/index outside a valid region
+  kResourceExhausted, // out of frames, descriptors, credits, ...
+  kFailedPrecondition,// object in the wrong state for the call
+  kUnimplemented,     // feature intentionally absent
+  kDataLoss,          // corrupt image / bad checksum
+  kInternal,          // invariant violated (a bug)
+};
+
+// Returns a stable human-readable name, e.g. "OUT_OF_RANGE".
+std::string_view StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on success (no allocation).
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk && "use Status() or OkStatus() for success");
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "OUT_OF_RANGE: gpa 0xdeadbeef past end of RAM".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+
+// Convenience constructors mirroring StatusCode.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status OutOfRangeError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnimplementedError(std::string message);
+Status DataLossError(std::string message);
+Status InternalError(std::string message);
+
+// A value-or-error. Access to value() on an error aborts in debug builds.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}  // NOLINT(implicit)
+  Result(Status status) : data_(std::in_place_index<1>, std::move(status)) {  // NOLINT(implicit)
+    assert(!std::get<1>(data_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return data_.index() == 0; }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<0>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(data_));
+  }
+
+  // The error status; OkStatus() if the result holds a value.
+  Status status() const { return ok() ? OkStatus() : std::get<1>(data_); }
+
+  const T& value_or(const T& fallback) const {
+    return ok() ? std::get<0>(data_) : fallback;
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+// Propagate an error Status from an expression that yields Status.
+#define HYP_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::hyperion::Status hyp_status_ = (expr);   \
+    if (!hyp_status_.ok()) return hyp_status_; \
+  } while (0)
+
+// Assign the value of a Result<T> expression or propagate its error.
+// Usage: HYP_ASSIGN_OR_RETURN(auto frame, pool.Allocate());
+#define HYP_ASSIGN_OR_RETURN(decl, expr)                \
+  HYP_ASSIGN_OR_RETURN_IMPL_(                           \
+      HYP_STATUS_CONCAT_(hyp_result_, __LINE__), decl, expr)
+
+#define HYP_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  decl = std::move(tmp).value()
+
+#define HYP_STATUS_CONCAT_(a, b) HYP_STATUS_CONCAT_IMPL_(a, b)
+#define HYP_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace hyperion
+
+#endif  // SRC_UTIL_STATUS_H_

@@ -1,0 +1,70 @@
+#include "src/virtio/virtio_console.h"
+
+namespace hyperion::virtio {
+
+Status VirtioConsole::ProcessQueue(uint16_t q) {
+  if (q == kRxQueue) {
+    PumpRx();
+    return OkStatus();
+  }
+  VirtQueue& vq = queue(kTxQueue);
+  bool any = false;
+  for (;;) {
+    auto has = vq.HasWork(memory());
+    if (!has.ok()) {
+      return has.status();  // ring metadata unreadable: fail the kick
+    }
+    if (!*has) {
+      break;
+    }
+    HYP_ASSIGN_OR_RETURN(Chain chain, vq.Pop(memory()));
+    ++mutable_stats().chains;
+    HYP_ASSIGN_OR_RETURN(std::vector<uint8_t> data, GatherReadable(chain));
+    output_.append(data.begin(), data.end());
+    HYP_RETURN_IF_ERROR(vq.PushUsed(memory(), chain.head, 0));
+    any = true;
+  }
+  if (any) {
+    NotifyGuest();
+  }
+  return OkStatus();
+}
+
+void VirtioConsole::InjectInput(std::string_view text) {
+  for (char c : text) {
+    rx_backlog_.push_back(static_cast<uint8_t>(c));
+  }
+  PumpRx();
+}
+
+void VirtioConsole::PumpRx() {
+  VirtQueue& vq = queue(kRxQueue);
+  bool delivered = false;
+  while (!rx_backlog_.empty()) {
+    auto has = vq.HasWork(memory());
+    if (!has.ok() || !*has) {
+      break;
+    }
+    auto chain = vq.Pop(memory());
+    if (!chain.ok()) {
+      break;
+    }
+    std::vector<uint8_t> buf(
+        std::min<size_t>(rx_backlog_.size(), chain->TotalWritable()));
+    for (auto& b : buf) {
+      b = rx_backlog_.front();
+      rx_backlog_.pop_front();
+    }
+    auto written = ScatterWritable(*chain, buf.data(), buf.size());
+    if (!written.ok()) {
+      break;
+    }
+    (void)vq.PushUsed(memory(), chain->head, *written);
+    delivered = true;
+  }
+  if (delivered) {
+    NotifyGuest();
+  }
+}
+
+}  // namespace hyperion::virtio

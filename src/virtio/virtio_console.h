@@ -1,0 +1,42 @@
+// Paravirtual console: queue 0 = RX (host -> guest), queue 1 = TX.
+// TX chains carry raw bytes appended to the host-visible output string.
+
+#ifndef SRC_VIRTIO_VIRTIO_CONSOLE_H_
+#define SRC_VIRTIO_VIRTIO_CONSOLE_H_
+
+#include <deque>
+#include <string>
+
+#include "src/virtio/virtio_blk.h"  // virtio device ids
+
+namespace hyperion::virtio {
+
+class VirtioConsole final : public VirtioDevice {
+ public:
+  static constexpr uint16_t kRxQueue = 0;
+  static constexpr uint16_t kTxQueue = 1;
+
+  VirtioConsole(mem::GuestMemory* memory, devices::IrqLine irq)
+      : VirtioDevice(kVirtioIdConsole, 2, memory, irq) {}
+
+  std::string_view name() const override { return "virtio-console"; }
+
+  const std::string& output() const { return output_; }
+  void ClearOutput() { output_.clear(); }
+
+  // Host-side input; lands in guest-posted RX buffers.
+  void InjectInput(std::string_view text);
+
+ protected:
+  Status ProcessQueue(uint16_t q) override;
+
+ private:
+  void PumpRx();
+
+  std::string output_;
+  std::deque<uint8_t> rx_backlog_;
+};
+
+}  // namespace hyperion::virtio
+
+#endif  // SRC_VIRTIO_VIRTIO_CONSOLE_H_

@@ -1,0 +1,97 @@
+#include "src/virtio/virtio_net.h"
+
+#include <cstring>
+
+namespace hyperion::virtio {
+
+Status VirtioNet::ProcessQueue(uint16_t q) {
+  if (q == kTxQueue) {
+    return DrainTx();
+  }
+  // RX kick: the guest posted fresh buffers; drain any backlog into them.
+  PumpRx();
+  return OkStatus();
+}
+
+Status VirtioNet::DrainTx() {
+  VirtQueue& vq = queue(kTxQueue);
+  bool any = false;
+  for (;;) {
+    auto has = vq.HasWork(memory());
+    if (!has.ok()) {
+      return has.status();  // ring metadata unreadable: fail the kick
+    }
+    if (!*has) {
+      break;
+    }
+    HYP_ASSIGN_OR_RETURN(Chain chain, vq.Pop(memory()));
+    ++mutable_stats().chains;
+    HYP_ASSIGN_OR_RETURN(std::vector<uint8_t> data, GatherReadable(chain));
+    if (data.size() >= kFrameHeaderBytes) {
+      uint32_t dst, len;
+      std::memcpy(&dst, data.data(), 4);
+      std::memcpy(&len, data.data() + 4, 4);
+      len = std::min<uint32_t>(len, static_cast<uint32_t>(data.size() - kFrameHeaderBytes));
+      net::Frame f;
+      f.src = addr_;
+      f.dst = dst;
+      f.payload.assign(data.begin() + kFrameHeaderBytes,
+                       data.begin() + kFrameHeaderBytes + len);
+      switch_->Send(std::move(f));
+      ++net_stats_.tx_frames;
+    }
+    HYP_RETURN_IF_ERROR(vq.PushUsed(memory(), chain.head, 0));
+    any = true;
+  }
+  if (any) {
+    NotifyGuest();
+  }
+  return OkStatus();
+}
+
+void VirtioNet::OnFrame(const net::Frame& frame) {
+  if (rx_backlog_.size() >= 256) {
+    ++net_stats_.rx_dropped;
+    return;
+  }
+  rx_backlog_.push_back(frame);
+  PumpRx();
+}
+
+void VirtioNet::PumpRx() {
+  VirtQueue& vq = queue(kRxQueue);
+  bool delivered = false;
+  while (!rx_backlog_.empty()) {
+    auto has = vq.HasWork(memory());
+    if (!has.ok() || !*has) {
+      break;  // no posted buffers; keep the backlog
+    }
+    auto chain = vq.Pop(memory());
+    if (!chain.ok()) {
+      break;
+    }
+    const net::Frame& f = rx_backlog_.front();
+    std::vector<uint8_t> buf(kFrameHeaderBytes + f.payload.size());
+    uint32_t len = static_cast<uint32_t>(f.payload.size());
+    std::memcpy(buf.data(), &f.src, 4);
+    std::memcpy(buf.data() + 4, &len, 4);
+    std::memcpy(buf.data() + kFrameHeaderBytes, f.payload.data(), f.payload.size());
+    auto written = ScatterWritable(*chain, buf.data(), buf.size());
+    if (!written.ok()) {
+      break;
+    }
+    if (*written < buf.size()) {
+      ++net_stats_.rx_dropped;  // posted buffer too small: frame truncated/lost
+    } else {
+      ++net_stats_.rx_frames;
+    }
+    (void)vq.PushUsed(memory(), chain->head, *written);
+    rx_backlog_.pop_front();
+    delivered = true;
+  }
+  if (delivered) {
+    NotifyGuest();
+  }
+}
+
+}  // namespace hyperion::virtio

@@ -1,0 +1,58 @@
+// Paravirtual network device.
+//
+// Queue 0 = RX (guest posts writable buffers; the device fills one per
+// incoming frame), queue 1 = TX (guest posts readable frames).
+//
+// Frame header (8 bytes) precedes payload in every buffer:
+//   TX: { u32 dst; u32 len; }   RX: { u32 src; u32 len; }
+
+#ifndef SRC_VIRTIO_VIRTIO_NET_H_
+#define SRC_VIRTIO_VIRTIO_NET_H_
+
+#include <deque>
+
+#include "src/net/network.h"
+#include "src/virtio/virtio_blk.h"  // virtio device ids
+
+namespace hyperion::virtio {
+
+class VirtioNet final : public VirtioDevice, public net::FrameSink {
+ public:
+  static constexpr uint16_t kRxQueue = 0;
+  static constexpr uint16_t kTxQueue = 1;
+  static constexpr uint32_t kFrameHeaderBytes = 8;
+
+  VirtioNet(mem::GuestMemory* memory, devices::IrqLine irq, net::VirtualSwitch* vswitch,
+            net::MacAddr addr)
+      : VirtioDevice(kVirtioIdNet, 2, memory, irq), switch_(vswitch), addr_(addr) {}
+
+  net::MacAddr addr() const { return addr_; }
+
+  std::string_view name() const override { return "virtio-net"; }
+
+  // net::FrameSink: deliver into posted RX buffers (or queue briefly).
+  void OnFrame(const net::Frame& frame) override;
+
+  struct NetStats {
+    uint64_t tx_frames = 0;
+    uint64_t rx_frames = 0;
+    uint64_t rx_dropped = 0;
+  };
+  const NetStats& net_stats() const { return net_stats_; }
+
+ protected:
+  Status ProcessQueue(uint16_t q) override;
+
+ private:
+  Status DrainTx();
+  void PumpRx();  // move backlog frames into posted buffers
+
+  net::VirtualSwitch* switch_;
+  net::MacAddr addr_;
+  std::deque<net::Frame> rx_backlog_;
+  NetStats net_stats_;
+};
+
+}  // namespace hyperion::virtio
+
+#endif  // SRC_VIRTIO_VIRTIO_NET_H_

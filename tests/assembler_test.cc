@@ -1,0 +1,332 @@
+// Tests for the HV32 two-pass assembler: syntax, directives, pseudo-ops,
+// label resolution, error reporting, and round-trips through the decoder.
+
+#include <gtest/gtest.h>
+
+#include "src/asm/assembler.h"
+#include "src/isa/hv32.h"
+
+namespace hyperion::assembler {
+namespace {
+
+using isa::AluOp;
+using isa::BranchCond;
+using isa::Decode;
+using isa::Instruction;
+using isa::Opcode;
+
+uint32_t WordAt(const Image& image, uint32_t addr) {
+  EXPECT_GE(addr, image.base);
+  size_t off = addr - image.base;
+  EXPECT_LE(off + 4, image.bytes.size());
+  uint32_t w = 0;
+  for (int b = 3; b >= 0; --b) {
+    w = (w << 8) | image.bytes[off + static_cast<size_t>(b)];
+  }
+  return w;
+}
+
+TEST(AssemblerTest, EmptySourceYieldsEmptyImage) {
+  auto image = Assemble("");
+  ASSERT_TRUE(image.ok());
+  EXPECT_TRUE(image->bytes.empty());
+}
+
+TEST(AssemblerTest, SingleInstructionAtDefaultOrigin) {
+  auto image = Assemble("add a0, a1, a2");
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->base, isa::kResetPc);
+  Instruction i = Decode(WordAt(*image, isa::kResetPc));
+  EXPECT_EQ(i.opcode, Opcode::kOp);
+  EXPECT_EQ(i.funct, static_cast<uint8_t>(AluOp::kAdd));
+  EXPECT_EQ(i.rd, isa::kA0);
+  EXPECT_EQ(i.rs1, isa::kA1);
+  EXPECT_EQ(i.rs2, isa::kA2);
+}
+
+TEST(AssemblerTest, CommentsAndBlankLines) {
+  auto image = Assemble(R"(
+    ; full line comment
+    # another
+    addi a0, zero, 5   ; trailing comment
+  )");
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->bytes.size(), 4u);
+}
+
+TEST(AssemblerTest, OrgMovesLocationCounter) {
+  auto image = Assemble(".org 0x2000\nnop\n");
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->base, 0x2000u);
+}
+
+TEST(AssemblerTest, LabelsAndBranchBackward) {
+  auto image = Assemble(R"(
+loop:
+    addi a0, a0, 1
+    bne a0, a1, loop
+  )");
+  ASSERT_TRUE(image.ok());
+  Instruction br = Decode(WordAt(*image, image->base + 4));
+  EXPECT_EQ(br.opcode, Opcode::kBranch);
+  EXPECT_EQ(br.funct, static_cast<uint8_t>(BranchCond::kNe));
+  EXPECT_EQ(br.imm, -4);  // branch back one instruction
+}
+
+TEST(AssemblerTest, ForwardReferenceResolves) {
+  auto image = Assemble(R"(
+    j done
+    nop
+done:
+    halt
+  )");
+  ASSERT_TRUE(image.ok());
+  Instruction j = Decode(WordAt(*image, image->base));
+  EXPECT_EQ(j.opcode, Opcode::kJal);
+  EXPECT_EQ(j.rd, isa::kZero);
+  EXPECT_EQ(j.imm, 8);
+}
+
+TEST(AssemblerTest, LiSmallAndLargeValues) {
+  auto image = Assemble("li a0, 42\nli a1, 0xDEADBEEF\n");
+  ASSERT_TRUE(image.ok());
+  // Every li is a lui+addi pair.
+  Instruction lui0 = Decode(WordAt(*image, image->base + 0));
+  Instruction addi0 = Decode(WordAt(*image, image->base + 4));
+  EXPECT_EQ(lui0.opcode, Opcode::kLui);
+  EXPECT_EQ(addi0.opcode, Opcode::kOpImm);
+  // Simulate the pair: rd = (lui imm) + (addi imm).
+  uint32_t v0 = static_cast<uint32_t>(lui0.imm) + static_cast<uint32_t>(addi0.imm);
+  EXPECT_EQ(v0, 42u);
+
+  Instruction lui1 = Decode(WordAt(*image, image->base + 8));
+  Instruction addi1 = Decode(WordAt(*image, image->base + 12));
+  uint32_t v1 = static_cast<uint32_t>(lui1.imm) + static_cast<uint32_t>(addi1.imm);
+  EXPECT_EQ(v1, 0xDEADBEEFu);
+}
+
+TEST(AssemblerTest, PropertyLiReconstructsValue) {
+  // Sweep tricky values: sign-bit boundaries of the 14-bit immediate.
+  for (uint64_t v64 : {0ull, 1ull, 0x1FFFull, 0x2000ull, 0x3FFFull, 0x4000ull,
+                       0x7FFFFFFFull, 0x80000000ull, 0xFFFFFFFFull, 0xDEAD2000ull,
+                       0x00002001ull, 0xFFFFE000ull}) {
+    uint32_t v = static_cast<uint32_t>(v64);
+    auto image = Assemble("li a0, " + std::to_string(v) + "\n");
+    ASSERT_TRUE(image.ok()) << v;
+    Instruction lui = Decode(WordAt(*image, image->base));
+    Instruction addi = Decode(WordAt(*image, image->base + 4));
+    uint32_t got = static_cast<uint32_t>(lui.imm) + static_cast<uint32_t>(addi.imm);
+    EXPECT_EQ(got, v) << "value " << std::hex << v;
+  }
+}
+
+TEST(AssemblerTest, LaUsesSymbolAddress) {
+  auto image = Assemble(R"(
+    la a0, message
+    halt
+message:
+    .asciz "hi"
+  )");
+  ASSERT_TRUE(image.ok());
+  auto addr = image->SymbolAddress("message");
+  ASSERT_TRUE(addr.ok());
+  Instruction lui = Decode(WordAt(*image, image->base));
+  Instruction addi = Decode(WordAt(*image, image->base + 4));
+  EXPECT_EQ(static_cast<uint32_t>(lui.imm) + static_cast<uint32_t>(addi.imm), *addr);
+}
+
+TEST(AssemblerTest, MemoryOperands) {
+  auto image = Assemble("lw a0, 8(sp)\nsw a1, -4(t0)\nlw a2, (gp)\n");
+  ASSERT_TRUE(image.ok());
+  Instruction lw = Decode(WordAt(*image, image->base));
+  EXPECT_EQ(lw.opcode, Opcode::kLw);
+  EXPECT_EQ(lw.rs1, isa::kSp);
+  EXPECT_EQ(lw.imm, 8);
+  Instruction sw = Decode(WordAt(*image, image->base + 4));
+  EXPECT_EQ(sw.opcode, Opcode::kSw);
+  EXPECT_EQ(sw.rd, isa::kA1);  // store source rides in rd
+  EXPECT_EQ(sw.rs1, isa::kT0);
+  EXPECT_EQ(sw.imm, -4);
+  Instruction lw2 = Decode(WordAt(*image, image->base + 8));
+  EXPECT_EQ(lw2.imm, 0);
+}
+
+TEST(AssemblerTest, CsrOpsAndPseudos) {
+  auto image = Assemble(R"(
+    csrrw a0, status, a1
+    csrr a2, ptbr
+    csrw timecmp, a3
+  )");
+  ASSERT_TRUE(image.ok());
+  Instruction w = Decode(WordAt(*image, image->base));
+  EXPECT_EQ(w.opcode, Opcode::kCsrrw);
+  EXPECT_EQ(w.imm, 0x000);
+  Instruction r = Decode(WordAt(*image, image->base + 4));
+  EXPECT_EQ(r.opcode, Opcode::kCsrrs);
+  EXPECT_EQ(r.rs1, isa::kZero);
+  EXPECT_EQ(r.imm, 0x006);
+  Instruction ww = Decode(WordAt(*image, image->base + 8));
+  EXPECT_EQ(ww.opcode, Opcode::kCsrrw);
+  EXPECT_EQ(ww.rd, isa::kZero);
+  EXPECT_EQ(ww.imm, 0x011);
+}
+
+TEST(AssemblerTest, EquConstants) {
+  auto image = Assemble(R"(
+    .equ UART_BASE, 0xF0000000
+    .equ OFFSET, 8
+    li a0, UART_BASE + OFFSET
+  )");
+  ASSERT_TRUE(image.ok());
+  Instruction lui = Decode(WordAt(*image, image->base));
+  Instruction addi = Decode(WordAt(*image, image->base + 4));
+  EXPECT_EQ(static_cast<uint32_t>(lui.imm) + static_cast<uint32_t>(addi.imm), 0xF0000008u);
+}
+
+TEST(AssemblerTest, WordAndByteData) {
+  auto image = Assemble(R"(
+    .org 0x1000
+data:
+    .word 0x11223344, data
+    .byte 1, 2, 3
+  )");
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(WordAt(*image, 0x1000), 0x11223344u);
+  EXPECT_EQ(WordAt(*image, 0x1004), 0x1000u);  // self-referential symbol
+  EXPECT_EQ(image->bytes[8], 1);
+  EXPECT_EQ(image->bytes[9], 2);
+  EXPECT_EQ(image->bytes[10], 3);
+}
+
+TEST(AssemblerTest, AlignPadsWithZeros) {
+  auto image = Assemble(".byte 1\n.align 8\n.byte 2\n");
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->bytes.size(), 9u);
+  EXPECT_EQ(image->bytes[0], 1);
+  EXPECT_EQ(image->bytes[8], 2);
+  for (int i = 1; i < 8; ++i) {
+    EXPECT_EQ(image->bytes[i], 0);
+  }
+}
+
+TEST(AssemblerTest, SpaceReserves) {
+  auto image = Assemble(".byte 7\n.space 16\n.byte 9\n");
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->bytes.size(), 18u);
+}
+
+TEST(AssemblerTest, AsciiEscapes) {
+  auto image = Assemble(R"(.asciz "a\n\t\"b\\")");
+  ASSERT_TRUE(image.ok());
+  std::string s(image->bytes.begin(), image->bytes.end());
+  EXPECT_EQ(s, std::string("a\n\t\"b\\") + '\0');
+}
+
+TEST(AssemblerTest, StartSymbolDefinesEntry) {
+  auto image = Assemble(".org 0x1000\nnop\n_start:\nhalt\n");
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->entry(), 0x1004u);
+}
+
+TEST(AssemblerTest, EntryDefaultsToBase) {
+  auto image = Assemble(".org 0x3000\nnop\n");
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->entry(), 0x3000u);
+}
+
+TEST(AssemblerTest, MultipleLabelsSameAddress) {
+  auto image = Assemble("a:\nb: c: nop\n");
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(*image->SymbolAddress("a"), *image->SymbolAddress("b"));
+  EXPECT_EQ(*image->SymbolAddress("b"), *image->SymbolAddress("c"));
+}
+
+TEST(AssemblerTest, PseudoOps) {
+  auto image = Assemble(R"(
+    mv a0, a1
+    not a2, a3
+    neg t0, t1
+    jr ra
+    ret
+    nop
+  )");
+  ASSERT_TRUE(image.ok());
+  Instruction mv = Decode(WordAt(*image, image->base));
+  EXPECT_EQ(mv.opcode, Opcode::kOpImm);
+  EXPECT_EQ(mv.imm, 0);
+  Instruction nt = Decode(WordAt(*image, image->base + 4));
+  EXPECT_EQ(nt.funct, static_cast<uint8_t>(AluOp::kXor));
+  EXPECT_EQ(nt.imm, -1);
+  Instruction ng = Decode(WordAt(*image, image->base + 8));
+  EXPECT_EQ(ng.opcode, Opcode::kOp);
+  EXPECT_EQ(ng.funct, static_cast<uint8_t>(AluOp::kSub));
+  EXPECT_EQ(ng.rs1, isa::kZero);
+}
+
+TEST(AssemblerTest, BranchSwappedPseudos) {
+  auto image = Assemble("x: bgt a0, a1, x\nble t0, t1, x\n");
+  ASSERT_TRUE(image.ok());
+  Instruction bgt = Decode(WordAt(*image, image->base));
+  EXPECT_EQ(bgt.funct, static_cast<uint8_t>(BranchCond::kLt));
+  EXPECT_EQ(bgt.rs1, isa::kA1);  // operands swapped
+  EXPECT_EQ(bgt.rs2, isa::kA0);
+}
+
+TEST(AssemblerTest, ErrorsCarryLineNumbers) {
+  auto r1 = Assemble("nop\nbogus a0\n");
+  ASSERT_FALSE(r1.ok());
+  EXPECT_NE(r1.status().message().find("line 2"), std::string::npos);
+
+  auto r2 = Assemble("add a0, a1\n");
+  ASSERT_FALSE(r2.ok());
+  EXPECT_NE(r2.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(AssemblerTest, UndefinedSymbolFails) {
+  auto r = Assemble("j nowhere\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("nowhere"), std::string::npos);
+}
+
+TEST(AssemblerTest, DuplicateLabelFails) {
+  auto r = Assemble("x: nop\nx: nop\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(AssemblerTest, BadRegisterFails) {
+  auto r = Assemble("add a0, a9, a1\n");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(AssemblerTest, BranchOutOfRangeFails) {
+  // A branch target ~64 KiB away exceeds the 14-bit word offset.
+  std::string src = "start: nop\n.org 0x40000\nbeq a0, a1, start\n";
+  auto r = Assemble(src);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(AssemblerTest, CharLiteralsInExpressions) {
+  auto image = Assemble("li a0, 'A'\nli a1, '\\n'\n");
+  ASSERT_TRUE(image.ok());
+  Instruction addi = Decode(WordAt(*image, image->base + 4));
+  EXPECT_EQ(static_cast<uint32_t>(addi.imm), 'A');
+}
+
+TEST(AssemblerTest, HcallEncodes) {
+  auto image = Assemble("hcall\n");
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(Decode(WordAt(*image, image->base)).opcode, Opcode::kHcall);
+}
+
+TEST(AssemblerTest, SfenceWithAndWithoutOperand) {
+  auto image = Assemble("sfence\nsfence a0\n");
+  ASSERT_TRUE(image.ok());
+  Instruction all = Decode(WordAt(*image, image->base));
+  EXPECT_EQ(all.rs1, isa::kZero);
+  Instruction one = Decode(WordAt(*image, image->base + 4));
+  EXPECT_EQ(one.rs1, isa::kA0);
+}
+
+}  // namespace
+}  // namespace hyperion::assembler

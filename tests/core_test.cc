@@ -1,0 +1,858 @@
+// Integration tests: Host + Vm + scheduler + devices + guest programs,
+// exercised end-to-end the way the examples and benchmarks use them.
+
+#include <gtest/gtest.h>
+
+#include "src/balloon/balloon.h"
+#include "src/core/host.h"
+#include "src/guest/programs.h"
+#include "src/ksm/ksm.h"
+#include "src/migrate/migrate.h"
+#include "src/snapshot/snapshot.h"
+#include "src/util/histogram.h"
+
+namespace hyperion {
+namespace {
+
+using core::Host;
+using core::HostConfig;
+using core::IoModel;
+using core::Vm;
+using core::VmConfig;
+using core::VmState;
+
+// Loads `source` into a fresh VM on `host`.
+Vm* BootVm(Host& host, VmConfig config, const std::string& source) {
+  auto image = guest::Build(source);
+  EXPECT_TRUE(image.ok()) << image.status().ToString();
+  auto vm = host.CreateVm(std::move(config));
+  EXPECT_TRUE(vm.ok()) << vm.status().ToString();
+  EXPECT_TRUE((*vm)->LoadImage(*image).ok());
+  return *vm;
+}
+
+uint32_t ReadProgress(Vm* vm, const std::string& source) {
+  auto image = guest::Build(source);
+  EXPECT_TRUE(image.ok());
+  auto addr = guest::ProgressAddress(*image);
+  EXPECT_TRUE(addr.ok());
+  auto v = vm->memory().ReadU32(*addr);
+  EXPECT_TRUE(v.ok());
+  return v.value_or(0);
+}
+
+TEST(HostVmTest, HelloWorldPrintsAndShutsDown) {
+  Host host;
+  std::string prog = guest::HelloProgram("hello from the guest\n");
+  Vm* vm = BootVm(host, VmConfig{.name = "hello"}, prog);
+  ASSERT_TRUE(host.RunUntilVmStops(vm, 10 * kSimTicksPerSec));
+  EXPECT_EQ(vm->state(), VmState::kShutdown);
+  EXPECT_EQ(vm->console(), "hello from the guest\n");
+}
+
+TEST(HostVmTest, ComputeRunsToCompletion) {
+  Host host;
+  std::string prog = guest::ComputeProgram(500);
+  Vm* vm = BootVm(host, VmConfig{.name = "compute"}, prog);
+  ASSERT_TRUE(host.RunUntilVmStops(vm, 10 * kSimTicksPerSec));
+  EXPECT_EQ(vm->state(), VmState::kShutdown);
+  EXPECT_EQ(ReadProgress(vm, prog), 500u);
+}
+
+TEST(HostVmTest, CrashWithoutTrapHandlerIsReported) {
+  Host host;
+  Vm* vm = BootVm(host, VmConfig{.name = "crash"}, ".org 0x1000\n.word 0xFC000000\n");
+  ASSERT_TRUE(host.RunUntilVmStops(vm, kSimTicksPerSec));
+  EXPECT_EQ(vm->state(), VmState::kCrashed);
+  EXPECT_FALSE(vm->crash_reason().ok());
+}
+
+TEST(HostVmTest, UartMmioPath) {
+  Host host;
+  Vm* vm = BootVm(host, VmConfig{.name = "uart"}, R"(
+.org 0x1000
+_start:
+    li t0, 0xF0000000
+    li t1, 'H'
+    sw t1, 0(t0)
+    li t1, 'i'
+    sw t1, 0(t0)
+    li t1, '\n'
+    sw t1, 0(t0)
+    halt
+)");
+  ASSERT_TRUE(host.RunUntilVmStops(vm, kSimTicksPerSec));
+  EXPECT_EQ(vm->state(), VmState::kShutdown);
+  EXPECT_EQ(vm->uart()->output(), "Hi\n");
+  EXPECT_GE(vm->TotalStats().mmio_exits, 3u);
+}
+
+TEST(HostVmTest, IdleTickVmTicksOnSchedule) {
+  Host host;
+  std::string prog = guest::IdleTickProgram(static_cast<uint32_t>(kSimTicksPerMs));
+  Vm* vm = BootVm(host, VmConfig{.name = "ticker"}, prog);
+  host.RunFor(100 * kSimTicksPerMs);
+  uint32_t ticks = ReadProgress(vm, prog);
+  EXPECT_GE(ticks, 90u);
+  EXPECT_LE(ticks, 110u);
+  // The ticker must be nearly idle: far fewer executed cycles than wall time.
+  EXPECT_LT(vm->TotalStats().cycles, 20 * kSimTicksPerMs);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------------
+
+TEST(SchedulingTest, EqualWeightsShareFairly) {
+  HostConfig hc;
+  hc.num_pcpus = 1;
+  Host host(hc);
+  std::string prog = guest::ComputeProgram(0);
+  std::vector<Vm*> vms;
+  for (int i = 0; i < 4; ++i) {
+    vms.push_back(BootVm(host, VmConfig{.name = "vm" + std::to_string(i)}, prog));
+  }
+  host.RunFor(400 * kSimTicksPerMs);
+  std::vector<double> shares;
+  for (Vm* vm : vms) {
+    shares.push_back(static_cast<double>(ReadProgress(vm, prog)));
+    EXPECT_GT(shares.back(), 0);
+  }
+  EXPECT_GT(JainFairness(shares), 0.95);
+}
+
+TEST(SchedulingTest, CreditWeightsAreProportional) {
+  HostConfig hc;
+  hc.num_pcpus = 1;
+  Host host(hc);
+  std::string prog = guest::ComputeProgram(0);
+  VmConfig heavy{.name = "heavy"};
+  heavy.sched.weight = 768;
+  VmConfig light{.name = "light"};
+  light.sched.weight = 256;
+  Vm* vh = BootVm(host, heavy, prog);
+  Vm* vl = BootVm(host, light, prog);
+  host.RunFor(600 * kSimTicksPerMs);
+  double ratio = static_cast<double>(ReadProgress(vh, prog)) /
+                 static_cast<double>(std::max(1u, ReadProgress(vl, prog)));
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 4.5);
+}
+
+TEST(SchedulingTest, CapLimitsConsumption) {
+  HostConfig hc;
+  hc.num_pcpus = 2;
+  Host host(hc);
+  std::string prog = guest::ComputeProgram(0);
+  VmConfig capped{.name = "capped"};
+  capped.sched.cap_percent = 25;
+  Vm* vc = BootVm(host, capped, prog);
+  Vm* vf = BootVm(host, VmConfig{.name = "free"}, prog);
+  host.RunFor(600 * kSimTicksPerMs);
+  // The capped VM should get roughly a quarter of one pCPU.
+  uint64_t capped_cycles = host.scheduler().stats().at(1).cpu_cycles;
+  uint64_t free_cycles = host.scheduler().stats().at(2).cpu_cycles;
+  (void)vc;
+  (void)vf;
+  EXPECT_LT(capped_cycles, free_cycles / 2);
+  EXPECT_GT(capped_cycles, 0u);
+}
+
+TEST(SchedulingTest, RoundRobinIgnoresWeights) {
+  HostConfig hc;
+  hc.num_pcpus = 1;
+  hc.sched_policy = sched::SchedPolicy::kRoundRobin;
+  Host host(hc);
+  std::string prog = guest::ComputeProgram(0);
+  VmConfig heavy{.name = "heavy"};
+  heavy.sched.weight = 1024;
+  Vm* vh = BootVm(host, heavy, prog);
+  Vm* vl = BootVm(host, VmConfig{.name = "light"}, prog);
+  host.RunFor(400 * kSimTicksPerMs);
+  double ratio = static_cast<double>(ReadProgress(vh, prog)) /
+                 static_cast<double>(std::max(1u, ReadProgress(vl, prog)));
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.25);
+}
+
+// ---------------------------------------------------------------------------
+// Block I/O
+// ---------------------------------------------------------------------------
+
+TEST(BlockIoTest, EmulatedPioWritesReachTheDisk) {
+  Host host;
+  auto disk = std::make_shared<storage::MemBlockStore>(256);
+  VmConfig cfg{.name = "pio"};
+  cfg.disk_model = IoModel::kEmulated;
+  cfg.disk = disk;
+  guest::BlkIoParams p;
+  p.iterations = 10;
+  p.sectors = 2;
+  p.write = true;
+  std::string prog = guest::EmulatedBlkProgram(p);
+  Vm* vm = BootVm(host, cfg, prog);
+  ASSERT_TRUE(host.RunUntilVmStops(vm, 10 * kSimTicksPerSec));
+  ASSERT_EQ(vm->state(), VmState::kShutdown) << vm->crash_reason().ToString();
+  EXPECT_EQ(ReadProgress(vm, prog), 10u);
+  EXPECT_EQ(vm->emulated_blk()->stats().writes, 10u);
+  EXPECT_EQ(vm->emulated_blk()->stats().sectors, 20u);
+  // First command wrote words starting with its iteration counter at LBA 0.
+  uint8_t sector[512] = {};
+  ASSERT_TRUE(disk->ReadSectors(0, 1, sector).ok());
+  uint32_t w0;
+  std::memcpy(&w0, sector, 4);
+  EXPECT_EQ(w0, 0u);  // iteration 0 pattern
+}
+
+TEST(BlockIoTest, EmulatedPioReadsComplete) {
+  Host host;
+  auto disk = std::make_shared<storage::MemBlockStore>(256);
+  VmConfig cfg{.name = "pior"};
+  cfg.disk_model = IoModel::kEmulated;
+  cfg.disk = disk;
+  guest::BlkIoParams p;
+  p.iterations = 5;
+  p.sectors = 1;
+  p.write = false;
+  std::string prog = guest::EmulatedBlkProgram(p);
+  Vm* vm = BootVm(host, cfg, prog);
+  ASSERT_TRUE(host.RunUntilVmStops(vm, 10 * kSimTicksPerSec));
+  ASSERT_EQ(vm->state(), VmState::kShutdown) << vm->crash_reason().ToString();
+  EXPECT_EQ(vm->emulated_blk()->stats().reads, 5u);
+}
+
+TEST(BlockIoTest, VirtioBlkWritesReachTheDisk) {
+  Host host;
+  auto disk = std::make_shared<storage::MemBlockStore>(1024);
+  VmConfig cfg{.name = "vblk"};
+  cfg.disk_model = IoModel::kParavirt;
+  cfg.disk = disk;
+  guest::BlkIoParams p;
+  p.iterations = 8;
+  p.sectors = 2;
+  p.batch = 4;
+  p.write = true;
+  std::string prog = guest::VirtioBlkProgram(p);
+  Vm* vm = BootVm(host, cfg, prog);
+  ASSERT_TRUE(host.RunUntilVmStops(vm, 10 * kSimTicksPerSec));
+  ASSERT_EQ(vm->state(), VmState::kShutdown) << vm->crash_reason().ToString();
+  EXPECT_EQ(ReadProgress(vm, prog), 8u);
+  EXPECT_EQ(vm->virtio_blk()->blk_stats().requests, 8u * 4);
+  EXPECT_EQ(vm->virtio_blk()->blk_stats().errors, 0u);
+  // Request 1's header points at sector 2; its payload begins with the
+  // deterministic 0xB10C… pattern offset by one request's words.
+  uint8_t sector[512] = {};
+  ASSERT_TRUE(disk->ReadSectors(2, 1, sector).ok());
+  uint32_t w0;
+  std::memcpy(&w0, sector, 4);
+  EXPECT_EQ(w0, 0xB10C0000u + 2 * 512 / 4);
+}
+
+TEST(BlockIoTest, VirtioBeatsEmulatedOnExitsPerSector) {
+  auto run = [](bool paravirt) {
+    Host host;
+    auto disk = std::make_shared<storage::MemBlockStore>(1024);
+    VmConfig cfg{.name = "io"};
+    cfg.disk_model = paravirt ? IoModel::kParavirt : IoModel::kEmulated;
+    cfg.disk = disk;
+    guest::BlkIoParams p;
+    p.iterations = 10;
+    p.sectors = 4;
+    p.batch = 4;
+    p.write = true;
+    std::string prog = paravirt ? guest::VirtioBlkProgram(p) : guest::EmulatedBlkProgram(p);
+    Vm* vm = BootVm(host, cfg, prog);
+    EXPECT_TRUE(host.RunUntilVmStops(vm, 30 * kSimTicksPerSec));
+    EXPECT_EQ(vm->state(), VmState::kShutdown) << vm->crash_reason().ToString();
+    auto stats = vm->TotalStats();
+    uint64_t sectors = paravirt ? vm->virtio_blk()->blk_stats().sectors
+                                : vm->emulated_blk()->stats().sectors;
+    return static_cast<double>(stats.mmio_exits + stats.hypercalls) /
+           static_cast<double>(sectors);
+  };
+  double emulated = run(false);
+  double paravirt = run(true);
+  EXPECT_GT(emulated, 10 * paravirt);  // order-of-magnitude gap
+}
+
+// ---------------------------------------------------------------------------
+// Networking
+// ---------------------------------------------------------------------------
+
+TEST(NetworkTest, EmulatedPingPong) {
+  Host host;
+  guest::NetParams np;
+  np.peer_mac = 2;
+  np.payload_bytes = 128;
+  np.iterations = 15;
+
+  VmConfig ping_cfg{.name = "ping"};
+  ping_cfg.net_model = IoModel::kEmulated;
+  ping_cfg.mac = 1;
+  VmConfig echo_cfg{.name = "echo"};
+  echo_cfg.net_model = IoModel::kEmulated;
+  echo_cfg.mac = 2;
+
+  std::string ping_prog = guest::EmulatedNetPingProgram(np);
+  Vm* ping = BootVm(host, ping_cfg, ping_prog);
+  Vm* echo = BootVm(host, echo_cfg, guest::EmulatedNetEchoProgram());
+  ASSERT_TRUE(host.RunUntilVmStops(ping, 30 * kSimTicksPerSec));
+  ASSERT_EQ(ping->state(), VmState::kShutdown) << ping->crash_reason().ToString();
+  EXPECT_EQ(ReadProgress(ping, ping_prog), 15u);
+  EXPECT_GE(echo->emulated_net()->stats().tx_frames, 15u);
+}
+
+TEST(NetworkTest, VirtioPingPong) {
+  Host host;
+  guest::NetParams np;
+  np.peer_mac = 2;
+  np.payload_bytes = 256;
+  np.iterations = 12;
+
+  VmConfig ping_cfg{.name = "ping"};
+  ping_cfg.net_model = IoModel::kParavirt;
+  ping_cfg.mac = 1;
+  VmConfig echo_cfg{.name = "echo"};
+  echo_cfg.net_model = IoModel::kParavirt;
+  echo_cfg.mac = 2;
+
+  std::string ping_prog = guest::VirtioNetPingProgram(np);
+  Vm* ping = BootVm(host, ping_cfg, ping_prog);
+  Vm* echo = BootVm(host, echo_cfg, guest::VirtioNetEchoProgram(np.payload_bytes));
+  ASSERT_TRUE(host.RunUntilVmStops(ping, 30 * kSimTicksPerSec));
+  ASSERT_EQ(ping->state(), VmState::kShutdown) << ping->crash_reason().ToString();
+  EXPECT_EQ(ReadProgress(ping, ping_prog), 12u);
+  EXPECT_GE(echo->virtio_net()->net_stats().tx_frames, 12u);
+  EXPECT_EQ(ping->virtio_net()->net_stats().rx_dropped, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots and provisioning
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotTest, SaveRestoreResumesExactly) {
+  Host host;
+  constexpr uint32_t kIters = 120000;
+  std::string prog = guest::ComputeProgram(kIters);
+  Vm* vm = BootVm(host, VmConfig{.name = "orig"}, prog);
+  host.RunFor(5 * kSimTicksPerMs);  // run partway
+  ASSERT_EQ(vm->state(), VmState::kRunning);
+  vm->Pause();
+  uint32_t progress_at_save = ReadProgress(vm, prog);
+  ASSERT_GT(progress_at_save, 0u);
+  ASSERT_LT(progress_at_save, kIters);
+
+  snapshot::SnapshotInfo info;
+  auto bytes = snapshot::SaveVm(*vm, {}, &info);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  EXPECT_GT(info.pages_data, 0u);
+  EXPECT_GT(info.pages_zero, 0u);  // most RAM is untouched
+
+  // Restore into a fresh VM and let both finish: identical outcomes.
+  auto restored = snapshot::CloneVm(host, VmConfig{.name = "restored"}, *bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(ReadProgress(*restored, prog), progress_at_save);
+
+  vm->Resume();
+  ASSERT_TRUE(host.RunUntilVmStops(vm, 20 * kSimTicksPerSec));
+  ASSERT_TRUE(host.RunUntilVmStops(*restored, 20 * kSimTicksPerSec));
+  EXPECT_EQ(vm->state(), VmState::kShutdown);
+  EXPECT_EQ((*restored)->state(), VmState::kShutdown);
+  EXPECT_EQ(ReadProgress(vm, prog), kIters);
+  EXPECT_EQ(ReadProgress(*restored, prog), kIters);
+}
+
+TEST(SnapshotTest, CorruptionDetected) {
+  Host host;
+  Vm* vm = BootVm(host, VmConfig{.name = "c"}, guest::ComputeProgram(10));
+  vm->Pause();
+  auto bytes = snapshot::SaveVm(*vm);
+  ASSERT_TRUE(bytes.ok());
+  (*bytes)[bytes->size() / 2] ^= 0xFF;
+  Vm* target = BootVm(host, VmConfig{.name = "t"}, guest::ComputeProgram(10));
+  target->Pause();
+  EXPECT_EQ(snapshot::LoadVm(*target, *bytes).code(), StatusCode::kDataLoss);
+}
+
+TEST(SnapshotTest, GeometryMismatchRejected) {
+  Host host;
+  Vm* vm = BootVm(host, VmConfig{.name = "a"}, guest::ComputeProgram(10));
+  vm->Pause();
+  auto bytes = snapshot::SaveVm(*vm);
+  ASSERT_TRUE(bytes.ok());
+  VmConfig other{.name = "b"};
+  other.ram_bytes = 8u << 20;  // different RAM size
+  Vm* target = BootVm(host, other, guest::ComputeProgram(10));
+  target->Pause();
+  EXPECT_EQ(snapshot::LoadVm(*target, *bytes).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotTest, IncrementalCapturesOnlyDirtyPages) {
+  Host host;
+  // Big cold footprint (128 filled pages), tiny hot set (2 pages dirtied in
+  // the loop): incremental snapshots should be a fraction of full ones.
+  std::string prog = R"(
+.org 0x1000
+    j _start
+.align 8
+progress:
+    .word 0
+_start:
+    li t0, 0x100000
+    li t1, 0x180000          ; fill 128 pages
+coldfill:
+    sw t0, 0(t0)
+    addi t0, t0, 64
+    bltu t0, t1, coldfill
+hot:
+    li t0, 0x100000
+    lw t2, 0(t0)
+    addi t2, t2, 1
+    sw t2, 0(t0)
+    li t0, 0x101000
+    sw t2, 0(t0)
+    la t3, progress
+    lw t2, 0(t3)
+    addi t2, t2, 1
+    sw t2, 0(t3)
+    j hot
+)";
+  Vm* vm = BootVm(host, VmConfig{.name = "inc"}, prog);
+  host.RunFor(10 * kSimTicksPerMs);
+  vm->Pause();
+
+  auto full = snapshot::SaveVm(*vm);
+  ASSERT_TRUE(full.ok());
+
+  vm->memory().EnableDirtyLog();
+  vm->Resume();
+  host.RunFor(10 * kSimTicksPerMs);
+  vm->Pause();
+
+  snapshot::SnapshotInfo inc_info;
+  snapshot::SaveOptions inc_opts;
+  inc_opts.incremental = true;
+  auto inc = snapshot::SaveVm(*vm, inc_opts, &inc_info);
+  ASSERT_TRUE(inc.ok());
+  EXPECT_LT(inc->size(), full->size() / 4);
+  EXPECT_GT(inc_info.pages_total, 0u);
+
+  // Applying full + incremental yields the current state.
+  uint32_t want = ReadProgress(vm, prog);
+  auto restored = snapshot::CloneVm(host, VmConfig{.name = "inc2"}, *full);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE(snapshot::LoadVm(**restored, *inc).ok());
+  EXPECT_EQ(ReadProgress(*restored, prog), want);
+}
+
+TEST(SnapshotTest, TemplateCloningProvisionsManyVms) {
+  Host host;
+  std::string prog = guest::ComputeProgram(300);
+  Vm* golden = BootVm(host, VmConfig{.name = "golden"}, prog);
+  golden->Pause();  // template captured pre-boot
+  auto tmpl = snapshot::SaveVm(*golden);
+  ASSERT_TRUE(tmpl.ok());
+
+  std::vector<Vm*> clones;
+  for (int i = 0; i < 5; ++i) {
+    auto clone = snapshot::CloneVm(host, VmConfig{.name = "clone" + std::to_string(i)}, *tmpl);
+    ASSERT_TRUE(clone.ok()) << clone.status().ToString();
+    clones.push_back(*clone);
+  }
+  for (Vm* c : clones) {
+    ASSERT_TRUE(host.RunUntilVmStops(c, 30 * kSimTicksPerSec));
+    EXPECT_EQ(c->state(), VmState::kShutdown);
+    EXPECT_EQ(ReadProgress(c, prog), 300u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Migration
+// ---------------------------------------------------------------------------
+
+TEST(MigrationTest, PreCopyMovesARunningVm) {
+  Host src, dst;
+  std::string prog = guest::DirtyRateProgram(32, 2000);
+  Vm* vm = BootVm(src, VmConfig{.name = "mig"}, prog);
+  src.RunFor(20 * kSimTicksPerMs);
+  uint32_t progress_before = ReadProgress(vm, prog);
+
+  migrate::MigrationReport report;
+  auto moved = migrate::PreCopyMigrate(src, vm, dst, migrate::MigrateOptions{}, &report);
+  ASSERT_TRUE(moved.ok()) << moved.status().ToString();
+  EXPECT_EQ(vm->state(), VmState::kPaused);
+  EXPECT_EQ((*moved)->state(), VmState::kRunning);
+  EXPECT_GE(report.rounds, 1u);
+  EXPECT_GT(report.downtime, 0u);
+  EXPECT_GT(report.total_time, report.downtime);
+  EXPECT_GT(report.pages_sent, vm->memory().num_pages() / 2);
+
+  // The destination VM continues making progress from where it was.
+  dst.RunFor(20 * kSimTicksPerMs);
+  EXPECT_GE(ReadProgress(*moved, prog), progress_before);
+}
+
+TEST(MigrationTest, PreCopyDirtyRateDrivesRounds) {
+  auto run = [](uint32_t compute_per_write) {
+    Host src, dst;
+    std::string prog = guest::DirtyRateProgram(64, compute_per_write);
+    Vm* vm = BootVm(src, VmConfig{.name = "m"}, prog);
+    src.RunFor(10 * kSimTicksPerMs);
+    migrate::MigrationReport report;
+    auto moved = migrate::PreCopyMigrate(src, vm, dst, migrate::MigrateOptions{}, &report);
+    EXPECT_TRUE(moved.ok());
+    return report;
+  };
+  migrate::MigrationReport fast_dirtier = run(100);     // dirties aggressively
+  migrate::MigrationReport slow_dirtier = run(100000);  // mostly computes
+  EXPECT_GE(fast_dirtier.pages_sent, slow_dirtier.pages_sent);
+  EXPECT_GE(fast_dirtier.downtime, slow_dirtier.downtime);
+}
+
+TEST(MigrationTest, PostCopyHasTinyDowntime) {
+  Host src, dst;
+  std::string prog = guest::DirtyRateProgram(32, 2000);
+  Vm* vm = BootVm(src, VmConfig{.name = "pc"}, prog);
+  src.RunFor(20 * kSimTicksPerMs);
+
+  migrate::MigrationReport pre_report;
+  {
+    // Measure pre-copy on an identical sibling for comparison.
+    Host src2, dst2;
+    Vm* vm2 = BootVm(src2, VmConfig{.name = "pc2"}, prog);
+    src2.RunFor(20 * kSimTicksPerMs);
+    auto moved2 = migrate::PreCopyMigrate(src2, vm2, dst2, migrate::MigrateOptions{}, &pre_report);
+    ASSERT_TRUE(moved2.ok());
+  }
+
+  migrate::MigrationReport report;
+  auto moved = migrate::PostCopyMigrate(src, vm, dst, migrate::MigrateOptions{}, &report);
+  ASSERT_TRUE(moved.ok()) << moved.status().ToString();
+  EXPECT_EQ((*moved)->state(), VmState::kRunning) << (*moved)->crash_reason().ToString();
+  EXPECT_LT(report.downtime, pre_report.downtime);
+  EXPECT_GT(report.demand_fetches + report.pages_sent, 0u);
+
+  // All pages resident; destination runs standalone afterwards.
+  uint32_t p1 = ReadProgress(*moved, prog);
+  dst.RunFor(20 * kSimTicksPerMs);
+  EXPECT_GT(ReadProgress(*moved, prog), p1);
+}
+
+// ---------------------------------------------------------------------------
+// VM fork (copy-on-write cloning)
+// ---------------------------------------------------------------------------
+
+TEST(ForkTest, ChildContinuesFromForkPoint) {
+  Host host;
+  constexpr uint32_t kIters = 100000;
+  std::string prog = guest::ComputeProgram(kIters);
+  Vm* parent = BootVm(host, VmConfig{.name = "parent"}, prog);
+  host.RunFor(5 * kSimTicksPerMs);
+  parent->Pause();
+  uint32_t at_fork = ReadProgress(parent, prog);
+  ASSERT_GT(at_fork, 0u);
+  ASSERT_LT(at_fork, kIters);
+
+  size_t frames_before = host.pool().used_frames();
+  auto child = snapshot::ForkVm(host, VmConfig{.name = "child"}, *parent);
+  ASSERT_TRUE(child.ok()) << child.status().ToString();
+  // COW fork: almost no new frames consumed (metadata only).
+  EXPECT_LT(host.pool().used_frames(), frames_before + 8);
+  EXPECT_EQ(ReadProgress(*child, prog), at_fork);
+
+  // Both finish with identical results.
+  parent->Resume();
+  ASSERT_TRUE(host.RunUntilVmStops(parent, 30 * kSimTicksPerSec));
+  ASSERT_TRUE(host.RunUntilVmStops(*child, 30 * kSimTicksPerSec));
+  EXPECT_EQ(parent->state(), VmState::kShutdown);
+  EXPECT_EQ((*child)->state(), VmState::kShutdown) << (*child)->crash_reason().ToString();
+  EXPECT_EQ(ReadProgress(parent, prog), kIters);
+  EXPECT_EQ(ReadProgress(*child, prog), kIters);
+}
+
+TEST(ForkTest, WritesDivergePrivately) {
+  Host host;
+  std::string prog = guest::ComputeProgram(0);
+  Vm* parent = BootVm(host, VmConfig{.name = "parent"}, prog);
+  host.RunFor(2 * kSimTicksPerMs);
+  parent->Pause();
+  auto child = snapshot::ForkVm(host, VmConfig{.name = "child"}, *parent);
+  ASSERT_TRUE(child.ok());
+
+  // Host-side writes to each side stay private.
+  ASSERT_TRUE(parent->memory().WriteU32(0x9000, 0x1111).ok());
+  ASSERT_TRUE((*child)->memory().WriteU32(0x9000, 0x2222).ok());
+  EXPECT_EQ(*parent->memory().ReadU32(0x9000), 0x1111u);
+  EXPECT_EQ(*(*child)->memory().ReadU32(0x9000), 0x2222u);
+
+  // Guest-side divergence: run both; their progress counters move
+  // independently on privatized pages.
+  parent->Resume();
+  host.RunFor(5 * kSimTicksPerMs);
+  uint32_t pp = ReadProgress(parent, prog);
+  uint32_t cp = ReadProgress(*child, prog);
+  EXPECT_GT(pp, 0u);
+  EXPECT_GT(cp, 0u);
+  EXPECT_GT((*child)->TotalStats().cow_breaks + parent->TotalStats().cow_breaks, 0u);
+}
+
+TEST(ForkTest, GeometryMismatchRejected) {
+  Host host;
+  Vm* parent = BootVm(host, VmConfig{.name = "parent"}, guest::ComputeProgram(10));
+  parent->Pause();
+  VmConfig bad{.name = "child"};
+  bad.ram_bytes = 8u << 20;
+  EXPECT_EQ(snapshot::ForkVm(host, bad, *parent).status().code(),
+            StatusCode::kInvalidArgument);
+  // Running parent rejected too.
+  parent->Resume();
+  EXPECT_EQ(snapshot::ForkVm(host, VmConfig{.name = "child"}, *parent).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ForkTest, ManyForksShareUntilTouched) {
+  Host host;
+  std::string prog = guest::ComputeProgram(0);
+  Vm* parent = BootVm(host, VmConfig{.name = "parent"}, prog);
+  host.RunFor(2 * kSimTicksPerMs);
+  parent->Pause();
+
+  size_t before = host.pool().used_frames();
+  std::vector<Vm*> children;
+  for (int i = 0; i < 6; ++i) {
+    auto child = snapshot::ForkVm(host, VmConfig{.name = "c" + std::to_string(i)}, *parent);
+    ASSERT_TRUE(child.ok()) << child.status().ToString();
+    children.push_back(*child);
+  }
+  // Six 4 MiB children for (almost) free.
+  EXPECT_LT(host.pool().used_frames(), before + 16);
+
+  // Running them privatizes only what they write.
+  host.RunFor(10 * kSimTicksPerMs);
+  size_t after_run = host.pool().used_frames();
+  EXPECT_GT(after_run, before);                       // some pages privatized
+  EXPECT_LT(after_run, before + 6 * 64);              // far from full copies
+  for (Vm* c : children) {
+    EXPECT_GT(ReadProgress(c, prog), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SMP guests
+// ---------------------------------------------------------------------------
+
+TEST(SmpTest, SecondaryVcpusStartAndCount) {
+  core::HostConfig hc;
+  hc.num_pcpus = 4;
+  Host host(hc);
+  std::string prog = guest::SmpCounterProgram(5000);
+  VmConfig cfg{.name = "smp"};
+  cfg.num_vcpus = 4;
+  Vm* vm = BootVm(host, cfg, prog);
+  ASSERT_TRUE(host.RunUntilVmStops(vm, 10 * kSimTicksPerSec));
+  ASSERT_EQ(vm->state(), VmState::kShutdown) << vm->crash_reason().ToString();
+  // 3 workers x 5000 increments.
+  EXPECT_EQ(ReadProgress(vm, prog), 15000u);
+}
+
+TEST(SmpTest, WorkersRunInParallelOnMultiplePcpus) {
+  auto run = [](uint32_t pcpus) {
+    core::HostConfig hc;
+    hc.num_pcpus = pcpus;
+    Host host(hc);
+    std::string prog = guest::SmpCounterProgram(200000);
+    VmConfig cfg{.name = "smp"};
+    cfg.num_vcpus = 4;
+    Vm* vm = BootVm(host, cfg, prog);
+    // Fine-grained steps so the completion time is measured precisely.
+    while (vm->state() == VmState::kRunning &&
+           host.clock().now() < 60 * kSimTicksPerSec) {
+      host.RunFor(kSimTicksPerMs / 10);
+    }
+    EXPECT_EQ(vm->state(), VmState::kShutdown);
+    return host.clock().now();
+  };
+  SimTime serial = run(1);
+  SimTime parallel = run(4);
+  // Three parallel workers must finish substantially faster than serialized.
+  EXPECT_LT(parallel * 4, serial * 3);
+}
+
+TEST(SmpTest, StartVcpuValidation) {
+  Host host;
+  VmConfig cfg{.name = "smp"};
+  cfg.num_vcpus = 2;
+  // Bad index (0 = self, 5 = out of range) then double-start.
+  Vm* vm = BootVm(host, cfg, R"(
+.org 0x1000
+_start:
+    li a0, 10
+    li a1, 0          ; cannot "start" the boot vCPU
+    la a2, park
+    hcall
+    mv s0, a0
+    li a0, 10
+    li a1, 5          ; out of range
+    la a2, park
+    hcall
+    mv s1, a0
+    li a0, 10
+    li a1, 1          ; valid
+    la a2, park
+    hcall
+    mv s2, a0
+    li a0, 10
+    li a1, 1          ; double start
+    la a2, park
+    hcall
+    mv s3, a0
+    li a0, 4
+    hcall
+    halt
+park:
+    halt
+)");
+  ASSERT_TRUE(host.RunUntilVmStops(vm, kSimTicksPerSec));
+  EXPECT_EQ(vm->vcpu(0).state.ReadReg(isa::kS0), 1u);
+  EXPECT_EQ(vm->vcpu(0).state.ReadReg(isa::kS1), 1u);
+  EXPECT_EQ(vm->vcpu(0).state.ReadReg(isa::kS2), 0u);
+  EXPECT_EQ(vm->vcpu(0).state.ReadReg(isa::kS3), 2u);
+}
+
+TEST(SmpTest, UnstartedSecondariesStayParked) {
+  Host host;
+  VmConfig cfg{.name = "smp"};
+  cfg.num_vcpus = 3;
+  std::string prog = guest::ComputeProgram(100);  // vcpu0 only
+  Vm* vm = BootVm(host, cfg, prog);
+  ASSERT_TRUE(host.RunUntilVmStops(vm, 10 * kSimTicksPerSec));
+  EXPECT_EQ(vm->state(), VmState::kShutdown);
+  EXPECT_EQ(ReadProgress(vm, prog), 100u);
+  // The parked vCPUs never executed anything meaningful.
+  EXPECT_LT(vm->vcpu(1).stats.instructions, 5u);
+  EXPECT_LT(vm->vcpu(2).stats.instructions, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Ballooning
+// ---------------------------------------------------------------------------
+
+TEST(BalloonTest, GuestDriverFollowsTarget) {
+  Host host;
+  // Balloon pool: pages 512..1023 of a 4 MiB guest (2 MiB reclaimable).
+  std::string prog = guest::BalloonDriverProgram(512, 512, 100000);
+  Vm* vm = BootVm(host, VmConfig{.name = "bal"}, prog);
+  size_t used_before = host.pool().used_frames();
+
+  vm->SetBalloonTarget(128);
+  host.RunFor(100 * kSimTicksPerMs);
+  EXPECT_EQ(vm->ballooned_pages(), 128u);
+  EXPECT_EQ(host.pool().used_frames(), used_before - 128);
+
+  vm->SetBalloonTarget(32);
+  host.RunFor(200 * kSimTicksPerMs);
+  EXPECT_EQ(vm->ballooned_pages(), 32u);
+  EXPECT_EQ(host.pool().used_frames(), used_before - 32);
+}
+
+TEST(BalloonTest, ControllerDistributesProportionally) {
+  Host host;
+  std::string prog = guest::BalloonDriverProgram(512, 512, 100000);
+  Vm* a = BootVm(host, VmConfig{.name = "a"}, prog);
+  Vm* b = BootVm(host, VmConfig{.name = "b"}, prog);
+
+  balloon::BalloonController controller(&host);
+  auto plan = controller.ReclaimPages(200);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->size(), 2u);
+  host.RunFor(300 * kSimTicksPerMs);
+  EXPECT_EQ(controller.TotalBallooned(), 200u);
+  // Equal VMs: equal split (within rounding).
+  EXPECT_NEAR(static_cast<double>(a->ballooned_pages()),
+              static_cast<double>(b->ballooned_pages()), 2.0);
+
+  controller.ReleaseAll();
+  host.RunFor(400 * kSimTicksPerMs);
+  EXPECT_EQ(controller.TotalBallooned(), 0u);
+}
+
+TEST(BalloonTest, OverdraftRejected) {
+  Host host;
+  std::string prog = guest::BalloonDriverProgram(512, 512, 100000);
+  (void)BootVm(host, VmConfig{.name = "only"}, prog);
+  balloon::BalloonController controller(&host);
+  // A 4 MiB VM has 1024 pages; floor keeps 256, so max reclaim < 1024.
+  auto plan = controller.ReclaimPages(2000);
+  EXPECT_EQ(plan.status().code(), StatusCode::kResourceExhausted);
+}
+
+// ---------------------------------------------------------------------------
+// KSM
+// ---------------------------------------------------------------------------
+
+TEST(KsmTest, MergesIdenticalPagesAcrossVms) {
+  Host host;
+  // Two VMs fill 64 pages each; the first 48 are identical across VMs.
+  std::string prog_a = guest::PatternFillProgram(64, 48, 1);
+  std::string prog_b = guest::PatternFillProgram(64, 48, 2);
+  Vm* a = BootVm(host, VmConfig{.name = "a"}, prog_a);
+  Vm* b = BootVm(host, VmConfig{.name = "b"}, prog_b);
+  host.RunFor(200 * kSimTicksPerMs);
+  ASSERT_EQ(ReadProgress(a, prog_a), 1u);
+  ASSERT_EQ(ReadProgress(b, prog_b), 1u);
+
+  ksm::KsmDaemon daemon(&host.pool());
+  daemon.AddClient(&a->memory());
+  daemon.AddClient(&b->memory());
+  size_t used_before = host.pool().used_frames();
+  uint64_t merged = daemon.ScanOnce();
+  size_t used_after = host.pool().used_frames();
+
+  // At least the 48 identical workload pages merge (plus zero pages).
+  EXPECT_GE(merged, 48u);
+  EXPECT_GE(used_before - used_after, 48u);
+  EXPECT_GE(daemon.stats().BytesSaved(), 48u * isa::kPageSize);
+}
+
+TEST(KsmTest, CowBreakPreservesIsolation) {
+  Host host;
+  std::string prog = guest::PatternFillProgram(16, 16, 1);
+  Vm* a = BootVm(host, VmConfig{.name = "a"}, prog);
+  Vm* b = BootVm(host, VmConfig{.name = "b"}, prog);
+  host.RunFor(200 * kSimTicksPerMs);
+
+  ksm::KsmDaemon daemon(&host.pool());
+  daemon.AddClient(&a->memory());
+  daemon.AddClient(&b->memory());
+  ASSERT_GT(daemon.ScanOnce(), 0u);
+
+  // Host-side write to a shared page in A must not leak into B.
+  uint32_t gpa = 0x100000;  // first pattern page
+  uint32_t gpn = isa::PageNumber(gpa);
+  ASSERT_TRUE(a->memory().IsShared(gpn));
+  ASSERT_TRUE(a->memory().WriteU32(gpa, 0xDEADBEEF).ok());
+  EXPECT_EQ(*a->memory().ReadU32(gpa), 0xDEADBEEFu);
+  EXPECT_NE(*b->memory().ReadU32(gpa), 0xDEADBEEFu);
+  EXPECT_FALSE(a->memory().IsShared(gpn));
+}
+
+TEST(KsmTest, RescanIsStable) {
+  Host host;
+  std::string prog = guest::PatternFillProgram(32, 32, 1);
+  Vm* a = BootVm(host, VmConfig{.name = "a"}, prog);
+  Vm* b = BootVm(host, VmConfig{.name = "b"}, prog);
+  host.RunFor(200 * kSimTicksPerMs);
+
+  ksm::KsmDaemon daemon(&host.pool());
+  daemon.AddClient(&a->memory());
+  daemon.AddClient(&b->memory());
+  uint64_t first = daemon.ScanOnce();
+  EXPECT_GT(first, 0u);
+  size_t used_after_first = host.pool().used_frames();
+  uint64_t second = daemon.ScanOnce();
+  EXPECT_EQ(second, 0u);  // nothing new to merge
+  EXPECT_EQ(host.pool().used_frames(), used_after_first);
+}
+
+}  // namespace
+}  // namespace hyperion

@@ -1,0 +1,554 @@
+// Device-level unit tests: MMIO bus dispatch, PIC, UART, emulated block and
+// net devices, virtio rings (driven host-side without a CPU).
+
+#include <gtest/gtest.h>
+
+#include "src/devices/emulated_blk.h"
+#include "src/devices/emulated_net.h"
+#include "src/devices/mmio.h"
+#include "src/devices/pic.h"
+#include "src/devices/uart.h"
+#include "src/mem/frame_pool.h"
+#include "src/virtio/virtio_blk.h"
+#include "src/virtio/virtio_console.h"
+#include "src/virtio/virtio_net.h"
+
+namespace hyperion {
+namespace {
+
+using devices::EmulatedBlockDevice;
+using devices::EmulatedNetDevice;
+using devices::InterruptController;
+using devices::IrqLine;
+using devices::MmioBus;
+using devices::MmioDevice;
+using devices::Uart;
+
+// ---------------------------------------------------------------------------
+// MmioBus
+// ---------------------------------------------------------------------------
+
+class StubDevice final : public MmioDevice {
+ public:
+  explicit StubDevice(std::string_view name) : name_(name) {}
+  std::string_view name() const override { return name_; }
+  Result<uint32_t> Read(uint32_t offset, uint32_t size) override {
+    (void)size;
+    return offset;
+  }
+  Status Write(uint32_t offset, uint32_t size, uint32_t value) override {
+    (void)size;
+    last_offset = offset;
+    last_value = value;
+    return OkStatus();
+  }
+  uint32_t last_offset = 0;
+  uint32_t last_value = 0;
+
+ private:
+  std::string_view name_;
+};
+
+TEST(MmioBusTest, DispatchByRange) {
+  MmioBus bus;
+  StubDevice a("a"), b("b");
+  ASSERT_TRUE(bus.Map(0xF0000000, 0x1000, &a).ok());
+  ASSERT_TRUE(bus.Map(0xF0001000, 0x1000, &b).ok());
+
+  EXPECT_EQ(*bus.MmioRead(0xF0000010, 4), 0x10u);
+  ASSERT_TRUE(bus.MmioWrite(0xF0001020, 4, 77).ok());
+  EXPECT_EQ(b.last_offset, 0x20u);
+  EXPECT_EQ(b.last_value, 77u);
+}
+
+TEST(MmioBusTest, OverlapRejected) {
+  MmioBus bus;
+  StubDevice a("a"), b("b");
+  ASSERT_TRUE(bus.Map(0xF0000000, 0x2000, &a).ok());
+  EXPECT_EQ(bus.Map(0xF0001000, 0x1000, &b).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(MmioBusTest, UnmappedIsNotFound) {
+  MmioBus bus;
+  EXPECT_EQ(bus.MmioRead(0xF0000000, 4).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(bus.MmioWrite(0xF0000000, 4, 0).code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// InterruptController
+// ---------------------------------------------------------------------------
+
+TEST(PicTest, AssertEnableAckFlow) {
+  InterruptController pic;
+  bool level = false;
+  pic.SetSink([&](bool l) { level = l; });
+
+  pic.Assert(3);
+  EXPECT_FALSE(level);  // not enabled yet
+  ASSERT_TRUE(pic.Write(0x04, 4, 1u << 3).ok());
+  EXPECT_TRUE(level);
+
+  // CLAIM returns the line; ACK clears it.
+  EXPECT_EQ(*pic.Read(0x10, 4), 3u);
+  ASSERT_TRUE(pic.Write(0x08, 4, 1u << 3).ok());
+  EXPECT_FALSE(level);
+  EXPECT_EQ(*pic.Read(0x10, 4), 0xFFFFFFFFu);
+}
+
+TEST(PicTest, ClaimReturnsLowestActive) {
+  InterruptController pic;
+  ASSERT_TRUE(pic.Write(0x04, 4, 0xFF).ok());
+  pic.Assert(5);
+  pic.Assert(2);
+  EXPECT_EQ(*pic.Read(0x10, 4), 2u);
+}
+
+TEST(PicTest, SoftwareRaise) {
+  InterruptController pic;
+  bool level = false;
+  pic.SetSink([&](bool l) { level = l; });
+  ASSERT_TRUE(pic.Write(0x04, 4, 0x3).ok());
+  ASSERT_TRUE(pic.Write(0x0C, 4, 0x2).ok());  // RAISE line 1
+  EXPECT_TRUE(level);
+  EXPECT_EQ(pic.pending(), 2u);
+}
+
+TEST(PicTest, SerializeRoundTrip) {
+  InterruptController pic;
+  ASSERT_TRUE(pic.Write(0x04, 4, 0xAB).ok());
+  pic.Assert(1);
+  ByteWriter w;
+  pic.Serialize(w);
+
+  InterruptController restored;
+  ByteReader r(w.buffer());
+  ASSERT_TRUE(restored.Deserialize(r).ok());
+  EXPECT_EQ(restored.pending(), pic.pending());
+  EXPECT_EQ(restored.enable(), pic.enable());
+}
+
+TEST(PicTest, WordOnlyAccess) {
+  InterruptController pic;
+  EXPECT_FALSE(pic.Read(0x00, 2).ok());
+  EXPECT_FALSE(pic.Write(0x04, 1, 1).ok());
+}
+
+// ---------------------------------------------------------------------------
+// UART
+// ---------------------------------------------------------------------------
+
+TEST(UartTest, TransmitCollectsOutput) {
+  Uart uart;
+  for (char c : std::string("ok\n")) {
+    ASSERT_TRUE(uart.Write(0x00, 4, static_cast<uint32_t>(c)).ok());
+  }
+  EXPECT_EQ(uart.output(), "ok\n");
+}
+
+TEST(UartTest, ReceivePath) {
+  InterruptController pic;
+  Uart uart(IrqLine(&pic, devices::kUartIrq));
+  ASSERT_TRUE(pic.Write(0x04, 4, 1u << devices::kUartIrq).ok());
+  ASSERT_TRUE(uart.Write(0x0C, 4, 1).ok());  // enable rx irq
+
+  EXPECT_EQ(*uart.Read(0x08, 4) & 1u, 0u);  // no rx data
+  uart.InjectInput("ab");
+  EXPECT_EQ(pic.pending() & (1u << devices::kUartIrq), 1u << devices::kUartIrq);
+  EXPECT_EQ(*uart.Read(0x08, 4) & 1u, 1u);
+  EXPECT_EQ(*uart.Read(0x04, 4), static_cast<uint32_t>('a'));
+  EXPECT_EQ(*uart.Read(0x04, 4), static_cast<uint32_t>('b'));
+  EXPECT_EQ(*uart.Read(0x04, 4), 0u);  // empty reads zero
+}
+
+TEST(UartTest, SerializeRoundTrip) {
+  Uart uart;
+  ASSERT_TRUE(uart.Write(0x00, 4, 'x').ok());
+  uart.InjectInput("queued");
+  ByteWriter w;
+  uart.Serialize(w);
+
+  Uart restored;
+  ByteReader r(w.buffer());
+  ASSERT_TRUE(restored.Deserialize(r).ok());
+  EXPECT_EQ(restored.output(), "x");
+  EXPECT_EQ(*restored.Read(0x04, 4), static_cast<uint32_t>('q'));
+}
+
+// ---------------------------------------------------------------------------
+// Emulated block device (host-driven)
+// ---------------------------------------------------------------------------
+
+class EmuBlkTest : public ::testing::Test {
+ protected:
+  EmuBlkTest()
+      : store_(64), dev_(&store_, IrqLine(&pic_, devices::kBlkIrq), /*clock=*/nullptr) {
+    (void)pic_.Write(0x04, 4, 1u << devices::kBlkIrq);
+  }
+
+  InterruptController pic_;
+  storage::MemBlockStore store_;
+  EmulatedBlockDevice dev_;
+};
+
+TEST_F(EmuBlkTest, WriteCommandPersists) {
+  ASSERT_TRUE(dev_.Write(0x00, 4, 5).ok());  // LBA 5
+  ASSERT_TRUE(dev_.Write(0x04, 4, 1).ok());  // one sector
+  ASSERT_TRUE(dev_.Write(0x14, 4, 0).ok());  // rewind pointer
+  for (uint32_t i = 0; i < 128; ++i) {
+    ASSERT_TRUE(dev_.Write(0x10, 4, 0x1000 + i).ok());
+  }
+  ASSERT_TRUE(dev_.Write(0x08, 4, 2).ok());  // CMD write (synchronous: no clock)
+  EXPECT_EQ(*dev_.Read(0x0C, 4), 2u);        // data_ready, not busy
+
+  uint8_t sector[512] = {};
+  ASSERT_TRUE(store_.ReadSectors(5, 1, sector).ok());
+  uint32_t w;
+  std::memcpy(&w, sector, 4);
+  EXPECT_EQ(w, 0x1000u);
+  EXPECT_EQ(pic_.pending() & (1u << devices::kBlkIrq), 1u << devices::kBlkIrq);
+}
+
+TEST_F(EmuBlkTest, ReadCommandReturnsData) {
+  uint8_t sector[512] = {0xAA, 0xBB, 0xCC, 0xDD};
+  ASSERT_TRUE(store_.WriteSectors(7, 1, sector).ok());
+  ASSERT_TRUE(dev_.Write(0x00, 4, 7).ok());
+  ASSERT_TRUE(dev_.Write(0x04, 4, 1).ok());
+  ASSERT_TRUE(dev_.Write(0x08, 4, 1).ok());  // CMD read (synchronous)
+  EXPECT_EQ(*dev_.Read(0x10, 4), 0xDDCCBBAAu);
+}
+
+TEST_F(EmuBlkTest, BadCountRejected) {
+  EXPECT_FALSE(dev_.Write(0x04, 4, 0).ok());
+  EXPECT_FALSE(dev_.Write(0x04, 4, 9).ok());
+}
+
+TEST_F(EmuBlkTest, OutOfRangeCommandSetsError) {
+  ASSERT_TRUE(dev_.Write(0x00, 4, 63).ok());
+  ASSERT_TRUE(dev_.Write(0x04, 4, 8).ok());  // 63..70 exceeds 64-sector disk
+  ASSERT_TRUE(dev_.Write(0x08, 4, 1).ok());
+  EXPECT_EQ(*dev_.Read(0x0C, 4) & 4u, 4u);  // error bit
+}
+
+TEST_F(EmuBlkTest, DeferredCompletionWithClock) {
+  SimClock clock;
+  EmulatedBlockDevice timed(&store_, IrqLine(&pic_, devices::kBlkIrq), &clock);
+  ASSERT_TRUE(timed.Write(0x00, 4, 0).ok());
+  ASSERT_TRUE(timed.Write(0x04, 4, 4).ok());
+  ASSERT_TRUE(timed.Write(0x08, 4, 1).ok());
+  EXPECT_EQ(*timed.Read(0x0C, 4) & 1u, 1u);  // busy
+  clock.RunAll();
+  EXPECT_EQ(*timed.Read(0x0C, 4) & 1u, 0u);  // done
+  EXPECT_GE(clock.now(), 4 * CostModel::Default().blk_sector_cost);
+}
+
+TEST_F(EmuBlkTest, SerializeRoundTrip) {
+  ASSERT_TRUE(dev_.Write(0x00, 4, 9).ok());
+  ASSERT_TRUE(dev_.Write(0x04, 4, 3).ok());
+  ByteWriter w;
+  dev_.Serialize(w);
+  EmulatedBlockDevice restored(&store_, IrqLine(&pic_, devices::kBlkIrq), nullptr);
+  ByteReader r(w.buffer());
+  ASSERT_TRUE(restored.Deserialize(r).ok());
+  EXPECT_EQ(*restored.Read(0x00, 4), 9u);
+  EXPECT_EQ(*restored.Read(0x04, 4), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Emulated net device + virtual switch (host-driven)
+// ---------------------------------------------------------------------------
+
+TEST(EmuNetTest, SendAndReceiveThroughSwitch) {
+  SimClock clock;
+  net::VirtualSwitch vswitch(&clock);
+  InterruptController pic;
+  EmulatedNetDevice a(&vswitch, 1, IrqLine(&pic, devices::kNetIrq));
+  EmulatedNetDevice b(&vswitch, 2, IrqLine(&pic, devices::kNetIrq));
+  ASSERT_TRUE(vswitch.Attach(1, &a).ok());
+  ASSERT_TRUE(vswitch.Attach(2, &b).ok());
+
+  // a sends 8 bytes to b.
+  ASSERT_TRUE(a.Write(0x1C, 4, 0).ok());
+  ASSERT_TRUE(a.Write(0x10, 4, 0x11111111).ok());
+  ASSERT_TRUE(a.Write(0x10, 4, 0x22222222).ok());
+  ASSERT_TRUE(a.Write(0x00, 4, 8).ok());
+  ASSERT_TRUE(a.Write(0x04, 4, 2).ok());
+  ASSERT_TRUE(a.Write(0x08, 4, 1).ok());
+  EXPECT_EQ(a.stats().tx_frames, 1u);
+
+  clock.RunAll();  // deliver
+  EXPECT_EQ(b.stats().rx_frames, 1u);
+  EXPECT_EQ(*b.Read(0x0C, 4) & 1u, 1u);  // rx available
+
+  ASSERT_TRUE(b.Write(0x08, 4, 2).ok());  // pop
+  EXPECT_EQ(*b.Read(0x14, 4), 8u);
+  EXPECT_EQ(*b.Read(0x18, 4), 1u);
+  EXPECT_EQ(*b.Read(0x10, 4), 0x11111111u);
+  EXPECT_EQ(*b.Read(0x10, 4), 0x22222222u);
+}
+
+TEST(EmuNetTest, OversizedTxRejected) {
+  SimClock clock;
+  net::VirtualSwitch vswitch(&clock);
+  InterruptController pic;
+  EmulatedNetDevice a(&vswitch, 1, IrqLine(&pic, devices::kNetIrq));
+  EXPECT_FALSE(a.Write(0x00, 4, EmulatedNetDevice::kBufBytes + 4).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Virtio rings (host-driven through guest memory)
+// ---------------------------------------------------------------------------
+
+class VirtioRingTest : public ::testing::Test {
+ protected:
+  VirtioRingTest() : pool_(512) {
+    auto m = mem::GuestMemory::Create(&pool_, 1u << 20);
+    EXPECT_TRUE(m.ok());
+    memory_ = std::move(m).value();
+  }
+
+  // Builds a 4-entry queue at fixed addresses.
+  virtio::VirtQueue MakeQueue() {
+    virtio::VirtQueue q;
+    q.Configure(0x10000, 0x10100, 0x10200, 4);
+    q.set_ready(true);
+    return q;
+  }
+
+  void WriteDesc(uint32_t index, uint32_t gpa, uint32_t len, uint16_t flags, uint16_t next) {
+    uint32_t base = 0x10000 + index * 12;
+    ASSERT_TRUE(memory_->WriteU32(base, gpa).ok());
+    ASSERT_TRUE(memory_->WriteU32(base + 4, len).ok());
+    ASSERT_TRUE(memory_->WriteU16(base + 8, flags).ok());
+    ASSERT_TRUE(memory_->WriteU16(base + 10, next).ok());
+  }
+
+  void PostAvail(std::vector<uint16_t> heads) {
+    auto idx = memory_->ReadU16(0x10100 + 2);
+    ASSERT_TRUE(idx.ok());
+    uint16_t i = *idx;
+    for (uint16_t head : heads) {
+      ASSERT_TRUE(memory_->WriteU16(0x10100 + 4 + (i % 4) * 2, head).ok());
+      ++i;
+    }
+    ASSERT_TRUE(memory_->WriteU16(0x10100 + 2, i).ok());
+  }
+
+  mem::FramePool pool_;
+  std::unique_ptr<mem::GuestMemory> memory_;
+};
+
+TEST_F(VirtioRingTest, PopSingleDescriptor) {
+  virtio::VirtQueue q = MakeQueue();
+  WriteDesc(0, 0x20000, 64, 0, 0);
+  PostAvail({0});
+
+  ASSERT_TRUE(*q.HasWork(*memory_));
+  auto chain = q.Pop(*memory_);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->head, 0);
+  ASSERT_EQ(chain->elems.size(), 1u);
+  EXPECT_EQ(chain->elems[0].gpa, 0x20000u);
+  EXPECT_EQ(chain->elems[0].len, 64u);
+  EXPECT_FALSE(chain->elems[0].device_writes);
+  EXPECT_FALSE(*q.HasWork(*memory_));
+}
+
+TEST_F(VirtioRingTest, PopChainFollowsNext) {
+  virtio::VirtQueue q = MakeQueue();
+  WriteDesc(1, 0x20000, 16, virtio::kDescNext, 2);
+  WriteDesc(2, 0x21000, 512, virtio::kDescNext | virtio::kDescWrite, 3);
+  WriteDesc(3, 0x22000, 1, virtio::kDescWrite, 0);
+  PostAvail({1});
+
+  auto chain = q.Pop(*memory_);
+  ASSERT_TRUE(chain.ok());
+  ASSERT_EQ(chain->elems.size(), 3u);
+  EXPECT_EQ(chain->TotalReadable(), 16u);
+  EXPECT_EQ(chain->TotalWritable(), 513u);
+}
+
+TEST_F(VirtioRingTest, LoopingChainDetected) {
+  virtio::VirtQueue q = MakeQueue();
+  WriteDesc(0, 0x20000, 16, virtio::kDescNext, 1);
+  WriteDesc(1, 0x21000, 16, virtio::kDescNext, 0);  // back to 0
+  PostAvail({0});
+  EXPECT_EQ(q.Pop(*memory_).status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(VirtioRingTest, OutOfRangeDescriptorDetected) {
+  virtio::VirtQueue q = MakeQueue();
+  WriteDesc(0, 0x20000, 16, virtio::kDescNext, 9);  // next past qsize
+  PostAvail({0});
+  EXPECT_EQ(q.Pop(*memory_).status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(VirtioRingTest, UsedRingPublishes) {
+  virtio::VirtQueue q = MakeQueue();
+  ASSERT_TRUE(q.PushUsed(*memory_, 2, 100).ok());
+  EXPECT_EQ(*memory_->ReadU16(0x10200 + 2), 1u);    // used.idx
+  EXPECT_EQ(*memory_->ReadU32(0x10200 + 4), 2u);    // elem.id
+  EXPECT_EQ(*memory_->ReadU32(0x10200 + 8), 100u);  // elem.len
+}
+
+TEST_F(VirtioRingTest, BlkDeviceExecutesWriteRequest) {
+  storage::MemBlockStore disk(64);
+  InterruptController pic;
+  virtio::VirtioBlk blk(memory_.get(), IrqLine(&pic, 8), &disk, /*clock=*/nullptr);
+  ASSERT_TRUE(pic.Write(0x04, 4, 1u << 8).ok());
+
+  // Configure queue 0 via registers.
+  ASSERT_TRUE(blk.Write(0x04, 4, 0).ok());
+  ASSERT_TRUE(blk.Write(0x08, 4, 4).ok());
+  ASSERT_TRUE(blk.Write(0x0C, 4, 0x10000).ok());
+  ASSERT_TRUE(blk.Write(0x10, 4, 0x10100).ok());
+  ASSERT_TRUE(blk.Write(0x14, 4, 0x10200).ok());
+  ASSERT_TRUE(blk.Write(0x18, 4, 1).ok());
+
+  // Request: header (type=1 write, sector=3) + 512B data + status.
+  ASSERT_TRUE(memory_->WriteU32(0x30000, 1).ok());
+  ASSERT_TRUE(memory_->WriteU32(0x30008, 3).ok());
+  ASSERT_TRUE(memory_->WriteU32(0x3000C, 0).ok());
+  for (uint32_t i = 0; i < 128; ++i) {
+    ASSERT_TRUE(memory_->WriteU32(0x31000 + i * 4, 0xF00D0000 + i).ok());
+  }
+  WriteDesc(0, 0x30000, 16, virtio::kDescNext, 1);
+  WriteDesc(1, 0x31000, 512, virtio::kDescNext, 2);
+  WriteDesc(2, 0x32000, 1, virtio::kDescWrite, 0);
+  PostAvail({0});
+
+  ASSERT_TRUE(blk.Write(0x1C, 4, 0).ok());  // doorbell
+
+  EXPECT_EQ(blk.blk_stats().requests, 1u);
+  EXPECT_EQ(blk.blk_stats().errors, 0u);
+  EXPECT_EQ(*memory_->ReadU8(0x32000), virtio::kBlkStatusOk);
+  uint8_t sector[512] = {};
+  ASSERT_TRUE(disk.ReadSectors(3, 1, sector).ok());
+  uint32_t w;
+  std::memcpy(&w, sector, 4);
+  EXPECT_EQ(w, 0xF00D0000u);
+  EXPECT_NE(pic.pending() & (1u << 8), 0u);
+}
+
+TEST_F(VirtioRingTest, BlkReadRequestFillsBuffers) {
+  storage::MemBlockStore disk(64);
+  uint8_t sector[512] = {};
+  for (int i = 0; i < 512; ++i) {
+    sector[i] = static_cast<uint8_t>(i * 3);
+  }
+  ASSERT_TRUE(disk.WriteSectors(9, 1, sector).ok());
+
+  InterruptController pic;
+  virtio::VirtioBlk blk(memory_.get(), IrqLine(&pic, 8), &disk, nullptr);
+  ASSERT_TRUE(blk.Write(0x04, 4, 0).ok());
+  ASSERT_TRUE(blk.Write(0x08, 4, 4).ok());
+  ASSERT_TRUE(blk.Write(0x0C, 4, 0x10000).ok());
+  ASSERT_TRUE(blk.Write(0x10, 4, 0x10100).ok());
+  ASSERT_TRUE(blk.Write(0x14, 4, 0x10200).ok());
+  ASSERT_TRUE(blk.Write(0x18, 4, 1).ok());
+
+  ASSERT_TRUE(memory_->WriteU32(0x30000, 0).ok());  // type read
+  ASSERT_TRUE(memory_->WriteU32(0x30008, 9).ok());
+  WriteDesc(0, 0x30000, 16, virtio::kDescNext, 1);
+  WriteDesc(1, 0x31000, 512, virtio::kDescNext | virtio::kDescWrite, 2);
+  WriteDesc(2, 0x32000, 1, virtio::kDescWrite, 0);
+  PostAvail({0});
+  ASSERT_TRUE(blk.Write(0x1C, 4, 0).ok());
+
+  EXPECT_EQ(*memory_->ReadU8(0x32000), virtio::kBlkStatusOk);
+  std::vector<uint8_t> got(512);
+  ASSERT_TRUE(memory_->Read(0x31000, got.data(), got.size()).ok());
+  EXPECT_EQ(std::memcmp(got.data(), sector, 512), 0);
+}
+
+TEST_F(VirtioRingTest, BlkMalformedRequestGetsErrorStatus) {
+  storage::MemBlockStore disk(64);
+  InterruptController pic;
+  virtio::VirtioBlk blk(memory_.get(), IrqLine(&pic, 8), &disk, nullptr);
+  ASSERT_TRUE(blk.Write(0x04, 4, 0).ok());
+  ASSERT_TRUE(blk.Write(0x08, 4, 4).ok());
+  ASSERT_TRUE(blk.Write(0x0C, 4, 0x10000).ok());
+  ASSERT_TRUE(blk.Write(0x10, 4, 0x10100).ok());
+  ASSERT_TRUE(blk.Write(0x14, 4, 0x10200).ok());
+  ASSERT_TRUE(blk.Write(0x18, 4, 1).ok());
+
+  ASSERT_TRUE(memory_->WriteU32(0x30000, 9999).ok());  // bogus request type
+  WriteDesc(0, 0x30000, 16, virtio::kDescNext, 1);
+  WriteDesc(1, 0x32000, 1, virtio::kDescWrite, 0);
+  PostAvail({0});
+  ASSERT_TRUE(blk.Write(0x1C, 4, 0).ok());
+  EXPECT_EQ(blk.blk_stats().errors, 1u);
+  EXPECT_EQ(*memory_->ReadU8(0x32000), virtio::kBlkStatusUnsupported);
+}
+
+TEST_F(VirtioRingTest, ConsoleTxCollects) {
+  InterruptController pic;
+  virtio::VirtioConsole con(memory_.get(), IrqLine(&pic, 10));
+  // Configure TX queue (1).
+  ASSERT_TRUE(con.Write(0x04, 4, 1).ok());
+  ASSERT_TRUE(con.Write(0x08, 4, 4).ok());
+  ASSERT_TRUE(con.Write(0x0C, 4, 0x10000).ok());
+  ASSERT_TRUE(con.Write(0x10, 4, 0x10100).ok());
+  ASSERT_TRUE(con.Write(0x14, 4, 0x10200).ok());
+  ASSERT_TRUE(con.Write(0x18, 4, 1).ok());
+
+  const char msg[] = "virtio says hi";
+  ASSERT_TRUE(memory_->Write(0x30000, msg, sizeof(msg) - 1).ok());
+  WriteDesc(0, 0x30000, sizeof(msg) - 1, 0, 0);
+  PostAvail({0});
+  ASSERT_TRUE(con.Write(0x1C, 4, 1).ok());
+  EXPECT_EQ(con.output(), "virtio says hi");
+}
+
+TEST_F(VirtioRingTest, ConsoleRxDeliversIntoPostedBuffers) {
+  InterruptController pic;
+  virtio::VirtioConsole con(memory_.get(), IrqLine(&pic, 10));
+  // Configure RX queue (0) and post one 16-byte buffer.
+  ASSERT_TRUE(con.Write(0x04, 4, 0).ok());
+  ASSERT_TRUE(con.Write(0x08, 4, 4).ok());
+  ASSERT_TRUE(con.Write(0x0C, 4, 0x10000).ok());
+  ASSERT_TRUE(con.Write(0x10, 4, 0x10100).ok());
+  ASSERT_TRUE(con.Write(0x14, 4, 0x10200).ok());
+  ASSERT_TRUE(con.Write(0x18, 4, 1).ok());
+  WriteDesc(0, 0x30000, 16, virtio::kDescWrite, 0);
+  PostAvail({0});
+
+  con.InjectInput("hello");
+  std::vector<uint8_t> buf(5);
+  ASSERT_TRUE(memory_->Read(0x30000, buf.data(), 5).ok());
+  EXPECT_EQ(std::string(buf.begin(), buf.end()), "hello");
+  EXPECT_EQ(*memory_->ReadU16(0x10200 + 2), 1u);  // one used entry
+}
+
+TEST_F(VirtioRingTest, DeviceStateSerializeRoundTrip) {
+  storage::MemBlockStore disk(64);
+  InterruptController pic;
+  virtio::VirtioBlk blk(memory_.get(), IrqLine(&pic, 8), &disk, nullptr);
+  ASSERT_TRUE(blk.Write(0x04, 4, 0).ok());
+  ASSERT_TRUE(blk.Write(0x08, 4, 8).ok());
+  ASSERT_TRUE(blk.Write(0x0C, 4, 0x10000).ok());
+  ASSERT_TRUE(blk.Write(0x18, 4, 1).ok());
+
+  ByteWriter w;
+  blk.Serialize(w);
+  virtio::VirtioBlk restored(memory_.get(), IrqLine(&pic, 8), &disk, nullptr);
+  ByteReader r(w.buffer());
+  ASSERT_TRUE(restored.Deserialize(r).ok());
+  EXPECT_EQ(*restored.Read(0x08, 4), 8u);
+  EXPECT_EQ(*restored.Read(0x0C, 4), 0x10000u);
+  EXPECT_EQ(*restored.Read(0x18, 4), 1u);
+}
+
+TEST_F(VirtioRingTest, RegisterValidation) {
+  storage::MemBlockStore disk(64);
+  InterruptController pic;
+  virtio::VirtioBlk blk(memory_.get(), IrqLine(&pic, 8), &disk, nullptr);
+  EXPECT_EQ(*blk.Read(0x00, 4), virtio::kVirtioIdBlk);
+  EXPECT_FALSE(blk.Write(0x04, 4, 5).ok());      // queue_sel out of range
+  EXPECT_FALSE(blk.Write(0x08, 4, 3).ok());      // not a power of two
+  EXPECT_FALSE(blk.Write(0x08, 4, 512).ok());    // too large
+  EXPECT_FALSE(blk.Write(0x1C, 4, 7).ok());      // notify unknown queue
+  EXPECT_FALSE(blk.Read(0x00, 2).ok());          // sub-word access
+}
+
+}  // namespace
+}  // namespace hyperion

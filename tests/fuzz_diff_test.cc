@@ -1,0 +1,235 @@
+// Differential fuzzing: random guest programs executed on both engines
+// (interpreter, DBT) and both virtualizers must leave identical
+// architectural state. Programs are generated to terminate by construction:
+// only forward control flow, ending in HALT.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/crc32.h"
+#include "src/util/rng.h"
+#include "tests/guest_harness.h"
+
+namespace hyperion {
+namespace {
+
+using isa::AluOp;
+using isa::Instruction;
+using isa::Opcode;
+
+// Generates a random terminating program of `n` instructions.
+//  - ALU ops over all registers
+//  - loads/stores confined to a scratch window via masked addresses: the
+//    generator emits `andi` to clamp a base register before each access
+//  - forward-only branches and jumps
+// Register 15 (s3) is reserved as the scratch-window base and is never a
+// destination, so memory accesses stay inside [0x9000, 0xB000).
+constexpr uint8_t kScratchBase = 15;
+constexpr uint32_t kScratchAddr = 0x9000;
+
+std::vector<uint32_t> RandomProgram(Xoshiro256& rng, size_t n) {
+  std::vector<uint32_t> words;
+
+  auto push = [&words](const Instruction& in) {
+    auto w = isa::Encode(in);
+    if (w.ok()) {
+      words.push_back(*w);
+    }
+  };
+
+  // Destinations exclude the reserved base register.
+  auto reg = [&rng]() -> uint8_t { return static_cast<uint8_t>(rng.NextBelow(15)); };
+  auto src = [&rng]() -> uint8_t { return static_cast<uint8_t>(rng.NextBelow(16)); };
+
+  // s3 = kScratchAddr (0x8000 via lui + 0x1000 via addi).
+  {
+    Instruction lui;
+    lui.opcode = Opcode::kLui;
+    lui.rd = kScratchBase;
+    lui.imm = 0x8000;
+    push(lui);
+    Instruction addi;
+    addi.opcode = Opcode::kOpImm;
+    addi.funct = static_cast<uint8_t>(AluOp::kAdd);
+    addi.rd = kScratchBase;
+    addi.rs1 = kScratchBase;
+    addi.imm = static_cast<int32_t>(kScratchAddr) - 0x8000;
+    push(addi);
+  }
+
+  // Seed a few registers with random values.
+  for (int i = 0; i < 6; ++i) {
+    Instruction lui;
+    lui.opcode = Opcode::kLui;
+    lui.rd = reg();
+    lui.imm = static_cast<int32_t>((rng.Next() & 0x3FFFF) << 14);
+    push(lui);
+    Instruction addi;
+    addi.opcode = Opcode::kOpImm;
+    addi.funct = static_cast<uint8_t>(AluOp::kAdd);
+    addi.rd = lui.rd;
+    addi.rs1 = lui.rd;
+    addi.imm = static_cast<int32_t>(rng.NextBelow(0x2000)) - 0x1000;
+    push(addi);
+  }
+
+  while (words.size() < n) {
+    switch (rng.NextBelow(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // R-type ALU
+        Instruction in;
+        in.opcode = Opcode::kOp;
+        in.funct = static_cast<uint8_t>(rng.NextBelow(16));
+        in.rd = reg();
+        in.rs1 = reg();
+        in.rs2 = reg();
+        push(in);
+        break;
+      }
+      case 4:
+      case 5: {  // I-type ALU
+        Instruction in;
+        in.opcode = Opcode::kOpImm;
+        in.funct = static_cast<uint8_t>(rng.NextBelow(16));
+        in.rd = reg();
+        in.rs1 = reg();
+        in.imm = static_cast<int32_t>(rng.NextBelow(0x2000)) - 0x1000;
+        push(in);
+        break;
+      }
+      case 6:
+      case 7: {  // memory access through the reserved scratch base
+        static constexpr Opcode kMemOps[] = {Opcode::kLw, Opcode::kLh,  Opcode::kLhu,
+                                             Opcode::kLb, Opcode::kLbu, Opcode::kSw,
+                                             Opcode::kSh, Opcode::kSb};
+        Instruction mem;
+        mem.opcode = kMemOps[rng.NextBelow(8)];
+        uint32_t align = 1;
+        if (mem.opcode == Opcode::kLw || mem.opcode == Opcode::kSw) {
+          align = 4;
+        } else if (mem.opcode == Opcode::kLh || mem.opcode == Opcode::kLhu ||
+                   mem.opcode == Opcode::kSh) {
+          align = 2;
+        }
+        mem.rd = mem.opcode == Opcode::kSw || mem.opcode == Opcode::kSh ||
+                         mem.opcode == Opcode::kSb
+                     ? src()   // store data may come from any register
+                     : reg();  // load destinations avoid the base
+        mem.rs1 = kScratchBase;
+        mem.imm = static_cast<int32_t>(rng.NextBelow(0x2000 / align)) * static_cast<int32_t>(align);
+        push(mem);
+        break;
+      }
+      case 8: {  // forward branch
+        Instruction in;
+        in.opcode = Opcode::kBranch;
+        in.funct = static_cast<uint8_t>(rng.NextBelow(6));
+        in.rs1 = src();
+        in.rs2 = src();
+        in.imm = static_cast<int32_t>(1 + rng.NextBelow(8)) * 4;  // forward only
+        push(in);
+        break;
+      }
+      default: {  // forward jump with link
+        Instruction in;
+        in.opcode = Opcode::kJal;
+        in.rd = reg();
+        in.imm = static_cast<int32_t>(1 + rng.NextBelow(8)) * 4;
+        push(in);
+        break;
+      }
+    }
+  }
+  // Branch/jump targets may point past the buffer: pad a landing zone of
+  // NOPs, then HALT.
+  Instruction nop;
+  nop.opcode = Opcode::kOpImm;
+  nop.funct = static_cast<uint8_t>(AluOp::kAdd);
+  for (int i = 0; i < 9; ++i) {
+    push(nop);
+  }
+  Instruction halt;
+  halt.opcode = Opcode::kHalt;
+  push(halt);
+  return words;
+}
+
+struct MachineSnapshot {
+  std::array<uint32_t, 16> regs;
+  uint32_t pc;
+  uint64_t instret;
+  uint32_t mem_crc;
+};
+
+MachineSnapshot Execute(const std::vector<uint32_t>& words, mmu::PagingMode paging,
+                        cpu::EngineKind engine) {
+  testing::TestMachine m(1u << 20, paging, engine, cpu::VirtMode::kHardwareAssist);
+  // Load raw words at the reset pc.
+  uint32_t addr = isa::kResetPc;
+  for (uint32_t w : words) {
+    EXPECT_TRUE(m.memory().WriteU32(addr, w).ok());
+    addr += 4;
+  }
+  m.ctx().state.pc = isa::kResetPc;
+  auto r = m.Run(5'000'000);
+  EXPECT_EQ(r.reason, cpu::ExitReason::kHalt);
+
+  MachineSnapshot snap;
+  snap.regs = m.ctx().state.regs;
+  snap.pc = m.ctx().state.pc;
+  snap.instret = m.ctx().state.instret;
+  // Checksum the scratch window the program may have written.
+  std::vector<uint8_t> scratch(0x2000);
+  EXPECT_TRUE(m.memory().Read(kScratchAddr, scratch.data(), scratch.size()).ok());
+  snap.mem_crc = Crc32(scratch.data(), scratch.size());
+  return snap;
+}
+
+TEST(FuzzDiffTest, EnginesAgreeOnRandomPrograms) {
+  Xoshiro256 rng(0xF00DF00D);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<uint32_t> words = RandomProgram(rng, 80 + rng.NextBelow(200));
+    MachineSnapshot interp =
+        Execute(words, mmu::PagingMode::kNested, cpu::EngineKind::kInterpreter);
+    MachineSnapshot dbt = Execute(words, mmu::PagingMode::kNested, cpu::EngineKind::kDbt);
+    ASSERT_EQ(interp.regs, dbt.regs) << "trial " << trial;
+    ASSERT_EQ(interp.pc, dbt.pc) << "trial " << trial;
+    ASSERT_EQ(interp.instret, dbt.instret) << "trial " << trial;
+    ASSERT_EQ(interp.mem_crc, dbt.mem_crc) << "trial " << trial;
+  }
+}
+
+TEST(FuzzDiffTest, VirtualizersAgreeOnRandomPrograms) {
+  Xoshiro256 rng(0xCAFE1234);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<uint32_t> words = RandomProgram(rng, 80 + rng.NextBelow(150));
+    MachineSnapshot shadow =
+        Execute(words, mmu::PagingMode::kShadow, cpu::EngineKind::kInterpreter);
+    MachineSnapshot nested =
+        Execute(words, mmu::PagingMode::kNested, cpu::EngineKind::kInterpreter);
+    ASSERT_EQ(shadow.regs, nested.regs) << "trial " << trial;
+    ASSERT_EQ(shadow.mem_crc, nested.mem_crc) << "trial " << trial;
+  }
+}
+
+// Decoding random words must never crash or mis-encode (harness-level fuzz
+// of the decoder's totality; legal decodes must re-encode losslessly).
+TEST(FuzzDiffTest, DecoderTotalOnRandomWords) {
+  Xoshiro256 rng(42424242);
+  for (int i = 0; i < 100000; ++i) {
+    uint32_t word = static_cast<uint32_t>(rng.Next());
+    Instruction in = isa::Decode(word);
+    if (in.opcode == Opcode::kIllegal) {
+      continue;
+    }
+    auto re = isa::Encode(in);
+    ASSERT_TRUE(re.ok());
+    ASSERT_EQ(isa::Decode(*re), in);
+  }
+}
+
+}  // namespace
+}  // namespace hyperion

@@ -1,0 +1,247 @@
+// Unit and property tests for the HV32 ISA: encode/decode round trips,
+// field limits, disassembly, and architectural helpers.
+
+#include <gtest/gtest.h>
+
+#include "src/isa/hv32.h"
+#include "src/util/rng.h"
+
+namespace hyperion::isa {
+namespace {
+
+Instruction MakeR(AluOp op, uint8_t rd, uint8_t rs1, uint8_t rs2) {
+  Instruction i;
+  i.opcode = Opcode::kOp;
+  i.funct = static_cast<uint8_t>(op);
+  i.rd = rd;
+  i.rs1 = rs1;
+  i.rs2 = rs2;
+  return i;
+}
+
+Instruction MakeI(AluOp op, uint8_t rd, uint8_t rs1, int32_t imm) {
+  Instruction i;
+  i.opcode = Opcode::kOpImm;
+  i.funct = static_cast<uint8_t>(op);
+  i.rd = rd;
+  i.rs1 = rs1;
+  i.imm = imm;
+  return i;
+}
+
+TEST(EncodingTest, RTypeRoundTrip) {
+  Instruction in = MakeR(AluOp::kAdd, kA0, kA1, kT0);
+  auto word = Encode(in);
+  ASSERT_TRUE(word.ok());
+  EXPECT_EQ(Decode(*word), in);
+}
+
+TEST(EncodingTest, ITypeRoundTripNegativeImm) {
+  Instruction in = MakeI(AluOp::kAdd, kSp, kSp, -16);
+  auto word = Encode(in);
+  ASSERT_TRUE(word.ok());
+  EXPECT_EQ(Decode(*word), in);
+}
+
+TEST(EncodingTest, ImmediateLimits) {
+  EXPECT_TRUE(Encode(MakeI(AluOp::kAdd, kA0, kA0, 8191)).ok());
+  EXPECT_TRUE(Encode(MakeI(AluOp::kAdd, kA0, kA0, -8192)).ok());
+  EXPECT_FALSE(Encode(MakeI(AluOp::kAdd, kA0, kA0, 8192)).ok());
+  EXPECT_FALSE(Encode(MakeI(AluOp::kAdd, kA0, kA0, -8193)).ok());
+}
+
+TEST(EncodingTest, LuiRoundTrip) {
+  Instruction in;
+  in.opcode = Opcode::kLui;
+  in.rd = kT1;
+  in.imm = static_cast<int32_t>(0xABCD0000u & ~((1u << 14) - 1));
+  auto word = Encode(in);
+  ASSERT_TRUE(word.ok());
+  EXPECT_EQ(Decode(*word), in);
+}
+
+TEST(EncodingTest, LuiRejectsUnalignedImmediate) {
+  Instruction in;
+  in.opcode = Opcode::kLui;
+  in.rd = kT1;
+  in.imm = 0x1234;  // low 14 bits set
+  EXPECT_FALSE(Encode(in).ok());
+}
+
+TEST(EncodingTest, JalRange) {
+  Instruction in;
+  in.opcode = Opcode::kJal;
+  in.rd = kRa;
+  in.imm = (1 << 17) * 4 - 4;  // max positive word offset
+  EXPECT_TRUE(Encode(in).ok());
+  in.imm = -(1 << 17) * 4;  // max negative
+  EXPECT_TRUE(Encode(in).ok());
+  in.imm = (1 << 17) * 4;  // one past
+  EXPECT_FALSE(Encode(in).ok());
+  in.imm = 6;  // unaligned
+  EXPECT_FALSE(Encode(in).ok());
+}
+
+TEST(EncodingTest, BranchRoundTrip) {
+  Instruction in;
+  in.opcode = Opcode::kBranch;
+  in.funct = static_cast<uint8_t>(BranchCond::kLtu);
+  in.rs1 = kA0;
+  in.rs2 = kA1;
+  in.imm = -64;
+  auto word = Encode(in);
+  ASSERT_TRUE(word.ok());
+  EXPECT_EQ(Decode(*word), in);
+}
+
+TEST(EncodingTest, BadBranchCondDecodesIllegal) {
+  Instruction in;
+  in.opcode = Opcode::kBranch;
+  in.funct = 7;  // only 0..5 defined
+  EXPECT_FALSE(Encode(in).ok());
+  // Hand-craft the word with cond=7 in the rd slot.
+  uint32_t word = (6u << 26) | (7u << 22);
+  EXPECT_EQ(Decode(word).opcode, Opcode::kIllegal);
+}
+
+TEST(EncodingTest, CsrRoundTrip) {
+  Instruction in;
+  in.opcode = Opcode::kCsrrw;
+  in.rd = kA0;
+  in.rs1 = kA1;
+  in.imm = static_cast<int32_t>(Csr::kPtbr);
+  auto word = Encode(in);
+  ASSERT_TRUE(word.ok());
+  EXPECT_EQ(Decode(*word), in);
+}
+
+TEST(EncodingTest, LoadStoreRoundTrip) {
+  for (Opcode op : {Opcode::kLw, Opcode::kLh, Opcode::kLhu, Opcode::kLb, Opcode::kLbu,
+                    Opcode::kSw, Opcode::kSh, Opcode::kSb}) {
+    Instruction in;
+    in.opcode = op;
+    in.rd = kA2;
+    in.rs1 = kSp;
+    in.imm = -4;
+    auto word = Encode(in);
+    ASSERT_TRUE(word.ok());
+    EXPECT_EQ(Decode(*word), in) << Disassemble(in);
+  }
+}
+
+TEST(EncodingTest, SystemOpsRoundTrip) {
+  for (Opcode op : {Opcode::kEcall, Opcode::kEbreak, Opcode::kSret, Opcode::kWfi,
+                    Opcode::kHcall, Opcode::kSfence, Opcode::kHalt}) {
+    Instruction in;
+    in.opcode = op;
+    auto word = Encode(in);
+    ASSERT_TRUE(word.ok());
+    EXPECT_EQ(Decode(*word).opcode, op);
+  }
+}
+
+TEST(EncodingTest, UnknownOpcodeDecodesIllegal) {
+  uint32_t word = 63u << 26;
+  EXPECT_EQ(Decode(word).opcode, Opcode::kIllegal);
+  word = 40u << 26;
+  EXPECT_EQ(Decode(word).opcode, Opcode::kIllegal);
+}
+
+TEST(EncodingTest, EncodeRejectsIllegal) {
+  Instruction in;
+  in.opcode = Opcode::kIllegal;
+  EXPECT_FALSE(Encode(in).ok());
+}
+
+// Property: every word that decodes to a legal instruction re-encodes to a
+// word that decodes identically (decode is a left inverse of encode on the
+// decoded form).
+TEST(EncodingTest, PropertyDecodeEncodeFixpoint) {
+  Xoshiro256 rng(42);
+  int legal = 0;
+  for (int trial = 0; trial < 20000; ++trial) {
+    uint32_t word = static_cast<uint32_t>(rng.Next());
+    Instruction d = Decode(word);
+    if (d.opcode == Opcode::kIllegal) {
+      continue;
+    }
+    ++legal;
+    auto re = Encode(d);
+    ASSERT_TRUE(re.ok()) << Disassemble(d) << " word=0x" << std::hex << word;
+    EXPECT_EQ(Decode(*re), d) << Disassemble(d);
+  }
+  EXPECT_GT(legal, 1000);  // the opcode space is dense enough to exercise this
+}
+
+TEST(DisasmTest, RendersCanonicalForms) {
+  EXPECT_EQ(Disassemble(MakeR(AluOp::kAdd, kA0, kA1, kT0)), "add a0, a1, t0");
+  EXPECT_EQ(Disassemble(MakeI(AluOp::kXor, kA0, kA0, -1)), "xori a0, a0, -0x1");
+
+  Instruction lw;
+  lw.opcode = Opcode::kLw;
+  lw.rd = kA0;
+  lw.rs1 = kSp;
+  lw.imm = 8;
+  EXPECT_EQ(Disassemble(lw), "lw a0, 0x8(sp)");
+
+  Instruction csr;
+  csr.opcode = Opcode::kCsrrs;
+  csr.rd = kA0;
+  csr.rs1 = kZero;
+  csr.imm = static_cast<int32_t>(Csr::kStatus);
+  EXPECT_EQ(Disassemble(csr), "csrrs a0, status, zero");
+}
+
+TEST(DisasmTest, GprNames) {
+  EXPECT_EQ(GprName(0), "zero");
+  EXPECT_EQ(GprName(1), "ra");
+  EXPECT_EQ(GprName(2), "sp");
+  EXPECT_EQ(GprName(4), "a0");
+  EXPECT_EQ(GprName(15), "s3");
+}
+
+TEST(ArchTest, VaSplitHelpers) {
+  uint32_t va = 0xABCDE123;
+  EXPECT_EQ(VaL1Index(va), 0xABCDE123u >> 22);
+  EXPECT_EQ(VaL2Index(va), (0xABCDE123u >> 12) & 0x3FF);
+  EXPECT_EQ(VaPageOffset(va), 0x123u);
+  EXPECT_EQ(PageBase(va), 0xABCDE000u);
+  EXPECT_EQ(PageNumber(va), 0xABCDEu);
+}
+
+TEST(ArchTest, PteHelpers) {
+  uint32_t pte = Pte::Make(0x1234, Pte::kValid | Pte::kRead | Pte::kWrite);
+  EXPECT_TRUE(Pte::IsValid(pte));
+  EXPECT_TRUE(Pte::IsLeaf(pte));
+  EXPECT_EQ(Pte::Ppn(pte), 0x1234u);
+  uint32_t nonleaf = Pte::Make(0x55, Pte::kValid);
+  EXPECT_TRUE(Pte::IsValid(nonleaf));
+  EXPECT_FALSE(Pte::IsLeaf(nonleaf));
+}
+
+TEST(ArchTest, MmioRange) {
+  EXPECT_FALSE(IsMmio(0));
+  EXPECT_FALSE(IsMmio(0xEFFFFFFF));
+  EXPECT_TRUE(IsMmio(kMmioBase));
+  EXPECT_TRUE(IsMmio(0xF8000000));
+  EXPECT_FALSE(IsMmio(0xFFFFF000));
+}
+
+TEST(ArchTest, PrivilegedOpcodes) {
+  EXPECT_TRUE(IsPrivileged(Opcode::kSret));
+  EXPECT_TRUE(IsPrivileged(Opcode::kWfi));
+  EXPECT_TRUE(IsPrivileged(Opcode::kSfence));
+  EXPECT_TRUE(IsPrivileged(Opcode::kHalt));
+  EXPECT_TRUE(IsPrivileged(Opcode::kHcall));
+  EXPECT_FALSE(IsPrivileged(Opcode::kEcall));
+  EXPECT_FALSE(IsPrivileged(Opcode::kAuipc));
+}
+
+TEST(ArchTest, InterruptCauses) {
+  EXPECT_TRUE(IsInterruptCause(TrapCause::kTimerInterrupt));
+  EXPECT_TRUE(IsInterruptCause(TrapCause::kExternalInterrupt));
+  EXPECT_FALSE(IsInterruptCause(TrapCause::kLoadPageFault));
+}
+
+}  // namespace
+}  // namespace hyperion::isa

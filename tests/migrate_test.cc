@@ -1,0 +1,205 @@
+// Migration and snapshot robustness tests beyond the core happy paths:
+// zero-page elision, migration under device I/O, state preservation, and
+// corruption fuzzing of the snapshot decoder.
+
+#include <gtest/gtest.h>
+
+#include "src/core/host.h"
+#include "src/guest/programs.h"
+#include "src/migrate/migrate.h"
+#include "src/snapshot/snapshot.h"
+#include "src/util/rng.h"
+
+namespace hyperion {
+namespace {
+
+using core::Host;
+using core::IoModel;
+using core::Vm;
+using core::VmConfig;
+using core::VmState;
+
+Vm* Boot(Host& host, VmConfig config, const std::string& source) {
+  auto image = guest::Build(source);
+  EXPECT_TRUE(image.ok()) << image.status().ToString();
+  auto vm = host.CreateVm(std::move(config));
+  EXPECT_TRUE(vm.ok()) << vm.status().ToString();
+  EXPECT_TRUE((*vm)->LoadImage(*image).ok());
+  return *vm;
+}
+
+TEST(MigrateZeroPageTest, ElisionShrinksWireBytes) {
+  auto run = [](bool skip_zero) {
+    Host src, dst;
+    // A small working set in a mostly-zero 4 MiB VM.
+    std::string prog = guest::DirtyRateProgram(16, 5000);
+    Vm* vm = Boot(src, VmConfig{.name = "z"}, prog);
+    src.RunFor(10 * kSimTicksPerMs);
+    migrate::MigrateOptions options;
+    options.skip_zero_pages = skip_zero;
+    migrate::MigrationReport report;
+    auto moved = migrate::PreCopyMigrate(src, vm, dst, options, &report);
+    EXPECT_TRUE(moved.ok());
+    EXPECT_EQ((*moved)->state(), VmState::kRunning);
+    return report;
+  };
+  migrate::MigrationReport with = run(true);
+  migrate::MigrationReport without = run(false);
+  // ~1000 of 1024 pages are zero: the elided transfer is many times smaller.
+  EXPECT_LT(with.bytes_sent * 5, without.bytes_sent);
+  // Both moved the same page population.
+  EXPECT_EQ(with.pages_sent, without.pages_sent);
+  // And the smaller transfer finishes sooner.
+  EXPECT_LT(with.total_time, without.total_time);
+}
+
+TEST(MigrateIoTest, PreCopyMigratesAVmDoingDiskIo) {
+  Host src, dst;
+  auto disk = std::make_shared<storage::MemBlockStore>(4096);  // shared storage
+  VmConfig cfg{.name = "io-mig"};
+  cfg.disk_model = IoModel::kParavirt;
+  cfg.disk = disk;
+  guest::BlkIoParams p;
+  p.iterations = 1000000;  // effectively endless within the test window
+  p.sectors = 2;
+  p.batch = 2;
+  p.write = true;
+  std::string prog = guest::VirtioBlkProgram(p);
+  Vm* vm = Boot(src, cfg, prog);
+  src.RunFor(20 * kSimTicksPerMs);
+  ASSERT_EQ(vm->state(), VmState::kRunning);
+  uint64_t sectors_before = vm->virtio_blk()->blk_stats().sectors;
+  ASSERT_GT(sectors_before, 0u);
+
+  migrate::MigrationReport report;
+  auto moved = migrate::PreCopyMigrate(src, vm, dst, migrate::MigrateOptions{}, &report);
+  ASSERT_TRUE(moved.ok()) << moved.status().ToString();
+
+  // The destination VM keeps issuing I/O against the shared disk.
+  dst.RunFor(50 * kSimTicksPerMs);
+  EXPECT_NE((*moved)->state(), VmState::kCrashed)
+      << (*moved)->crash_reason().ToString();
+  EXPECT_GT((*moved)->virtio_blk()->blk_stats().sectors, 0u);
+}
+
+TEST(MigrateIoTest, PostCopyMigratesAVmDoingDiskIo) {
+  Host src, dst;
+  auto disk = std::make_shared<storage::MemBlockStore>(4096);
+  VmConfig cfg{.name = "io-pc"};
+  cfg.disk_model = IoModel::kParavirt;
+  cfg.disk = disk;
+  guest::BlkIoParams p;
+  p.iterations = 1000000;
+  p.sectors = 2;
+  p.batch = 2;
+  p.write = true;
+  std::string prog = guest::VirtioBlkProgram(p);
+  Vm* vm = Boot(src, cfg, prog);
+  src.RunFor(20 * kSimTicksPerMs);
+
+  migrate::MigrationReport report;
+  auto moved = migrate::PostCopyMigrate(src, vm, dst, migrate::MigrateOptions{}, &report);
+  ASSERT_TRUE(moved.ok()) << moved.status().ToString();
+  dst.RunFor(50 * kSimTicksPerMs);
+  EXPECT_NE((*moved)->state(), VmState::kCrashed)
+      << (*moved)->crash_reason().ToString();
+  EXPECT_GT((*moved)->virtio_blk()->blk_stats().sectors, 0u);
+}
+
+TEST(MigrateStateTest, ConsoleAndLogsSurviveMigration) {
+  Host src, dst;
+  Vm* vm = Boot(src, VmConfig{.name = "st"}, R"(
+.org 0x1000
+_start:
+    li a0, 1
+    la a1, msg
+    li a2, 6
+    hcall
+    li a0, 8
+    li a1, 12345
+    hcall
+loop:
+    j loop
+msg:
+    .ascii "moved\n"
+)");
+  src.RunFor(5 * kSimTicksPerMs);
+  ASSERT_EQ(vm->console(), "moved\n");
+
+  migrate::MigrationReport report;
+  auto moved = migrate::PreCopyMigrate(src, vm, dst, migrate::MigrateOptions{}, &report);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ((*moved)->console(), "moved\n");
+  ASSERT_EQ((*moved)->logged_values().size(), 1u);
+  EXPECT_EQ((*moved)->logged_values()[0], 12345u);
+}
+
+TEST(MigrateStateTest, BalloonedPagesStayAbsentAcrossPreCopy) {
+  Host src, dst;
+  std::string prog = guest::BalloonDriverProgram(512, 512, 50000);
+  Vm* vm = Boot(src, VmConfig{.name = "bal-mig"}, prog);
+  vm->SetBalloonTarget(64);
+  src.RunFor(100 * kSimTicksPerMs);
+  ASSERT_EQ(vm->ballooned_pages(), 64u);
+
+  migrate::MigrationReport report;
+  auto moved = migrate::PreCopyMigrate(src, vm, dst, migrate::MigrateOptions{}, &report);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ((*moved)->ballooned_pages(), 64u);
+  // Ballooned pages were not shipped.
+  uint32_t present = 0;
+  for (uint32_t gpn = 0; gpn < (*moved)->memory().num_pages(); ++gpn) {
+    present += (*moved)->memory().IsPresent(gpn) ? 1 : 0;
+  }
+  EXPECT_EQ(present, (*moved)->memory().num_pages() - 64);
+}
+
+// Property: random corruption of a valid snapshot must never crash the
+// decoder; it either detects the damage (DataLoss via CRC) or, for the
+// 4-byte CRC trailer itself being the corrupted region, still fails cleanly.
+TEST(SnapshotFuzzTest, RandomCorruptionIsAlwaysRejectedCleanly) {
+  Host host;
+  Vm* vm = Boot(host, VmConfig{.name = "fz"}, guest::ComputeProgram(500));
+  host.RunFor(2 * kSimTicksPerMs);
+  vm->Pause();
+  auto snap = snapshot::SaveVm(*vm);
+  ASSERT_TRUE(snap.ok());
+
+  Xoshiro256 rng(0xBADF00D);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint8_t> corrupt = *snap;
+    int flips = 1 + static_cast<int>(rng.NextBelow(8));
+    for (int f = 0; f < flips; ++f) {
+      corrupt[rng.NextBelow(corrupt.size())] ^= static_cast<uint8_t>(1 + rng.NextBelow(255));
+    }
+    Vm* target = Boot(host, VmConfig{.name = "t" + std::to_string(trial)},
+                      guest::ComputeProgram(1));
+    target->Pause();
+    Status st = snapshot::LoadVm(*target, corrupt);
+    EXPECT_FALSE(st.ok()) << "corruption accepted at trial " << trial;
+    ASSERT_TRUE(host.DestroyVm(target).ok());
+  }
+}
+
+// Property: truncating a snapshot anywhere must also fail cleanly.
+TEST(SnapshotFuzzTest, TruncationIsAlwaysRejected) {
+  Host host;
+  Vm* vm = Boot(host, VmConfig{.name = "tr"}, guest::ComputeProgram(100));
+  vm->Pause();
+  auto snap = snapshot::SaveVm(*vm);
+  ASSERT_TRUE(snap.ok());
+
+  Xoshiro256 rng(777);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t keep = rng.NextBelow(snap->size());
+    std::vector<uint8_t> cut(snap->begin(), snap->begin() + static_cast<ptrdiff_t>(keep));
+    Vm* target = Boot(host, VmConfig{.name = "u" + std::to_string(trial)},
+                      guest::ComputeProgram(1));
+    target->Pause();
+    EXPECT_FALSE(snapshot::LoadVm(*target, cut).ok()) << "kept " << keep;
+    ASSERT_TRUE(host.DestroyVm(target).ok());
+  }
+}
+
+}  // namespace
+}  // namespace hyperion

@@ -1,0 +1,171 @@
+// Network substrate tests: links (bandwidth/latency/serialization) and the
+// virtual switch (unicast, broadcast, drops, in-flight detach).
+
+#include <gtest/gtest.h>
+
+#include "src/net/network.h"
+
+namespace hyperion::net {
+namespace {
+
+class RecordingSink : public FrameSink {
+ public:
+  void OnFrame(const Frame& frame) override { frames.push_back(frame); }
+  std::vector<Frame> frames;
+};
+
+Frame MakeFrame(MacAddr src, MacAddr dst, size_t payload = 100) {
+  Frame f;
+  f.src = src;
+  f.dst = dst;
+  f.payload.assign(payload, 0xAB);
+  return f;
+}
+
+TEST(LinkParamsTest, TransmitTimeScalesWithSize) {
+  LinkParams p;
+  p.bandwidth_bps = 1'000'000'000;  // 1 Gb/s
+  // 1250 bytes = 10^4 bits at 10^9 bps = 10 us = 10000 cycles.
+  EXPECT_EQ(p.TransmitTime(1250), 10000u);
+  EXPECT_EQ(p.TransmitTime(2500), 2 * p.TransmitTime(1250));
+}
+
+TEST(LinkTest, TransferCompletesAfterLatencyPlusTransmit) {
+  SimClock clock;
+  LinkParams p;
+  p.bandwidth_bps = 1'000'000'000;
+  p.latency = 500;
+  Link link(&clock, p);
+
+  bool done = false;
+  SimTime at = link.Transfer(1250, [&] { done = true; });
+  EXPECT_EQ(at, 10000u + 500u);
+  clock.RunUntil(at - 1);
+  EXPECT_FALSE(done);
+  clock.RunUntil(at);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(link.bytes_carried(), 1250u);
+}
+
+TEST(LinkTest, BackToBackTransfersSerialize) {
+  SimClock clock;
+  LinkParams p;
+  p.bandwidth_bps = 1'000'000'000;
+  p.latency = 0;
+  Link link(&clock, p);
+  SimTime first = link.ScheduleTransfer(1250);
+  SimTime second = link.ScheduleTransfer(1250);
+  EXPECT_EQ(first, 10000u);
+  EXPECT_EQ(second, 20000u);  // queued behind the first
+}
+
+TEST(SwitchTest, UnicastDelivery) {
+  SimClock clock;
+  VirtualSwitch sw(&clock);
+  RecordingSink a, b;
+  ASSERT_TRUE(sw.Attach(1, &a).ok());
+  ASSERT_TRUE(sw.Attach(2, &b).ok());
+
+  sw.Send(MakeFrame(1, 2));
+  clock.RunAll();
+  EXPECT_EQ(b.frames.size(), 1u);
+  EXPECT_TRUE(a.frames.empty());
+  EXPECT_EQ(b.frames[0].src, 1u);
+  EXPECT_EQ(sw.stats().frames_delivered, 1u);
+}
+
+TEST(SwitchTest, BroadcastSkipsSender) {
+  SimClock clock;
+  VirtualSwitch sw(&clock);
+  RecordingSink a, b, c;
+  ASSERT_TRUE(sw.Attach(1, &a).ok());
+  ASSERT_TRUE(sw.Attach(2, &b).ok());
+  ASSERT_TRUE(sw.Attach(3, &c).ok());
+
+  sw.Send(MakeFrame(1, kBroadcast));
+  clock.RunAll();
+  EXPECT_TRUE(a.frames.empty());
+  EXPECT_EQ(b.frames.size(), 1u);
+  EXPECT_EQ(c.frames.size(), 1u);
+}
+
+TEST(SwitchTest, UnknownDestinationDropped) {
+  SimClock clock;
+  VirtualSwitch sw(&clock);
+  RecordingSink a;
+  ASSERT_TRUE(sw.Attach(1, &a).ok());
+  sw.Send(MakeFrame(1, 99));
+  clock.RunAll();
+  EXPECT_EQ(sw.stats().frames_dropped, 1u);
+}
+
+TEST(SwitchTest, OversizedFrameDropped) {
+  SimClock clock;
+  VirtualSwitch sw(&clock);
+  RecordingSink a;
+  ASSERT_TRUE(sw.Attach(1, &a).ok());
+  sw.Send(MakeFrame(2, 1, kMaxFrameBytes + 1));
+  clock.RunAll();
+  EXPECT_EQ(sw.stats().frames_dropped, 1u);
+  EXPECT_TRUE(a.frames.empty());
+}
+
+TEST(SwitchTest, DuplicateAttachRejected) {
+  SimClock clock;
+  VirtualSwitch sw(&clock);
+  RecordingSink a, b;
+  ASSERT_TRUE(sw.Attach(1, &a).ok());
+  EXPECT_EQ(sw.Attach(1, &b).code(), StatusCode::kAlreadyExists);
+  EXPECT_FALSE(sw.Attach(kBroadcast, &b).ok());
+}
+
+TEST(SwitchTest, DetachInFlightDropsSafely) {
+  SimClock clock;
+  VirtualSwitch sw(&clock);
+  RecordingSink a, b;
+  ASSERT_TRUE(sw.Attach(1, &a).ok());
+  ASSERT_TRUE(sw.Attach(2, &b).ok());
+  sw.Send(MakeFrame(1, 2));
+  ASSERT_TRUE(sw.Detach(2).ok());  // before delivery fires
+  clock.RunAll();                  // must not crash
+  EXPECT_TRUE(b.frames.empty());
+  EXPECT_EQ(sw.stats().frames_dropped, 1u);
+}
+
+TEST(SwitchTest, DeliveryRespectsLinkTiming) {
+  SimClock clock;
+  VirtualSwitch sw(&clock);
+  RecordingSink slow_sink;
+  LinkParams slow;
+  slow.bandwidth_bps = 1'000'000;  // 1 Mb/s
+  slow.latency = 1000;
+  ASSERT_TRUE(sw.Attach(1, &slow_sink, slow).ok());
+
+  sw.Send(MakeFrame(2, 1, 1000));
+  clock.RunUntil(1000);
+  EXPECT_TRUE(slow_sink.frames.empty());  // still in flight
+  clock.RunAll();
+  EXPECT_EQ(slow_sink.frames.size(), 1u);
+  // ~(1018 bytes * 8) / 1e6 bps ~= 8.1 ms.
+  EXPECT_GT(clock.now(), 8 * kSimTicksPerMs);
+}
+
+TEST(SwitchTest, ManyFramesKeepOrderPerPort) {
+  SimClock clock;
+  VirtualSwitch sw(&clock);
+  RecordingSink a;
+  ASSERT_TRUE(sw.Attach(1, &a).ok());
+  for (uint32_t i = 0; i < 10; ++i) {
+    Frame f = MakeFrame(2, 1, 64);
+    f.payload[0] = static_cast<uint8_t>(i);
+    sw.Send(std::move(f));
+  }
+  clock.RunAll();
+  ASSERT_EQ(a.frames.size(), 10u);
+  for (uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.frames[i].payload[0], i);  // FIFO per link
+  }
+}
+
+}  // namespace
+}  // namespace hyperion::net

@@ -1,0 +1,330 @@
+// Storage tests: byte stores, the HVD copy-on-write image format, backing
+// chains, overlays, and the on-disk (file) representation.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/storage/block_store.h"
+#include "src/storage/byte_store.h"
+#include "src/storage/hvd.h"
+#include "src/util/rng.h"
+
+namespace hyperion::storage {
+namespace {
+
+std::vector<uint8_t> PatternSector(uint32_t tag) {
+  std::vector<uint8_t> s(kSectorSize);
+  for (size_t i = 0; i < s.size(); ++i) {
+    s[i] = static_cast<uint8_t>(tag * 31 + i);
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Byte stores
+// ---------------------------------------------------------------------------
+
+TEST(MemByteStoreTest, GrowsOnWrite) {
+  MemByteStore store;
+  EXPECT_EQ(store.size(), 0u);
+  uint32_t v = 0x12345678;
+  ASSERT_TRUE(store.WriteAt(100, &v, 4).ok());
+  EXPECT_EQ(store.size(), 104u);
+  uint32_t back = 0;
+  ASSERT_TRUE(store.ReadAt(100, &back, 4).ok());
+  EXPECT_EQ(back, v);
+  // The gap reads as zero.
+  uint8_t b = 0xFF;
+  ASSERT_TRUE(store.ReadAt(50, &b, 1).ok());
+  EXPECT_EQ(b, 0u);
+}
+
+TEST(MemByteStoreTest, ReadPastEndFails) {
+  MemByteStore store;
+  uint8_t b;
+  EXPECT_EQ(store.ReadAt(0, &b, 1).code(), StatusCode::kOutOfRange);
+}
+
+TEST(FileByteStoreTest, PersistsAcrossReopen) {
+  std::string path = ::testing::TempDir() + "/hyperion_bytestore_test.bin";
+  std::filesystem::remove(path);
+  {
+    auto store = FileByteStore::Open(path);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    uint64_t v = 0xDEADBEEFCAFEF00Dull;
+    ASSERT_TRUE((*store)->WriteAt(4096, &v, 8).ok());
+    ASSERT_TRUE((*store)->Sync().ok());
+  }
+  {
+    auto store = FileByteStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    EXPECT_EQ((*store)->size(), 4104u);
+    uint64_t v = 0;
+    ASSERT_TRUE((*store)->ReadAt(4096, &v, 8).ok());
+    EXPECT_EQ(v, 0xDEADBEEFCAFEF00Dull);
+  }
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// MemBlockStore
+// ---------------------------------------------------------------------------
+
+TEST(MemBlockStoreTest, ReadWriteRoundTrip) {
+  MemBlockStore store(16);
+  auto data = PatternSector(1);
+  ASSERT_TRUE(store.WriteSectors(3, 1, data.data()).ok());
+  std::vector<uint8_t> back(kSectorSize);
+  ASSERT_TRUE(store.ReadSectors(3, 1, back.data()).ok());
+  EXPECT_EQ(back, data);
+}
+
+TEST(MemBlockStoreTest, RangeChecked) {
+  MemBlockStore store(4);
+  std::vector<uint8_t> buf(2 * kSectorSize);
+  EXPECT_FALSE(store.ReadSectors(3, 2, buf.data()).ok());
+  EXPECT_FALSE(store.WriteSectors(4, 1, buf.data()).ok());
+  EXPECT_TRUE(store.ReadSectors(2, 2, buf.data()).ok());
+}
+
+// ---------------------------------------------------------------------------
+// HVD images
+// ---------------------------------------------------------------------------
+
+TEST(HvdTest, CreateValidation) {
+  EXPECT_FALSE(HvdImage::Create(std::make_unique<MemByteStore>(), 0).ok());
+  EXPECT_FALSE(HvdImage::Create(std::make_unique<MemByteStore>(), 100).ok());
+  EXPECT_FALSE(HvdImage::Create(std::make_unique<MemByteStore>(), 1 << 20, 8).ok());
+  auto image = HvdImage::Create(std::make_unique<MemByteStore>(), 1 << 20);
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ((*image)->virtual_size(), 1u << 20);
+  EXPECT_EQ((*image)->num_sectors(), (1u << 20) / kSectorSize);
+  EXPECT_EQ((*image)->allocated_clusters(), 0u);
+}
+
+TEST(HvdTest, UnwrittenReadsZero) {
+  auto image = HvdImage::Create(std::make_unique<MemByteStore>(), 1 << 20);
+  ASSERT_TRUE(image.ok());
+  std::vector<uint8_t> buf(kSectorSize, 0xFF);
+  ASSERT_TRUE((*image)->ReadSectors(100, 1, buf.data()).ok());
+  for (uint8_t b : buf) {
+    EXPECT_EQ(b, 0u);
+  }
+}
+
+TEST(HvdTest, WriteReadRoundTrip) {
+  auto image = HvdImage::Create(std::make_unique<MemByteStore>(), 4 << 20);
+  ASSERT_TRUE(image.ok());
+  auto data = PatternSector(7);
+  ASSERT_TRUE((*image)->WriteSectors(1000, 1, data.data()).ok());
+  std::vector<uint8_t> back(kSectorSize);
+  ASSERT_TRUE((*image)->ReadSectors(1000, 1, back.data()).ok());
+  EXPECT_EQ(back, data);
+  EXPECT_EQ((*image)->allocated_clusters(), 1u);
+}
+
+TEST(HvdTest, ThinProvisioning) {
+  // A 64 MiB virtual disk with one written sector occupies ~3 clusters
+  // (header + L1 pre-allocation + L2 + data), far below its virtual size.
+  auto image = HvdImage::Create(std::make_unique<MemByteStore>(), 64u << 20);
+  ASSERT_TRUE(image.ok());
+  auto data = PatternSector(1);
+  ASSERT_TRUE((*image)->WriteSectors(50000, 1, data.data()).ok());
+  EXPECT_LT((*image)->store_size(), 1u << 20);
+}
+
+TEST(HvdTest, CrossClusterWrites) {
+  auto image = HvdImage::Create(std::make_unique<MemByteStore>(), 4 << 20, 12);  // 4 KiB clusters
+  ASSERT_TRUE(image.ok());
+  // Write 16 sectors straddling cluster boundaries.
+  std::vector<uint8_t> data(16 * kSectorSize);
+  Xoshiro256 rng(5);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  ASSERT_TRUE((*image)->WriteSectors(5, 16, data.data()).ok());
+  std::vector<uint8_t> back(data.size());
+  ASSERT_TRUE((*image)->ReadSectors(5, 16, back.data()).ok());
+  EXPECT_EQ(back, data);
+}
+
+TEST(HvdTest, OutOfRangeRejected) {
+  auto image = HvdImage::Create(std::make_unique<MemByteStore>(), 1 << 20);
+  ASSERT_TRUE(image.ok());
+  std::vector<uint8_t> buf(kSectorSize);
+  uint64_t last = (*image)->num_sectors();
+  EXPECT_FALSE((*image)->ReadSectors(last, 1, buf.data()).ok());
+  EXPECT_FALSE((*image)->WriteSectors(last - 1, 2, buf.data()).ok());
+}
+
+TEST(HvdTest, OverlayReadsThroughToBase) {
+  auto base = HvdImage::Create(std::make_unique<MemByteStore>(), 1 << 20);
+  ASSERT_TRUE(base.ok());
+  auto data = PatternSector(9);
+  ASSERT_TRUE((*base)->WriteSectors(10, 1, data.data()).ok());
+
+  std::shared_ptr<BlockStore> base_shared = std::move(*base);
+  auto overlay = CreateOverlay(base_shared, "base", std::make_unique<MemByteStore>());
+  ASSERT_TRUE(overlay.ok());
+  EXPECT_EQ((*overlay)->backing_name(), "base");
+
+  std::vector<uint8_t> back(kSectorSize);
+  ASSERT_TRUE((*overlay)->ReadSectors(10, 1, back.data()).ok());
+  EXPECT_EQ(back, data);  // falls through
+  EXPECT_EQ((*overlay)->allocated_clusters(), 0u);  // O(1) creation
+}
+
+TEST(HvdTest, OverlayCowPreservesBase) {
+  auto base_img = HvdImage::Create(std::make_unique<MemByteStore>(), 1 << 20);
+  ASSERT_TRUE(base_img.ok());
+  auto original = PatternSector(1);
+  ASSERT_TRUE((*base_img)->WriteSectors(10, 1, original.data()).ok());
+  std::shared_ptr<BlockStore> base = std::move(*base_img);
+
+  auto overlay = CreateOverlay(base, "base", std::make_unique<MemByteStore>());
+  ASSERT_TRUE(overlay.ok());
+  auto modified = PatternSector(2);
+  ASSERT_TRUE((*overlay)->WriteSectors(10, 1, modified.data()).ok());
+
+  std::vector<uint8_t> back(kSectorSize);
+  ASSERT_TRUE((*overlay)->ReadSectors(10, 1, back.data()).ok());
+  EXPECT_EQ(back, modified);
+  ASSERT_TRUE(base->ReadSectors(10, 1, back.data()).ok());
+  EXPECT_EQ(back, original);  // base untouched
+
+  // COW fill: the sector next to the written one came from the base.
+  auto neighbor = PatternSector(3);
+  ASSERT_TRUE(base->WriteSectors(11, 1, neighbor.data()).ok());
+  // Note: sector 11 is in the same cluster as 10, which was already COW'd
+  // with the base contents at overlay-write time, so the overlay now shows
+  // the OLD (zero) data for 11, not the late base write.
+  ASSERT_TRUE((*overlay)->ReadSectors(11, 1, back.data()).ok());
+  for (uint8_t b : back) {
+    EXPECT_EQ(b, 0u);
+  }
+}
+
+TEST(HvdTest, OverlayChain) {
+  // base -> snap1 -> snap2, each layer overriding one sector.
+  auto l0 = HvdImage::Create(std::make_unique<MemByteStore>(), 1 << 20);
+  ASSERT_TRUE(l0.ok());
+  auto s0 = PatternSector(10);
+  auto s1 = PatternSector(11);
+  auto s2 = PatternSector(12);
+  ASSERT_TRUE((*l0)->WriteSectors(0, 1, s0.data()).ok());
+  ASSERT_TRUE((*l0)->WriteSectors(200, 1, s1.data()).ok());
+  std::shared_ptr<BlockStore> base = std::move(*l0);
+
+  auto l1r = CreateOverlay(base, "l0", std::make_unique<MemByteStore>());
+  ASSERT_TRUE(l1r.ok());
+  std::shared_ptr<BlockStore> l1 = std::move(*l1r);
+  auto s1b = PatternSector(21);
+  ASSERT_TRUE(l1->WriteSectors(200, 1, s1b.data()).ok());
+
+  auto l2r = CreateOverlay(l1, "l1", std::make_unique<MemByteStore>());
+  ASSERT_TRUE(l2r.ok());
+  auto s2b = PatternSector(32);
+  ASSERT_TRUE((*l2r)->WriteSectors(400, 1, s2b.data()).ok());
+
+  std::vector<uint8_t> back(kSectorSize);
+  ASSERT_TRUE((*l2r)->ReadSectors(0, 1, back.data()).ok());
+  EXPECT_EQ(back, s0);  // from l0 through two layers
+  ASSERT_TRUE((*l2r)->ReadSectors(200, 1, back.data()).ok());
+  EXPECT_EQ(back, s1b);  // overridden in l1
+  ASSERT_TRUE((*l2r)->ReadSectors(400, 1, back.data()).ok());
+  EXPECT_EQ(back, s2b);  // overridden in l2
+  (void)s2;
+}
+
+TEST(HvdTest, OpenAfterCreateRestoresMetadata) {
+  auto store = std::make_unique<MemByteStore>();
+  MemByteStore* raw = store.get();
+  auto image = HvdImage::Create(std::move(store), 2 << 20, 14, "backing-name");
+  ASSERT_TRUE(image.ok());
+  auto data = PatternSector(4);
+  ASSERT_TRUE((*image)->WriteSectors(77, 1, data.data()).ok());
+
+  // Clone the bytes and reopen.
+  auto copy = std::make_unique<MemByteStore>();
+  std::vector<uint8_t> bytes = raw->data();
+  ASSERT_TRUE(copy->WriteAt(0, bytes.data(), bytes.size()).ok());
+  auto reopened = HvdImage::Open(std::move(copy));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->virtual_size(), 2u << 20);
+  EXPECT_EQ((*reopened)->cluster_size(), 1u << 14);
+  EXPECT_EQ((*reopened)->backing_name(), "backing-name");
+  EXPECT_EQ((*reopened)->allocated_clusters(), 1u);
+  std::vector<uint8_t> back(kSectorSize);
+  ASSERT_TRUE((*reopened)->ReadSectors(77, 1, back.data()).ok());
+  EXPECT_EQ(back, data);
+}
+
+TEST(HvdTest, CorruptHeaderRejected) {
+  auto store = std::make_unique<MemByteStore>();
+  MemByteStore* raw = store.get();
+  auto image = HvdImage::Create(std::move(store), 1 << 20);
+  ASSERT_TRUE(image.ok());
+
+  auto copy = std::make_unique<MemByteStore>();
+  std::vector<uint8_t> bytes = raw->data();
+  bytes[9] ^= 0xFF;  // flip a header byte
+  ASSERT_TRUE(copy->WriteAt(0, bytes.data(), bytes.size()).ok());
+  EXPECT_EQ(HvdImage::Open(std::move(copy)).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(HvdTest, FileBackedImageWorks) {
+  std::string path = ::testing::TempDir() + "/hyperion_hvd_test.hvd";
+  std::filesystem::remove(path);
+  {
+    auto store = FileByteStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    auto image = HvdImage::Create(std::move(*store), 8 << 20);
+    ASSERT_TRUE(image.ok());
+    auto data = PatternSector(42);
+    ASSERT_TRUE((*image)->WriteSectors(1234, 1, data.data()).ok());
+    ASSERT_TRUE((*image)->Flush().ok());
+  }
+  {
+    auto store = FileByteStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    auto image = HvdImage::Open(std::move(*store));
+    ASSERT_TRUE(image.ok()) << image.status().ToString();
+    std::vector<uint8_t> back(kSectorSize);
+    ASSERT_TRUE((*image)->ReadSectors(1234, 1, back.data()).ok());
+    EXPECT_EQ(back, PatternSector(42));
+  }
+  std::filesystem::remove(path);
+}
+
+// Property: an HVD image behaves identically to a flat store under random
+// sector operations.
+TEST(HvdTest, PropertyMatchesFlatStore) {
+  constexpr uint64_t kSectors = 512;
+  auto image = HvdImage::Create(std::make_unique<MemByteStore>(), kSectors * kSectorSize, 13);
+  ASSERT_TRUE(image.ok());
+  MemBlockStore flat(kSectors);
+  Xoshiro256 rng(99);
+
+  for (int op = 0; op < 300; ++op) {
+    uint64_t lba = rng.NextBelow(kSectors);
+    uint32_t count = static_cast<uint32_t>(rng.NextInRange(1, std::min<uint64_t>(8, kSectors - lba)));
+    if (rng.NextBool(0.5)) {
+      std::vector<uint8_t> data(count * kSectorSize);
+      for (auto& b : data) {
+        b = static_cast<uint8_t>(rng.Next());
+      }
+      ASSERT_TRUE((*image)->WriteSectors(lba, count, data.data()).ok());
+      ASSERT_TRUE(flat.WriteSectors(lba, count, data.data()).ok());
+    } else {
+      std::vector<uint8_t> a(count * kSectorSize), b(count * kSectorSize);
+      ASSERT_TRUE((*image)->ReadSectors(lba, count, a.data()).ok());
+      ASSERT_TRUE(flat.ReadSectors(lba, count, b.data()).ok());
+      ASSERT_EQ(a, b) << "divergence at op " << op;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hyperion::storage

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_guest.dir/legacy_guest.cpp.o"
+  "CMakeFiles/legacy_guest.dir/legacy_guest.cpp.o.d"
+  "legacy_guest"
+  "legacy_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_overcommit.dir/memory_overcommit.cpp.o"
+  "CMakeFiles/memory_overcommit.dir/memory_overcommit.cpp.o.d"
+  "memory_overcommit"
+  "memory_overcommit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_overcommit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

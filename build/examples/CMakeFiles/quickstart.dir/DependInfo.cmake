@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hyperion_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/hyperion_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/snapshot/CMakeFiles/hyperion_snapshot.dir/DependInfo.cmake"
+  "/root/repo/build/src/migrate/CMakeFiles/hyperion_migrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/balloon/CMakeFiles/hyperion_balloon.dir/DependInfo.cmake"
+  "/root/repo/build/src/ksm/CMakeFiles/hyperion_ksm.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hyperion_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/hyperion_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/virtio/CMakeFiles/hyperion_virtio.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/hyperion_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/hyperion_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/hyperion_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hyperion_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hyperion_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hyperion_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/hyperion_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hyperion_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

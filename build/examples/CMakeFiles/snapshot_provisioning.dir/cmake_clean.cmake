@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_provisioning.dir/snapshot_provisioning.cpp.o"
+  "CMakeFiles/snapshot_provisioning.dir/snapshot_provisioning.cpp.o.d"
+  "snapshot_provisioning"
+  "snapshot_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("isa")
+subdirs("asm")
+subdirs("mem")
+subdirs("mmu")
+subdirs("cpu")
+subdirs("devices")
+subdirs("virtio")
+subdirs("storage")
+subdirs("net")
+subdirs("sched")
+subdirs("core")
+subdirs("balloon")
+subdirs("ksm")
+subdirs("snapshot")
+subdirs("migrate")
+subdirs("guest")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_asm.dir/assembler.cc.o"
+  "CMakeFiles/hyperion_asm.dir/assembler.cc.o.d"
+  "libhyperion_asm.a"
+  "libhyperion_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_balloon.dir/balloon.cc.o"
+  "CMakeFiles/hyperion_balloon.dir/balloon.cc.o.d"
+  "libhyperion_balloon.a"
+  "libhyperion_balloon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_balloon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_core.dir/host.cc.o"
+  "CMakeFiles/hyperion_core.dir/host.cc.o.d"
+  "CMakeFiles/hyperion_core.dir/vm.cc.o"
+  "CMakeFiles/hyperion_core.dir/vm.cc.o.d"
+  "libhyperion_core.a"
+  "libhyperion_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_cpu.dir/dbt.cc.o"
+  "CMakeFiles/hyperion_cpu.dir/dbt.cc.o.d"
+  "CMakeFiles/hyperion_cpu.dir/interpreter.cc.o"
+  "CMakeFiles/hyperion_cpu.dir/interpreter.cc.o.d"
+  "libhyperion_cpu.a"
+  "libhyperion_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/emulated_blk.cc" "src/devices/CMakeFiles/hyperion_devices.dir/emulated_blk.cc.o" "gcc" "src/devices/CMakeFiles/hyperion_devices.dir/emulated_blk.cc.o.d"
+  "/root/repo/src/devices/emulated_net.cc" "src/devices/CMakeFiles/hyperion_devices.dir/emulated_net.cc.o" "gcc" "src/devices/CMakeFiles/hyperion_devices.dir/emulated_net.cc.o.d"
+  "/root/repo/src/devices/mmio.cc" "src/devices/CMakeFiles/hyperion_devices.dir/mmio.cc.o" "gcc" "src/devices/CMakeFiles/hyperion_devices.dir/mmio.cc.o.d"
+  "/root/repo/src/devices/pic.cc" "src/devices/CMakeFiles/hyperion_devices.dir/pic.cc.o" "gcc" "src/devices/CMakeFiles/hyperion_devices.dir/pic.cc.o.d"
+  "/root/repo/src/devices/uart.cc" "src/devices/CMakeFiles/hyperion_devices.dir/uart.cc.o" "gcc" "src/devices/CMakeFiles/hyperion_devices.dir/uart.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/hyperion_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hyperion_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hyperion_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hyperion_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/hyperion_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hyperion_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/hyperion_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_devices.dir/emulated_blk.cc.o"
+  "CMakeFiles/hyperion_devices.dir/emulated_blk.cc.o.d"
+  "CMakeFiles/hyperion_devices.dir/emulated_net.cc.o"
+  "CMakeFiles/hyperion_devices.dir/emulated_net.cc.o.d"
+  "CMakeFiles/hyperion_devices.dir/mmio.cc.o"
+  "CMakeFiles/hyperion_devices.dir/mmio.cc.o.d"
+  "CMakeFiles/hyperion_devices.dir/pic.cc.o"
+  "CMakeFiles/hyperion_devices.dir/pic.cc.o.d"
+  "CMakeFiles/hyperion_devices.dir/uart.cc.o"
+  "CMakeFiles/hyperion_devices.dir/uart.cc.o.d"
+  "libhyperion_devices.a"
+  "libhyperion_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

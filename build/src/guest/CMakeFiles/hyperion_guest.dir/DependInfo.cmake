@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guest/io_programs.cc" "src/guest/CMakeFiles/hyperion_guest.dir/io_programs.cc.o" "gcc" "src/guest/CMakeFiles/hyperion_guest.dir/io_programs.cc.o.d"
+  "/root/repo/src/guest/programs.cc" "src/guest/CMakeFiles/hyperion_guest.dir/programs.cc.o" "gcc" "src/guest/CMakeFiles/hyperion_guest.dir/programs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/hyperion_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/hyperion_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hyperion_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

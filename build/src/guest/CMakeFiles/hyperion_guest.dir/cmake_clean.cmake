@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_guest.dir/io_programs.cc.o"
+  "CMakeFiles/hyperion_guest.dir/io_programs.cc.o.d"
+  "CMakeFiles/hyperion_guest.dir/programs.cc.o"
+  "CMakeFiles/hyperion_guest.dir/programs.cc.o.d"
+  "libhyperion_guest.a"
+  "libhyperion_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

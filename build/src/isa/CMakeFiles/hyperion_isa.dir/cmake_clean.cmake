@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_isa.dir/disasm.cc.o"
+  "CMakeFiles/hyperion_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/hyperion_isa.dir/encoding.cc.o"
+  "CMakeFiles/hyperion_isa.dir/encoding.cc.o.d"
+  "libhyperion_isa.a"
+  "libhyperion_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_ksm.dir/ksm.cc.o"
+  "CMakeFiles/hyperion_ksm.dir/ksm.cc.o.d"
+  "libhyperion_ksm.a"
+  "libhyperion_ksm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_ksm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

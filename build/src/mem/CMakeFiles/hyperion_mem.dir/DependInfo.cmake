@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/frame_pool.cc" "src/mem/CMakeFiles/hyperion_mem.dir/frame_pool.cc.o" "gcc" "src/mem/CMakeFiles/hyperion_mem.dir/frame_pool.cc.o.d"
+  "/root/repo/src/mem/guest_memory.cc" "src/mem/CMakeFiles/hyperion_mem.dir/guest_memory.cc.o" "gcc" "src/mem/CMakeFiles/hyperion_mem.dir/guest_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/hyperion_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hyperion_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

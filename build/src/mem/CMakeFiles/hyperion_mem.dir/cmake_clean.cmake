@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_mem.dir/frame_pool.cc.o"
+  "CMakeFiles/hyperion_mem.dir/frame_pool.cc.o.d"
+  "CMakeFiles/hyperion_mem.dir/guest_memory.cc.o"
+  "CMakeFiles/hyperion_mem.dir/guest_memory.cc.o.d"
+  "libhyperion_mem.a"
+  "libhyperion_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_migrate.dir/migrate.cc.o"
+  "CMakeFiles/hyperion_migrate.dir/migrate.cc.o.d"
+  "libhyperion_migrate.a"
+  "libhyperion_migrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_migrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

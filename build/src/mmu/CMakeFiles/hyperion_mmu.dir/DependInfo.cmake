@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmu/nested.cc" "src/mmu/CMakeFiles/hyperion_mmu.dir/nested.cc.o" "gcc" "src/mmu/CMakeFiles/hyperion_mmu.dir/nested.cc.o.d"
+  "/root/repo/src/mmu/shadow.cc" "src/mmu/CMakeFiles/hyperion_mmu.dir/shadow.cc.o" "gcc" "src/mmu/CMakeFiles/hyperion_mmu.dir/shadow.cc.o.d"
+  "/root/repo/src/mmu/tlb.cc" "src/mmu/CMakeFiles/hyperion_mmu.dir/tlb.cc.o" "gcc" "src/mmu/CMakeFiles/hyperion_mmu.dir/tlb.cc.o.d"
+  "/root/repo/src/mmu/virtualizer.cc" "src/mmu/CMakeFiles/hyperion_mmu.dir/virtualizer.cc.o" "gcc" "src/mmu/CMakeFiles/hyperion_mmu.dir/virtualizer.cc.o.d"
+  "/root/repo/src/mmu/walker.cc" "src/mmu/CMakeFiles/hyperion_mmu.dir/walker.cc.o" "gcc" "src/mmu/CMakeFiles/hyperion_mmu.dir/walker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/hyperion_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/hyperion_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hyperion_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

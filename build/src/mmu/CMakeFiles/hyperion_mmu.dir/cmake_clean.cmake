@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_mmu.dir/nested.cc.o"
+  "CMakeFiles/hyperion_mmu.dir/nested.cc.o.d"
+  "CMakeFiles/hyperion_mmu.dir/shadow.cc.o"
+  "CMakeFiles/hyperion_mmu.dir/shadow.cc.o.d"
+  "CMakeFiles/hyperion_mmu.dir/tlb.cc.o"
+  "CMakeFiles/hyperion_mmu.dir/tlb.cc.o.d"
+  "CMakeFiles/hyperion_mmu.dir/virtualizer.cc.o"
+  "CMakeFiles/hyperion_mmu.dir/virtualizer.cc.o.d"
+  "CMakeFiles/hyperion_mmu.dir/walker.cc.o"
+  "CMakeFiles/hyperion_mmu.dir/walker.cc.o.d"
+  "libhyperion_mmu.a"
+  "libhyperion_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

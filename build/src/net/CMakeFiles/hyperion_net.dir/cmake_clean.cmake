@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_net.dir/network.cc.o"
+  "CMakeFiles/hyperion_net.dir/network.cc.o.d"
+  "libhyperion_net.a"
+  "libhyperion_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_sched.dir/scheduler.cc.o"
+  "CMakeFiles/hyperion_sched.dir/scheduler.cc.o.d"
+  "libhyperion_sched.a"
+  "libhyperion_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

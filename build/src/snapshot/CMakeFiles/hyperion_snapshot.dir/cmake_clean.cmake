@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_snapshot.dir/snapshot.cc.o"
+  "CMakeFiles/hyperion_snapshot.dir/snapshot.cc.o.d"
+  "libhyperion_snapshot.a"
+  "libhyperion_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

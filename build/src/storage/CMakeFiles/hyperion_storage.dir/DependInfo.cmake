@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/byte_store.cc" "src/storage/CMakeFiles/hyperion_storage.dir/byte_store.cc.o" "gcc" "src/storage/CMakeFiles/hyperion_storage.dir/byte_store.cc.o.d"
+  "/root/repo/src/storage/hvd.cc" "src/storage/CMakeFiles/hyperion_storage.dir/hvd.cc.o" "gcc" "src/storage/CMakeFiles/hyperion_storage.dir/hvd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hyperion_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_storage.dir/byte_store.cc.o"
+  "CMakeFiles/hyperion_storage.dir/byte_store.cc.o.d"
+  "CMakeFiles/hyperion_storage.dir/hvd.cc.o"
+  "CMakeFiles/hyperion_storage.dir/hvd.cc.o.d"
+  "libhyperion_storage.a"
+  "libhyperion_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_util.dir/byte_stream.cc.o"
+  "CMakeFiles/hyperion_util.dir/byte_stream.cc.o.d"
+  "CMakeFiles/hyperion_util.dir/crc32.cc.o"
+  "CMakeFiles/hyperion_util.dir/crc32.cc.o.d"
+  "CMakeFiles/hyperion_util.dir/logging.cc.o"
+  "CMakeFiles/hyperion_util.dir/logging.cc.o.d"
+  "CMakeFiles/hyperion_util.dir/status.cc.o"
+  "CMakeFiles/hyperion_util.dir/status.cc.o.d"
+  "libhyperion_util.a"
+  "libhyperion_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_virtio.dir/virtio.cc.o"
+  "CMakeFiles/hyperion_virtio.dir/virtio.cc.o.d"
+  "CMakeFiles/hyperion_virtio.dir/virtio_blk.cc.o"
+  "CMakeFiles/hyperion_virtio.dir/virtio_blk.cc.o.d"
+  "CMakeFiles/hyperion_virtio.dir/virtio_console.cc.o"
+  "CMakeFiles/hyperion_virtio.dir/virtio_console.cc.o.d"
+  "CMakeFiles/hyperion_virtio.dir/virtio_net.cc.o"
+  "CMakeFiles/hyperion_virtio.dir/virtio_net.cc.o.d"
+  "libhyperion_virtio.a"
+  "libhyperion_virtio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_virtio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cpu_test.cc" "tests/CMakeFiles/cpu_test.dir/cpu_test.cc.o" "gcc" "tests/CMakeFiles/cpu_test.dir/cpu_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/hyperion_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/hyperion_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/hyperion_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hyperion_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/hyperion_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hyperion_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

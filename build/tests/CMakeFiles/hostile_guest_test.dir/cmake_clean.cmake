@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostile_guest_test.dir/hostile_guest_test.cc.o"
+  "CMakeFiles/hostile_guest_test.dir/hostile_guest_test.cc.o.d"
+  "hostile_guest_test"
+  "hostile_guest_test.pdb"
+  "hostile_guest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostile_guest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -782,6 +782,26 @@ class Assembler {
       stmts_.push_back(std::move(s));
       return OkStatus();
     }
+    if (name == ".entry") {
+      std::vector<std::string> ops = SplitOperands(rest);
+      if (ops.empty() || ops.size() > 2) {
+        return Errorf(line_no, ".entry expects SYMBOL [, user|supervisor]");
+      }
+      PendingEntry e;
+      e.expr = ops[0];
+      e.line = line_no;
+      if (ops.size() == 2) {
+        if (ops[1] == "user") {
+          e.priv = isa::PrivMode::kUser;
+        } else if (ops[1] == "supervisor") {
+          e.priv = isa::PrivMode::kSupervisor;
+        } else {
+          return Errorf(line_no, ".entry privilege must be 'user' or 'supervisor'");
+        }
+      }
+      pending_entries_.push_back(std::move(e));
+      return OkStatus();
+    }
     if (name == ".ascii" || name == ".asciz") {
       std::string_view t = Trim(rest);
       if (t.size() < 2 || t.front() != '"' || t.back() != '"') {
@@ -829,6 +849,17 @@ class Assembler {
   }
 
   Status Pass2() {
+    // Entry declarations may forward-reference labels; every label is known
+    // once pass 1 completes, so resolve them here.
+    for (const PendingEntry& e : pending_entries_) {
+      ExprParser p(e.expr, symbols_);
+      auto v = p.Parse();
+      if (!v.ok()) {
+        return Errorf(e.line, v.status().message());
+      }
+      entry_points_.push_back(
+          EntryPoint{e.expr, static_cast<uint32_t>(*v), e.priv});
+    }
     for (Stmt& s : stmts_) {
       switch (s.kind) {
         case Stmt::Kind::kRaw:
@@ -919,6 +950,7 @@ class Assembler {
   Result<Image> BuildImage() {
     Image image;
     image.symbols = symbols_;
+    image.entry_points = entry_points_;
     if (stmts_.empty()) {
       return image;
     }
@@ -939,10 +971,18 @@ class Assembler {
     return image;
   }
 
+  struct PendingEntry {
+    std::string expr;
+    int line = 0;
+    isa::PrivMode priv = isa::PrivMode::kSupervisor;
+  };
+
   uint32_t lc_ = isa::kResetPc;
   bool org_set_ = false;
   std::map<std::string, uint32_t> symbols_;
   std::vector<Stmt> stmts_;
+  std::vector<PendingEntry> pending_entries_;
+  std::vector<EntryPoint> entry_points_;
 };
 
 }  // namespace

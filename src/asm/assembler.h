@@ -12,6 +12,8 @@
 //   .space 64            emits zero bytes
 //   .asciz "hello"       emits a NUL-terminated string
 //   .equ NAME, expr      defines a constant (must precede use)
+//   .entry sym [, user]  declares `sym` an entry point (default supervisor);
+//                        recorded in the image side table for verification
 //
 //   add a0, a1, t0       R-type ALU (add sub and or xor sll srl sra slt sltu
 //                        mul mulhu div divu rem remu)
@@ -38,16 +40,28 @@
 #include <string_view>
 #include <vector>
 
+#include "src/isa/hv32.h"
 #include "src/util/status.h"
 
 namespace hyperion::assembler {
 
+// A declared execution entry point (`.entry` directive). Static verification
+// (src/verify) starts control-flow discovery from these, and the privilege
+// governs which instructions are legal on paths reached from them.
+struct EntryPoint {
+  std::string name;
+  uint32_t addr = 0;
+  isa::PrivMode priv = isa::PrivMode::kSupervisor;
+};
+
 // The result of assembling a program: a contiguous byte image to be loaded
-// at guest-physical address `base`, plus the resolved symbol table.
+// at guest-physical address `base`, plus the resolved symbol table and the
+// entry-point side table consumed by hvlint.
 struct Image {
   uint32_t base = 0;
   std::vector<uint8_t> bytes;
   std::map<std::string, uint32_t> symbols;
+  std::vector<EntryPoint> entry_points;
 
   // Entry point: the `_start` symbol if defined, otherwise `base`.
   uint32_t entry() const {

@@ -126,6 +126,18 @@ void Host::RunFor(SimTime duration) {
     EntityRef ref = entities_[id];
     uint64_t budget = std::min<uint64_t>(config_.timeslice_cycles, end - t);
     SliceResult r = ref.vm->RunVcpuSlice(ref.vcpu, budget, t);
+    if (verify::AuditEnabled()) {
+      verify::AuditReport fr = AuditFrameAccounting();
+      if (!fr.ok()) {
+        Status reason = InternalError("frame accounting audit failed on " +
+                                      config_.name + ":\n" + fr.ToString());
+        for (auto& vm : vms_) {
+          if (vm->state() == VmState::kRunning) {
+            vm->Crash(reason);
+          }
+        }
+      }
+    }
     SimTime done = t + std::max<uint64_t>(r.cycles, 1);
     // Switching the pCPU to a different vCPU costs a world switch plus the
     // cold-cache tail; consolidation efficiency decays slightly with it.
@@ -166,6 +178,17 @@ bool Host::RunUntilQuiescent(SimTime max_time) {
     }
   }
   return false;
+}
+
+verify::AuditReport Host::AuditFrameAccounting() const {
+  verify::AuditReport report;
+  std::vector<const mem::GuestMemory*> spaces;
+  spaces.reserve(vms_.size());
+  for (const auto& vm : vms_) {
+    spaces.push_back(&vm->memory());
+  }
+  verify::AuditFrameAccounting(pool_, spaces, &report);
+  return report;
 }
 
 bool Host::RunUntilVmStops(Vm* vm, SimTime max_time) {

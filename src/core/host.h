@@ -69,6 +69,12 @@ class Host {
   // Marks a vCPU not runnable (WFI, stall, halt).
   void BlockVcpu(Vm* vm, uint32_t vcpu);
 
+  // Audits FramePool refcounts against every VM's page mappings (KSM share
+  // accounting; see src/verify/audit.h). Called automatically after each
+  // slice when HYPERION_AUDIT is on — a violation crashes every running VM —
+  // and directly by tests.
+  verify::AuditReport AuditFrameAccounting() const;
+
   struct HostStats {
     uint64_t slices = 0;
     uint64_t idle_picks = 0;

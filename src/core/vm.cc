@@ -115,6 +115,37 @@ Status Vm::LoadImage(const assembler::Image& image) {
 }
 
 SliceResult Vm::RunVcpuSlice(uint32_t vcpu_idx, uint64_t budget, SimTime now) {
+  SliceResult res = RunVcpuSliceInner(vcpu_idx, budget, now);
+  // Slice boundaries are trap boundaries: every VMM data structure must be
+  // coherent here, whatever the guest just did.
+  if (verify::AuditEnabled() && state_ == VmState::kRunning) {
+    verify::AuditReport report = AuditInvariants(vcpu_idx);
+    if (!report.ok()) {
+      Crash(InternalError("invariant audit failed for " + name() + ":\n" +
+                          report.ToString()));
+      res.end = SliceEnd::kHalted;
+    }
+  }
+  return res;
+}
+
+verify::AuditReport Vm::AuditInvariants(uint32_t vcpu_idx) const {
+  verify::AuditReport report;
+  const cpu::CpuState& s = vcpus_[vcpu_idx]->ctx.state;
+  verify::AuditMmuCoherence(*virt_, s.paging_enabled(), s.ptbr, &report);
+  if (vblk_ != nullptr) {
+    verify::AuditVirtioDevice(*vblk_, *memory_, name() + "/vblk", &report);
+  }
+  if (vnet_ != nullptr) {
+    verify::AuditVirtioDevice(*vnet_, *memory_, name() + "/vnet", &report);
+  }
+  if (vcon_ != nullptr) {
+    verify::AuditVirtioDevice(*vcon_, *memory_, name() + "/vcon", &report);
+  }
+  return report;
+}
+
+SliceResult Vm::RunVcpuSliceInner(uint32_t vcpu_idx, uint64_t budget, SimTime now) {
   SliceResult res;
   if (state_ != VmState::kRunning) {
     res.end = SliceEnd::kHalted;

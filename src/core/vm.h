@@ -25,6 +25,7 @@
 #include "src/mmu/virtualizer.h"
 #include "src/sched/scheduler.h"
 #include "src/storage/block_store.h"
+#include "src/verify/audit.h"
 #include "src/virtio/virtio_blk.h"
 #include "src/virtio/virtio_console.h"
 #include "src/virtio/virtio_net.h"
@@ -155,6 +156,12 @@ class Vm {
   // Aggregated stats over all vCPUs.
   cpu::VcpuStats TotalStats() const;
 
+  // Runs the invariant auditors (src/verify) over this VM: MMU coherence as
+  // seen through `vcpu`'s STATUS/PTBR CSRs plus every virtio queue. Called
+  // automatically at slice boundaries when HYPERION_AUDIT is on (a violation
+  // crashes the VM); tests may call it directly at any trap boundary.
+  verify::AuditReport AuditInvariants(uint32_t vcpu) const;
+
   // Marks the VM crashed (also used by the host on fatal conditions).
   void Crash(const Status& reason);
   const Status& crash_reason() const { return crash_reason_; }
@@ -176,6 +183,9 @@ class Vm {
   // Handles one hypercall; returns false when the slice must end (yield,
   // shutdown, stall) with `end` set accordingly.
   bool HandleHypercall(uint32_t vcpu, SimTime now, SliceEnd* end);
+
+  // RunVcpuSlice body; the public wrapper appends the audit hook.
+  SliceResult RunVcpuSliceInner(uint32_t vcpu, uint64_t budget, SimTime now);
 
   Host* host_;
   VmConfig config_;

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cassert>
 #include <memory>
+#include <sstream>
 #include <unordered_map>
 #include <vector>
 
@@ -169,6 +170,82 @@ class ShadowPaging final : public MemoryVirtualizer {
   void FlushAll() override {
     tlb_.FlushAll();
     // Keep shadow roots: they stay coherent through write-protection.
+  }
+
+  // Shadow-specific invariants on top of the generic TLB checks: every shadow
+  // entry must agree with a fresh (side-effect-free) walk of the guest tables
+  // it was derived from, every PT page any root derived from must still be
+  // write-protected (and vice versa: shadow paging is the only owner of the
+  // WP bitmap), and with paging on the TLB must be a subset of the active
+  // root's shadow map.
+  void AuditInvariants(bool paging, uint32_t ptbr,
+                       std::vector<std::string>* violations) const override {
+    MemoryVirtualizer::AuditInvariants(paging, ptbr, violations);
+
+    for (const auto& root : roots_) {
+      for (const auto& [vpn, se] : root->map) {
+        std::ostringstream where;
+        where << "shadow root=0x" << std::hex << root->ptbr << " vpn=0x" << vpn << ": ";
+        ProbeResult pr = ProbeGuest(*memory_, root->ptbr, vpn << isa::kPageBits);
+        if (!pr.valid) {
+          violations->push_back(where.str() +
+                                "guest page table no longer maps this page");
+          continue;
+        }
+        if (isa::PageNumber(pr.gpa) != se.gpn) {
+          std::ostringstream os;
+          os << where.str() << "shadow gpn=0x" << std::hex << se.gpn
+             << " but the guest table now maps gpn=0x" << isa::PageNumber(pr.gpa);
+          violations->push_back(os.str());
+          continue;
+        }
+        if (se.writable &&
+            ((pr.leaf_pte & isa::Pte::kWrite) == 0 ||
+             (pr.leaf_pte & isa::Pte::kDirty) == 0)) {
+          violations->push_back(where.str() +
+                                "writable shadow entry without W+D in the guest PTE");
+        }
+        if (se.user != ((pr.leaf_pte & isa::Pte::kUser) != 0)) {
+          violations->push_back(where.str() +
+                                "user bit disagrees with the guest PTE");
+        }
+      }
+      for (const auto& [pt_gpn, vpns] : root->derived) {
+        (void)vpns;
+        if (!memory_->IsWriteProtected(pt_gpn)) {
+          std::ostringstream os;
+          os << "shadow root=0x" << std::hex << root->ptbr << ": derived PT page gpn=0x"
+             << pt_gpn << " is not write-protected";
+          violations->push_back(os.str());
+        }
+      }
+    }
+
+    for (uint32_t gpn = 0; gpn < memory_->num_pages(); ++gpn) {
+      if (memory_->IsWriteProtected(gpn) && !AnyRootDerives(gpn)) {
+        std::ostringstream os;
+        os << "shadow: gpn=0x" << std::hex << gpn
+           << " is write-protected but no root derives from it";
+        violations->push_back(os.str());
+      }
+    }
+
+    if (paging && active_ != nullptr) {
+      tlb_.ForEachValid([&](const TlbEntry& e) {
+        auto it = active_->map.find(e.vpn);
+        std::ostringstream where;
+        where << "shadow TLB vpn=0x" << std::hex << e.vpn << ": ";
+        if (it == active_->map.end()) {
+          violations->push_back(where.str() + "no shadow entry in the active root");
+          return;
+        }
+        if (it->second.gpn != e.gpn || it->second.writable != e.writable ||
+            it->second.user != e.user) {
+          violations->push_back(where.str() +
+                                "permissions or target disagree with the shadow entry");
+        }
+      });
+    }
   }
 
  private:

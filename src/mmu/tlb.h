@@ -59,6 +59,17 @@ class Tlb {
   void ResetStats() { stats_ = TlbStats{}; }
   size_t num_entries() const { return sets_ * kWays; }
 
+  // Read-only visit of every valid entry, in no particular order. Used by the
+  // invariant auditors (src/verify); does not touch LRU or stats.
+  template <typename Fn>
+  void ForEachValid(Fn&& fn) const {
+    for (const TlbEntry& e : entries_) {
+      if (e.valid) {
+        fn(e);
+      }
+    }
+  }
+
  private:
   static constexpr size_t kWays = 4;
 

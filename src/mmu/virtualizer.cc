@@ -1,5 +1,7 @@
 #include "src/mmu/virtualizer.h"
 
+#include <sstream>
+
 namespace hyperion::mmu {
 
 void MemoryVirtualizer::OnSfence(uint32_t va) {
@@ -120,6 +122,37 @@ std::unique_ptr<MemoryVirtualizer> MakeVirtualizer(PagingMode mode, mem::GuestMe
       return MakeNestedPaging(memory, costs, tlb_entries, /*asid_tlb=*/true);
   }
   return nullptr;
+}
+
+void MemoryVirtualizer::AuditInvariants(bool paging, uint32_t ptbr,
+                                        std::vector<std::string>* violations) const {
+  (void)ptbr;
+  tlb_.ForEachValid([&](const TlbEntry& e) {
+    std::ostringstream where;
+    where << name() << " TLB vpn=0x" << std::hex << e.vpn << " asid=" << std::dec
+          << e.asid << ": ";
+    if (!paging && e.gpn != e.vpn) {
+      violations->push_back(where.str() + "non-identity entry while paging is off");
+      return;
+    }
+    mem::HostFrame backing = memory_->FrameForPage(e.gpn);
+    if (backing == mem::kInvalidFrame) {
+      violations->push_back(where.str() + "maps absent guest page");
+      return;
+    }
+    if (e.frame != backing) {
+      std::ostringstream os;
+      os << where.str() << "caches frame " << e.frame
+         << " but the guest page is backed by frame " << backing;
+      violations->push_back(os.str());
+    }
+    if (e.writable && memory_->IsShared(e.gpn)) {
+      violations->push_back(where.str() + "writable entry covers a KSM-shared page");
+    }
+    if (e.writable && memory_->IsWriteProtected(e.gpn)) {
+      violations->push_back(where.str() + "writable entry covers a write-protected page");
+    }
+  });
 }
 
 }  // namespace hyperion::mmu

@@ -21,6 +21,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "src/isa/hv32.h"
 #include "src/mem/guest_memory.h"
@@ -102,6 +104,17 @@ class MemoryVirtualizer {
   virtual void InvalidateGpn(uint32_t gpn);
 
   virtual void FlushAll() { tlb_.FlushAll(); }
+
+  // Invariant audit (debug; see src/verify/audit.h): appends a human-readable
+  // line to `violations` for every cached translation that disagrees with the
+  // authoritative guest/host state under the current paging mode. The base
+  // implementation checks host-side TLB invariants that hold for every
+  // strategy: no entry maps an absent page or a stale frame, writable entries
+  // never cover KSM-shared or write-protected pages, and with paging off all
+  // entries are identity. Strategies with more internal state (shadow roots)
+  // extend it. Must not mutate any state.
+  virtual void AuditInvariants(bool paging, uint32_t ptbr,
+                               std::vector<std::string>* violations) const;
 
   mem::GuestMemory& memory() { return *memory_; }
   Tlb& tlb() { return tlb_; }

@@ -111,4 +111,38 @@ WalkResult WalkGuest(mem::GuestMemory& memory, uint32_t ptbr_page, uint32_t va, 
   return result;
 }
 
+ProbeResult ProbeGuest(const mem::GuestMemory& memory, uint32_t ptbr_page, uint32_t va) {
+  ProbeResult result;
+
+  uint32_t l1_gpa = (ptbr_page << isa::kPageBits) + isa::VaL1Index(va) * 4;
+  auto l1 = memory.ReadU32(l1_gpa);
+  if (!l1.ok() || !Pte::IsValid(*l1)) {
+    return result;
+  }
+
+  uint32_t leaf_pte;
+  bool superpage = Pte::IsLeaf(*l1);
+  if (superpage) {
+    if (Pte::Ppn(*l1) & (isa::kPtEntries - 1)) {
+      return result;  // misaligned superpage
+    }
+    leaf_pte = *l1;
+  } else {
+    uint32_t l2_gpa = (Pte::Ppn(*l1) << isa::kPageBits) + isa::VaL2Index(va) * 4;
+    auto l2 = memory.ReadU32(l2_gpa);
+    if (!l2.ok() || !Pte::IsValid(*l2) || !Pte::IsLeaf(*l2)) {
+      return result;
+    }
+    leaf_pte = *l2;
+  }
+
+  uint32_t offset_bits = superpage ? isa::kSuperPageBits : isa::kPageBits;
+  uint32_t mask = (1u << offset_bits) - 1;
+  result.valid = true;
+  result.gpa = (Pte::Ppn(leaf_pte) << isa::kPageBits) | (va & mask);
+  result.leaf_pte = leaf_pte;
+  result.superpage = superpage;
+  return result;
+}
+
 }  // namespace hyperion::mmu

@@ -44,6 +44,19 @@ WalkResult WalkGuest(mem::GuestMemory& memory, uint32_t ptbr_page, uint32_t va, 
 // Maps an access type to its page-fault trap cause.
 isa::TrapCause FaultCauseFor(Access access);
 
+// Side-effect-free variant of the walk used by the invariant auditors: reads
+// the tables without setting A/D bits and without applying a permission
+// check, and reports the raw leaf PTE so the caller can compare cached
+// translations against the authoritative guest state.
+struct ProbeResult {
+  bool valid = false;     // reached a structurally valid leaf
+  uint32_t gpa = 0;       // translation of `va` (when valid)
+  uint32_t leaf_pte = 0;  // raw leaf PTE bits (when valid)
+  bool superpage = false;
+};
+
+ProbeResult ProbeGuest(const mem::GuestMemory& memory, uint32_t ptbr_page, uint32_t va);
+
 }  // namespace hyperion::mmu
 
 #endif  // SRC_MMU_WALKER_H_

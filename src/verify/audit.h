@@ -1,0 +1,74 @@
+// Runtime invariant auditors: cross-layer consistency checks over a live VM.
+//
+// Each auditor re-derives one piece of cached or duplicated state from the
+// authoritative source and reports every disagreement:
+//
+//   * MMU coherence — the TLB (and, under shadow paging, the shadow roots)
+//     against a side-effect-free walk of the guest page tables and the
+//     host-side page flags (presence, KSM sharing, write protection).
+//   * Frame accounting — FramePool refcounts against the union of guest
+//     page mappings (KSM share counts must add up exactly).
+//   * Virtqueue sanity — ring geometry, avail/used index ordering, and
+//     descriptor chains (bounds, loops) of every ready queue.
+//
+// The auditors never mutate state, so they can run at any trap boundary.
+// They are debug machinery gated behind the HYPERION_AUDIT environment
+// variable (any value but "0" enables them); the VMM run loop calls them at
+// slice boundaries and crashes the VM on the first violation, and tests may
+// invoke them directly via SetAuditEnabled().
+
+#ifndef SRC_VERIFY_AUDIT_H_
+#define SRC_VERIFY_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/mem/frame_pool.h"
+#include "src/mem/guest_memory.h"
+#include "src/mmu/virtualizer.h"
+#include "src/virtio/virtio.h"
+
+namespace hyperion::verify {
+
+// True when auditing is switched on, either via HYPERION_AUDIT in the
+// environment or programmatically. Cheap enough to call per slice.
+bool AuditEnabled();
+// Overrides the environment (tests). Passing the gate back to the
+// environment is not supported; the override sticks for the process.
+void SetAuditEnabled(bool enabled);
+
+struct AuditReport {
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string ToString() const;
+};
+
+// Checks every cached translation the virtualizer holds against the current
+// guest paging state (`paging`/`ptbr` from the vCPU's STATUS/PTBR CSRs).
+void AuditMmuCoherence(const mmu::MemoryVirtualizer& virt, bool paging,
+                       uint32_t ptbr, AuditReport* report);
+
+// Checks pool refcounts against the mappings of every address space using
+// the pool. `spaces` must be complete: a missing space shows up as a leaked
+// reference.
+void AuditFrameAccounting(const mem::FramePool& pool,
+                          const std::vector<const mem::GuestMemory*>& spaces,
+                          AuditReport* report);
+
+// Checks one virtqueue's rings as they sit in guest memory. `label`
+// prefixes violation messages (e.g. "vblk q0").
+void AuditVirtQueue(const virtio::VirtQueue& queue,
+                    const mem::GuestMemory& memory, std::string_view label,
+                    AuditReport* report);
+
+// Audits every queue of a virtio device.
+void AuditVirtioDevice(const virtio::VirtioDevice& device,
+                       const mem::GuestMemory& memory, std::string_view label,
+                       AuditReport* report);
+
+}  // namespace hyperion::verify
+
+#endif  // SRC_VERIFY_AUDIT_H_

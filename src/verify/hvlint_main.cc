@@ -1,0 +1,163 @@
+// hvlint CLI: verify HV32 guest images before they ever reach a VM.
+//
+//   hvlint prog.s [more.s ...]     verify assembly source files
+//   hvlint --builtin NAME          verify an in-tree guest program
+//   hvlint --builtin all           verify every in-tree guest program
+//   hvlint --list-builtins         list in-tree program names
+//
+// Flags: --no-sp (skip stack discipline), --no-mmio (skip device-window
+// checks), -q / --quiet (errors only). Exit status: 0 all images pass,
+// 1 at least one rejected, 2 usage or I/O error.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/asm/assembler.h"
+#include "src/guest/programs.h"
+#include "src/verify/hvlint.h"
+
+namespace {
+
+using hyperion::assembler::Image;
+using hyperion::verify::LintOptions;
+using hyperion::verify::LintReport;
+
+std::map<std::string, std::string> Builtins() {
+  using namespace hyperion::guest;
+  std::map<std::string, std::string> m;
+  m["hello"] = HelloProgram("hello from hvlint\n");
+  m["compute"] = ComputeProgram(16);
+  m["idle_tick"] = IdleTickProgram(5000);
+  m["smp_counter"] = SmpCounterProgram(100);
+  m["mem_touch"] = MemTouchProgram({});
+  m["pt_churn"] = PtChurnProgram(64);
+  m["dirty_rate"] = DirtyRateProgram(64, 32);
+  m["pattern_fill"] = PatternFillProgram(32, 16, 1);
+  m["balloon_driver"] = BalloonDriverProgram(0x400, 64, 5000);
+  m["emulated_blk"] = EmulatedBlkProgram({});
+  m["virtio_blk"] = VirtioBlkProgram({});
+  m["emulated_net_ping"] = EmulatedNetPingProgram({});
+  m["emulated_net_echo"] = EmulatedNetEchoProgram();
+  m["virtio_net_ping"] = VirtioNetPingProgram({});
+  m["virtio_net_echo"] = VirtioNetEchoProgram();
+  return m;
+}
+
+int Usage() {
+  std::cerr << "usage: hvlint [--no-sp] [--no-mmio] [-q] FILE.s...\n"
+               "       hvlint --builtin NAME|all\n"
+               "       hvlint --list-builtins\n";
+  return 2;
+}
+
+// Returns true when the image passes (no errors).
+bool LintOne(const std::string& label, const Image& image,
+             const LintOptions& options, bool quiet) {
+  LintReport report = hyperion::verify::LintImage(image, options);
+  bool passed = report.ok();
+  if (!quiet || !passed) {
+    std::cout << label << ": " << (passed ? "OK" : "REJECTED") << "\n";
+    for (const auto& d : report.diagnostics) {
+      std::cout << "  " << label << ":" << d.ToString() << "\n";
+    }
+    if (!quiet) {
+      std::cout << "  " << report.reachable_instructions
+                << " reachable instruction(s), " << report.errors()
+                << " error(s)\n";
+    }
+  }
+  return passed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LintOptions options;
+  bool quiet = false;
+  std::vector<std::string> files;
+  std::vector<std::string> builtins;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--no-sp") {
+      options.check_sp = false;
+    } else if (arg == "--no-mmio") {
+      options.check_mmio = false;
+    } else if (arg == "-q" || arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list-builtins") {
+      for (const auto& [name, src] : Builtins()) {
+        std::cout << name << "\n";
+      }
+      return 0;
+    } else if (arg == "--builtin") {
+      if (++i >= argc) {
+        return Usage();
+      }
+      builtins.push_back(argv[i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty() && builtins.empty()) {
+    return Usage();
+  }
+
+  bool all_ok = true;
+  auto catalog = Builtins();
+  for (const std::string& name : builtins) {
+    if (name == "all") {
+      for (const auto& [n, src] : catalog) {
+        auto image = hyperion::guest::Build(src);
+        if (!image.ok()) {
+          std::cerr << n << ": assembly failed: " << image.status().message()
+                    << "\n";
+          all_ok = false;
+          continue;
+        }
+        all_ok &= LintOne(n, *image, options, quiet);
+      }
+      continue;
+    }
+    auto it = catalog.find(name);
+    if (it == catalog.end()) {
+      std::cerr << "unknown builtin '" << name
+                << "' (try --list-builtins)\n";
+      return 2;
+    }
+    auto image = hyperion::guest::Build(it->second);
+    if (!image.ok()) {
+      std::cerr << name << ": assembly failed: " << image.status().message()
+                << "\n";
+      all_ok = false;
+      continue;
+    }
+    all_ok &= LintOne(name, *image, options, quiet);
+  }
+
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << path << ": cannot open\n";
+      return 2;
+    }
+    std::ostringstream source;
+    source << in.rdbuf();
+    auto image = hyperion::assembler::Assemble(source.str());
+    if (!image.ok()) {
+      std::cerr << path << ": assembly failed: " << image.status().message()
+                << "\n";
+      all_ok = false;
+      continue;
+    }
+    all_ok &= LintOne(path, *image, options, quiet);
+  }
+  return all_ok ? 0 : 1;
+}

@@ -106,6 +106,8 @@ class VirtQueue {
   }
 
   uint16_t last_avail() const { return last_avail_; }
+  // Device-side used index; must match the idx published in guest memory.
+  uint16_t used_idx() const { return used_idx_; }
 
   void Serialize(ByteWriter& w) const {
     w.WriteU32(desc_gpa_);
@@ -172,6 +174,10 @@ class VirtioDevice : public devices::MmioDevice {
 
   // Doorbell entry point; also reachable via the kVirtioKick hypercall.
   Status Kick(uint16_t queue);
+
+  // Read-only queue access for the invariant auditors (src/verify).
+  const VirtQueue& queue_at(uint16_t i) const { return queues_[i]; }
+  uint16_t queue_count() const { return static_cast<uint16_t>(queues_.size()); }
 
   struct Stats {
     uint64_t kicks = 0;

@@ -319,6 +319,30 @@ TEST(AssemblerTest, HcallEncodes) {
   EXPECT_EQ(Decode(WordAt(*image, image->base)).opcode, Opcode::kHcall);
 }
 
+TEST(AssemblerTest, EntryDirectiveRecordsEntryPoints) {
+  auto image = Assemble(
+      "_start:\n  halt\n"
+      "umain:\n  nop\n  halt\n"
+      ".entry _start\n"
+      ".entry umain, user\n");
+  ASSERT_TRUE(image.ok());
+  ASSERT_EQ(image->entry_points.size(), 2u);
+  EXPECT_EQ(image->entry_points[0].name, "_start");
+  EXPECT_EQ(image->entry_points[0].addr, image->base);
+  EXPECT_EQ(image->entry_points[0].priv, isa::PrivMode::kSupervisor);
+  EXPECT_EQ(image->entry_points[1].name, "umain");
+  EXPECT_EQ(image->entry_points[1].addr, image->base + 4);
+  EXPECT_EQ(image->entry_points[1].priv, isa::PrivMode::kUser);
+}
+
+TEST(AssemblerTest, EntryDirectiveRejectsUndefinedSymbol) {
+  EXPECT_FALSE(Assemble(".entry nowhere\nhalt\n").ok());
+}
+
+TEST(AssemblerTest, EntryDirectiveRejectsBadPrivilege) {
+  EXPECT_FALSE(Assemble("_start: halt\n.entry _start, hypervisor\n").ok());
+}
+
 TEST(AssemblerTest, SfenceWithAndWithoutOperand) {
   auto image = Assemble("sfence\nsfence a0\n");
   ASSERT_TRUE(image.ok());

@@ -1,0 +1,602 @@
+// Tests for the verification layer (src/verify):
+//  * encode -> decode -> disassemble -> assemble -> re-encode round-trips
+//    over every HV32 opcode,
+//  * the hvlint static verifier (one accepted and one rejected image per
+//    rule, plus acceptance of the builtin guest programs),
+//  * the runtime invariant auditors (MMU coherence, frame accounting,
+//    virtqueue sanity) including end-to-end Host/Vm hooks.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/asm/assembler.h"
+#include "src/core/host.h"
+#include "src/guest/programs.h"
+#include "src/isa/hv32.h"
+#include "src/mem/frame_pool.h"
+#include "src/mem/guest_memory.h"
+#include "src/mmu/virtualizer.h"
+#include "src/verify/audit.h"
+#include "src/verify/hvlint.h"
+#include "src/virtio/virtio.h"
+
+namespace hyperion {
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+
+// ---------------------------------------------------------------------------
+// Round-trip: Encode -> Decode -> Disassemble -> Assemble -> same word
+// ---------------------------------------------------------------------------
+
+Instruction I(Opcode op, uint8_t rd = 0, uint8_t rs1 = 0, uint8_t rs2 = 0,
+              int32_t imm = 0, uint8_t funct = 0) {
+  Instruction in;
+  in.opcode = op;
+  in.rd = rd;
+  in.rs1 = rs1;
+  in.rs2 = rs2;
+  in.imm = imm;
+  in.funct = funct;
+  return in;
+}
+
+// Encodes `in`, decodes the word back (must equal `in` field-for-field),
+// renders it to text, assembles that single line at address 0 (so the
+// assembler's absolute branch/jal targets coincide with the disassembler's
+// pc-relative offsets), and requires the identical word back out.
+void ExpectRoundTrip(const Instruction& in) {
+  auto word = isa::Encode(in);
+  ASSERT_TRUE(word.ok()) << isa::Disassemble(in) << ": " << word.status().ToString();
+
+  Instruction dec = isa::Decode(*word);
+  EXPECT_EQ(dec, in) << "decode mismatch for " << isa::Disassemble(in);
+
+  std::string text = isa::Disassemble(dec);
+  // `.org 0` pins the instruction at address 0 so the assembler's absolute
+  // branch/jal targets equal the disassembler's pc-relative offsets.
+  auto image = assembler::Assemble(".org 0\n" + text + "\n");
+  ASSERT_TRUE(image.ok()) << "\"" << text << "\": " << image.status().ToString();
+  ASSERT_EQ(image->bytes.size(), 4u) << "\"" << text << "\"";
+  uint32_t reword = static_cast<uint32_t>(image->bytes[0]) |
+                    static_cast<uint32_t>(image->bytes[1]) << 8 |
+                    static_cast<uint32_t>(image->bytes[2]) << 16 |
+                    static_cast<uint32_t>(image->bytes[3]) << 24;
+  EXPECT_EQ(reword, *word) << "\"" << text << "\" reassembled differently";
+}
+
+TEST(RoundTripTest, AllRegisterAluOps) {
+  for (uint8_t f = 0; f < 16; ++f) {
+    ExpectRoundTrip(I(Opcode::kOp, isa::kA0, isa::kA1, isa::kT0, 0, f));
+  }
+}
+
+TEST(RoundTripTest, AllImmediateAluOps) {
+  for (uint8_t f = 0; f < 16; ++f) {
+    ExpectRoundTrip(I(Opcode::kOpImm, isa::kA0, isa::kA1, 0, 7, f));
+  }
+  ExpectRoundTrip(I(Opcode::kOpImm, isa::kSp, isa::kSp, 0, -16,
+                    static_cast<uint8_t>(isa::AluOp::kAdd)));
+}
+
+TEST(RoundTripTest, UpperImmediates) {
+  ExpectRoundTrip(I(Opcode::kLui, isa::kT0, 0, 0, 0));
+  ExpectRoundTrip(I(Opcode::kLui, isa::kT0, 0, 0, 1 << 14));
+  ExpectRoundTrip(I(Opcode::kLui, isa::kT0, 0, 0, -(1 << 14)));
+  ExpectRoundTrip(I(Opcode::kAuipc, isa::kS0, 0, 0, 1 << 14));
+}
+
+TEST(RoundTripTest, JumpsAndBranches) {
+  ExpectRoundTrip(I(Opcode::kJal, isa::kRa, 0, 0, 0x10));
+  ExpectRoundTrip(I(Opcode::kJal, isa::kZero, 0, 0, 0x1000));
+  ExpectRoundTrip(I(Opcode::kJal, isa::kRa, 0, 0, -8));
+  ExpectRoundTrip(I(Opcode::kJalr, isa::kRa, isa::kT0, 0, 0));
+  ExpectRoundTrip(I(Opcode::kJalr, isa::kZero, isa::kRa, 0, 0x10));
+  for (uint8_t cond = 0; cond < 6; ++cond) {
+    ExpectRoundTrip(I(Opcode::kBranch, 0, isa::kA0, isa::kA1, 8, cond));
+  }
+  ExpectRoundTrip(I(Opcode::kBranch, 0, isa::kT0, isa::kZero, -4,
+                    static_cast<uint8_t>(isa::BranchCond::kNe)));
+}
+
+TEST(RoundTripTest, LoadsAndStores) {
+  for (Opcode op : {Opcode::kLw, Opcode::kLh, Opcode::kLhu, Opcode::kLb, Opcode::kLbu}) {
+    ExpectRoundTrip(I(op, isa::kA0, isa::kSp, 0, 8));
+    ExpectRoundTrip(I(op, isa::kA0, isa::kSp, 0, -4));
+  }
+  for (Opcode op : {Opcode::kSw, Opcode::kSh, Opcode::kSb}) {
+    ExpectRoundTrip(I(op, isa::kA0, isa::kSp, 0, 8));
+    ExpectRoundTrip(I(op, isa::kT1, isa::kGp, 0, -12));
+  }
+}
+
+TEST(RoundTripTest, CsrOps) {
+  for (Opcode op : {Opcode::kCsrrw, Opcode::kCsrrs, Opcode::kCsrrc}) {
+    for (isa::Csr csr : {isa::Csr::kStatus, isa::Csr::kCause, isa::Csr::kEpc,
+                         isa::Csr::kTvec, isa::Csr::kCycle, isa::Csr::kHartid}) {
+      ExpectRoundTrip(I(op, isa::kA0, isa::kA1, 0, static_cast<int32_t>(csr)));
+    }
+  }
+}
+
+TEST(RoundTripTest, SystemOps) {
+  ExpectRoundTrip(I(Opcode::kEcall));
+  ExpectRoundTrip(I(Opcode::kEbreak));
+  ExpectRoundTrip(I(Opcode::kSret));
+  ExpectRoundTrip(I(Opcode::kWfi));
+  ExpectRoundTrip(I(Opcode::kHcall));
+  ExpectRoundTrip(I(Opcode::kSfence));
+  ExpectRoundTrip(I(Opcode::kSfence, 0, isa::kA1));
+  ExpectRoundTrip(I(Opcode::kHalt));
+}
+
+TEST(RoundTripTest, IllegalWordDecodesToIllegal) {
+  EXPECT_EQ(isa::Decode(0xFFFFFFFFu).opcode, Opcode::kIllegal);
+  EXPECT_EQ(isa::Disassemble(isa::Decode(0xFFFFFFFFu)), "illegal");
+  EXPECT_FALSE(isa::Encode(I(Opcode::kIllegal)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// hvlint: per-rule accept/reject pairs
+// ---------------------------------------------------------------------------
+
+verify::LintReport Lint(const std::string& source) {
+  auto image = assembler::Assemble(source);
+  EXPECT_TRUE(image.ok()) << image.status().ToString();
+  if (!image.ok()) {
+    return {};
+  }
+  return verify::LintImage(*image);
+}
+
+bool HasRule(const verify::LintReport& report, std::string_view rule) {
+  for (const verify::Diagnostic& d : report.diagnostics) {
+    if (d.rule == rule) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(HvlintTest, AcceptsMinimalProgram) {
+  verify::LintReport r = Lint("_start:\n  addi a0, zero, 1\n  halt\n");
+  EXPECT_TRUE(r.ok()) << r.ToString();
+  EXPECT_EQ(r.reachable_instructions, 2u);
+}
+
+TEST(HvlintTest, RejectsIllegalEncoding) {
+  verify::LintReport r = Lint("_start:\n  .word 0xffffffff\n  halt\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(HasRule(r, "illegal-encoding")) << r.ToString();
+}
+
+TEST(HvlintTest, RejectsJumpOutOfRange) {
+  EXPECT_TRUE(Lint("_start:\n  j done\n  nop\ndone:\n  halt\n").ok());
+  verify::LintReport r = Lint("_start:\n  j 0x4000\n  halt\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(HasRule(r, "jump-out-of-range")) << r.ToString();
+}
+
+TEST(HvlintTest, RejectsFallthroughOffImage) {
+  verify::LintReport r = Lint("_start:\n  addi a0, a0, 1\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(HasRule(r, "fallthrough-off-image")) << r.ToString();
+}
+
+TEST(HvlintTest, RejectsR0Write) {
+  EXPECT_TRUE(Lint("_start:\n  nop\n  halt\n").ok());  // canonical nop exempt
+  verify::LintReport r = Lint("_start:\n  add zero, a0, a1\n  halt\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(HasRule(r, "r0-write")) << r.ToString();
+}
+
+TEST(HvlintTest, RejectsPrivilegedReachableFromUserEntry) {
+  // An unprivileged user loop (ecall is legal in user mode) is accepted...
+  verify::LintReport ok = Lint(
+      "_start:\n  halt\n"
+      "user_main:\n  addi a0, zero, 1\n  ecall\n  j user_main\n"
+      ".entry user_main, user\n");
+  EXPECT_TRUE(ok.ok()) << ok.ToString();
+
+  // ...but a privileged opcode on a user-reachable path is rejected, even
+  // though the same instruction is fine from the supervisor entry.
+  verify::LintReport bad = Lint(
+      "_start:\n  halt\n"
+      "user_main:\n  wfi\n  j user_main\n"
+      ".entry user_main, user\n");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(HasRule(bad, "privileged-in-user")) << bad.ToString();
+
+  // CSR access is supervisor-only as well.
+  verify::LintReport csr = Lint(
+      "_start:\n  halt\n"
+      "user_main:\n  csrr a0, cycle\n  j user_main\n"
+      ".entry user_main, user\n");
+  EXPECT_FALSE(csr.ok());
+  EXPECT_TRUE(HasRule(csr, "privileged-in-user")) << csr.ToString();
+}
+
+TEST(HvlintTest, RejectsMmioOutsideMappedWindows) {
+  // UART data register: inside a mapped window.
+  EXPECT_TRUE(Lint("_start:\n  li t0, 0xF0000000\n  sw zero, 0(t0)\n  halt\n").ok());
+  // 0xF0005000 is MMIO space but no device window is mapped there.
+  verify::LintReport r =
+      Lint("_start:\n  li t0, 0xF0005000\n  sw zero, 0(t0)\n  halt\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(HasRule(r, "mmio-out-of-window")) << r.ToString();
+}
+
+TEST(HvlintTest, RejectsProvablyMisalignedAccess) {
+  EXPECT_TRUE(Lint("_start:\n  li t0, 0x2000\n  lw a0, 0(t0)\n  halt\n").ok());
+  verify::LintReport r = Lint("_start:\n  li t0, 0x2002\n  lw a0, 0(t0)\n  halt\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(HasRule(r, "misaligned-access")) << r.ToString();
+}
+
+TEST(HvlintTest, RejectsStackImbalance) {
+  EXPECT_TRUE(Lint(
+      "_start:\n  li sp, 0x8000\n  call leaf\n  halt\n"
+      "leaf:\n  addi sp, sp, -16\n  addi sp, sp, 16\n  ret\n").ok());
+  verify::LintReport r = Lint(
+      "_start:\n  li sp, 0x8000\n  call leaf\n  halt\n"
+      "leaf:\n  addi sp, sp, -16\n  ret\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(HasRule(r, "sp-imbalance")) << r.ToString();
+}
+
+TEST(HvlintTest, DiscoversTrapHandlerBehindTvecWrite) {
+  // The handler is never branched to directly; it is only reachable through
+  // the trap vector. A bad instruction inside it must still be found.
+  verify::LintReport r = Lint(
+      "_start:\n  la t0, handler\n  csrw tvec, t0\n  halt\n"
+      "handler:\n  add zero, a0, a1\n  sret\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(HasRule(r, "r0-write")) << r.ToString();
+}
+
+TEST(HvlintTest, VerifyImageGate) {
+  auto good = assembler::Assemble("_start:\n  halt\n");
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(verify::VerifyImage(*good).ok());
+
+  auto bad = assembler::Assemble("_start:\n  .word 0xffffffff\n");
+  ASSERT_TRUE(bad.ok());
+  Status s = verify::VerifyImage(*bad);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("illegal-encoding"), std::string::npos) << s.ToString();
+}
+
+TEST(HvlintTest, AcceptsBuiltinGuestPrograms) {
+  const struct {
+    const char* name;
+    std::string source;
+  } programs[] = {
+      {"hello", guest::HelloProgram("hi\n")},
+      {"compute", guest::ComputeProgram(10)},
+      {"idle_tick", guest::IdleTickProgram(10'000)},
+      {"smp_counter", guest::SmpCounterProgram(4)},
+      {"mem_touch", guest::MemTouchProgram({.iterations = 2})},
+      {"pt_churn", guest::PtChurnProgram(3)},
+      {"dirty_rate", guest::DirtyRateProgram(8, 4)},
+      {"pattern_fill", guest::PatternFillProgram(8, 2, 1)},
+      {"virtio_blk", guest::VirtioBlkProgram({})},
+      {"virtio_net_echo", guest::VirtioNetEchoProgram()},
+  };
+  for (const auto& p : programs) {
+    auto image = guest::Build(p.source);
+    ASSERT_TRUE(image.ok()) << p.name << ": " << image.status().ToString();
+    verify::LintReport r = verify::LintImage(*image);
+    EXPECT_TRUE(r.ok()) << p.name << ":\n" << r.ToString();
+    EXPECT_GT(r.reachable_instructions, 0u) << p.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime auditors: MMU coherence
+// ---------------------------------------------------------------------------
+
+using isa::Pte;
+
+class MmuAuditTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kRamBytes = 2u << 20;
+  static constexpr uint32_t kRoot = 0x80;  // root PT page
+  static constexpr uint32_t kL2 = 0x81;    // L2 PT page
+
+  MmuAuditTest() : pool_(2048) {
+    auto m = mem::GuestMemory::Create(&pool_, kRamBytes);
+    EXPECT_TRUE(m.ok());
+    memory_ = std::move(m).value();
+  }
+
+  void WritePte(uint32_t table_page, uint32_t index, uint32_t pte) {
+    ASSERT_TRUE(memory_->WriteU32((table_page << 12) + index * 4, pte).ok());
+  }
+
+  mem::FramePool pool_;
+  std::unique_ptr<mem::GuestMemory> memory_;
+};
+
+TEST_F(MmuAuditTest, CleanNestedStateAudits) {
+  auto virt = mmu::MakeVirtualizer(mmu::PagingMode::kNested, memory_.get());
+  auto out = virt->Translate(0x3000, mmu::Access::kLoad, isa::PrivMode::kSupervisor,
+                             /*paging=*/false, 0);
+  ASSERT_EQ(out.event, mmu::MemEvent::kNone);
+
+  verify::AuditReport report;
+  verify::AuditMmuCoherence(*virt, /*paging=*/false, 0, &report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST_F(MmuAuditTest, DetectsPoisonedTlbEntry) {
+  auto virt = mmu::MakeVirtualizer(mmu::PagingMode::kNested, memory_.get());
+  ASSERT_EQ(virt->Translate(0x3000, mmu::Access::kLoad, isa::PrivMode::kSupervisor,
+                            false, 0).event,
+            mmu::MemEvent::kNone);
+
+  // A cached translation whose frame is not what backs the page: the exact
+  // staleness the auditor exists to catch.
+  mmu::TlbEntry e;
+  e.vpn = 5;
+  e.gpn = 5;
+  e.frame = memory_->FrameForPage(6);  // wrong frame
+  e.valid = true;
+  virt->tlb().Insert(e);
+
+  verify::AuditReport report;
+  verify::AuditMmuCoherence(*virt, false, 0, &report);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST_F(MmuAuditTest, DetectsWritableEntryOverSharedPage) {
+  auto virt = mmu::MakeVirtualizer(mmu::PagingMode::kNested, memory_.get());
+  memory_->SetShared(6, true);  // KSM-shared: stores must trap for COW
+
+  mmu::TlbEntry e;
+  e.vpn = 6;
+  e.gpn = 6;
+  e.frame = memory_->FrameForPage(6);
+  e.valid = true;
+  e.writable = true;  // would let stores bypass the COW break
+  virt->tlb().Insert(e);
+
+  verify::AuditReport report;
+  verify::AuditMmuCoherence(*virt, false, 0, &report);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST_F(MmuAuditTest, ShadowDetectsStaleGuestPte) {
+  auto virt = mmu::MakeVirtualizer(mmu::PagingMode::kShadow, memory_.get());
+  WritePte(kRoot, 0, Pte::Make(kL2, Pte::kValid));
+  WritePte(kL2, 5, Pte::Make(0x42, Pte::kValid | Pte::kRead | Pte::kWrite));
+
+  auto out = virt->Translate(0x5123, mmu::Access::kLoad, isa::PrivMode::kSupervisor,
+                             /*paging=*/true, kRoot);
+  ASSERT_EQ(out.event, mmu::MemEvent::kNone);
+
+  verify::AuditReport clean;
+  verify::AuditMmuCoherence(*virt, true, kRoot, &clean);
+  EXPECT_TRUE(clean.ok()) << clean.ToString();
+
+  // Rewrite the leaf PTE from the host side, bypassing the write-protect
+  // trap that would normally resync the shadow. The shadow entry now maps
+  // the old frame.
+  WritePte(kL2, 5, Pte::Make(0x43, Pte::kValid | Pte::kRead | Pte::kWrite));
+
+  verify::AuditReport stale;
+  verify::AuditMmuCoherence(*virt, true, kRoot, &stale);
+  EXPECT_FALSE(stale.ok());
+}
+
+TEST_F(MmuAuditTest, ShadowDetectsUnprotectedPageTablePage) {
+  auto virt = mmu::MakeVirtualizer(mmu::PagingMode::kShadow, memory_.get());
+  WritePte(kRoot, 0, Pte::Make(kL2, Pte::kValid));
+  WritePte(kL2, 5, Pte::Make(0x42, Pte::kValid | Pte::kRead));
+  ASSERT_EQ(virt->Translate(0x5000, mmu::Access::kLoad, isa::PrivMode::kSupervisor,
+                            true, kRoot).event,
+            mmu::MemEvent::kNone);
+  ASSERT_TRUE(memory_->IsWriteProtected(kRoot));
+
+  // Dropping the write protection silently would let guest PT stores go
+  // unnoticed; the auditor must flag the inconsistency.
+  memory_->SetWriteProtected(kRoot, false);
+
+  verify::AuditReport report;
+  verify::AuditMmuCoherence(*virt, true, kRoot, &report);
+  EXPECT_FALSE(report.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Runtime auditors: frame accounting
+// ---------------------------------------------------------------------------
+
+TEST(FrameAuditTest, CleanSpaceAudits) {
+  mem::FramePool pool(128);
+  auto m = mem::GuestMemory::Create(&pool, 16 * isa::kPageSize);
+  ASSERT_TRUE(m.ok());
+  verify::AuditReport report;
+  verify::AuditFrameAccounting(pool, {m->get()}, &report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(FrameAuditTest, DetectsRefcountLeak) {
+  mem::FramePool pool(128);
+  auto m = mem::GuestMemory::Create(&pool, 16 * isa::kPageSize);
+  ASSERT_TRUE(m.ok());
+
+  mem::HostFrame f = (*m)->FrameForPage(0);
+  pool.AddRef(f);  // a reference no mapping accounts for
+
+  verify::AuditReport report;
+  verify::AuditFrameAccounting(pool, {m->get()}, &report);
+  EXPECT_FALSE(report.ok());
+  pool.DecRef(f);
+}
+
+TEST(FrameAuditTest, DetectsSharedFrameWithoutCowBit) {
+  mem::FramePool pool(128);
+  auto m = mem::GuestMemory::Create(&pool, 16 * isa::kPageSize);
+  ASSERT_TRUE(m.ok());
+
+  // Map page 1 onto page 0's frame the way KSM does, but "forget" the COW
+  // shared bits.
+  mem::HostFrame f = (*m)->FrameForPage(0);
+  ASSERT_TRUE((*m)->RemapPage(1, f).ok());
+
+  verify::AuditReport missing;
+  verify::AuditFrameAccounting(pool, {m->get()}, &missing);
+  EXPECT_FALSE(missing.ok());
+
+  // With both mappings marked shared the state is a legitimate KSM merge.
+  (*m)->SetShared(0, true);
+  (*m)->SetShared(1, true);
+  verify::AuditReport merged;
+  verify::AuditFrameAccounting(pool, {m->get()}, &merged);
+  EXPECT_TRUE(merged.ok()) << merged.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Runtime auditors: virtqueues
+// ---------------------------------------------------------------------------
+
+class VirtQueueAuditTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kDesc = 0x1000;
+  static constexpr uint32_t kAvail = 0x2000;
+  static constexpr uint32_t kUsed = 0x3000;
+  static constexpr uint16_t kSize = 4;
+
+  VirtQueueAuditTest() : pool_(64) {
+    auto m = mem::GuestMemory::Create(&pool_, 16 * isa::kPageSize);
+    EXPECT_TRUE(m.ok());
+    memory_ = std::move(m).value();
+    queue_.Configure(kDesc, kAvail, kUsed, kSize);
+    queue_.set_ready(true);
+  }
+
+  void WriteDesc(uint16_t i, uint32_t gpa, uint32_t len, uint16_t flags,
+                 uint16_t next) {
+    uint32_t d = kDesc + 16u * i;
+    ASSERT_TRUE(memory_->WriteU32(d, gpa).ok());
+    ASSERT_TRUE(memory_->WriteU32(d + 4, len).ok());
+    ASSERT_TRUE(memory_->WriteU16(d + 8, flags).ok());
+    ASSERT_TRUE(memory_->WriteU16(d + 10, next).ok());
+  }
+
+  // Publishes `head` in avail slot 0 and bumps avail idx to 1.
+  void PostChain(uint16_t head) {
+    ASSERT_TRUE(memory_->WriteU16(kAvail + 4, head).ok());
+    ASSERT_TRUE(memory_->WriteU16(kAvail + 2, 1).ok());
+  }
+
+  verify::AuditReport Audit() {
+    verify::AuditReport report;
+    verify::AuditVirtQueue(queue_, *memory_, "q", &report);
+    return report;
+  }
+
+  mem::FramePool pool_;
+  std::unique_ptr<mem::GuestMemory> memory_;
+  virtio::VirtQueue queue_;
+};
+
+TEST_F(VirtQueueAuditTest, CleanRingAudits) {
+  WriteDesc(0, 0x4000, 64, virtio::kDescNext, 1);
+  WriteDesc(1, 0x5000, 64, virtio::kDescWrite, 0);
+  PostChain(0);
+  verify::AuditReport r = Audit();
+  EXPECT_TRUE(r.ok()) << r.ToString();
+}
+
+TEST_F(VirtQueueAuditTest, NotReadyRingIsSkipped) {
+  queue_.set_ready(false);
+  PostChain(99);  // garbage everywhere, but the ring is not enabled
+  EXPECT_TRUE(Audit().ok());
+}
+
+TEST_F(VirtQueueAuditTest, DetectsHeadBeyondRing) {
+  PostChain(9);  // >= kSize
+  EXPECT_FALSE(Audit().ok());
+}
+
+TEST_F(VirtQueueAuditTest, DetectsDescriptorLoop) {
+  WriteDesc(0, 0x4000, 16, virtio::kDescNext, 1);
+  WriteDesc(1, 0x4000, 16, virtio::kDescNext, 0);  // 0 -> 1 -> 0
+  PostChain(0);
+  EXPECT_FALSE(Audit().ok());
+}
+
+TEST_F(VirtQueueAuditTest, DetectsBufferOutsideRam) {
+  WriteDesc(0, 0x00FF0000, 64, 0, 0);  // far past the 64 KiB of RAM
+  PostChain(0);
+  EXPECT_FALSE(Audit().ok());
+}
+
+TEST_F(VirtQueueAuditTest, DetectsRingOutsideRam) {
+  queue_.Configure(memory_->ram_size() - 8, kAvail, kUsed, kSize);
+  EXPECT_FALSE(Audit().ok());
+}
+
+TEST_F(VirtQueueAuditTest, DetectsUsedIndexDivergence) {
+  // Guest memory claims 5 completions; the device counter says 0.
+  ASSERT_TRUE(memory_->WriteU16(kUsed + 2, 5).ok());
+  EXPECT_FALSE(Audit().ok());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: Host/Vm audit hooks
+// ---------------------------------------------------------------------------
+
+class RuntimeAuditTest : public ::testing::Test {
+ protected:
+  void SetUp() override { verify::SetAuditEnabled(true); }
+  void TearDown() override { verify::SetAuditEnabled(false); }
+};
+
+TEST_F(RuntimeAuditTest, SetAuditEnabledOverridesEnvironment) {
+  EXPECT_TRUE(verify::AuditEnabled());
+  verify::SetAuditEnabled(false);
+  EXPECT_FALSE(verify::AuditEnabled());
+  verify::SetAuditEnabled(true);
+  EXPECT_TRUE(verify::AuditEnabled());
+}
+
+TEST_F(RuntimeAuditTest, CleanGuestPassesVmAndHostAudits) {
+  core::Host host;
+  auto image = guest::Build(guest::HelloProgram("audited\n"));
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  auto vm = host.CreateVm(core::VmConfig{.name = "audited"});
+  ASSERT_TRUE(vm.ok()) << vm.status().ToString();
+  ASSERT_TRUE((*vm)->LoadImage(*image).ok());
+
+  // With auditing on, every slice boundary runs the invariant checks; a
+  // violation would crash the VM instead of letting it shut down cleanly.
+  ASSERT_TRUE(host.RunUntilVmStops(*vm, 10 * kSimTicksPerSec));
+  EXPECT_EQ((*vm)->state(), core::VmState::kShutdown);
+
+  EXPECT_TRUE(host.AuditFrameAccounting().ok());
+  EXPECT_TRUE((*vm)->AuditInvariants(0).ok());
+}
+
+TEST_F(RuntimeAuditTest, HostAuditCatchesInjectedLeak) {
+  core::Host host;
+  auto image = guest::Build(guest::HelloProgram("leak\n"));
+  ASSERT_TRUE(image.ok());
+  auto vm = host.CreateVm(core::VmConfig{.name = "leak"});
+  ASSERT_TRUE(vm.ok());
+  ASSERT_TRUE((*vm)->LoadImage(*image).ok());
+  ASSERT_TRUE(host.RunUntilVmStops(*vm, 10 * kSimTicksPerSec));
+
+  mem::GuestMemory& memory = (*vm)->memory();
+  mem::HostFrame f = memory.FrameForPage(0);
+  memory.pool().AddRef(f);
+  EXPECT_FALSE(host.AuditFrameAccounting().ok());
+  memory.pool().DecRef(f);
+  EXPECT_TRUE(host.AuditFrameAccounting().ok());
+}
+
+}  // namespace
+}  // namespace hyperion

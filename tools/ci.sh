@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Full verification pipeline, in increasing order of cost:
+#
+#   1. plain build + tier-1 test suite
+#   2. the same suite with the runtime invariant auditors on (HYPERION_AUDIT=1)
+#   3. AddressSanitizer build + suite
+#   4. UndefinedBehaviorSanitizer build + suite
+#   5. clang-tidy lint (skipped gracefully where clang-tidy is absent)
+#
+# Usage: tools/ci.sh [--fast]     --fast skips the sanitizer builds.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+FAST=0
+[ "${1:-}" = "--fast" ] && FAST=1
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+run_suite() {  # run_suite <build-dir> [extra cmake flags...]
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@" >/dev/null
+  cmake --build "$dir" -j "$JOBS"
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS")
+}
+
+echo "=== [1/5] plain build + tests ==="
+run_suite build
+
+echo "=== [2/5] tests under HYPERION_AUDIT=1 ==="
+(cd build && HYPERION_AUDIT=1 ctest --output-on-failure -j "$JOBS")
+
+if [ "$FAST" = "0" ]; then
+  echo "=== [3/5] AddressSanitizer ==="
+  run_suite build-asan -DHYPERION_SANITIZE=address
+
+  echo "=== [4/5] UndefinedBehaviorSanitizer ==="
+  run_suite build-ubsan -DHYPERION_SANITIZE=undefined
+else
+  echo "=== [3/5][4/5] sanitizers skipped (--fast) ==="
+fi
+
+echo "=== [5/5] lint ==="
+tools/run_lint.sh build
+
+echo "ci: all stages passed"

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over the first-party sources.
+#
+# Degrades gracefully: containers that ship only gcc have no clang-tidy, and
+# the lint pass is advisory there — we print a notice and exit 0 so that
+# tools/ci.sh keeps working everywhere. Set LINT_STRICT=1 to turn a missing
+# binary into a failure (for environments that are supposed to have it).
+#
+# Usage: tools/run_lint.sh [build-dir]   (default: build)
+
+set -u
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_lint: clang-tidy not found; skipping lint (set LINT_STRICT=1 to fail)"
+  [ "${LINT_STRICT:-0}" = "1" ] && exit 1
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_lint: $BUILD_DIR/compile_commands.json missing; configuring..."
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || exit 1
+fi
+
+FILES=$(find src -name '*.cc' | sort)
+echo "run_lint: clang-tidy over $(echo "$FILES" | wc -l) files"
+# shellcheck disable=SC2086
+clang-tidy -p "$BUILD_DIR" --quiet $FILES
+STATUS=$?
+if [ $STATUS -eq 0 ]; then
+  echo "run_lint: clean"
+fi
+exit $STATUS

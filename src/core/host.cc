@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/fault/fault.h"
 #include "src/util/logging.h"
 
 namespace hyperion::core {
@@ -82,9 +83,34 @@ void Host::BlockVcpu(Vm* vm, uint32_t vcpu) {
   }
 }
 
+void Host::SetFaultInjector(fault::FaultInjector* injector, std::string site) {
+  fault_injector_ = injector;
+  fault_site_ = std::move(site);
+}
+
 void Host::RunFor(SimTime duration) {
   SimTime end = clock_.now() + duration;
   while (clock_.now() < end) {
+    if (fault_injector_ != nullptr) {
+      if (fault_injector_->TakeCrash(fault_site_, clock_.now())) {
+        Status reason = UnavailableError("injected host crash on " + config_.name);
+        for (auto& vm : vms_) {
+          if (vm->state() == VmState::kRunning) {
+            vm->Crash(reason);
+          }
+        }
+      }
+      if (auto until = fault_injector_->PauseUntil(fault_site_, clock_.now())) {
+        // The host is stalled: no vCPU runs, but time and device events
+        // still advance to the window's end (or `end`, whichever first).
+        SimTime stop = std::min(*until, end);
+        if (stop > clock_.now()) {
+          stats_.fault_pause_time += stop - clock_.now();
+          clock_.RunUntil(stop);
+          continue;
+        }
+      }
+    }
     // Pick the pCPU that frees first.
     size_t p = 0;
     for (size_t i = 1; i < pcpu_free_at_.size(); ++i) {

@@ -16,6 +16,10 @@
 #include "src/util/cost_model.h"
 #include "src/util/sim_clock.h"
 
+namespace hyperion::fault {
+class FaultInjector;
+}  // namespace hyperion::fault
+
 namespace hyperion::core {
 
 struct HostConfig {
@@ -69,6 +73,14 @@ class Host {
   // Marks a vCPU not runnable (WFI, stall, halt).
   void BlockVcpu(Vm* vm, uint32_t vcpu);
 
+  // --- Fault injection -----------------------------------------------------
+
+  // Subjects this host to the injector's kHostPause/kHostCrash events under
+  // `site`. During a pause window the run loop schedules no vCPU slices —
+  // simulated time and device events still advance (an SMI-style stall). A
+  // crash event crashes every running VM once. Pass nullptr to detach.
+  void SetFaultInjector(fault::FaultInjector* injector, std::string site);
+
   // Audits FramePool refcounts against every VM's page mappings (KSM share
   // accounting; see src/verify/audit.h). Called automatically after each
   // slice when HYPERION_AUDIT is on — a violation crashes every running VM —
@@ -80,6 +92,7 @@ class Host {
     uint64_t idle_picks = 0;
     uint64_t cycles_executed = 0;
     uint64_t context_switches = 0;
+    SimTime fault_pause_time = 0;  // time spent inside injected pause windows
   };
   const HostStats& stats() const { return stats_; }
 
@@ -107,6 +120,8 @@ class Host {
 
   std::vector<SimTime> pcpu_free_at_;
   std::vector<sched::EntityId> pcpu_last_entity_;
+  fault::FaultInjector* fault_injector_ = nullptr;
+  std::string fault_site_;
   HostStats stats_;
 };
 

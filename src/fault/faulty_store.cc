@@ -1,0 +1,48 @@
+#include "src/fault/faulty_store.h"
+
+namespace hyperion::fault {
+
+Status FaultyBlockStore::ReadSectors(uint64_t lba, uint32_t count,
+                                     uint8_t* out) {
+  HYP_RETURN_IF_ERROR(injector_->OnBlockRead(site_, now()));
+  return inner_->ReadSectors(lba, count, out);
+}
+
+Status FaultyBlockStore::WriteSectors(uint64_t lba, uint32_t count,
+                                      const uint8_t* data) {
+  HYP_RETURN_IF_ERROR(injector_->OnBlockWrite(site_, now()));
+  return inner_->WriteSectors(lba, count, data);
+}
+
+Status FaultyByteStore::ReadAt(uint64_t offset, void* out, size_t n) const {
+  if (dead_) {
+    return UnavailableError("byte store " + site_ + " is dead (torn write)");
+  }
+  return inner_->ReadAt(offset, out, n);
+}
+
+Status FaultyByteStore::WriteAt(uint64_t offset, const void* data, size_t n) {
+  if (dead_) {
+    return UnavailableError("byte store " + site_ + " is dead (torn write)");
+  }
+  std::optional<uint64_t> torn = injector_->OnByteWrite(site_, now(), offset, n);
+  if (!torn.has_value()) {
+    return inner_->WriteAt(offset, data, n);
+  }
+  if (*torn > 0) {
+    HYP_RETURN_IF_ERROR(inner_->WriteAt(offset, data, *torn));
+  }
+  dead_ = true;
+  return UnavailableError("torn write at " + site_ + ": " +
+                          std::to_string(*torn) + " of " + std::to_string(n) +
+                          " bytes persisted before power loss");
+}
+
+Status FaultyByteStore::Sync() {
+  if (dead_) {
+    return UnavailableError("byte store " + site_ + " is dead (torn write)");
+  }
+  return inner_->Sync();
+}
+
+}  // namespace hyperion::fault

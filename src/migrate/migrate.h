@@ -11,13 +11,29 @@
 //
 // Storage is assumed shared between hosts (the standard deployment); only
 // RAM and machine state move.
+//
+// Fault tolerance: when MigrateOptions.fault carries a FaultInjector, every
+// wire transfer is subject to the plan's loss/outage/latency events. The RAM
+// stream moves in chunks; each chunk is retried with exponential backoff up
+// to max_chunk_retries, and pre-copy's pending set makes the stream
+// resumable — only unacked pages are resent. Both flavors guarantee atomic
+// switchover: a migration that fails at any injected point returns an error
+// with the source VM running (if it was running) and consistent, and no VM
+// left on the destination. Only a successful switchover leaves the source
+// paused for the caller to destroy.
 
 #ifndef SRC_MIGRATE_MIGRATE_H_
 #define SRC_MIGRATE_MIGRATE_H_
 
+#include <string>
+
 #include "src/core/host.h"
 #include "src/core/vm.h"
 #include "src/net/network.h"
+
+namespace hyperion::fault {
+class FaultInjector;
+}  // namespace hyperion::fault
 
 namespace hyperion::migrate {
 
@@ -34,6 +50,21 @@ struct MigrateOptions {
   uint32_t background_batch_pages = 32;
   // Post-copy: bound on how long to drive the destination until residency.
   SimTime postcopy_run_limit = 60 * kSimTicksPerSec;
+
+  // --- Fault tolerance -----------------------------------------------------
+  // Injector governing the migration wire (nullptr = fault-free).
+  fault::FaultInjector* fault = nullptr;
+  std::string fault_site = "migrate:link";
+  // RAM moves in chunks of this many pages; a chunk is the loss/retry unit.
+  uint32_t chunk_pages = 128;
+  // Attempts per chunk before the migration aborts (pre-copy/stop-and-copy).
+  uint32_t max_chunk_retries = 6;
+  // First retry delay; doubles per attempt up to the cap.
+  SimTime retry_backoff = 5 * kSimTicksPerMs;
+  SimTime retry_backoff_cap = 500 * kSimTicksPerMs;
+  // Pre-copy: cap on one round's wall time; on expiry the unsent remainder
+  // carries into the next round's pending set. 0 = unlimited.
+  SimTime round_timeout = 0;
 };
 
 struct MigrationReport {
@@ -44,20 +75,40 @@ struct MigrationReport {
   SimTime downtime = 0;         // guest fully paused / unavailable
   uint64_t demand_fetches = 0;  // post-copy only
   SimTime demand_stall_total = 0;
+  // Robustness cost under fault injection:
+  uint64_t retries = 0;         // chunk/fetch retransmissions
+  uint64_t timeouts = 0;        // pre-copy rounds cut off by round_timeout
+  uint64_t pages_resent = 0;    // page transfers repeated due to loss
 
   double DowntimeMs() const { return SimTimeToMs(downtime); }
   double TotalMs() const { return SimTimeToMs(total_time); }
 };
 
+// Field-by-field equality: two reports are equal iff the migrations behaved
+// identically (the chaos harness's determinism oracle).
+inline bool operator==(const MigrationReport& a, const MigrationReport& b) {
+  return a.rounds == b.rounds && a.pages_sent == b.pages_sent &&
+         a.bytes_sent == b.bytes_sent && a.total_time == b.total_time &&
+         a.downtime == b.downtime && a.demand_fetches == b.demand_fetches &&
+         a.demand_stall_total == b.demand_stall_total &&
+         a.retries == b.retries && a.timeouts == b.timeouts &&
+         a.pages_resent == b.pages_resent;
+}
+inline bool operator!=(const MigrationReport& a, const MigrationReport& b) {
+  return !(a == b);
+}
+
 // Migrates `vm` from `src` to `dst` with iterative pre-copy. On success the
 // source VM is left paused (caller destroys it) and the returned pointer is
-// the running destination VM. The report lands in *report.
+// the running destination VM. The report lands in *report — also on failure,
+// where it records the progress made before the abort.
 Result<core::Vm*> PreCopyMigrate(core::Host& src, core::Vm* vm, core::Host& dst,
                                  const MigrateOptions& options, MigrationReport* report);
 
 // Migrates `vm` with post-copy: instant switchover, then demand paging. The
 // destination host is driven until every needed page is resident (or the
-// run limit hits, which fails the migration).
+// run limit hits, which fails the migration, destroys the destination VM,
+// and resumes the source — switchover rolls back).
 Result<core::Vm*> PostCopyMigrate(core::Host& src, core::Vm* vm, core::Host& dst,
                                   const MigrateOptions& options, MigrationReport* report);
 

@@ -1,6 +1,28 @@
 #include "src/net/network.h"
 
+#include "src/fault/fault.h"
+
 namespace hyperion::net {
+
+SimTime Link::TransferFaulty(size_t bytes, std::function<void()> on_done,
+                             std::function<void()> on_lost) {
+  if (injector_ == nullptr) {
+    return Transfer(bytes, std::move(on_done));
+  }
+  SimTime start = std::max(clock_->now(), busy_until_);
+  SimTime base = params_.TransmitTime(bytes) + params_.latency;
+  fault::TransferFault f = injector_->OnTransfer(fault_site_, start, base);
+  SimTime done = start + base + f.extra_latency;
+  busy_until_ = start + params_.TransmitTime(bytes);
+  bytes_carried_ += bytes;
+  if (f.lost) {
+    ++transfers_lost_;
+    clock_->ScheduleAt(done, std::move(on_lost));
+  } else {
+    clock_->ScheduleAt(done, std::move(on_done));
+  }
+  return done;
+}
 
 Status VirtualSwitch::Attach(MacAddr addr, FrameSink* sink, LinkParams params) {
   if (addr == kBroadcast) {
@@ -44,10 +66,29 @@ void VirtualSwitch::Send(Frame frame) {
 }
 
 void VirtualSwitch::DeliverTo(MacAddr dst_key, PortState& port, const Frame& frame) {
-  // The port may detach while the frame is in flight, so the closure looks
-  // the port up again by address at delivery time.
   size_t wire = frame.wire_bytes();
-  port.link.Transfer(wire, [this, dst_key, frame] {
+  uint32_t copies = 1;
+  SimTime extra_latency = 0;
+  if (injector_ != nullptr) {
+    fault::FrameFault ff =
+        injector_->OnFrame(fault_site_, clock_->now(), frame.src, dst_key);
+    if (ff.drop) {
+      ++stats_.frames_dropped;
+      ++stats_.frames_injected_dropped;
+      return;
+    }
+    copies += ff.duplicates;
+    stats_.frames_injected_duplicated += ff.duplicates;
+    extra_latency = ff.extra_latency;
+    if (extra_latency != 0) {
+      ++stats_.frames_injected_delayed;
+    }
+  }
+  // The port may detach while the frame is in flight, so the closure looks
+  // the port up again by address at delivery time. An injected delay lands
+  // after the wire time, so delayed frames are genuinely overtaken by
+  // later undelayed traffic (reordering).
+  auto deliver = [this, dst_key, frame] {
     auto it = ports_.find(dst_key);
     if (it == ports_.end()) {
       ++stats_.frames_dropped;  // port detached in flight
@@ -56,7 +97,11 @@ void VirtualSwitch::DeliverTo(MacAddr dst_key, PortState& port, const Frame& fra
     ++stats_.frames_delivered;
     stats_.bytes_delivered += frame.wire_bytes();
     it->second->sink->OnFrame(frame);
-  });
+  };
+  for (uint32_t c = 0; c < copies; ++c) {
+    SimTime done = port.link.ScheduleTransfer(wire);
+    clock_->ScheduleAt(done + extra_latency, deliver);
+  }
 }
 
 }  // namespace hyperion::net

@@ -12,10 +12,15 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/util/sim_clock.h"
 #include "src/util/status.h"
+
+namespace hyperion::fault {
+class FaultInjector;
+}  // namespace hyperion::fault
 
 namespace hyperion::net {
 
@@ -38,9 +43,13 @@ struct LinkParams {
   uint64_t bandwidth_bps = 10'000'000'000ull;  // 10 Gb/s
   SimTime latency = 5 * kSimTicksPerUs;        // propagation + switching
 
+  // Serialization delay in cycles (1 cycle == 1 ns), in pure integer
+  // arithmetic: `double` loses integer precision past 2^53 intermediate
+  // values (a multi-GiB transfer), making timings platform/rounding
+  // dependent. The 128-bit product cannot overflow for any size_t input.
   SimTime TransmitTime(size_t bytes) const {
-    return static_cast<SimTime>(static_cast<double>(bytes) * 8.0 * 1e9 /
-                                static_cast<double>(bandwidth_bps));
+    return static_cast<SimTime>(static_cast<unsigned __int128>(bytes) * 8u *
+                                1'000'000'000ull / bandwidth_bps);
   }
 };
 
@@ -69,14 +78,31 @@ class Link {
     return done;
   }
 
+  // Attaches a fault injector; `site` names this link in the FaultPlan.
+  void SetFault(fault::FaultInjector* injector, std::string site) {
+    injector_ = injector;
+    fault_site_ = std::move(site);
+  }
+
+  // Like Transfer, but consults the fault injector: exactly one of
+  // `on_done` (delivered) or `on_lost` (transfer lost in flight) fires at
+  // the transfer's would-be completion time. Without an injector this is
+  // Transfer(). Injected latency spikes extend the completion time.
+  SimTime TransferFaulty(size_t bytes, std::function<void()> on_done,
+                         std::function<void()> on_lost);
+
   uint64_t bytes_carried() const { return bytes_carried_; }
+  uint64_t transfers_lost() const { return transfers_lost_; }
   SimTime busy_until() const { return busy_until_; }
 
  private:
   SimClock* clock_;
   LinkParams params_;
+  fault::FaultInjector* injector_ = nullptr;
+  std::string fault_site_;
   SimTime busy_until_ = 0;
   uint64_t bytes_carried_ = 0;
+  uint64_t transfers_lost_ = 0;
 };
 
 // Receives frames delivered by the switch.
@@ -100,11 +126,23 @@ class VirtualSwitch {
   // Queues `frame` for delivery. Invalid frames are counted and dropped.
   void Send(Frame frame);
 
+  // Attaches a fault injector; every frame delivery attempt is then subject
+  // to the plan's drop/duplicate/reorder/latency/partition events under
+  // `site`. Injected effects are tallied separately in Stats.
+  void SetFault(fault::FaultInjector* injector, std::string site) {
+    injector_ = injector;
+    fault_site_ = std::move(site);
+  }
+
   struct Stats {
     uint64_t frames_sent = 0;
     uint64_t frames_delivered = 0;
     uint64_t frames_dropped = 0;  // unknown destination or oversized
     uint64_t bytes_delivered = 0;
+    // Fault-injection tallies (subsets of the counters above).
+    uint64_t frames_injected_dropped = 0;
+    uint64_t frames_injected_duplicated = 0;
+    uint64_t frames_injected_delayed = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -118,6 +156,8 @@ class VirtualSwitch {
 
   SimClock* clock_;
   std::map<MacAddr, std::unique_ptr<PortState>> ports_;
+  fault::FaultInjector* injector_ = nullptr;
+  std::string fault_site_;
   Stats stats_;
 };
 

@@ -33,7 +33,7 @@ Result<std::unique_ptr<HvdImage>> HvdImage::Create(std::unique_ptr<ByteStore> st
   image->backing_name_ = std::move(backing_name);
 
   uint64_t cluster = image->cluster_size();
-  uint64_t entries_per_l2 = cluster / 8;
+  uint64_t entries_per_l2 = cluster / kL2EntryBytes;
   uint64_t clusters = RoundUp(virtual_size, cluster) / cluster;
   image->l1_entries_ = static_cast<uint32_t>((clusters + entries_per_l2 - 1) / entries_per_l2);
   image->l1_offset_ = cluster;  // header occupies cluster 0
@@ -95,21 +95,45 @@ Result<std::unique_ptr<HvdImage>> HvdImage::Open(std::unique_ptr<ByteStore> stor
   image->store_ = std::move(store);
   image->next_alloc_ = RoundUp(image->store_->size(), image->cluster_size());
 
-  // Count allocated clusters for reporting.
-  uint64_t entries_per_l2 = image->cluster_size() / 8;
+  // Count allocated clusters for reporting, and verify every one against
+  // its CRC — a crash may have torn an unpublished cluster (harmless, it is
+  // unreachable), but a published cluster that fails its checksum means the
+  // medium lied and the image must be rejected.
+  uint64_t entries_per_l2 = image->cluster_size() / kL2EntryBytes;
   for (uint32_t i = 0; i < image->l1_entries_; ++i) {
     HYP_ASSIGN_OR_RETURN(uint64_t l2_off, image->ReadTableEntry(image->l1_offset_ + i * 8));
     if (l2_off == 0) {
       continue;
     }
     for (uint64_t j = 0; j < entries_per_l2; ++j) {
-      HYP_ASSIGN_OR_RETURN(uint64_t c, image->ReadTableEntry(l2_off + j * 8));
-      if (c != 0) {
+      HYP_ASSIGN_OR_RETURN(ClusterRef ref,
+                           image->ReadClusterRef(l2_off + j * kL2EntryBytes));
+      if (ref.offset != 0) {
         ++image->allocated_clusters_;
       }
     }
   }
+  HYP_RETURN_IF_ERROR(image->VerifyAllClusters());
   return image;
+}
+
+Status HvdImage::VerifyAllClusters() {
+  uint64_t entries_per_l2 = cluster_size() / kL2EntryBytes;
+  std::vector<uint8_t> buf(cluster_size());
+  for (uint32_t i = 0; i < l1_entries_; ++i) {
+    HYP_ASSIGN_OR_RETURN(uint64_t l2_off, ReadTableEntry(l1_offset_ + i * 8));
+    if (l2_off == 0) {
+      continue;
+    }
+    for (uint64_t j = 0; j < entries_per_l2; ++j) {
+      HYP_ASSIGN_OR_RETURN(ClusterRef ref, ReadClusterRef(l2_off + j * kL2EntryBytes));
+      if (ref.offset == 0) {
+        continue;
+      }
+      HYP_RETURN_IF_ERROR(ReadVerifiedCluster(ref, buf.data()));
+    }
+  }
+  return OkStatus();
 }
 
 Status HvdImage::WriteHeader() {
@@ -142,16 +166,47 @@ Status HvdImage::WriteTableEntry(uint64_t entry_offset, uint64_t value) {
   return store_->WriteAt(entry_offset, &value, 8);
 }
 
+Result<HvdImage::ClusterRef> HvdImage::ReadClusterRef(uint64_t entry_offset) {
+  ClusterRef ref;
+  if (entry_offset + kL2EntryBytes > store_->size()) {
+    return ref;  // sparse region never written: entry is zero
+  }
+  uint8_t raw[kL2EntryBytes];
+  HYP_RETURN_IF_ERROR(store_->ReadAt(entry_offset, raw, sizeof(raw)));
+  std::memcpy(&ref.offset, raw, 8);
+  std::memcpy(&ref.crc, raw + 8, 4);
+  return ref;
+}
+
+Status HvdImage::WriteClusterRef(uint64_t entry_offset, const ClusterRef& ref) {
+  // One 16-byte write, 16-byte aligned within its table cluster, so it never
+  // straddles a sector: the publish is all-or-nothing on a torn medium.
+  uint8_t raw[kL2EntryBytes] = {0};
+  std::memcpy(raw, &ref.offset, 8);
+  std::memcpy(raw + 8, &ref.crc, 4);
+  return store_->WriteAt(entry_offset, raw, sizeof(raw));
+}
+
+Status HvdImage::ReadVerifiedCluster(const ClusterRef& ref, uint8_t* out) {
+  HYP_RETURN_IF_ERROR(store_->ReadAt(ref.offset, out, cluster_size()));
+  uint32_t crc = Crc32(out, cluster_size());
+  if (crc != ref.crc) {
+    return DataLossError("HVD cluster at offset " + std::to_string(ref.offset) +
+                         " fails its CRC (torn write or corruption)");
+  }
+  return OkStatus();
+}
+
 uint64_t HvdImage::AllocateRaw() {
   uint64_t off = next_alloc_;
   next_alloc_ += cluster_size();
   return off;
 }
 
-Result<uint64_t> HvdImage::LookupCluster(uint64_t voff) {
+Result<HvdImage::ClusterRef> HvdImage::LookupCluster(uint64_t voff) {
   uint64_t cluster = cluster_size();
   uint64_t index = voff / cluster;
-  uint64_t entries_per_l2 = cluster / 8;
+  uint64_t entries_per_l2 = cluster / kL2EntryBytes;
   uint32_t l1 = static_cast<uint32_t>(index / entries_per_l2);
   uint64_t l2_index = index % entries_per_l2;
   if (l1 >= l1_entries_) {
@@ -159,47 +214,69 @@ Result<uint64_t> HvdImage::LookupCluster(uint64_t voff) {
   }
   HYP_ASSIGN_OR_RETURN(uint64_t l2_off, ReadTableEntry(l1_offset_ + l1 * 8));
   if (l2_off == 0) {
-    return uint64_t{0};
+    return ClusterRef{};
   }
-  return ReadTableEntry(l2_off + l2_index * 8);
+  return ReadClusterRef(l2_off + l2_index * kL2EntryBytes);
 }
 
-Result<uint64_t> HvdImage::EnsureCluster(uint64_t voff) {
+Result<uint64_t> HvdImage::EnsureL2Table(uint64_t index) {
   uint64_t cluster = cluster_size();
-  uint64_t index = voff / cluster;
-  uint64_t entries_per_l2 = cluster / 8;
+  uint64_t entries_per_l2 = cluster / kL2EntryBytes;
   uint32_t l1 = static_cast<uint32_t>(index / entries_per_l2);
-  uint64_t l2_index = index % entries_per_l2;
   if (l1 >= l1_entries_) {
     return OutOfRangeError("virtual offset past image end");
   }
   HYP_ASSIGN_OR_RETURN(uint64_t l2_off, ReadTableEntry(l1_offset_ + l1 * 8));
   if (l2_off == 0) {
+    // Zero-fill the fresh table before publishing its L1 entry: a crash
+    // between the two leaves the table unreachable, not half-initialized.
     l2_off = AllocateRaw();
     std::vector<uint8_t> zeros(cluster, 0);
     HYP_RETURN_IF_ERROR(store_->WriteAt(l2_off, zeros.data(), zeros.size()));
     HYP_RETURN_IF_ERROR(WriteTableEntry(l1_offset_ + l1 * 8, l2_off));
   }
-  HYP_ASSIGN_OR_RETURN(uint64_t data_off, ReadTableEntry(l2_off + l2_index * 8));
-  if (data_off == 0) {
-    data_off = AllocateRaw();
-    // COW fill: seed the fresh cluster from the backing image (or zeros).
-    std::vector<uint8_t> seed(cluster, 0);
-    uint64_t cluster_voff = index * cluster;
-    if (backing_ != nullptr) {
+  return l2_off;
+}
+
+Status HvdImage::WriteClusterSpan(uint64_t voff, uint64_t in_cluster,
+                                  const uint8_t* data, uint64_t chunk) {
+  uint64_t cluster = cluster_size();
+  uint64_t index = voff / cluster;
+  uint64_t entries_per_l2 = cluster / kL2EntryBytes;
+  uint64_t l2_index = index % entries_per_l2;
+  HYP_ASSIGN_OR_RETURN(uint64_t l2_off, EnsureL2Table(index));
+  uint64_t entry_off = l2_off + l2_index * kL2EntryBytes;
+  HYP_ASSIGN_OR_RETURN(ClusterRef old_ref, ReadClusterRef(entry_off));
+
+  // Build the cluster's new contents: the written span merged over the old
+  // cluster (verified), the backing image, or zeros.
+  std::vector<uint8_t> buf(cluster, 0);
+  if (chunk < cluster) {
+    if (old_ref.offset != 0) {
+      HYP_RETURN_IF_ERROR(ReadVerifiedCluster(old_ref, buf.data()));
+    } else if (backing_ != nullptr) {
+      uint64_t cluster_voff = index * cluster;
       uint64_t backing_bytes = backing_->num_sectors() * kSectorSize;
       if (cluster_voff < backing_bytes) {
         uint64_t n = std::min<uint64_t>(cluster, backing_bytes - cluster_voff);
         HYP_RETURN_IF_ERROR(backing_->ReadSectors(cluster_voff / kSectorSize,
                                                   static_cast<uint32_t>(n / kSectorSize),
-                                                  seed.data()));
+                                                  buf.data()));
       }
     }
-    HYP_RETURN_IF_ERROR(store_->WriteAt(data_off, seed.data(), seed.size()));
-    HYP_RETURN_IF_ERROR(WriteTableEntry(l2_off + l2_index * 8, data_off));
+  }
+  std::memcpy(buf.data() + in_cluster, data, chunk);
+
+  // Redirect-on-write: land the bytes out of place, then publish atomically.
+  // A tear during the data write leaves the old entry (and cluster) intact.
+  uint64_t fresh = AllocateRaw();
+  HYP_RETURN_IF_ERROR(store_->WriteAt(fresh, buf.data(), buf.size()));
+  ClusterRef new_ref{fresh, Crc32(buf.data(), buf.size())};
+  HYP_RETURN_IF_ERROR(WriteClusterRef(entry_off, new_ref));
+  if (old_ref.offset == 0) {
     ++allocated_clusters_;
   }
-  return data_off;
+  return OkStatus();
 }
 
 Status HvdImage::ReadSectors(uint64_t lba, uint32_t count, uint8_t* out) {
@@ -214,12 +291,15 @@ Status HvdImage::WriteSectors(uint64_t lba, uint32_t count, const uint8_t* data)
 
 Status HvdImage::ReadRange(uint64_t offset, uint8_t* out, uint64_t n) {
   uint64_t cluster = cluster_size();
+  std::vector<uint8_t> scratch(cluster);
   while (n > 0) {
     uint64_t in_cluster = offset % cluster;
     uint64_t chunk = std::min(n, cluster - in_cluster);
-    HYP_ASSIGN_OR_RETURN(uint64_t data_off, LookupCluster(offset));
-    if (data_off != 0) {
-      HYP_RETURN_IF_ERROR(store_->ReadAt(data_off + in_cluster, out, chunk));
+    HYP_ASSIGN_OR_RETURN(ClusterRef ref, LookupCluster(offset));
+    if (ref.offset != 0) {
+      // Whole-cluster read so the CRC can vouch for the returned span.
+      HYP_RETURN_IF_ERROR(ReadVerifiedCluster(ref, scratch.data()));
+      std::memcpy(out, scratch.data() + in_cluster, chunk);
     } else if (backing_ != nullptr) {
       // Fall through to the backing image sector-by-sector-aligned range.
       uint64_t backing_bytes = backing_->num_sectors() * kSectorSize;
@@ -249,8 +329,7 @@ Status HvdImage::WriteRange(uint64_t offset, const uint8_t* data, uint64_t n) {
   while (n > 0) {
     uint64_t in_cluster = offset % cluster;
     uint64_t chunk = std::min(n, cluster - in_cluster);
-    HYP_ASSIGN_OR_RETURN(uint64_t data_off, EnsureCluster(offset));
-    HYP_RETURN_IF_ERROR(store_->WriteAt(data_off + in_cluster, data, chunk));
+    HYP_RETURN_IF_ERROR(WriteClusterSpan(offset, in_cluster, data, chunk));
     data += chunk;
     offset += chunk;
     n -= chunk;

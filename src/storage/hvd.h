@@ -1,10 +1,23 @@
 // HVD: hyperion virtual disk — a qcow-style copy-on-write image format.
 //
 // Layout: a header cluster, an L1 table of offsets to L2 tables, L2 tables
-// of offsets to data clusters. Unallocated clusters read through to the
-// backing image (or zeros). Writes allocate at end-of-file and COW the
-// backing contents, so overlays ("clone from template", "disk snapshot")
-// are O(1) to create regardless of image size.
+// of 16-byte entries {data cluster offset, CRC32 of the cluster's contents}.
+// Unallocated clusters read through to the backing image (or zeros). Writes
+// allocate at end-of-file and COW the backing contents, so overlays ("clone
+// from template", "disk snapshot") are O(1) to create regardless of image
+// size.
+//
+// Crash consistency (v2): data clusters are never updated in place. Every
+// guest write builds the cluster's new contents in a freshly allocated
+// cluster and then publishes {offset, crc} with a single 16-byte L2 entry
+// update. The medium persists whole 512-byte sectors atomically and an L2
+// entry never straddles a sector boundary, so a write torn at any point
+// leaves the entry either old or new — the old data cluster is untouched
+// either way. The per-cluster CRC side-structure turns any other torn state
+// (a half-written data or table cluster that was not yet published) into a
+// detected error instead of silent garbage; VerifyAllClusters() runs the
+// full check and Open() performs it automatically. Superseded clusters leak
+// until offline compaction (not modeled), the standard log-structured trade.
 //
 // Snapshot model: external/overlay snapshots only — freeze an image by
 // stacking a fresh overlay on top of it — so no refcount tables are needed.
@@ -23,8 +36,9 @@ namespace hyperion::storage {
 class HvdImage final : public BlockStore {
  public:
   static constexpr uint32_t kMagic = 0x31445648;  // "HVD1"
-  static constexpr uint32_t kVersion = 1;
+  static constexpr uint32_t kVersion = 2;         // 2: CRC'd redirect-on-write
   static constexpr uint32_t kDefaultClusterBits = 16;  // 64 KiB clusters
+  static constexpr uint32_t kL2EntryBytes = 16;   // {u64 offset, u32 crc, pad}
 
   // Creates a fresh, fully sparse image of `virtual_size` bytes (must be a
   // multiple of the sector size) in `store`. `backing_name` is recorded in
@@ -54,21 +68,40 @@ class HvdImage final : public BlockStore {
   Status WriteSectors(uint64_t lba, uint32_t count, const uint8_t* data) override;
   Status Flush() override { return store_->Sync(); }
 
+  // Reads every allocated data cluster and checks it against its L2 CRC.
+  // A mismatch (torn or bit-rotted cluster) returns kDataLoss.
+  Status VerifyAllClusters();
+
  private:
   HvdImage() = default;
+
+  // A published data cluster: its store offset and contents CRC.
+  struct ClusterRef {
+    uint64_t offset = 0;  // 0 = unallocated
+    uint32_t crc = 0;
+  };
 
   Status WriteHeader();
   Status ReadRange(uint64_t offset, uint8_t* out, uint64_t n);
   Status WriteRange(uint64_t offset, const uint8_t* data, uint64_t n);
 
-  // Returns the file offset of the data cluster covering virtual offset
-  // `voff`, or 0 when unallocated.
-  Result<uint64_t> LookupCluster(uint64_t voff);
-  // Like LookupCluster but allocates (with COW fill) when absent.
-  Result<uint64_t> EnsureCluster(uint64_t voff);
+  // Returns the entry for the data cluster covering virtual offset `voff`
+  // (offset 0 when unallocated).
+  Result<ClusterRef> LookupCluster(uint64_t voff);
+  // Redirect-on-write: writes [in_cluster, in_cluster+chunk) of the cluster
+  // covering `voff` into a fresh cluster (merging old/backing contents) and
+  // atomically publishes the new {offset, crc}.
+  Status WriteClusterSpan(uint64_t voff, uint64_t in_cluster,
+                          const uint8_t* data, uint64_t chunk);
+  // Reads the full data cluster at `ref` into `out` and verifies its CRC.
+  Status ReadVerifiedCluster(const ClusterRef& ref, uint8_t* out);
 
-  Result<uint64_t> ReadTableEntry(uint64_t entry_offset);
+  Result<uint64_t> ReadTableEntry(uint64_t entry_offset);   // L1 (8 bytes)
   Status WriteTableEntry(uint64_t entry_offset, uint64_t value);
+  Result<ClusterRef> ReadClusterRef(uint64_t entry_offset);  // L2 (16 bytes)
+  Status WriteClusterRef(uint64_t entry_offset, const ClusterRef& ref);
+  // Finds (or allocates and publishes) the L2 table for cluster `index`.
+  Result<uint64_t> EnsureL2Table(uint64_t index);
   uint64_t AllocateRaw();  // reserves one cluster-aligned region at EOF
 
   std::unique_ptr<ByteStore> store_;

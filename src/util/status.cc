@@ -24,6 +24,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "DATA_LOSS";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kAborted:
+      return "ABORTED";
   }
   return "UNKNOWN";
 }
@@ -66,6 +70,12 @@ Status DataLossError(std::string message) {
 }
 Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
+Status AbortedError(std::string message) {
+  return Status(StatusCode::kAborted, std::move(message));
 }
 
 }  // namespace hyperion

@@ -27,6 +27,8 @@ enum class StatusCode {
   kUnimplemented,     // feature intentionally absent
   kDataLoss,          // corrupt image / bad checksum
   kInternal,          // invariant violated (a bug)
+  kUnavailable,       // transient failure (fault injection, link down); retryable
+  kAborted,           // operation gave up after retries; state rolled back
 };
 
 // Returns a stable human-readable name, e.g. "OUT_OF_RANGE".
@@ -69,6 +71,8 @@ Status FailedPreconditionError(std::string message);
 Status UnimplementedError(std::string message);
 Status DataLossError(std::string message);
 Status InternalError(std::string message);
+Status UnavailableError(std::string message);
+Status AbortedError(std::string message);
 
 // A value-or-error. Access to value() on an error aborts in debug builds.
 template <typename T>

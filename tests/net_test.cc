@@ -30,6 +30,20 @@ TEST(LinkParamsTest, TransmitTimeScalesWithSize) {
   EXPECT_EQ(p.TransmitTime(2500), 2 * p.TransmitTime(1250));
 }
 
+TEST(LinkParamsTest, TransmitTimeIsExactForHugeTransfers) {
+  // At 8 Gb/s one byte costs exactly one cycle, so TransmitTime must be the
+  // identity for every size — including past 2^53, where the old
+  // double-based arithmetic rounded the product and drifted.
+  LinkParams p;
+  p.bandwidth_bps = 8'000'000'000ull;
+  EXPECT_EQ(p.TransmitTime(1), 1u);
+  EXPECT_EQ(p.TransmitTime((1ull << 53) + 1), (1ull << 53) + 1);
+  EXPECT_EQ(p.TransmitTime((1ull << 60) + 12345), (1ull << 60) + 12345);
+  // Strict monotonicity survives at the scale where doubles collapse
+  // adjacent integers.
+  EXPECT_LT(p.TransmitTime(1ull << 53), p.TransmitTime((1ull << 53) + 1));
+}
+
 TEST(LinkTest, TransferCompletesAfterLatencyPlusTransmit) {
   SimClock clock;
   LinkParams p;

@@ -3,9 +3,13 @@
 #
 #   1. plain build + tier-1 test suite
 #   2. the same suite with the runtime invariant auditors on (HYPERION_AUDIT=1)
-#   3. AddressSanitizer build + suite
-#   4. UndefinedBehaviorSanitizer build + suite
-#   5. clang-tidy lint (skipped gracefully where clang-tidy is absent)
+#   3. chaos: the seeded fault-injection sweeps (fixed seed ranges baked into
+#      tests/chaos_test.cc) rerun with the auditors on — migration must either
+#      converge with zero divergence or roll back to a source that still
+#      passes every invariant audit
+#   4. AddressSanitizer build + suite (includes the chaos sweeps)
+#   5. UndefinedBehaviorSanitizer build + suite (includes the chaos sweeps)
+#   6. clang-tidy lint (skipped gracefully where clang-tidy is absent)
 #
 # Usage: tools/ci.sh [--fast]     --fast skips the sanitizer builds.
 
@@ -23,23 +27,28 @@ run_suite() {  # run_suite <build-dir> [extra cmake flags...]
   (cd "$dir" && ctest --output-on-failure -j "$JOBS")
 }
 
-echo "=== [1/5] plain build + tests ==="
+CHAOS_FILTER='ChaosTest|FaultPlanTest|InjectorTest|FaultyStoreTest|SwitchFaultTest|DeviceFaultTest|HvdCrashTest'
+
+echo "=== [1/6] plain build + tests ==="
 run_suite build
 
-echo "=== [2/5] tests under HYPERION_AUDIT=1 ==="
+echo "=== [2/6] tests under HYPERION_AUDIT=1 ==="
 (cd build && HYPERION_AUDIT=1 ctest --output-on-failure -j "$JOBS")
 
+echo "=== [3/6] chaos: seeded fault-injection sweeps under audit ==="
+(cd build && HYPERION_AUDIT=1 ctest -R "$CHAOS_FILTER" --output-on-failure -j "$JOBS")
+
 if [ "$FAST" = "0" ]; then
-  echo "=== [3/5] AddressSanitizer ==="
+  echo "=== [4/6] AddressSanitizer (suite + chaos sweeps) ==="
   run_suite build-asan -DHYPERION_SANITIZE=address
 
-  echo "=== [4/5] UndefinedBehaviorSanitizer ==="
+  echo "=== [5/6] UndefinedBehaviorSanitizer (suite + chaos sweeps) ==="
   run_suite build-ubsan -DHYPERION_SANITIZE=undefined
 else
-  echo "=== [3/5][4/5] sanitizers skipped (--fast) ==="
+  echo "=== [4/6][5/6] sanitizers skipped (--fast) ==="
 fi
 
-echo "=== [5/5] lint ==="
+echo "=== [6/6] lint ==="
 tools/run_lint.sh build
 
 echo "ci: all stages passed"

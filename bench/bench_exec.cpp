@@ -4,7 +4,12 @@
 // Expected shape: once blocks are hot, the DBT engine retires guest
 // instructions several times faster than the per-instruction decoder; the
 // translation-cache stats show one translation amortized over thousands of
-// executions.
+// executions. The cold variants include boot + translation of every block;
+// the hot variants rerun the same image on a warmed machine (translation
+// cache, superblocks and fast-translation array already populated). The SMC
+// churn variant mixes a hot kernel with per-sweep self-modifying code and a
+// helper working set larger than the translation cache, punishing full-flush
+// eviction policies.
 
 #include <benchmark/benchmark.h>
 
@@ -15,14 +20,34 @@ using namespace hyperion::bench;
 
 namespace {
 
-// One compute kernel execution = `iters` outer loops of ~72 instructions.
+void ReportEngineCounters(benchmark::State& state, const cpu::VcpuStats& stats,
+                          uint64_t instructions, cpu::EngineKind kind) {
+  state.counters["guest_mips"] = benchmark::Counter(
+      static_cast<double>(instructions) / 1e6, benchmark::Counter::kIsRate);
+  if (kind != cpu::EngineKind::kDbt) {
+    return;
+  }
+  uint64_t executions = stats.block_executions + stats.trace_executions;
+  if (stats.blocks_translated > 0) {
+    state.counters["execs_per_translation"] =
+        static_cast<double>(executions) / static_cast<double>(stats.blocks_translated);
+  }
+  state.counters["chain_hits"] = static_cast<double>(stats.chain_hits);
+  state.counters["traces_formed"] = static_cast<double>(stats.traces_formed);
+  state.counters["trace_execs"] = static_cast<double>(stats.trace_executions);
+  state.counters["evict_surgical"] = static_cast<double>(stats.evictions_surgical);
+  state.counters["evict_full"] = static_cast<double>(stats.evictions_full);
+  state.counters["fastpath_hits"] = static_cast<double>(stats.mem_fastpath_hits);
+}
+
+// Cold phase: every benchmark iteration boots a fresh machine, so the cost
+// includes translating every block once.
 void RunEngine(benchmark::State& state, cpu::EngineKind kind) {
   const uint32_t iters = static_cast<uint32_t>(state.range(0));
   std::string prog = guest::ComputeProgram(iters);
 
   uint64_t instructions = 0;
-  uint64_t blocks_translated = 0;
-  uint64_t block_executions = 0;
+  cpu::VcpuStats stats;
   for (auto _ : state) {
     MiniMachine m(1u << 20, mmu::PagingMode::kNested, kind);
     if (!m.Load(prog)) {
@@ -35,15 +60,9 @@ void RunEngine(benchmark::State& state, cpu::EngineKind kind) {
       return;
     }
     instructions += m.ctx().stats.instructions;
-    blocks_translated += m.ctx().stats.blocks_translated;
-    block_executions += m.ctx().stats.block_executions;
+    stats = m.ctx().stats;
   }
-  state.counters["guest_mips"] = benchmark::Counter(
-      static_cast<double>(instructions) / 1e6, benchmark::Counter::kIsRate);
-  if (kind == cpu::EngineKind::kDbt && blocks_translated > 0) {
-    state.counters["execs_per_translation"] =
-        static_cast<double>(block_executions) / static_cast<double>(blocks_translated);
-  }
+  ReportEngineCounters(state, stats, instructions, kind);
 }
 
 void BM_Interpreter(benchmark::State& state) {
@@ -51,6 +70,49 @@ void BM_Interpreter(benchmark::State& state) {
 }
 
 void BM_Dbt(benchmark::State& state) { RunEngine(state, cpu::EngineKind::kDbt); }
+
+// Hot phase: one machine, warmed once; each iteration rewinds architectural
+// state and reruns the image against the warm translation cache.
+void RunEngineHot(benchmark::State& state, cpu::EngineKind kind) {
+  const uint32_t iters = static_cast<uint32_t>(state.range(0));
+  std::string prog = guest::ComputeProgram(iters);
+
+  MiniMachine m(1u << 20, mmu::PagingMode::kNested, kind);
+  if (!m.Load(prog)) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  if (m.RunToHalt().reason != cpu::ExitReason::kHalt) {
+    state.SkipWithError("warmup did not halt");
+    return;
+  }
+  uint64_t start_instructions = m.ctx().stats.instructions;
+  cpu::VcpuStats start_stats = m.ctx().stats;
+  for (auto _ : state) {
+    m.ResetGuest();
+    auto r = m.RunToHalt();
+    if (r.reason != cpu::ExitReason::kHalt) {
+      state.SkipWithError("guest did not halt");
+      return;
+    }
+  }
+  cpu::VcpuStats stats = m.ctx().stats;
+  stats.blocks_translated -= start_stats.blocks_translated;
+  stats.block_executions -= start_stats.block_executions;
+  stats.trace_executions -= start_stats.trace_executions;
+  stats.chain_hits -= start_stats.chain_hits;
+  stats.traces_formed -= start_stats.traces_formed;
+  stats.evictions_surgical -= start_stats.evictions_surgical;
+  stats.evictions_full -= start_stats.evictions_full;
+  stats.mem_fastpath_hits -= start_stats.mem_fastpath_hits;
+  ReportEngineCounters(state, stats, m.ctx().stats.instructions - start_instructions, kind);
+}
+
+void BM_InterpreterHot(benchmark::State& state) {
+  RunEngineHot(state, cpu::EngineKind::kInterpreter);
+}
+
+void BM_DbtHot(benchmark::State& state) { RunEngineHot(state, cpu::EngineKind::kDbt); }
 
 // Memory-heavy variant: translations interleave with TLB lookups.
 void RunEngineMem(benchmark::State& state, cpu::EngineKind kind) {
@@ -80,11 +142,53 @@ void BM_InterpreterMemTouch(benchmark::State& state) {
 
 void BM_DbtMemTouch(benchmark::State& state) { RunEngineMem(state, cpu::EngineKind::kDbt); }
 
+// Code churn: hot kernel + a rotating 8-wide window over 64 page-aligned
+// helpers (one cold block each) + one helper rewritten per sweep, on a
+// deliberately small 48-block translation cache. Capacity pressure builds
+// across sweeps; a full-flush policy discards the hot kernel along with the
+// cold helpers, a surgical policy retranslates only the helpers.
+void RunEngineSmc(benchmark::State& state, cpu::EngineKind kind) {
+  guest::SmcChurnParams p;
+  p.funcs = 64;
+  p.kernel_iters = 200;
+  p.sweeps = static_cast<uint32_t>(state.range(0));
+  std::string prog = guest::SmcChurnProgram(p);
+
+  uint64_t instructions = 0;
+  cpu::VcpuStats stats;
+  for (auto _ : state) {
+    MiniMachine m(1u << 20, mmu::PagingMode::kNested, kind,
+                  cpu::VirtMode::kHardwareAssist, /*dbt_max_blocks=*/48);
+    if (!m.Load(prog)) {
+      state.SkipWithError("load failed");
+      return;
+    }
+    auto r = m.RunToHalt();
+    if (r.reason != cpu::ExitReason::kHalt) {
+      state.SkipWithError("guest did not halt");
+      return;
+    }
+    instructions += m.ctx().stats.instructions;
+    stats = m.ctx().stats;
+  }
+  ReportEngineCounters(state, stats, instructions, kind);
+}
+
+void BM_InterpreterSmcChurn(benchmark::State& state) {
+  RunEngineSmc(state, cpu::EngineKind::kInterpreter);
+}
+
+void BM_DbtSmcChurn(benchmark::State& state) { RunEngineSmc(state, cpu::EngineKind::kDbt); }
+
 }  // namespace
 
 BENCHMARK(BM_Interpreter)->Arg(20000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Dbt)->Arg(20000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_InterpreterHot)->Arg(20000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DbtHot)->Arg(20000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_InterpreterMemTouch)->Arg(50)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DbtMemTouch)->Arg(50)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_InterpreterSmcChurn)->Arg(200)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DbtSmcChurn)->Arg(200)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -72,13 +72,18 @@ inline uint32_t Progress(core::Vm* vm, const std::string& source) {
 
 class MiniMachine {
  public:
+  // `dbt_max_blocks` != 0 sizes the DBT translation cache (capacity-pressure
+  // experiments); 0 keeps the engine default.
   MiniMachine(uint32_t ram_bytes, mmu::PagingMode paging, cpu::EngineKind engine,
-              cpu::VirtMode virt_mode = cpu::VirtMode::kHardwareAssist)
+              cpu::VirtMode virt_mode = cpu::VirtMode::kHardwareAssist,
+              size_t dbt_max_blocks = 0)
       : pool_(2 * (ram_bytes / isa::kPageSize) + 64) {
     auto mem = mem::GuestMemory::Create(&pool_, ram_bytes);
     memory_ = std::move(mem).value();
     virt_ = mmu::MakeVirtualizer(paging, memory_.get());
-    engine_ = cpu::MakeEngine(engine);
+    engine_ = (engine == cpu::EngineKind::kDbt && dbt_max_blocks != 0)
+                  ? cpu::MakeDbtEngine(dbt_max_blocks)
+                  : cpu::MakeEngine(engine);
     ctx_.memory = memory_.get();
     ctx_.virt = virt_.get();
     ctx_.virt_mode = virt_mode;
@@ -94,7 +99,15 @@ class MiniMachine {
       return false;
     }
     ctx_.state.pc = image->entry();
+    entry_ = image->entry();
     return true;
+  }
+
+  // Rewinds the vCPU to the image entry with fresh architectural state while
+  // keeping memory, TLB and translation-cache contents (hot-phase reruns).
+  void ResetGuest() {
+    ctx_.state = cpu::CpuState{};
+    ctx_.state.pc = entry_;
   }
 
   cpu::RunResult RunToHalt(uint64_t max_cycles = 100'000'000'000ull) {
@@ -114,6 +127,7 @@ class MiniMachine {
 
   cpu::VcpuContext& ctx() { return ctx_; }
   mmu::MemoryVirtualizer& virt() { return *virt_; }
+  cpu::ExecutionEngine& engine() { return *engine_; }
 
  private:
   mem::FramePool pool_;
@@ -121,6 +135,7 @@ class MiniMachine {
   std::unique_ptr<mmu::MemoryVirtualizer> virt_;
   std::unique_ptr<cpu::ExecutionEngine> engine_;
   cpu::VcpuContext ctx_;
+  uint32_t entry_ = 0;
 };
 
 }  // namespace hyperion::bench

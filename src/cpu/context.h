@@ -3,6 +3,7 @@
 #ifndef SRC_CPU_CONTEXT_H_
 #define SRC_CPU_CONTEXT_H_
 
+#include <array>
 #include <cstdint>
 
 #include "src/cpu/state.h"
@@ -64,10 +65,41 @@ struct VcpuStats {
   uint64_t dirty_first_writes = 0;
   uint64_t blocks_translated = 0;  // DBT only
   uint64_t block_executions = 0;   // DBT only
+  uint64_t chain_hits = 0;         // DBT: dispatches resolved via a block link
+  uint64_t traces_formed = 0;      // DBT: superblocks stitched from hot loops
+  uint64_t trace_executions = 0;   // DBT: full passes through a superblock
+  uint64_t mem_fastpath_hits = 0;    // inline memory fast-path hits
+  uint64_t mem_fastpath_misses = 0;  // fell through to Virtualizer::Translate
+  uint64_t evictions_surgical = 0;   // DBT: single blocks evicted at capacity
+  uint64_t evictions_full = 0;       // DBT: whole-cache flushes
 
   uint64_t TotalExits() const {
     return mmio_exits + hypercalls + pt_write_exits + cow_breaks + priv_emulations;
   }
+};
+
+// L0 translation cache: a tiny direct-mapped va-page → host-frame array
+// consulted by ExecCore before the virtual Virtualizer::Translate call.
+// Entries are validated against the software TLB's flush generation, so any
+// coherence event (sfence, ptbr switch, paging toggle, COW break, KSM/balloon
+// or migration page change, shadow-PT invalidation) — all of which funnel
+// through a Tlb::Flush* — disables every cached entry at once. The array is a
+// host-side accelerator only: hits charge the same simulated cost as a TLB
+// hit, and it can never outlive the TLB state it mirrors, which keeps it
+// invisible to the ProbeGuest-based coherence audits.
+struct FastTranslations {
+  static constexpr uint32_t kEntries = 256;  // power of two
+  struct Entry {
+    uint32_t vpn = 0xFFFFFFFFu;  // no real vpn matches (20-bit page numbers)
+    uint32_t gpn = 0;
+    uint64_t tlb_gen = 0;  // Tlb generations start at 1, so 0 never matches
+    uint8_t* data = nullptr;  // host frame base
+    bool writable = false;
+    bool user_ok = false;  // filled at user privilege (perms were user-checked)
+  };
+  std::array<Entry, kEntries> entries;
+
+  Entry& Slot(uint32_t vpn) { return entries[vpn & (kEntries - 1)]; }
 };
 
 // Everything an execution engine needs to run one vCPU.
@@ -79,6 +111,7 @@ struct VcpuContext {
   const CostModel* costs = &CostModel::Default();
   VirtMode virt_mode = VirtMode::kHardwareAssist;
   VcpuStats stats;
+  FastTranslations fast_tlb;
 
   // Simulated time at the start of the current Run call; the engine computes
   // guest time as slice_start + cycles-consumed-so-far.
@@ -94,8 +127,16 @@ class ExecutionEngine {
   virtual RunResult Run(VcpuContext& ctx, uint64_t max_cycles) = 0;
   // Discards cached translations derived from guest page `gpn` (DBT).
   virtual void InvalidateCodePage(uint32_t gpn) { (void)gpn; }
-  // Discards all cached translations.
+  // Discards all cached translations. Used for content changes (image load,
+  // snapshot restore): cached code bytes may be stale.
   virtual void FlushCodeCache() {}
+  // The guest's va→pa mapping may have changed (SFENCE, paging toggle). Code
+  // bytes themselves are unchanged, so engines may invalidate lazily
+  // (generation tag + revalidation) as long as stale translations never run.
+  virtual void InvalidateMappings() { FlushCodeCache(); }
+  // The guest switched address spaces (PTBR write). Translations keyed by the
+  // old root stay valid; only cross-block assumptions (chains) must be cut.
+  virtual void OnAddressSpaceSwitch() {}
 };
 
 }  // namespace hyperion::cpu

@@ -1,5 +1,43 @@
+// Dynamic binary translation engine.
+//
+// Four cooperating fast-path mechanisms sit on top of the basic cached-block
+// translator (see DESIGN.md §4):
+//
+//  * Block chaining — each block carries direct successor links patched on
+//    first execution, so steady-state control flow jumps block→block without
+//    a hash lookup. Links are validated against `chain_gen_`, a monotonically
+//    bumped generation: any block erasure, SFENCE, ptbr switch or interrupt
+//    delivery bumps it, which cuts every chain at once. Correctness never
+//    depends on eager unlinking — a stale link is simply never followed, and
+//    block storage is node-stable except for erasure, which always bumps.
+//  * Hot-trace superblocks — a per-block execution counter promotes hot loop
+//    heads (threshold-crossing backward-transfer targets, NET style) into
+//    straight-line traces splicing up to kMaxTraceBlocks chained blocks. A
+//    per-instruction pc guard makes any divergence (trap, off-trace branch)
+//    fall back to the constituent blocks; pending SMC invalidations are
+//    honored at block seams, exactly where block-by-block dispatch would
+//    apply them.
+//  * Lazy mapping epochs — SFENCE / paging toggles bump `map_gen_` instead of
+//    flushing: a block from a stale epoch is revalidated by re-translating
+//    its first and last instruction addresses and comparing code pages, so
+//    an sfence that didn't move the hot loop costs two translations, not a
+//    whole-cache retranslation storm. FlushCodeCache() (image load, snapshot
+//    restore — the code *bytes* changed) remains an eager full flush.
+//  * Surgical eviction — at capacity a clock sweep over a victim ring evicts
+//    cold or stale-epoch blocks one at a time; hot blocks survive on their
+//    reference bit. The full flush only remains as a pathological fallback.
+//
+// As before, the guest's architectural contract for self-modified code is
+// SFENCE-like: stores into code pages invalidate translations at the next
+// block (or trace-seam) boundary; a store into the *currently executing*
+// block may run a few stale instructions (documented in DESIGN.md).
+
 #include "src/cpu/dbt.h"
 
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -61,42 +99,92 @@ class DbtEngine final : public ExecutionEngine {
       s.waiting = false;
     }
 
+    Block* prev = nullptr;  // last executed block, for chain patching
+    uint64_t prev_gen = 0;  // chain_gen_ at the time `prev` was recorded
+
     while (!core.exited() && core.cycles() < max_cycles) {
-      ApplyPendingInvalidations();
+      if (have_pending_) {
+        ApplyPendingInvalidations(ctx);
+      }
       core.CheckTimer();
-      if (core.DeliverInterruptIfPending() && core.exited()) {
-        break;
+      if (core.DeliverInterruptIfPending()) {
+        // Asynchronous control transfer: cut every chain. Dispatch after the
+        // handler repatches links under the new generation.
+        ++chain_gen_;
+        if (core.exited()) {
+          break;
+        }
+      }
+      if (prev != nullptr && prev_gen != chain_gen_) {
+        prev = nullptr;  // may dangle after an erasure; never dereference
       }
 
-      uint64_t key = Key(s.pc, s.ptbr, s.paging_enabled());
-      auto it = blocks_.find(key);
-      if (it == blocks_.end()) {
-        Block block = TranslateBlock(core, ctx, s.pc);
-        if (block.instrs.empty()) {
+      // Dispatch: follow a direct chain link when one is valid, otherwise
+      // fall back to the keyed lookup (revalidating stale-epoch blocks).
+      Block* block = nullptr;
+      if (prev != nullptr) {
+        block = FollowLink(*prev, s.pc);
+      }
+      if (block != nullptr) {
+        ++ctx.stats.chain_hits;
+      } else {
+        uint64_t key = Key(s.pc, s.ptbr, s.paging_enabled());
+        block = FindValid(key, core, ctx);
+        if (block == nullptr) {
+          block = TranslateAndInsert(core, ctx, key);
+        }
+        if (block == nullptr) {
           // First instruction is unfetchable (fault) or an MMIO/absent page:
           // let the faithful single-step path produce the trap or exit.
+          AbortRecording();
           SingleStep(core, ctx);
+          prev = nullptr;
           continue;
         }
-        ++ctx.stats.blocks_translated;
-        core.Charge(kTranslateCostPerInsn * block.instrs.size());
-        if (blocks_.size() >= max_blocks_) {
-          EvictAll();  // simple full-flush policy, as early DBTs used
-        }
-        it = blocks_.emplace(key, std::move(block)).first;
-        for (uint32_t gpn : it->second.gpns) {
-          code_pages_.insert(gpn);
-          page_blocks_[gpn].push_back(key);
+        if (prev != nullptr && prev_gen == chain_gen_) {
+          PatchLink(*prev, block->start_va, block);
         }
       }
 
-      // Execute the block. Interrupts are only checked at block boundaries
-      // (standard DBT behavior). A trap inside the block redirects pc, which
-      // we detect by comparing against the expected fall-through.
-      const Block& block = it->second;
+      // Hot-trace state machine (NET: record the next executing tail once a
+      // backward-transfer target crosses the heat threshold).
+      if (recording_) {
+        if (recording_gen_ != chain_gen_) {
+          AbortRecording();  // an invalidation voided the recorded pointers
+        } else if (block == trace_head_) {
+          FormTrace(core, ctx);  // loop closed
+        } else if (block->trace != nullptr || !Traceable(*block) ||
+                   trace_blocks_.size() >= kMaxTraceBlocks) {
+          AbortRecording();
+        } else {
+          trace_blocks_.push_back(block);
+        }
+      }
+      if (!recording_ && block->trace == nullptr && prev != nullptr &&
+          block->start_va <= prev->start_va && ++block->heat >= kHotThreshold &&
+          Traceable(*block)) {
+        recording_ = true;
+        recording_gen_ = chain_gen_;
+        trace_head_ = block;
+        trace_blocks_.clear();
+        trace_blocks_.push_back(block);
+      }
+
+      // Execute: the superblock when present and current-epoch, else the
+      // block itself.
+      if (block->trace != nullptr) {
+        if (block->trace->map_gen != map_gen_) {
+          KillTrace(*block);  // lazy epoch invalidation
+        } else {
+          RunTrace(core, ctx, *block, max_cycles);
+          prev = nullptr;  // the exit block is not known
+          continue;
+        }
+      }
       ++ctx.stats.block_executions;
-      uint32_t expect_pc = block.start_va;
-      for (const isa::Instruction& in : block.instrs) {
+      block->hot = true;
+      uint32_t expect_pc = block->start_va;
+      for (const isa::Instruction& in : block->instrs) {
         if (s.pc != expect_pc) {
           break;  // a trap inside the block redirected control
         }
@@ -105,6 +193,11 @@ class DbtEngine final : public ExecutionEngine {
         }
         expect_pc += 4;
       }
+      // The pointer stays valid: nothing executed above erases blocks (SMC
+      // and flushes only queue pending work), and any later erasure bumps
+      // chain_gen_, which invalidates `prev` before the next dereference.
+      prev = block;
+      prev_gen = chain_gen_;
     }
     return core.Finish();
   }
@@ -112,26 +205,118 @@ class DbtEngine final : public ExecutionEngine {
   void InvalidateCodePage(uint32_t gpn) override {
     if (code_pages_.count(gpn)) {
       pending_page_invalidations_.push_back(gpn);
+      have_pending_ = true;
     }
   }
 
-  void FlushCodeCache() override { pending_flush_ = true; }
+  void FlushCodeCache() override {
+    // Content change (image load, snapshot restore): cached bytes are stale.
+    pending_flush_ = true;
+    have_pending_ = true;
+  }
+
+  void InvalidateMappings() override {
+    // SFENCE / paging toggle: bytes unchanged, va→pa mapping suspect. Blocks
+    // revalidate lazily against the new epoch; traces are dropped on their
+    // next dispatch; chains are cut.
+    ++map_gen_;
+    ++chain_gen_;
+  }
+
+  void OnAddressSpaceSwitch() override {
+    // Blocks are keyed by (va, ptbr, paging) and stay valid per root; only
+    // cross-block chains assume a stable address space.
+    ++chain_gen_;
+  }
 
  private:
+  struct Block;
+
+  struct Link {
+    uint32_t target_va = 0;
+    Block* target = nullptr;
+    uint64_t gen = 0;  // valid only while gen == chain_gen_
+  };
+
+  // A run of trace instructions needing a single pc guard: a chunk starts
+  // wherever pc is not statically known — at a block entry or right after an
+  // instruction that may trap or redirect. Inside a chunk only straight-line
+  // ALU instructions precede each step, so pc provably advances by 4 and the
+  // per-instruction guard is elided. `seam` marks former block entry points,
+  // where pending SMC invalidations force an exit (equivalent to
+  // block-by-block dispatch).
+  struct Chunk {
+    uint32_t begin = 0;
+    uint32_t end = 0;
+    uint32_t va = 0;  // guard: pc the first instruction must execute at
+    uint8_t seam = 0;
+  };
+
+  // A superblock: the concatenated instructions of a hot loop's blocks.
+  struct Trace {
+    uint32_t head_va = 0;
+    uint64_t map_gen = 0;
+    std::vector<isa::Instruction> instrs;
+    std::vector<Chunk> chunks;
+    std::vector<uint32_t> gpns;
+  };
+
+  // Instructions that can neither trap nor redirect control: pc advances by
+  // exactly 4, unconditionally (ALU never faults; div-by-zero has a defined
+  // result on HV32).
+  static bool StraightLine(const isa::Instruction& in) {
+    switch (in.opcode) {
+      case Opcode::kOp:
+      case Opcode::kOpImm:
+      case Opcode::kLui:
+      case Opcode::kAuipc:
+        return true;
+      default:
+        return false;
+    }
+  }
+
   struct Block {
     uint32_t start_va = 0;
+    uint64_t key = 0;
+    uint64_t map_gen = 0;  // epoch the translation was (re)validated in
+    uint32_t heat = 0;     // backward-transfer arrivals (trace promotion)
+    bool hot = false;      // clock reference bit
     std::vector<isa::Instruction> instrs;
     std::vector<uint32_t> gpns;  // guest pages the code bytes came from
+    Link links[2];
+    uint8_t link_rr = 0;
+    std::unique_ptr<Trace> trace;  // present on promoted loop heads
   };
 
   static constexpr size_t kMaxBlockInstrs = 64;
   static constexpr uint64_t kTranslateCostPerInsn = 6;
+  static constexpr uint32_t kHotThreshold = 16;
+  static constexpr size_t kMaxTraceBlocks = 8;
+  static constexpr size_t kMaxTraceInstrs = 256;
 
   static uint64_t Key(uint32_t va, uint32_t ptbr, bool paging) {
     uint64_t k = va;
     k |= static_cast<uint64_t>(ptbr) << 32;
     // ptbr values are page numbers (< 2^20 in practice); fold paging on top.
     return k ^ (paging ? 0x8000000000000000ull : 0);
+  }
+
+  // A block whose terminal cannot touch privileged state or translations may
+  // be spliced into a superblock.
+  static bool Traceable(const Block& b) {
+    if (b.instrs.empty()) {
+      return false;
+    }
+    const isa::Instruction& last = b.instrs.back();
+    switch (last.opcode) {
+      case Opcode::kJal:
+      case Opcode::kJalr:
+      case Opcode::kBranch:
+        return true;
+      default:
+        return !EndsBlock(last);  // plain fall-through (length-capped block)
+    }
   }
 
   // Decodes instructions starting at `va` without delivering any trap: a
@@ -175,39 +360,367 @@ class DbtEngine final : public ExecutionEngine {
     core.Execute(isa::Decode(word));
   }
 
-  void ApplyPendingInvalidations() {
-    if (pending_flush_) {
-      EvictAll();
-      pending_flush_ = false;
-      pending_page_invalidations_.clear();
-      return;
-    }
-    for (uint32_t gpn : pending_page_invalidations_) {
-      auto it = page_blocks_.find(gpn);
-      if (it == page_blocks_.end()) {
-        continue;
+  Block* FollowLink(Block& from, uint32_t pc) {
+    for (Link& l : from.links) {
+      if (l.gen == chain_gen_ && l.target_va == pc) {
+        return l.target;
       }
-      for (uint64_t key : it->second) {
-        blocks_.erase(key);
-      }
-      page_blocks_.erase(it);
-      code_pages_.erase(gpn);
     }
-    pending_page_invalidations_.clear();
+    return nullptr;
   }
 
-  void EvictAll() {
+  void PatchLink(Block& from, uint32_t target_va, Block* target) {
+    for (Link& l : from.links) {
+      if (l.gen != chain_gen_ || l.target_va == target_va) {
+        l = Link{target_va, target, chain_gen_};
+        return;
+      }
+    }
+    from.links[from.link_rr & 1] = Link{target_va, target, chain_gen_};
+    ++from.link_rr;
+  }
+
+  // Returns the cached block for `key`, revalidating it against the current
+  // mapping epoch (two translations) when a SFENCE/paging toggle intervened.
+  Block* FindValid(uint64_t key, ExecCore& core, VcpuContext& ctx) {
+    auto it = blocks_.find(key);
+    if (it == blocks_.end()) {
+      return nullptr;
+    }
+    Block& b = it->second;
+    if (b.map_gen != map_gen_) {
+      if (!Revalidate(core, ctx, b)) {
+        EraseBlock(key, ctx);
+        return nullptr;
+      }
+      b.map_gen = map_gen_;
+    }
+    return &b;
+  }
+
+  // Re-translates the block's first and last instruction addresses and checks
+  // they still fetch from the same guest pages. Since blocks are contiguous
+  // in va and span at most two pages, matching endpoints imply the whole
+  // translation is unchanged.
+  bool Revalidate(ExecCore& core, VcpuContext& ctx, const Block& b) {
+    if (b.instrs.empty() || b.gpns.empty()) {
+      return false;
+    }
+    CpuState& s = ctx.state;
+    auto check = [&](uint32_t va, uint32_t want_gpn) {
+      mmu::TranslateOutcome out =
+          ctx.virt->Translate(va, mmu::Access::kFetch, s.priv(), s.paging_enabled(), s.ptbr);
+      core.Charge(out.cost);
+      return out.event == mmu::MemEvent::kNone && !out.is_mmio &&
+             isa::PageNumber(out.gpa) == want_gpn;
+    };
+    if (!check(b.start_va, b.gpns.front())) {
+      return false;
+    }
+    if (b.gpns.size() > 1) {
+      uint32_t last_va = b.start_va + 4 * static_cast<uint32_t>(b.instrs.size() - 1);
+      if (!check(last_va, b.gpns.back())) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  Block* TranslateAndInsert(ExecCore& core, VcpuContext& ctx, uint64_t key) {
+    Block nb = TranslateBlock(core, ctx, ctx.state.pc);
+    if (nb.instrs.empty()) {
+      return nullptr;
+    }
+    ++ctx.stats.blocks_translated;
+    core.Charge(kTranslateCostPerInsn * nb.instrs.size());
+    if (blocks_.size() >= max_blocks_) {
+      EvictForCapacity(ctx);
+    }
+    nb.key = key;
+    nb.map_gen = map_gen_;
+    auto [it, inserted] = blocks_.emplace(key, std::move(nb));
+    Block& b = it->second;
+    for (uint32_t gpn : b.gpns) {
+      code_pages_.insert(gpn);
+      page_blocks_[gpn].push_back(key);
+    }
+    ring_.push_back(key);
+    if (ring_.size() > 4 * max_blocks_ + 64) {
+      CompactRing();
+    }
+    return &b;
+  }
+
+  // Splices the recorded blocks into a straight-line superblock owned by the
+  // loop head.
+  void FormTrace(ExecCore& core, VcpuContext& ctx) {
+    auto tr = std::make_unique<Trace>();
+    tr->head_va = trace_head_->start_va;
+    tr->map_gen = map_gen_;
+    for (Block* b : trace_blocks_) {
+      if (tr->instrs.size() + b->instrs.size() > kMaxTraceInstrs) {
+        AbortRecording();
+        return;
+      }
+      bool open_chunk = false;  // block entry always starts a fresh chunk
+      for (size_t i = 0; i < b->instrs.size(); ++i) {
+        uint32_t idx = static_cast<uint32_t>(tr->instrs.size());
+        if (!open_chunk) {
+          Chunk c;
+          c.begin = idx;
+          c.va = b->start_va + 4 * static_cast<uint32_t>(i);
+          c.seam = static_cast<uint8_t>(i == 0 && !tr->chunks.empty() ? 1 : 0);
+          tr->chunks.push_back(c);
+        }
+        tr->instrs.push_back(b->instrs[i]);
+        tr->chunks.back().end = idx + 1;
+        open_chunk = StraightLine(b->instrs[i]);
+      }
+      for (uint32_t gpn : b->gpns) {
+        if (std::find(tr->gpns.begin(), tr->gpns.end(), gpn) == tr->gpns.end()) {
+          tr->gpns.push_back(gpn);
+        }
+      }
+    }
+    core.Charge(2 * tr->instrs.size());  // splice cost
+    for (uint32_t gpn : tr->gpns) {
+      code_pages_.insert(gpn);
+      page_traces_[gpn].push_back(trace_head_->key);
+    }
+    trace_head_->trace = std::move(tr);
+    ++ctx.stats.traces_formed;
+    AbortRecording();
+  }
+
+  // Executes the head's superblock, re-entering it while the loop keeps
+  // closing. Every instruction is guarded by its expected pc, so traps and
+  // off-trace branches fall back naturally; seams honor pending SMC work.
+  void RunTrace(ExecCore& core, VcpuContext& ctx, Block& head, uint64_t max_cycles) {
+    Trace& tr = *head.trace;
+    CpuState& s = ctx.state;
+    head.hot = true;
+    const isa::Instruction* instrs = tr.instrs.data();
+    const Chunk* chunks = tr.chunks.data();
+    const size_t nchunks = tr.chunks.size();
+    const uint32_t head_va = tr.head_va;
+    // CSR writes end blocks, and a trap mid-trace fails the next guard, so
+    // status (IE) and timecmp are fixed for the whole stay in this trace —
+    // hoist the per-pass timer/interrupt tests on them out of the loop.
+    const uint64_t timer_due =
+        s.timecmp != 0 ? s.timecmp : std::numeric_limits<uint64_t>::max();
+    const bool ie = s.interrupts_enabled();
+    uint64_t passes = 0;
+    for (;;) {
+      ++passes;
+      for (size_t ci = 0; ci < nchunks; ++ci) {
+        const Chunk& c = chunks[ci];
+        if (c.seam != 0 && have_pending_) {
+          // Apply SMC invalidations exactly at a block seam.
+          ctx.stats.trace_executions += passes;
+          return;
+        }
+        if (s.pc != c.va) {
+          // Guard failed: trap or off-trace branch.
+          ctx.stats.trace_executions += passes;
+          return;
+        }
+        for (uint32_t i = c.begin; i < c.end; ++i) {
+          if (!core.Execute(instrs[i])) {
+            ctx.stats.trace_executions += passes;
+            return;  // exit latched
+          }
+        }
+      }
+      if (s.pc != head_va || have_pending_ || core.cycles() >= max_cycles) {
+        break;
+      }
+      // Mirror the dispatch loop's per-block interrupt window.
+      if (core.Now() >= timer_due) {
+        core.CheckTimer();
+      }
+      if (ie && s.ipend != 0) {
+        break;
+      }
+    }
+    ctx.stats.trace_executions += passes;
+  }
+
+  void AbortRecording() {
+    recording_ = false;
+    trace_head_ = nullptr;
+    trace_blocks_.clear();
+  }
+
+  // Drops a head's superblock and its page registrations.
+  void KillTrace(Block& b) {
+    if (b.trace == nullptr) {
+      return;
+    }
+    for (uint32_t gpn : b.trace->gpns) {
+      auto it = page_traces_.find(gpn);
+      if (it != page_traces_.end()) {
+        auto& v = it->second;
+        v.erase(std::remove(v.begin(), v.end(), b.key), v.end());
+        if (v.empty()) {
+          page_traces_.erase(it);
+        }
+      }
+      MaybeReleasePage(gpn);
+    }
+    b.trace.reset();
+    b.heat = 0;
+  }
+
+  // Removes one block, pruning its key from *every* page it was registered
+  // under (a block spanning two pages is registered in both lists; leaving
+  // the other list's copy behind would grow it without bound under repeated
+  // SMC — the stale-key leak this replaces).
+  void EraseBlock(uint64_t key, VcpuContext& ctx) {
+    (void)ctx;
+    auto it = blocks_.find(key);
+    if (it == blocks_.end()) {
+      return;
+    }
+    Block& b = it->second;
+    KillTrace(b);
+    for (uint32_t gpn : b.gpns) {
+      auto pit = page_blocks_.find(gpn);
+      if (pit != page_blocks_.end()) {
+        auto& v = pit->second;
+        v.erase(std::remove(v.begin(), v.end(), key), v.end());
+        if (v.empty()) {
+          page_blocks_.erase(pit);
+        }
+      }
+      MaybeReleasePage(gpn);
+    }
+    blocks_.erase(it);
+    // Any chain link or recording pointer to this block is now stale.
+    ++chain_gen_;
+  }
+
+  void MaybeReleasePage(uint32_t gpn) {
+    if (page_blocks_.count(gpn) == 0 && page_traces_.count(gpn) == 0) {
+      code_pages_.erase(gpn);
+    }
+  }
+
+  void ApplyPendingInvalidations(VcpuContext& ctx) {
+    if (pending_flush_) {
+      EvictAll(ctx);
+      pending_flush_ = false;
+      pending_page_invalidations_.clear();
+      have_pending_ = false;
+      return;
+    }
+    for (size_t n = 0; n < pending_page_invalidations_.size(); ++n) {
+      uint32_t gpn = pending_page_invalidations_[n];
+      auto it = page_blocks_.find(gpn);
+      if (it != page_blocks_.end()) {
+        std::vector<uint64_t> keys = std::move(it->second);
+        for (uint64_t key : keys) {
+          EraseBlock(key, ctx);
+        }
+      }
+      // Superblocks splicing code from this page whose head lives elsewhere.
+      auto tt = page_traces_.find(gpn);
+      if (tt != page_traces_.end()) {
+        std::vector<uint64_t> heads = std::move(tt->second);
+        for (uint64_t head_key : heads) {
+          auto bit = blocks_.find(head_key);
+          if (bit != blocks_.end()) {
+            KillTrace(bit->second);
+          }
+        }
+        page_traces_.erase(gpn);
+      }
+      MaybeReleasePage(gpn);
+    }
+    pending_page_invalidations_.clear();
+    have_pending_ = false;
+  }
+
+  // Clock sweep: evict cold or stale-epoch blocks until 1/8 of the capacity
+  // is free. Hot blocks spend their reference bit to survive one sweep.
+  void EvictForCapacity(VcpuContext& ctx) {
+    size_t target = max_blocks_ - max_blocks_ / 8;
+    if (target >= max_blocks_) {
+      target = max_blocks_ > 0 ? max_blocks_ - 1 : 0;
+    }
+    size_t attempts = 2 * ring_.size() + 8;
+    while (blocks_.size() > target && attempts-- > 0 && !ring_.empty()) {
+      if (hand_ >= ring_.size()) {
+        hand_ = 0;
+      }
+      uint64_t key = ring_[hand_];
+      auto it = blocks_.find(key);
+      if (it == blocks_.end()) {
+        RemoveRingSlot(hand_);  // lazily drop keys of already-erased blocks
+        continue;
+      }
+      Block& b = it->second;
+      if (b.hot && b.map_gen == map_gen_) {
+        b.hot = false;
+        ++hand_;
+        continue;
+      }
+      EraseBlock(key, ctx);
+      RemoveRingSlot(hand_);
+      ++ctx.stats.evictions_surgical;
+    }
+    if (blocks_.size() >= max_blocks_) {
+      EvictAll(ctx);  // pathological fallback: everything stayed hot
+    }
+  }
+
+  void RemoveRingSlot(size_t i) {
+    ring_[i] = ring_.back();
+    ring_.pop_back();
+  }
+
+  void CompactRing() {
+    ring_.clear();
+    ring_.reserve(blocks_.size());
+    for (const auto& [key, b] : blocks_) {
+      ring_.push_back(key);
+    }
+    hand_ = 0;
+  }
+
+  void EvictAll(VcpuContext& ctx) {
     blocks_.clear();
     page_blocks_.clear();
+    page_traces_.clear();
     code_pages_.clear();
+    ring_.clear();
+    hand_ = 0;
+    AbortRecording();
+    ++chain_gen_;
+    ++ctx.stats.evictions_full;
   }
 
   size_t max_blocks_;
   std::unordered_map<uint64_t, Block> blocks_;
   std::unordered_map<uint32_t, std::vector<uint64_t>> page_blocks_;
+  // gpn → keys of heads whose trace splices code from that page.
+  std::unordered_map<uint32_t, std::vector<uint64_t>> page_traces_;
   std::unordered_set<uint32_t> code_pages_;
   std::vector<uint32_t> pending_page_invalidations_;
   bool pending_flush_ = false;
+  bool have_pending_ = false;
+
+  uint64_t chain_gen_ = 1;  // cut-chains generation
+  uint64_t map_gen_ = 1;    // translation-mapping epoch
+
+  // Clock eviction state.
+  std::vector<uint64_t> ring_;
+  size_t hand_ = 0;
+
+  // Trace recording state.
+  bool recording_ = false;
+  uint64_t recording_gen_ = 0;
+  Block* trace_head_ = nullptr;
+  std::vector<Block*> trace_blocks_;
 };
 
 }  // namespace

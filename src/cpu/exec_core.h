@@ -23,7 +23,8 @@ namespace hyperion::cpu {
 
 class ExecCore {
  public:
-  ExecCore(VcpuContext& ctx, ExecutionEngine* engine) : ctx_(ctx), engine_(engine) {}
+  ExecCore(VcpuContext& ctx, ExecutionEngine* engine)
+      : ctx_(ctx), engine_(engine), guest_insn_cost_(ctx.costs->guest_insn) {}
 
   uint64_t cycles() const { return cycles_; }
   uint64_t instructions() const { return instret_; }
@@ -88,12 +89,52 @@ class ExecCore {
 
   // --- Memory ----------------------------------------------------------------
 
+  // Inline memory fast path: consults the per-vCPU direct-mapped
+  // fast-translation array before paying the virtual Translate call. Entries
+  // are validated against the TLB flush generation, so every coherence event
+  // (sfence, ptbr switch, paging toggle, COW/KSM/balloon/migration page
+  // changes, shadow-PT invalidations) disables the whole array at once.
+  // Returns nullptr on any mismatch — including permission upgrades (store to
+  // a load-filled entry) and privilege (entries filled in supervisor mode are
+  // not trusted for user accesses, whose permissions were never checked).
+  FastTranslations::Entry* FastLookup(uint32_t va, bool store) {
+    FastTranslations::Entry& e = ctx_.fast_tlb.Slot(isa::PageNumber(va));
+    if (e.vpn != isa::PageNumber(va) || e.tlb_gen != ctx_.virt->tlb().generation() ||
+        (store && !e.writable) ||
+        (!e.user_ok && ctx_.state.priv() == isa::PrivMode::kUser)) {
+      ++ctx_.stats.mem_fastpath_misses;
+      return nullptr;
+    }
+    ++ctx_.stats.mem_fastpath_hits;
+    ctx_.virt->tlb().CreditFastHit();
+    Charge(ctx_.costs->tlb_hit);
+    return &e;
+  }
+
+  // Caches a successful plain-RAM translation for subsequent fast lookups.
+  void FastFill(uint32_t va, const mmu::TranslateOutcome& out) {
+    if (out.event != mmu::MemEvent::kNone || out.is_mmio) {
+      return;
+    }
+    FastTranslations::Entry& e = ctx_.fast_tlb.Slot(isa::PageNumber(va));
+    e.vpn = isa::PageNumber(va);
+    e.gpn = isa::PageNumber(out.gpa);
+    e.tlb_gen = ctx_.virt->tlb().generation();
+    e.data = ctx_.memory->pool().FrameData(out.frame);
+    e.writable = out.writable;
+    e.user_ok = ctx_.state.priv() == isa::PrivMode::kUser;
+  }
+
   // Fetches the instruction word at `va`. Returns false when the current
   // instruction cannot complete (trap vectored or exit latched).
   bool Fetch(uint32_t va, uint32_t* word) {
     if (va & 3u) {
       Trap(isa::TrapCause::kInstrMisaligned, va);
       return false;
+    }
+    if (const FastTranslations::Entry* fe = FastLookup(va, /*store=*/false)) {
+      std::memcpy(word, fe->data + isa::VaPageOffset(va), 4);
+      return true;
     }
     mmu::TranslateOutcome out = Translate(va, mmu::Access::kFetch);
     if (out.event != mmu::MemEvent::kNone) {
@@ -103,6 +144,7 @@ class ExecCore {
       Trap(isa::TrapCause::kInstrPageFault, va);
       return false;
     }
+    FastFill(va, out);
     const uint8_t* page = ctx_.memory->pool().FrameData(out.frame);
     std::memcpy(word, page + isa::VaPageOffset(out.gpa), 4);
     return true;
@@ -114,6 +156,12 @@ class ExecCore {
       Trap(isa::TrapCause::kLoadMisaligned, va);
       return false;
     }
+    if (const FastTranslations::Entry* fe = FastLookup(va, /*store=*/false)) {
+      uint32_t v = 0;
+      std::memcpy(&v, fe->data + isa::VaPageOffset(va), size);
+      *out = v;
+      return true;
+    }
     mmu::TranslateOutcome t = Translate(va, mmu::Access::kLoad);
     if (t.event != mmu::MemEvent::kNone) {
       return HandleMemEvent(t, va, mmu::Access::kLoad, 0, size, out);
@@ -121,6 +169,7 @@ class ExecCore {
     if (t.is_mmio) {
       return MmioLoad(t.gpa, va, size, out);
     }
+    FastFill(va, t);
     const uint8_t* page = ctx_.memory->pool().FrameData(t.frame);
     uint32_t v = 0;
     std::memcpy(&v, page + isa::VaPageOffset(t.gpa), size);
@@ -133,6 +182,17 @@ class ExecCore {
     if (va & (size - 1)) {
       Trap(isa::TrapCause::kStoreMisaligned, va);
       return false;
+    }
+    if (FastTranslations::Entry* fe = FastLookup(va, /*store=*/true)) {
+      // The fast path must keep every side channel of a slow store: dirty
+      // logging for migration and SMC invalidation for the DBT engine.
+      std::memcpy(fe->data + isa::VaPageOffset(va), &value, size);
+      if (ctx_.memory->MarkDirty(fe->gpn)) {
+        Charge(ctx_.costs->dirty_log_first_write);
+        ++ctx_.stats.dirty_first_writes;
+      }
+      engine_->InvalidateCodePage(fe->gpn);
+      return true;
     }
     // COW breaking may require one retry after the private copy is made.
     for (int attempt = 0; attempt < 3; ++attempt) {
@@ -150,6 +210,7 @@ class ExecCore {
       if (t.is_mmio) {
         return MmioStore(t.gpa, va, size, value);
       }
+      FastFill(va, t);
       uint32_t gpn = isa::PageNumber(t.gpa);
       uint8_t* page = ctx_.memory->pool().FrameData(t.frame);
       std::memcpy(page + isa::VaPageOffset(t.gpa), &value, size);
@@ -182,7 +243,7 @@ class ExecCore {
     using isa::AluOp;
     using isa::Opcode;
     CpuState& s = ctx_.state;
-    Charge(ctx_.costs->guest_insn);
+    Charge(guest_insn_cost_);
     ++instret_;
 
     switch (in.opcode) {
@@ -537,8 +598,9 @@ class ExecCore {
         uint32_t changed = old ^ value;
         s.status = value;
         if (changed & StatusBits::kPg) {
+          // The code bytes are unchanged; only the va→pa mapping moved.
           ctx_.virt->OnPagingToggle();
-          engine_->FlushCodeCache();
+          engine_->InvalidateMappings();
         }
         break;
       }
@@ -560,6 +622,7 @@ class ExecCore {
       case isa::Csr::kPtbr:
         s.ptbr = value;
         Charge(ctx_.virt->OnPtbrWrite(value));
+        engine_->OnAddressSpaceSwitch();
         break;
       case isa::Csr::kTimecmp:
         // TIMECMP is written as a *delta* in cycles from now (0 disables),
@@ -634,7 +697,7 @@ class ExecCore {
     ChargePrivileged();
     ctx_.virt->OnSfence(s.ReadReg(in.rs1));
     if (s.paging_enabled()) {
-      engine_->FlushCodeCache();
+      engine_->InvalidateMappings();
     }
     s.pc += 4;
     return true;
@@ -730,6 +793,7 @@ class ExecCore {
 
   VcpuContext& ctx_;
   ExecutionEngine* engine_;
+  const uint64_t guest_insn_cost_;  // hoisted: charged on every instruction
   RunResult result_;
   uint64_t cycles_ = 0;
   uint64_t instret_ = 0;

@@ -41,7 +41,10 @@ struct CpuState {
   bool interrupts_enabled() const { return status & isa::StatusBits::kIe; }
   bool paging_enabled() const { return status & isa::StatusBits::kPg; }
 
-  uint32_t ReadReg(uint8_t r) const { return r == 0 ? 0 : regs[r]; }
+  // regs[0] is kept architecturally zero by WriteReg (and re-zeroed on
+  // deserialize), so reads need no special case — this is the hottest
+  // operation in both engines.
+  uint32_t ReadReg(uint8_t r) const { return regs[r]; }
   void WriteReg(uint8_t r, uint32_t v) {
     if (r != 0) {
       regs[r] = v;
@@ -97,6 +100,7 @@ struct CpuState {
     HYP_ASSIGN_OR_RETURN(uint8_t waiting, r.ReadU8());
     s.halted = halted != 0;
     s.waiting = waiting != 0;
+    s.regs[0] = 0;  // restore the ReadReg invariant against hostile streams
     return s;
   }
 

@@ -9,6 +9,10 @@ namespace hyperion::guest {
 namespace {
 
 // Common image header: a jump over the progress word plus hypercall numbers.
+// The progress word gets a page of its own: it is stored to on every outer
+// iteration, and a store into a code page forces the DBT to throw away every
+// translation on that page (see ExecutionEngine::InvalidateCodePage), which
+// no sane guest layout does in steady state.
 std::string Header() {
   return R"(.org 0x1000
 .equ HC_PUTCHAR, 0
@@ -23,9 +27,10 @@ std::string Header() {
 .equ HC_TARGET, 9
 .equ PIC_BASE, 0xF0001000
     j _start
-.align 8
+.align 4096
 progress:
     .word 0
+.align 4096
 )";
 }
 
@@ -140,6 +145,82 @@ std::string IdleTickProgram(uint32_t period_cycles) {
       << "    li t1, " << period_cycles << "\n"
          "    csrw timecmp, t1\n"
          "    sret\n";
+  return out.str();
+}
+
+std::string SmcChurnProgram(const SmcChurnParams& params) {
+  std::ostringstream out;
+  out << Header();
+  out << "_start:\n"
+         "    li s0, " << params.sweeps << "\n"
+         "    li s1, 0\n"            // patch rotation counter
+         "    li a0, 0\n"
+         "    li a1, 0\n"
+         "    li a2, 0\n"
+         "sweep:\n"
+         // Hot compute kernel: the block the eviction policy should protect.
+         "    li t0, 7\n"
+         "    li t1, 13\n"
+         "    li s2, " << params.kernel_iters << "\n"
+         "kern:\n"
+         "    mul t1, t1, t0\n"
+         "    addi t1, t1, 3\n"
+         "    xor t0, t0, t1\n"
+         "    srli t2, t1, 3\n"
+         "    add t0, t0, t2\n"
+         "    sltu t2, t0, t1\n"
+         "    add t1, t1, t2\n"
+         "    addi s2, s2, -1\n"
+         "    bnez s2, kern\n"
+         // Call a rotating window of 8 helpers via computed jumps. Each sweep
+         // brings 8 new one-shot blocks into the cache, so capacity pressure
+         // builds across sweeps while the kernel stays the only reusable
+         // block: a full-flush policy throws the kernel away with the cold
+         // helpers, a surgical one keeps it.
+         "    li s2, 0\n"
+         "winloop:\n"
+         "    slli t0, s1, 3\n"
+         "    add t0, t0, s2\n"
+         "    andi t0, t0, " << (params.funcs - 1) << "\n"
+         "    slli t0, t0, 12\n"
+         "    la t1, f0\n"
+         "    add t1, t1, t0\n"
+         "    jalr t1\n"
+         "    addi s2, s2, 1\n"
+         "    slti t0, s2, 8\n"
+         "    bnez t0, winloop\n";
+  // Rewrite the first instruction of one helper (rotating), alternating
+  // between two one-instruction bodies so the code genuinely changes.
+  out << "    andi t0, s1, " << (params.funcs - 1) << "\n"
+         "    slli t0, t0, 12\n"
+         "    la t1, f0\n"
+         "    add t1, t1, t0\n"
+         "    andi t2, s1, 1\n"
+         "    la t3, patch_a\n"
+         "    bnez t2, do_patch\n"
+         "    la t3, patch_b\n"
+         "do_patch:\n"
+         "    lw t2, 0(t3)\n"
+         "    sw t2, 0(t1)\n"
+         "    addi s1, s1, 1\n"
+      << kBumpProgress
+      << "    addi s0, s0, -1\n"
+         "    bnez s0, sweep\n"
+      << kShutdown;
+  for (uint32_t i = 0; i < params.funcs; ++i) {
+    out << ".align 4096\n"
+           "f" << i << ":\n"
+           "    addi a0, a0, 1\n"
+           "    xor a1, a1, a0\n"
+           "    add a1, a1, a0\n"
+           "    srli a2, a0, 1\n"
+           "    add a1, a1, a2\n"
+           "    ret\n";
+  }
+  out << "patch_a:\n"
+         "    addi a0, a0, 1\n"
+         "patch_b:\n"
+         "    addi a0, a0, 2\n";
   return out.str();
 }
 

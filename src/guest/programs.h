@@ -45,6 +45,20 @@ std::string ComputeProgram(uint32_t iterations);
 // consolidation rack.
 std::string IdleTickProgram(uint32_t period_cycles);
 
+struct SmcChurnParams {
+  uint32_t funcs = 64;        // page-aligned helper functions (power of two)
+  uint32_t sweeps = 50;       // outer iterations; each patches one function
+  uint32_t kernel_iters = 200;  // hot compute-loop iterations per sweep
+};
+// Code-churn workload for the DBT translation cache: every sweep runs a hot
+// compute kernel, calls `funcs` page-aligned helpers (one translated block
+// per page), then rewrites the first instruction of one helper (self-
+// modifying code). The helper working set exceeds small translation caches,
+// so the sweep alternates capacity pressure with per-page SMC invalidation —
+// a full-flush eviction policy retranslates the hot kernel every sweep, a
+// surgical one never does. progress++ per sweep.
+std::string SmcChurnProgram(const SmcChurnParams& params);
+
 // SMP workload: the boot vCPU starts every secondary via kStartVcpu; each
 // worker increments its own counter (progress + 4*hartid) `work` times and
 // halts. The boot vCPU spins until all workers finish, stores the grand

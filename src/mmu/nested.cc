@@ -83,6 +83,10 @@ class NestedPaging final : public MemoryVirtualizer {
     // the switch; untagged TLBs flush wholesale. No VMM involvement either way.
     if (!asid_tlb_) {
       tlb_.FlushAll();
+    } else {
+      // No entries are dropped, but derived caches (the per-vCPU
+      // fast-translation array) are untagged and must not survive the switch.
+      tlb_.BumpGeneration();
     }
     ++stats_.root_switches;
     return 0;

@@ -49,6 +49,7 @@ void Tlb::FlushAll() {
     e.valid = false;
   }
   ++stats_.flushes;
+  ++generation_;
 }
 
 void Tlb::FlushPage(uint32_t vpn) {
@@ -58,6 +59,7 @@ void Tlb::FlushPage(uint32_t vpn) {
       set[w].valid = false;
     }
   }
+  ++generation_;
 }
 
 void Tlb::FlushAsid(uint32_t asid) {
@@ -66,6 +68,7 @@ void Tlb::FlushAsid(uint32_t asid) {
       e.valid = false;
     }
   }
+  ++generation_;
 }
 
 void Tlb::FlushGpn(uint32_t gpn) {
@@ -74,6 +77,7 @@ void Tlb::FlushGpn(uint32_t gpn) {
       e.valid = false;
     }
   }
+  ++generation_;
 }
 
 }  // namespace hyperion::mmu

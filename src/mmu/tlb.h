@@ -55,6 +55,20 @@ class Tlb {
   // Drops every entry translating to guest page `gpn` (sharing/WP changes).
   void FlushGpn(uint32_t gpn);
 
+  // Monotonic flush epoch: bumped by every Flush* call (and explicitly via
+  // BumpGeneration for coherence events that invalidate derived state without
+  // dropping TLB entries, e.g. ASID-tagged address-space switches). Derived
+  // caches — the per-vCPU fast-translation array in cpu::VcpuContext — tag
+  // entries with this value and treat any mismatch as invalid, which makes
+  // them conservatively coherent with every TLB shootdown. Starts at 1 so a
+  // zero tag never validates.
+  uint64_t generation() const { return generation_; }
+  void BumpGeneration() { ++generation_; }
+
+  // Accounts a hit served by a generation-validated derived cache, keeping
+  // hit-rate statistics truthful when the fast path bypasses Lookup().
+  void CreditFastHit() { ++stats_.hits; }
+
   const TlbStats& stats() const { return stats_; }
   void ResetStats() { stats_ = TlbStats{}; }
   size_t num_entries() const { return sets_ * kWays; }
@@ -79,6 +93,7 @@ class Tlb {
   std::vector<TlbEntry> entries_;  // sets_ * kWays, set-major
   TlbStats stats_;
   uint64_t tick_ = 0;
+  uint64_t generation_ = 1;
 };
 
 }  // namespace hyperion::mmu

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "src/util/cost_model.h"
+#include "src/verify/audit.h"
 #include "tests/guest_harness.h"
 
 namespace hyperion {
@@ -833,9 +834,88 @@ loop:
   )");
   m.RunToHalt();
   EXPECT_EQ(m.Reg(isa::kA0), 10000u);
-  // The loop body must be translated once and executed ~10000 times.
+  // The loop body must be translated once; steady-state iterations run as
+  // superblock passes once the loop head crosses the heat threshold, so the
+  // combined execution count covers ~10000 iterations.
   EXPECT_LT(m.ctx().stats.blocks_translated, 20u);
-  EXPECT_GT(m.ctx().stats.block_executions, 9000u);
+  EXPECT_GT(m.ctx().stats.block_executions + m.ctx().stats.trace_executions, 9000u);
+  EXPECT_GE(m.ctx().stats.traces_formed, 1u);
+  EXPECT_GT(m.ctx().stats.chain_hits, 0u);
+}
+
+TEST(DbtTest, SurgicalEvictionProtectsCorrectness) {
+  // 34-odd blocks cycled through an 8-block cache: capacity pressure must be
+  // absorbed by surgical (per-block) eviction, never a full flush, and the
+  // program still computes the right answer.
+  std::string source = R"(
+_start:
+    li s0, 5
+    li a0, 0
+again:
+    j b0
+)";
+  constexpr int kBlocks = 32;
+  for (int i = 0; i < kBlocks; ++i) {
+    source += "b" + std::to_string(i) + ":\n    addi a0, a0, 1\n";
+    if (i + 1 < kBlocks) {
+      source += "    j b" + std::to_string(i + 1) + "\n";
+    }
+  }
+  source += R"(
+    addi s0, s0, -1
+    bnez s0, again
+    halt
+)";
+  TestMachine m(1u << 20, PagingMode::kNested, EngineKind::kDbt, VirtMode::kHardwareAssist,
+                /*dbt_max_blocks=*/8);
+  m.Load(source);
+  m.RunToHalt();
+  EXPECT_EQ(m.Reg(isa::kA0), 5u * kBlocks);
+  EXPECT_GT(m.ctx().stats.evictions_surgical, 0u);
+  EXPECT_EQ(m.ctx().stats.evictions_full, 0u);
+}
+
+TEST_P(MachineTest, MemoryFastPathCountersAdvance) {
+  // A store/load loop over one page: after the first touches install the
+  // fast-translation entry, nearly every access should hit it.
+  TestMachine m = MakeMachine();
+  m.Load(R"(
+_start:
+    li t0, 0x9000
+    li s0, 1000
+loop:
+    sw s0, 0(t0)
+    lw a0, 0(t0)
+    addi s0, s0, -1
+    bnez s0, loop
+    halt
+  )");
+  m.RunToHalt();
+  EXPECT_EQ(m.Reg(isa::kA0), 1u);
+  EXPECT_GT(m.ctx().stats.mem_fastpath_hits, 1000u);
+  EXPECT_GT(m.ctx().stats.mem_fastpath_hits, m.ctx().stats.mem_fastpath_misses);
+}
+
+TEST_P(MachineTest, FastPathStateAuditsCleanUnderPaging) {
+  // With paging on and the per-vCPU fast-translation array hot, the MMU
+  // coherence auditor must still pass: the fast array is derived state that
+  // is invisible to (and must never outlive) the TLB it shadows.
+  TestMachine m = MakeMachine(8u << 20);
+  m.Load(std::string(kPagingBoot) + R"(
+    li t0, 0x9000
+    li s0, 500
+loop:
+    sw s0, 0(t0)
+    lw a0, 0(t0)
+    addi s0, s0, -1
+    bnez s0, loop
+    halt
+  )");
+  m.RunToHalt();
+  EXPECT_GT(m.ctx().stats.mem_fastpath_hits, 0u);
+  verify::AuditReport report;
+  verify::AuditMmuCoherence(m.virt(), /*paging=*/true, /*ptbr=*/0x80, &report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
 }
 
 TEST(DbtTest, MatchesInterpreterState) {

@@ -215,6 +215,168 @@ TEST(FuzzDiffTest, VirtualizersAgreeOnRandomPrograms) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Adversarial differential tests targeting the DBT fast paths: block
+// chaining, hot-trace superblocks, and the per-vCPU translation fast path.
+// Each runs an assembled program under both engines and requires identical
+// architectural state.
+// ---------------------------------------------------------------------------
+
+MachineSnapshot ExecuteAsm(const std::string& source, mmu::PagingMode paging,
+                           cpu::EngineKind engine, uint64_t max_cycles = 100'000'000) {
+  testing::TestMachine m(8u << 20, paging, engine, cpu::VirtMode::kHardwareAssist);
+  m.Load(source);
+  auto r = m.Run(max_cycles);
+  EXPECT_EQ(r.reason, cpu::ExitReason::kHalt) << "engine " << static_cast<int>(engine);
+
+  MachineSnapshot snap;
+  snap.regs = m.ctx().state.regs;
+  snap.pc = m.ctx().state.pc;
+  snap.instret = m.ctx().state.instret;
+  std::vector<uint8_t> scratch(0x2000);
+  EXPECT_TRUE(m.memory().Read(kScratchAddr, scratch.data(), scratch.size()).ok());
+  snap.mem_crc = Crc32(scratch.data(), scratch.size());
+  return snap;
+}
+
+TEST(FuzzDiffAdversarialTest, SmcRewritesChainedSuccessor) {
+  // The caller loop chains to (and eventually splices a trace through) the
+  // victim function, then keeps rewriting the victim's first instruction
+  // between calls. A DBT that follows a stale chain link or trace would add
+  // the wrong increment; the interpreter is the oracle, down to instret.
+  const char* program = R"(
+_start:
+    li sp, 0x40000
+    li s0, 200
+    li a0, 0
+    la s1, victim
+    la s2, patch_a
+    la s3, patch_b
+loop:
+    call victim
+    andi t0, s0, 1
+    beqz t0, even
+    lw t1, 0(s3)
+    j patch
+even:
+    lw t1, 0(s2)
+patch:
+    sw t1, 0(s1)          ; rewrite victim's first instruction
+    addi s0, s0, -1
+    bnez s0, loop
+    halt
+victim:
+    addi a0, a0, 1
+    ret
+patch_a:
+    addi a0, a0, 1
+patch_b:
+    addi a0, a0, 2
+  )";
+  MachineSnapshot interp =
+      ExecuteAsm(program, mmu::PagingMode::kNested, cpu::EngineKind::kInterpreter);
+  MachineSnapshot dbt = ExecuteAsm(program, mmu::PagingMode::kNested, cpu::EngineKind::kDbt);
+  EXPECT_EQ(interp.regs, dbt.regs);
+  EXPECT_EQ(interp.pc, dbt.pc);
+  EXPECT_EQ(interp.instret, dbt.instret);
+  EXPECT_GT(dbt.regs[isa::kA0], 200u);  // both increments actually landed
+}
+
+TEST(FuzzDiffAdversarialTest, SfenceAndPtbrSwitchLandMidTrace) {
+  // A hot inner loop (which the DBT promotes to a superblock) is repeatedly
+  // interrupted by SFENCE and a PTBR rewrite under active paging. Mapping
+  // epochs must invalidate lazily without perturbing architectural state.
+  const char* program = R"(
+.org 0x1000
+.equ PT_ROOT, 0x80000
+_start:
+    li t0, PT_ROOT
+    li t1, 0x7F           ; identity 4MiB superpage V|R|W|X|U|A|D
+    sw t1, 0(t0)
+    li t1, 0x80
+    csrw ptbr, t1
+    csrr t1, status
+    ori t1, t1, 0x10      ; STATUS.PG
+    csrw status, t1
+    li s0, 30
+    li a0, 0
+outer:
+    li t0, 0x9000
+    li s1, 400
+inner:
+    sw s1, 0(t0)
+    lw t1, 0(t0)
+    add a0, a0, t1
+    addi s1, s1, -1
+    bnez s1, inner
+    sfence                ; cut chains, bump the mapping epoch mid-trace
+    csrr t2, ptbr
+    csrw ptbr, t2         ; address-space switch to the same root
+    addi s0, s0, -1
+    bnez s0, outer
+    halt
+  )";
+  MachineSnapshot interp =
+      ExecuteAsm(program, mmu::PagingMode::kNested, cpu::EngineKind::kInterpreter);
+  MachineSnapshot dbt = ExecuteAsm(program, mmu::PagingMode::kNested, cpu::EngineKind::kDbt);
+  EXPECT_EQ(interp.regs, dbt.regs);
+  EXPECT_EQ(interp.pc, dbt.pc);
+  EXPECT_EQ(interp.instret, dbt.instret);
+  EXPECT_EQ(interp.mem_crc, dbt.mem_crc);
+  MachineSnapshot shadow =
+      ExecuteAsm(program, mmu::PagingMode::kShadow, cpu::EngineKind::kDbt);
+  EXPECT_EQ(interp.regs, shadow.regs);
+  EXPECT_EQ(interp.mem_crc, shadow.mem_crc);
+}
+
+TEST(FuzzDiffAdversarialTest, InterruptsAssertedBetweenChainedBlocks) {
+  // Timer interrupts preempt a chained/traced spin loop. The engines take
+  // the interrupt at different cycle counts (translation costs differ), so
+  // instret is NOT compared; every architectural register and all memory
+  // must still converge because the handler's work is count-based: it fires
+  // exactly five times, then disarms and releases the spinner via a flag.
+  const char* program = R"(
+_start:
+    la t0, handler
+    csrw tvec, t0
+    li t1, 400
+    csrw timecmp, t1
+    csrr t1, status
+    ori t1, t1, 1         ; STATUS.IE
+    csrw status, t1
+    li s0, 0x9000         ; count
+    li s1, 0x9004         ; flag
+spin:
+    lw t0, 0(s1)
+    beqz t0, spin
+    lw a0, 0(s0)          ; a0 = final count
+    halt
+handler:
+    li t2, 0x9000
+    lw t1, 0(t2)
+    addi t1, t1, 1
+    sw t1, 0(t2)
+    li t3, 5
+    blt t1, t3, rearm
+    li t3, 1
+    sw t3, 4(t2)          ; release the spinner
+    li t3, 0
+    csrw timecmp, t3      ; disarm
+    sret
+rearm:
+    li t3, 400
+    csrw timecmp, t3
+    sret
+  )";
+  MachineSnapshot interp =
+      ExecuteAsm(program, mmu::PagingMode::kNested, cpu::EngineKind::kInterpreter);
+  MachineSnapshot dbt = ExecuteAsm(program, mmu::PagingMode::kNested, cpu::EngineKind::kDbt);
+  EXPECT_EQ(interp.regs, dbt.regs);
+  EXPECT_EQ(interp.pc, dbt.pc);
+  EXPECT_EQ(interp.mem_crc, dbt.mem_crc);
+  EXPECT_EQ(dbt.regs[isa::kA0], 5u);
+}
+
 // Decoding random words must never crash or mis-encode (harness-level fuzz
 // of the decoder's totality; legal decodes must re-encode losslessly).
 TEST(FuzzDiffTest, DecoderTotalOnRandomWords) {

@@ -10,6 +10,10 @@
 #   4. AddressSanitizer build + suite (includes the chaos sweeps)
 #   5. UndefinedBehaviorSanitizer build + suite (includes the chaos sweeps)
 #   6. clang-tidy lint (skipped gracefully where clang-tidy is absent)
+#   7. perf smoke: Release bench_exec; the DBT engine must clear 2x the
+#      interpreter's guest-MIPS on the hot compute kernel — a coarse
+#      anti-regression tripwire, not a microbench gate (steady-state margin
+#      is ~3x; 2x absorbs shared-runner noise)
 #
 # Usage: tools/ci.sh [--fast]     --fast skips the sanitizer builds.
 
@@ -29,26 +33,42 @@ run_suite() {  # run_suite <build-dir> [extra cmake flags...]
 
 CHAOS_FILTER='ChaosTest|FaultPlanTest|InjectorTest|FaultyStoreTest|SwitchFaultTest|DeviceFaultTest|HvdCrashTest'
 
-echo "=== [1/6] plain build + tests ==="
+echo "=== [1/7] plain build + tests ==="
 run_suite build
 
-echo "=== [2/6] tests under HYPERION_AUDIT=1 ==="
+echo "=== [2/7] tests under HYPERION_AUDIT=1 ==="
 (cd build && HYPERION_AUDIT=1 ctest --output-on-failure -j "$JOBS")
 
-echo "=== [3/6] chaos: seeded fault-injection sweeps under audit ==="
+echo "=== [3/7] chaos: seeded fault-injection sweeps under audit ==="
 (cd build && HYPERION_AUDIT=1 ctest -R "$CHAOS_FILTER" --output-on-failure -j "$JOBS")
 
 if [ "$FAST" = "0" ]; then
-  echo "=== [4/6] AddressSanitizer (suite + chaos sweeps) ==="
+  echo "=== [4/7] AddressSanitizer (suite + chaos sweeps) ==="
   run_suite build-asan -DHYPERION_SANITIZE=address
 
-  echo "=== [5/6] UndefinedBehaviorSanitizer (suite + chaos sweeps) ==="
+  echo "=== [5/7] UndefinedBehaviorSanitizer (suite + chaos sweeps) ==="
   run_suite build-ubsan -DHYPERION_SANITIZE=undefined
 else
-  echo "=== [4/6][5/6] sanitizers skipped (--fast) ==="
+  echo "=== [4/7][5/7] sanitizers skipped (--fast) ==="
 fi
 
-echo "=== [6/6] lint ==="
+echo "=== [6/7] lint ==="
 tools/run_lint.sh build
+
+echo "=== [7/7] perf smoke: hot DBT vs interpreter ==="
+cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-perf -j "$JOBS" --target bench_exec
+# --benchmark_min_time takes a bare seconds value (no "s" suffix).
+build-perf/bench/bench_exec --benchmark_filter='BM_InterpreterHot|BM_DbtHot' \
+  --benchmark_min_time=0.2 --benchmark_format=json >build-perf/perf_smoke.json
+python3 - build-perf/perf_smoke.json <<'EOF'
+import json, sys
+runs = {b["name"].split("/")[0]: b["guest_mips"]
+        for b in json.load(open(sys.argv[1]))["benchmarks"]}
+interp, dbt = runs["BM_InterpreterHot"], runs["BM_DbtHot"]
+ratio = dbt / interp
+print(f"perf smoke: interpreter {interp:.1f} MIPS, dbt {dbt:.1f} MIPS, ratio {ratio:.2f}x")
+sys.exit(0 if ratio >= 2.0 else 1)
+EOF
 
 echo "ci: all stages passed"

@@ -83,10 +83,13 @@ struct VcpuStats {
 // Entries are validated against the software TLB's flush generation, so any
 // coherence event (sfence, ptbr switch, paging toggle, COW break, KSM/balloon
 // or migration page change, shadow-PT invalidation) — all of which funnel
-// through a Tlb::Flush* — disables every cached entry at once. The array is a
-// host-side accelerator only: hits charge the same simulated cost as a TLB
-// hit, and it can never outlive the TLB state it mirrors, which keeps it
-// invisible to the ProbeGuest-based coherence audits.
+// through a Tlb::Flush* — disables every cached entry at once. Each entry
+// carries the leaf R/W/X/U rights of its mapping and serves only access
+// kinds those rights cover, so a load-warmed entry never feeds a fetch from
+// a non-executable page. The array is a host-side accelerator
+// only: hits charge the same simulated cost as a TLB hit, and it can never
+// outlive the TLB state it mirrors, which keeps it invisible to the
+// ProbeGuest-based coherence audits.
 struct FastTranslations {
   static constexpr uint32_t kEntries = 256;  // power of two
   struct Entry {
@@ -94,8 +97,10 @@ struct FastTranslations {
     uint32_t gpn = 0;
     uint64_t tlb_gen = 0;  // Tlb generations start at 1, so 0 never matches
     uint8_t* data = nullptr;  // host frame base
-    bool writable = false;
-    bool user_ok = false;  // filled at user privilege (perms were user-checked)
+    bool writable = false;  // leaf W (store fast path allowed)
+    bool read_ok = false;   // leaf R (load fast path allowed)
+    bool exec_ok = false;   // leaf X (fetch fast path allowed)
+    bool user_ok = false;   // leaf U (user-mode accesses allowed)
   };
   std::array<Entry, kEntries> entries;
 

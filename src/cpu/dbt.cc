@@ -494,7 +494,9 @@ class DbtEngine final : public ExecutionEngine {
 
   // Executes the head's superblock, re-entering it while the loop keeps
   // closing. Every instruction is guarded by its expected pc, so traps and
-  // off-trace branches fall back naturally; seams honor pending SMC work.
+  // off-trace branches fall back naturally; seams honor pending SMC work and
+  // the block-boundary interrupt window, so a trace never widens worst-case
+  // interrupt latency beyond one block.
   void RunTrace(ExecCore& core, VcpuContext& ctx, Block& head, uint64_t max_cycles) {
     Trace& tr = *head.trace;
     CpuState& s = ctx.state;
@@ -505,7 +507,7 @@ class DbtEngine final : public ExecutionEngine {
     const uint32_t head_va = tr.head_va;
     // CSR writes end blocks, and a trap mid-trace fails the next guard, so
     // status (IE) and timecmp are fixed for the whole stay in this trace —
-    // hoist the per-pass timer/interrupt tests on them out of the loop.
+    // hoist them so the per-seam timer/interrupt tests are two compares.
     const uint64_t timer_due =
         s.timecmp != 0 ? s.timecmp : std::numeric_limits<uint64_t>::max();
     const bool ie = s.interrupts_enabled();
@@ -514,10 +516,23 @@ class DbtEngine final : public ExecutionEngine {
       ++passes;
       for (size_t ci = 0; ci < nchunks; ++ci) {
         const Chunk& c = chunks[ci];
-        if (c.seam != 0 && have_pending_) {
-          // Apply SMC invalidations exactly at a block seam.
-          ctx.stats.trace_executions += passes;
-          return;
+        if (c.seam != 0) {
+          if (have_pending_) {
+            // Apply SMC invalidations exactly at a block seam.
+            ctx.stats.trace_executions += passes;
+            return;
+          }
+          // Mirror the dispatch loop's per-block interrupt window at every
+          // seam too: without this a trace pass would widen worst-case
+          // delivery latency from one block (<=64 instructions) to a full
+          // pass (<=256). Bailing out lets dispatch deliver and cut chains.
+          if (core.Now() >= timer_due) {
+            core.CheckTimer();
+          }
+          if (ie && s.ipend != 0) {
+            ctx.stats.trace_executions += passes;
+            return;
+          }
         }
         if (s.pc != c.va) {
           // Guard failed: trap or off-trace branch.

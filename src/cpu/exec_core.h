@@ -94,14 +94,26 @@ class ExecCore {
   // are validated against the TLB flush generation, so every coherence event
   // (sfence, ptbr switch, paging toggle, COW/KSM/balloon/migration page
   // changes, shadow-PT invalidations) disables the whole array at once.
-  // Returns nullptr on any mismatch — including permission upgrades (store to
-  // a load-filled entry) and privilege (entries filled in supervisor mode are
-  // not trusted for user accesses, whose permissions were never checked).
-  FastTranslations::Entry* FastLookup(uint32_t va, bool store) {
+  // Returns nullptr on any mismatch — including access rights the mapping
+  // does not grant (entries carry the leaf R/W/X bits, so a load-warmed
+  // entry never serves a fetch from a non-executable page and vice versa)
+  // and privilege (user accesses require the leaf U bit).
+  FastTranslations::Entry* FastLookup(uint32_t va, mmu::Access access) {
     FastTranslations::Entry& e = ctx_.fast_tlb.Slot(isa::PageNumber(va));
+    bool right_ok = false;
+    switch (access) {
+      case mmu::Access::kFetch:
+        right_ok = e.exec_ok;
+        break;
+      case mmu::Access::kLoad:
+        right_ok = e.read_ok;
+        break;
+      case mmu::Access::kStore:
+        right_ok = e.writable;
+        break;
+    }
     if (e.vpn != isa::PageNumber(va) || e.tlb_gen != ctx_.virt->tlb().generation() ||
-        (store && !e.writable) ||
-        (!e.user_ok && ctx_.state.priv() == isa::PrivMode::kUser)) {
+        !right_ok || (!e.user_ok && ctx_.state.priv() == isa::PrivMode::kUser)) {
       ++ctx_.stats.mem_fastpath_misses;
       return nullptr;
     }
@@ -112,6 +124,9 @@ class ExecCore {
   }
 
   // Caches a successful plain-RAM translation for subsequent fast lookups.
+  // The entry grants exactly the rights the translation layer proved from
+  // the mapping (leaf R/W/X/U bits), so a load-warmed entry serves fetches
+  // only when the page really is executable.
   void FastFill(uint32_t va, const mmu::TranslateOutcome& out) {
     if (out.event != mmu::MemEvent::kNone || out.is_mmio) {
       return;
@@ -122,7 +137,9 @@ class ExecCore {
     e.tlb_gen = ctx_.virt->tlb().generation();
     e.data = ctx_.memory->pool().FrameData(out.frame);
     e.writable = out.writable;
-    e.user_ok = ctx_.state.priv() == isa::PrivMode::kUser;
+    e.read_ok = out.readable;
+    e.exec_ok = out.executable;
+    e.user_ok = out.user;
   }
 
   // Fetches the instruction word at `va`. Returns false when the current
@@ -132,7 +149,7 @@ class ExecCore {
       Trap(isa::TrapCause::kInstrMisaligned, va);
       return false;
     }
-    if (const FastTranslations::Entry* fe = FastLookup(va, /*store=*/false)) {
+    if (const FastTranslations::Entry* fe = FastLookup(va, mmu::Access::kFetch)) {
       std::memcpy(word, fe->data + isa::VaPageOffset(va), 4);
       return true;
     }
@@ -156,7 +173,7 @@ class ExecCore {
       Trap(isa::TrapCause::kLoadMisaligned, va);
       return false;
     }
-    if (const FastTranslations::Entry* fe = FastLookup(va, /*store=*/false)) {
+    if (const FastTranslations::Entry* fe = FastLookup(va, mmu::Access::kLoad)) {
       uint32_t v = 0;
       std::memcpy(&v, fe->data + isa::VaPageOffset(va), size);
       *out = v;
@@ -183,7 +200,7 @@ class ExecCore {
       Trap(isa::TrapCause::kStoreMisaligned, va);
       return false;
     }
-    if (FastTranslations::Entry* fe = FastLookup(va, /*store=*/true)) {
+    if (FastTranslations::Entry* fe = FastLookup(va, mmu::Access::kStore)) {
       // The fast path must keep every side channel of a slow store: dirty
       // logging for migration and SMC invalidation for the DBT engine.
       std::memcpy(fe->data + isa::VaPageOffset(va), &value, size);

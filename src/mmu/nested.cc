@@ -32,12 +32,15 @@ class NestedPaging final : public MemoryVirtualizer {
     uint32_t asid = asid_tlb_ ? ptbr : 0;
 
     const TlbEntry* e = tlb_.Lookup(vpn, asid);
-    if (e != nullptr && (access != Access::kStore || e->writable) &&
+    if (e != nullptr && RightsAllow(access, e->readable, e->writable, e->executable) &&
         (priv != isa::PrivMode::kUser || e->user)) {
       TranslateOutcome out;
       out.gpa = (e->gpn << isa::kPageBits) | isa::VaPageOffset(va);
       out.frame = e->frame;
       out.writable = e->writable;
+      out.readable = e->readable;
+      out.executable = e->executable;
+      out.user = e->user;
       out.cost = costs_.tlb_hit;
       return out;
     }
@@ -60,6 +63,9 @@ class NestedPaging final : public MemoryVirtualizer {
     }
 
     TranslateOutcome out = ResolveGpa(wr.gpa, access, wr.writable, cost + costs_.tlb_fill);
+    out.readable = wr.readable;
+    out.executable = wr.executable;
+    out.user = wr.user;
     if (out.event != MemEvent::kNone || out.is_mmio) {
       return out;
     }
@@ -70,6 +76,8 @@ class NestedPaging final : public MemoryVirtualizer {
     fill.gpn = isa::PageNumber(out.gpa);
     fill.frame = out.frame;
     fill.writable = out.writable;
+    fill.readable = wr.readable;
+    fill.executable = wr.executable;
     fill.user = wr.user;
     fill.superpage = wr.superpage;
     tlb_.Insert(fill);

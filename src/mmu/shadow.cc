@@ -46,12 +46,15 @@ class ShadowPaging final : public MemoryVirtualizer {
 
     // 1. TLB fast path.
     const TlbEntry* e = tlb_.Lookup(vpn);
-    if (e != nullptr && (access != Access::kStore || e->writable) &&
+    if (e != nullptr && RightsAllow(access, e->readable, e->writable, e->executable) &&
         (priv != isa::PrivMode::kUser || e->user)) {
       TranslateOutcome out;
       out.gpa = (e->gpn << isa::kPageBits) | isa::VaPageOffset(va);
       out.frame = e->frame;
       out.writable = e->writable;
+      out.readable = e->readable;
+      out.executable = e->executable;
+      out.user = e->user;
       out.cost = costs_.tlb_hit;
       return out;
     }
@@ -63,7 +66,7 @@ class ShadowPaging final : public MemoryVirtualizer {
     auto it = root.map.find(vpn);
     if (it != root.map.end()) {
       const ShadowEntry& se = it->second;
-      bool perm_ok = (access != Access::kStore || se.writable) &&
+      bool perm_ok = RightsAllow(access, se.readable, se.writable, se.executable) &&
                      (priv != isa::PrivMode::kUser || se.user);
       if (perm_ok) {
         return FillFromShadow(va, se, costs_.pt_walk_step * 2 + costs_.tlb_fill);
@@ -90,6 +93,9 @@ class ShadowPaging final : public MemoryVirtualizer {
 
     cost += costs_.shadow_sync_entry;
     TranslateOutcome out = ResolveGpa(wr.gpa, access, wr.writable, cost);
+    out.readable = wr.readable;
+    out.executable = wr.executable;
+    out.user = wr.user;
     if (out.event != MemEvent::kNone) {
       return out;  // PT-write trap, COW break, missing page, or bus fault
     }
@@ -101,6 +107,8 @@ class ShadowPaging final : public MemoryVirtualizer {
     ShadowEntry se;
     se.gpn = isa::PageNumber(wr.gpa);
     se.writable = out.writable;
+    se.readable = wr.readable;
+    se.executable = wr.executable;
     se.user = wr.user;
     root.map[vpn] = se;
     ++stats_.shadow_syncs;
@@ -205,6 +213,14 @@ class ShadowPaging final : public MemoryVirtualizer {
           violations->push_back(where.str() +
                                 "writable shadow entry without W+D in the guest PTE");
         }
+        if (se.readable && (pr.leaf_pte & isa::Pte::kRead) == 0) {
+          violations->push_back(where.str() +
+                                "readable shadow entry without R in the guest PTE");
+        }
+        if (se.executable && (pr.leaf_pte & isa::Pte::kExec) == 0) {
+          violations->push_back(where.str() +
+                                "executable shadow entry without X in the guest PTE");
+        }
         if (se.user != ((pr.leaf_pte & isa::Pte::kUser) != 0)) {
           violations->push_back(where.str() +
                                 "user bit disagrees with the guest PTE");
@@ -240,6 +256,7 @@ class ShadowPaging final : public MemoryVirtualizer {
           return;
         }
         if (it->second.gpn != e.gpn || it->second.writable != e.writable ||
+            it->second.readable != e.readable || it->second.executable != e.executable ||
             it->second.user != e.user) {
           violations->push_back(where.str() +
                                 "permissions or target disagree with the shadow entry");
@@ -251,7 +268,9 @@ class ShadowPaging final : public MemoryVirtualizer {
  private:
   struct ShadowEntry {
     uint32_t gpn = 0;
+    bool readable = false;
     bool writable = false;
+    bool executable = false;
     bool user = false;
   };
 
@@ -347,6 +366,9 @@ class ShadowPaging final : public MemoryVirtualizer {
     out.frame = memory_->FrameForPage(se.gpn);
     assert(out.frame != mem::kInvalidFrame && "shadow entry to an absent page");
     out.writable = se.writable;
+    out.readable = se.readable;
+    out.executable = se.executable;
+    out.user = se.user;
     out.cost = cost;
     InsertTlb(isa::PageNumber(va), se);
     return out;
@@ -358,6 +380,8 @@ class ShadowPaging final : public MemoryVirtualizer {
     e.gpn = se.gpn;
     e.frame = memory_->FrameForPage(se.gpn);
     e.writable = se.writable;
+    e.readable = se.readable;
+    e.executable = se.executable;
     e.user = se.user;
     tlb_.Insert(e);
     ++stats_.tlb_fill;

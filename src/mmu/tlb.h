@@ -10,20 +10,40 @@
 #include <vector>
 
 #include "src/mem/frame_pool.h"
+#include "src/mmu/walker.h"
 
 namespace hyperion::mmu {
 
+// Entries carry the leaf R/W/X permissions, and every hit path must check
+// the bit matching the access kind: the guest walker enforces permissions
+// per access, so a cached translation filled by a load must not satisfy a
+// fetch from a non-executable page (or vice versa).
 struct TlbEntry {
   uint32_t vpn = 0;            // virtual page number (tag)
   uint32_t asid = 0;           // address-space tag (0 when untagged)
   uint32_t gpn = 0;            // guest-physical page number
   mem::HostFrame frame = mem::kInvalidFrame;
   bool valid = false;
+  bool readable = false;       // load fast path allowed
   bool writable = false;       // store fast path allowed
+  bool executable = false;     // fetch fast path allowed
   bool user = false;           // user-mode access allowed
   bool superpage = false;      // entry derived from a 4 MiB mapping
   uint64_t lru = 0;
 };
+
+// True when cached rights {R, W, X} cover `access`.
+inline bool RightsAllow(Access access, bool readable, bool writable, bool executable) {
+  switch (access) {
+    case Access::kFetch:
+      return executable;
+    case Access::kLoad:
+      return readable;
+    case Access::kStore:
+      return writable;
+  }
+  return false;
+}
 
 struct TlbStats {
   uint64_t hits = 0;

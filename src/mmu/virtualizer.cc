@@ -65,22 +65,31 @@ TranslateOutcome MemoryVirtualizer::TranslateBare(uint32_t va, Access access) {
   if (!isa::IsMmio(va)) {
     uint32_t vpn = isa::PageNumber(va);
     const TlbEntry* e = tlb_.Lookup(vpn);
-    if (e != nullptr && (access != Access::kStore || e->writable)) {
+    if (e != nullptr && RightsAllow(access, e->readable, e->writable, e->executable)) {
       TranslateOutcome out;
       out.gpa = va;
       out.frame = e->frame;
       out.writable = e->writable;
+      out.readable = e->readable;
+      out.executable = e->executable;
+      out.user = e->user;
       out.cost = costs_.tlb_hit;
       return out;
     }
   }
   TranslateOutcome out = ResolveGpa(va, access, /*pte_writable=*/true, costs_.tlb_fill);
+  // With no page tables every access kind is permitted.
+  out.readable = true;
+  out.executable = true;
+  out.user = true;
   if (out.event == MemEvent::kNone && !out.is_mmio) {
     TlbEntry e;
     e.vpn = isa::PageNumber(va);
     e.gpn = isa::PageNumber(out.gpa);
     e.frame = out.frame;
     e.writable = out.writable;
+    e.readable = true;
+    e.executable = true;
     e.user = true;
     tlb_.Insert(e);
     ++stats_.tlb_fill;

@@ -47,7 +47,10 @@ struct TranslateOutcome {
   uint32_t gpa = 0;
   mem::HostFrame frame = mem::kInvalidFrame;  // kInvalidFrame when is_mmio
   bool is_mmio = false;
-  bool writable = false;  // whether this outcome came via a write-enabled path
+  bool writable = false;    // whether this outcome came via a write-enabled path
+  bool readable = false;    // leaf R permission of the mapping
+  bool executable = false;  // leaf X permission of the mapping
+  bool user = false;        // leaf U permission of the mapping
 
   // kGuestFault:
   isa::TrapCause fault_cause = isa::TrapCause::kLoadPageFault;

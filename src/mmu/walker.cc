@@ -105,6 +105,8 @@ WalkResult WalkGuest(mem::GuestMemory& memory, uint32_t ptbr_page, uint32_t va, 
   // takes the store path above, later stores can use a write-enabled TLB
   // entry without losing the D-bit update.
   result.writable = (leaf_pte & Pte::kWrite) && (updated & Pte::kDirty);
+  result.readable = (leaf_pte & Pte::kRead) != 0;
+  result.executable = (leaf_pte & Pte::kExec) != 0;
   result.user = (leaf_pte & Pte::kUser) != 0;
   result.superpage = superpage;
   result.leaf_pte_gpa = leaf_gpa_of_pte;

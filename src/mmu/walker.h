@@ -23,7 +23,9 @@ struct WalkResult {
   isa::TrapCause fault = isa::TrapCause::kLoadPageFault;  // when !ok
 
   uint32_t gpa = 0;           // translated guest-physical address
+  bool readable = false;      // leaf R permission
   bool writable = false;      // leaf W permission (after A/D handling)
+  bool executable = false;    // leaf X permission
   bool user = false;          // leaf U permission
   bool superpage = false;     // mapped by a 4 MiB L1 leaf
   uint32_t leaf_pte_gpa = 0;  // where the leaf PTE lives (shadow WP tracking)

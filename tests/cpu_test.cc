@@ -918,6 +918,70 @@ loop:
   EXPECT_TRUE(report.ok()) << report.ToString();
 }
 
+TEST_P(MachineTest, FastPathDoesNotLeakExecFromLoadWarmedEntry) {
+  // Map va 0x400000 -> pa 0x10000 readable+writable but NOT executable, warm
+  // the fast-translation array with loads, then jump there: the fetch must
+  // still take kInstrPageFault. A load-warmed entry proves R, not X — serving
+  // it to a fetch would be an NX bypass.
+  TestMachine m = MakeMachine(8u << 20);
+  m.Load(std::string(kPagingBoot) + R"(
+    li t0, PT_ROOT + 4
+    li t1, 0x82001        ; L1 -> PT page 0x82
+    sw t1, 0(t0)
+    li t0, 0x82000
+    li t1, 0x10067        ; leaf: V|R|W|A|D, no X
+    sw t1, 0(t0)
+    sfence
+    la t0, handler
+    csrw tvec, t0
+    li t1, 0x400000
+    lw a0, 0(t1)          ; fills the fast entry (R proven)
+    lw a0, 0(t1)          ; second load hits the fast path
+    jalr ra, t1, 0        ; fetch from the NX page must fault
+    halt                  ; not reached
+handler:
+    csrr a2, cause
+    csrr a3, tval
+    halt
+  )");
+  m.RunToHalt();
+  EXPECT_EQ(m.Reg(isa::kA2), static_cast<uint32_t>(isa::TrapCause::kInstrPageFault));
+  EXPECT_EQ(m.Reg(isa::kA3), 0x400000u);
+}
+
+TEST_P(MachineTest, FastPathDoesNotLeakReadFromFetchWarmedEntry) {
+  // The converse: map va 0x400000 -> pa 0x10000 execute-only, call through it
+  // so fetches warm the fast-translation array, then load from it: the load
+  // must still take kLoadPageFault (a fetch-warmed entry proves X, not R).
+  TestMachine m = MakeMachine(8u << 20);
+  m.Load(std::string(kPagingBoot) + R"(
+    li t0, PT_ROOT + 4
+    li t1, 0x82001        ; L1 -> PT page 0x82
+    sw t1, 0(t0)
+    li t0, 0x82000
+    li t1, 0x10069        ; leaf: V|X|A|D, no R/W
+    sw t1, 0(t0)
+    sfence
+    la t0, handler
+    csrw tvec, t0
+    li t1, 0x400000
+    jalr ra, t1, 0        ; execute from the X-only page (fills the entry)
+    jalr ra, t1, 0        ; second call fetches via the fast path
+    lw a0, 0(t1)          ; load from the X-only page must fault
+    halt                  ; not reached
+handler:
+    csrr a2, cause
+    csrr a3, tval
+    halt
+.org 0x10000
+xonly:
+    ret
+  )");
+  m.RunToHalt();
+  EXPECT_EQ(m.Reg(isa::kA2), static_cast<uint32_t>(isa::TrapCause::kLoadPageFault));
+  EXPECT_EQ(m.Reg(isa::kA3), 0x400000u);
+}
+
 TEST(DbtTest, MatchesInterpreterState) {
   // Differential test: the same program must leave identical architectural
   // state under both engines.

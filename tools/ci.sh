@@ -58,17 +58,32 @@ tools/run_lint.sh build
 echo "=== [7/7] perf smoke: hot DBT vs interpreter ==="
 cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-perf -j "$JOBS" --target bench_exec
-# --benchmark_min_time takes a bare seconds value (no "s" suffix).
-build-perf/bench/bench_exec --benchmark_filter='BM_InterpreterHot|BM_DbtHot' \
-  --benchmark_min_time=0.2 --benchmark_format=json >build-perf/perf_smoke.json
-python3 - build-perf/perf_smoke.json <<'EOF'
-import json, sys
-runs = {b["name"].split("/")[0]: b["guest_mips"]
-        for b in json.load(open(sys.argv[1]))["benchmarks"]}
-interp, dbt = runs["BM_InterpreterHot"], runs["BM_DbtHot"]
+# --benchmark_min_time takes a bare seconds value (no "s" suffix). The ratio
+# is computed from per-benchmark medians of 3 repetitions, and the stage
+# retries once on failure, so a single noisy sample on an oversubscribed
+# shared runner cannot fail the build on its own.
+perf_smoke() {
+  build-perf/bench/bench_exec --benchmark_filter='BM_InterpreterHot|BM_DbtHot' \
+    --benchmark_min_time=0.2 --benchmark_repetitions=3 \
+    --benchmark_format=json >build-perf/perf_smoke.json
+  python3 - build-perf/perf_smoke.json <<'EOF'
+import json, sys, statistics
+reps = {}
+for b in json.load(open(sys.argv[1]))["benchmarks"]:
+    if b.get("run_type") == "aggregate":
+        continue
+    reps.setdefault(b["name"].split("/")[0], []).append(b["guest_mips"])
+interp = statistics.median(reps["BM_InterpreterHot"])
+dbt = statistics.median(reps["BM_DbtHot"])
 ratio = dbt / interp
-print(f"perf smoke: interpreter {interp:.1f} MIPS, dbt {dbt:.1f} MIPS, ratio {ratio:.2f}x")
+print(f"perf smoke: interpreter {interp:.1f} MIPS, dbt {dbt:.1f} MIPS, "
+      f"ratio {ratio:.2f}x (medians of {len(reps['BM_DbtHot'])} reps)")
 sys.exit(0 if ratio >= 2.0 else 1)
 EOF
+}
+if ! perf_smoke; then
+  echo "perf smoke: ratio below threshold once; retrying to absorb runner noise"
+  perf_smoke
+fi
 
 echo "ci: all stages passed"

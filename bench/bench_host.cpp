@@ -1,0 +1,81 @@
+// Experiment F7 — staged execution core scaling.
+//
+// The dispatch→execute→commit run loop (DESIGN.md §8) promises that worker
+// threads buy wall-clock speed without changing simulation results. This
+// harness measures the first half of that promise: aggregate guest MIPS
+// (instructions retired per host wall second, summed over all VMs) for
+// 1/2/4/8 single-vCPU compute VMs at 0/2/4 workers. The acceptance bar is
+// >= 2x aggregate MIPS for 8 VMs at 4 workers vs. the serial loop on a
+// >= 4-core host. The second half — bit-identical results — is enforced by
+// tests/parallel_test.cc; this table also cross-checks that the retired
+// instruction count is worker-invariant.
+
+#include <chrono>
+
+#include "bench/bench_util.h"
+
+using namespace hyperion;
+using namespace hyperion::bench;
+
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+struct RunResult {
+  double mips = 0;
+  uint64_t instructions = 0;
+};
+
+RunResult RunOne(uint32_t num_vms, int workers, SimTime sim_time) {
+  core::HostConfig hc;
+  hc.num_pcpus = 8;  // enough pCPUs that every VM gets a lane each round
+  hc.worker_threads = workers;
+  core::Host host(hc);
+
+  std::string prog = guest::ComputeProgram(0);  // spin forever
+  std::vector<core::Vm*> vms;
+  for (uint32_t i = 0; i < num_vms; ++i) {
+    core::VmConfig cfg;
+    cfg.name = "cpu" + std::to_string(i);
+    vms.push_back(MustBoot(host, cfg, prog));
+  }
+
+  host.RunFor(kSimTicksPerMs);  // warm up: code paths, worker pool spin-up
+  uint64_t before = 0;
+  for (core::Vm* vm : vms) {
+    before += vm->TotalStats().instructions;
+  }
+
+  auto w0 = WallClock::now();
+  host.RunFor(sim_time);
+  auto w1 = WallClock::now();
+
+  RunResult r;
+  for (core::Vm* vm : vms) {
+    r.instructions += vm->TotalStats().instructions;
+  }
+  r.instructions -= before;
+  double wall_us = std::chrono::duration<double, std::micro>(w1 - w0).count();
+  r.mips = static_cast<double>(r.instructions) / wall_us;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  constexpr SimTime kSimTime = 30 * kSimTicksPerMs;
+  Section("F7: staged run-loop scaling (aggregate guest MIPS, 8 pCPUs)");
+  Row("%-6s %14s %14s %14s %10s %12s", "vms", "serial-MIPS", "2w-MIPS", "4w-MIPS",
+      "4w-speedup", "instr-match");
+
+  for (uint32_t vms : {1u, 2u, 4u, 8u}) {
+    RunResult serial = RunOne(vms, 0, kSimTime);
+    RunResult two = RunOne(vms, 2, kSimTime);
+    RunResult four = RunOne(vms, 4, kSimTime);
+    bool match =
+        serial.instructions == two.instructions && serial.instructions == four.instructions;
+    Row("%-6u %14.1f %14.1f %14.1f %9.2fx %12s", vms, serial.mips, two.mips, four.mips,
+        four.mips / serial.mips, match ? "yes" : "NO");
+  }
+  return 0;
+}

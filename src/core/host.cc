@@ -1,11 +1,28 @@
 #include "src/core/host.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "src/fault/fault.h"
 #include "src/util/logging.h"
 
 namespace hyperion::core {
+
+namespace {
+
+uint32_t ResolveWorkerThreads(int configured) {
+  if (configured >= 0) {
+    return static_cast<uint32_t>(configured);
+  }
+  const char* env = std::getenv("HYPERION_WORKERS");
+  if (env == nullptr) {
+    return 0;
+  }
+  int parsed = std::atoi(env);
+  return parsed > 0 ? static_cast<uint32_t>(parsed) : 0;
+}
+
+}  // namespace
 
 Host::Host(HostConfig config)
     : config_(std::move(config)),
@@ -13,7 +30,12 @@ Host::Host(HostConfig config)
       switch_(&clock_),
       sched_(sched::MakeScheduler(config_.sched_policy, config_.num_pcpus)),
       pcpu_free_at_(config_.num_pcpus, 0),
-      pcpu_last_entity_(config_.num_pcpus, sched::kIdle) {}
+      pcpu_last_entity_(config_.num_pcpus, sched::kIdle),
+      worker_threads_(ResolveWorkerThreads(config_.worker_threads)) {
+  for (uint32_t p = 0; p < config_.num_pcpus; ++p) {
+    pcpu_heap_.push({0, p});
+  }
+}
 
 Host::~Host() = default;
 
@@ -50,7 +72,7 @@ Status Host::DestroyVm(Vm* vm) {
     entities_.erase(base + i);
   }
   vm_base_entity_.erase(vm);
-  vms_.erase(it);
+  vms_.erase(it);  // ~Vm cancels the VM's pending clock events
   return OkStatus();
 }
 
@@ -70,17 +92,27 @@ sched::EntityId Host::EntityOf(Vm* vm, uint32_t vcpu) const {
 
 void Host::WakeVcpu(Vm* vm, uint32_t vcpu) {
   sched::EntityId id = EntityOf(vm, vcpu);
-  if (id != sched::kIdle) {
-    vm->vcpu(vcpu).state.waiting = false;
-    sched_->SetRunnable(id, true, clock_.now());
+  if (id == sched::kIdle) {
+    return;
   }
+  vm->vcpu(vcpu).state.waiting = false;
+  if (SliceWork* slice = tls_slice_; slice != nullptr && slice->host == this) {
+    slice->wakes.push_back(WakeOp{vm, vcpu, true});
+    return;
+  }
+  sched_->SetRunnable(id, true, clock_.now());
 }
 
 void Host::BlockVcpu(Vm* vm, uint32_t vcpu) {
   sched::EntityId id = EntityOf(vm, vcpu);
-  if (id != sched::kIdle) {
-    sched_->SetRunnable(id, false, clock_.now());
+  if (id == sched::kIdle) {
+    return;
   }
+  if (SliceWork* slice = tls_slice_; slice != nullptr && slice->host == this) {
+    slice->wakes.push_back(WakeOp{vm, vcpu, false});
+    return;
+  }
+  sched_->SetRunnable(id, false, clock_.now());
 }
 
 void Host::SetFaultInjector(fault::FaultInjector* injector, std::string site) {
@@ -88,17 +120,23 @@ void Host::SetFaultInjector(fault::FaultInjector* injector, std::string site) {
   fault_site_ = std::move(site);
 }
 
+void Host::CrashAllVms(const Status& reason) {
+  for (auto& vm : vms_) {
+    if (vm->state() == VmState::kRunning) {
+      vm->Crash(reason);
+    }
+  }
+}
+
 void Host::RunFor(SimTime duration) {
   SimTime end = clock_.now() + duration;
+  if (workers_ == nullptr && worker_threads_ > 0) {
+    workers_ = std::make_unique<WorkerPool>(worker_threads_);
+  }
   while (clock_.now() < end) {
     if (fault_injector_ != nullptr) {
       if (fault_injector_->TakeCrash(fault_site_, clock_.now())) {
-        Status reason = UnavailableError("injected host crash on " + config_.name);
-        for (auto& vm : vms_) {
-          if (vm->state() == VmState::kRunning) {
-            vm->Crash(reason);
-          }
-        }
+        CrashAllVms(UnavailableError("injected host crash on " + config_.name));
       }
       if (auto until = fault_injector_->PauseUntil(fault_site_, clock_.now())) {
         // The host is stalled: no vCPU runs, but time and device events
@@ -111,82 +149,195 @@ void Host::RunFor(SimTime duration) {
         }
       }
     }
-    // Pick the pCPU that frees first.
-    size_t p = 0;
-    for (size_t i = 1; i < pcpu_free_at_.size(); ++i) {
-      if (pcpu_free_at_[i] < pcpu_free_at_[p]) {
-        p = i;
-      }
-    }
-    SimTime t = std::max(pcpu_free_at_[p], clock_.now());
-    if (t >= end) {
-      clock_.RunUntil(end);
+    if (!RunRound(end)) {
       return;
     }
-    clock_.RunUntil(t);  // deliver device completions and timer wakes due by t
-
-    sched::EntityId id = sched_->PickNext(clock_.now());
-    if (id == sched::kIdle) {
-      ++stats_.idle_picks;
-      // Nothing runnable now: advance this pCPU to the next interesting
-      // moment — the next clock event, another pCPU freeing, or `end`.
-      SimTime next = end;
-      if (clock_.HasPending()) {
-        next = std::min(next, clock_.NextEventTime());
-      }
-      for (size_t i = 0; i < pcpu_free_at_.size(); ++i) {
-        if (i != p && pcpu_free_at_[i] > t) {
-          next = std::min(next, pcpu_free_at_[i]);
-        }
-      }
-      next = std::min(next, sched_->NextEligibleTime(t));
-      if (next <= t) {
-        // Fully idle with no future events: nothing can happen before `end`.
-        clock_.RunUntil(end);
-        return;
-      }
-      pcpu_free_at_[p] = next;
-      continue;
-    }
-
-    EntityRef ref = entities_[id];
-    uint64_t budget = std::min<uint64_t>(config_.timeslice_cycles, end - t);
-    SliceResult r = ref.vm->RunVcpuSlice(ref.vcpu, budget, t);
-    if (verify::AuditEnabled()) {
-      verify::AuditReport fr = AuditFrameAccounting();
-      if (!fr.ok()) {
-        Status reason = InternalError("frame accounting audit failed on " +
-                                      config_.name + ":\n" + fr.ToString());
-        for (auto& vm : vms_) {
-          if (vm->state() == VmState::kRunning) {
-            vm->Crash(reason);
-          }
-        }
-      }
-    }
-    SimTime done = t + std::max<uint64_t>(r.cycles, 1);
-    // Switching the pCPU to a different vCPU costs a world switch plus the
-    // cold-cache tail; consolidation efficiency decays slightly with it.
-    if (pcpu_last_entity_[p] != id) {
-      done += config_.costs.context_switch;
-      pcpu_last_entity_[p] = id;
-      ++stats_.context_switches;
-    }
-    pcpu_free_at_[p] = done;
-    ++stats_.slices;
-    stats_.cycles_executed += r.cycles;
-
-    bool still_runnable = r.end == SliceEnd::kBudget || r.end == SliceEnd::kYielded;
-    sched_->Account(id, r.cycles, still_runnable, done);
   }
 }
 
+bool Host::RunRound(SimTime end) {
+  // --- Dispatch ------------------------------------------------------------
+  // The earliest-free pCPU anchors the round.
+  SimTime t0 = std::max(pcpu_heap_.top().first, clock_.now());
+  if (t0 >= end) {
+    clock_.RunUntil(end);
+    return false;
+  }
+  clock_.RunUntil(t0);  // deliver device completions and timer wakes due by t0
+
+  // Conservative window: no slice may start at or after the next pending
+  // clock event — that event could wake a vCPU that deserves the pCPU first.
+  SimTime window_end = end;
+  if (clock_.HasPending()) {
+    window_end = std::min(window_end, clock_.NextEventTime());
+  }
+
+  std::vector<SliceWork> slices;
+  std::vector<IdlePick> idles;
+  // VMs sharing one BlockStore must not execute in the same round: their
+  // concurrent store accesses would race and perturb per-site fault-op
+  // ordering. The first VM to claim a store vetoes the others until commit.
+  std::map<const void*, const Vm*> store_users;
+  bool vetoed = false;
+  auto eligible = [&](sched::EntityId id) {
+    const EntityRef& ref = entities_.at(id);
+    const void* store = ref.vm->config().disk.get();
+    if (store == nullptr) {
+      return true;
+    }
+    auto it = store_users.find(store);
+    if (it == store_users.end() || it->second == ref.vm) {
+      return true;
+    }
+    vetoed = true;
+    return false;
+  };
+
+  while (!pcpu_heap_.empty()) {
+    auto [free_at, p] = pcpu_heap_.top();
+    SimTime t = std::max(free_at, clock_.now());
+    if (t >= window_end) {
+      break;
+    }
+    pcpu_heap_.pop();
+    sched::EntityId id = sched_->PickNext(t, eligible);
+    if (id == sched::kIdle) {
+      ++stats_.idle_picks;
+      idles.push_back(IdlePick{p, t, std::min(window_end, sched_->NextEligibleTime(t))});
+      continue;
+    }
+    EntityRef ref = entities_[id];
+    if (const void* store = ref.vm->config().disk.get()) {
+      store_users.emplace(store, ref.vm);
+    }
+    SliceWork work;
+    work.host = this;
+    work.pcpu = p;
+    work.start = t;
+    work.id = id;
+    work.ref = ref;
+    // The budget deliberately ignores window_end: like the serial loop, a
+    // slice may overrun the next event (the event is simply processed after).
+    work.budget = std::min<uint64_t>(config_.timeslice_cycles, end - t);
+    slices.push_back(std::move(work));
+  }
+
+  // --- Execute -------------------------------------------------------------
+  // Same-VM slices form one lane, run sequentially in dispatch order (guest
+  // state is never touched by two threads at once — their simulated slices
+  // still overlap in time, as on real SMP). Distinct lanes run concurrently.
+  std::vector<std::vector<size_t>> lanes;
+  {
+    std::map<const Vm*, size_t> lane_of;
+    for (size_t i = 0; i < slices.size(); ++i) {
+      auto [it, inserted] = lane_of.try_emplace(slices[i].ref.vm, lanes.size());
+      if (inserted) {
+        lanes.emplace_back();
+      }
+      lanes[it->second].push_back(i);
+    }
+  }
+  auto run_lane = [&](size_t lane) {
+    for (size_t idx : lanes[lane]) {
+      ExecuteSlice(slices[idx]);
+    }
+  };
+  if (workers_ == nullptr || lanes.size() <= 1) {
+    for (size_t lane = 0; lane < lanes.size(); ++lane) {
+      run_lane(lane);
+    }
+  } else {
+    workers_->Run(lanes.size(), run_lane);
+  }
+
+  // --- Commit --------------------------------------------------------------
+  // Staged effects merge in dispatch order — (start time, pCPU index) — so
+  // the post-round state is identical for any worker count.
+  SimTime min_done = ~SimTime{0};
+  SimTime wake_horizon = ~SimTime{0};
+  for (SliceWork& work : slices) {
+    clock_.CommitStage(work.clock_stage);
+    switch_.CommitStage(work.tx_stage);
+    pool_.CommitStage(work.pool_stage);
+    for (const WakeOp& op : work.wakes) {
+      sched::EntityId wid = EntityOf(op.vm, op.vcpu);
+      if (wid != sched::kIdle) {
+        sched_->SetRunnable(wid, op.runnable, work.start);
+      }
+      if (op.runnable) {
+        wake_horizon = std::min(wake_horizon, work.start);
+      }
+    }
+    internal::WriteLogText(work.log);
+
+    SimTime done = work.start + std::max<uint64_t>(work.result.cycles, 1);
+    // Switching the pCPU to a different vCPU costs a world switch plus the
+    // cold-cache tail; consolidation efficiency decays slightly with it.
+    if (pcpu_last_entity_[work.pcpu] != work.id) {
+      done += config_.costs.context_switch;
+      pcpu_last_entity_[work.pcpu] = work.id;
+      ++stats_.context_switches;
+    }
+    pcpu_free_at_[work.pcpu] = done;
+    pcpu_heap_.push({done, work.pcpu});
+    min_done = std::min(min_done, done);
+    ++stats_.slices;
+    stats_.cycles_executed += work.result.cycles;
+
+    bool still_runnable =
+        work.result.end == SliceEnd::kBudget || work.result.end == SliceEnd::kYielded;
+    sched_->Account(work.id, work.result.cycles, still_runnable, done);
+  }
+
+  if (!slices.empty() && verify::AuditEnabled()) {
+    verify::AuditReport report = AuditFrameAccounting();
+    if (!report.ok()) {
+      CrashAllVms(InternalError("frame accounting audit failed on " + config_.name +
+                                ":\n" + report.ToString()));
+    }
+  }
+
+  // Idle pCPUs park until their pick could change: a wake committed this
+  // round (visible from the waker's slice start) or, after a store veto, the
+  // end of the earliest conflicting slice. Without either, the park time is
+  // strictly in the future, so rounds always advance.
+  SimTime horizon = wake_horizon;
+  if (vetoed) {
+    horizon = std::min(horizon, min_done);
+  }
+  for (const IdlePick& idle : idles) {
+    SimTime park = idle.park;
+    if (horizon != ~SimTime{0}) {
+      park = std::min(park, std::max(idle.start, horizon));
+    }
+    pcpu_free_at_[idle.pcpu] = park;
+    pcpu_heap_.push({park, idle.pcpu});
+  }
+  ++stats_.rounds;
+  return true;
+}
+
+void Host::ExecuteSlice(SliceWork& work) {
+  work.clock_stage.clock = &clock_;
+  work.clock_stage.vnow = work.start;
+  work.tx_stage.sw = &switch_;
+  work.tx_stage.vnow = work.start;
+  work.pool_stage.pool = &pool_;
+  SimClock::SetStage(&work.clock_stage);
+  net::VirtualSwitch::SetStage(&work.tx_stage);
+  mem::FramePool::SetStage(&work.pool_stage);
+  internal::SetThreadLogSink(&work.log);
+  tls_slice_ = &work;
+  work.result = work.ref.vm->RunVcpuSlice(work.ref.vcpu, work.budget, work.start);
+  tls_slice_ = nullptr;
+  internal::SetThreadLogSink(nullptr);
+  mem::FramePool::SetStage(nullptr);
+  net::VirtualSwitch::SetStage(nullptr);
+  SimClock::SetStage(nullptr);
+}
+
 bool Host::RunUntilQuiescent(SimTime max_time) {
-  while (clock_.now() < max_time) {
-    SimTime before = clock_.now();
-    RunFor(std::min<SimTime>(max_time - clock_.now(), 50 * kSimTicksPerMs));
-    // Quiescent when the run loop made no scheduling progress and nothing is
-    // pending.
+  for (;;) {
     bool any_runnable = false;
     for (const auto& [id, ref] : entities_) {
       (void)id;
@@ -199,11 +350,23 @@ bool Host::RunUntilQuiescent(SimTime max_time) {
     if (!any_runnable && !clock_.HasPending()) {
       return true;
     }
+    if (clock_.now() >= max_time) {
+      return false;
+    }
+    SimTime before = clock_.now();
+    SimTime step = max_time - before;
+    if (any_runnable) {
+      step = std::min<SimTime>(step, 50 * kSimTicksPerMs);
+    } else {
+      // Nothing schedulable: hop straight to the next event instead of
+      // grinding through fixed-size idle chunks.
+      step = std::min<SimTime>(step, std::max<SimTime>(clock_.NextEventTime() - before, 1));
+    }
+    RunFor(step);
     if (clock_.now() == before) {
       return false;  // no progress possible
     }
   }
-  return false;
 }
 
 verify::AuditReport Host::AuditFrameAccounting() const {

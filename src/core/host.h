@@ -1,15 +1,25 @@
 // The physical host: frames, clock, switch, scheduler, and the run loop
 // that time-slices vCPUs over simulated pCPUs.
+//
+// The run loop is a staged dispatch→execute→commit pipeline (DESIGN.md §8):
+// each round dispatches up to num_pcpus slices whose start times fall before
+// the next pending clock event, executes them concurrently on a worker pool
+// with every cross-VM side effect staged per slice, and commits the staged
+// effects at a barrier in dispatch order. The committed state is
+// bit-identical for any worker count, including zero.
 
 #ifndef SRC_CORE_HOST_H_
 #define SRC_CORE_HOST_H_
 
 #include <map>
 #include <memory>
+#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/vm.h"
+#include "src/core/worker_pool.h"
 #include "src/mem/frame_pool.h"
 #include "src/net/network.h"
 #include "src/sched/scheduler.h"
@@ -29,6 +39,11 @@ struct HostConfig {
   sched::SchedPolicy sched_policy = sched::SchedPolicy::kCredit;
   uint64_t timeslice_cycles = 1'000'000;  // 1 ms
   CostModel costs;
+  // Worker threads for the staged execution core. 0 runs every lane on the
+  // host thread; N spawns a persistent pool of N threads (the host thread
+  // participates too). -1 reads HYPERION_WORKERS at construction (default
+  // 0). Simulation results are identical for every setting.
+  int worker_threads = -1;
 };
 
 class Host {
@@ -45,6 +60,7 @@ class Host {
   net::VirtualSwitch& vswitch() { return switch_; }
   sched::Scheduler& scheduler() { return *sched_; }
   const CostModel& costs() const { return config_.costs; }
+  uint32_t worker_threads() const { return worker_threads_; }
 
   // --- VM management -----------------------------------------------------
 
@@ -68,7 +84,8 @@ class Host {
 
   // --- Hooks used by Vm --------------------------------------------------
 
-  // Marks a vCPU runnable (device interrupt, page arrival, resume).
+  // Marks a vCPU runnable (device interrupt, page arrival, resume). Staged
+  // when called from inside an executing slice.
   void WakeVcpu(Vm* vm, uint32_t vcpu);
   // Marks a vCPU not runnable (WFI, stall, halt).
   void BlockVcpu(Vm* vm, uint32_t vcpu);
@@ -82,9 +99,9 @@ class Host {
   void SetFaultInjector(fault::FaultInjector* injector, std::string site);
 
   // Audits FramePool refcounts against every VM's page mappings (KSM share
-  // accounting; see src/verify/audit.h). Called automatically after each
-  // slice when HYPERION_AUDIT is on — a violation crashes every running VM —
-  // and directly by tests.
+  // accounting; see src/verify/audit.h). Called automatically at each round
+  // barrier when HYPERION_AUDIT is on — a violation crashes every running VM
+  // — and directly by tests.
   verify::AuditReport AuditFrameAccounting() const;
 
   struct HostStats {
@@ -92,7 +109,9 @@ class Host {
     uint64_t idle_picks = 0;
     uint64_t cycles_executed = 0;
     uint64_t context_switches = 0;
+    uint64_t rounds = 0;           // dispatch→execute→commit rounds
     SimTime fault_pause_time = 0;  // time spent inside injected pause windows
+    bool operator==(const HostStats&) const = default;
   };
   const HostStats& stats() const { return stats_; }
 
@@ -100,12 +119,52 @@ class Host {
   friend class Vm;
 
   struct EntityRef {
+    Vm* vm = nullptr;
+    uint32_t vcpu = 0;
+  };
+
+  // A deferred scheduler wake/block captured during slice execution.
+  struct WakeOp {
     Vm* vm;
     uint32_t vcpu;
+    bool runnable;
+  };
+
+  // One dispatched slice plus every side effect it staged while executing.
+  struct SliceWork {
+    Host* host = nullptr;
+    uint32_t pcpu = 0;
+    SimTime start = 0;
+    sched::EntityId id = sched::kIdle;
+    EntityRef ref;
+    uint64_t budget = 0;
+    SliceResult result;
+    SimClock::Stage clock_stage;
+    net::VirtualSwitch::TxStage tx_stage;
+    mem::FramePool::Stage pool_stage;
+    std::vector<WakeOp> wakes;
+    std::string log;
+  };
+
+  // A pCPU that found nothing runnable at `start` and parks until `park`.
+  struct IdlePick {
+    uint32_t pcpu;
+    SimTime start;
+    SimTime park;
   };
 
   sched::EntityId EntityOf(Vm* vm, uint32_t vcpu) const;
-  void StepOnce(SimTime end);
+
+  // Runs one dispatch→execute→commit round toward `end`. Returns false when
+  // nothing can happen before `end` (time has been advanced there).
+  bool RunRound(SimTime end);
+  // Installs the thread-local stages, runs the slice, clears the stages.
+  void ExecuteSlice(SliceWork& work);
+  void CrashAllVms(const Status& reason);
+
+  // Set while this thread executes a slice for this host; WakeVcpu/BlockVcpu
+  // append to its wake list instead of touching the scheduler.
+  static inline thread_local SliceWork* tls_slice_ = nullptr;
 
   HostConfig config_;
   SimClock clock_;
@@ -120,6 +179,17 @@ class Host {
 
   std::vector<SimTime> pcpu_free_at_;
   std::vector<sched::EntityId> pcpu_last_entity_;
+  // Min-heap over (free_at, pcpu index): dispatch pops pCPUs in deterministic
+  // earliest-free order without the former O(P) scan. Every pCPU is in the
+  // heap exactly once; pops during dispatch are matched by pushes at commit.
+  using PcpuHeap =
+      std::priority_queue<std::pair<SimTime, uint32_t>,
+                          std::vector<std::pair<SimTime, uint32_t>>, std::greater<>>;
+  PcpuHeap pcpu_heap_;
+
+  uint32_t worker_threads_ = 0;
+  std::unique_ptr<WorkerPool> workers_;  // created on first parallel round
+
   fault::FaultInjector* fault_injector_ = nullptr;
   std::string fault_site_;
   HostStats stats_;

@@ -13,12 +13,18 @@ Vm::~Vm() {
   if (config_.mac != 0 && config_.net_model != IoModel::kNone) {
     (void)host_->vswitch().Detach(config_.mac);
   }
+  // Drop every pending clock event that captured `this` (armed timers,
+  // in-flight block completions) — they would otherwise fire into freed
+  // memory after DestroyVm.
+  host_->clock().CancelOwner(clock_owner_);
 }
 
 Status Vm::Init() {
   if (config_.num_vcpus == 0 || config_.num_vcpus > 16) {
     return InvalidArgumentError("vcpu count must be in [1, 16]");
   }
+  clock_owner_ = host_->clock().NewOwner();
+  clock_ = ClockRef(&host_->clock(), clock_owner_);
   HYP_ASSIGN_OR_RETURN(memory_, mem::GuestMemory::Create(&host_->pool(), config_.ram_bytes));
   virt_ = mmu::MakeVirtualizer(config_.paging_mode, memory_.get(), host_->costs(),
                                config_.tlb_entries);
@@ -36,13 +42,13 @@ Status Vm::Init() {
     }
     if (config_.disk_model == IoModel::kEmulated) {
       emu_blk_ = std::make_unique<devices::EmulatedBlockDevice>(
-          config_.disk.get(), devices::IrqLine(&pic_, devices::kBlkIrq), &host_->clock(),
+          config_.disk.get(), devices::IrqLine(&pic_, devices::kBlkIrq), clock_,
           host_->costs());
       HYP_RETURN_IF_ERROR(bus_.Map(devices::kBlkBase, devices::kDeviceWindow, emu_blk_.get()));
     } else {
       vblk_ = std::make_unique<virtio::VirtioBlk>(
           memory_.get(), devices::IrqLine(&pic_, devices::kVirtioIrqBase + 0),
-          config_.disk.get(), &host_->clock(), host_->costs());
+          config_.disk.get(), clock_, host_->costs());
       HYP_RETURN_IF_ERROR(
           bus_.Map(devices::kVirtioBase + 0 * devices::kVirtioStride, devices::kVirtioStride,
                    vblk_.get()));
@@ -175,7 +181,7 @@ SliceResult Vm::RunVcpuSliceInner(uint32_t vcpu_idx, uint64_t budget, SimTime no
         if (timecmp != 0 && timecmp > at) {
           Vm* vm = this;
           uint32_t idx = vcpu_idx;
-          host_->clock().ScheduleAt(timecmp, [vm, idx] {
+          clock_.ScheduleAt(timecmp, [vm, idx] {
             if (vm->state_ == VmState::kRunning && vm->vcpus_[idx]->ctx.state.waiting) {
               vm->host_->WakeVcpu(vm, idx);
             }

@@ -189,6 +189,10 @@ class Vm {
 
   Host* host_;
   VmConfig config_;
+  // Owner tag for every clock event this VM (or its devices) schedules;
+  // ~Vm cancels them so in-flight timers/completions never dangle.
+  uint64_t clock_owner_ = 0;
+  ClockRef clock_;
   VmState state_ = VmState::kRunning;
   Status crash_reason_;
 

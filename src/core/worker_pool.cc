@@ -1,0 +1,92 @@
+#include "src/core/worker_pool.h"
+
+namespace hyperion::core {
+
+WorkerPool::WorkerPool(uint32_t threads) {
+  threads_.reserve(threads);
+  for (uint32_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void WorkerPool::Run(size_t count, const std::function<void(size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  if (threads_.empty() || count == 1) {
+    for (size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    completed_ = 0;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The caller participates so a 1-thread pool still gets 2-way overlap.
+  Drain(fn, count);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return completed_ == count_ && running_ == 0; });
+  fn_ = nullptr;
+}
+
+void WorkerPool::WorkerMain() {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // fn_ is null between batches: a worker that missed a short batch
+      // entirely must keep sleeping rather than run with stale state.
+      work_cv_.wait(lock,
+                    [&] { return stop_ || (generation_ != seen && fn_ != nullptr); });
+      if (stop_) {
+        return;
+      }
+      seen = generation_;
+      fn = fn_;
+      count = count_;
+      ++running_;
+    }
+    Drain(*fn, count);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void WorkerPool::Drain(const std::function<void(size_t)>& fn, size_t count) {
+  for (;;) {
+    size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) {
+      return;
+    }
+    fn(i);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++completed_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace hyperion::core

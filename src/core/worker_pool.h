@@ -1,0 +1,69 @@
+// Persistent worker pool for the staged execution core (DESIGN.md §8).
+//
+// The host run loop hands the pool a batch of N independent lanes per round;
+// the pool's threads plus the calling thread claim lane indices from a shared
+// atomic counter and run them concurrently. Run() returns only when every
+// lane has finished, so the round barrier is also a memory barrier: staged
+// side effects written by workers are visible to the host thread when it
+// starts committing.
+//
+// The pool is deliberately dumb — no futures, no task queue, no work
+// stealing. One generation counter wakes the threads, one completion counter
+// releases the caller. Determinism never depends on which thread runs which
+// lane; it comes from the commit step replaying staged effects in dispatch
+// order.
+
+#ifndef SRC_CORE_WORKER_POOL_H_
+#define SRC_CORE_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hyperion::core {
+
+class WorkerPool {
+ public:
+  // Spawns `threads` persistent worker threads (0 is allowed: Run() then
+  // executes every lane on the calling thread).
+  explicit WorkerPool(uint32_t threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  uint32_t threads() const { return static_cast<uint32_t>(threads_.size()); }
+
+  // Runs fn(0) .. fn(count - 1) across the pool threads and the calling
+  // thread; blocks until all have returned. `fn` must be safe to invoke
+  // concurrently for distinct indices. Not reentrant.
+  void Run(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerMain();
+  // Claims and runs lanes until the batch is exhausted.
+  void Drain(const std::function<void(size_t)>& fn, size_t count);
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // host -> workers: new batch
+  std::condition_variable done_cv_;   // workers -> host: batch finished
+  uint64_t generation_ = 0;           // bumped once per Run()
+  bool stop_ = false;
+
+  // Batch state, valid for the current generation.
+  const std::function<void(size_t)>* fn_ = nullptr;
+  size_t count_ = 0;
+  std::atomic<size_t> next_{0};       // next unclaimed lane index
+  size_t completed_ = 0;              // lanes finished (guarded by mu_)
+  uint32_t running_ = 0;              // workers inside the batch (guarded by mu_)
+};
+
+}  // namespace hyperion::core
+
+#endif  // SRC_CORE_WORKER_POOL_H_

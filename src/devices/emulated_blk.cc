@@ -75,9 +75,9 @@ void EmulatedBlockDevice::StartCommand(uint32_t cmd) {
   busy_ = true;
   error_ = false;
   data_ptr_ = 0;
-  if (clock_ != nullptr) {
-    clock_->ScheduleAfter(static_cast<SimTime>(count_) * costs_.blk_sector_cost,
-                          [this, cmd] { CompleteCommand(cmd); });
+  if (clock_.valid()) {
+    clock_.ScheduleAfter(static_cast<SimTime>(count_) * costs_.blk_sector_cost,
+                         [this, cmd] { CompleteCommand(cmd); });
   } else {
     CompleteCommand(cmd);
   }

@@ -29,10 +29,11 @@ class EmulatedBlockDevice final : public MmioDevice {
  public:
   static constexpr uint32_t kMaxSectorsPerCmd = 8;
 
-  // `clock` may be null, in which case commands complete synchronously
+  // `clock` may be invalid, in which case commands complete synchronously
   // (useful in unit tests); with a clock, completion is scheduled at
-  // count * blk_sector_cost and the IRQ line fires.
-  EmulatedBlockDevice(storage::BlockStore* store, IrqLine irq, SimClock* clock,
+  // count * blk_sector_cost and the IRQ line fires. Passing an owner-tagged
+  // ClockRef lets the owning VM cancel in-flight completions on destruction.
+  EmulatedBlockDevice(storage::BlockStore* store, IrqLine irq, ClockRef clock,
                       const CostModel& costs = CostModel::Default())
       : store_(store), irq_(irq), clock_(clock), costs_(costs), buffer_(kMaxSectorsPerCmd * 512) {}
 
@@ -57,7 +58,7 @@ class EmulatedBlockDevice final : public MmioDevice {
 
   storage::BlockStore* store_;
   IrqLine irq_;
-  SimClock* clock_;
+  ClockRef clock_;
   const CostModel& costs_;
 
   uint32_t lba_ = 0;

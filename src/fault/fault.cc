@@ -237,12 +237,14 @@ uint64_t FaultInjector::BumpOp(const std::string& site, OpClass cls) {
 }
 
 uint64_t FaultInjector::OpCount(const std::string& site, OpClass cls) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = op_counts_.find({site, static_cast<uint8_t>(cls)});
   return it == op_counts_.end() ? 0 : it->second;
 }
 
 FrameFault FaultInjector::OnFrame(const std::string& site, SimTime now,
                                   uint32_t src, uint32_t dst) {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t op = BumpOp(site, OpClass::kFrame);
   FrameFault out;
   for (size_t i = 0; i < plan_.events.size(); ++i) {
@@ -294,6 +296,7 @@ FrameFault FaultInjector::OnFrame(const std::string& site, SimTime now,
 
 TransferFault FaultInjector::OnTransfer(const std::string& site, SimTime start,
                                         SimTime base_duration) {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t op = BumpOp(site, OpClass::kTransfer);
   TransferFault out;
   for (size_t i = 0; i < plan_.events.size(); ++i) {
@@ -343,6 +346,7 @@ bool FaultInjector::LinkDown(const std::string& site, SimTime now) const {
 }
 
 Status FaultInjector::OnBlockRead(const std::string& site, SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t op = BumpOp(site, OpClass::kBlockRead);
   for (size_t i = 0; i < plan_.events.size(); ++i) {
     if (plan_.events[i].kind == FaultKind::kReadError &&
@@ -356,6 +360,7 @@ Status FaultInjector::OnBlockRead(const std::string& site, SimTime now) {
 }
 
 Status FaultInjector::OnBlockWrite(const std::string& site, SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t op = BumpOp(site, OpClass::kBlockWrite);
   for (size_t i = 0; i < plan_.events.size(); ++i) {
     if (plan_.events[i].kind == FaultKind::kWriteError &&
@@ -371,6 +376,7 @@ Status FaultInjector::OnBlockWrite(const std::string& site, SimTime now) {
 std::optional<uint64_t> FaultInjector::OnByteWrite(const std::string& site,
                                                    SimTime now, uint64_t offset,
                                                    uint64_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t op = BumpOp(site, OpClass::kByteWrite);
   for (size_t i = 0; i < plan_.events.size(); ++i) {
     if (plan_.events[i].kind != FaultKind::kTornWrite ||
@@ -409,6 +415,7 @@ std::optional<SimTime> FaultInjector::PauseUntil(const std::string& site,
 }
 
 bool FaultInjector::TakeCrash(const std::string& site, SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < plan_.events.size(); ++i) {
     const FaultEvent& event = plan_.events[i];
     if (event.kind == FaultKind::kHostCrash && !consumed_[i] &&

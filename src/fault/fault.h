@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -140,6 +141,12 @@ struct TransferFault {
 // query advances the per-site op counter for its class, and probabilistic
 // events consume draws from their own rng stream, so queries from unrelated
 // sites never perturb each other's outcomes.
+//
+// Thread safety: op-counter/stream/stats mutation is serialized by an
+// internal mutex, so instrumented sites may query from concurrent vCPU
+// slices (DESIGN.md §8). Determinism additionally requires that each *site*
+// is queried from at most one slice per round — which holds by construction
+// when sites are per-VM (disks) or barrier-scoped (hosts, migration links).
 class FaultInjector {
  public:
   explicit FaultInjector(FaultPlan plan);
@@ -207,6 +214,7 @@ class FaultInjector {
              uint64_t op);
   uint64_t BumpOp(const std::string& site, OpClass cls);
 
+  mutable std::mutex mu_;  // guards streams_/consumed_/op_counts_/stats_
   FaultPlan plan_;
   std::vector<Xoshiro256> streams_;   // one per event, seeded from plan.seed
   std::vector<bool> consumed_;        // one-shot events (kHostCrash)

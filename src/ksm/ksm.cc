@@ -7,6 +7,10 @@
 
 namespace hyperion::ksm {
 
+// Threading: ScanOnce runs only from clock events, which the staged execution
+// core fires at round barriers — never concurrently with guest slices. It may
+// therefore read page contents and mutate FramePool refcounts directly,
+// without the per-slice staging that in-slice code must use.
 uint64_t KsmDaemon::ScanOnce() {
   ++stats_.scan_passes;
   uint64_t merged_this_pass = 0;

@@ -11,6 +11,7 @@ FramePool::FramePool(size_t num_frames)
       free_count_(num_frames) {}
 
 Result<HostFrame> FramePool::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (free_count_ == 0) {
     return ResourceExhaustedError("host frame pool exhausted");
   }
@@ -30,6 +31,28 @@ Result<HostFrame> FramePool::Allocate() {
 }
 
 void FramePool::DecRef(HostFrame frame) {
+  Stage* s = tls_stage_;
+  if (s != nullptr && s->pool == this) {
+    assert(IsAllocated(frame));
+    s->decrefs.push_back(frame);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  DecRefLocked(frame);
+}
+
+void FramePool::CommitStage(Stage& stage) {
+  if (stage.decrefs.empty()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (HostFrame frame : stage.decrefs) {
+    DecRefLocked(frame);
+  }
+  stage.decrefs.clear();
+}
+
+void FramePool::DecRefLocked(HostFrame frame) {
   assert(IsAllocated(frame));
   if (--refcount_[frame] == 0) {
     ++free_count_;
@@ -37,6 +60,7 @@ void FramePool::DecRef(HostFrame frame) {
 }
 
 void FramePool::AddRef(HostFrame frame) {
+  std::lock_guard<std::mutex> lock(mu_);
   assert(IsAllocated(frame));
   ++refcount_[frame];
 }

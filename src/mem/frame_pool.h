@@ -2,11 +2,24 @@
 //
 // Frames are reference-counted so that content-based page sharing (src/ksm)
 // can map one host frame into several guests copy-on-write.
+//
+// Concurrency (DESIGN.md §8): during a round of the staged execution core,
+// worker threads may Allocate (COW break, balloon deflate) and stage DecRefs
+// (COW break, balloon inflate); Allocate/AddRef take the pool mutex, DecRef
+// is deferred into a per-slice Stage and applied at the round barrier in
+// deterministic commit order. Because AddRef only ever happens at barriers
+// (KSM scans, snapshot restore) and DecRefs are deferred, every refcount a
+// slice can observe is stable for the whole round — sharing decisions do not
+// depend on worker interleaving. Frame *numbers* handed out by Allocate may
+// vary with interleaving, but frame numbering is invisible to guest-visible
+// state; the one observable caveat is allocation-failure attribution when
+// the pool runs dry mid-round, which is schedule-dependent.
 
 #ifndef SRC_MEM_FRAME_POOL_H_
 #define SRC_MEM_FRAME_POOL_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "src/isa/hv32.h"
@@ -27,13 +40,27 @@ class FramePool {
   FramePool(const FramePool&) = delete;
   FramePool& operator=(const FramePool&) = delete;
 
+  // Per-slice staging buffer for deferred DecRefs (see the file comment).
+  struct Stage {
+    FramePool* pool = nullptr;
+    std::vector<HostFrame> decrefs;
+  };
+
+  // Installs `stage` as the current thread's staging buffer (nullptr to
+  // clear). Only the host run loop does this, around each slice.
+  static void SetStage(Stage* stage) { tls_stage_ = stage; }
+
+  // Applies a slice's staged DecRefs, in staging order (round barrier).
+  void CommitStage(Stage& stage);
+
   // Allocates a zeroed frame with refcount 1.
   Result<HostFrame> Allocate();
 
   // Drops one reference; the frame returns to the free list at refcount 0.
+  // Staged (deferred to the round barrier) while a slice is executing.
   void DecRef(HostFrame frame);
 
-  // Adds a reference (page-sharing).
+  // Adds a reference (page-sharing). Barrier-only by convention.
   void AddRef(HostFrame frame);
 
   uint32_t RefCount(HostFrame frame) const;
@@ -49,6 +76,16 @@ class FramePool {
   bool IsAllocated(HostFrame frame) const {
     return frame < refcount_.size() && refcount_[frame] > 0;
   }
+
+  void DecRefLocked(HostFrame frame);
+
+  static inline thread_local Stage* tls_stage_ = nullptr;
+
+  // Guards refcount_/free_count_/alloc_cursor_ against concurrent Allocate
+  // calls from slices. RefCount reads are deliberately lockless: the only
+  // refcounts a slice can reach are those of frames mapped somewhere, and
+  // these are round-stable (see the file comment).
+  mutable std::mutex mu_;
 
   std::vector<uint8_t> memory_;
   std::vector<uint32_t> refcount_;

@@ -44,6 +44,22 @@ Status VirtualSwitch::Detach(MacAddr addr) {
 }
 
 void VirtualSwitch::Send(Frame frame) {
+  TxStage* stage = tls_stage_;
+  if (stage != nullptr && stage->sw == this) {
+    stage->frames.push_back(std::move(frame));
+    return;
+  }
+  SendAt(std::move(frame), clock_->now());
+}
+
+void VirtualSwitch::CommitStage(TxStage& stage) {
+  for (Frame& frame : stage.frames) {
+    SendAt(std::move(frame), stage.vnow);
+  }
+  stage.frames.clear();
+}
+
+void VirtualSwitch::SendAt(Frame frame, SimTime at) {
   ++stats_.frames_sent;
   if (frame.payload.size() > kMaxFrameBytes) {
     ++stats_.frames_dropped;
@@ -52,7 +68,7 @@ void VirtualSwitch::Send(Frame frame) {
   if (frame.dst == kBroadcast) {
     for (auto& [addr, port] : ports_) {
       if (addr != frame.src) {
-        DeliverTo(addr, *port, frame);
+        DeliverTo(addr, *port, frame, at);
       }
     }
     return;
@@ -62,16 +78,16 @@ void VirtualSwitch::Send(Frame frame) {
     ++stats_.frames_dropped;
     return;
   }
-  DeliverTo(it->first, *it->second, frame);
+  DeliverTo(it->first, *it->second, frame, at);
 }
 
-void VirtualSwitch::DeliverTo(MacAddr dst_key, PortState& port, const Frame& frame) {
+void VirtualSwitch::DeliverTo(MacAddr dst_key, PortState& port, const Frame& frame,
+                              SimTime at) {
   size_t wire = frame.wire_bytes();
   uint32_t copies = 1;
   SimTime extra_latency = 0;
   if (injector_ != nullptr) {
-    fault::FrameFault ff =
-        injector_->OnFrame(fault_site_, clock_->now(), frame.src, dst_key);
+    fault::FrameFault ff = injector_->OnFrame(fault_site_, at, frame.src, dst_key);
     if (ff.drop) {
       ++stats_.frames_dropped;
       ++stats_.frames_injected_dropped;
@@ -99,7 +115,7 @@ void VirtualSwitch::DeliverTo(MacAddr dst_key, PortState& port, const Frame& fra
     it->second->sink->OnFrame(frame);
   };
   for (uint32_t c = 0; c < copies; ++c) {
-    SimTime done = port.link.ScheduleTransfer(wire);
+    SimTime done = port.link.ScheduleTransferAt(at, wire);
     clock_->ScheduleAt(done + extra_latency, deliver);
   }
 }

@@ -63,8 +63,13 @@ class Link {
 
   // Schedules a transfer of `bytes`; returns its completion time. Transfers
   // queue behind one another (the link is busy while transmitting).
-  SimTime ScheduleTransfer(size_t bytes) {
-    SimTime start = std::max(clock_->now(), busy_until_);
+  SimTime ScheduleTransfer(size_t bytes) { return ScheduleTransferAt(clock_->now(), bytes); }
+
+  // Like ScheduleTransfer, but with an explicit submission time `at` (>= any
+  // previous submission). Used when the switch commits staged frames whose
+  // logical send time is the originating slice's start, not the commit time.
+  SimTime ScheduleTransferAt(SimTime at, size_t bytes) {
+    SimTime start = std::max(at, busy_until_);
     SimTime done = start + params_.TransmitTime(bytes) + params_.latency;
     busy_until_ = start + params_.TransmitTime(bytes);
     bytes_carried_ += bytes;
@@ -119,11 +124,30 @@ class VirtualSwitch {
  public:
   explicit VirtualSwitch(SimClock* clock) : clock_(clock) {}
 
+  // Per-slice staging buffer (DESIGN.md §8): while a vCPU slice executes on
+  // a worker thread, its transmitted frames are queued here instead of going
+  // through the shared port/link/clock state. The host thread commits them
+  // at the round barrier, in deterministic dispatch order, stamped with the
+  // slice's start time — exactly when the serial loop would have sent them.
+  struct TxStage {
+    VirtualSwitch* sw = nullptr;
+    SimTime vnow = 0;
+    std::vector<Frame> frames;
+  };
+
+  // Installs `stage` as the current thread's staging buffer (nullptr to
+  // clear). Only the host run loop does this, around each slice.
+  static void SetStage(TxStage* stage) { tls_stage_ = stage; }
+
+  // Delivers a slice's staged frames, in staging order (round barrier).
+  void CommitStage(TxStage& stage);
+
   // Attaches `sink` with address `addr`. Fails on duplicate addresses.
   Status Attach(MacAddr addr, FrameSink* sink, LinkParams params = LinkParams{});
   Status Detach(MacAddr addr);
 
   // Queues `frame` for delivery. Invalid frames are counted and dropped.
+  // Staged (deferred to the round barrier) while a slice is executing.
   void Send(Frame frame);
 
   // Attaches a fault injector; every frame delivery attempt is then subject
@@ -152,7 +176,10 @@ class VirtualSwitch {
     Link link;
   };
 
-  void DeliverTo(MacAddr dst_key, PortState& port, const Frame& frame);
+  void SendAt(Frame frame, SimTime at);
+  void DeliverTo(MacAddr dst_key, PortState& port, const Frame& frame, SimTime at);
+
+  static inline thread_local TxStage* tls_stage_ = nullptr;
 
   SimClock* clock_;
   std::map<MacAddr, std::unique_ptr<PortState>> ports_;

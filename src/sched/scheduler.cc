@@ -59,15 +59,15 @@ class CreditScheduler final : public Scheduler {
     }
   }
 
-  EntityId PickNext(SimTime now) override {
+  EntityId PickNext(SimTime now, const EligibleFn& eligible) override {
     MaybeNewPeriod(now);
     // BOOST first (fresh wakers), then UNDER, then OVER; FIFO within class.
-    EntityId pick = ScanBoosted(now);
+    EntityId pick = ScanBoosted(now, eligible);
     if (pick == kIdle) {
-      pick = ScanQueue(/*want_under=*/true, now);
+      pick = ScanQueue(/*want_under=*/true, now, eligible);
     }
     if (pick == kIdle) {
-      pick = ScanQueue(/*want_under=*/false, now);
+      pick = ScanQueue(/*want_under=*/false, now, eligible);
     }
     if (pick == kIdle) {
       return kIdle;
@@ -131,21 +131,25 @@ class CreditScheduler final : public Scheduler {
     return e.period_usage >= cap_cycles;
   }
 
-  EntityId ScanBoosted(SimTime now) {
+  EntityId ScanBoosted(SimTime now, const EligibleFn& eligible) {
     for (EntityId id : run_queue_) {
       const Entity& e = entities_[id];
-      if (e.boosted && !CapExceeded(e) && e.not_before <= now) {
+      if (e.boosted && !CapExceeded(e) && e.not_before <= now &&
+          (!eligible || eligible(id))) {
         return id;
       }
     }
     return kIdle;
   }
 
-  EntityId ScanQueue(bool want_under, SimTime now) {
+  EntityId ScanQueue(bool want_under, SimTime now, const EligibleFn& eligible) {
     for (EntityId id : run_queue_) {
       const Entity& e = entities_[id];
       if (CapExceeded(e) || e.not_before > now) {
         continue;  // capped, or its previous slice still occupies a pCPU
+      }
+      if (eligible && !eligible(id)) {
+        continue;  // vetoed by the host's dispatch constraint
       }
       bool under = e.credits > 0;
       if (under == want_under) {
@@ -238,8 +242,11 @@ class RoundRobinScheduler final : public Scheduler {
     }
   }
 
-  EntityId PickNext(SimTime now) override {
+  EntityId PickNext(SimTime now, const EligibleFn& eligible) override {
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (eligible && !eligible(*it)) {
+        continue;
+      }
       if (known_[*it].not_before <= now) {
         EntityId id = *it;
         queue_.erase(it);

@@ -13,6 +13,7 @@
 #define SRC_SCHED_SCHEDULER_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string_view>
@@ -40,6 +41,11 @@ struct EntityStats {
 
 class Scheduler {
  public:
+  // Host-imposed dispatch constraint for batched picks: entities for which
+  // the predicate returns false are skipped (they stay queued, in order). An
+  // empty function means "everything is eligible".
+  using EligibleFn = std::function<bool(EntityId)>;
+
   virtual ~Scheduler() = default;
   virtual std::string_view name() const = 0;
 
@@ -49,10 +55,15 @@ class Scheduler {
   // Marks an entity runnable/blocked. `now` timestamps wait-latency tracking.
   virtual void SetRunnable(EntityId id, bool runnable, SimTime now) = 0;
 
-  // Picks the next entity to run at `now`, or kIdle. An entity whose last
-  // slice ends after `now` is not eligible (a vCPU runs on one pCPU at a
-  // time, even though the host executes overlapping slices sequentially).
-  virtual EntityId PickNext(SimTime now) = 0;
+  // Picks the next entity to run at `now` that satisfies `eligible`, or
+  // kIdle. An entity whose last slice ends after `now` is not eligible (a
+  // vCPU runs on one pCPU at a time, even though the host executes
+  // overlapping slices sequentially). The host's round dispatcher calls this
+  // once per free pCPU, building a batch; accounting for the whole batch is
+  // deferred to the round barrier (Account).
+  virtual EntityId PickNext(SimTime now, const EligibleFn& eligible) = 0;
+
+  EntityId PickNext(SimTime now) { return PickNext(now, EligibleFn{}); }
 
   // Earliest time at which some queued-but-ineligible entity becomes
   // runnable, or SIZE_MAX when none is waiting on time.

@@ -1,11 +1,19 @@
 #include "src/util/logging.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace hyperion {
 
 namespace {
-LogLevel g_level = LogLevel::kOff;
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+thread_local std::string* t_sink = nullptr;
+
+std::mutex& EmitMutex() {
+  static std::mutex mu;
+  return mu;
+}
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -26,12 +34,25 @@ const char* LevelTag(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 namespace internal {
 
-bool LogEnabled(LogLevel level) { return level >= g_level && g_level != LogLevel::kOff; }
+bool LogEnabled(LogLevel level) {
+  LogLevel min = g_level.load(std::memory_order_relaxed);
+  return level >= min && min != LogLevel::kOff;
+}
+
+void SetThreadLogSink(std::string* sink) { t_sink = sink; }
+
+void WriteLogText(const std::string& text) {
+  if (text.empty()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::fwrite(text.data(), 1, text.size(), stderr);
+}
 
 LogMessage::LogMessage(LogLevel level, std::string_view file, int line) : level_(level) {
   // Strip the directory part; the basename is enough to locate the call site.
@@ -44,7 +65,13 @@ LogMessage::LogMessage(LogLevel level, std::string_view file, int line) : level_
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
-  std::fputs(stream_.str().c_str(), stderr);
+  std::string text = stream_.str();
+  if (t_sink != nullptr) {
+    *t_sink += text;
+    return;
+  }
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::fputs(text.c_str(), stderr);
 }
 
 }  // namespace internal

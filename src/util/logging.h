@@ -1,13 +1,18 @@
 // Minimal leveled logger.
 //
 // Logging is off by default (benchmarks must stay quiet); tests and examples
-// raise the level explicitly. Not thread-safe by design: the simulation is
-// single-threaded (see DESIGN.md §4).
+// raise the level explicitly. Thread-safe: the level is atomic and emission
+// is serialized. While the staged execution core (DESIGN.md §8) runs vCPU
+// slices on worker threads, each worker redirects its messages into a
+// per-slice buffer (SetThreadLogSink); the host thread flushes the buffers
+// at the round barrier in deterministic commit order, so log output is
+// identical for any worker count.
 
 #ifndef SRC_UTIL_LOGGING_H_
 #define SRC_UTIL_LOGGING_H_
 
 #include <sstream>
+#include <string>
 #include <string_view>
 
 namespace hyperion {
@@ -22,7 +27,16 @@ namespace internal {
 
 bool LogEnabled(LogLevel level);
 
-// Accumulates one message and emits it to stderr on destruction.
+// Redirects this thread's log output into `sink` (nullptr restores direct
+// stderr emission). Installed by the host run loop around each slice.
+void SetThreadLogSink(std::string* sink);
+
+// Writes already-formatted log text to stderr under the emission lock.
+// Used by the run loop to flush staged per-slice buffers.
+void WriteLogText(const std::string& text);
+
+// Accumulates one message and emits it to the thread's sink (or stderr) on
+// destruction.
 class LogMessage {
  public:
   LogMessage(LogLevel level, std::string_view file, int line);

@@ -4,6 +4,16 @@
 // simulated cycles of a nominal 1 GHz machine, so 1 cycle == 1 ns. The clock
 // only moves when the simulation advances it, which makes every run
 // deterministic regardless of host speed.
+//
+// Staged execution (DESIGN.md §8): while the host run loop executes vCPU
+// slices on worker threads, the shared event queue must not be touched
+// concurrently. A worker installs a thread-local SimClock::Stage for the
+// duration of a slice; now() then reads the slice's start time (the value the
+// serial loop would have seen, since the clock never moves mid-slice) and
+// Schedule* calls append to the stage instead of the queue. The host thread
+// merges stages at the round barrier with CommitStage, in deterministic
+// dispatch order, so the final queue contents are identical for any worker
+// count — including zero.
 
 #ifndef SRC_UTIL_SIM_CLOCK_H_
 #define SRC_UTIL_SIM_CLOCK_H_
@@ -11,13 +21,11 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
-namespace hyperion {
+#include "src/util/event_queue.h"
 
-// Simulated time in cycles (1 cycle == 1 ns at the nominal 1 GHz).
-using SimTime = uint64_t;
+namespace hyperion {
 
 constexpr SimTime kSimTicksPerUs = 1000;
 constexpr SimTime kSimTicksPerMs = 1000 * kSimTicksPerUs;
@@ -31,18 +39,71 @@ inline double SimTimeToSec(SimTime t) { return static_cast<double>(t) / kSimTick
 // Events scheduled at the same time fire in scheduling order (stable).
 class SimClock {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventQueue::Callback;
 
-  SimTime now() const { return now_; }
+  // Per-slice staging buffer (see the file comment). `clock` names the
+  // instance being staged for — two hosts coexist during live migration, and
+  // only calls against the staged instance are intercepted.
+  struct Stage {
+    SimClock* clock = nullptr;
+    SimTime vnow = 0;  // the slice's start time, frozen for the whole slice
+    struct Staged {
+      SimTime when;
+      uint64_t owner;
+      Callback fn;
+    };
+    std::vector<Staged> events;
+  };
 
-  // Schedules `fn` to run at absolute time `when` (>= now).
-  void ScheduleAt(SimTime when, Callback fn) {
-    assert(when >= now_);
-    queue_.push(Event{when, seq_++, std::move(fn)});
+  // Installs `stage` as the current thread's staging buffer (nullptr to
+  // clear). Only the host run loop does this, around each slice.
+  static void SetStage(Stage* stage) { tls_stage_ = stage; }
+  static Stage* CurrentStage() { return tls_stage_; }
+
+  SimTime now() const {
+    const Stage* s = tls_stage_;
+    return (s != nullptr && s->clock == this) ? s->vnow : now_;
   }
 
+  // Schedules `fn` to run at absolute time `when` (>= now), tagged with
+  // `owner` (see EventQueue; 0 = uncancellable).
+  void ScheduleOwned(SimTime when, uint64_t owner, Callback fn) {
+    Stage* s = tls_stage_;
+    if (s != nullptr && s->clock == this) {
+      assert(when >= s->vnow);
+      s->events.push_back(Stage::Staged{when, owner, std::move(fn)});
+      return;
+    }
+    assert(when >= now_);
+    queue_.Push(when, owner, std::move(fn));
+  }
+
+  // Schedules `fn` to run at absolute time `when` (>= now).
+  void ScheduleAt(SimTime when, Callback fn) { ScheduleOwned(when, 0, std::move(fn)); }
+
   // Schedules `fn` to run `delay` cycles from now.
-  void ScheduleAfter(SimTime delay, Callback fn) { ScheduleAt(now_ + delay, std::move(fn)); }
+  void ScheduleAfter(SimTime delay, Callback fn) { ScheduleAt(now() + delay, std::move(fn)); }
+
+  // Merges a slice's staged events into the queue, in staging order. Called
+  // at the round barrier; each staged `when` was validated against the
+  // slice's vnow, which is never before the queue's current time.
+  void CommitStage(Stage& stage) {
+    for (Stage::Staged& ev : stage.events) {
+      assert(ev.when >= now_);
+      queue_.Push(ev.when, ev.owner, std::move(ev.fn));
+    }
+    stage.events.clear();
+  }
+
+  // Returns a fresh nonzero owner id for event tagging.
+  uint64_t NewOwner() { return ++last_owner_; }
+
+  // Drops every pending event tagged with `owner` (VM teardown). Staged
+  // events never survive to a teardown point: teardown only happens between
+  // rounds, after every stage has been committed.
+  size_t CancelOwner(uint64_t owner) {
+    return owner == 0 ? 0 : queue_.CancelOwner(owner);
+  }
 
   // Moves time forward by `delta` without running events (callers that manage
   // their own event dispatch, e.g. the vCPU run loop, use this).
@@ -50,8 +111,8 @@ class SimClock {
 
   // Advances to `when`, firing every event due on the way, in order.
   void RunUntil(SimTime when) {
-    while (!queue_.empty() && queue_.top().when <= when) {
-      Event ev = PopTop();
+    while (!queue_.empty() && queue_.top_time() <= when) {
+      EventQueue::Event ev = queue_.Pop();
       now_ = ev.when;
       ev.fn();
     }
@@ -65,7 +126,7 @@ class SimClock {
   size_t RunAll(size_t max_events = SIZE_MAX) {
     size_t fired = 0;
     while (!queue_.empty() && fired < max_events) {
-      Event ev = PopTop();
+      EventQueue::Event ev = queue_.Pop();
       now_ = ev.when;
       ev.fn();
       ++fired;
@@ -76,32 +137,43 @@ class SimClock {
   bool HasPending() const { return !queue_.empty(); }
   SimTime NextEventTime() const {
     assert(!queue_.empty());
-    return queue_.top().when;
+    return queue_.top_time();
   }
 
  private:
-  struct Event {
-    SimTime when;
-    uint64_t seq;  // tie-breaker: stable FIFO order among same-time events
-    Callback fn;
-
-    bool operator>(const Event& other) const {
-      if (when != other.when) return when > other.when;
-      return seq > other.seq;
-    }
-  };
-
-  Event PopTop() {
-    // priority_queue::top() is const; the event is moved out via const_cast,
-    // which is safe because pop() immediately removes the slot.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    return ev;
-  }
+  static inline thread_local Stage* tls_stage_ = nullptr;
 
   SimTime now_ = 0;
-  uint64_t seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  uint64_t last_owner_ = 0;
+  EventQueue queue_;
+};
+
+// A clock handle that tags everything it schedules with a fixed owner id.
+// Devices hold one instead of a raw SimClock* so that their completion
+// events die with the VM that owns them (Vm::~Vm cancels the owner).
+// Implicitly convertible from SimClock* — an untagged ref behaves exactly
+// like the raw pointer did.
+class ClockRef {
+ public:
+  ClockRef() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): drop-in for SimClock*.
+  ClockRef(SimClock* clock, uint64_t owner = 0) : clock_(clock), owner_(owner) {}
+
+  bool valid() const { return clock_ != nullptr; }
+  SimClock* clock() const { return clock_; }
+  uint64_t owner() const { return owner_; }
+
+  SimTime now() const { return clock_->now(); }
+  void ScheduleAt(SimTime when, SimClock::Callback fn) {
+    clock_->ScheduleOwned(when, owner_, std::move(fn));
+  }
+  void ScheduleAfter(SimTime delay, SimClock::Callback fn) {
+    ScheduleAt(clock_->now() + delay, std::move(fn));
+  }
+
+ private:
+  SimClock* clock_ = nullptr;
+  uint64_t owner_ = 0;
 };
 
 }  // namespace hyperion

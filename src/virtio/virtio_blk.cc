@@ -31,8 +31,8 @@ Status VirtioBlk::ProcessQueue(uint16_t q) {
   }
   if (any) {
     auto notify = [this] { NotifyGuest(); };
-    if (clock_ != nullptr) {
-      clock_->ScheduleAfter(total_sectors * costs_.blk_sector_cost, notify);
+    if (clock_.valid()) {
+      clock_.ScheduleAfter(total_sectors * costs_.blk_sector_cost, notify);
     } else {
       notify();
     }

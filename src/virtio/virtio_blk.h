@@ -31,9 +31,11 @@ inline constexpr uint8_t kBlkStatusUnsupported = 2;
 
 class VirtioBlk final : public VirtioDevice {
  public:
-  // `clock` may be null for synchronous completion (unit tests).
+  // `clock` may be invalid for synchronous completion (unit tests). An
+  // owner-tagged ClockRef lets the owning VM cancel in-flight completion
+  // events on destruction.
   VirtioBlk(mem::GuestMemory* memory, devices::IrqLine irq, storage::BlockStore* store,
-            SimClock* clock, const CostModel& costs = CostModel::Default())
+            ClockRef clock, const CostModel& costs = CostModel::Default())
       : VirtioDevice(kVirtioIdBlk, 1, memory, irq),
         store_(store),
         clock_(clock),
@@ -56,7 +58,7 @@ class VirtioBlk final : public VirtioDevice {
   Result<uint64_t> HandleChain(const Chain& chain);
 
   storage::BlockStore* store_;
-  SimClock* clock_;
+  ClockRef clock_;
   const CostModel& costs_;
   BlkStats blk_stats_;
 };

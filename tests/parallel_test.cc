@@ -1,0 +1,295 @@
+// Staged execution core tests (DESIGN.md §8).
+//
+// The dispatch→execute→commit pipeline promises that simulation results are
+// bit-identical for every worker count: the commit step replays staged side
+// effects in dispatch order, so threads only change wall-clock speed, never
+// outcomes. These tests hold the pipeline to that promise with a dense
+// consolidation scenario (8 VMs mixing compute, timers, dirtying, SMP, disk
+// and network I/O) plus a faulty live migration, replayed at worker counts
+// {0, 1, 4}, and with a seeded chaos sweep at 4 workers under the runtime
+// auditors. They also pin down the DestroyVm lifetime fix: clock events
+// owned by a VM (armed timers, in-flight block completions) die with it.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/core/host.h"
+#include "src/core/worker_pool.h"
+#include "src/fault/fault.h"
+#include "src/guest/programs.h"
+#include "src/migrate/migrate.h"
+#include "src/storage/block_store.h"
+#include "src/util/crc32.h"
+#include "src/verify/audit.h"
+
+namespace hyperion {
+namespace {
+
+using core::Host;
+using core::HostConfig;
+using core::IoModel;
+using core::Vm;
+using core::VmConfig;
+using core::VmState;
+
+constexpr char kLinkSite[] = "migrate:link";
+constexpr char kHostSite[] = "src:host";
+
+Vm* Boot(Host& host, VmConfig config, const std::string& source) {
+  auto image = guest::Build(source);
+  EXPECT_TRUE(image.ok()) << image.status().ToString();
+  auto vm = host.CreateVm(std::move(config));
+  EXPECT_TRUE(vm.ok()) << vm.status().ToString();
+  EXPECT_TRUE((*vm)->LoadImage(*image).ok());
+  return *vm;
+}
+
+// Digest of guest RAM: presence map + contents of every present page.
+uint32_t RamDigest(Vm& vm) {
+  mem::GuestMemory& mem = vm.memory();
+  uint32_t crc = 0;
+  for (uint32_t gpn = 0; gpn < mem.num_pages(); ++gpn) {
+    uint8_t present = mem.IsPresent(gpn) ? 1 : 0;
+    crc = Crc32(&present, 1, crc);
+    if (present) {
+      crc = Crc32(mem.PageData(gpn), isa::kPageSize, crc);
+    }
+  }
+  return crc;
+}
+
+migrate::MigrateOptions FaultyOptions(fault::FaultInjector* inj) {
+  migrate::MigrateOptions options;
+  options.fault = inj;
+  options.fault_site = kLinkSite;
+  options.retry_backoff = kSimTicksPerMs;
+  options.retry_backoff_cap = 20 * kSimTicksPerMs;
+  options.round_timeout = 50 * kSimTicksPerMs;
+  options.postcopy_run_limit = 5 * kSimTicksPerSec;
+  return options;
+}
+
+// Everything observable a scenario produces. Field-for-field equality is the
+// determinism oracle.
+struct ScenarioResult {
+  Host::HostStats src_stats;
+  Host::HostStats dst_stats;
+  std::vector<uint32_t> digests;       // per VM, creation order; migrated VM last
+  std::vector<std::string> consoles;   // same order
+  std::vector<uint64_t> instructions;  // same order
+  migrate::MigrationReport report;
+  bool migrate_ok = false;
+  StatusCode code = StatusCode::kOk;
+  SimTime src_now = 0;
+  SimTime dst_now = 0;
+
+  bool operator==(const ScenarioResult&) const = default;
+};
+
+// A dense consolidation scenario: 8 VMs covering every staged subsystem
+// (pure compute, timer sleeps via the clock, page dirtying through the frame
+// pool, a 2-vCPU SMP lane, emulated and virtio disks, a virtio-net
+// ping/echo pair through the switch), run under an injected host-pause/link
+// fault plan, with one VM live-migrating away mid-run.
+ScenarioResult RunScenario(int workers, uint64_t seed, bool short_run = false) {
+  fault::ChaosProfile profile;
+  profile.link_site = kLinkSite;
+  profile.host_site = kHostSite;
+  profile.horizon = 60 * kSimTicksPerMs;
+  fault::FaultInjector inj(fault::FaultPlan::Random(seed, profile));
+
+  HostConfig hc;
+  hc.worker_threads = workers;
+  Host src(hc), dst(hc);
+  src.SetFaultInjector(&inj, kHostSite);
+
+  std::vector<Vm*> vms;
+  vms.push_back(Boot(src, VmConfig{.name = "compute"}, guest::ComputeProgram(0)));
+  vms.push_back(Boot(src, VmConfig{.name = "idle"}, guest::IdleTickProgram(200'000)));
+  vms.push_back(Boot(src, VmConfig{.name = "dirty"}, guest::DirtyRateProgram(48, 400)));
+  vms.push_back(Boot(src, VmConfig{.name = "fill"},
+                     guest::PatternFillProgram(64, 8, static_cast<uint32_t>(seed))));
+
+  VmConfig smp{.name = "smp"};
+  smp.num_vcpus = 2;
+  vms.push_back(Boot(src, smp, guest::SmpCounterProgram(100'000)));
+
+  auto edisk = std::make_shared<storage::MemBlockStore>(256);
+  VmConfig eblk{.name = "eblk"};
+  eblk.disk_model = IoModel::kEmulated;
+  eblk.disk = edisk;
+  guest::BlkIoParams ep;
+  ep.iterations = 1'000'000;  // effectively forever: I/O flows all scenario
+  ep.sectors = 2;
+  ep.write = true;
+  vms.push_back(Boot(src, eblk, guest::EmulatedBlkProgram(ep)));
+
+  auto vdisk = std::make_shared<storage::MemBlockStore>(1024);
+  VmConfig vblk{.name = "vblk"};
+  vblk.disk_model = IoModel::kParavirt;
+  vblk.disk = vdisk;
+  guest::BlkIoParams vp;
+  vp.iterations = 1'000'000;
+  vp.sectors = 4;
+  vp.batch = 4;
+  vp.write = true;
+  vms.push_back(Boot(src, vblk, guest::VirtioBlkProgram(vp)));
+
+  guest::NetParams np;
+  np.peer_mac = 2;
+  np.payload_bytes = 128;
+  np.iterations = 0;  // ping forever
+  VmConfig ping{.name = "ping"};
+  ping.net_model = IoModel::kParavirt;
+  ping.mac = 1;
+  vms.push_back(Boot(src, ping, guest::VirtioNetPingProgram(np)));
+  VmConfig echo{.name = "echo"};
+  echo.net_model = IoModel::kParavirt;
+  echo.mac = 2;
+  vms.push_back(Boot(src, echo, guest::VirtioNetEchoProgram(np.payload_bytes)));
+
+  SimTime unit = short_run ? 2 * kSimTicksPerMs : 10 * kSimTicksPerMs;
+  src.RunFor(3 * unit);
+
+  ScenarioResult out;
+  Vm* mover = src.FindVm("idle");
+  auto moved = migrate::PreCopyMigrate(src, mover, dst, FaultyOptions(&inj), &out.report);
+  out.migrate_ok = moved.ok();
+  out.code = moved.status().code();
+
+  src.RunFor(2 * unit);
+  dst.RunFor(2 * unit);
+
+  for (Vm* vm : vms) {
+    out.digests.push_back(RamDigest(*vm));
+    out.consoles.push_back(vm->console());
+    out.instructions.push_back(vm->TotalStats().instructions);
+  }
+  if (moved.ok()) {
+    out.digests.push_back(RamDigest(**moved));
+    out.consoles.push_back((*moved)->console());
+    out.instructions.push_back((*moved)->TotalStats().instructions);
+  }
+  out.src_stats = src.stats();
+  out.dst_stats = dst.stats();
+  out.src_now = src.clock().now();
+  out.dst_now = dst.clock().now();
+  return out;
+}
+
+// The tentpole guarantee: worker count changes wall-clock speed only. The
+// whole observable state — RAM digests, consoles, instruction counts,
+// HostStats, the MigrationReport, final clocks — must match bit-for-bit
+// across {0, 1, 4} workers.
+TEST(StagedExecutionTest, ResultsAreIdenticalAcrossWorkerCounts) {
+  ScenarioResult serial = RunScenario(/*workers=*/0, /*seed=*/42);
+  ScenarioResult one = RunScenario(/*workers=*/1, /*seed=*/42);
+  ScenarioResult four = RunScenario(/*workers=*/4, /*seed=*/42);
+  EXPECT_TRUE(serial == one) << "1-worker run diverged from serial";
+  EXPECT_TRUE(serial == four) << "4-worker run diverged from serial";
+  // And the scenario itself replays deterministically at a fixed count.
+  ScenarioResult again = RunScenario(/*workers=*/4, /*seed=*/42);
+  EXPECT_TRUE(four == again) << "4-worker run is not replay-deterministic";
+}
+
+// Ten chaos seeds at 4 workers, with the runtime auditors armed the whole
+// time: staging must never let a worker observe (or commit) an incoherent
+// MMU, virtio ring, or frame refcount, and every seed must replay the serial
+// outcome exactly.
+TEST(StagedExecutionTest, ChaosSweepAtFourWorkersMatchesSerialUnderAudit) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    verify::SetAuditEnabled(true);
+    ScenarioResult serial = RunScenario(/*workers=*/0, seed, /*short_run=*/true);
+    ScenarioResult four = RunScenario(/*workers=*/4, seed, /*short_run=*/true);
+    verify::SetAuditEnabled(false);
+    EXPECT_TRUE(serial == four) << "divergence at seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DestroyVm lifetime
+// ---------------------------------------------------------------------------
+
+// Destroying a VM with an armed wfi timer and an in-flight block completion
+// must cancel both events. Before owner-tagged events, the queued closures
+// captured the freed Vm/device and fired into dead memory (caught by ASan).
+TEST(DestroyVmTest, CancelsArmedTimerAndInflightBlockIo) {
+  Host host;
+
+  // A guest sleeping in wfi with a timer armed well in the future.
+  Vm* sleeper = Boot(host, VmConfig{.name = "sleeper"}, guest::IdleTickProgram(5'000'000));
+  host.RunFor(2 * kSimTicksPerMs);
+
+  // A VM with a block command mid-flight: start it through the register
+  // interface so the completion event is deterministically pending.
+  auto disk = std::make_shared<storage::MemBlockStore>(64);
+  VmConfig cfg{.name = "io"};
+  cfg.disk_model = IoModel::kEmulated;
+  cfg.disk = disk;
+  Vm* io = Boot(host, cfg, guest::ComputeProgram(0));
+  ASSERT_TRUE(io->emulated_blk()->Write(0x00, 4, 0).ok());  // LBA
+  ASSERT_TRUE(io->emulated_blk()->Write(0x04, 4, 8).ok());  // COUNT
+  ASSERT_TRUE(io->emulated_blk()->Write(0x08, 4, 2).ok());  // CMD: write
+  ASSERT_TRUE(host.clock().HasPending());
+
+  ASSERT_TRUE(host.DestroyVm(sleeper).ok());
+  ASSERT_TRUE(host.DestroyVm(io).ok());
+
+  // Drain every remaining event, then keep simulating. Without CancelOwner
+  // these dereference the destroyed VMs.
+  host.clock().RunAll();
+  host.RunFor(20 * kSimTicksPerMs);
+  EXPECT_TRUE(host.vms().empty());
+}
+
+// The virtio completion path stages through the same owner tag.
+TEST(DestroyVmTest, CancelsInflightVirtioBlkCompletion) {
+  Host host;
+  auto disk = std::make_shared<storage::MemBlockStore>(1024);
+  VmConfig cfg{.name = "vio"};
+  cfg.disk_model = IoModel::kParavirt;
+  cfg.disk = disk;
+  guest::BlkIoParams p;
+  p.iterations = 1'000'000;  // keep I/O flowing until destroyed
+  p.sectors = 4;
+  p.batch = 2;
+  p.write = true;
+  Vm* vm = Boot(host, cfg, guest::VirtioBlkProgram(p));
+  host.RunFor(2 * kSimTicksPerMs);
+  ASSERT_EQ(vm->state(), VmState::kRunning) << vm->crash_reason().ToString();
+  ASSERT_TRUE(host.DestroyVm(vm).ok());
+  host.clock().RunAll();
+  host.RunFor(10 * kSimTicksPerMs);
+  EXPECT_TRUE(host.vms().empty());
+}
+
+// ---------------------------------------------------------------------------
+// WorkerPool
+// ---------------------------------------------------------------------------
+
+TEST(WorkerPoolTest, RunsEveryLaneExactlyOnceAcrossBatches) {
+  core::WorkerPool pool(3);
+  for (int batch = 0; batch < 50; ++batch) {
+    size_t count = 1 + static_cast<size_t>(batch % 7);
+    std::vector<std::atomic<int>> hits(count);
+    pool.Run(count, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "batch " << batch << " lane " << i;
+    }
+  }
+}
+
+TEST(WorkerPoolTest, ZeroThreadPoolRunsInline) {
+  core::WorkerPool pool(0);
+  std::vector<int> order;
+  pool.Run(4, [&](size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace hyperion

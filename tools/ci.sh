@@ -9,8 +9,11 @@
 #      passes every invariant audit
 #   4. AddressSanitizer build + suite (includes the chaos sweeps)
 #   5. UndefinedBehaviorSanitizer build + suite (includes the chaos sweeps)
-#   6. clang-tidy lint (skipped gracefully where clang-tidy is absent)
-#   7. perf smoke: Release bench_exec; the DBT engine must clear 2x the
+#   6. ThreadSanitizer build + the concurrency-relevant suites with
+#      HYPERION_WORKERS=4, so the staged execution core's worker pool and
+#      every per-slice staging buffer actually run multi-threaded under TSan
+#   7. clang-tidy lint (skipped gracefully where clang-tidy is absent)
+#   8. perf smoke: Release bench_exec; the DBT engine must clear 2x the
 #      interpreter's guest-MIPS on the hot compute kernel — a coarse
 #      anti-regression tripwire, not a microbench gate (steady-state margin
 #      is ~3x; 2x absorbs shared-runner noise)
@@ -33,29 +36,42 @@ run_suite() {  # run_suite <build-dir> [extra cmake flags...]
 
 CHAOS_FILTER='ChaosTest|FaultPlanTest|InjectorTest|FaultyStoreTest|SwitchFaultTest|DeviceFaultTest|HvdCrashTest'
 
-echo "=== [1/7] plain build + tests ==="
+echo "=== [1/8] plain build + tests ==="
 run_suite build
 
-echo "=== [2/7] tests under HYPERION_AUDIT=1 ==="
+echo "=== [2/8] tests under HYPERION_AUDIT=1 ==="
 (cd build && HYPERION_AUDIT=1 ctest --output-on-failure -j "$JOBS")
 
-echo "=== [3/7] chaos: seeded fault-injection sweeps under audit ==="
+echo "=== [3/8] chaos: seeded fault-injection sweeps under audit ==="
 (cd build && HYPERION_AUDIT=1 ctest -R "$CHAOS_FILTER" --output-on-failure -j "$JOBS")
 
 if [ "$FAST" = "0" ]; then
-  echo "=== [4/7] AddressSanitizer (suite + chaos sweeps) ==="
+  echo "=== [4/8] AddressSanitizer (suite + chaos sweeps) ==="
   run_suite build-asan -DHYPERION_SANITIZE=address
 
-  echo "=== [5/7] UndefinedBehaviorSanitizer (suite + chaos sweeps) ==="
+  echo "=== [5/8] UndefinedBehaviorSanitizer (suite + chaos sweeps) ==="
   run_suite build-ubsan -DHYPERION_SANITIZE=undefined
+
+  echo "=== [6/8] ThreadSanitizer (HYPERION_WORKERS=4, staged-core suites) ==="
+  # The filter covers everything that exercises the worker pool end to end:
+  # the host run loop and its staging buffers (Host/Smp/Staged/WorkerPool),
+  # VM teardown concurrent with in-flight events (DestroyVm), and the
+  # migration + fault-injection paths whose shared state is queried from
+  # worker threads. HYPERION_WORKERS=4 overrides the serial default so the
+  # pool genuinely runs multi-threaded even for configs that leave
+  # worker_threads unset.
+  TSAN_FILTER='HostVmTest|SmpTest|SchedulingTest|StagedExecutionTest|DestroyVmTest|WorkerPoolTest|MigrationTest|MigrateIoTest|MigrateStateTest|ChaosTest|FaultPlanTest|InjectorTest|HvdCrashTest'
+  cmake -B build-tsan -S . -DHYPERION_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS"
+  (cd build-tsan && HYPERION_WORKERS=4 ctest -R "$TSAN_FILTER" --output-on-failure -j "$JOBS")
 else
-  echo "=== [4/7][5/7] sanitizers skipped (--fast) ==="
+  echo "=== [4/8][5/8][6/8] sanitizers skipped (--fast) ==="
 fi
 
-echo "=== [6/7] lint ==="
+echo "=== [7/8] lint ==="
 tools/run_lint.sh build
 
-echo "=== [7/7] perf smoke: hot DBT vs interpreter ==="
+echo "=== [8/8] perf smoke: hot DBT vs interpreter ==="
 cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-perf -j "$JOBS" --target bench_exec
 # --benchmark_min_time takes a bare seconds value (no "s" suffix). The ratio

@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Runs clang-tidy (config: .clang-tidy) over the first-party sources.
 #
+# The check set includes concurrency-* (see .clang-tidy): since the staged
+# execution core runs guest slices on worker threads, mt-unsafe libc calls
+# anywhere under src/ are lint findings, not style nits.
+#
 # Degrades gracefully: containers that ship only gcc have no clang-tidy, and
 # the lint pass is advisory there — we print a notice and exit 0 so that
 # tools/ci.sh keeps working everywhere. Set LINT_STRICT=1 to turn a missing

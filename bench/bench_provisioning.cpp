@@ -16,12 +16,19 @@
 
 #include "bench/bench_util.h"
 #include "src/snapshot/snapshot.h"
+#include "src/util/phase.h"
 #include "src/storage/hvd.h"
 
 using namespace hyperion;
 using namespace hyperion::bench;
 
 namespace {
+
+// All driver code here runs on the main thread, outside any execute slice.
+const hyperion::SerialPhase& Serial() {
+  static hyperion::ScopedSerialPhase scope;
+  return scope.get();
+}
 
 using WallClock = std::chrono::steady_clock;
 
@@ -80,7 +87,7 @@ int main() {
              host.clock().now() - t0 < 10 * kSimTicksPerSec) {
         host.RunFor(5 * kSimTicksPerMs);
       }
-      golden->Pause();
+      golden->Pause(Serial());
       auto tmpl = snapshot::SaveVm(*golden);
       if (!tmpl.ok()) {
         std::abort();
@@ -119,7 +126,7 @@ int main() {
              host.clock().now() - t0 < 10 * kSimTicksPerSec) {
         host.RunFor(5 * kSimTicksPerMs);
       }
-      parent->Pause();
+      parent->Pause(Serial());
 
       constexpr int kForks = 8;
       size_t frames_before = host.pool().used_frames();

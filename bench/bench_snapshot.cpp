@@ -9,11 +9,18 @@
 
 #include "bench/bench_util.h"
 #include "src/snapshot/snapshot.h"
+#include "src/util/phase.h"
 
 using namespace hyperion;
 using namespace hyperion::bench;
 
 namespace {
+
+// All driver code here runs on the main thread, outside any execute slice.
+const hyperion::SerialPhase& Serial() {
+  static hyperion::ScopedSerialPhase scope;
+  return scope.get();
+}
 
 using WallClock = std::chrono::steady_clock;
 
@@ -41,7 +48,7 @@ int main() {
     while (Progress(vm, prog) == 0 && host.clock().now() - t0 < 10 * kSimTicksPerSec) {
       host.RunFor(5 * kSimTicksPerMs);
     }
-    vm->Pause();
+    vm->Pause(Serial());
 
     snapshot::SnapshotInfo info;
     auto w0 = WallClock::now();
@@ -79,18 +86,18 @@ int main() {
     core::Vm* vm = MustBoot(host, cfg, prog);
     host.RunFor(50 * kSimTicksPerMs);  // build the working set
 
-    vm->Pause();
+    vm->Pause(Serial());
     auto full = snapshot::SaveVm(*vm);
     if (!full.ok()) {
       std::abort();
     }
     vm->memory().EnableDirtyLog();
-    vm->Resume();
+    vm->Resume(Serial());
 
     for (SimTime interval : {kSimTicksPerMs, 4 * kSimTicksPerMs, 16 * kSimTicksPerMs,
                              64 * kSimTicksPerMs}) {
       host.RunFor(interval);
-      vm->Pause();
+      vm->Pause(Serial());
       snapshot::SnapshotInfo info;
       snapshot::SaveOptions opts;
       opts.incremental = true;
@@ -101,7 +108,7 @@ int main() {
       Row("%11.2f ms %9.1f KiB %12u %13.1f%%", SimTimeToMs(interval),
           static_cast<double>(delta->size()) / 1024, info.pages_total,
           100.0 * static_cast<double>(delta->size()) / static_cast<double>(full->size()));
-      vm->Resume();
+      vm->Resume(Serial());
     }
   }
   Row("\nshape check: delta size saturates at the hot-set size; short intervals");

@@ -15,6 +15,9 @@
 using namespace hyperion;
 
 int main() {
+  // The whole driver runs serially on the main thread.
+  ScopedSerialPhase serial;
+
   core::HostConfig host_config;
   host_config.ram_bytes = 256u << 20;
   core::Host host(host_config);
@@ -53,7 +56,7 @@ int main() {
   if (!golden.ok() || !(*golden)->LoadImage(*golden_image).ok()) {
     return 1;
   }
-  (*golden)->Pause();
+  (*golden)->Pause(serial);
   snapshot::SnapshotInfo info;
   auto tmpl = snapshot::SaveVm(**golden, {}, &info);
   if (!tmpl.ok()) {

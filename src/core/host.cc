@@ -14,15 +14,26 @@ uint32_t ResolveWorkerThreads(int configured) {
   if (configured >= 0) {
     return static_cast<uint32_t>(configured);
   }
-  const char* env = std::getenv("HYPERION_WORKERS");
-  if (env == nullptr) {
-    return 0;
-  }
-  int parsed = std::atoi(env);
-  return parsed > 0 ? static_cast<uint32_t>(parsed) : 0;
+  int from_env = HostConfig::FromEnv().worker_threads;
+  return from_env > 0 ? static_cast<uint32_t>(from_env) : 0;
 }
 
 }  // namespace
+
+HostConfig HostConfig::FromEnv() {
+  HostConfig config;
+  config.worker_threads = 0;
+  // The process environment is read-only for the whole run; this is the one
+  // place the core consults it.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  if (const char* env = std::getenv("HYPERION_WORKERS")) {
+    int parsed = std::atoi(env);
+    if (parsed > 0) {
+      config.worker_threads = parsed;
+    }
+  }
+  return config;
+}
 
 Host::Host(HostConfig config)
     : config_(std::move(config)),
@@ -46,7 +57,7 @@ Result<Vm*> Host::CreateVm(VmConfig vm_config) {
     }
   }
   auto vm = std::unique_ptr<Vm>(new Vm(this, std::move(vm_config)));
-  HYP_RETURN_IF_ERROR(vm->Init());
+  HYP_RETURN_IF_ERROR(vm->Init(serial_));
 
   sched::EntityId base = next_entity_;
   next_entity_ += vm->num_vcpus();
@@ -90,28 +101,33 @@ sched::EntityId Host::EntityOf(Vm* vm, uint32_t vcpu) const {
   return it == vm_base_entity_.end() ? sched::kIdle : it->second + vcpu;
 }
 
-void Host::WakeVcpu(Vm* vm, uint32_t vcpu) {
+void Host::WakeVcpu(const Phase& ph, Vm* vm, uint32_t vcpu) {
   sched::EntityId id = EntityOf(vm, vcpu);
   if (id == sched::kIdle) {
     return;
   }
   vm->vcpu(vcpu).state.waiting = false;
   if (SliceWork* slice = tls_slice_; slice != nullptr && slice->host == this) {
+    // Only an executing lane can be inside a slice for this host.
+    assert(ph.AsExecute() != nullptr);
     slice->wakes.push_back(WakeOp{vm, vcpu, true});
     return;
   }
+  (void)ph;
   sched_->SetRunnable(id, true, clock_.now());
 }
 
-void Host::BlockVcpu(Vm* vm, uint32_t vcpu) {
+void Host::BlockVcpu(const Phase& ph, Vm* vm, uint32_t vcpu) {
   sched::EntityId id = EntityOf(vm, vcpu);
   if (id == sched::kIdle) {
     return;
   }
   if (SliceWork* slice = tls_slice_; slice != nullptr && slice->host == this) {
+    assert(ph.AsExecute() != nullptr);
     slice->wakes.push_back(WakeOp{vm, vcpu, false});
     return;
   }
+  (void)ph;
   sched_->SetRunnable(id, false, clock_.now());
 }
 
@@ -123,7 +139,7 @@ void Host::SetFaultInjector(fault::FaultInjector* injector, std::string site) {
 void Host::CrashAllVms(const Status& reason) {
   for (auto& vm : vms_) {
     if (vm->state() == VmState::kRunning) {
-      vm->Crash(reason);
+      vm->Crash(serial_, reason);
     }
   }
 }
@@ -144,7 +160,7 @@ void Host::RunFor(SimTime duration) {
         SimTime stop = std::min(*until, end);
         if (stop > clock_.now()) {
           stats_.fault_pause_time += stop - clock_.now();
-          clock_.RunUntil(stop);
+          clock_.RunUntil(serial_, stop);
           continue;
         }
       }
@@ -160,10 +176,10 @@ bool Host::RunRound(SimTime end) {
   // The earliest-free pCPU anchors the round.
   SimTime t0 = std::max(pcpu_heap_.top().first, clock_.now());
   if (t0 >= end) {
-    clock_.RunUntil(end);
+    clock_.RunUntil(serial_, end);
     return false;
   }
-  clock_.RunUntil(t0);  // deliver device completions and timer wakes due by t0
+  clock_.RunUntil(serial_, t0);  // deliver device completions and timer wakes due by t0
 
   // Conservative window: no slice may start at or after the next pending
   // clock event — that event could wake a vCPU that deserves the pCPU first.
@@ -252,13 +268,15 @@ bool Host::RunRound(SimTime end) {
 
   // --- Commit --------------------------------------------------------------
   // Staged effects merge in dispatch order — (start time, pCPU index) — so
-  // the post-round state is identical for any worker count.
+  // the post-round state is identical for any worker count. The CommitPhase
+  // token minted here is the only way to reach the CommitStage entry points.
+  CommitPhase commit;
   SimTime min_done = ~SimTime{0};
   SimTime wake_horizon = ~SimTime{0};
   for (SliceWork& work : slices) {
-    clock_.CommitStage(work.clock_stage);
-    switch_.CommitStage(work.tx_stage);
-    pool_.CommitStage(work.pool_stage);
+    clock_.CommitStage(commit, work.clock_stage);
+    switch_.CommitStage(commit, work.tx_stage);
+    pool_.CommitStage(commit, work.pool_stage);
     for (const WakeOp& op : work.wakes) {
       sched::EntityId wid = EntityOf(op.vm, op.vcpu);
       if (wid != sched::kIdle) {
@@ -268,7 +286,7 @@ bool Host::RunRound(SimTime end) {
         wake_horizon = std::min(wake_horizon, work.start);
       }
     }
-    internal::WriteLogText(work.log);
+    internal::WriteLogText(commit, work.log);
 
     SimTime done = work.start + std::max<uint64_t>(work.result.cycles, 1);
     // Switching the pCPU to a different vCPU costs a world switch plus the
@@ -318,22 +336,26 @@ bool Host::RunRound(SimTime end) {
 }
 
 void Host::ExecuteSlice(SliceWork& work) {
+  // The lane's ExecutePhase: every staging API below takes it, and its
+  // lifetime marks this thread as inside-execute so ScopedSerialPhase
+  // cannot be minted from guest-triggered code.
+  ExecutePhase ep;
   work.clock_stage.clock = &clock_;
   work.clock_stage.vnow = work.start;
   work.tx_stage.sw = &switch_;
   work.tx_stage.vnow = work.start;
   work.pool_stage.pool = &pool_;
-  SimClock::SetStage(&work.clock_stage);
-  net::VirtualSwitch::SetStage(&work.tx_stage);
-  mem::FramePool::SetStage(&work.pool_stage);
-  internal::SetThreadLogSink(&work.log);
+  SimClock::SetStage(ep, &work.clock_stage);
+  net::VirtualSwitch::SetStage(ep, &work.tx_stage);
+  mem::FramePool::SetStage(ep, &work.pool_stage);
+  internal::SetThreadLogSink(ep, &work.log);
   tls_slice_ = &work;
-  work.result = work.ref.vm->RunVcpuSlice(work.ref.vcpu, work.budget, work.start);
+  work.result = work.ref.vm->RunVcpuSlice(ep, work.ref.vcpu, work.budget, work.start);
   tls_slice_ = nullptr;
-  internal::SetThreadLogSink(nullptr);
-  mem::FramePool::SetStage(nullptr);
-  net::VirtualSwitch::SetStage(nullptr);
-  SimClock::SetStage(nullptr);
+  internal::SetThreadLogSink(ep, nullptr);
+  mem::FramePool::SetStage(ep, nullptr);
+  net::VirtualSwitch::SetStage(ep, nullptr);
+  SimClock::SetStage(ep, nullptr);
 }
 
 bool Host::RunUntilQuiescent(SimTime max_time) {

@@ -24,6 +24,7 @@
 #include "src/net/network.h"
 #include "src/sched/scheduler.h"
 #include "src/util/cost_model.h"
+#include "src/util/phase.h"
 #include "src/util/sim_clock.h"
 
 namespace hyperion::fault {
@@ -44,6 +45,12 @@ struct HostConfig {
   // participates too). -1 reads HYPERION_WORKERS at construction (default
   // 0). Simulation results are identical for every setting.
   int worker_threads = -1;
+
+  // Returns a default config with every HYPERION_* environment override
+  // already resolved (currently just HYPERION_WORKERS). The only getenv
+  // calls in the core live in its implementation, so the rest of the run
+  // loop needs no concurrency-mt-unsafe carve-out.
+  static HostConfig FromEnv();
 };
 
 class Host {
@@ -85,10 +92,11 @@ class Host {
   // --- Hooks used by Vm --------------------------------------------------
 
   // Marks a vCPU runnable (device interrupt, page arrival, resume). Staged
-  // when called from inside an executing slice.
-  void WakeVcpu(Vm* vm, uint32_t vcpu);
+  // when called from inside an executing slice; the phase token is the
+  // static evidence the caller is in a legal regime for the route taken.
+  void WakeVcpu(const Phase& ph, Vm* vm, uint32_t vcpu);
   // Marks a vCPU not runnable (WFI, stall, halt).
-  void BlockVcpu(Vm* vm, uint32_t vcpu);
+  void BlockVcpu(const Phase& ph, Vm* vm, uint32_t vcpu);
 
   // --- Fault injection -----------------------------------------------------
 
@@ -156,9 +164,11 @@ class Host {
   sched::EntityId EntityOf(Vm* vm, uint32_t vcpu) const;
 
   // Runs one dispatch→execute→commit round toward `end`. Returns false when
-  // nothing can happen before `end` (time has been advanced there).
+  // nothing can happen before `end` (time has been advanced there). Mints
+  // the round's CommitPhase for the barrier merge.
   bool RunRound(SimTime end);
-  // Installs the thread-local stages, runs the slice, clears the stages.
+  // Mints an ExecutePhase, installs the thread-local stages, runs the
+  // slice, clears the stages.
   void ExecuteSlice(SliceWork& work);
   void CrashAllVms(const Status& reason);
 
@@ -167,6 +177,10 @@ class Host {
   static inline thread_local SliceWork* tls_slice_ = nullptr;
 
   HostConfig config_;
+  // The host thread's serial-phase capability, handed to everything the run
+  // loop does between rounds (clock pumping, VM setup/teardown). Host is a
+  // friend of SerialPhase; nothing on a worker lane can reach this member.
+  SerialPhase serial_;
   SimClock clock_;
   mem::FramePool pool_;
   net::VirtualSwitch switch_;

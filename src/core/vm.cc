@@ -10,16 +10,19 @@ using isa::Hypercall;
 Vm::Vm(Host* host, VmConfig config) : host_(host), config_(std::move(config)) {}
 
 Vm::~Vm() {
+  // Teardown only happens between rounds; the runtime-checked token is the
+  // evidence (ScopedSerialPhase asserts we are not on a worker lane).
+  ScopedSerialPhase serial;
   if (config_.mac != 0 && config_.net_model != IoModel::kNone) {
-    (void)host_->vswitch().Detach(config_.mac);
+    (void)host_->vswitch().Detach(serial, config_.mac);
   }
   // Drop every pending clock event that captured `this` (armed timers,
   // in-flight block completions) — they would otherwise fire into freed
   // memory after DestroyVm.
-  host_->clock().CancelOwner(clock_owner_);
+  host_->clock().CancelOwner(serial, clock_owner_);
 }
 
-Status Vm::Init() {
+Status Vm::Init(const SerialPhase& ph) {
   if (config_.num_vcpus == 0 || config_.num_vcpus > 16) {
     return InvalidArgumentError("vcpu count must be in [1, 16]");
   }
@@ -64,7 +67,7 @@ Status Vm::Init() {
       emu_net_ = std::make_unique<devices::EmulatedNetDevice>(
           &host_->vswitch(), config_.mac, devices::IrqLine(&pic_, devices::kNetIrq));
       HYP_RETURN_IF_ERROR(bus_.Map(devices::kNetBase, devices::kDeviceWindow, emu_net_.get()));
-      HYP_RETURN_IF_ERROR(host_->vswitch().Attach(config_.mac, emu_net_.get()));
+      HYP_RETURN_IF_ERROR(host_->vswitch().Attach(ph, config_.mac, emu_net_.get()));
     } else {
       vnet_ = std::make_unique<virtio::VirtioNet>(
           memory_.get(), devices::IrqLine(&pic_, devices::kVirtioIrqBase + 1),
@@ -72,7 +75,7 @@ Status Vm::Init() {
       HYP_RETURN_IF_ERROR(
           bus_.Map(devices::kVirtioBase + 1 * devices::kVirtioStride, devices::kVirtioStride,
                    vnet_.get()));
-      HYP_RETURN_IF_ERROR(host_->vswitch().Attach(config_.mac, vnet_.get()));
+      HYP_RETURN_IF_ERROR(host_->vswitch().Attach(ph, config_.mac, vnet_.get()));
     }
   }
 
@@ -97,12 +100,14 @@ Status Vm::Init() {
     vcpus_.push_back(std::move(unit));
   }
 
-  // External interrupts route to vCPU 0 (single-IOAPIC model).
-  pic_.SetSink([this](bool level) {
+  // External interrupts route to vCPU 0 (single-IOAPIC model). The sink
+  // fires in whatever phase asserted the line (MMIO write from a slice,
+  // device completion from a serial callback) and passes that phase on.
+  pic_.SetSink([this](const Phase& sink_ph, bool level) {
     cpu::CpuState& s = vcpus_[0]->ctx.state;
     if (level) {
       s.RaisePending(isa::Interrupt::kExternal);
-      host_->WakeVcpu(this, 0);
+      host_->WakeVcpu(sink_ph, this, 0);
     } else {
       s.ClearPending(isa::Interrupt::kExternal);
     }
@@ -120,15 +125,23 @@ Status Vm::LoadImage(const assembler::Image& image) {
   return OkStatus();
 }
 
-SliceResult Vm::RunVcpuSlice(uint32_t vcpu_idx, uint64_t budget, SimTime now) {
-  SliceResult res = RunVcpuSliceInner(vcpu_idx, budget, now);
+SliceResult Vm::RunVcpuSlice(const ExecutePhase& ph, uint32_t vcpu_idx, uint64_t budget,
+                             SimTime now) {
+  // Publish the slice's phase to the paths that cannot take it as a
+  // parameter: the engine reaches it through VcpuContext, and transparent
+  // COW breaks inside GuestMemory::Write charge their decref to it.
+  vcpus_[vcpu_idx]->ctx.phase = &ph;
+  memory_->SetEffectPhase(&ph);
+  SliceResult res = RunVcpuSliceInner(ph, vcpu_idx, budget, now);
+  memory_->SetEffectPhase(nullptr);
+  vcpus_[vcpu_idx]->ctx.phase = nullptr;
   // Slice boundaries are trap boundaries: every VMM data structure must be
   // coherent here, whatever the guest just did.
   if (verify::AuditEnabled() && state_ == VmState::kRunning) {
     verify::AuditReport report = AuditInvariants(vcpu_idx);
     if (!report.ok()) {
-      Crash(InternalError("invariant audit failed for " + name() + ":\n" +
-                          report.ToString()));
+      Crash(ph, InternalError("invariant audit failed for " + name() + ":\n" +
+                              report.ToString()));
       res.end = SliceEnd::kHalted;
     }
   }
@@ -151,7 +164,8 @@ verify::AuditReport Vm::AuditInvariants(uint32_t vcpu_idx) const {
   return report;
 }
 
-SliceResult Vm::RunVcpuSliceInner(uint32_t vcpu_idx, uint64_t budget, SimTime now) {
+SliceResult Vm::RunVcpuSliceInner(const ExecutePhase& ph, uint32_t vcpu_idx,
+                                  uint64_t budget, SimTime now) {
   SliceResult res;
   if (state_ != VmState::kRunning) {
     res.end = SliceEnd::kHalted;
@@ -181,9 +195,9 @@ SliceResult Vm::RunVcpuSliceInner(uint32_t vcpu_idx, uint64_t budget, SimTime no
         if (timecmp != 0 && timecmp > at) {
           Vm* vm = this;
           uint32_t idx = vcpu_idx;
-          clock_.ScheduleAt(timecmp, [vm, idx] {
+          clock_.ScheduleAt(ph, timecmp, [vm, idx](const SerialPhase& sp) {
             if (vm->state_ == VmState::kRunning && vm->vcpus_[idx]->ctx.state.waiting) {
-              vm->host_->WakeVcpu(vm, idx);
+              vm->host_->WakeVcpu(sp, vm, idx);
             }
           });
         }
@@ -192,24 +206,24 @@ SliceResult Vm::RunVcpuSliceInner(uint32_t vcpu_idx, uint64_t budget, SimTime no
       }
       case cpu::ExitReason::kHypercall: {
         SliceEnd end = SliceEnd::kBudget;
-        if (!HandleHypercall(vcpu_idx, now + used, &end)) {
+        if (!HandleHypercall(ph, vcpu_idx, now + used, &end)) {
           res.end = end;
           return res;
         }
         continue;
       }
       case cpu::ExitReason::kMissingPage: {
-        if (missing_page_handler_ && missing_page_handler_(vcpu_idx, r.missing_gpn)) {
+        if (missing_page_handler_ && missing_page_handler_(ph, vcpu_idx, r.missing_gpn)) {
           res.end = SliceEnd::kStalled;
           return res;
         }
-        Crash(InternalError("access to missing page " + std::to_string(r.missing_gpn) +
-                            " with no post-copy handler"));
+        Crash(ph, InternalError("access to missing page " + std::to_string(r.missing_gpn) +
+                                " with no post-copy handler"));
         res.end = SliceEnd::kHalted;
         return res;
       }
       case cpu::ExitReason::kError:
-        Crash(r.error);
+        Crash(ph, r.error);
         res.end = SliceEnd::kHalted;
         return res;
     }
@@ -218,7 +232,8 @@ SliceResult Vm::RunVcpuSliceInner(uint32_t vcpu_idx, uint64_t budget, SimTime no
   return res;
 }
 
-bool Vm::HandleHypercall(uint32_t vcpu_idx, SimTime now, SliceEnd* end) {
+bool Vm::HandleHypercall(const ExecutePhase& ph, uint32_t vcpu_idx, SimTime now,
+                         SliceEnd* end) {
   cpu::CpuState& s = vcpus_[vcpu_idx]->ctx.state;
   auto num = static_cast<Hypercall>(s.ReadReg(isa::kA0));
   uint32_t a1 = s.ReadReg(isa::kA1);
@@ -254,7 +269,7 @@ bool Vm::HandleHypercall(uint32_t vcpu_idx, SimTime now, SliceEnd* end) {
       *end = SliceEnd::kHalted;
       return false;
     case Hypercall::kBalloonInflate: {
-      Status st = memory_->ReleasePage(a1);
+      Status st = memory_->ReleasePage(ph, a1);
       if (st.ok()) {
         InvalidateGpn(a1);
         ++ballooned_pages_;
@@ -290,7 +305,7 @@ bool Vm::HandleHypercall(uint32_t vcpu_idx, SimTime now, SliceEnd* end) {
         default:
           break;
       }
-      if (dev == nullptr || !dev->Kick(static_cast<uint16_t>(a2)).ok()) {
+      if (dev == nullptr || !dev->Kick(ph, static_cast<uint16_t>(a2)).ok()) {
         ret = 1;
       }
       break;
@@ -314,7 +329,7 @@ bool Vm::HandleHypercall(uint32_t vcpu_idx, SimTime now, SliceEnd* end) {
       }
       target.pc = a2;
       target.WriteReg(isa::kA0, a3);
-      host_->WakeVcpu(this, a1);
+      host_->WakeVcpu(ph, this, a1);
       break;
     }
     case Hypercall::kVcpuCount:
@@ -328,21 +343,21 @@ bool Vm::HandleHypercall(uint32_t vcpu_idx, SimTime now, SliceEnd* end) {
   return true;
 }
 
-void Vm::Pause() {
+void Vm::Pause(const Phase& ph) {
   if (state_ == VmState::kRunning) {
     state_ = VmState::kPaused;
     for (uint32_t i = 0; i < num_vcpus(); ++i) {
-      host_->BlockVcpu(this, i);
+      host_->BlockVcpu(ph, this, i);
     }
   }
 }
 
-void Vm::Resume() {
+void Vm::Resume(const Phase& ph) {
   if (state_ == VmState::kPaused) {
     state_ = VmState::kRunning;
     for (uint32_t i = 0; i < num_vcpus(); ++i) {
       if (!vcpus_[i]->ctx.state.halted && !vcpus_[i]->ctx.state.waiting) {
-        host_->WakeVcpu(this, i);
+        host_->WakeVcpu(ph, this, i);
       }
     }
   }
@@ -378,12 +393,12 @@ cpu::VcpuStats Vm::TotalStats() const {
   return total;
 }
 
-void Vm::Crash(const Status& reason) {
+void Vm::Crash(const Phase& ph, const Status& reason) {
   HYP_LOG(kError) << "vm '" << config_.name << "' crashed: " << reason.ToString();
   state_ = VmState::kCrashed;
   crash_reason_ = reason;
   for (uint32_t i = 0; i < num_vcpus(); ++i) {
-    host_->BlockVcpu(this, i);
+    host_->BlockVcpu(ph, this, i);
   }
 }
 

@@ -24,6 +24,7 @@
 #include "src/mem/guest_memory.h"
 #include "src/mmu/virtualizer.h"
 #include "src/sched/scheduler.h"
+#include "src/util/phase.h"
 #include "src/storage/block_store.h"
 #include "src/verify/audit.h"
 #include "src/virtio/virtio_blk.h"
@@ -81,10 +82,13 @@ class Host;
 
 class Vm {
  public:
-  // Invoked on a missing-page access (post-copy demand paging). Returns true
-  // when the fault is being handled asynchronously: the vCPU stalls and must
-  // be woken once the page arrives. Returning false crashes the VM.
-  using MissingPageHandler = std::function<bool(uint32_t vcpu, uint32_t gpn)>;
+  // Invoked on a missing-page access (post-copy demand paging). Runs inside
+  // the faulting vCPU's slice, so it receives the slice's ExecutePhase —
+  // everything it does (demand-fetch scheduling, wakes) must stage. Returns
+  // true when the fault is being handled asynchronously: the vCPU stalls and
+  // must be woken once the page arrives. Returning false crashes the VM.
+  using MissingPageHandler =
+      std::function<bool(const ExecutePhase& ph, uint32_t vcpu, uint32_t gpn)>;
 
   ~Vm();
 
@@ -100,11 +104,17 @@ class Vm {
   Status LoadImage(const assembler::Image& image);
 
   // Runs one vCPU for at most `budget` cycles, handling hypercalls inline.
-  SliceResult RunVcpuSlice(uint32_t vcpu, uint64_t budget, SimTime now);
+  // Only the host run loop can mint the ExecutePhase this demands; the
+  // token (and the effect-phase pointers derived from it) threads through
+  // every side effect the slice performs.
+  SliceResult RunVcpuSlice(const ExecutePhase& ph, uint32_t vcpu, uint64_t budget,
+                           SimTime now);
 
-  // Lifecycle.
-  void Pause();
-  void Resume();
+  // Lifecycle. Dual-regime: Pause/Resume run serially (migration, tests)
+  // but Crash also fires from inside a slice (engine fault), so all three
+  // take the caller's phase and route their scheduler effects through it.
+  void Pause(const Phase& ph);
+  void Resume(const Phase& ph);
   bool AllVcpusHalted() const;
 
   // --- Introspection / host-side controls -----------------------------------
@@ -163,7 +173,7 @@ class Vm {
   verify::AuditReport AuditInvariants(uint32_t vcpu) const;
 
   // Marks the VM crashed (also used by the host on fatal conditions).
-  void Crash(const Status& reason);
+  void Crash(const Phase& ph, const Status& reason);
   const Status& crash_reason() const { return crash_reason_; }
 
   // Invalidates cached translations for a guest page on every vCPU engine
@@ -173,7 +183,7 @@ class Vm {
  private:
   friend class Host;
   Vm(Host* host, VmConfig config);
-  Status Init();
+  Status Init(const SerialPhase& ph);
 
   struct VcpuUnit {
     cpu::VcpuContext ctx;
@@ -182,10 +192,11 @@ class Vm {
 
   // Handles one hypercall; returns false when the slice must end (yield,
   // shutdown, stall) with `end` set accordingly.
-  bool HandleHypercall(uint32_t vcpu, SimTime now, SliceEnd* end);
+  bool HandleHypercall(const ExecutePhase& ph, uint32_t vcpu, SimTime now, SliceEnd* end);
 
   // RunVcpuSlice body; the public wrapper appends the audit hook.
-  SliceResult RunVcpuSliceInner(uint32_t vcpu, uint64_t budget, SimTime now);
+  SliceResult RunVcpuSliceInner(const ExecutePhase& ph, uint32_t vcpu, uint64_t budget,
+                                SimTime now);
 
   Host* host_;
   VmConfig config_;

@@ -24,6 +24,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/util/thread_annotations.h"
+
 namespace hyperion::core {
 
 class WorkerPool {
@@ -53,15 +55,15 @@ class WorkerPool {
   std::mutex mu_;
   std::condition_variable work_cv_;   // host -> workers: new batch
   std::condition_variable done_cv_;   // workers -> host: batch finished
-  uint64_t generation_ = 0;           // bumped once per Run()
-  bool stop_ = false;
+  uint64_t generation_ HYP_GUARDED_BY(mu_) = 0;  // bumped once per Run()
+  bool stop_ HYP_GUARDED_BY(mu_) = false;
 
   // Batch state, valid for the current generation.
-  const std::function<void(size_t)>* fn_ = nullptr;
-  size_t count_ = 0;
+  const std::function<void(size_t)>* fn_ HYP_GUARDED_BY(mu_) = nullptr;
+  size_t count_ HYP_GUARDED_BY(mu_) = 0;
   std::atomic<size_t> next_{0};       // next unclaimed lane index
-  size_t completed_ = 0;              // lanes finished (guarded by mu_)
-  uint32_t running_ = 0;              // workers inside the batch (guarded by mu_)
+  size_t completed_ HYP_GUARDED_BY(mu_) = 0;  // lanes finished
+  uint32_t running_ HYP_GUARDED_BY(mu_) = 0;  // workers inside the batch
 };
 
 }  // namespace hyperion::core

@@ -10,6 +10,7 @@
 #include "src/mem/guest_memory.h"
 #include "src/mmu/virtualizer.h"
 #include "src/util/cost_model.h"
+#include "src/util/phase.h"
 #include "src/util/sim_clock.h"
 
 namespace hyperion::cpu {
@@ -44,11 +45,14 @@ struct RunResult {
 
 // Devices attach through this interface (implemented by devices::MmioBus).
 // Addresses are guest-physical within the MMIO window; size is 1, 2 or 4.
+// Writes carry the caller's phase token: device side effects (doorbells,
+// interrupt-line updates, completion scheduling) must stage or act directly
+// according to the regime the access happens in (DESIGN.md §9).
 class MmioHandler {
  public:
   virtual ~MmioHandler() = default;
   virtual Result<uint32_t> MmioRead(uint32_t gpa, uint32_t size) = 0;
-  virtual Status MmioWrite(uint32_t gpa, uint32_t size, uint32_t value) = 0;
+  virtual Status MmioWrite(const Phase& ph, uint32_t gpa, uint32_t size, uint32_t value) = 0;
 };
 
 struct VcpuStats {
@@ -115,6 +119,10 @@ struct VcpuContext {
   MmioHandler* mmio = nullptr;  // may be null: all MMIO faults the guest
   const CostModel* costs = &CostModel::Default();
   VirtMode virt_mode = VirtMode::kHardwareAssist;
+  // Phase the current Run call executes under (set by Vm::RunVcpuSlice to
+  // the slice's ExecutePhase). Engines fall back to a runtime-checked
+  // serial token when null (direct engine use in tests).
+  const Phase* phase = nullptr;
   VcpuStats stats;
   FastTranslations fast_tlb;
 

@@ -15,16 +15,27 @@
 #include <cstdint>
 #include <cstring>
 #include <limits>
+#include <optional>
 
 #include "src/cpu/context.h"
 #include "src/isa/hv32.h"
+#include "src/util/phase.h"
 
 namespace hyperion::cpu {
 
 class ExecCore {
  public:
   ExecCore(VcpuContext& ctx, ExecutionEngine* engine)
-      : ctx_(ctx), engine_(engine), guest_insn_cost_(ctx.costs->guest_insn) {}
+      : ctx_(ctx), engine_(engine), guest_insn_cost_(ctx.costs->guest_insn) {
+    // The phase every side effect of this run charges to: the slice's
+    // ExecutePhase when driven by the host run loop, or a runtime-checked
+    // serial token when the engine is driven directly (tests, tools).
+    phase_ = ctx.phase;
+    if (phase_ == nullptr) {
+      fallback_phase_.emplace();
+      phase_ = &fallback_phase_->get();
+    }
+  }
 
   uint64_t cycles() const { return cycles_; }
   uint64_t instructions() const { return instret_; }
@@ -453,7 +464,7 @@ class ExecCore {
         Charge(ctx_.costs->vm_exit + ctx_.costs->cow_break);
         ++ctx_.stats.cow_breaks;
         uint32_t gpn = isa::PageNumber(out.gpa);
-        Status st = ctx_.memory->BreakSharing(gpn);
+        Status st = ctx_.memory->BreakSharing(*phase_, gpn);
         if (!st.ok()) {
           ExitError(std::move(st));
           return false;
@@ -491,7 +502,7 @@ class ExecCore {
       Trap(isa::TrapCause::kStorePageFault, va);
       return false;
     }
-    if (!ctx_.mmio->MmioWrite(gpa, size, value).ok()) {
+    if (!ctx_.mmio->MmioWrite(*phase_, gpa, size, value).ok()) {
       Trap(isa::TrapCause::kStorePageFault, va);
       return false;
     }
@@ -810,6 +821,9 @@ class ExecCore {
 
   VcpuContext& ctx_;
   ExecutionEngine* engine_;
+  // See the constructor; `phase_` is never null after construction.
+  std::optional<ScopedSerialPhase> fallback_phase_;
+  const Phase* phase_ = nullptr;
   const uint64_t guest_insn_cost_;  // hoisted: charged on every instruction
   RunResult result_;
   uint64_t cycles_ = 0;

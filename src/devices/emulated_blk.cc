@@ -29,7 +29,8 @@ Result<uint32_t> EmulatedBlockDevice::Read(uint32_t offset, uint32_t size) {
   }
 }
 
-Status EmulatedBlockDevice::Write(uint32_t offset, uint32_t size, uint32_t value) {
+Status EmulatedBlockDevice::Write(const Phase& ph, uint32_t offset, uint32_t size,
+                                  uint32_t value) {
   if (size != 4) {
     return InvalidArgumentError("blk registers are word-only");
   }
@@ -51,7 +52,7 @@ Status EmulatedBlockDevice::Write(uint32_t offset, uint32_t size, uint32_t value
         error_ = true;
         return OkStatus();
       }
-      StartCommand(value);
+      StartCommand(ph, value);
       return OkStatus();
     case 0x10: {
       if (busy_ || data_ptr_ + 4 > count_ * 512) {
@@ -71,19 +72,19 @@ Status EmulatedBlockDevice::Write(uint32_t offset, uint32_t size, uint32_t value
   }
 }
 
-void EmulatedBlockDevice::StartCommand(uint32_t cmd) {
+void EmulatedBlockDevice::StartCommand(const Phase& ph, uint32_t cmd) {
   busy_ = true;
   error_ = false;
   data_ptr_ = 0;
   if (clock_.valid()) {
-    clock_.ScheduleAfter(static_cast<SimTime>(count_) * costs_.blk_sector_cost,
-                         [this, cmd] { CompleteCommand(cmd); });
+    clock_.ScheduleAfter(ph, static_cast<SimTime>(count_) * costs_.blk_sector_cost,
+                         [this, cmd](const SerialPhase& sp) { CompleteCommand(sp, cmd); });
   } else {
-    CompleteCommand(cmd);
+    CompleteCommand(ph, cmd);
   }
 }
 
-void EmulatedBlockDevice::CompleteCommand(uint32_t cmd) {
+void EmulatedBlockDevice::CompleteCommand(const Phase& ph, uint32_t cmd) {
   Status st;
   if (cmd == 1) {
     st = store_->ReadSectors(lba_, count_, buffer_.data());
@@ -96,10 +97,10 @@ void EmulatedBlockDevice::CompleteCommand(uint32_t cmd) {
   busy_ = false;
   error_ = !st.ok();
   data_ready_ = st.ok();
-  irq_.Assert();
+  irq_.Assert(ph);
 }
 
-void EmulatedBlockDevice::Reset() {
+void EmulatedBlockDevice::Reset(const DirectPhase&) {
   lba_ = 0;
   count_ = 1;
   busy_ = data_ready_ = error_ = false;
@@ -114,7 +115,7 @@ void EmulatedBlockDevice::Serialize(ByteWriter& w) const {
   w.WriteBlob(buffer_);
 }
 
-Status EmulatedBlockDevice::Deserialize(ByteReader& r) {
+Status EmulatedBlockDevice::Deserialize(const DirectPhase&, ByteReader& r) {
   HYP_ASSIGN_OR_RETURN(lba_, r.ReadU32());
   HYP_ASSIGN_OR_RETURN(count_, r.ReadU32());
   HYP_ASSIGN_OR_RETURN(uint8_t flags, r.ReadU8());

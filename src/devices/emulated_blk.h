@@ -39,11 +39,11 @@ class EmulatedBlockDevice final : public MmioDevice {
 
   std::string_view name() const override { return "emu-blk"; }
   Result<uint32_t> Read(uint32_t offset, uint32_t size) override;
-  Status Write(uint32_t offset, uint32_t size, uint32_t value) override;
-  void Reset() override;
+  Status Write(const Phase& ph, uint32_t offset, uint32_t size, uint32_t value) override;
+  void Reset(const DirectPhase& ph) override;
 
   void Serialize(ByteWriter& w) const override;
-  Status Deserialize(ByteReader& r) override;
+  Status Deserialize(const DirectPhase& ph, ByteReader& r) override;
 
   struct Stats {
     uint64_t reads = 0;
@@ -53,8 +53,8 @@ class EmulatedBlockDevice final : public MmioDevice {
   const Stats& stats() const { return stats_; }
 
  private:
-  void StartCommand(uint32_t cmd);
-  void CompleteCommand(uint32_t cmd);
+  void StartCommand(const Phase& ph, uint32_t cmd);
+  void CompleteCommand(const Phase& ph, uint32_t cmd);
 
   storage::BlockStore* store_;
   IrqLine irq_;

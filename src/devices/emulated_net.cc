@@ -33,7 +33,8 @@ Result<uint32_t> EmulatedNetDevice::Read(uint32_t offset, uint32_t size) {
   }
 }
 
-Status EmulatedNetDevice::Write(uint32_t offset, uint32_t size, uint32_t value) {
+Status EmulatedNetDevice::Write(const Phase& ph, uint32_t offset, uint32_t size,
+                                uint32_t value) {
   if (size != 4) {
     return InvalidArgumentError("net registers are word-only");
   }
@@ -53,7 +54,7 @@ Status EmulatedNetDevice::Write(uint32_t offset, uint32_t size, uint32_t value) 
         f.src = addr_;
         f.dst = tx_dst_;
         f.payload.assign(tx_.begin(), tx_.begin() + tx_len_);
-        switch_->Send(std::move(f));
+        switch_->Transmit(ph, std::move(f));
         ++stats_.tx_frames;
         data_ptr_ = 0;
         return OkStatus();
@@ -89,7 +90,7 @@ Status EmulatedNetDevice::Write(uint32_t offset, uint32_t size, uint32_t value) 
   }
 }
 
-void EmulatedNetDevice::Reset() {
+void EmulatedNetDevice::Reset(const DirectPhase&) {
   tx_len_ = 0;
   tx_dst_ = 0;
   data_ptr_ = 0;
@@ -97,14 +98,14 @@ void EmulatedNetDevice::Reset() {
   rx_valid_ = false;
 }
 
-void EmulatedNetDevice::OnFrame(const net::Frame& frame) {
+void EmulatedNetDevice::OnFrame(const SerialPhase& ph, const net::Frame& frame) {
   if (frame.payload.size() > kBufBytes || rx_queue_.size() >= 64) {
     ++stats_.rx_dropped;
     return;
   }
   rx_queue_.push_back(frame);
   ++stats_.rx_frames;
-  irq_.Assert();
+  irq_.Assert(ph);
 }
 
 }  // namespace hyperion::devices

@@ -32,13 +32,13 @@ Result<uint32_t> MmioBus::MmioRead(uint32_t gpa, uint32_t size) {
   return dev->Read(offset, size);
 }
 
-Status MmioBus::MmioWrite(uint32_t gpa, uint32_t size, uint32_t value) {
+Status MmioBus::MmioWrite(const Phase& ph, uint32_t gpa, uint32_t size, uint32_t value) {
   uint32_t offset = 0;
   MmioDevice* dev = Find(gpa, &offset);
   if (dev == nullptr) {
     return NotFoundError("no device at gpa");
   }
-  return dev->Write(offset, size, value);
+  return dev->Write(ph, offset, size, value);
 }
 
 }  // namespace hyperion::devices

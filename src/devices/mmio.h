@@ -32,19 +32,25 @@ inline constexpr uint8_t kVirtioIrqBase = 8;  // + slot
 // A memory-mapped device. Offsets are relative to the device's base; sizes
 // are 1, 2 or 4 bytes. Devices are register-oriented: sub-word accesses are
 // legal only where a device says so (most registers are word-only).
+//
+// Write carries the caller's phase token (doorbells raise interrupts and
+// schedule completions, which must stage from a slice). Reset and
+// Deserialize happen only between rounds — snapshot restore, init — so they
+// demand a direct token.
 class MmioDevice {
  public:
   virtual ~MmioDevice() = default;
 
   virtual std::string_view name() const = 0;
   virtual Result<uint32_t> Read(uint32_t offset, uint32_t size) = 0;
-  virtual Status Write(uint32_t offset, uint32_t size, uint32_t value) = 0;
-  virtual void Reset() {}
+  virtual Status Write(const Phase& ph, uint32_t offset, uint32_t size, uint32_t value) = 0;
+  virtual void Reset(const DirectPhase& ph) { (void)ph; }
 
   // Snapshot hooks: serialize register state (not backing storage — disk
   // contents snapshot separately via HVD overlays).
   virtual void Serialize(ByteWriter& w) const { (void)w; }
-  virtual Status Deserialize(ByteReader& r) {
+  virtual Status Deserialize(const DirectPhase& ph, ByteReader& r) {
+    (void)ph;
     (void)r;
     return OkStatus();
   }
@@ -57,7 +63,7 @@ class MmioBus final : public cpu::MmioHandler {
   Status Map(uint32_t base, uint32_t size, MmioDevice* device);
 
   Result<uint32_t> MmioRead(uint32_t gpa, uint32_t size) override;
-  Status MmioWrite(uint32_t gpa, uint32_t size, uint32_t value) override;
+  Status MmioWrite(const Phase& ph, uint32_t gpa, uint32_t size, uint32_t value) override;
 
   // Devices in mapping order (used by snapshot to serialize device state).
   const std::vector<MmioDevice*>& devices() const { return device_list_; }

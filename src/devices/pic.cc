@@ -4,9 +4,9 @@
 
 namespace hyperion::devices {
 
-void InterruptController::Assert(uint8_t line) {
+void InterruptController::Assert(const Phase& ph, uint8_t line) {
   pending_ |= 1u << line;
-  UpdateLevel();
+  UpdateLevel(ph);
 }
 
 Result<uint32_t> InterruptController::Read(uint32_t offset, uint32_t size) {
@@ -27,7 +27,8 @@ Result<uint32_t> InterruptController::Read(uint32_t offset, uint32_t size) {
   }
 }
 
-Status InterruptController::Write(uint32_t offset, uint32_t size, uint32_t value) {
+Status InterruptController::Write(const Phase& ph, uint32_t offset, uint32_t size,
+                                  uint32_t value) {
   if (size != 4) {
     return InvalidArgumentError("pic registers are word-only");
   }
@@ -44,19 +45,19 @@ Status InterruptController::Write(uint32_t offset, uint32_t size, uint32_t value
     default:
       return NotFoundError("bad pic register");
   }
-  UpdateLevel();
+  UpdateLevel(ph);
   return OkStatus();
 }
 
-void InterruptController::Reset() {
+void InterruptController::Reset(const DirectPhase& ph) {
   pending_ = 0;
   enable_ = 0;
-  UpdateLevel();
+  UpdateLevel(ph);
 }
 
-void InterruptController::UpdateLevel() {
+void InterruptController::UpdateLevel(const Phase& ph) {
   if (sink_) {
-    sink_((pending_ & enable_) != 0);
+    sink_(ph, (pending_ & enable_) != 0);
   }
 }
 
@@ -65,10 +66,10 @@ void InterruptController::Serialize(ByteWriter& w) const {
   w.WriteU32(enable_);
 }
 
-Status InterruptController::Deserialize(ByteReader& r) {
+Status InterruptController::Deserialize(const DirectPhase& ph, ByteReader& r) {
   HYP_ASSIGN_OR_RETURN(pending_, r.ReadU32());
   HYP_ASSIGN_OR_RETURN(enable_, r.ReadU32());
-  UpdateLevel();
+  UpdateLevel(ph);
   return OkStatus();
 }
 

@@ -25,26 +25,28 @@ class InterruptController final : public MmioDevice {
  public:
   // `sink` is invoked with the level of the external-interrupt output
   // whenever it may have changed (the VMM wires it to the vCPU's IPEND bit).
-  using LevelSink = std::function<void(bool)>;
+  // It receives the phase of the access that moved the level so downstream
+  // effects (vCPU wakes) stage or act accordingly.
+  using LevelSink = std::function<void(const Phase& ph, bool level)>;
 
   void SetSink(LevelSink sink) { sink_ = std::move(sink); }
 
   // Device-side line assertion (edge-latched into PENDING).
-  void Assert(uint8_t line);
+  void Assert(const Phase& ph, uint8_t line);
 
   std::string_view name() const override { return "pic"; }
   Result<uint32_t> Read(uint32_t offset, uint32_t size) override;
-  Status Write(uint32_t offset, uint32_t size, uint32_t value) override;
-  void Reset() override;
+  Status Write(const Phase& ph, uint32_t offset, uint32_t size, uint32_t value) override;
+  void Reset(const DirectPhase& ph) override;
 
   void Serialize(ByteWriter& w) const override;
-  Status Deserialize(ByteReader& r) override;
+  Status Deserialize(const DirectPhase& ph, ByteReader& r) override;
 
   uint32_t pending() const { return pending_; }
   uint32_t enable() const { return enable_; }
 
  private:
-  void UpdateLevel();
+  void UpdateLevel(const Phase& ph);
 
   uint32_t pending_ = 0;
   uint32_t enable_ = 0;
@@ -57,9 +59,9 @@ class IrqLine {
   IrqLine() = default;
   IrqLine(InterruptController* pic, uint8_t line) : pic_(pic), line_(line) {}
 
-  void Assert() {
+  void Assert(const Phase& ph) {
     if (pic_ != nullptr) {
-      pic_->Assert(line_);
+      pic_->Assert(ph, line_);
     }
   }
 

@@ -22,8 +22,9 @@ Result<uint32_t> Uart::Read(uint32_t offset, uint32_t size) {
   }
 }
 
-Status Uart::Write(uint32_t offset, uint32_t size, uint32_t value) {
+Status Uart::Write(const Phase& ph, uint32_t offset, uint32_t size, uint32_t value) {
   (void)size;
+  (void)ph;  // uart writes have no cross-VM side effects
   switch (offset) {
     case 0x00:
       output_.push_back(static_cast<char>(value & 0xFF));
@@ -36,17 +37,17 @@ Status Uart::Write(uint32_t offset, uint32_t size, uint32_t value) {
   }
 }
 
-void Uart::Reset() {
+void Uart::Reset(const DirectPhase&) {
   rx_.clear();
   rx_irq_enabled_ = false;
 }
 
-void Uart::InjectInput(std::string_view text) {
+void Uart::InjectInput(const Phase& ph, std::string_view text) {
   for (char c : text) {
     rx_.push_back(static_cast<uint8_t>(c));
   }
   if (rx_irq_enabled_ && !rx_.empty()) {
-    irq_.Assert();
+    irq_.Assert(ph);
   }
 }
 
@@ -59,7 +60,7 @@ void Uart::Serialize(ByteWriter& w) const {
   w.WriteU8(rx_irq_enabled_ ? 1 : 0);
 }
 
-Status Uart::Deserialize(ByteReader& r) {
+Status Uart::Deserialize(const DirectPhase&, ByteReader& r) {
   HYP_ASSIGN_OR_RETURN(output_, r.ReadString());
   HYP_ASSIGN_OR_RETURN(uint32_t n, r.ReadU32());
   rx_.clear();

@@ -22,18 +22,18 @@ class Uart final : public MmioDevice {
 
   std::string_view name() const override { return "uart"; }
   Result<uint32_t> Read(uint32_t offset, uint32_t size) override;
-  Status Write(uint32_t offset, uint32_t size, uint32_t value) override;
-  void Reset() override;
+  Status Write(const Phase& ph, uint32_t offset, uint32_t size, uint32_t value) override;
+  void Reset(const DirectPhase& ph) override;
 
   void Serialize(ByteWriter& w) const override;
-  Status Deserialize(ByteReader& r) override;
+  Status Deserialize(const DirectPhase& ph, ByteReader& r) override;
 
   // Host side: everything the guest has transmitted.
   const std::string& output() const { return output_; }
   void ClearOutput() { output_.clear(); }
 
-  // Host side: feed input to the guest.
-  void InjectInput(std::string_view text);
+  // Host side: feed input to the guest (may raise the rx interrupt line).
+  void InjectInput(const Phase& ph, std::string_view text);
 
  private:
   IrqLine irq_;

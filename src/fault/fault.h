@@ -27,6 +27,7 @@
 #include "src/util/rng.h"
 #include "src/util/sim_clock.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace hyperion::fault {
 
@@ -201,7 +202,9 @@ class FaultInjector {
     uint64_t torn_writes = 0;
     uint64_t host_crashes = 0;
   };
-  const Stats& stats() const { return stats_; }
+  // Deliberately lockless: read for reporting after the run quiesces, when
+  // no instrumented site can be mid-query.
+  const Stats& stats() const HYP_NO_THREAD_SAFETY_ANALYSIS { return stats_; }
 
   uint64_t OpCount(const std::string& site, OpClass cls) const;
 
@@ -211,15 +214,17 @@ class FaultInjector {
              uint64_t op) const;
   // Armed + Bernoulli draw from the event's stream.
   bool Fires(size_t event_index, const std::string& site, SimTime now,
-             uint64_t op);
-  uint64_t BumpOp(const std::string& site, OpClass cls);
+             uint64_t op) HYP_REQUIRES(mu_);
+  uint64_t BumpOp(const std::string& site, OpClass cls) HYP_REQUIRES(mu_);
 
-  mutable std::mutex mu_;  // guards streams_/consumed_/op_counts_/stats_
+  mutable std::mutex mu_;
   FaultPlan plan_;
-  std::vector<Xoshiro256> streams_;   // one per event, seeded from plan.seed
-  std::vector<bool> consumed_;        // one-shot events (kHostCrash)
-  std::map<std::pair<std::string, uint8_t>, uint64_t> op_counts_;
-  Stats stats_;
+  // one per event, seeded from plan.seed
+  std::vector<Xoshiro256> streams_ HYP_GUARDED_BY(mu_);
+  // one-shot events (kHostCrash)
+  std::vector<bool> consumed_ HYP_GUARDED_BY(mu_);
+  std::map<std::pair<std::string, uint8_t>, uint64_t> op_counts_ HYP_GUARDED_BY(mu_);
+  Stats stats_ HYP_GUARDED_BY(mu_);
 };
 
 }  // namespace hyperion::fault

@@ -10,8 +10,10 @@ namespace hyperion::ksm {
 // Threading: ScanOnce runs only from clock events, which the staged execution
 // core fires at round barriers — never concurrently with guest slices. It may
 // therefore read page contents and mutate FramePool refcounts directly,
-// without the per-slice staging that in-slice code must use.
+// without the per-slice staging that in-slice code must use. The serial
+// token minted here is the static form of that argument.
 uint64_t KsmDaemon::ScanOnce() {
+  ScopedSerialPhase serial;
   ++stats_.scan_passes;
   uint64_t merged_this_pass = 0;
 
@@ -42,7 +44,7 @@ uint64_t KsmDaemon::ScanOnce() {
         }
         // Merge: both map the representative's frame copy-on-write.
         size_t used_before = pool_->used_frames();
-        if (!memory->RemapPage(gpn, rep_frame).ok()) {
+        if (!memory->RemapPage(serial, gpn, rep_frame).ok()) {
           continue;
         }
         memory->SetShared(gpn, true);

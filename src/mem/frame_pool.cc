@@ -30,7 +30,7 @@ Result<HostFrame> FramePool::Allocate() {
   return InternalError("free_count_ positive but no free frame found");
 }
 
-void FramePool::DecRef(HostFrame frame) {
+void FramePool::DecRefAny(const Phase&, HostFrame frame) {
   Stage* s = tls_stage_;
   if (s != nullptr && s->pool == this) {
     assert(IsAllocated(frame));
@@ -41,7 +41,12 @@ void FramePool::DecRef(HostFrame frame) {
   DecRefLocked(frame);
 }
 
-void FramePool::CommitStage(Stage& stage) {
+void FramePool::DecRefImmediate(const DirectPhase&, HostFrame frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DecRefLocked(frame);
+}
+
+void FramePool::CommitStage(const CommitPhase&, Stage& stage) {
   if (stage.decrefs.empty()) {
     return;
   }
@@ -59,13 +64,13 @@ void FramePool::DecRefLocked(HostFrame frame) {
   }
 }
 
-void FramePool::AddRef(HostFrame frame) {
+void FramePool::AddRef(const DirectPhase&, HostFrame frame) {
   std::lock_guard<std::mutex> lock(mu_);
   assert(IsAllocated(frame));
   ++refcount_[frame];
 }
 
-uint32_t FramePool::RefCount(HostFrame frame) const {
+uint32_t FramePool::RefCount(HostFrame frame) const HYP_NO_THREAD_SAFETY_ANALYSIS {
   assert(frame < refcount_.size());
   return refcount_[frame];
 }

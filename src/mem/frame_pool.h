@@ -14,6 +14,12 @@
 // vary with interleaving, but frame numbering is invisible to guest-visible
 // state; the one observable caveat is allocation-failure attribution when
 // the pool runs dry mid-round, which is schedule-dependent.
+//
+// Phase discipline (DESIGN.md §9): the immediate-effect entry points
+// (DecRefImmediate, AddRef) demand a direct-phase token that worker lanes
+// cannot hold; lanes stage via DecRef(const ExecutePhase&, ...). Code that
+// runs in both regimes (GuestMemory's COW break) dispatches through
+// DecRef(const Phase&, ...).
 
 #ifndef SRC_MEM_FRAME_POOL_H_
 #define SRC_MEM_FRAME_POOL_H_
@@ -24,7 +30,9 @@
 
 #include "src/isa/hv32.h"
 #include "src/util/bitmap.h"
+#include "src/util/phase.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace hyperion::mem {
 
@@ -48,36 +56,51 @@ class FramePool {
 
   // Installs `stage` as the current thread's staging buffer (nullptr to
   // clear). Only the host run loop does this, around each slice.
-  static void SetStage(Stage* stage) { tls_stage_ = stage; }
+  static void SetStage(const ExecutePhase&, Stage* stage) { tls_stage_ = stage; }
 
   // Applies a slice's staged DecRefs, in staging order (round barrier).
-  void CommitStage(Stage& stage);
+  void CommitStage(const CommitPhase&, Stage& stage);
 
   // Allocates a zeroed frame with refcount 1.
   Result<HostFrame> Allocate();
 
-  // Drops one reference; the frame returns to the free list at refcount 0.
-  // Staged (deferred to the round barrier) while a slice is executing.
-  void DecRef(HostFrame frame);
+  // Drops one reference from an executing slice: deferred into the slice's
+  // Stage, applied at the round barrier.
+  void DecRef(const ExecutePhase& ph, HostFrame frame) { DecRefAny(ph, frame); }
 
-  // Adds a reference (page-sharing). Barrier-only by convention.
-  void AddRef(HostFrame frame);
+  // Phase-dispatching decref for code that runs in both regimes
+  // (GuestMemory COW break / balloon paths).
+  void DecRef(const Phase& ph, HostFrame frame) { DecRefAny(ph, frame); }
 
-  uint32_t RefCount(HostFrame frame) const;
+  // Drops one reference in place; the frame returns to the free list at
+  // refcount 0. Serial/commit phases only.
+  void DecRefImmediate(const DirectPhase&, HostFrame frame);
+
+  // Adds a reference (page-sharing). Barrier-only: demands a direct token.
+  void AddRef(const DirectPhase&, HostFrame frame);
+
+  // Deliberately lockless (see mu_'s comment): reachable refcounts are
+  // round-stable, which the analysis cannot see.
+  uint32_t RefCount(HostFrame frame) const HYP_NO_THREAD_SAFETY_ANALYSIS;
 
   uint8_t* FrameData(HostFrame frame);
   const uint8_t* FrameData(HostFrame frame) const;
 
-  size_t total_frames() const { return refcount_.size(); }
-  size_t free_frames() const { return free_count_; }
-  size_t used_frames() const { return total_frames() - free_count_; }
+  size_t total_frames() const HYP_NO_THREAD_SAFETY_ANALYSIS { return refcount_.size(); }
+  size_t free_frames() const HYP_NO_THREAD_SAFETY_ANALYSIS { return free_count_; }
+  size_t used_frames() const { return total_frames() - free_frames(); }
 
  private:
-  bool IsAllocated(HostFrame frame) const {
+  // Lockless like RefCount: used on the staged DecRef path (assert only).
+  bool IsAllocated(HostFrame frame) const HYP_NO_THREAD_SAFETY_ANALYSIS {
     return frame < refcount_.size() && refcount_[frame] > 0;
   }
 
-  void DecRefLocked(HostFrame frame);
+  // Shared leaf under the token-typed entry points: stage when the current
+  // thread is staging for this pool, decref in place otherwise (PR 5 body).
+  void DecRefAny(const Phase& ph, HostFrame frame);
+
+  void DecRefLocked(HostFrame frame) HYP_REQUIRES(mu_);
 
   static inline thread_local Stage* tls_stage_ = nullptr;
 
@@ -88,9 +111,9 @@ class FramePool {
   mutable std::mutex mu_;
 
   std::vector<uint8_t> memory_;
-  std::vector<uint32_t> refcount_;
-  size_t free_count_;
-  size_t alloc_cursor_ = 0;  // next-fit scan position
+  std::vector<uint32_t> refcount_ HYP_GUARDED_BY(mu_);
+  size_t free_count_ HYP_GUARDED_BY(mu_);
+  size_t alloc_cursor_ HYP_GUARDED_BY(mu_) = 0;  // next-fit scan position
 };
 
 }  // namespace hyperion::mem

@@ -33,9 +33,11 @@ GuestMemory::GuestMemory(FramePool* pool, std::vector<HostFrame> pages)
 }
 
 GuestMemory::~GuestMemory() {
+  // Teardown is serial by construction (between rounds).
+  ScopedSerialPhase ph;
   for (HostFrame f : pages_) {
     if (f != kInvalidFrame) {
-      pool_->DecRef(f);
+      pool_->DecRefImmediate(ph, f);
     }
   }
 }
@@ -44,14 +46,14 @@ HostFrame GuestMemory::FrameForPage(uint32_t gpn) const {
   return gpn < pages_.size() ? pages_[gpn] : kInvalidFrame;
 }
 
-Status GuestMemory::ReleasePage(uint32_t gpn) {
+Status GuestMemory::ReleasePage(const Phase& ph, uint32_t gpn) {
   if (gpn >= pages_.size()) {
     return OutOfRangeError("gpn past end of RAM");
   }
   if (pages_[gpn] == kInvalidFrame) {
     return FailedPreconditionError("page already absent");
   }
-  pool_->DecRef(pages_[gpn]);
+  pool_->DecRef(ph, pages_[gpn]);
   pages_[gpn] = kInvalidFrame;
   shared_.Clear(gpn);
   NotifyInvalidate(gpn);
@@ -70,13 +72,13 @@ Status GuestMemory::PopulatePage(uint32_t gpn) {
   return OkStatus();
 }
 
-Status GuestMemory::RemapPage(uint32_t gpn, HostFrame frame) {
+Status GuestMemory::RemapPage(const DirectPhase& ph, uint32_t gpn, HostFrame frame) {
   if (gpn >= pages_.size()) {
     return OutOfRangeError("gpn past end of RAM");
   }
-  pool_->AddRef(frame);
+  pool_->AddRef(ph, frame);
   if (pages_[gpn] != kInvalidFrame) {
-    pool_->DecRef(pages_[gpn]);
+    pool_->DecRefImmediate(ph, pages_[gpn]);
   }
   pages_[gpn] = frame;
   NotifyInvalidate(gpn);
@@ -146,8 +148,15 @@ Status GuestMemory::Write(uint32_t gpa, const void* data, size_t size) {
     size_t chunk = std::min<size_t>(size, kPageSize - off);
     if (IsShared(gpn)) {
       // Host-side writes (device DMA, trap emulation) must not scribble on a
-      // frame other guests still map: break sharing transparently.
-      HYP_RETURN_IF_ERROR(BreakSharing(gpn));
+      // frame other guests still map: break sharing transparently, charging
+      // the effect to the installed phase (the executing slice's) or to a
+      // runtime-checked serial token.
+      if (effect_phase_ != nullptr) {
+        HYP_RETURN_IF_ERROR(BreakSharing(*effect_phase_, gpn));
+      } else {
+        ScopedSerialPhase serial;
+        HYP_RETURN_IF_ERROR(BreakSharing(serial, gpn));
+      }
     }
     uint8_t* page = PageData(gpn);
     if (page == nullptr) {
@@ -215,7 +224,7 @@ void GuestMemory::SetShared(uint32_t gpn, bool shared) {
   }
 }
 
-Status GuestMemory::BreakSharing(uint32_t gpn) {
+Status GuestMemory::BreakSharing(const Phase& ph, uint32_t gpn) {
   if (gpn >= pages_.size()) {
     return OutOfRangeError("gpn past end of RAM");
   }
@@ -226,7 +235,7 @@ Status GuestMemory::BreakSharing(uint32_t gpn) {
   HYP_ASSIGN_OR_RETURN(HostFrame fresh, pool_->Allocate());
   std::memcpy(pool_->FrameData(fresh), pool_->FrameData(old), kPageSize);
   pages_[gpn] = fresh;
-  pool_->DecRef(old);
+  pool_->DecRef(ph, old);
   shared_.Clear(gpn);
   MarkDirty(gpn);
   NotifyInvalidate(gpn);

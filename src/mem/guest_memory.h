@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/mem/frame_pool.h"
+#include "src/util/phase.h"
 #include "src/util/bitmap.h"
 #include "src/util/status.h"
 
@@ -47,14 +48,17 @@ class GuestMemory {
   bool IsPresent(uint32_t gpn) const { return FrameForPage(gpn) != kInvalidFrame; }
 
   // Releases the frame backing `gpn` (balloon inflate / migration source).
-  Status ReleasePage(uint32_t gpn);
+  // Runs in both regimes (hypercall from a slice; migration serially), so it
+  // takes `const Phase&` and the pool decref dispatches on it.
+  Status ReleasePage(const Phase& ph, uint32_t gpn);
 
   // Installs a fresh zeroed frame at `gpn` (balloon deflate).
   Status PopulatePage(uint32_t gpn);
 
   // Replaces the mapping of `gpn` with `frame` (KSM merge; takes a ref on
-  // `frame` and drops the old frame's ref).
-  Status RemapPage(uint32_t gpn, HostFrame frame);
+  // `frame` and drops the old frame's ref). AddRef is barrier-only, so this
+  // demands a direct token (KSM scans and snapshot restore are serial).
+  Status RemapPage(const DirectPhase& ph, uint32_t gpn, HostFrame frame);
 
   // Direct pointer to the page's data; null when not present.
   uint8_t* PageData(uint32_t gpn);
@@ -67,6 +71,9 @@ class GuestMemory {
   // --- Byte access (crosses page boundaries; fails on absent pages) --------
 
   Status Read(uint32_t gpa, void* out, size_t size) const;
+  // Write breaks sharing transparently when it hits a COW page; the decref
+  // that implies routes through the effect phase installed by
+  // SetEffectPhase, falling back to a runtime-checked serial token.
   Status Write(uint32_t gpa, const void* data, size_t size);
 
   Result<uint8_t> ReadU8(uint32_t gpa) const;
@@ -96,12 +103,19 @@ class GuestMemory {
   void SetShared(uint32_t gpn, bool shared);
 
   // Allocates a private copy of a shared page and remaps gpn to it.
-  Status BreakSharing(uint32_t gpn);
+  // Dual-regime (engine COW break in a slice; host-side writes serially).
+  Status BreakSharing(const Phase& ph, uint32_t gpn);
 
   // Fires the invalidate hook for `gpn` without changing the mapping (KSM
   // flips the shared bit on a representative page: cached writable
   // translations must drop even though the frame is unchanged).
   void NotifySharedExternally(uint32_t gpn) { NotifyInvalidate(gpn); }
+
+  // Installs the phase that transparent COW breaks inside Write should
+  // charge effects to. The VM sets this to the slice's ExecutePhase for the
+  // duration of RunVcpuSlice (device DMA during queue processing lands
+  // here); when unset, Write mints a runtime-checked ScopedSerialPhase.
+  void SetEffectPhase(const Phase* ph) { effect_phase_ = ph; }
 
   // Write-protected pages (shadow paging traps guest page-table writes).
   bool IsWriteProtected(uint32_t gpn) const;
@@ -119,6 +133,7 @@ class GuestMemory {
   }
 
   std::function<void(uint32_t)> invalidate_hook_;
+  const Phase* effect_phase_ = nullptr;  // see SetEffectPhase
   FramePool* pool_;
   std::vector<HostFrame> pages_;  // gpn -> host frame (or kInvalidFrame)
   Bitmap dirty_;

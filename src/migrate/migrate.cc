@@ -92,6 +92,8 @@ Result<core::Vm*> PreCopyMigrate(core::Host& src, core::Vm* vm, core::Host& dst,
     return FailedPreconditionError("vm is not migratable in its current state");
   }
   bool was_running = vm->state() == core::VmState::kRunning;
+  // The migration driver runs between rounds on the caller's thread.
+  ScopedSerialPhase serial;
   MigrationReport rep;
   SimTime t0 = src.clock().now();
   mem::GuestMemory& mem = vm->memory();
@@ -177,12 +179,12 @@ Result<core::Vm*> PreCopyMigrate(core::Host& src, core::Vm* vm, core::Host& dst,
 
   // Stop-and-copy: pause, ship the remainder plus machine state. From here
   // a permanent loss rolls the switchover back: the source resumes.
-  vm->Pause();
+  vm->Pause(serial);
   SimTime pause_start = src.clock().now();
   auto abort_switchover = [&](Status st) {
     mem.DisableDirtyLog();
     if (was_running) {
-      vm->Resume();
+      vm->Resume(serial);
     }
     Publish(report, rep);
     return st;
@@ -226,8 +228,8 @@ Result<core::Vm*> PreCopyMigrate(core::Host& src, core::Vm* vm, core::Host& dst,
     (void)dst.DestroyVm(dvm);
     return abort_switchover(st);
   }
-  dvm->Pause();   // align lifecycle state, then resume cleanly
-  dvm->Resume();
+  dvm->Pause(serial);   // align lifecycle state, then resume cleanly
+  dvm->Resume(serial);
 
   rep.total_time = src.clock().now() - t0;
   Publish(report, rep);
@@ -258,12 +260,14 @@ class PostCopyServer : public std::enable_shared_from_this<PostCopyServer> {
       }
     }
     dst_vm_->SetMissingPageHandler(
-        [this](uint32_t vcpu, uint32_t gpn) { return OnFault(vcpu, gpn); });
+        [this](const ExecutePhase& ph, uint32_t vcpu, uint32_t gpn) {
+          return OnFault(ph, vcpu, gpn);
+        });
   }
 
   bool Done() const { return missing_.empty() && in_flight_.empty(); }
 
-  void StartBackgroundPush() { PushNextBatch(); }
+  void StartBackgroundPush(const DirectPhase& ph) { PushNextBatch(ph); }
 
   // Called when the caller abandons the migration: stop touching its report.
   void DetachReport() {
@@ -272,7 +276,9 @@ class PostCopyServer : public std::enable_shared_from_this<PostCopyServer> {
   }
 
  private:
-  bool OnFault(uint32_t vcpu, uint32_t gpn) {
+  // Runs inside the faulting vCPU's slice: everything it schedules stages
+  // through the ExecutePhase until the round barrier.
+  bool OnFault(const ExecutePhase& ph, uint32_t vcpu, uint32_t gpn) {
     if (!missing_.count(gpn) && !in_flight_.count(gpn)) {
       return false;  // truly absent page (ballooned) — a real guest bug
     }
@@ -288,25 +294,27 @@ class PostCopyServer : public std::enable_shared_from_this<PostCopyServer> {
     missing_.erase(gpn);
     in_flight_.insert(gpn);
     stall_started_[gpn] = start;
-    SendDemandFetch(gpn, options_.retry_backoff);
+    SendDemandFetch(ph, gpn, options_.retry_backoff);
     return true;
   }
 
   // One demand-fetch attempt; a lost transfer reschedules itself after
   // `backoff` (doubling up to the cap). The vCPU stays stalled throughout —
   // exactly the self-healing the chaos harness measures as demand stall.
-  void SendDemandFetch(uint32_t gpn, SimTime backoff) {
+  // Dual-regime: the first attempt fires from the faulting slice (staged),
+  // retries fire from serial clock callbacks (direct).
+  void SendDemandFetch(const Phase& ph, uint32_t gpn, SimTime backoff) {
     rep_->pages_sent += 1;
     rep_->bytes_sent += PageWireBytes(options_);
     auto self = weak_from_this();
     link_.TransferFaulty(
-        PageWireBytes(options_),
-        [self, gpn] {
+        ph, PageWireBytes(options_),
+        [self, gpn](const SerialPhase& sp) {
           if (auto s = self.lock()) {
-            s->DeliverPage(gpn);
+            s->DeliverPage(sp, gpn);
           }
         },
-        [self, gpn, backoff] {
+        [self, gpn, backoff](const SerialPhase& sp) {
           auto s = self.lock();
           if (s == nullptr) {
             return;
@@ -314,15 +322,16 @@ class PostCopyServer : public std::enable_shared_from_this<PostCopyServer> {
           ++s->rep_->retries;
           s->rep_->pages_resent += 1;
           SimTime next = std::min(backoff * 2, s->options_.retry_backoff_cap);
-          s->dst_host_->clock().ScheduleAfter(backoff, [self, gpn, next] {
-            if (auto s2 = self.lock()) {
-              s2->SendDemandFetch(gpn, next);
-            }
-          });
+          s->dst_host_->clock().ScheduleAfter(sp, backoff,
+                                              [self, gpn, next](const SerialPhase& sp2) {
+                                                if (auto s2 = self.lock()) {
+                                                  s2->SendDemandFetch(sp2, gpn, next);
+                                                }
+                                              });
         });
   }
 
-  void DeliverPage(uint32_t gpn) {
+  void DeliverPage(const SerialPhase& ph, uint32_t gpn) {
     in_flight_.erase(gpn);
     // Copy the bytes from the (paused) source.
     mem::GuestMemory& dmem = dst_vm_->memory();
@@ -343,13 +352,13 @@ class PostCopyServer : public std::enable_shared_from_this<PostCopyServer> {
     auto waiter_it = waiters_.find(gpn);
     if (waiter_it != waiters_.end()) {
       for (uint32_t vcpu : waiter_it->second) {
-        dst_host_->WakeVcpu(dst_vm_, vcpu);
+        dst_host_->WakeVcpu(ph, dst_vm_, vcpu);
       }
       waiters_.erase(waiter_it);
     }
   }
 
-  void PushNextBatch() {
+  void PushNextBatch(const DirectPhase& ph) {
     if (missing_.empty()) {
       return;
     }
@@ -364,27 +373,27 @@ class PostCopyServer : public std::enable_shared_from_this<PostCopyServer> {
       missing_.erase(gpn);
       in_flight_.insert(gpn);
     }
-    PushBatch(std::move(batch), options_.retry_backoff);
+    PushBatch(ph, std::move(batch), options_.retry_backoff);
   }
 
-  void PushBatch(std::vector<uint32_t> batch, SimTime backoff) {
+  void PushBatch(const DirectPhase& ph, std::vector<uint32_t> batch, SimTime backoff) {
     uint64_t bytes = batch.size() * PageWireBytes(options_);
     rep_->pages_sent += batch.size();
     rep_->bytes_sent += bytes;
     auto self = weak_from_this();
     link_.TransferFaulty(
-        bytes,
-        [self, batch] {
+        ph, bytes,
+        [self, batch](const SerialPhase& sp) {
           auto s = self.lock();
           if (s == nullptr) {
             return;
           }
           for (uint32_t gpn : batch) {
-            s->DeliverPage(gpn);
+            s->DeliverPage(sp, gpn);
           }
-          s->PushNextBatch();
+          s->PushNextBatch(sp);
         },
-        [self, batch, backoff] {
+        [self, batch, backoff](const SerialPhase& sp) {
           auto s = self.lock();
           if (s == nullptr) {
             return;
@@ -392,11 +401,12 @@ class PostCopyServer : public std::enable_shared_from_this<PostCopyServer> {
           ++s->rep_->retries;
           s->rep_->pages_resent += batch.size();
           SimTime next = std::min(backoff * 2, s->options_.retry_backoff_cap);
-          s->dst_host_->clock().ScheduleAfter(backoff, [self, batch, next] {
-            if (auto s2 = self.lock()) {
-              s2->PushBatch(batch, next);
-            }
-          });
+          s->dst_host_->clock().ScheduleAfter(sp, backoff,
+                                              [self, batch, next](const SerialPhase& sp2) {
+                                                if (auto s2 = self.lock()) {
+                                                  s2->PushBatch(sp2, batch, next);
+                                                }
+                                              });
         });
   }
 
@@ -421,17 +431,18 @@ Result<core::Vm*> PostCopyMigrate(core::Host& src, core::Vm* vm, core::Host& dst
     return FailedPreconditionError("vm is not migratable in its current state");
   }
   bool was_running = vm->state() == core::VmState::kRunning;
+  ScopedSerialPhase serial;
   MigrationReport rep;
   SimTime t0 = src.clock().now();
   WireSender wire(src, options, rep);
 
   // Switchover: only the machine state crosses before the guest resumes. A
   // permanent loss here rolls back — the source simply resumes.
-  vm->Pause();
+  vm->Pause(serial);
   SimTime pause_start = src.clock().now();
   auto abort_switchover = [&](Status st) {
     if (was_running) {
-      vm->Resume();
+      vm->Resume(serial);
     }
     Publish(report, rep);
     return st;
@@ -462,7 +473,7 @@ Result<core::Vm*> PostCopyMigrate(core::Host& src, core::Vm* vm, core::Host& dst
   // Strip all RAM: pages fault over on demand.
   for (uint32_t gpn = 0; gpn < dvm->memory().num_pages(); ++gpn) {
     if (dvm->memory().IsPresent(gpn)) {
-      Status rs = dvm->memory().ReleasePage(gpn);
+      Status rs = dvm->memory().ReleasePage(serial, gpn);
       if (!rs.ok()) {
         (void)dst.DestroyVm(dvm);
         return abort_switchover(rs);
@@ -472,9 +483,9 @@ Result<core::Vm*> PostCopyMigrate(core::Host& src, core::Vm* vm, core::Host& dst
   dvm->virt().FlushAll();
 
   auto server = std::make_shared<PostCopyServer>(vm, dvm, &dst, options, &rep);
-  dvm->Pause();
-  dvm->Resume();
-  server->StartBackgroundPush();
+  dvm->Pause(serial);
+  dvm->Resume(serial);
+  server->StartBackgroundPush(serial);
 
   // Rolls the failed switchover back: tear the destination down and hand
   // the guest back to the source. (The guest may have executed at the
@@ -488,7 +499,7 @@ Result<core::Vm*> PostCopyMigrate(core::Host& src, core::Vm* vm, core::Host& dst
     server.reset();  // pending wire callbacks hold weak_ptrs; now inert
     (void)dst.DestroyVm(dvm);
     if (was_running) {
-      vm->Resume();
+      vm->Resume(serial);
     }
     Publish(report, rep);
     return fail;

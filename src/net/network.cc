@@ -1,15 +1,17 @@
 #include "src/net/network.h"
 
+#include <cassert>
+
 #include "src/fault/fault.h"
 
 namespace hyperion::net {
 
-SimTime Link::TransferFaulty(size_t bytes, std::function<void()> on_done,
-                             std::function<void()> on_lost) {
+SimTime Link::TransferFaultyImpl(const Phase& ph, size_t bytes, SimClock::Callback on_done,
+                                 SimClock::Callback on_lost) {
   if (injector_ == nullptr) {
-    return Transfer(bytes, std::move(on_done));
+    return Transfer(ph, bytes, std::move(on_done));
   }
-  SimTime start = std::max(clock_->now(), busy_until_);
+  SimTime start = std::max(clock_.now(), busy_until_);
   SimTime base = params_.TransmitTime(bytes) + params_.latency;
   fault::TransferFault f = injector_->OnTransfer(fault_site_, start, base);
   SimTime done = start + base + f.extra_latency;
@@ -17,14 +19,15 @@ SimTime Link::TransferFaulty(size_t bytes, std::function<void()> on_done,
   bytes_carried_ += bytes;
   if (f.lost) {
     ++transfers_lost_;
-    clock_->ScheduleAt(done, std::move(on_lost));
+    clock_.ScheduleAt(ph, done, std::move(on_lost));
   } else {
-    clock_->ScheduleAt(done, std::move(on_done));
+    clock_.ScheduleAt(ph, done, std::move(on_done));
   }
   return done;
 }
 
-Status VirtualSwitch::Attach(MacAddr addr, FrameSink* sink, LinkParams params) {
+Status VirtualSwitch::Attach(const DirectPhase&, MacAddr addr, FrameSink* sink,
+                             LinkParams params) {
   if (addr == kBroadcast) {
     return InvalidArgumentError("cannot attach at the broadcast address");
   }
@@ -36,30 +39,44 @@ Status VirtualSwitch::Attach(MacAddr addr, FrameSink* sink, LinkParams params) {
   return OkStatus();
 }
 
-Status VirtualSwitch::Detach(MacAddr addr) {
+Status VirtualSwitch::Detach(const DirectPhase&, MacAddr addr) {
   if (ports_.erase(addr) == 0) {
     return NotFoundError("no port at that address");
   }
   return OkStatus();
 }
 
-void VirtualSwitch::Send(Frame frame) {
+void VirtualSwitch::SendAny(const Phase& ph, Frame frame) {
   TxStage* stage = tls_stage_;
   if (stage != nullptr && stage->sw == this) {
     stage->frames.push_back(std::move(frame));
     return;
   }
-  SendAt(std::move(frame), clock_->now());
+  // Execute-phase sends always target the staged switch (each NIC talks to
+  // its own host's switch), so a non-staged send must carry a direct token.
+  const DirectPhase* dp = ph.AsDirect();
+  assert(dp != nullptr && "cross-switch send from an executing slice");
+  if (dp != nullptr) {
+    SendAt(*dp, std::move(frame), clock_->now());
+  }
 }
 
-void VirtualSwitch::CommitStage(TxStage& stage) {
+void VirtualSwitch::Send(const DirectPhase& ph, Frame frame) { SendAny(ph, std::move(frame)); }
+
+void VirtualSwitch::StageTx(const ExecutePhase& ph, Frame frame) {
+  SendAny(ph, std::move(frame));
+}
+
+void VirtualSwitch::Transmit(const Phase& ph, Frame frame) { SendAny(ph, std::move(frame)); }
+
+void VirtualSwitch::CommitStage(const CommitPhase& ph, TxStage& stage) {
   for (Frame& frame : stage.frames) {
-    SendAt(std::move(frame), stage.vnow);
+    SendAt(ph, std::move(frame), stage.vnow);
   }
   stage.frames.clear();
 }
 
-void VirtualSwitch::SendAt(Frame frame, SimTime at) {
+void VirtualSwitch::SendAt(const DirectPhase& ph, Frame frame, SimTime at) {
   ++stats_.frames_sent;
   if (frame.payload.size() > kMaxFrameBytes) {
     ++stats_.frames_dropped;
@@ -68,7 +85,7 @@ void VirtualSwitch::SendAt(Frame frame, SimTime at) {
   if (frame.dst == kBroadcast) {
     for (auto& [addr, port] : ports_) {
       if (addr != frame.src) {
-        DeliverTo(addr, *port, frame, at);
+        DeliverTo(ph, addr, *port, frame, at);
       }
     }
     return;
@@ -78,11 +95,11 @@ void VirtualSwitch::SendAt(Frame frame, SimTime at) {
     ++stats_.frames_dropped;
     return;
   }
-  DeliverTo(it->first, *it->second, frame, at);
+  DeliverTo(ph, it->first, *it->second, frame, at);
 }
 
-void VirtualSwitch::DeliverTo(MacAddr dst_key, PortState& port, const Frame& frame,
-                              SimTime at) {
+void VirtualSwitch::DeliverTo(const DirectPhase& ph, MacAddr dst_key, PortState& port,
+                              const Frame& frame, SimTime at) {
   size_t wire = frame.wire_bytes();
   uint32_t copies = 1;
   SimTime extra_latency = 0;
@@ -104,7 +121,7 @@ void VirtualSwitch::DeliverTo(MacAddr dst_key, PortState& port, const Frame& fra
   // the port up again by address at delivery time. An injected delay lands
   // after the wire time, so delayed frames are genuinely overtaken by
   // later undelayed traffic (reordering).
-  auto deliver = [this, dst_key, frame] {
+  auto deliver = [this, dst_key, frame](const SerialPhase& sp) {
     auto it = ports_.find(dst_key);
     if (it == ports_.end()) {
       ++stats_.frames_dropped;  // port detached in flight
@@ -112,11 +129,11 @@ void VirtualSwitch::DeliverTo(MacAddr dst_key, PortState& port, const Frame& fra
     }
     ++stats_.frames_delivered;
     stats_.bytes_delivered += frame.wire_bytes();
-    it->second->sink->OnFrame(frame);
+    it->second->sink->OnFrame(sp, frame);
   };
   for (uint32_t c = 0; c < copies; ++c) {
     SimTime done = port.link.ScheduleTransferAt(at, wire);
-    clock_->ScheduleAt(done + extra_latency, deliver);
+    clock_->ScheduleAt(ph, done + extra_latency, deliver);
   }
 }
 

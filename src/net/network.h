@@ -55,6 +55,12 @@ struct LinkParams {
 
 // A unidirectional-capacity, bidirectional link that serializes transfers.
 // Used directly by live migration and by switch ports.
+//
+// Transfer/TransferFaulty run in both phases (migration drivers are serial;
+// post-copy demand fetch fires from an executing slice), so they take
+// `const Phase&` and dispatch through the ClockRef. The link-occupancy
+// fields they mutate are safe without a lock because each link is queried
+// from at most one slice per round (see FaultInjector's site contract).
 class Link {
  public:
   Link(SimClock* clock, LinkParams params) : clock_(clock), params_(params) {}
@@ -63,7 +69,7 @@ class Link {
 
   // Schedules a transfer of `bytes`; returns its completion time. Transfers
   // queue behind one another (the link is busy while transmitting).
-  SimTime ScheduleTransfer(size_t bytes) { return ScheduleTransferAt(clock_->now(), bytes); }
+  SimTime ScheduleTransfer(size_t bytes) { return ScheduleTransferAt(clock_.now(), bytes); }
 
   // Like ScheduleTransfer, but with an explicit submission time `at` (>= any
   // previous submission). Used when the switch commits staged frames whose
@@ -77,9 +83,10 @@ class Link {
   }
 
   // Convenience: transfer and invoke `on_done` at completion.
-  SimTime Transfer(size_t bytes, std::function<void()> on_done) {
+  template <typename F>
+  SimTime Transfer(const Phase& ph, size_t bytes, F on_done) {
     SimTime done = ScheduleTransfer(bytes);
-    clock_->ScheduleAt(done, std::move(on_done));
+    clock_.ScheduleAt(ph, done, std::move(on_done));
     return done;
   }
 
@@ -93,15 +100,21 @@ class Link {
   // `on_done` (delivered) or `on_lost` (transfer lost in flight) fires at
   // the transfer's would-be completion time. Without an injector this is
   // Transfer(). Injected latency spikes extend the completion time.
-  SimTime TransferFaulty(size_t bytes, std::function<void()> on_done,
-                         std::function<void()> on_lost);
+  template <typename F, typename G>
+  SimTime TransferFaulty(const Phase& ph, size_t bytes, F on_done, G on_lost) {
+    return TransferFaultyImpl(ph, bytes, SimClock::WrapCallback(std::move(on_done)),
+                              SimClock::WrapCallback(std::move(on_lost)));
+  }
 
   uint64_t bytes_carried() const { return bytes_carried_; }
   uint64_t transfers_lost() const { return transfers_lost_; }
   SimTime busy_until() const { return busy_until_; }
 
  private:
-  SimClock* clock_;
+  SimTime TransferFaultyImpl(const Phase& ph, size_t bytes, SimClock::Callback on_done,
+                             SimClock::Callback on_lost);
+
+  ClockRef clock_;
   LinkParams params_;
   fault::FaultInjector* injector_ = nullptr;
   std::string fault_site_;
@@ -110,11 +123,12 @@ class Link {
   uint64_t transfers_lost_ = 0;
 };
 
-// Receives frames delivered by the switch.
+// Receives frames delivered by the switch. Delivery always happens from a
+// clock callback, so sinks receive the dispatch loop's serial token.
 class FrameSink {
  public:
   virtual ~FrameSink() = default;
-  virtual void OnFrame(const Frame& frame) = 0;
+  virtual void OnFrame(const SerialPhase& ph, const Frame& frame) = 0;
 };
 
 // A learningless switch: ports register with their address; unicast goes to
@@ -137,18 +151,27 @@ class VirtualSwitch {
 
   // Installs `stage` as the current thread's staging buffer (nullptr to
   // clear). Only the host run loop does this, around each slice.
-  static void SetStage(TxStage* stage) { tls_stage_ = stage; }
+  static void SetStage(const ExecutePhase&, TxStage* stage) { tls_stage_ = stage; }
 
   // Delivers a slice's staged frames, in staging order (round barrier).
-  void CommitStage(TxStage& stage);
+  void CommitStage(const CommitPhase&, TxStage& stage);
 
   // Attaches `sink` with address `addr`. Fails on duplicate addresses.
-  Status Attach(MacAddr addr, FrameSink* sink, LinkParams params = LinkParams{});
-  Status Detach(MacAddr addr);
+  Status Attach(const DirectPhase&, MacAddr addr, FrameSink* sink,
+                LinkParams params = LinkParams{});
+  Status Detach(const DirectPhase&, MacAddr addr);
 
-  // Queues `frame` for delivery. Invalid frames are counted and dropped.
-  // Staged (deferred to the round barrier) while a slice is executing.
-  void Send(Frame frame);
+  // Queues `frame` for immediate delivery scheduling (serial/commit only).
+  // Invalid frames are counted and dropped.
+  void Send(const DirectPhase&, Frame frame);
+
+  // Appends `frame` to the executing slice's TxStage for delivery at the
+  // round barrier (worker lanes).
+  void StageTx(const ExecutePhase&, Frame frame);
+
+  // Phase-dispatching transmit for code that runs in both regimes (NIC
+  // doorbells): stages under an ExecutePhase, sends under a direct phase.
+  void Transmit(const Phase& ph, Frame frame);
 
   // Attaches a fault injector; every frame delivery attempt is then subject
   // to the plan's drop/duplicate/reorder/latency/partition events under
@@ -176,8 +199,13 @@ class VirtualSwitch {
     Link link;
   };
 
-  void SendAt(Frame frame, SimTime at);
-  void DeliverTo(MacAddr dst_key, PortState& port, const Frame& frame, SimTime at);
+  // Shared leaf under the token-typed entry points: stage when the current
+  // thread is staging for this switch, deliver otherwise (PR 5 Send body).
+  void SendAny(const Phase& ph, Frame frame);
+
+  void SendAt(const DirectPhase& ph, Frame frame, SimTime at);
+  void DeliverTo(const DirectPhase& ph, MacAddr dst_key, PortState& port,
+                 const Frame& frame, SimTime at);
 
   static inline thread_local TxStage* tls_stage_ = nullptr;
 

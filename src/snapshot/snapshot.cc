@@ -148,6 +148,8 @@ Status LoadVm(core::Vm& vm, std::span<const uint8_t> bytes) {
   HYP_ASSIGN_OR_RETURN(uint32_t balloon_target, r.ReadU32());
 
   mem::GuestMemory& mem = vm.memory();
+  // Restore runs serially between rounds; the token is runtime-checked once.
+  ScopedSerialPhase serial;
   if (!incremental) {
     // Full restore baseline: every page present and zeroed.
     for (uint32_t gpn = 0; gpn < mem.num_pages(); ++gpn) {
@@ -183,7 +185,7 @@ Status LoadVm(core::Vm& vm, std::span<const uint8_t> bytes) {
         break;
       case kPageAbsent:
         if (mem.IsPresent(gpn)) {
-          HYP_RETURN_IF_ERROR(mem.ReleasePage(gpn));
+          HYP_RETURN_IF_ERROR(mem.ReleasePage(serial, gpn));
         }
         break;
       default:
@@ -204,7 +206,7 @@ Status LoadVm(core::Vm& vm, std::span<const uint8_t> bytes) {
     }
     HYP_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, r.ReadBlob());
     ByteReader dr(blob);
-    HYP_RETURN_IF_ERROR(devs[i]->Deserialize(dr));
+    HYP_RETURN_IF_ERROR(devs[i]->Deserialize(serial, dr));
   }
 
   // Host-side state last: balloon accounting depends on final page presence.
@@ -260,18 +262,19 @@ Result<core::Vm*> ForkVm(core::Host& host, core::VmConfig config, core::Vm& pare
   }
 
   // Share every present parent page into the child, copy-on-write.
+  ScopedSerialPhase serial;
   mem::GuestMemory& pmem = parent.memory();
   mem::GuestMemory& cmem = child->memory();
   for (uint32_t gpn = 0; gpn < pmem.num_pages(); ++gpn) {
     if (!pmem.IsPresent(gpn)) {
       if (cmem.IsPresent(gpn)) {
-        if (Status st = cmem.ReleasePage(gpn); !st.ok()) {
+        if (Status st = cmem.ReleasePage(serial, gpn); !st.ok()) {
           return fail(st);
         }
       }
       continue;
     }
-    if (Status st = cmem.RemapPage(gpn, pmem.FrameForPage(gpn)); !st.ok()) {
+    if (Status st = cmem.RemapPage(serial, gpn, pmem.FrameForPage(gpn)); !st.ok()) {
       return fail(st);
     }
     cmem.SetShared(gpn, true);
@@ -282,8 +285,8 @@ Result<core::Vm*> ForkVm(core::Host& host, core::VmConfig config, core::Vm& pare
   for (uint32_t i = 0; i < child->num_vcpus(); ++i) {
     child->engine(i).FlushCodeCache();
   }
-  child->Pause();
-  child->Resume();
+  child->Pause(serial);
+  child->Resume(serial);
   return child;
 }
 

@@ -20,14 +20,21 @@
 #include <functional>
 #include <vector>
 
+#include "src/util/phase.h"
+
 namespace hyperion {
 
 // Simulated time in cycles (1 cycle == 1 ns at the nominal 1 GHz).
 using SimTime = uint64_t;
 
+// The queue itself is protected by the phase discipline (src/util/phase.h),
+// not a mutex: Push happens only under a direct-phase token (worker lanes
+// stage instead), and Pop/CancelOwner only from serial code. Callbacks
+// receive the dispatching loop's SerialPhase so they can perform direct
+// effects (reschedule, deliver, wake) without re-acquiring a token.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = std::function<void(const SerialPhase&)>;
 
   struct Event {
     SimTime when;

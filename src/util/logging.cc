@@ -44,9 +44,9 @@ bool LogEnabled(LogLevel level) {
   return level >= min && min != LogLevel::kOff;
 }
 
-void SetThreadLogSink(std::string* sink) { t_sink = sink; }
+void SetThreadLogSink(const ExecutePhase&, std::string* sink) { t_sink = sink; }
 
-void WriteLogText(const std::string& text) {
+void WriteLogText(const DirectPhase&, const std::string& text) {
   if (text.empty()) {
     return;
   }

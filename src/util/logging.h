@@ -15,6 +15,8 @@
 #include <string>
 #include <string_view>
 
+#include "src/util/phase.h"
+
 namespace hyperion {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
@@ -28,12 +30,14 @@ namespace internal {
 bool LogEnabled(LogLevel level);
 
 // Redirects this thread's log output into `sink` (nullptr restores direct
-// stderr emission). Installed by the host run loop around each slice.
-void SetThreadLogSink(std::string* sink);
+// stderr emission). Installed by the host run loop around each slice; the
+// ExecutePhase token keeps worker-lane code from re-pointing the sink.
+void SetThreadLogSink(const ExecutePhase&, std::string* sink);
 
 // Writes already-formatted log text to stderr under the emission lock.
-// Used by the run loop to flush staged per-slice buffers.
-void WriteLogText(const std::string& text);
+// Used by the run loop to flush staged per-slice buffers at commit; the
+// direct-phase token keeps lanes from bypassing their slice buffer.
+void WriteLogText(const DirectPhase&, const std::string& text);
 
 // Accumulates one message and emits it to the thread's sink (or stderr) on
 // destruction.

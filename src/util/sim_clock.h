@@ -10,10 +10,20 @@
 // concurrently. A worker installs a thread-local SimClock::Stage for the
 // duration of a slice; now() then reads the slice's start time (the value the
 // serial loop would have seen, since the clock never moves mid-slice) and
-// Schedule* calls append to the stage instead of the queue. The host thread
+// Stage* calls append to the stage instead of the queue. The host thread
 // merges stages at the round barrier with CommitStage, in deterministic
 // dispatch order, so the final queue contents are identical for any worker
 // count — including zero.
+//
+// Phase discipline (DESIGN.md §9): the direct-effect entry points
+// (ScheduleOwned/ScheduleAt/ScheduleAfter, RunUntil/RunAll, CommitStage)
+// demand a direct-phase capability token that worker lanes can never hold;
+// lanes use the Stage* counterparts, which demand an ExecutePhase. Code that
+// runs in both regimes dispatches through ClockRef. Underneath, both leaves
+// share the PR 5 thread-local routing, so the tokens add a static gate
+// without changing behavior: a direct call against a *different* clock than
+// the staged one (the two-host migration case) still goes straight to that
+// clock's queue, exactly as before.
 
 #ifndef SRC_UTIL_SIM_CLOCK_H_
 #define SRC_UTIL_SIM_CLOCK_H_
@@ -21,9 +31,12 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/util/event_queue.h"
+#include "src/util/phase.h"
 
 namespace hyperion {
 
@@ -41,6 +54,19 @@ class SimClock {
  public:
   using Callback = EventQueue::Callback;
 
+  // Normalizes a callable into a Callback: phase-taking lambdas pass
+  // through; zero-argument lambdas (events that perform no direct effects
+  // themselves) are wrapped so existing call sites stay terse.
+  template <typename F>
+  static Callback WrapCallback(F&& fn) {
+    if constexpr (std::is_invocable_v<std::decay_t<F>&, const SerialPhase&>) {
+      return Callback(std::forward<F>(fn));
+    } else {
+      return Callback(
+          [f = std::forward<F>(fn)](const SerialPhase&) mutable { f(); });
+    }
+  }
+
   // Per-slice staging buffer (see the file comment). `clock` names the
   // instance being staged for — two hosts coexist during live migration, and
   // only calls against the staged instance are intercepted.
@@ -57,7 +83,7 @@ class SimClock {
 
   // Installs `stage` as the current thread's staging buffer (nullptr to
   // clear). Only the host run loop does this, around each slice.
-  static void SetStage(Stage* stage) { tls_stage_ = stage; }
+  static void SetStage(const ExecutePhase&, Stage* stage) { tls_stage_ = stage; }
   static Stage* CurrentStage() { return tls_stage_; }
 
   SimTime now() const {
@@ -65,29 +91,50 @@ class SimClock {
     return (s != nullptr && s->clock == this) ? s->vnow : now_;
   }
 
+  // --- Direct scheduling (serial / commit phases only) --------------------
+
   // Schedules `fn` to run at absolute time `when` (>= now), tagged with
   // `owner` (see EventQueue; 0 = uncancellable).
-  void ScheduleOwned(SimTime when, uint64_t owner, Callback fn) {
-    Stage* s = tls_stage_;
-    if (s != nullptr && s->clock == this) {
-      assert(when >= s->vnow);
-      s->events.push_back(Stage::Staged{when, owner, std::move(fn)});
-      return;
-    }
-    assert(when >= now_);
-    queue_.Push(when, owner, std::move(fn));
+  template <typename F>
+  void ScheduleOwned(const DirectPhase&, SimTime when, uint64_t owner, F fn) {
+    ScheduleOwnedAny(when, owner, WrapCallback(std::move(fn)));
   }
 
   // Schedules `fn` to run at absolute time `when` (>= now).
-  void ScheduleAt(SimTime when, Callback fn) { ScheduleOwned(when, 0, std::move(fn)); }
+  template <typename F>
+  void ScheduleAt(const DirectPhase& ph, SimTime when, F fn) {
+    ScheduleOwned(ph, when, 0, std::move(fn));
+  }
 
   // Schedules `fn` to run `delay` cycles from now.
-  void ScheduleAfter(SimTime delay, Callback fn) { ScheduleAt(now() + delay, std::move(fn)); }
+  template <typename F>
+  void ScheduleAfter(const DirectPhase& ph, SimTime delay, F fn) {
+    ScheduleOwned(ph, now() + delay, 0, std::move(fn));
+  }
+
+  // --- Staged scheduling (execute phase: worker lanes) --------------------
+
+  // Appends to the executing slice's stage (or, for a clock other than the
+  // staged one, falls through to that clock's queue — see the file comment).
+  template <typename F>
+  void StageOwned(const ExecutePhase&, SimTime when, uint64_t owner, F fn) {
+    ScheduleOwnedAny(when, owner, WrapCallback(std::move(fn)));
+  }
+
+  template <typename F>
+  void StageAt(const ExecutePhase& ph, SimTime when, F fn) {
+    StageOwned(ph, when, 0, std::move(fn));
+  }
+
+  template <typename F>
+  void StageAfter(const ExecutePhase& ph, SimTime delay, F fn) {
+    StageOwned(ph, now() + delay, 0, std::move(fn));
+  }
 
   // Merges a slice's staged events into the queue, in staging order. Called
   // at the round barrier; each staged `when` was validated against the
   // slice's vnow, which is never before the queue's current time.
-  void CommitStage(Stage& stage) {
+  void CommitStage(const CommitPhase&, Stage& stage) {
     for (Stage::Staged& ev : stage.events) {
       assert(ev.when >= now_);
       queue_.Push(ev.when, ev.owner, std::move(ev.fn));
@@ -101,20 +148,21 @@ class SimClock {
   // Drops every pending event tagged with `owner` (VM teardown). Staged
   // events never survive to a teardown point: teardown only happens between
   // rounds, after every stage has been committed.
-  size_t CancelOwner(uint64_t owner) {
+  size_t CancelOwner(const DirectPhase&, uint64_t owner) {
     return owner == 0 ? 0 : queue_.CancelOwner(owner);
   }
 
   // Moves time forward by `delta` without running events (callers that manage
   // their own event dispatch, e.g. the vCPU run loop, use this).
-  void Advance(SimTime delta) { now_ += delta; }
+  void Advance(const DirectPhase&, SimTime delta) { now_ += delta; }
 
-  // Advances to `when`, firing every event due on the way, in order.
-  void RunUntil(SimTime when) {
+  // Advances to `when`, firing every event due on the way, in order. The
+  // caller's serial token is handed to each callback.
+  void RunUntil(const SerialPhase& ph, SimTime when) {
     while (!queue_.empty() && queue_.top_time() <= when) {
       EventQueue::Event ev = queue_.Pop();
       now_ = ev.when;
-      ev.fn();
+      ev.fn(ph);
     }
     if (when > now_) {
       now_ = when;
@@ -123,12 +171,12 @@ class SimClock {
 
   // Runs events until the queue drains (or `max_events` fire). Returns the
   // number of events dispatched.
-  size_t RunAll(size_t max_events = SIZE_MAX) {
+  size_t RunAll(const SerialPhase& ph, size_t max_events = SIZE_MAX) {
     size_t fired = 0;
     while (!queue_.empty() && fired < max_events) {
       EventQueue::Event ev = queue_.Pop();
       now_ = ev.when;
-      ev.fn();
+      ev.fn(ph);
       ++fired;
     }
     return fired;
@@ -141,6 +189,20 @@ class SimClock {
   }
 
  private:
+  // Shared leaf under both token-typed entry points: stage when the current
+  // thread is staging for this clock, push directly otherwise. Identical to
+  // the PR 5 ScheduleOwned body.
+  void ScheduleOwnedAny(SimTime when, uint64_t owner, Callback fn) {
+    Stage* s = tls_stage_;
+    if (s != nullptr && s->clock == this) {
+      assert(when >= s->vnow);
+      s->events.push_back(Stage::Staged{when, owner, std::move(fn)});
+      return;
+    }
+    assert(when >= now_);
+    queue_.Push(when, owner, std::move(fn));
+  }
+
   static inline thread_local Stage* tls_stage_ = nullptr;
 
   SimTime now_ = 0;
@@ -153,6 +215,12 @@ class SimClock {
 // events die with the VM that owns them (Vm::~Vm cancels the owner).
 // Implicitly convertible from SimClock* — an untagged ref behaves exactly
 // like the raw pointer did.
+//
+// ClockRef is the phase-dispatching wrapper for dual-context code: device
+// completion paths run both inside slices (doorbell MMIO from a worker
+// lane) and from serial callbacks (snapshot restore, tests), so its
+// Schedule* methods take `const Phase&` and route to the staged or direct
+// leaf accordingly.
 class ClockRef {
  public:
   ClockRef() = default;
@@ -164,11 +232,19 @@ class ClockRef {
   uint64_t owner() const { return owner_; }
 
   SimTime now() const { return clock_->now(); }
-  void ScheduleAt(SimTime when, SimClock::Callback fn) {
-    clock_->ScheduleOwned(when, owner_, std::move(fn));
+
+  template <typename F>
+  void ScheduleAt(const Phase& ph, SimTime when, F fn) {
+    if (const ExecutePhase* ep = ph.AsExecute()) {
+      clock_->StageOwned(*ep, when, owner_, std::move(fn));
+    } else {
+      clock_->ScheduleOwned(*ph.AsDirect(), when, owner_, std::move(fn));
+    }
   }
-  void ScheduleAfter(SimTime delay, SimClock::Callback fn) {
-    ScheduleAt(clock_->now() + delay, std::move(fn));
+
+  template <typename F>
+  void ScheduleAfter(const Phase& ph, SimTime delay, F fn) {
+    ScheduleAt(ph, clock_->now() + delay, std::move(fn));
   }
 
  private:

@@ -1,0 +1,44 @@
+// Clang thread-safety-analysis annotation macros.
+//
+// Under clang with -Wthread-safety (the HYPERION_THREAD_SAFETY=ON build,
+// see tools/ci.sh), these expand to the capability attributes so the
+// compiler proves lock discipline statically: every access to a
+// HYP_GUARDED_BY(mu) member must happen with `mu` held, and functions
+// marked HYP_REQUIRES(mu) can only be called under it. Under gcc (or with
+// the analysis off) they expand to nothing.
+//
+// Shared state that is protected by the *phase* discipline rather than a
+// mutex (SimClock's EventQueue, VirtualSwitch ports, the scheduler) is
+// covered by the capability tokens in src/util/phase.h instead — see
+// DESIGN.md §9 for which tool guards what.
+
+#ifndef SRC_UTIL_THREAD_ANNOTATIONS_H_
+#define SRC_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define HYP_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define HYP_THREAD_ANNOTATION(x)
+#endif
+
+// Data members: which lock protects them.
+#define HYP_GUARDED_BY(x) HYP_THREAD_ANNOTATION(guarded_by(x))
+#define HYP_PT_GUARDED_BY(x) HYP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Functions: locks they need, take, or release.
+#define HYP_REQUIRES(...) \
+  HYP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define HYP_ACQUIRE(...) HYP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define HYP_RELEASE(...) HYP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define HYP_EXCLUDES(...) HYP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Types: capabilities and RAII lock guards.
+#define HYP_CAPABILITY(x) HYP_THREAD_ANNOTATION(capability(x))
+#define HYP_SCOPED_CAPABILITY HYP_THREAD_ANNOTATION(scoped_lockable)
+
+// Escape hatch for code the analysis cannot model (e.g. the lockless
+// FramePool::RefCount read documented in frame_pool.h).
+#define HYP_NO_THREAD_SAFETY_ANALYSIS \
+  HYP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // SRC_UTIL_THREAD_ANNOTATIONS_H_

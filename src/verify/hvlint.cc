@@ -35,8 +35,23 @@ struct AbsState {
   bool sp_rel = false;    // sp == (sp at function entry) + sp_delta
   int32_t sp_delta = 0;   // meaningful only when sp_rel
 
+  // Wake-source tracking for the wfi rule, tri-state: -1 unknown, 0 provably
+  // off, 1 provably on. Both start provably off only at cold (reset) entry
+  // points, where the architecture guarantees STATUS == 0 and TIMECMP == 0.
+  int8_t ie = -1;           // STATUS.IE
+  int8_t timer_armed = -1;  // TIMECMP nonzero
+
   bool operator==(const AbsState&) const = default;
 };
+
+// Tri-state meet: agreement survives, disagreement degrades to unknown.
+bool MeetTri(int8_t& into, int8_t from) {
+  if (into != -1 && from != into) {
+    into = -1;
+    return true;
+  }
+  return false;
+}
 
 AbsState FunctionEntryState() {
   AbsState s;
@@ -61,6 +76,8 @@ bool MeetInto(AbsState& into, const AbsState& from) {
     into.sp_rel = false;
     changed = true;
   }
+  changed |= MeetTri(into.ie, from.ie);
+  changed |= MeetTri(into.timer_armed, from.timer_armed);
   return changed;
 }
 
@@ -120,6 +137,21 @@ bool IsCsr(Opcode op) {
   return op == Opcode::kCsrrw || op == Opcode::kCsrrs || op == Opcode::kCsrrc;
 }
 
+// CSRs whose writes the execution core silently ignores (exec_core.h
+// WriteCsr); a guest storing to one always indicates a bug.
+bool IsReadOnlyCsr(isa::Csr csr) {
+  switch (csr) {
+    case isa::Csr::kTime:
+    case isa::Csr::kCycle:
+    case isa::Csr::kInstret:
+    case isa::Csr::kHartid:
+    case isa::Csr::kIpend:
+      return true;
+    default:
+      return false;
+  }
+}
+
 std::string Hex(uint32_t v) {
   std::ostringstream os;
   os << "0x" << std::hex << v;
@@ -137,6 +169,13 @@ std::string Hex(uint32_t v) {
 struct Root {
   uint32_t pc = 0;
   isa::PrivMode priv = isa::PrivMode::kSupervisor;
+  // Cold roots start in the architectural reset state (STATUS == 0,
+  // TIMECMP == 0): the image entry, declared `.entry` points, and secondary
+  // vCPUs started via kStartVcpu. Call targets and trap vectors are warm —
+  // their CSR state is whatever the caller left behind. Not part of the
+  // dedup key: a pc analysed cold subsumes the warm analysis only in the
+  // unsound direction, so first-queued wins and duplicates are dropped.
+  bool cold = false;
 
   bool operator<(const Root& o) const {
     return pc != o.pc ? pc < o.pc : priv < o.priv;
@@ -150,15 +189,15 @@ class Linter {
 
   LintReport Run() {
     std::set<Root> queued;
-    auto add_root = [&](uint32_t pc, isa::PrivMode priv) {
+    auto add_root = [&](uint32_t pc, isa::PrivMode priv, bool cold) {
       if (queued.insert({pc, priv}).second) {
-        pending_roots_.push_back({pc, priv});
+        pending_roots_.push_back({pc, priv, cold});
       }
     };
 
-    add_root(image_.entry(), isa::PrivMode::kSupervisor);
+    add_root(image_.entry(), isa::PrivMode::kSupervisor, /*cold=*/true);
     for (const assembler::EntryPoint& e : image_.entry_points) {
-      add_root(e.addr, e.priv);
+      add_root(e.addr, e.priv, /*cold=*/true);
     }
     discovered_ = add_root;
 
@@ -282,6 +321,79 @@ class Linter {
     }
   }
 
+  // Transfer function and rule set for the three CSR-access opcodes: flags
+  // writes to read-only CSRs, discovers trap handlers installed via tvec,
+  // and tracks the STATUS.IE / TIMECMP wake sources for the wfi rule.
+  void StepCsr(const Instruction& in, AbsState& s, uint32_t pc) {
+    const auto csr = static_cast<isa::Csr>(in.imm);
+    const bool full_write = in.opcode == Opcode::kCsrrw;
+    // csrrs/csrrc through the zero register is the canonical read idiom and
+    // writes nothing. An unknown mask register may still hold 0, so the
+    // write rule fires only on a full write or a provably nonzero mask.
+    const std::optional<uint32_t> mask =
+        in.rs1 == isa::kZero ? std::optional<uint32_t>(0) : s.reg[in.rs1];
+    const bool has = mask.has_value();
+    const bool nz = has && *mask != 0;
+
+    if (IsReadOnlyCsr(csr) && (full_write || nz)) {
+      Diag(Severity::kError, "write-to-readonly-csr", pc,
+           "'" + isa::Disassemble(in) +
+               "' writes a read-only CSR; the core silently ignores the "
+               "store, so the guest's value is lost");
+    }
+
+    // Installing a trap vector with a known address reveals the handler:
+    // verify it as a supervisor root.
+    if (full_write && csr == isa::Csr::kTvec && s.reg[in.rs1].has_value()) {
+      discovered_(*s.reg[in.rs1], isa::PrivMode::kSupervisor, /*cold=*/false);
+    }
+
+    if (csr == isa::Csr::kStatus) {
+      const bool bit = has && (*mask & isa::StatusBits::kIe) != 0;
+      switch (in.opcode) {
+        case Opcode::kCsrrw:
+          s.ie = has ? (bit ? 1 : 0) : -1;
+          break;
+        case Opcode::kCsrrs:  // sets bits: can only turn IE on
+          if (bit) {
+            s.ie = 1;
+          } else if (!has && s.ie != 1) {
+            s.ie = -1;
+          }
+          break;
+        case Opcode::kCsrrc:  // clears bits: can only turn IE off
+          if (bit) {
+            s.ie = 0;
+          } else if (!has && s.ie != 0) {
+            s.ie = -1;
+          }
+          break;
+        default:
+          break;
+      }
+    } else if (csr == isa::Csr::kTimecmp) {
+      switch (in.opcode) {
+        case Opcode::kCsrrw:
+          s.timer_armed = has ? (nz ? 1 : 0) : -1;
+          break;
+        case Opcode::kCsrrs:
+          if (nz) {
+            s.timer_armed = 1;
+          } else if (!has && s.timer_armed != 1) {
+            s.timer_armed = -1;
+          }
+          break;
+        case Opcode::kCsrrc:
+          if ((nz || !has) && s.timer_armed != 0) {
+            s.timer_armed = -1;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
   // Propagate `out` into `succ`, enqueueing it if the joined state changed.
   // `kind` distinguishes the diagnostic when the successor leaves the image.
   void FlowTo(uint32_t from_pc, uint32_t succ, const AbsState& out, bool is_jump) {
@@ -320,7 +432,12 @@ class Linter {
     worklist_ = &worklist;
 
     // The root pc itself flows like a jump target (diagnose bad `.entry`).
-    FlowTo(root.pc, root.pc, FunctionEntryState(), /*is_jump=*/true);
+    AbsState entry = FunctionEntryState();
+    if (root.cold) {
+      entry.ie = 0;
+      entry.timer_armed = 0;
+    }
+    FlowTo(root.pc, root.pc, entry, /*is_jump=*/true);
 
     while (!worklist.empty()) {
       if (++steps_ >= options_.max_steps) {
@@ -397,7 +514,7 @@ class Linter {
         // caller resumes with caller-saved state clobbered. Balance of the
         // callee is checked in its own analysis, so sp survives the call.
         if (InImage(target) && target % isa::kInstrBytes == 0) {
-          discovered_(target, root.priv);
+          discovered_(target, root.priv, /*cold=*/false);
         } else {
           FlowTo(pc, target, s, /*is_jump=*/true);  // diagnose; no new root
           return;
@@ -414,7 +531,7 @@ class Linter {
             return;
           }
           if (InImage(target)) {
-            discovered_(target, root.priv);
+            discovered_(target, root.priv, /*cold=*/false);
           } else {
             FlowTo(pc, target, s, /*is_jump=*/true);
             return;
@@ -457,15 +574,9 @@ class Linter {
         break;
 
       case Opcode::kCsrrw:
-        // Installing a trap vector with a known address reveals the handler:
-        // verify it as a supervisor root.
-        if (static_cast<isa::Csr>(in.imm) == isa::Csr::kTvec &&
-            s.reg[in.rs1].has_value()) {
-          discovered_(*s.reg[in.rs1], isa::PrivMode::kSupervisor);
-        }
-        [[fallthrough]];
       case Opcode::kCsrrs:
       case Opcode::kCsrrc:
+        StepCsr(in, s, pc);
         SetReg(s, in.rd, std::nullopt);
         break;
 
@@ -481,7 +592,7 @@ class Linter {
         if (s.reg[isa::kA0] &&
             *s.reg[isa::kA0] == static_cast<uint32_t>(isa::Hypercall::kStartVcpu) &&
             s.reg[isa::kA2].has_value()) {
-          discovered_(*s.reg[isa::kA2], isa::PrivMode::kSupervisor);
+          discovered_(*s.reg[isa::kA2], isa::PrivMode::kSupervisor, /*cold=*/true);
         }
         SetReg(s, isa::kA0, std::nullopt);  // ABI: result in a0, rest preserved
         break;
@@ -492,6 +603,18 @@ class Linter {
       case Opcode::kHalt:
         return;
       case Opcode::kWfi:
+        // Cold path with interrupts globally disabled and no timer armed:
+        // this wfi has no self-wake source. It parks until some *external*
+        // agent (another vCPU's kWakeVcpu, a device raising a pending bit,
+        // the VMM) intervenes — usually a forgotten `csrw timecmp` or
+        // STATUS.IE enable. Advisory because parking forever on purpose is
+        // a legitimate idiom (e.g. a finished worker loop).
+        if (s.ie == 0 && s.timer_armed == 0) {
+          Diag(Severity::kWarning, "wfi-without-enabled-interrupts", pc,
+               "wfi with interrupts disabled (STATUS.IE = 0) and no timer "
+               "armed (TIMECMP = 0): the vCPU can only be woken externally");
+        }
+        break;
       case Opcode::kSfence:
         break;
 
@@ -530,7 +653,7 @@ class Linter {
   std::set<std::pair<std::string, uint32_t>> emitted_;
   std::set<uint32_t> reachable_;
   std::deque<Root> pending_roots_;
-  std::function<void(uint32_t, isa::PrivMode)> discovered_;
+  std::function<void(uint32_t, isa::PrivMode, bool)> discovered_;
   std::unordered_map<uint32_t, AbsState>* joined_ = nullptr;
   std::deque<uint32_t>* worklist_ = nullptr;
   size_t steps_ = 0;

@@ -20,6 +20,13 @@
 //                         the access size (traps at runtime)
 //   sp-imbalance          call/return or trap-handler path changes the net
 //                         stack-pointer offset
+//   write-to-readonly-csr csrrw (or csrrs/csrrc with a provably nonzero
+//                         mask) targets a CSR the core ignores writes to
+//                         (time/cycle/instret/hartid/ipend)
+//   wfi-without-enabled-interrupts  (warning) wfi reachable from a cold
+//                         entry with STATUS.IE provably 0 and TIMECMP
+//                         provably unarmed: no self-wake source exists, so
+//                         the vCPU parks until woken externally
 //
 // The analysis is conservative in the accepting direction: a rule only fires
 // on facts it can prove (e.g. an MMIO address is checked only when the base

@@ -93,7 +93,7 @@ Result<uint32_t> VirtioDevice::Read(uint32_t offset, uint32_t size) {
   }
 }
 
-Status VirtioDevice::Write(uint32_t offset, uint32_t size, uint32_t value) {
+Status VirtioDevice::Write(const Phase& ph, uint32_t offset, uint32_t size, uint32_t value) {
   if (size != 4) {
     return InvalidArgumentError("virtio registers are word-only");
   }
@@ -134,7 +134,7 @@ Status VirtioDevice::Write(uint32_t offset, uint32_t size, uint32_t value) {
       if (value >= queues_.size()) {
         return InvalidArgumentError("notify queue out of range");
       }
-      return Kick(static_cast<uint16_t>(value));
+      return Kick(ph, static_cast<uint16_t>(value));
     case 0x24:
       isr_ &= ~value;
       return OkStatus();
@@ -146,7 +146,7 @@ Status VirtioDevice::Write(uint32_t offset, uint32_t size, uint32_t value) {
   }
 }
 
-void VirtioDevice::Reset() {
+void VirtioDevice::Reset(const DirectPhase&) {
   for (VirtQueue& q : queues_) {
     q.Reset();
   }
@@ -155,18 +155,18 @@ void VirtioDevice::Reset() {
   device_status_ = 0;
 }
 
-Status VirtioDevice::Kick(uint16_t q) {
+Status VirtioDevice::Kick(const Phase& ph, uint16_t q) {
   if (q >= queues_.size()) {
     return InvalidArgumentError("kick on unknown queue");
   }
   ++stats_.kicks;
-  return ProcessQueue(q);
+  return ProcessQueue(ph, q);
 }
 
-void VirtioDevice::NotifyGuest() {
+void VirtioDevice::NotifyGuest(const Phase& ph) {
   isr_ |= 1;
   ++stats_.interrupts;
-  irq_.Assert();
+  irq_.Assert(ph);
 }
 
 Result<std::vector<uint8_t>> VirtioDevice::GatherReadable(const Chain& chain) {

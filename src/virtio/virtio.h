@@ -150,8 +150,8 @@ class VirtioDevice : public devices::MmioDevice {
       : device_id_(device_id), queues_(num_queues), memory_(memory), irq_(irq) {}
 
   Result<uint32_t> Read(uint32_t offset, uint32_t size) override;
-  Status Write(uint32_t offset, uint32_t size, uint32_t value) override;
-  void Reset() override;
+  Status Write(const Phase& ph, uint32_t offset, uint32_t size, uint32_t value) override;
+  void Reset(const DirectPhase& ph) override;
 
   void Serialize(ByteWriter& w) const override {
     for (const VirtQueue& q : queues_) {
@@ -162,7 +162,7 @@ class VirtioDevice : public devices::MmioDevice {
     w.WriteU32(device_status_);
   }
 
-  Status Deserialize(ByteReader& r) override {
+  Status Deserialize(const DirectPhase&, ByteReader& r) override {
     for (VirtQueue& q : queues_) {
       HYP_RETURN_IF_ERROR(q.Deserialize(r));
     }
@@ -173,7 +173,9 @@ class VirtioDevice : public devices::MmioDevice {
   }
 
   // Doorbell entry point; also reachable via the kVirtioKick hypercall.
-  Status Kick(uint16_t queue);
+  // Dual-regime: guest doorbells arrive under the slice's ExecutePhase,
+  // host-side pokes (tests, console input) under a direct token.
+  Status Kick(const Phase& ph, uint16_t queue);
 
   // Read-only queue access for the invariant auditors (src/verify).
   const VirtQueue& queue_at(uint16_t i) const { return queues_[i]; }
@@ -189,10 +191,10 @@ class VirtioDevice : public devices::MmioDevice {
   const Stats& stats() const { return stats_; }
 
  protected:
-  virtual Status ProcessQueue(uint16_t queue) = 0;
+  virtual Status ProcessQueue(const Phase& ph, uint16_t queue) = 0;
 
   // Raises the used-ring ISR bit and the interrupt line.
-  void NotifyGuest();
+  void NotifyGuest(const Phase& ph);
 
   // Copies a readable chain's bytes into a flat buffer (guest -> device).
   Result<std::vector<uint8_t>> GatherReadable(const Chain& chain);

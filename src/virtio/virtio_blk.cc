@@ -8,7 +8,7 @@ namespace {
 constexpr uint32_t kHeaderBytes = 16;
 }
 
-Status VirtioBlk::ProcessQueue(uint16_t q) {
+Status VirtioBlk::ProcessQueue(const Phase& ph, uint16_t q) {
   VirtQueue& vq = queue(q);
   uint64_t total_sectors = 0;
   bool any = false;
@@ -30,11 +30,11 @@ Status VirtioBlk::ProcessQueue(uint16_t q) {
     any = true;
   }
   if (any) {
-    auto notify = [this] { NotifyGuest(); };
     if (clock_.valid()) {
-      clock_.ScheduleAfter(total_sectors * costs_.blk_sector_cost, notify);
+      clock_.ScheduleAfter(ph, total_sectors * costs_.blk_sector_cost,
+                           [this](const SerialPhase& sp) { NotifyGuest(sp); });
     } else {
-      notify();
+      NotifyGuest(ph);
     }
   }
   return OkStatus();

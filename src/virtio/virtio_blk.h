@@ -51,7 +51,7 @@ class VirtioBlk final : public VirtioDevice {
   const BlkStats& blk_stats() const { return blk_stats_; }
 
  protected:
-  Status ProcessQueue(uint16_t q) override;
+  Status ProcessQueue(const Phase& ph, uint16_t q) override;
 
  private:
   // Executes one request chain; returns sectors moved (for timing).

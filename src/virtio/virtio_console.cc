@@ -2,9 +2,9 @@
 
 namespace hyperion::virtio {
 
-Status VirtioConsole::ProcessQueue(uint16_t q) {
+Status VirtioConsole::ProcessQueue(const Phase& ph, uint16_t q) {
   if (q == kRxQueue) {
-    PumpRx();
+    PumpRx(ph);
     return OkStatus();
   }
   VirtQueue& vq = queue(kTxQueue);
@@ -25,19 +25,19 @@ Status VirtioConsole::ProcessQueue(uint16_t q) {
     any = true;
   }
   if (any) {
-    NotifyGuest();
+    NotifyGuest(ph);
   }
   return OkStatus();
 }
 
-void VirtioConsole::InjectInput(std::string_view text) {
+void VirtioConsole::InjectInput(const Phase& ph, std::string_view text) {
   for (char c : text) {
     rx_backlog_.push_back(static_cast<uint8_t>(c));
   }
-  PumpRx();
+  PumpRx(ph);
 }
 
-void VirtioConsole::PumpRx() {
+void VirtioConsole::PumpRx(const Phase& ph) {
   VirtQueue& vq = queue(kRxQueue);
   bool delivered = false;
   while (!rx_backlog_.empty()) {
@@ -63,7 +63,7 @@ void VirtioConsole::PumpRx() {
     delivered = true;
   }
   if (delivered) {
-    NotifyGuest();
+    NotifyGuest(ph);
   }
 }
 

@@ -25,13 +25,13 @@ class VirtioConsole final : public VirtioDevice {
   void ClearOutput() { output_.clear(); }
 
   // Host-side input; lands in guest-posted RX buffers.
-  void InjectInput(std::string_view text);
+  void InjectInput(const Phase& ph, std::string_view text);
 
  protected:
-  Status ProcessQueue(uint16_t q) override;
+  Status ProcessQueue(const Phase& ph, uint16_t q) override;
 
  private:
-  void PumpRx();
+  void PumpRx(const Phase& ph);
 
   std::string output_;
   std::deque<uint8_t> rx_backlog_;

@@ -4,16 +4,16 @@
 
 namespace hyperion::virtio {
 
-Status VirtioNet::ProcessQueue(uint16_t q) {
+Status VirtioNet::ProcessQueue(const Phase& ph, uint16_t q) {
   if (q == kTxQueue) {
-    return DrainTx();
+    return DrainTx(ph);
   }
   // RX kick: the guest posted fresh buffers; drain any backlog into them.
-  PumpRx();
+  PumpRx(ph);
   return OkStatus();
 }
 
-Status VirtioNet::DrainTx() {
+Status VirtioNet::DrainTx(const Phase& ph) {
   VirtQueue& vq = queue(kTxQueue);
   bool any = false;
   for (;;) {
@@ -37,28 +37,28 @@ Status VirtioNet::DrainTx() {
       f.dst = dst;
       f.payload.assign(data.begin() + kFrameHeaderBytes,
                        data.begin() + kFrameHeaderBytes + len);
-      switch_->Send(std::move(f));
+      switch_->Transmit(ph, std::move(f));
       ++net_stats_.tx_frames;
     }
     HYP_RETURN_IF_ERROR(vq.PushUsed(memory(), chain.head, 0));
     any = true;
   }
   if (any) {
-    NotifyGuest();
+    NotifyGuest(ph);
   }
   return OkStatus();
 }
 
-void VirtioNet::OnFrame(const net::Frame& frame) {
+void VirtioNet::OnFrame(const SerialPhase& ph, const net::Frame& frame) {
   if (rx_backlog_.size() >= 256) {
     ++net_stats_.rx_dropped;
     return;
   }
   rx_backlog_.push_back(frame);
-  PumpRx();
+  PumpRx(ph);
 }
 
-void VirtioNet::PumpRx() {
+void VirtioNet::PumpRx(const Phase& ph) {
   VirtQueue& vq = queue(kRxQueue);
   bool delivered = false;
   while (!rx_backlog_.empty()) {
@@ -90,7 +90,7 @@ void VirtioNet::PumpRx() {
     delivered = true;
   }
   if (delivered) {
-    NotifyGuest();
+    NotifyGuest(ph);
   }
 }
 

@@ -31,7 +31,7 @@ class VirtioNet final : public VirtioDevice, public net::FrameSink {
   std::string_view name() const override { return "virtio-net"; }
 
   // net::FrameSink: deliver into posted RX buffers (or queue briefly).
-  void OnFrame(const net::Frame& frame) override;
+  void OnFrame(const SerialPhase& ph, const net::Frame& frame) override;
 
   struct NetStats {
     uint64_t tx_frames = 0;
@@ -41,11 +41,11 @@ class VirtioNet final : public VirtioDevice, public net::FrameSink {
   const NetStats& net_stats() const { return net_stats_; }
 
  protected:
-  Status ProcessQueue(uint16_t q) override;
+  Status ProcessQueue(const Phase& ph, uint16_t q) override;
 
  private:
-  Status DrainTx();
-  void PumpRx();  // move backlog frames into posted buffers
+  Status DrainTx(const Phase& ph);
+  void PumpRx(const Phase& ph);  // move backlog frames into posted buffers
 
   net::VirtualSwitch* switch_;
   net::MacAddr addr_;

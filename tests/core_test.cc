@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "src/balloon/balloon.h"
+#include "tests/test_phase.h"
 #include "src/core/host.h"
 #include "src/guest/programs.h"
 #include "src/ksm/ksm.h"
@@ -337,7 +338,7 @@ TEST(SnapshotTest, SaveRestoreResumesExactly) {
   Vm* vm = BootVm(host, VmConfig{.name = "orig"}, prog);
   host.RunFor(5 * kSimTicksPerMs);  // run partway
   ASSERT_EQ(vm->state(), VmState::kRunning);
-  vm->Pause();
+  vm->Pause(TestPhase());
   uint32_t progress_at_save = ReadProgress(vm, prog);
   ASSERT_GT(progress_at_save, 0u);
   ASSERT_LT(progress_at_save, kIters);
@@ -353,7 +354,7 @@ TEST(SnapshotTest, SaveRestoreResumesExactly) {
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   EXPECT_EQ(ReadProgress(*restored, prog), progress_at_save);
 
-  vm->Resume();
+  vm->Resume(TestPhase());
   ASSERT_TRUE(host.RunUntilVmStops(vm, 20 * kSimTicksPerSec));
   ASSERT_TRUE(host.RunUntilVmStops(*restored, 20 * kSimTicksPerSec));
   EXPECT_EQ(vm->state(), VmState::kShutdown);
@@ -365,25 +366,25 @@ TEST(SnapshotTest, SaveRestoreResumesExactly) {
 TEST(SnapshotTest, CorruptionDetected) {
   Host host;
   Vm* vm = BootVm(host, VmConfig{.name = "c"}, guest::ComputeProgram(10));
-  vm->Pause();
+  vm->Pause(TestPhase());
   auto bytes = snapshot::SaveVm(*vm);
   ASSERT_TRUE(bytes.ok());
   (*bytes)[bytes->size() / 2] ^= 0xFF;
   Vm* target = BootVm(host, VmConfig{.name = "t"}, guest::ComputeProgram(10));
-  target->Pause();
+  target->Pause(TestPhase());
   EXPECT_EQ(snapshot::LoadVm(*target, *bytes).code(), StatusCode::kDataLoss);
 }
 
 TEST(SnapshotTest, GeometryMismatchRejected) {
   Host host;
   Vm* vm = BootVm(host, VmConfig{.name = "a"}, guest::ComputeProgram(10));
-  vm->Pause();
+  vm->Pause(TestPhase());
   auto bytes = snapshot::SaveVm(*vm);
   ASSERT_TRUE(bytes.ok());
   VmConfig other{.name = "b"};
   other.ram_bytes = 8u << 20;  // different RAM size
   Vm* target = BootVm(host, other, guest::ComputeProgram(10));
-  target->Pause();
+  target->Pause(TestPhase());
   EXPECT_EQ(snapshot::LoadVm(*target, *bytes).code(), StatusCode::kFailedPrecondition);
 }
 
@@ -419,15 +420,15 @@ hot:
 )";
   Vm* vm = BootVm(host, VmConfig{.name = "inc"}, prog);
   host.RunFor(10 * kSimTicksPerMs);
-  vm->Pause();
+  vm->Pause(TestPhase());
 
   auto full = snapshot::SaveVm(*vm);
   ASSERT_TRUE(full.ok());
 
   vm->memory().EnableDirtyLog();
-  vm->Resume();
+  vm->Resume(TestPhase());
   host.RunFor(10 * kSimTicksPerMs);
-  vm->Pause();
+  vm->Pause(TestPhase());
 
   snapshot::SnapshotInfo inc_info;
   snapshot::SaveOptions inc_opts;
@@ -449,7 +450,7 @@ TEST(SnapshotTest, TemplateCloningProvisionsManyVms) {
   Host host;
   std::string prog = guest::ComputeProgram(300);
   Vm* golden = BootVm(host, VmConfig{.name = "golden"}, prog);
-  golden->Pause();  // template captured pre-boot
+  golden->Pause(TestPhase());  // template captured pre-boot
   auto tmpl = snapshot::SaveVm(*golden);
   ASSERT_TRUE(tmpl.ok());
 
@@ -548,7 +549,7 @@ TEST(ForkTest, ChildContinuesFromForkPoint) {
   std::string prog = guest::ComputeProgram(kIters);
   Vm* parent = BootVm(host, VmConfig{.name = "parent"}, prog);
   host.RunFor(5 * kSimTicksPerMs);
-  parent->Pause();
+  parent->Pause(TestPhase());
   uint32_t at_fork = ReadProgress(parent, prog);
   ASSERT_GT(at_fork, 0u);
   ASSERT_LT(at_fork, kIters);
@@ -561,7 +562,7 @@ TEST(ForkTest, ChildContinuesFromForkPoint) {
   EXPECT_EQ(ReadProgress(*child, prog), at_fork);
 
   // Both finish with identical results.
-  parent->Resume();
+  parent->Resume(TestPhase());
   ASSERT_TRUE(host.RunUntilVmStops(parent, 30 * kSimTicksPerSec));
   ASSERT_TRUE(host.RunUntilVmStops(*child, 30 * kSimTicksPerSec));
   EXPECT_EQ(parent->state(), VmState::kShutdown);
@@ -575,7 +576,7 @@ TEST(ForkTest, WritesDivergePrivately) {
   std::string prog = guest::ComputeProgram(0);
   Vm* parent = BootVm(host, VmConfig{.name = "parent"}, prog);
   host.RunFor(2 * kSimTicksPerMs);
-  parent->Pause();
+  parent->Pause(TestPhase());
   auto child = snapshot::ForkVm(host, VmConfig{.name = "child"}, *parent);
   ASSERT_TRUE(child.ok());
 
@@ -587,7 +588,7 @@ TEST(ForkTest, WritesDivergePrivately) {
 
   // Guest-side divergence: run both; their progress counters move
   // independently on privatized pages.
-  parent->Resume();
+  parent->Resume(TestPhase());
   host.RunFor(5 * kSimTicksPerMs);
   uint32_t pp = ReadProgress(parent, prog);
   uint32_t cp = ReadProgress(*child, prog);
@@ -599,13 +600,13 @@ TEST(ForkTest, WritesDivergePrivately) {
 TEST(ForkTest, GeometryMismatchRejected) {
   Host host;
   Vm* parent = BootVm(host, VmConfig{.name = "parent"}, guest::ComputeProgram(10));
-  parent->Pause();
+  parent->Pause(TestPhase());
   VmConfig bad{.name = "child"};
   bad.ram_bytes = 8u << 20;
   EXPECT_EQ(snapshot::ForkVm(host, bad, *parent).status().code(),
             StatusCode::kInvalidArgument);
   // Running parent rejected too.
-  parent->Resume();
+  parent->Resume(TestPhase());
   EXPECT_EQ(snapshot::ForkVm(host, VmConfig{.name = "child"}, *parent).status().code(),
             StatusCode::kFailedPrecondition);
 }
@@ -615,7 +616,7 @@ TEST(ForkTest, ManyForksShareUntilTouched) {
   std::string prog = guest::ComputeProgram(0);
   Vm* parent = BootVm(host, VmConfig{.name = "parent"}, prog);
   host.RunFor(2 * kSimTicksPerMs);
-  parent->Pause();
+  parent->Pause(TestPhase());
 
   size_t before = host.pool().used_frames();
   std::vector<Vm*> children;

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "src/util/cost_model.h"
+#include "tests/test_phase.h"
 #include "src/verify/audit.h"
 #include "tests/guest_harness.h"
 
@@ -550,7 +551,8 @@ struct RecordingMmio : cpu::MmioHandler {
     ops.push_back({gpa, size, false, 0});
     return 0xCAFE0000u | size;
   }
-  Status MmioWrite(uint32_t gpa, uint32_t size, uint32_t value) override {
+  Status MmioWrite(const Phase& ph, uint32_t gpa, uint32_t size, uint32_t value) override {
+    (void)ph;
     ops.push_back({gpa, size, true, value});
     return OkStatus();
   }
@@ -652,7 +654,7 @@ _start:
     lw a0, 0(t0)
     halt
   )");
-  ASSERT_TRUE(m.memory().ReleasePage(0x40).ok());
+  ASSERT_TRUE(m.memory().ReleasePage(TestPhase(), 0x40).ok());
   m.virt().InvalidateGpn(0x40);
 
   auto r = m.Run();

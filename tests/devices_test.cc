@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "src/devices/emulated_blk.h"
+#include "tests/test_phase.h"
 #include "src/devices/emulated_net.h"
 #include "src/devices/mmio.h"
 #include "src/devices/pic.h"
@@ -36,7 +37,8 @@ class StubDevice final : public MmioDevice {
     (void)size;
     return offset;
   }
-  Status Write(uint32_t offset, uint32_t size, uint32_t value) override {
+  Status Write(const Phase& ph, uint32_t offset, uint32_t size, uint32_t value) override {
+    (void)ph;
     (void)size;
     last_offset = offset;
     last_value = value;
@@ -56,7 +58,7 @@ TEST(MmioBusTest, DispatchByRange) {
   ASSERT_TRUE(bus.Map(0xF0001000, 0x1000, &b).ok());
 
   EXPECT_EQ(*bus.MmioRead(0xF0000010, 4), 0x10u);
-  ASSERT_TRUE(bus.MmioWrite(0xF0001020, 4, 77).ok());
+  ASSERT_TRUE(bus.MmioWrite(TestPhase(), 0xF0001020, 4, 77).ok());
   EXPECT_EQ(b.last_offset, 0x20u);
   EXPECT_EQ(b.last_value, 77u);
 }
@@ -71,7 +73,7 @@ TEST(MmioBusTest, OverlapRejected) {
 TEST(MmioBusTest, UnmappedIsNotFound) {
   MmioBus bus;
   EXPECT_EQ(bus.MmioRead(0xF0000000, 4).status().code(), StatusCode::kNotFound);
-  EXPECT_EQ(bus.MmioWrite(0xF0000000, 4, 0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(bus.MmioWrite(TestPhase(), 0xF0000000, 4, 0).code(), StatusCode::kNotFound);
 }
 
 // ---------------------------------------------------------------------------
@@ -81,48 +83,54 @@ TEST(MmioBusTest, UnmappedIsNotFound) {
 TEST(PicTest, AssertEnableAckFlow) {
   InterruptController pic;
   bool level = false;
-  pic.SetSink([&](bool l) { level = l; });
+  pic.SetSink([&](const Phase& ph, bool l) {
+    (void)ph;
+    level = l;
+  });
 
-  pic.Assert(3);
+  pic.Assert(TestPhase(), 3);
   EXPECT_FALSE(level);  // not enabled yet
-  ASSERT_TRUE(pic.Write(0x04, 4, 1u << 3).ok());
+  ASSERT_TRUE(pic.Write(TestPhase(), 0x04, 4, 1u << 3).ok());
   EXPECT_TRUE(level);
 
   // CLAIM returns the line; ACK clears it.
   EXPECT_EQ(*pic.Read(0x10, 4), 3u);
-  ASSERT_TRUE(pic.Write(0x08, 4, 1u << 3).ok());
+  ASSERT_TRUE(pic.Write(TestPhase(), 0x08, 4, 1u << 3).ok());
   EXPECT_FALSE(level);
   EXPECT_EQ(*pic.Read(0x10, 4), 0xFFFFFFFFu);
 }
 
 TEST(PicTest, ClaimReturnsLowestActive) {
   InterruptController pic;
-  ASSERT_TRUE(pic.Write(0x04, 4, 0xFF).ok());
-  pic.Assert(5);
-  pic.Assert(2);
+  ASSERT_TRUE(pic.Write(TestPhase(), 0x04, 4, 0xFF).ok());
+  pic.Assert(TestPhase(), 5);
+  pic.Assert(TestPhase(), 2);
   EXPECT_EQ(*pic.Read(0x10, 4), 2u);
 }
 
 TEST(PicTest, SoftwareRaise) {
   InterruptController pic;
   bool level = false;
-  pic.SetSink([&](bool l) { level = l; });
-  ASSERT_TRUE(pic.Write(0x04, 4, 0x3).ok());
-  ASSERT_TRUE(pic.Write(0x0C, 4, 0x2).ok());  // RAISE line 1
+  pic.SetSink([&](const Phase& ph, bool l) {
+    (void)ph;
+    level = l;
+  });
+  ASSERT_TRUE(pic.Write(TestPhase(), 0x04, 4, 0x3).ok());
+  ASSERT_TRUE(pic.Write(TestPhase(), 0x0C, 4, 0x2).ok());  // RAISE line 1
   EXPECT_TRUE(level);
   EXPECT_EQ(pic.pending(), 2u);
 }
 
 TEST(PicTest, SerializeRoundTrip) {
   InterruptController pic;
-  ASSERT_TRUE(pic.Write(0x04, 4, 0xAB).ok());
-  pic.Assert(1);
+  ASSERT_TRUE(pic.Write(TestPhase(), 0x04, 4, 0xAB).ok());
+  pic.Assert(TestPhase(), 1);
   ByteWriter w;
   pic.Serialize(w);
 
   InterruptController restored;
   ByteReader r(w.buffer());
-  ASSERT_TRUE(restored.Deserialize(r).ok());
+  ASSERT_TRUE(restored.Deserialize(TestPhase(), r).ok());
   EXPECT_EQ(restored.pending(), pic.pending());
   EXPECT_EQ(restored.enable(), pic.enable());
 }
@@ -130,7 +138,7 @@ TEST(PicTest, SerializeRoundTrip) {
 TEST(PicTest, WordOnlyAccess) {
   InterruptController pic;
   EXPECT_FALSE(pic.Read(0x00, 2).ok());
-  EXPECT_FALSE(pic.Write(0x04, 1, 1).ok());
+  EXPECT_FALSE(pic.Write(TestPhase(), 0x04, 1, 1).ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -140,7 +148,7 @@ TEST(PicTest, WordOnlyAccess) {
 TEST(UartTest, TransmitCollectsOutput) {
   Uart uart;
   for (char c : std::string("ok\n")) {
-    ASSERT_TRUE(uart.Write(0x00, 4, static_cast<uint32_t>(c)).ok());
+    ASSERT_TRUE(uart.Write(TestPhase(), 0x00, 4, static_cast<uint32_t>(c)).ok());
   }
   EXPECT_EQ(uart.output(), "ok\n");
 }
@@ -148,11 +156,11 @@ TEST(UartTest, TransmitCollectsOutput) {
 TEST(UartTest, ReceivePath) {
   InterruptController pic;
   Uart uart(IrqLine(&pic, devices::kUartIrq));
-  ASSERT_TRUE(pic.Write(0x04, 4, 1u << devices::kUartIrq).ok());
-  ASSERT_TRUE(uart.Write(0x0C, 4, 1).ok());  // enable rx irq
+  ASSERT_TRUE(pic.Write(TestPhase(), 0x04, 4, 1u << devices::kUartIrq).ok());
+  ASSERT_TRUE(uart.Write(TestPhase(), 0x0C, 4, 1).ok());  // enable rx irq
 
   EXPECT_EQ(*uart.Read(0x08, 4) & 1u, 0u);  // no rx data
-  uart.InjectInput("ab");
+  uart.InjectInput(TestPhase(), "ab");
   EXPECT_EQ(pic.pending() & (1u << devices::kUartIrq), 1u << devices::kUartIrq);
   EXPECT_EQ(*uart.Read(0x08, 4) & 1u, 1u);
   EXPECT_EQ(*uart.Read(0x04, 4), static_cast<uint32_t>('a'));
@@ -162,14 +170,14 @@ TEST(UartTest, ReceivePath) {
 
 TEST(UartTest, SerializeRoundTrip) {
   Uart uart;
-  ASSERT_TRUE(uart.Write(0x00, 4, 'x').ok());
-  uart.InjectInput("queued");
+  ASSERT_TRUE(uart.Write(TestPhase(), 0x00, 4, 'x').ok());
+  uart.InjectInput(TestPhase(), "queued");
   ByteWriter w;
   uart.Serialize(w);
 
   Uart restored;
   ByteReader r(w.buffer());
-  ASSERT_TRUE(restored.Deserialize(r).ok());
+  ASSERT_TRUE(restored.Deserialize(TestPhase(), r).ok());
   EXPECT_EQ(restored.output(), "x");
   EXPECT_EQ(*restored.Read(0x04, 4), static_cast<uint32_t>('q'));
 }
@@ -182,7 +190,7 @@ class EmuBlkTest : public ::testing::Test {
  protected:
   EmuBlkTest()
       : store_(64), dev_(&store_, IrqLine(&pic_, devices::kBlkIrq), /*clock=*/nullptr) {
-    (void)pic_.Write(0x04, 4, 1u << devices::kBlkIrq);
+    (void)pic_.Write(TestPhase(), 0x04, 4, 1u << devices::kBlkIrq);
   }
 
   InterruptController pic_;
@@ -191,13 +199,13 @@ class EmuBlkTest : public ::testing::Test {
 };
 
 TEST_F(EmuBlkTest, WriteCommandPersists) {
-  ASSERT_TRUE(dev_.Write(0x00, 4, 5).ok());  // LBA 5
-  ASSERT_TRUE(dev_.Write(0x04, 4, 1).ok());  // one sector
-  ASSERT_TRUE(dev_.Write(0x14, 4, 0).ok());  // rewind pointer
+  ASSERT_TRUE(dev_.Write(TestPhase(), 0x00, 4, 5).ok());  // LBA 5
+  ASSERT_TRUE(dev_.Write(TestPhase(), 0x04, 4, 1).ok());  // one sector
+  ASSERT_TRUE(dev_.Write(TestPhase(), 0x14, 4, 0).ok());  // rewind pointer
   for (uint32_t i = 0; i < 128; ++i) {
-    ASSERT_TRUE(dev_.Write(0x10, 4, 0x1000 + i).ok());
+    ASSERT_TRUE(dev_.Write(TestPhase(), 0x10, 4, 0x1000 + i).ok());
   }
-  ASSERT_TRUE(dev_.Write(0x08, 4, 2).ok());  // CMD write (synchronous: no clock)
+  ASSERT_TRUE(dev_.Write(TestPhase(), 0x08, 4, 2).ok());  // CMD write (synchronous: no clock)
   EXPECT_EQ(*dev_.Read(0x0C, 4), 2u);        // data_ready, not busy
 
   uint8_t sector[512] = {};
@@ -211,44 +219,44 @@ TEST_F(EmuBlkTest, WriteCommandPersists) {
 TEST_F(EmuBlkTest, ReadCommandReturnsData) {
   uint8_t sector[512] = {0xAA, 0xBB, 0xCC, 0xDD};
   ASSERT_TRUE(store_.WriteSectors(7, 1, sector).ok());
-  ASSERT_TRUE(dev_.Write(0x00, 4, 7).ok());
-  ASSERT_TRUE(dev_.Write(0x04, 4, 1).ok());
-  ASSERT_TRUE(dev_.Write(0x08, 4, 1).ok());  // CMD read (synchronous)
+  ASSERT_TRUE(dev_.Write(TestPhase(), 0x00, 4, 7).ok());
+  ASSERT_TRUE(dev_.Write(TestPhase(), 0x04, 4, 1).ok());
+  ASSERT_TRUE(dev_.Write(TestPhase(), 0x08, 4, 1).ok());  // CMD read (synchronous)
   EXPECT_EQ(*dev_.Read(0x10, 4), 0xDDCCBBAAu);
 }
 
 TEST_F(EmuBlkTest, BadCountRejected) {
-  EXPECT_FALSE(dev_.Write(0x04, 4, 0).ok());
-  EXPECT_FALSE(dev_.Write(0x04, 4, 9).ok());
+  EXPECT_FALSE(dev_.Write(TestPhase(), 0x04, 4, 0).ok());
+  EXPECT_FALSE(dev_.Write(TestPhase(), 0x04, 4, 9).ok());
 }
 
 TEST_F(EmuBlkTest, OutOfRangeCommandSetsError) {
-  ASSERT_TRUE(dev_.Write(0x00, 4, 63).ok());
-  ASSERT_TRUE(dev_.Write(0x04, 4, 8).ok());  // 63..70 exceeds 64-sector disk
-  ASSERT_TRUE(dev_.Write(0x08, 4, 1).ok());
+  ASSERT_TRUE(dev_.Write(TestPhase(), 0x00, 4, 63).ok());
+  ASSERT_TRUE(dev_.Write(TestPhase(), 0x04, 4, 8).ok());  // 63..70 exceeds 64-sector disk
+  ASSERT_TRUE(dev_.Write(TestPhase(), 0x08, 4, 1).ok());
   EXPECT_EQ(*dev_.Read(0x0C, 4) & 4u, 4u);  // error bit
 }
 
 TEST_F(EmuBlkTest, DeferredCompletionWithClock) {
   SimClock clock;
   EmulatedBlockDevice timed(&store_, IrqLine(&pic_, devices::kBlkIrq), &clock);
-  ASSERT_TRUE(timed.Write(0x00, 4, 0).ok());
-  ASSERT_TRUE(timed.Write(0x04, 4, 4).ok());
-  ASSERT_TRUE(timed.Write(0x08, 4, 1).ok());
+  ASSERT_TRUE(timed.Write(TestPhase(), 0x00, 4, 0).ok());
+  ASSERT_TRUE(timed.Write(TestPhase(), 0x04, 4, 4).ok());
+  ASSERT_TRUE(timed.Write(TestPhase(), 0x08, 4, 1).ok());
   EXPECT_EQ(*timed.Read(0x0C, 4) & 1u, 1u);  // busy
-  clock.RunAll();
+  clock.RunAll(TestPhase());
   EXPECT_EQ(*timed.Read(0x0C, 4) & 1u, 0u);  // done
   EXPECT_GE(clock.now(), 4 * CostModel::Default().blk_sector_cost);
 }
 
 TEST_F(EmuBlkTest, SerializeRoundTrip) {
-  ASSERT_TRUE(dev_.Write(0x00, 4, 9).ok());
-  ASSERT_TRUE(dev_.Write(0x04, 4, 3).ok());
+  ASSERT_TRUE(dev_.Write(TestPhase(), 0x00, 4, 9).ok());
+  ASSERT_TRUE(dev_.Write(TestPhase(), 0x04, 4, 3).ok());
   ByteWriter w;
   dev_.Serialize(w);
   EmulatedBlockDevice restored(&store_, IrqLine(&pic_, devices::kBlkIrq), nullptr);
   ByteReader r(w.buffer());
-  ASSERT_TRUE(restored.Deserialize(r).ok());
+  ASSERT_TRUE(restored.Deserialize(TestPhase(), r).ok());
   EXPECT_EQ(*restored.Read(0x00, 4), 9u);
   EXPECT_EQ(*restored.Read(0x04, 4), 3u);
 }
@@ -263,23 +271,23 @@ TEST(EmuNetTest, SendAndReceiveThroughSwitch) {
   InterruptController pic;
   EmulatedNetDevice a(&vswitch, 1, IrqLine(&pic, devices::kNetIrq));
   EmulatedNetDevice b(&vswitch, 2, IrqLine(&pic, devices::kNetIrq));
-  ASSERT_TRUE(vswitch.Attach(1, &a).ok());
-  ASSERT_TRUE(vswitch.Attach(2, &b).ok());
+  ASSERT_TRUE(vswitch.Attach(TestPhase(), 1, &a).ok());
+  ASSERT_TRUE(vswitch.Attach(TestPhase(), 2, &b).ok());
 
   // a sends 8 bytes to b.
-  ASSERT_TRUE(a.Write(0x1C, 4, 0).ok());
-  ASSERT_TRUE(a.Write(0x10, 4, 0x11111111).ok());
-  ASSERT_TRUE(a.Write(0x10, 4, 0x22222222).ok());
-  ASSERT_TRUE(a.Write(0x00, 4, 8).ok());
-  ASSERT_TRUE(a.Write(0x04, 4, 2).ok());
-  ASSERT_TRUE(a.Write(0x08, 4, 1).ok());
+  ASSERT_TRUE(a.Write(TestPhase(), 0x1C, 4, 0).ok());
+  ASSERT_TRUE(a.Write(TestPhase(), 0x10, 4, 0x11111111).ok());
+  ASSERT_TRUE(a.Write(TestPhase(), 0x10, 4, 0x22222222).ok());
+  ASSERT_TRUE(a.Write(TestPhase(), 0x00, 4, 8).ok());
+  ASSERT_TRUE(a.Write(TestPhase(), 0x04, 4, 2).ok());
+  ASSERT_TRUE(a.Write(TestPhase(), 0x08, 4, 1).ok());
   EXPECT_EQ(a.stats().tx_frames, 1u);
 
-  clock.RunAll();  // deliver
+  clock.RunAll(TestPhase());  // deliver
   EXPECT_EQ(b.stats().rx_frames, 1u);
   EXPECT_EQ(*b.Read(0x0C, 4) & 1u, 1u);  // rx available
 
-  ASSERT_TRUE(b.Write(0x08, 4, 2).ok());  // pop
+  ASSERT_TRUE(b.Write(TestPhase(), 0x08, 4, 2).ok());  // pop
   EXPECT_EQ(*b.Read(0x14, 4), 8u);
   EXPECT_EQ(*b.Read(0x18, 4), 1u);
   EXPECT_EQ(*b.Read(0x10, 4), 0x11111111u);
@@ -291,7 +299,7 @@ TEST(EmuNetTest, OversizedTxRejected) {
   net::VirtualSwitch vswitch(&clock);
   InterruptController pic;
   EmulatedNetDevice a(&vswitch, 1, IrqLine(&pic, devices::kNetIrq));
-  EXPECT_FALSE(a.Write(0x00, 4, EmulatedNetDevice::kBufBytes + 4).ok());
+  EXPECT_FALSE(a.Write(TestPhase(), 0x00, 4, EmulatedNetDevice::kBufBytes + 4).ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -394,15 +402,15 @@ TEST_F(VirtioRingTest, BlkDeviceExecutesWriteRequest) {
   storage::MemBlockStore disk(64);
   InterruptController pic;
   virtio::VirtioBlk blk(memory_.get(), IrqLine(&pic, 8), &disk, /*clock=*/nullptr);
-  ASSERT_TRUE(pic.Write(0x04, 4, 1u << 8).ok());
+  ASSERT_TRUE(pic.Write(TestPhase(), 0x04, 4, 1u << 8).ok());
 
   // Configure queue 0 via registers.
-  ASSERT_TRUE(blk.Write(0x04, 4, 0).ok());
-  ASSERT_TRUE(blk.Write(0x08, 4, 4).ok());
-  ASSERT_TRUE(blk.Write(0x0C, 4, 0x10000).ok());
-  ASSERT_TRUE(blk.Write(0x10, 4, 0x10100).ok());
-  ASSERT_TRUE(blk.Write(0x14, 4, 0x10200).ok());
-  ASSERT_TRUE(blk.Write(0x18, 4, 1).ok());
+  ASSERT_TRUE(blk.Write(TestPhase(), 0x04, 4, 0).ok());
+  ASSERT_TRUE(blk.Write(TestPhase(), 0x08, 4, 4).ok());
+  ASSERT_TRUE(blk.Write(TestPhase(), 0x0C, 4, 0x10000).ok());
+  ASSERT_TRUE(blk.Write(TestPhase(), 0x10, 4, 0x10100).ok());
+  ASSERT_TRUE(blk.Write(TestPhase(), 0x14, 4, 0x10200).ok());
+  ASSERT_TRUE(blk.Write(TestPhase(), 0x18, 4, 1).ok());
 
   // Request: header (type=1 write, sector=3) + 512B data + status.
   ASSERT_TRUE(memory_->WriteU32(0x30000, 1).ok());
@@ -416,7 +424,7 @@ TEST_F(VirtioRingTest, BlkDeviceExecutesWriteRequest) {
   WriteDesc(2, 0x32000, 1, virtio::kDescWrite, 0);
   PostAvail({0});
 
-  ASSERT_TRUE(blk.Write(0x1C, 4, 0).ok());  // doorbell
+  ASSERT_TRUE(blk.Write(TestPhase(), 0x1C, 4, 0).ok());  // doorbell
 
   EXPECT_EQ(blk.blk_stats().requests, 1u);
   EXPECT_EQ(blk.blk_stats().errors, 0u);
@@ -439,12 +447,12 @@ TEST_F(VirtioRingTest, BlkReadRequestFillsBuffers) {
 
   InterruptController pic;
   virtio::VirtioBlk blk(memory_.get(), IrqLine(&pic, 8), &disk, nullptr);
-  ASSERT_TRUE(blk.Write(0x04, 4, 0).ok());
-  ASSERT_TRUE(blk.Write(0x08, 4, 4).ok());
-  ASSERT_TRUE(blk.Write(0x0C, 4, 0x10000).ok());
-  ASSERT_TRUE(blk.Write(0x10, 4, 0x10100).ok());
-  ASSERT_TRUE(blk.Write(0x14, 4, 0x10200).ok());
-  ASSERT_TRUE(blk.Write(0x18, 4, 1).ok());
+  ASSERT_TRUE(blk.Write(TestPhase(), 0x04, 4, 0).ok());
+  ASSERT_TRUE(blk.Write(TestPhase(), 0x08, 4, 4).ok());
+  ASSERT_TRUE(blk.Write(TestPhase(), 0x0C, 4, 0x10000).ok());
+  ASSERT_TRUE(blk.Write(TestPhase(), 0x10, 4, 0x10100).ok());
+  ASSERT_TRUE(blk.Write(TestPhase(), 0x14, 4, 0x10200).ok());
+  ASSERT_TRUE(blk.Write(TestPhase(), 0x18, 4, 1).ok());
 
   ASSERT_TRUE(memory_->WriteU32(0x30000, 0).ok());  // type read
   ASSERT_TRUE(memory_->WriteU32(0x30008, 9).ok());
@@ -452,7 +460,7 @@ TEST_F(VirtioRingTest, BlkReadRequestFillsBuffers) {
   WriteDesc(1, 0x31000, 512, virtio::kDescNext | virtio::kDescWrite, 2);
   WriteDesc(2, 0x32000, 1, virtio::kDescWrite, 0);
   PostAvail({0});
-  ASSERT_TRUE(blk.Write(0x1C, 4, 0).ok());
+  ASSERT_TRUE(blk.Write(TestPhase(), 0x1C, 4, 0).ok());
 
   EXPECT_EQ(*memory_->ReadU8(0x32000), virtio::kBlkStatusOk);
   std::vector<uint8_t> got(512);
@@ -464,18 +472,18 @@ TEST_F(VirtioRingTest, BlkMalformedRequestGetsErrorStatus) {
   storage::MemBlockStore disk(64);
   InterruptController pic;
   virtio::VirtioBlk blk(memory_.get(), IrqLine(&pic, 8), &disk, nullptr);
-  ASSERT_TRUE(blk.Write(0x04, 4, 0).ok());
-  ASSERT_TRUE(blk.Write(0x08, 4, 4).ok());
-  ASSERT_TRUE(blk.Write(0x0C, 4, 0x10000).ok());
-  ASSERT_TRUE(blk.Write(0x10, 4, 0x10100).ok());
-  ASSERT_TRUE(blk.Write(0x14, 4, 0x10200).ok());
-  ASSERT_TRUE(blk.Write(0x18, 4, 1).ok());
+  ASSERT_TRUE(blk.Write(TestPhase(), 0x04, 4, 0).ok());
+  ASSERT_TRUE(blk.Write(TestPhase(), 0x08, 4, 4).ok());
+  ASSERT_TRUE(blk.Write(TestPhase(), 0x0C, 4, 0x10000).ok());
+  ASSERT_TRUE(blk.Write(TestPhase(), 0x10, 4, 0x10100).ok());
+  ASSERT_TRUE(blk.Write(TestPhase(), 0x14, 4, 0x10200).ok());
+  ASSERT_TRUE(blk.Write(TestPhase(), 0x18, 4, 1).ok());
 
   ASSERT_TRUE(memory_->WriteU32(0x30000, 9999).ok());  // bogus request type
   WriteDesc(0, 0x30000, 16, virtio::kDescNext, 1);
   WriteDesc(1, 0x32000, 1, virtio::kDescWrite, 0);
   PostAvail({0});
-  ASSERT_TRUE(blk.Write(0x1C, 4, 0).ok());
+  ASSERT_TRUE(blk.Write(TestPhase(), 0x1C, 4, 0).ok());
   EXPECT_EQ(blk.blk_stats().errors, 1u);
   EXPECT_EQ(*memory_->ReadU8(0x32000), virtio::kBlkStatusUnsupported);
 }
@@ -484,18 +492,18 @@ TEST_F(VirtioRingTest, ConsoleTxCollects) {
   InterruptController pic;
   virtio::VirtioConsole con(memory_.get(), IrqLine(&pic, 10));
   // Configure TX queue (1).
-  ASSERT_TRUE(con.Write(0x04, 4, 1).ok());
-  ASSERT_TRUE(con.Write(0x08, 4, 4).ok());
-  ASSERT_TRUE(con.Write(0x0C, 4, 0x10000).ok());
-  ASSERT_TRUE(con.Write(0x10, 4, 0x10100).ok());
-  ASSERT_TRUE(con.Write(0x14, 4, 0x10200).ok());
-  ASSERT_TRUE(con.Write(0x18, 4, 1).ok());
+  ASSERT_TRUE(con.Write(TestPhase(), 0x04, 4, 1).ok());
+  ASSERT_TRUE(con.Write(TestPhase(), 0x08, 4, 4).ok());
+  ASSERT_TRUE(con.Write(TestPhase(), 0x0C, 4, 0x10000).ok());
+  ASSERT_TRUE(con.Write(TestPhase(), 0x10, 4, 0x10100).ok());
+  ASSERT_TRUE(con.Write(TestPhase(), 0x14, 4, 0x10200).ok());
+  ASSERT_TRUE(con.Write(TestPhase(), 0x18, 4, 1).ok());
 
   const char msg[] = "virtio says hi";
   ASSERT_TRUE(memory_->Write(0x30000, msg, sizeof(msg) - 1).ok());
   WriteDesc(0, 0x30000, sizeof(msg) - 1, 0, 0);
   PostAvail({0});
-  ASSERT_TRUE(con.Write(0x1C, 4, 1).ok());
+  ASSERT_TRUE(con.Write(TestPhase(), 0x1C, 4, 1).ok());
   EXPECT_EQ(con.output(), "virtio says hi");
 }
 
@@ -503,16 +511,16 @@ TEST_F(VirtioRingTest, ConsoleRxDeliversIntoPostedBuffers) {
   InterruptController pic;
   virtio::VirtioConsole con(memory_.get(), IrqLine(&pic, 10));
   // Configure RX queue (0) and post one 16-byte buffer.
-  ASSERT_TRUE(con.Write(0x04, 4, 0).ok());
-  ASSERT_TRUE(con.Write(0x08, 4, 4).ok());
-  ASSERT_TRUE(con.Write(0x0C, 4, 0x10000).ok());
-  ASSERT_TRUE(con.Write(0x10, 4, 0x10100).ok());
-  ASSERT_TRUE(con.Write(0x14, 4, 0x10200).ok());
-  ASSERT_TRUE(con.Write(0x18, 4, 1).ok());
+  ASSERT_TRUE(con.Write(TestPhase(), 0x04, 4, 0).ok());
+  ASSERT_TRUE(con.Write(TestPhase(), 0x08, 4, 4).ok());
+  ASSERT_TRUE(con.Write(TestPhase(), 0x0C, 4, 0x10000).ok());
+  ASSERT_TRUE(con.Write(TestPhase(), 0x10, 4, 0x10100).ok());
+  ASSERT_TRUE(con.Write(TestPhase(), 0x14, 4, 0x10200).ok());
+  ASSERT_TRUE(con.Write(TestPhase(), 0x18, 4, 1).ok());
   WriteDesc(0, 0x30000, 16, virtio::kDescWrite, 0);
   PostAvail({0});
 
-  con.InjectInput("hello");
+  con.InjectInput(TestPhase(), "hello");
   std::vector<uint8_t> buf(5);
   ASSERT_TRUE(memory_->Read(0x30000, buf.data(), 5).ok());
   EXPECT_EQ(std::string(buf.begin(), buf.end()), "hello");
@@ -523,16 +531,16 @@ TEST_F(VirtioRingTest, DeviceStateSerializeRoundTrip) {
   storage::MemBlockStore disk(64);
   InterruptController pic;
   virtio::VirtioBlk blk(memory_.get(), IrqLine(&pic, 8), &disk, nullptr);
-  ASSERT_TRUE(blk.Write(0x04, 4, 0).ok());
-  ASSERT_TRUE(blk.Write(0x08, 4, 8).ok());
-  ASSERT_TRUE(blk.Write(0x0C, 4, 0x10000).ok());
-  ASSERT_TRUE(blk.Write(0x18, 4, 1).ok());
+  ASSERT_TRUE(blk.Write(TestPhase(), 0x04, 4, 0).ok());
+  ASSERT_TRUE(blk.Write(TestPhase(), 0x08, 4, 8).ok());
+  ASSERT_TRUE(blk.Write(TestPhase(), 0x0C, 4, 0x10000).ok());
+  ASSERT_TRUE(blk.Write(TestPhase(), 0x18, 4, 1).ok());
 
   ByteWriter w;
   blk.Serialize(w);
   virtio::VirtioBlk restored(memory_.get(), IrqLine(&pic, 8), &disk, nullptr);
   ByteReader r(w.buffer());
-  ASSERT_TRUE(restored.Deserialize(r).ok());
+  ASSERT_TRUE(restored.Deserialize(TestPhase(), r).ok());
   EXPECT_EQ(*restored.Read(0x08, 4), 8u);
   EXPECT_EQ(*restored.Read(0x0C, 4), 0x10000u);
   EXPECT_EQ(*restored.Read(0x18, 4), 1u);
@@ -543,10 +551,10 @@ TEST_F(VirtioRingTest, RegisterValidation) {
   InterruptController pic;
   virtio::VirtioBlk blk(memory_.get(), IrqLine(&pic, 8), &disk, nullptr);
   EXPECT_EQ(*blk.Read(0x00, 4), virtio::kVirtioIdBlk);
-  EXPECT_FALSE(blk.Write(0x04, 4, 5).ok());      // queue_sel out of range
-  EXPECT_FALSE(blk.Write(0x08, 4, 3).ok());      // not a power of two
-  EXPECT_FALSE(blk.Write(0x08, 4, 512).ok());    // too large
-  EXPECT_FALSE(blk.Write(0x1C, 4, 7).ok());      // notify unknown queue
+  EXPECT_FALSE(blk.Write(TestPhase(), 0x04, 4, 5).ok());      // queue_sel out of range
+  EXPECT_FALSE(blk.Write(TestPhase(), 0x08, 4, 3).ok());      // not a power of two
+  EXPECT_FALSE(blk.Write(TestPhase(), 0x08, 4, 512).ok());    // too large
+  EXPECT_FALSE(blk.Write(TestPhase(), 0x1C, 4, 7).ok());      // notify unknown queue
   EXPECT_FALSE(blk.Read(0x00, 2).ok());          // sub-word access
 }
 

@@ -10,6 +10,7 @@
 
 #include "src/core/host.h"
 #include "src/fault/fault.h"
+#include "tests/test_phase.h"
 #include "src/fault/faulty_store.h"
 #include "src/guest/programs.h"
 #include "src/net/network.h"
@@ -279,7 +280,10 @@ TEST(FaultyStoreTest, ByteStoreTornWriteKillsDevice) {
 
 class RecordingSink : public net::FrameSink {
  public:
-  void OnFrame(const net::Frame& frame) override { frames.push_back(frame); }
+  void OnFrame(const SerialPhase& ph, const net::Frame& frame) override {
+    (void)ph;
+    frames.push_back(frame);
+  }
   std::vector<net::Frame> frames;
 };
 
@@ -295,14 +299,14 @@ TEST(SwitchFaultTest, InjectedDropIsCounted) {
   SimClock clock;
   net::VirtualSwitch sw(&clock);
   RecordingSink a;
-  ASSERT_TRUE(sw.Attach(1, &a).ok());
+  ASSERT_TRUE(sw.Attach(TestPhase(), 1, &a).ok());
   FaultPlan plan;
   plan.AddTransferLoss("sw", 1.0);  // kFrameDrop fires for frames too
   FaultInjector inj(plan);
   sw.SetFault(&inj, "sw");
 
-  sw.Send(MakeFrame(2, 1));
-  clock.RunAll();
+  sw.Send(TestPhase(), MakeFrame(2, 1));
+  clock.RunAll(TestPhase());
   EXPECT_TRUE(a.frames.empty());
   EXPECT_EQ(sw.stats().frames_injected_dropped, 1u);
   EXPECT_EQ(sw.stats().frames_delivered, 0u);
@@ -312,7 +316,7 @@ TEST(SwitchFaultTest, InjectedDuplicateDeliversCopies) {
   SimClock clock;
   net::VirtualSwitch sw(&clock);
   RecordingSink a;
-  ASSERT_TRUE(sw.Attach(1, &a).ok());
+  ASSERT_TRUE(sw.Attach(TestPhase(), 1, &a).ok());
   FaultPlan plan;
   FaultEvent dup;
   dup.site = "sw";
@@ -323,9 +327,9 @@ TEST(SwitchFaultTest, InjectedDuplicateDeliversCopies) {
   FaultInjector inj(plan);
   sw.SetFault(&inj, "sw");
 
-  sw.Send(MakeFrame(2, 1));
-  sw.Send(MakeFrame(2, 1));
-  clock.RunAll();
+  sw.Send(TestPhase(), MakeFrame(2, 1));
+  sw.Send(TestPhase(), MakeFrame(2, 1));
+  clock.RunAll(TestPhase());
   EXPECT_EQ(a.frames.size(), 3u);  // 2 copies of the first + 1 of the second
   EXPECT_EQ(sw.stats().frames_injected_duplicated, 1u);
 }
@@ -334,11 +338,11 @@ TEST(SwitchFaultTest, LatencySpikeDelaysDelivery) {
   SimClock clock;
   net::VirtualSwitch sw(&clock);
   RecordingSink a;
-  ASSERT_TRUE(sw.Attach(1, &a).ok());
+  ASSERT_TRUE(sw.Attach(TestPhase(), 1, &a).ok());
 
   // Baseline delivery time without faults.
-  sw.Send(MakeFrame(2, 1));
-  clock.RunAll();
+  sw.Send(TestPhase(), MakeFrame(2, 1));
+  clock.RunAll(TestPhase());
   SimTime baseline = clock.now();
   ASSERT_EQ(a.frames.size(), 1u);
 
@@ -346,10 +350,10 @@ TEST(SwitchFaultTest, LatencySpikeDelaysDelivery) {
   plan.AddLatencySpike("sw", 5 * kSimTicksPerMs, 1.0);
   FaultInjector inj(plan);
   sw.SetFault(&inj, "sw");
-  sw.Send(MakeFrame(2, 1));
-  clock.RunUntil(baseline + baseline);  // twice the fault-free time: not there
+  sw.Send(TestPhase(), MakeFrame(2, 1));
+  clock.RunUntil(TestPhase(), baseline + baseline);  // twice the fault-free time: not there
   EXPECT_EQ(a.frames.size(), 1u);
-  clock.RunAll();
+  clock.RunAll(TestPhase());
   EXPECT_EQ(a.frames.size(), 2u);
   EXPECT_GE(clock.now(), 5 * kSimTicksPerMs);
   EXPECT_EQ(sw.stats().frames_injected_delayed, 1u);
@@ -359,27 +363,27 @@ TEST(SwitchFaultTest, PartitionBlocksBothDirectionsDuringWindow) {
   SimClock clock;
   net::VirtualSwitch sw(&clock);
   RecordingSink a, b, c;
-  ASSERT_TRUE(sw.Attach(1, &a).ok());
-  ASSERT_TRUE(sw.Attach(2, &b).ok());
-  ASSERT_TRUE(sw.Attach(3, &c).ok());
+  ASSERT_TRUE(sw.Attach(TestPhase(), 1, &a).ok());
+  ASSERT_TRUE(sw.Attach(TestPhase(), 2, &b).ok());
+  ASSERT_TRUE(sw.Attach(TestPhase(), 3, &c).ok());
   FaultPlan plan;
   plan.AddPartition("sw", {1}, {2}, 0, kSimTicksPerMs);
   FaultInjector inj(plan);
   sw.SetFault(&inj, "sw");
 
-  sw.Send(MakeFrame(1, 2));  // blocked
-  sw.Send(MakeFrame(2, 1));  // blocked
-  sw.Send(MakeFrame(1, 3));  // unaffected side
-  clock.RunAll();
+  sw.Send(TestPhase(), MakeFrame(1, 2));  // blocked
+  sw.Send(TestPhase(), MakeFrame(2, 1));  // blocked
+  sw.Send(TestPhase(), MakeFrame(1, 3));  // unaffected side
+  clock.RunAll(TestPhase());
   EXPECT_TRUE(a.frames.empty());
   EXPECT_TRUE(b.frames.empty());
   EXPECT_EQ(c.frames.size(), 1u);
   EXPECT_EQ(sw.stats().frames_injected_dropped, 2u);
 
   // After the window the pair talks again.
-  clock.RunUntil(2 * kSimTicksPerMs);
-  sw.Send(MakeFrame(1, 2));
-  clock.RunAll();
+  clock.RunUntil(TestPhase(), 2 * kSimTicksPerMs);
+  sw.Send(TestPhase(), MakeFrame(1, 2));
+  clock.RunAll(TestPhase());
   EXPECT_EQ(b.frames.size(), 1u);
 }
 

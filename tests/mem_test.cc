@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "src/mem/frame_pool.h"
+#include "tests/test_phase.h"
 #include "src/mem/guest_memory.h"
 #include "src/util/rng.h"
 
@@ -21,7 +22,7 @@ TEST(FramePoolTest, AllocateAndFree) {
   ASSERT_TRUE(b.ok());
   EXPECT_NE(*a, *b);
   EXPECT_EQ(pool.used_frames(), 2u);
-  pool.DecRef(*a);
+  pool.DecRef(TestPhase(), *a);
   EXPECT_EQ(pool.used_frames(), 1u);
 }
 
@@ -40,7 +41,7 @@ TEST(FramePoolTest, FramesAreZeroedOnAllocate) {
   ASSERT_TRUE(a.ok());
   pool.FrameData(*a)[0] = 0xFF;
   pool.FrameData(*a)[kPageSize - 1] = 0xFF;
-  pool.DecRef(*a);
+  pool.DecRef(TestPhase(), *a);
   // The same frame comes back (next-fit wraps) and must be clean.
   auto b = pool.Allocate();
   auto c = pool.Allocate();
@@ -54,11 +55,11 @@ TEST(FramePoolTest, RefCountingKeepsFrameAlive) {
   FramePool pool(2);
   auto f = pool.Allocate();
   ASSERT_TRUE(f.ok());
-  pool.AddRef(*f);
+  pool.AddRef(TestPhase(), *f);
   EXPECT_EQ(pool.RefCount(*f), 2u);
-  pool.DecRef(*f);
+  pool.DecRef(TestPhase(), *f);
   EXPECT_EQ(pool.used_frames(), 1u);  // still alive
-  pool.DecRef(*f);
+  pool.DecRef(TestPhase(), *f);
   EXPECT_EQ(pool.used_frames(), 0u);
 }
 
@@ -146,10 +147,10 @@ TEST(GuestMemoryTest, BalloonReleaseAndPopulate) {
   GuestMemory& m = **mm;
 
   size_t used_before = pool.used_frames();
-  ASSERT_TRUE(m.ReleasePage(2).ok());
+  ASSERT_TRUE(m.ReleasePage(TestPhase(), 2).ok());
   EXPECT_EQ(pool.used_frames(), used_before - 1);
   EXPECT_FALSE(m.IsPresent(2));
-  EXPECT_EQ(m.ReleasePage(2).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(m.ReleasePage(TestPhase(), 2).code(), StatusCode::kFailedPrecondition);
 
   uint8_t b;
   EXPECT_FALSE(m.Read(2 * kPageSize, &b, 1).ok());
@@ -171,21 +172,21 @@ TEST(GuestMemoryTest, SharingAndBreakSharing) {
   // Simulate a KSM merge: both map the same frame.
   ASSERT_TRUE(ma.WriteU32(0, 0x1111).ok());
   HostFrame shared = ma.FrameForPage(0);
-  ASSERT_TRUE(mb.RemapPage(0, shared).ok());
+  ASSERT_TRUE(mb.RemapPage(TestPhase(), 0, shared).ok());
   ma.SetShared(0, true);
   mb.SetShared(0, true);
   EXPECT_EQ(pool.RefCount(shared), 2u);
   EXPECT_EQ(*mb.ReadU32(0), 0x1111u);
 
   // Break sharing on b: content copies, frames diverge.
-  ASSERT_TRUE(mb.BreakSharing(0).ok());
+  ASSERT_TRUE(mb.BreakSharing(TestPhase(), 0).ok());
   EXPECT_NE(mb.FrameForPage(0), shared);
   EXPECT_EQ(pool.RefCount(shared), 1u);
   EXPECT_EQ(*mb.ReadU32(0), 0x1111u);
   ASSERT_TRUE(mb.WriteU32(0, 0x2222).ok());
   EXPECT_EQ(*ma.ReadU32(0), 0x1111u);  // a unaffected
 
-  EXPECT_EQ(mb.BreakSharing(0).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(mb.BreakSharing(TestPhase(), 0).code(), StatusCode::kFailedPrecondition);
 }
 
 TEST(GuestMemoryTest, WriteProtectFlags) {
@@ -214,7 +215,7 @@ TEST(GuestMemoryTest, PropertyBalloonAccountingConsistent) {
     uint32_t gpn = static_cast<uint32_t>(rng.NextBelow(32));
     if (m.IsPresent(gpn)) {
       if (rng.NextBool(0.5)) {
-        ASSERT_TRUE(m.ReleasePage(gpn).ok());
+        ASSERT_TRUE(m.ReleasePage(TestPhase(), gpn).ok());
       } else {
         ASSERT_TRUE(m.WriteU32(gpn * kPageSize, static_cast<uint32_t>(step)).ok());
       }

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/host.h"
+#include "tests/test_phase.h"
 #include "src/guest/programs.h"
 #include "src/migrate/migrate.h"
 #include "src/snapshot/snapshot.h"
@@ -161,7 +162,7 @@ TEST(SnapshotFuzzTest, RandomCorruptionIsAlwaysRejectedCleanly) {
   Host host;
   Vm* vm = Boot(host, VmConfig{.name = "fz"}, guest::ComputeProgram(500));
   host.RunFor(2 * kSimTicksPerMs);
-  vm->Pause();
+  vm->Pause(TestPhase());
   auto snap = snapshot::SaveVm(*vm);
   ASSERT_TRUE(snap.ok());
 
@@ -174,7 +175,7 @@ TEST(SnapshotFuzzTest, RandomCorruptionIsAlwaysRejectedCleanly) {
     }
     Vm* target = Boot(host, VmConfig{.name = "t" + std::to_string(trial)},
                       guest::ComputeProgram(1));
-    target->Pause();
+    target->Pause(TestPhase());
     Status st = snapshot::LoadVm(*target, corrupt);
     EXPECT_FALSE(st.ok()) << "corruption accepted at trial " << trial;
     ASSERT_TRUE(host.DestroyVm(target).ok());
@@ -185,7 +186,7 @@ TEST(SnapshotFuzzTest, RandomCorruptionIsAlwaysRejectedCleanly) {
 TEST(SnapshotFuzzTest, TruncationIsAlwaysRejected) {
   Host host;
   Vm* vm = Boot(host, VmConfig{.name = "tr"}, guest::ComputeProgram(100));
-  vm->Pause();
+  vm->Pause(TestPhase());
   auto snap = snapshot::SaveVm(*vm);
   ASSERT_TRUE(snap.ok());
 
@@ -195,7 +196,7 @@ TEST(SnapshotFuzzTest, TruncationIsAlwaysRejected) {
     std::vector<uint8_t> cut(snap->begin(), snap->begin() + static_cast<ptrdiff_t>(keep));
     Vm* target = Boot(host, VmConfig{.name = "u" + std::to_string(trial)},
                       guest::ComputeProgram(1));
-    target->Pause();
+    target->Pause(TestPhase());
     EXPECT_FALSE(snapshot::LoadVm(*target, cut).ok()) << "kept " << keep;
     ASSERT_TRUE(host.DestroyVm(target).ok());
   }

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "src/mem/frame_pool.h"
+#include "tests/test_phase.h"
 #include "src/mem/guest_memory.h"
 #include "src/mmu/tlb.h"
 #include "src/mmu/virtualizer.h"
@@ -283,7 +284,7 @@ TEST_P(VirtualizerTest, SharedPageStoreYieldsCowBreak) {
 TEST_P(VirtualizerTest, MissingPageSurfaces) {
   SetupL2();
   WritePte(kL2, 5, Pte::Make(0x42, Pte::kValid | Pte::kRead | Pte::kWrite));
-  ASSERT_TRUE(memory_->ReleasePage(0x42).ok());
+  ASSERT_TRUE(memory_->ReleasePage(TestPhase(), 0x42).ok());
   auto v = Make();
   v->OnPtbrWrite(kRoot);
   auto out = v->Translate(0x5000, Access::kLoad, isa::PrivMode::kSupervisor, true, kRoot);

@@ -1,0 +1,18 @@
+// MUST NOT COMPILE: minting an ExecutePhase outside the host run loop.
+//
+// ExecutePhase's constructor is private (friend: core::Host). If arbitrary
+// code could fabricate the token, every staging-only signature in the tree
+// would be decorative. The only sources of phase evidence are Host's run
+// loop (ExecutePhase/CommitPhase/SerialPhase) and ScopedSerialPhase, whose
+// constructor runtime-asserts the thread is not inside a slice.
+
+#include "src/util/phase.h"
+
+namespace hyperion {
+
+void Violation() {
+  ExecutePhase forged;
+  (void)forged;
+}
+
+}  // namespace hyperion

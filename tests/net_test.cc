@@ -4,13 +4,14 @@
 #include <gtest/gtest.h>
 
 #include "src/net/network.h"
+#include "tests/test_phase.h"
 
 namespace hyperion::net {
 namespace {
 
 class RecordingSink : public FrameSink {
  public:
-  void OnFrame(const Frame& frame) override { frames.push_back(frame); }
+  void OnFrame(const SerialPhase& ph, const Frame& frame) override { (void)ph; frames.push_back(frame); }
   std::vector<Frame> frames;
 };
 
@@ -52,11 +53,11 @@ TEST(LinkTest, TransferCompletesAfterLatencyPlusTransmit) {
   Link link(&clock, p);
 
   bool done = false;
-  SimTime at = link.Transfer(1250, [&] { done = true; });
+  SimTime at = link.Transfer(TestPhase(), 1250, [&] { done = true; });
   EXPECT_EQ(at, 10000u + 500u);
-  clock.RunUntil(at - 1);
+  clock.RunUntil(TestPhase(), at - 1);
   EXPECT_FALSE(done);
-  clock.RunUntil(at);
+  clock.RunUntil(TestPhase(), at);
   EXPECT_TRUE(done);
   EXPECT_EQ(link.bytes_carried(), 1250u);
 }
@@ -77,11 +78,11 @@ TEST(SwitchTest, UnicastDelivery) {
   SimClock clock;
   VirtualSwitch sw(&clock);
   RecordingSink a, b;
-  ASSERT_TRUE(sw.Attach(1, &a).ok());
-  ASSERT_TRUE(sw.Attach(2, &b).ok());
+  ASSERT_TRUE(sw.Attach(TestPhase(), 1, &a).ok());
+  ASSERT_TRUE(sw.Attach(TestPhase(), 2, &b).ok());
 
-  sw.Send(MakeFrame(1, 2));
-  clock.RunAll();
+  sw.Send(TestPhase(), MakeFrame(1, 2));
+  clock.RunAll(TestPhase());
   EXPECT_EQ(b.frames.size(), 1u);
   EXPECT_TRUE(a.frames.empty());
   EXPECT_EQ(b.frames[0].src, 1u);
@@ -92,12 +93,12 @@ TEST(SwitchTest, BroadcastSkipsSender) {
   SimClock clock;
   VirtualSwitch sw(&clock);
   RecordingSink a, b, c;
-  ASSERT_TRUE(sw.Attach(1, &a).ok());
-  ASSERT_TRUE(sw.Attach(2, &b).ok());
-  ASSERT_TRUE(sw.Attach(3, &c).ok());
+  ASSERT_TRUE(sw.Attach(TestPhase(), 1, &a).ok());
+  ASSERT_TRUE(sw.Attach(TestPhase(), 2, &b).ok());
+  ASSERT_TRUE(sw.Attach(TestPhase(), 3, &c).ok());
 
-  sw.Send(MakeFrame(1, kBroadcast));
-  clock.RunAll();
+  sw.Send(TestPhase(), MakeFrame(1, kBroadcast));
+  clock.RunAll(TestPhase());
   EXPECT_TRUE(a.frames.empty());
   EXPECT_EQ(b.frames.size(), 1u);
   EXPECT_EQ(c.frames.size(), 1u);
@@ -107,9 +108,9 @@ TEST(SwitchTest, UnknownDestinationDropped) {
   SimClock clock;
   VirtualSwitch sw(&clock);
   RecordingSink a;
-  ASSERT_TRUE(sw.Attach(1, &a).ok());
-  sw.Send(MakeFrame(1, 99));
-  clock.RunAll();
+  ASSERT_TRUE(sw.Attach(TestPhase(), 1, &a).ok());
+  sw.Send(TestPhase(), MakeFrame(1, 99));
+  clock.RunAll(TestPhase());
   EXPECT_EQ(sw.stats().frames_dropped, 1u);
 }
 
@@ -117,9 +118,9 @@ TEST(SwitchTest, OversizedFrameDropped) {
   SimClock clock;
   VirtualSwitch sw(&clock);
   RecordingSink a;
-  ASSERT_TRUE(sw.Attach(1, &a).ok());
-  sw.Send(MakeFrame(2, 1, kMaxFrameBytes + 1));
-  clock.RunAll();
+  ASSERT_TRUE(sw.Attach(TestPhase(), 1, &a).ok());
+  sw.Send(TestPhase(), MakeFrame(2, 1, kMaxFrameBytes + 1));
+  clock.RunAll(TestPhase());
   EXPECT_EQ(sw.stats().frames_dropped, 1u);
   EXPECT_TRUE(a.frames.empty());
 }
@@ -128,20 +129,20 @@ TEST(SwitchTest, DuplicateAttachRejected) {
   SimClock clock;
   VirtualSwitch sw(&clock);
   RecordingSink a, b;
-  ASSERT_TRUE(sw.Attach(1, &a).ok());
-  EXPECT_EQ(sw.Attach(1, &b).code(), StatusCode::kAlreadyExists);
-  EXPECT_FALSE(sw.Attach(kBroadcast, &b).ok());
+  ASSERT_TRUE(sw.Attach(TestPhase(), 1, &a).ok());
+  EXPECT_EQ(sw.Attach(TestPhase(), 1, &b).code(), StatusCode::kAlreadyExists);
+  EXPECT_FALSE(sw.Attach(TestPhase(), kBroadcast, &b).ok());
 }
 
 TEST(SwitchTest, DetachInFlightDropsSafely) {
   SimClock clock;
   VirtualSwitch sw(&clock);
   RecordingSink a, b;
-  ASSERT_TRUE(sw.Attach(1, &a).ok());
-  ASSERT_TRUE(sw.Attach(2, &b).ok());
-  sw.Send(MakeFrame(1, 2));
-  ASSERT_TRUE(sw.Detach(2).ok());  // before delivery fires
-  clock.RunAll();                  // must not crash
+  ASSERT_TRUE(sw.Attach(TestPhase(), 1, &a).ok());
+  ASSERT_TRUE(sw.Attach(TestPhase(), 2, &b).ok());
+  sw.Send(TestPhase(), MakeFrame(1, 2));
+  ASSERT_TRUE(sw.Detach(TestPhase(), 2).ok());  // before delivery fires
+  clock.RunAll(TestPhase());                  // must not crash
   EXPECT_TRUE(b.frames.empty());
   EXPECT_EQ(sw.stats().frames_dropped, 1u);
 }
@@ -153,12 +154,12 @@ TEST(SwitchTest, DeliveryRespectsLinkTiming) {
   LinkParams slow;
   slow.bandwidth_bps = 1'000'000;  // 1 Mb/s
   slow.latency = 1000;
-  ASSERT_TRUE(sw.Attach(1, &slow_sink, slow).ok());
+  ASSERT_TRUE(sw.Attach(TestPhase(), 1, &slow_sink, slow).ok());
 
-  sw.Send(MakeFrame(2, 1, 1000));
-  clock.RunUntil(1000);
+  sw.Send(TestPhase(), MakeFrame(2, 1, 1000));
+  clock.RunUntil(TestPhase(), 1000);
   EXPECT_TRUE(slow_sink.frames.empty());  // still in flight
-  clock.RunAll();
+  clock.RunAll(TestPhase());
   EXPECT_EQ(slow_sink.frames.size(), 1u);
   // ~(1018 bytes * 8) / 1e6 bps ~= 8.1 ms.
   EXPECT_GT(clock.now(), 8 * kSimTicksPerMs);
@@ -168,13 +169,13 @@ TEST(SwitchTest, ManyFramesKeepOrderPerPort) {
   SimClock clock;
   VirtualSwitch sw(&clock);
   RecordingSink a;
-  ASSERT_TRUE(sw.Attach(1, &a).ok());
+  ASSERT_TRUE(sw.Attach(TestPhase(), 1, &a).ok());
   for (uint32_t i = 0; i < 10; ++i) {
     Frame f = MakeFrame(2, 1, 64);
     f.payload[0] = static_cast<uint8_t>(i);
-    sw.Send(std::move(f));
+    sw.Send(TestPhase(), std::move(f));
   }
-  clock.RunAll();
+  clock.RunAll(TestPhase());
   ASSERT_EQ(a.frames.size(), 10u);
   for (uint32_t i = 0; i < 10; ++i) {
     EXPECT_EQ(a.frames[i].payload[0], i);  // FIFO per link

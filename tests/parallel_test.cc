@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/core/host.h"
+#include "tests/test_phase.h"
 #include "src/core/worker_pool.h"
 #include "src/fault/fault.h"
 #include "src/guest/programs.h"
@@ -232,9 +233,9 @@ TEST(DestroyVmTest, CancelsArmedTimerAndInflightBlockIo) {
   cfg.disk_model = IoModel::kEmulated;
   cfg.disk = disk;
   Vm* io = Boot(host, cfg, guest::ComputeProgram(0));
-  ASSERT_TRUE(io->emulated_blk()->Write(0x00, 4, 0).ok());  // LBA
-  ASSERT_TRUE(io->emulated_blk()->Write(0x04, 4, 8).ok());  // COUNT
-  ASSERT_TRUE(io->emulated_blk()->Write(0x08, 4, 2).ok());  // CMD: write
+  ASSERT_TRUE(io->emulated_blk()->Write(TestPhase(), 0x00, 4, 0).ok());  // LBA
+  ASSERT_TRUE(io->emulated_blk()->Write(TestPhase(), 0x04, 4, 8).ok());  // COUNT
+  ASSERT_TRUE(io->emulated_blk()->Write(TestPhase(), 0x08, 4, 2).ok());  // CMD: write
   ASSERT_TRUE(host.clock().HasPending());
 
   ASSERT_TRUE(host.DestroyVm(sleeper).ok());
@@ -242,7 +243,7 @@ TEST(DestroyVmTest, CancelsArmedTimerAndInflightBlockIo) {
 
   // Drain every remaining event, then keep simulating. Without CancelOwner
   // these dereference the destroyed VMs.
-  host.clock().RunAll();
+  host.clock().RunAll(TestPhase());
   host.RunFor(20 * kSimTicksPerMs);
   EXPECT_TRUE(host.vms().empty());
 }
@@ -263,7 +264,7 @@ TEST(DestroyVmTest, CancelsInflightVirtioBlkCompletion) {
   host.RunFor(2 * kSimTicksPerMs);
   ASSERT_EQ(vm->state(), VmState::kRunning) << vm->crash_reason().ToString();
   ASSERT_TRUE(host.DestroyVm(vm).ok());
-  host.clock().RunAll();
+  host.clock().RunAll(TestPhase());
   host.RunFor(10 * kSimTicksPerMs);
   EXPECT_TRUE(host.vms().empty());
 }

@@ -1,0 +1,23 @@
+// Serial-context phase token for tests.
+//
+// Every gtest body runs on the main test thread, outside any execute slice,
+// so one process-wide ScopedSerialPhase is sound evidence for all direct
+// effects a test performs (scheduling, switch sends, refcount edits, ...).
+// Tests that specifically exercise the staged/execute regime go through
+// Host::RunRound like production code and never touch this token.
+
+#ifndef TESTS_TEST_PHASE_H_
+#define TESTS_TEST_PHASE_H_
+
+#include "src/util/phase.h"
+
+namespace hyperion {
+
+inline const SerialPhase& TestPhase() {
+  static ScopedSerialPhase scope;
+  return scope.get();
+}
+
+}  // namespace hyperion
+
+#endif  // TESTS_TEST_PHASE_H_

@@ -16,6 +16,7 @@
 #include "src/util/rng.h"
 #include "src/util/sim_clock.h"
 #include "src/util/status.h"
+#include "tests/test_phase.h"
 
 namespace hyperion {
 namespace {
@@ -348,17 +349,17 @@ TEST(RngTest, RoughUniformity) {
 TEST(SimClockTest, StartsAtZeroAndAdvances) {
   SimClock clock;
   EXPECT_EQ(clock.now(), 0u);
-  clock.Advance(100);
+  clock.Advance(TestPhase(), 100);
   EXPECT_EQ(clock.now(), 100u);
 }
 
 TEST(SimClockTest, EventsFireInTimeOrder) {
   SimClock clock;
   std::vector<int> order;
-  clock.ScheduleAt(30, [&] { order.push_back(3); });
-  clock.ScheduleAt(10, [&] { order.push_back(1); });
-  clock.ScheduleAt(20, [&] { order.push_back(2); });
-  clock.RunAll();
+  clock.ScheduleAt(TestPhase(), 30, [&] { order.push_back(3); });
+  clock.ScheduleAt(TestPhase(), 10, [&] { order.push_back(1); });
+  clock.ScheduleAt(TestPhase(), 20, [&] { order.push_back(2); });
+  clock.RunAll(TestPhase());
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
   EXPECT_EQ(clock.now(), 30u);
 }
@@ -367,21 +368,21 @@ TEST(SimClockTest, SameTimeEventsFifo) {
   SimClock clock;
   std::vector<int> order;
   for (int i = 0; i < 5; ++i) {
-    clock.ScheduleAt(50, [&order, i] { order.push_back(i); });
+    clock.ScheduleAt(TestPhase(), 50, [&order, i] { order.push_back(i); });
   }
-  clock.RunAll();
+  clock.RunAll(TestPhase());
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
 TEST(SimClockTest, RunUntilStopsAtBoundary) {
   SimClock clock;
   int fired = 0;
-  clock.ScheduleAt(10, [&] { ++fired; });
-  clock.ScheduleAt(20, [&] { ++fired; });
-  clock.RunUntil(15);
+  clock.ScheduleAt(TestPhase(), 10, [&] { ++fired; });
+  clock.ScheduleAt(TestPhase(), 20, [&] { ++fired; });
+  clock.RunUntil(TestPhase(), 15);
   EXPECT_EQ(fired, 1);
   EXPECT_EQ(clock.now(), 15u);
-  clock.RunUntil(25);
+  clock.RunUntil(TestPhase(), 25);
   EXPECT_EQ(fired, 2);
 }
 
@@ -390,11 +391,11 @@ TEST(SimClockTest, EventsCanScheduleEvents) {
   int chain = 0;
   std::function<void()> step = [&] {
     if (++chain < 5) {
-      clock.ScheduleAfter(10, step);
+      clock.ScheduleAfter(TestPhase(), 10, step);
     }
   };
-  clock.ScheduleAfter(10, step);
-  clock.RunAll();
+  clock.ScheduleAfter(TestPhase(), 10, step);
+  clock.RunAll(TestPhase());
   EXPECT_EQ(chain, 5);
   EXPECT_EQ(clock.now(), 50u);
 }

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "src/asm/assembler.h"
+#include "tests/test_phase.h"
 #include "src/core/host.h"
 #include "src/guest/programs.h"
 #include "src/isa/hv32.h"
@@ -247,6 +248,50 @@ TEST(HvlintTest, RejectsStackImbalance) {
   EXPECT_TRUE(HasRule(r, "sp-imbalance")) << r.ToString();
 }
 
+TEST(HvlintTest, RejectsWriteToReadOnlyCsr) {
+  // The canonical read idiom (csrr = csrrs rd, csr, zero) is fine.
+  EXPECT_TRUE(Lint("_start:\n  csrr a0, cycle\n  halt\n").ok());
+  // A csrrs whose mask may be zero is admitted (conservative direction).
+  EXPECT_TRUE(Lint("_start:\n  csrrs a0, hartid, a1\n  halt\n").ok());
+
+  // A full write to a read-only CSR is always lost.
+  verify::LintReport w = Lint("_start:\n  csrw cycle, a0\n  halt\n");
+  EXPECT_FALSE(w.ok());
+  EXPECT_TRUE(HasRule(w, "write-to-readonly-csr")) << w.ToString();
+
+  // So is a csrrs with a provably nonzero mask.
+  verify::LintReport s =
+      Lint("_start:\n  li t0, 4\n  csrrs a0, hartid, t0\n  halt\n");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(HasRule(s, "write-to-readonly-csr")) << s.ToString();
+}
+
+TEST(HvlintTest, WarnsOnWfiWithoutEnabledInterrupts) {
+  // Timer armed before parking: the wfi has a self-wake source.
+  verify::LintReport timer =
+      Lint("_start:\n  li t0, 1000\n  csrw timecmp, t0\n  wfi\n  halt\n");
+  EXPECT_FALSE(HasRule(timer, "wfi-without-enabled-interrupts"))
+      << timer.ToString();
+
+  // Interrupts enabled with a known constant: accepted.
+  verify::LintReport ie =
+      Lint("_start:\n  li t0, 1\n  csrw status, t0\n  wfi\n  halt\n");
+  EXPECT_FALSE(HasRule(ie, "wfi-without-enabled-interrupts")) << ie.ToString();
+
+  // An unknown STATUS value (read-modify-write) may have enabled IE; the
+  // rule only fires on proven facts.
+  verify::LintReport rmw = Lint(
+      "_start:\n  csrr t0, status\n  ori t0, t0, 1\n  csrw status, t0\n"
+      "  wfi\n  halt\n");
+  EXPECT_FALSE(HasRule(rmw, "wfi-without-enabled-interrupts")) << rmw.ToString();
+
+  // Cold entry, IE never set, timer never armed: flagged, but as a warning —
+  // parking a finished worker forever is a legitimate idiom.
+  verify::LintReport r = Lint("_start:\n  wfi\n  halt\n");
+  EXPECT_TRUE(HasRule(r, "wfi-without-enabled-interrupts")) << r.ToString();
+  EXPECT_TRUE(r.ok()) << "advisory rule must not reject the image";
+}
+
 TEST(HvlintTest, DiscoversTrapHandlerBehindTvecWrite) {
   // The handler is never branched to directly; it is only reachable through
   // the trap vector. A bad instruction inside it must still be found.
@@ -428,12 +473,12 @@ TEST(FrameAuditTest, DetectsRefcountLeak) {
   ASSERT_TRUE(m.ok());
 
   mem::HostFrame f = (*m)->FrameForPage(0);
-  pool.AddRef(f);  // a reference no mapping accounts for
+  pool.AddRef(TestPhase(), f);  // a reference no mapping accounts for
 
   verify::AuditReport report;
   verify::AuditFrameAccounting(pool, {m->get()}, &report);
   EXPECT_FALSE(report.ok());
-  pool.DecRef(f);
+  pool.DecRef(TestPhase(), f);
 }
 
 TEST(FrameAuditTest, DetectsSharedFrameWithoutCowBit) {
@@ -444,7 +489,7 @@ TEST(FrameAuditTest, DetectsSharedFrameWithoutCowBit) {
   // Map page 1 onto page 0's frame the way KSM does, but "forget" the COW
   // shared bits.
   mem::HostFrame f = (*m)->FrameForPage(0);
-  ASSERT_TRUE((*m)->RemapPage(1, f).ok());
+  ASSERT_TRUE((*m)->RemapPage(TestPhase(), 1, f).ok());
 
   verify::AuditReport missing;
   verify::AuditFrameAccounting(pool, {m->get()}, &missing);
@@ -592,9 +637,9 @@ TEST_F(RuntimeAuditTest, HostAuditCatchesInjectedLeak) {
 
   mem::GuestMemory& memory = (*vm)->memory();
   mem::HostFrame f = memory.FrameForPage(0);
-  memory.pool().AddRef(f);
+  memory.pool().AddRef(TestPhase(), f);
   EXPECT_FALSE(host.AuditFrameAccounting().ok());
-  memory.pool().DecRef(f);
+  memory.pool().DecRef(TestPhase(), f);
   EXPECT_TRUE(host.AuditFrameAccounting().ok());
 }
 

@@ -12,8 +12,12 @@
 #   6. ThreadSanitizer build + the concurrency-relevant suites with
 #      HYPERION_WORKERS=4, so the staged execution core's worker pool and
 #      every per-slice staging buffer actually run multi-threaded under TSan
-#   7. clang-tidy lint (skipped gracefully where clang-tidy is absent)
-#   8. perf smoke: Release bench_exec; the DBT engine must clear 2x the
+#   7. static staging discipline: the negative-compile suite (phase-token
+#      violations must fail to build; see tests/negcompile/) plus, where
+#      clang is available, a -DHYPERION_THREAD_SAFETY=ON build that enforces
+#      clang -Wthread-safety over the annotated core
+#   8. clang-tidy lint (skipped gracefully where clang-tidy is absent)
+#   9. perf smoke: Release bench_exec; the DBT engine must clear 2x the
 #      interpreter's guest-MIPS on the hot compute kernel — a coarse
 #      anti-regression tripwire, not a microbench gate (steady-state margin
 #      is ~3x; 2x absorbs shared-runner noise)
@@ -36,23 +40,23 @@ run_suite() {  # run_suite <build-dir> [extra cmake flags...]
 
 CHAOS_FILTER='ChaosTest|FaultPlanTest|InjectorTest|FaultyStoreTest|SwitchFaultTest|DeviceFaultTest|HvdCrashTest'
 
-echo "=== [1/8] plain build + tests ==="
+echo "=== [1/9] plain build + tests ==="
 run_suite build
 
-echo "=== [2/8] tests under HYPERION_AUDIT=1 ==="
+echo "=== [2/9] tests under HYPERION_AUDIT=1 ==="
 (cd build && HYPERION_AUDIT=1 ctest --output-on-failure -j "$JOBS")
 
-echo "=== [3/8] chaos: seeded fault-injection sweeps under audit ==="
+echo "=== [3/9] chaos: seeded fault-injection sweeps under audit ==="
 (cd build && HYPERION_AUDIT=1 ctest -R "$CHAOS_FILTER" --output-on-failure -j "$JOBS")
 
 if [ "$FAST" = "0" ]; then
-  echo "=== [4/8] AddressSanitizer (suite + chaos sweeps) ==="
+  echo "=== [4/9] AddressSanitizer (suite + chaos sweeps) ==="
   run_suite build-asan -DHYPERION_SANITIZE=address
 
-  echo "=== [5/8] UndefinedBehaviorSanitizer (suite + chaos sweeps) ==="
+  echo "=== [5/9] UndefinedBehaviorSanitizer (suite + chaos sweeps) ==="
   run_suite build-ubsan -DHYPERION_SANITIZE=undefined
 
-  echo "=== [6/8] ThreadSanitizer (HYPERION_WORKERS=4, staged-core suites) ==="
+  echo "=== [6/9] ThreadSanitizer (HYPERION_WORKERS=4, staged-core suites) ==="
   # The filter covers everything that exercises the worker pool end to end:
   # the host run loop and its staging buffers (Host/Smp/Staged/WorkerPool),
   # VM teardown concurrent with in-flight events (DestroyVm), and the
@@ -65,13 +69,26 @@ if [ "$FAST" = "0" ]; then
   cmake --build build-tsan -j "$JOBS"
   (cd build-tsan && HYPERION_WORKERS=4 ctest -R "$TSAN_FILTER" --output-on-failure -j "$JOBS")
 else
-  echo "=== [4/8][5/8][6/8] sanitizers skipped (--fast) ==="
+  echo "=== [4/9][5/9][6/9] sanitizers skipped (--fast) ==="
 fi
 
-echo "=== [7/8] lint ==="
+echo "=== [7/9] static staging discipline: negative-compile + thread-safety ==="
+# The negative-compile tests already ran inside stage 1's ctest; rerunning
+# them by name here keeps the discipline visible as its own gate and fails
+# fast when someone weakens a token signature.
+(cd build && ctest -R '^negcompile\.' --output-on-failure)
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
+    -DHYPERION_THREAD_SAFETY=ON >/dev/null
+  cmake --build build-tsa -j "$JOBS"
+else
+  echo "thread-safety: clang++ not found; -Wthread-safety analysis skipped"
+fi
+
+echo "=== [8/9] lint ==="
 tools/run_lint.sh build
 
-echo "=== [8/8] perf smoke: hot DBT vs interpreter ==="
+echo "=== [9/9] perf smoke: hot DBT vs interpreter ==="
 cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-perf -j "$JOBS" --target bench_exec
 # --benchmark_min_time takes a bare seconds value (no "s" suffix). The ratio

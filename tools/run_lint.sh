@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Runs clang-tidy (config: .clang-tidy) over the first-party sources.
+# Runs clang-tidy (config: .clang-tidy) over the first-party sources:
+# src/, bench/, and tests/ (negative-compile sources are excluded — they are
+# designed not to compile).
 #
 # The check set includes concurrency-* (see .clang-tidy): since the staged
 # execution core runs guest slices on worker threads, mt-unsafe libc calls
-# anywhere under src/ are lint findings, not style nits.
+# anywhere under src/ are lint findings, not style nits. bugprone-* and
+# concurrency-* findings are errors (WarningsAsErrors), so a finding in
+# either group fails this script and tools/ci.sh with it.
 #
 # Degrades gracefully: containers that ship only gcc have no clang-tidy, and
 # the lint pass is advisory there — we print a notice and exit 0 so that
@@ -28,7 +32,8 @@ if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || exit 1
 fi
 
-FILES=$(find src -name '*.cc' | sort)
+FILES=$(find src bench tests \( -name '*.cc' -o -name '*.cpp' \) \
+          -not -path 'tests/negcompile/*' | sort)
 echo "run_lint: clang-tidy over $(echo "$FILES" | wc -l) files"
 # shellcheck disable=SC2086
 clang-tidy -p "$BUILD_DIR" --quiet $FILES

@@ -1,0 +1,179 @@
+// Experiment F8 — virtio-net data plane: interrupt coalescing, kick
+// suppression, and zero-copy frame handoff.
+//
+// A stream VM pushes frames at a sink VM for a fixed simulated duration.
+// Three data planes:
+//   emulated    PIO NIC: one exit per payload word, one interrupt per frame
+//   vnet-frame  virtio, seed path: one doorbell + one interrupt per frame
+//   vnet-batch  virtio with EVENT_IDX coalescing, NAPI polling, and batched
+//               switch delivery (batch=32 frames per doorbell)
+//
+// Metrics per config: delivered frames/sec of simulated time, guest
+// instructions per frame (the MIPS cost of moving one frame), and device
+// interrupts per 1000 frames. Expected shape: batching buys >=3x the
+// per-frame virtio throughput and drops interrupts/1k from ~2000 (one TX
+// completion + one RX delivery per frame) to under 50.
+//
+// `--gate` prints only the payload-256 virtio rows plus a machine-parseable
+// summary line for the CI perf-smoke gate (tools/ci.sh stage 9). The
+// simulation is deterministic, so the gate measures the data plane, not the
+// host machine.
+
+#include <cstdlib>
+#include <cstring>
+
+#include "bench/bench_util.h"
+
+using namespace hyperion;
+using namespace hyperion::bench;
+
+namespace {
+
+enum class Plane { kEmulated, kVirtioPerFrame, kVirtioBatched };
+
+const char* PlaneName(Plane p) {
+  switch (p) {
+    case Plane::kEmulated:
+      return "emulated";
+    case Plane::kVirtioPerFrame:
+      return "vnet-frame";
+    case Plane::kVirtioBatched:
+      return "vnet-batch";
+  }
+  return "?";
+}
+
+struct NetOutcome {
+  uint64_t frames = 0;      // frames accepted by the sink device
+  uint64_t instructions = 0;  // stream + sink guest instructions
+  uint64_t interrupts = 0;  // device interrupts on both ends
+  uint64_t kicks_suppressed = 0;
+  uint64_t interrupts_suppressed = 0;
+  double seconds = 0;
+
+  double fps() const { return frames ? static_cast<double>(frames) / seconds : 0; }
+  double instr_per_frame() const {
+    return frames ? static_cast<double>(instructions) / static_cast<double>(frames) : 0;
+  }
+  double intr_per_1k() const {
+    return frames ? 1000.0 * static_cast<double>(interrupts) / static_cast<double>(frames)
+                  : 0;
+  }
+};
+
+NetOutcome RunStream(Plane plane, uint32_t payload, SimTime duration) {
+  core::Host host;
+
+  guest::NetStreamParams p;
+  p.peer_mac = 2;
+  p.payload_bytes = payload;
+  if (plane == Plane::kVirtioPerFrame) {
+    p.batch = 1;
+    p.event_idx = false;
+    p.honor_no_notify = false;
+  }
+
+  core::VmConfig stream_cfg;
+  stream_cfg.name = "stream";
+  stream_cfg.mac = 1;
+  stream_cfg.net_model =
+      plane == Plane::kEmulated ? core::IoModel::kEmulated : core::IoModel::kParavirt;
+  core::VmConfig sink_cfg = stream_cfg;
+  sink_cfg.name = "sink";
+  sink_cfg.mac = 2;
+
+  std::string stream_prog;
+  std::string sink_prog;
+  if (plane == Plane::kEmulated) {
+    stream_prog = guest::EmulatedNetStreamProgram(p);
+    sink_prog = guest::EmulatedNetSinkProgram();
+  } else {
+    stream_prog = guest::VirtioNetStreamProgram(p);
+    sink_prog = guest::VirtioNetSinkProgram(p);
+  }
+  core::Vm* stream = MustBoot(host, stream_cfg, stream_prog);
+  core::Vm* sink = MustBoot(host, sink_cfg, sink_prog);
+  host.RunFor(duration);
+
+  if (std::getenv("BENCH_NET_DEBUG") != nullptr && plane != Plane::kEmulated) {
+    const auto& sw = host.vswitch().stats();
+    const auto& sn = stream->virtio_net()->net_stats();
+    const auto& sv = stream->virtio_net()->stats();
+    const auto& kn = sink->virtio_net()->net_stats();
+    const auto& kv = sink->virtio_net()->stats();
+    Row("debug: stream tx=%llu kicks=%llu supp_kick=%llu polls=%llu intr=%llu supp=%llu",
+        (unsigned long long)sn.tx_frames, (unsigned long long)sv.kicks,
+        (unsigned long long)sn.kicks_suppressed, (unsigned long long)sn.poll_rounds,
+        (unsigned long long)sv.interrupts, (unsigned long long)sv.interrupts_suppressed);
+    Row("debug: switch sent=%llu delivered=%llu dropped=%llu bursts=%llu",
+        (unsigned long long)sw.frames_sent, (unsigned long long)sw.frames_delivered,
+        (unsigned long long)sw.frames_dropped, (unsigned long long)sw.bursts_delivered);
+    Row("debug: sink rx=%llu drop=%llu hwm=%llu burst_frames=%llu chain_err=%llu "
+        "intr=%llu supp=%llu kicks=%llu state=%d sinkst=%d",
+        (unsigned long long)kn.rx_frames, (unsigned long long)kn.rx_dropped,
+        (unsigned long long)kn.rx_backlog_hwm, (unsigned long long)kn.burst_frames,
+        (unsigned long long)kn.rx_chain_errors, (unsigned long long)kv.interrupts,
+        (unsigned long long)kv.interrupts_suppressed, (unsigned long long)kv.kicks,
+        (int)stream->state(), (int)sink->state());
+  }
+
+  NetOutcome out;
+  out.seconds = SimTimeToSec(duration);
+  out.instructions = stream->TotalStats().instructions + sink->TotalStats().instructions;
+  if (plane == Plane::kEmulated) {
+    out.frames = sink->emulated_net()->stats().rx_frames;
+    // The PIO NIC raises the line once per accepted frame (no coalescing).
+    out.interrupts = out.frames;
+  } else {
+    const auto& sink_net = *sink->virtio_net();
+    const auto& stream_net = *stream->virtio_net();
+    out.frames = sink_net.net_stats().rx_frames;
+    out.interrupts = sink_net.stats().interrupts + stream_net.stats().interrupts;
+    out.interrupts_suppressed =
+        sink_net.stats().interrupts_suppressed + stream_net.stats().interrupts_suppressed;
+    out.kicks_suppressed = stream_net.net_stats().kicks_suppressed;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool gate_only = argc > 1 && std::strcmp(argv[1], "--gate") == 0;
+  const SimTime duration = 10 * kSimTicksPerMs;
+
+  Section("F8: net data plane — frames/sec, instr/frame, interrupts per 1k frames");
+  Row("%-11s %8s %12s %12s %12s %10s %10s", "plane", "payload", "frames/s",
+      "instr/frame", "intr/1k", "supp.intr", "supp.kick");
+
+  double perframe_fps = 0;
+  double batched_fps = 0;
+  double batched_intr_1k = 0;
+  for (uint32_t payload : {64u, 256u, 1024u}) {
+    for (Plane plane :
+         {Plane::kEmulated, Plane::kVirtioPerFrame, Plane::kVirtioBatched}) {
+      if (gate_only && (plane == Plane::kEmulated || payload != 256)) {
+        continue;
+      }
+      NetOutcome o = RunStream(plane, payload, duration);
+      Row("%-11s %8u %12.0f %12.1f %12.1f %10llu %10llu", PlaneName(plane), payload,
+          o.fps(), o.instr_per_frame(), o.intr_per_1k(),
+          static_cast<unsigned long long>(o.interrupts_suppressed),
+          static_cast<unsigned long long>(o.kicks_suppressed));
+      if (payload == 256 && plane == Plane::kVirtioPerFrame) {
+        perframe_fps = o.fps();
+      }
+      if (payload == 256 && plane == Plane::kVirtioBatched) {
+        batched_fps = o.fps();
+        batched_intr_1k = o.intr_per_1k();
+      }
+    }
+  }
+
+  // Machine-parseable gate summary (payload 256): tools/ci.sh enforces
+  // batched/per-frame >= 3.0 and batched interrupts per 1k < 50.
+  Row("gate: perframe_fps=%.0f batched_fps=%.0f ratio=%.2f batched_intr_per_1k=%.1f",
+      perframe_fps, batched_fps, perframe_fps > 0 ? batched_fps / perframe_fps : 0,
+      batched_intr_1k);
+  return 0;
+}

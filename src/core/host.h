@@ -181,8 +181,11 @@ class Host {
   // loop does between rounds (clock pumping, VM setup/teardown). Host is a
   // friend of SerialPhase; nothing on a worker lane can reach this member.
   SerialPhase serial_;
-  SimClock clock_;
+  // pool_ before clock_: pending clock events can hold frames whose
+  // refcounted payloads (net::FrameBuf) release into the pool, so the event
+  // queue must be torn down while the pool is still alive.
   mem::FramePool pool_;
+  SimClock clock_;
   net::VirtualSwitch switch_;
   std::unique_ptr<sched::Scheduler> sched_;
   std::vector<std::unique_ptr<Vm>> vms_;

@@ -71,7 +71,7 @@ Status Vm::Init(const SerialPhase& ph) {
     } else {
       vnet_ = std::make_unique<virtio::VirtioNet>(
           memory_.get(), devices::IrqLine(&pic_, devices::kVirtioIrqBase + 1),
-          &host_->vswitch(), config_.mac);
+          &host_->vswitch(), config_.mac, clock_, config_.net_opts);
       HYP_RETURN_IF_ERROR(
           bus_.Map(devices::kVirtioBase + 1 * devices::kVirtioStride, devices::kVirtioStride,
                    vnet_.get()));

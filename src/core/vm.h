@@ -55,6 +55,7 @@ struct VmConfig {
 
   IoModel net_model = IoModel::kNone;
   net::MacAddr mac = 0;  // must be nonzero when net_model != kNone
+  virtio::VirtioNetOptions net_opts;
 };
 
 enum class VmState : uint8_t {

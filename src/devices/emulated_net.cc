@@ -53,7 +53,7 @@ Status EmulatedNetDevice::Write(const Phase& ph, uint32_t offset, uint32_t size,
         net::Frame f;
         f.src = addr_;
         f.dst = tx_dst_;
-        f.payload.assign(tx_.begin(), tx_.begin() + tx_len_);
+        f.payload.Assign(tx_.data(), tx_len_);
         switch_->Transmit(ph, std::move(f));
         ++stats_.tx_frames;
         data_ptr_ = 0;
@@ -67,8 +67,7 @@ Status EmulatedNetDevice::Write(const Phase& ph, uint32_t offset, uint32_t size,
         rx_latched_ = std::move(rx_queue_.front());
         rx_queue_.pop_front();
         std::memset(rx_buf_.data(), 0, rx_buf_.size());
-        std::memcpy(rx_buf_.data(), rx_latched_.payload.data(),
-                    std::min(rx_latched_.payload.size(), rx_buf_.size()));
+        rx_latched_.payload.CopyTo(rx_buf_.data(), rx_buf_.size());
         rx_valid_ = true;
         data_ptr_ = 0;
         return OkStatus();

@@ -5,6 +5,7 @@
 // wait for the interrupt, acknowledge. The emulated drivers move every data
 // word through the trapped DATA port, which is exactly their point.
 
+#include <algorithm>
 #include <sstream>
 
 #include "src/guest/programs.h"
@@ -482,6 +483,283 @@ std::string VirtioNetEchoProgram(uint32_t payload_bytes) {
          "    hcall\n"
       << kBumpProgress
       << "    j echo_wait\n";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Virtio network bulk stream/sink (F8 throughput drivers)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct VnetBulkLayout {
+  static constexpr uint32_t kQSize = 128;
+  static constexpr uint32_t kRxDesc = 0x30000;
+  static constexpr uint32_t kRxAvail = 0x30800;
+  static constexpr uint32_t kRxUsed = 0x30A00;
+  static constexpr uint32_t kTxDesc = 0x32000;
+  static constexpr uint32_t kTxAvail = 0x32800;
+  static constexpr uint32_t kTxUsed = 0x32A00;
+  static constexpr uint32_t kRxBuf = 0x34000;   // 128 x 2048
+  static constexpr uint32_t kTxBuf = 0x74000;   // 128 x 2048
+  static constexpr uint32_t kBufStride = 2048;
+  // used_event lives in the halfword after each avail ring.
+  static constexpr uint32_t kTxUsedEvent = kTxAvail + 4 + 2 * kQSize;
+  static constexpr uint32_t kRxUsedEvent = kRxAvail + 4 + 2 * kQSize;
+};
+
+// Both rings fully structured: RX buffers pre-posted (avail.idx = qsize),
+// TX descriptors each covering their own frame buffer, used_event words
+// zeroed. Frame/buffer contents stay image-zero (deterministic payloads).
+std::string VnetBulkRingData(uint32_t tx_frame_bytes) {
+  using L = VnetBulkLayout;
+  std::ostringstream out;
+  out << ".org " << L::kRxDesc << "\n";
+  for (uint32_t i = 0; i < L::kQSize; ++i) {
+    out << ".word " << L::kRxBuf + i * L::kBufStride << ", " << L::kBufStride << ", 2\n";
+  }
+  out << ".org " << L::kRxAvail << "\n.word " << (L::kQSize << 16) << "\n";  // idx = qsize
+  for (uint32_t j = 0; j < L::kQSize; j += 2) {
+    out << ".word " << (j | ((j + 1) << 16)) << "\n";
+  }
+  out << ".word 0\n";  // used_event
+  out << ".org " << L::kRxUsed << "\n.space " << 4 + 8 * L::kQSize << "\n";
+
+  out << ".org " << L::kTxDesc << "\n";
+  for (uint32_t i = 0; i < L::kQSize; ++i) {
+    out << ".word " << L::kTxBuf + i * L::kBufStride << ", " << tx_frame_bytes << ", 0\n";
+  }
+  out << ".org " << L::kTxAvail << "\n.word 0\n";
+  for (uint32_t j = 0; j < L::kQSize; j += 2) {
+    out << ".word " << (j | ((j + 1) << 16)) << "\n";
+  }
+  out << ".word 0\n";  // used_event
+  out << ".org " << L::kTxUsed << "\n.space " << 4 + 8 * L::kQSize << "\n";
+  return out.str();
+}
+
+std::string VnetBulkSetup(bool event_idx) {
+  using L = VnetBulkLayout;
+  std::ostringstream out;
+  out << "    li gp, VNET_BASE\n"
+         "    li t0, PIC_BASE\n"
+         "    li t1, VNET_IRQ_BIT\n"
+         "    sw t1, 4(t0)\n";
+  if (event_idx) {
+    out << "    li t1, 1\n"
+           "    sw t1, 0x2C(gp)          ; ack EVENT_IDX\n";
+  }
+  struct QueueCfg {
+    uint32_t sel, desc, avail, used;
+  };
+  for (const QueueCfg& q : {QueueCfg{0, L::kRxDesc, L::kRxAvail, L::kRxUsed},
+                            QueueCfg{1, L::kTxDesc, L::kTxAvail, L::kTxUsed}}) {
+    out << "    li t1, " << q.sel << "\n"
+           "    sw t1, 0x04(gp)\n"
+           "    li t1, " << L::kQSize << "\n"
+           "    sw t1, 0x08(gp)\n"
+           "    li t1, " << q.desc << "\n"
+           "    sw t1, 0x0C(gp)\n"
+           "    li t1, " << q.avail << "\n"
+           "    sw t1, 0x10(gp)\n"
+           "    li t1, " << q.used << "\n"
+           "    sw t1, 0x14(gp)\n"
+           "    li t1, 1\n"
+           "    sw t1, 0x18(gp)\n";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string VirtioNetStreamProgram(const NetStreamParams& params) {
+  using L = VnetBulkLayout;
+  uint32_t payload =
+      std::min<uint32_t>(std::max<uint32_t>(params.payload_bytes, 4), L::kBufStride - 8);
+  uint32_t batch = std::min<uint32_t>(std::max<uint32_t>(params.batch, 1), L::kQSize / 2);
+  std::ostringstream out;
+  out << Header();
+  out << VnetBulkRingData(8 + payload);
+  // Frame headers {dst, len}; payloads stay image-zero.
+  for (uint32_t i = 0; i < L::kQSize; ++i) {
+    out << ".org " << L::kTxBuf + i * L::kBufStride << "\n.word " << params.peer_mac << ", "
+        << payload << "\n";
+  }
+
+  out << ".org 0x10000\n_start:\n" << VnetBulkSetup(params.event_idx);
+  out << "    li s0, 0                 ; frames published (u32)\n"
+         "send_loop:\n"
+         "    li t0, " << L::kTxUsed << "\n"
+         "    lhu t1, 2(t0)            ; completions (u16)\n"
+         "    slli t2, s0, 16\n"
+         "    srli t2, t2, 16          ; published (u16)\n"
+         "    sub t3, t2, t1\n"
+         "    slli t3, t3, 16\n"
+         "    srli t3, t3, 16          ; in flight\n"
+         "    li a3, " << L::kQSize - batch << "\n"
+         "    bgeu a3, t3, have_room\n";
+  if (params.event_idx) {
+    // Ring full: ask for exactly one interrupt, when enough completions
+    // have landed to make room for the next batch (used crosses
+    // published - (qsize - batch)). Then re-check room — the crossing may
+    // have happened before the arm — and sleep.
+    out << "    addi a3, t2, -" << L::kQSize - batch + 1 << "\n"
+           "    slli a3, a3, 16\n"
+           "    srli a3, a3, 16\n"
+           "    li t0, " << L::kTxUsedEvent << "\n"
+           "    sh a3, 0(t0)             ; used_event = room-for-batch point\n"
+           "    li t0, " << L::kTxUsed << "\n"
+           "    lhu t1, 2(t0)\n"
+           "    sub t3, t2, t1\n"
+           "    slli t3, t3, 16\n"
+           "    srli t3, t3, 16\n"
+           "    li a3, " << L::kQSize - batch << "\n"
+           "    bgeu a3, t3, have_room   ; the arm raced the completions\n";
+  } else {
+    // Ring full, no EVENT_IDX: every completion interrupts anyway; sleep
+    // until the used index moves at all.
+    out << "    li t0, " << L::kTxUsed << "\n"
+           "    lhu a3, 2(t0)\n"
+           "    bne a3, t1, send_loop    ; progress raced the check\n";
+  }
+  out << "    wfi\n"
+      << kVnetAckIrq
+      << "    j send_loop\n"
+         "have_room:\n"
+         "    addi s0, s0, " << batch << "\n";
+  if (params.event_idx) {
+    // Park used_event at the new published index: completions can never
+    // cross it, so the TX queue stays silent until ring_full re-arms.
+    out << "    slli t2, s0, 16\n"
+           "    srli t2, t2, 16\n"
+           "    li t0, " << L::kTxUsedEvent << "\n"
+           "    sh t2, 0(t0)\n";
+  }
+  out << "    li t0, " << L::kTxAvail << "\n"
+         "    lhu t3, 2(t0)\n"
+         "    addi t3, t3, " << batch << "\n"
+         "    sh t3, 2(t0)             ; publish the batch\n";
+  if (params.honor_no_notify) {
+    out << "    li t0, " << L::kTxUsed << "\n"
+           "    lhu a3, 0(t0)            ; used.flags\n"
+           "    andi a3, a3, 1\n"
+           "    bnez a3, after_kick      ; device is polling: doorbell saved\n";
+  }
+  out << "    li a0, HC_KICK\n"
+         "    li a1, 1                 ; slot 1 = virtio-net\n"
+         "    li a2, 1                 ; tx queue\n"
+         "    hcall\n"
+         "after_kick:\n";
+  if (!params.event_idx) {
+    // Seed path: every drained batch interrupts; pay the ack cost here.
+    out << kVnetAckIrq;
+  }
+  out << "    la t3, progress\n"
+         "    lw t2, 0(t3)\n"
+         "    addi t2, t2, " << batch << "\n"
+         "    sw t2, 0(t3)\n"
+         "    j send_loop\n";
+  return out.str();
+}
+
+std::string VirtioNetSinkProgram(const NetStreamParams& params) {
+  using L = VnetBulkLayout;
+  std::ostringstream out;
+  out << Header();
+  out << VnetBulkRingData(8 + 4);  // TX unused: minimal frame
+  out << ".org 0x10000\n_start:\n" << VnetBulkSetup(params.event_idx);
+  out << "    li s3, 0                 ; frames consumed (u32)\n"
+         "sink_loop:\n"
+         "    li t0, " << L::kRxUsed << "\n"
+         "    lhu t1, 2(t0)            ; delivered (u16)\n"
+         "    slli t2, s3, 16\n"
+         "    srli t2, t2, 16          ; consumed (u16)\n"
+         "    beq t1, t2, sink_idle\n"
+         "    sub t3, t1, t2\n"
+         "    slli t3, t3, 16\n"
+         "    srli t3, t3, 16          ; fresh frames\n"
+         "    add s3, s3, t3\n"
+         "    li t0, " << L::kRxAvail << "\n"
+         "    lhu a3, 2(t0)\n"
+         "    add a3, a3, t3\n"
+         "    sh a3, 2(t0)             ; repost the consumed buffers\n"
+         "    li a0, HC_KICK\n"
+         "    li a1, 1\n"
+         "    li a2, 0                 ; rx kick: refill from any backlog\n"
+         "    hcall\n"
+         "    la t0, progress\n"
+         "    lw a3, 0(t0)\n"
+         "    add a3, a3, t3\n"
+         "    sw a3, 0(t0)\n"
+         "    j sink_loop\n"
+         "sink_idle:\n";
+  if (params.event_idx) {
+    // Arm the delivery interrupt only when idle: while the loop keeps up,
+    // used_event trails behind and deliveries stay silent.
+    out << "    li t0, " << L::kRxUsedEvent << "\n"
+           "    sh t2, 0(t0)             ; used_event = consumed\n"
+           "    li t0, " << L::kRxUsed << "\n"
+           "    lhu t1, 2(t0)\n"
+           "    bne t1, t2, sink_loop    ; delivery raced the arm\n";
+  }
+  out << "    wfi\n"
+      << kVnetAckIrq
+      << "    j sink_loop\n";
+  return out.str();
+}
+
+std::string EmulatedNetStreamProgram(const NetStreamParams& params) {
+  uint32_t payload = std::max<uint32_t>(params.payload_bytes & ~3u, 4);
+  uint32_t nwords = payload / 4;
+  std::ostringstream out;
+  out << Header();
+  out << "_start:\n"
+         "    li gp, NET_BASE\n"
+         "    li s0, 0\n"
+         "stream:\n"
+         "    sw zero, 0x1C(gp)        ; rewind data pointer\n"
+         "    li t2, " << nwords << "\n"
+         "    mv t3, s0\n"
+         "fill:\n"
+         "    sw t3, 0x10(gp)          ; one exit per word\n"
+         "    addi t3, t3, 1\n"
+         "    addi t2, t2, -1\n"
+         "    bnez t2, fill\n"
+         "    li t1, " << payload << "\n"
+         "    sw t1, 0x00(gp)          ; TX_LEN\n"
+         "    li t1, " << params.peer_mac << "\n"
+         "    sw t1, 0x04(gp)          ; TX_DST\n"
+         "    li t1, 1\n"
+         "    sw t1, 0x08(gp)          ; SEND\n"
+      << kBumpProgress
+      << "    addi s0, s0, 1\n"
+         "    j stream\n";
+  return out.str();
+}
+
+std::string EmulatedNetSinkProgram() {
+  std::ostringstream out;
+  out << Header();
+  out << "_start:\n"
+         "    li gp, NET_BASE\n"
+         "    li t0, PIC_BASE\n"
+         "    li t1, NET_IRQ_BIT\n"
+         "    sw t1, 4(t0)\n"
+         "sink_wait:\n"
+         "    wfi\n"
+         "    li t0, PIC_BASE\n"
+         "    li t1, NET_IRQ_BIT\n"
+         "    sw t1, 8(t0)             ; ack the line\n"
+         "pop:\n"
+         "    li t1, 2\n"
+         "    sw t1, 0x08(gp)          ; latch next frame\n"
+         "    lw t2, 0x14(gp)          ; RX_LEN\n"
+         "    beqz t2, sink_wait\n"
+      << kBumpProgress
+      << "    lw t1, 0x0C(gp)          ; more frames queued?\n"
+         "    andi t1, t1, 1\n"
+         "    bnez t1, pop\n"
+         "    j sink_wait\n";
   return out.str();
 }
 

@@ -133,6 +133,32 @@ std::string EmulatedNetEchoProgram();
 std::string VirtioNetPingProgram(const NetParams& params);
 std::string VirtioNetEchoProgram(uint32_t payload_bytes = 256);
 
+// Bulk unidirectional traffic for the F8 throughput experiments: a stream
+// VM pushes frames at a sink VM as fast as the data plane allows.
+struct NetStreamParams {
+  uint32_t peer_mac = 2;         // the sink's address
+  uint32_t payload_bytes = 256;  // frame payload (multiple of 4)
+  uint32_t batch = 64;           // frames published per doorbell (virtio)
+  bool event_idx = true;         // negotiate EVENT_IDX interrupt coalescing
+  bool honor_no_notify = true;   // skip doorbells while the device polls
+};
+
+// Virtio-net bulk sender: 128-entry rings, `batch` frames per doorbell.
+// With event_idx it parks used_event at the published index so TX
+// completions stay silent, and when the ring fills it arms used_event at
+// the room-for-one-batch point (one interrupt per batch); with
+// batch=1/event_idx=false/honor_no_notify=false it reproduces the
+// kick-per-frame, interrupt-per-frame seed path. Runs forever.
+std::string VirtioNetStreamProgram(const NetStreamParams& params);
+// Virtio-net bulk receiver: consumes used entries in batches, reposts the
+// buffers, and (with event_idx) arms used_event only when idle.
+std::string VirtioNetSinkProgram(const NetStreamParams& params);
+
+// PIO baseline pair: the stream side pays one exit per payload word, the
+// sink side takes one interrupt per frame.
+std::string EmulatedNetStreamProgram(const NetStreamParams& params);
+std::string EmulatedNetSinkProgram();
+
 }  // namespace hyperion::guest
 
 #endif  // SRC_GUEST_PROGRAMS_H_

@@ -8,10 +8,10 @@ namespace hyperion::mem {
 FramePool::FramePool(size_t num_frames)
     : memory_(num_frames * isa::kPageSize),
       refcount_(num_frames, 0),
+      netbuf_(num_frames, 0),
       free_count_(num_frames) {}
 
-Result<HostFrame> FramePool::Allocate() {
-  std::lock_guard<std::mutex> lock(mu_);
+Result<HostFrame> FramePool::AllocateLocked(bool zero) {
   if (free_count_ == 0) {
     return ResourceExhaustedError("host frame pool exhausted");
   }
@@ -23,11 +23,37 @@ Result<HostFrame> FramePool::Allocate() {
       alloc_cursor_ = (i + 1) % n;
       refcount_[i] = 1;
       --free_count_;
-      std::memset(memory_.data() + i * isa::kPageSize, 0, isa::kPageSize);
+      if (zero) {
+        std::memset(memory_.data() + i * isa::kPageSize, 0, isa::kPageSize);
+      }
       return static_cast<HostFrame>(i);
     }
   }
   return InternalError("free_count_ positive but no free frame found");
+}
+
+Result<HostFrame> FramePool::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AllocateLocked(/*zero=*/true);
+}
+
+Result<HostFrame> FramePool::AllocateNetBuf() {
+  std::lock_guard<std::mutex> lock(mu_);
+  HYP_ASSIGN_OR_RETURN(HostFrame frame, AllocateLocked(/*zero=*/false));
+  netbuf_[frame] = 1;
+  ++netbuf_count_;
+  return frame;
+}
+
+void FramePool::ReleaseNetBuf(HostFrame frame) {
+  Stage* s = tls_stage_;
+  if (s != nullptr && s->pool == this) {
+    assert(IsAllocated(frame));
+    s->decrefs.push_back(frame);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  DecRefLocked(frame);
 }
 
 void FramePool::DecRefAny(const Phase&, HostFrame frame) {
@@ -61,6 +87,10 @@ void FramePool::DecRefLocked(HostFrame frame) {
   assert(IsAllocated(frame));
   if (--refcount_[frame] == 0) {
     ++free_count_;
+    if (netbuf_[frame] != 0) {
+      netbuf_[frame] = 0;
+      --netbuf_count_;
+    }
   }
 }
 

@@ -34,6 +34,10 @@
 #include "src/util/status.h"
 #include "src/util/thread_annotations.h"
 
+namespace hyperion::net {
+class FrameBuf;  // friend: the refcounted network payload buffer
+}  // namespace hyperion::net
+
 namespace hyperion::mem {
 
 // Index of a host physical frame within a FramePool.
@@ -64,6 +68,20 @@ class FramePool {
   // Allocates a zeroed frame with refcount 1.
   Result<HostFrame> Allocate();
 
+  // Allocates a frame backing a refcounted network payload buffer
+  // (net::FrameBuf) rather than a guest mapping. Netbuf frames always hold
+  // pool refcount 1 — FrameBuf multiplexes its own shared handle on top —
+  // and are flagged so the frame-accounting auditor expects them to be
+  // mapped by zero guest pages. Contents are not zeroed: the buffer is
+  // write-before-read by construction.
+  Result<HostFrame> AllocateNetBuf();
+
+  // Lockless like RefCount: the auditor runs at the round barrier.
+  bool IsNetBuf(HostFrame frame) const HYP_NO_THREAD_SAFETY_ANALYSIS {
+    return frame < netbuf_.size() && netbuf_[frame] != 0;
+  }
+  size_t netbuf_frames() const HYP_NO_THREAD_SAFETY_ANALYSIS { return netbuf_count_; }
+
   // Drops one reference from an executing slice: deferred into the slice's
   // Stage, applied at the round barrier.
   void DecRef(const ExecutePhase& ph, HostFrame frame) { DecRefAny(ph, frame); }
@@ -91,6 +109,18 @@ class FramePool {
   size_t used_frames() const { return total_frames() - free_frames(); }
 
  private:
+  // Release path for FrameBuf's control block, which dies wherever the last
+  // handle dies: stages when the current thread is inside an execute slice,
+  // drops the reference in place otherwise. Private on purpose — the
+  // destructor of a refcounted buffer cannot carry a phase token, so the
+  // hole in the token discipline is scoped to the one friend that needs it,
+  // and the staging route keeps release ordering deterministic for any
+  // worker count (DESIGN.md §10).
+  friend class net::FrameBuf;
+  void ReleaseNetBuf(HostFrame frame);
+
+  Result<HostFrame> AllocateLocked(bool zero) HYP_REQUIRES(mu_);
+
   // Lockless like RefCount: used on the staged DecRef path (assert only).
   bool IsAllocated(HostFrame frame) const HYP_NO_THREAD_SAFETY_ANALYSIS {
     return frame < refcount_.size() && refcount_[frame] > 0;
@@ -112,6 +142,8 @@ class FramePool {
 
   std::vector<uint8_t> memory_;
   std::vector<uint32_t> refcount_ HYP_GUARDED_BY(mu_);
+  std::vector<uint8_t> netbuf_ HYP_GUARDED_BY(mu_);  // frame backs a FrameBuf
+  size_t netbuf_count_ HYP_GUARDED_BY(mu_) = 0;
   size_t free_count_ HYP_GUARDED_BY(mu_);
   size_t alloc_cursor_ HYP_GUARDED_BY(mu_) = 0;  // next-fit scan position
 };

@@ -1,5 +1,6 @@
 #include "src/net/network.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/fault/fault.h"
@@ -69,11 +70,57 @@ void VirtualSwitch::StageTx(const ExecutePhase& ph, Frame frame) {
 
 void VirtualSwitch::Transmit(const Phase& ph, Frame frame) { SendAny(ph, std::move(frame)); }
 
-void VirtualSwitch::CommitStage(const CommitPhase& ph, TxStage& stage) {
-  for (Frame& frame : stage.frames) {
-    SendAt(ph, std::move(frame), stage.vnow);
+SimTime VirtualSwitch::TransmitBurst(const Phase& ph, std::vector<Frame> frames) {
+  TxStage* stage = tls_stage_;
+  if (stage != nullptr && stage->sw == this) {
+    for (Frame& frame : frames) {
+      stage->frames.push_back(std::move(frame));
+    }
+    return 0;  // egress unknown until the barrier commit
   }
+  const DirectPhase* dp = ph.AsDirect();
+  assert(dp != nullptr && "cross-switch burst from an executing slice");
+  if (dp != nullptr) {
+    return SendRunAt(*dp, frames, clock_->now());
+  }
+  return 0;
+}
+
+void VirtualSwitch::CommitStage(const CommitPhase& ph, TxStage& stage) {
+  SendRunAt(ph, stage.frames, stage.vnow);
   stage.frames.clear();
+}
+
+SimTime VirtualSwitch::SendRunAt(const DirectPhase& ph, std::vector<Frame>& frames,
+                                 SimTime at) {
+  SimTime clear = 0;
+  size_t i = 0;
+  while (i < frames.size()) {
+    size_t j = i + 1;
+    if (frames[i].dst != kBroadcast) {
+      size_t cap = std::min(frames.size(), i + kMaxBurstFrames);
+      while (j < cap && frames[j].dst == frames[i].dst) {
+        ++j;
+      }
+    }
+    if (j - i == 1) {
+      SendAt(ph, std::move(frames[i]), at);
+    } else {
+      clear = std::max(clear, SendBurstAt(ph, std::span<Frame>(frames.data() + i, j - i), at));
+    }
+    i = j;
+  }
+  return clear;
+}
+
+SimTime VirtualSwitch::SendBurstAt(const DirectPhase& ph, std::span<Frame> group, SimTime at) {
+  stats_.frames_sent += group.size();
+  auto it = ports_.find(group.front().dst);
+  if (it == ports_.end()) {
+    stats_.frames_dropped += group.size();
+    return 0;
+  }
+  return DeliverBurstTo(ph, it->first, *it->second, group, at);
 }
 
 void VirtualSwitch::SendAt(const DirectPhase& ph, Frame frame, SimTime at) {
@@ -117,11 +164,19 @@ void VirtualSwitch::DeliverTo(const DirectPhase& ph, MacAddr dst_key, PortState&
       ++stats_.frames_injected_delayed;
     }
   }
+  for (uint32_t c = 0; c < copies; ++c) {
+    SimTime done = port.link.ScheduleTransferAt(at, wire);
+    ScheduleDeliver(ph, dst_key, frame, done + extra_latency);
+  }
+}
+
+void VirtualSwitch::ScheduleDeliver(const DirectPhase& ph, MacAddr dst_key, Frame frame,
+                                    SimTime fire) {
   // The port may detach while the frame is in flight, so the closure looks
   // the port up again by address at delivery time. An injected delay lands
   // after the wire time, so delayed frames are genuinely overtaken by
   // later undelayed traffic (reordering).
-  auto deliver = [this, dst_key, frame](const SerialPhase& sp) {
+  clock_->ScheduleAt(ph, fire, [this, dst_key, frame = std::move(frame)](const SerialPhase& sp) {
     auto it = ports_.find(dst_key);
     if (it == ports_.end()) {
       ++stats_.frames_dropped;  // port detached in flight
@@ -130,11 +185,73 @@ void VirtualSwitch::DeliverTo(const DirectPhase& ph, MacAddr dst_key, PortState&
     ++stats_.frames_delivered;
     stats_.bytes_delivered += frame.wire_bytes();
     it->second->sink->OnFrame(sp, frame);
-  };
-  for (uint32_t c = 0; c < copies; ++c) {
-    SimTime done = port.link.ScheduleTransferAt(at, wire);
-    clock_->ScheduleAt(ph, done + extra_latency, deliver);
+  });
+}
+
+SimTime VirtualSwitch::DeliverBurstTo(const DirectPhase& ph, MacAddr dst_key, PortState& port,
+                                      std::span<Frame> group, SimTime at) {
+  // Frames that survive injection undelayed accumulate into one delivery
+  // event at the last frame's link-completion time (ScheduleTransferAt is
+  // monotone across the loop, so that is also the burst's max). A delayed
+  // copy leaves the burst and is scheduled individually — coalescing must
+  // not defeat injected reordering.
+  auto burst = std::make_shared<std::vector<Frame>>();
+  burst->reserve(group.size());
+  SimTime last_done = 0;
+  for (Frame& frame : group) {
+    if (frame.payload.size() > kMaxFrameBytes) {
+      ++stats_.frames_dropped;
+      continue;
+    }
+    size_t wire = frame.wire_bytes();
+    uint32_t copies = 1;
+    SimTime extra_latency = 0;
+    if (injector_ != nullptr) {
+      fault::FrameFault ff = injector_->OnFrame(fault_site_, at, frame.src, dst_key);
+      if (ff.drop) {
+        ++stats_.frames_dropped;
+        ++stats_.frames_injected_dropped;
+        continue;
+      }
+      copies += ff.duplicates;
+      stats_.frames_injected_duplicated += ff.duplicates;
+      extra_latency = ff.extra_latency;
+      if (extra_latency != 0) {
+        ++stats_.frames_injected_delayed;
+      }
+    }
+    for (uint32_t c = 0; c < copies; ++c) {
+      SimTime done = port.link.ScheduleTransferAt(at, wire);
+      if (extra_latency != 0) {
+        ScheduleDeliver(ph, dst_key, frame, done + extra_latency);
+      } else {
+        burst->push_back(frame);
+        last_done = done;
+      }
+    }
   }
+  SimTime clear = port.link.busy_until();
+  if (burst->empty()) {
+    return clear;
+  }
+  if (burst->size() == 1) {
+    ScheduleDeliver(ph, dst_key, std::move(burst->front()), last_done);
+    return clear;
+  }
+  clock_->ScheduleAt(ph, last_done, [this, dst_key, burst](const SerialPhase& sp) {
+    auto it = ports_.find(dst_key);
+    if (it == ports_.end()) {
+      stats_.frames_dropped += burst->size();  // port detached in flight
+      return;
+    }
+    stats_.frames_delivered += burst->size();
+    for (const Frame& f : *burst) {
+      stats_.bytes_delivered += f.wire_bytes();
+    }
+    ++stats_.bursts_delivered;
+    it->second->sink->OnFrameBurst(sp, std::span<const Frame>(burst->data(), burst->size()));
+  });
+  return clear;
 }
 
 }  // namespace hyperion::net

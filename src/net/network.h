@@ -12,9 +12,11 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "src/net/frame_buf.h"
 #include "src/util/sim_clock.h"
 #include "src/util/status.h"
 
@@ -26,14 +28,23 @@ namespace hyperion::net {
 
 inline constexpr size_t kMaxFrameBytes = 9216;  // jumbo frame cap
 
+// Longest same-destination run the switch coalesces into one delivery
+// event. Bounds burst latency (the sink hears nothing until the last frame
+// of a burst clears the link) and keeps a single commit from turning a
+// whole timeslice of traffic into one delivery.
+inline constexpr size_t kMaxBurstFrames = 64;
+
 // A network endpoint address (flat L2 space).
 using MacAddr = uint32_t;
 inline constexpr MacAddr kBroadcast = 0xFFFFFFFFu;
 
+// A frame's payload is a refcounted FrameBuf: copying a Frame copies a
+// handle, so staging, fault-injected duplication, and burst delivery never
+// touch the bytes (DESIGN.md §10).
 struct Frame {
   MacAddr src = 0;
   MacAddr dst = 0;
-  std::vector<uint8_t> payload;
+  FrameBuf payload;
 
   size_t wire_bytes() const { return payload.size() + 18; }  // header+fcs overhead
 };
@@ -129,6 +140,16 @@ class FrameSink {
  public:
   virtual ~FrameSink() = default;
   virtual void OnFrame(const SerialPhase& ph, const Frame& frame) = 0;
+
+  // A coalesced delivery: back-to-back frames to this port arriving as one
+  // clock event (the last frame's link-completion time). Sinks that can
+  // amortize per-delivery work (one RX interrupt per burst) override this;
+  // the default preserves per-frame semantics.
+  virtual void OnFrameBurst(const SerialPhase& ph, std::span<const Frame> frames) {
+    for (const Frame& f : frames) {
+      OnFrame(ph, f);
+    }
+  }
 };
 
 // A learningless switch: ports register with their address; unicast goes to
@@ -173,6 +194,17 @@ class VirtualSwitch {
   // doorbells): stages under an ExecutePhase, sends under a direct phase.
   void Transmit(const Phase& ph, Frame frame);
 
+  // Transmits a batch in order. Staged regime: the batch is appended to the
+  // slice's TxStage (committed as one contiguous run at the barrier). Direct
+  // regime: consecutive frames to the same unicast destination leave as one
+  // burst event; everything else degrades to per-frame Send semantics.
+  //
+  // Returns when the last egress link touched by a direct-regime burst
+  // clears (its busy-until), or 0 when unknown (staged, dropped, or no
+  // bursts formed). NICs use this as backpressure: polling faster than the
+  // wire drains only piles frames into the event queue.
+  SimTime TransmitBurst(const Phase& ph, std::vector<Frame> frames);
+
   // Attaches a fault injector; every frame delivery attempt is then subject
   // to the plan's drop/duplicate/reorder/latency/partition events under
   // `site`. Injected effects are tallied separately in Stats.
@@ -186,10 +218,13 @@ class VirtualSwitch {
     uint64_t frames_delivered = 0;
     uint64_t frames_dropped = 0;  // unknown destination or oversized
     uint64_t bytes_delivered = 0;
+    uint64_t bursts_delivered = 0;  // multi-frame coalesced deliveries
     // Fault-injection tallies (subsets of the counters above).
     uint64_t frames_injected_dropped = 0;
     uint64_t frames_injected_duplicated = 0;
     uint64_t frames_injected_delayed = 0;
+
+    bool operator==(const Stats&) const = default;
   };
   const Stats& stats() const { return stats_; }
 
@@ -206,6 +241,23 @@ class VirtualSwitch {
   void SendAt(const DirectPhase& ph, Frame frame, SimTime at);
   void DeliverTo(const DirectPhase& ph, MacAddr dst_key, PortState& port,
                  const Frame& frame, SimTime at);
+
+  // Sends a batch with logical send time `at`, grouping consecutive frames
+  // to the same unicast destination into bursts of at most kMaxBurstFrames
+  // (runs of length 1 and broadcast frames keep the exact single-frame
+  // path). Consumes `frames`. Returns the latest egress busy-until among
+  // the bursts formed (0 if none).
+  SimTime SendRunAt(const DirectPhase& ph, std::vector<Frame>& frames, SimTime at);
+  // One same-destination unicast run: per-frame fault consultation and link
+  // serialization, a single delivery event at the last frame's completion.
+  // Returns the egress link's busy-until (0 if the port is unknown).
+  SimTime SendBurstAt(const DirectPhase& ph, std::span<Frame> group, SimTime at);
+  SimTime DeliverBurstTo(const DirectPhase& ph, MacAddr dst_key, PortState& port,
+                         std::span<Frame> group, SimTime at);
+  // Schedules one frame's delivery event at `fire` (port re-looked-up by
+  // address when the event runs; shared by DeliverTo and delayed burst
+  // stragglers).
+  void ScheduleDeliver(const DirectPhase& ph, MacAddr dst_key, Frame frame, SimTime fire);
 
   static inline thread_local TxStage* tls_stage_ = nullptr;
 

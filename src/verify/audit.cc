@@ -62,6 +62,18 @@ void AuditFrameAccounting(const mem::FramePool& pool,
     uint32_t refs = pool.RefCount(f);
     auto it = mapped.find(f);
     uint32_t maps = it == mapped.end() ? 0 : it->second;
+    if (pool.IsNetBuf(f)) {
+      // Network payload buffers (net::FrameBuf) hold exactly one pool ref
+      // and are never guest-mapped; FrameBuf's own shared handle multiplexes
+      // on top (DESIGN.md §10).
+      if (refs != 1 || maps != 0) {
+        std::ostringstream os;
+        os << "netbuf frame " << f << ": refcount " << refs << " mapped by " << maps
+           << " guest page(s); expected refcount 1, unmapped";
+        report->violations.push_back(os.str());
+      }
+      continue;
+    }
     if (refs != maps) {
       std::ostringstream os;
       os << "frame " << f << ": refcount " << refs << " but mapped by " << maps
@@ -131,7 +143,7 @@ void AuditVirtQueue(const virtio::VirtQueue& queue,
     uint64_t bytes;
   };
   const Region regions[] = {
-      {"descriptor table", queue.desc_gpa(), uint64_t{16} * size},
+      {"descriptor table", queue.desc_gpa(), uint64_t{virtio::kDescBytes} * size},
       {"avail ring", queue.avail_gpa(), 4 + uint64_t{2} * size},
       {"used ring", queue.used_gpa(), 4 + uint64_t{8} * size},
   };
@@ -208,7 +220,7 @@ void AuditVirtQueue(const virtio::VirtQueue& queue,
         break;
       }
       visited[idx] = true;
-      uint32_t d = queue.desc_gpa() + 16u * idx;
+      uint32_t d = queue.desc_gpa() + virtio::kDescBytes * idx;
       auto gpa = memory.ReadU32(d);
       auto blen = memory.ReadU32(d + 4);
       auto flags = memory.ReadU16(d + 8);

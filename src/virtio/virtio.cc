@@ -9,7 +9,6 @@ constexpr uint32_t kAvailIdxOff = 2;
 constexpr uint32_t kAvailRingOff = 4;
 constexpr uint32_t kUsedIdxOff = 2;
 constexpr uint32_t kUsedRingOff = 4;
-constexpr uint32_t kDescBytes = 12;
 constexpr uint32_t kUsedElemBytes = 8;
 
 }  // namespace
@@ -88,6 +87,8 @@ Result<uint32_t> VirtioDevice::Read(uint32_t offset, uint32_t size) {
       return isr_;
     case 0x28:
       return device_status_;
+    case 0x2C:
+      return features_;
     default:
       return NotFoundError("bad virtio register");
   }
@@ -141,6 +142,9 @@ Status VirtioDevice::Write(const Phase& ph, uint32_t offset, uint32_t size, uint
     case 0x28:
       device_status_ = value;
       return OkStatus();
+    case 0x2C:
+      features_ = value;
+      return OkStatus();
     default:
       return NotFoundError("bad virtio register");
   }
@@ -153,6 +157,7 @@ void VirtioDevice::Reset(const DirectPhase&) {
   queue_sel_ = 0;
   isr_ = 0;
   device_status_ = 0;
+  features_ = 0;
 }
 
 Status VirtioDevice::Kick(const Phase& ph, uint16_t q) {
@@ -167,6 +172,29 @@ void VirtioDevice::NotifyGuest(const Phase& ph) {
   isr_ |= 1;
   ++stats_.interrupts;
   irq_.Assert(ph);
+}
+
+void VirtioDevice::NotifyUsed(const Phase& ph, uint16_t q, uint16_t old_used) {
+  VirtQueue& vq = queue(q);
+  uint16_t new_idx = vq.used_idx();
+  if (new_idx == old_used) {
+    return;  // nothing published, nothing to signal
+  }
+  bool suppress = false;
+  if (features_ & kFeatureEventIdx) {
+    // A torn/unmapped used_event read falls back to interrupting — losing a
+    // suppression is safe, losing an interrupt is not.
+    auto event = vq.UsedEvent(*memory_);
+    suppress = event.ok() && !VirtQueue::NeedEvent(*event, new_idx, old_used);
+  } else {
+    auto flags = vq.AvailFlags(*memory_);
+    suppress = flags.ok() && (*flags & 1) != 0;
+  }
+  if (suppress) {
+    ++stats_.interrupts_suppressed;
+    return;
+  }
+  NotifyGuest(ph);
 }
 
 Result<std::vector<uint8_t>> VirtioDevice::GatherReadable(const Chain& chain) {
@@ -195,6 +223,51 @@ Result<uint32_t> VirtioDevice::ScatterWritable(const Chain& chain, const uint8_t
     data += chunk;
     n -= chunk;
     written += chunk;
+  }
+  stats_.bytes_written += written;
+  return written;
+}
+
+Status VirtioDevice::ReadChain(const Chain& chain, size_t off, uint8_t* dst, size_t n) {
+  size_t want = n;
+  for (const ChainElem& e : chain.elems) {
+    if (e.device_writes || n == 0) {
+      continue;
+    }
+    if (off >= e.len) {
+      off -= e.len;
+      continue;
+    }
+    size_t take = std::min<size_t>(e.len - off, n);
+    HYP_RETURN_IF_ERROR(memory_->Read(e.gpa + static_cast<uint32_t>(off), dst, take));
+    dst += take;
+    n -= take;
+    off = 0;
+  }
+  if (n != 0) {
+    return OutOfRangeError("chain readable span too short");
+  }
+  stats_.bytes_read += want;
+  return OkStatus();
+}
+
+Result<uint32_t> VirtioDevice::WriteChain(const Chain& chain, size_t off, const uint8_t* src,
+                                          size_t n) {
+  uint32_t written = 0;
+  for (const ChainElem& e : chain.elems) {
+    if (!e.device_writes || n == 0) {
+      continue;
+    }
+    if (off >= e.len) {
+      off -= e.len;
+      continue;
+    }
+    size_t take = std::min<size_t>(e.len - off, n);
+    HYP_RETURN_IF_ERROR(memory_->Write(e.gpa + static_cast<uint32_t>(off), src, take));
+    src += take;
+    n -= take;
+    written += static_cast<uint32_t>(take);
+    off = 0;
   }
   stats_.bytes_written += written;
   return written;

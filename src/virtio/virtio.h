@@ -24,6 +24,18 @@
 //   0x20 ISR_STATUS  (RO) bit0 = used-ring update
 //   0x24 ISR_ACK     (W1C)
 //   0x28 DEVICE_STATUS (RW) driver handshake bits
+//   0x2C DRIVER_FEATURES (RW) feature bits acked by the driver
+//
+// Interrupt coalescing (DESIGN.md §10): with kFeatureEventIdx negotiated at
+// 0x2C, the guest publishes a `used_event` index in the word after the avail
+// ring (avail + 4 + 2*qsize); the device interrupts only when the used index
+// crosses it. Without the feature, bit0 of avail.flags suppresses interrupts
+// outright (best-effort NO_INTERRUPT). In the other direction the device
+// sets bit0 of used.flags (kUsedNoNotify) while it is polling a queue, so a
+// cooperating guest can skip doorbells it knows the device will not miss.
+// (The device-to-driver half of full VIRTIO_F_EVENT_IDX — an avail_event in
+// the used ring — is deliberately not modeled; NO_NOTIFY covers the polling
+// window with less guest-side bookkeeping.)
 
 #ifndef SRC_VIRTIO_VIRTIO_H_
 #define SRC_VIRTIO_VIRTIO_H_
@@ -39,6 +51,13 @@ namespace hyperion::virtio {
 inline constexpr uint16_t kDescNext = 1;
 inline constexpr uint16_t kDescWrite = 2;
 inline constexpr uint16_t kMaxQueueSize = 256;
+inline constexpr uint32_t kDescBytes = 12;  // sizeof one Desc entry
+
+// DRIVER_FEATURES (0x2C) bits.
+inline constexpr uint32_t kFeatureEventIdx = 1u << 0;  // used_event suppression
+
+// used.flags bit0: device is polling, driver may skip doorbells.
+inline constexpr uint16_t kUsedNoNotify = 1;
 
 // One element of a popped descriptor chain.
 struct ChainElem {
@@ -96,6 +115,28 @@ class VirtQueue {
 
   // Publishes a completion for `head` with `written` device-written bytes.
   Status PushUsed(mem::GuestMemory& memory, uint16_t head, uint32_t written);
+
+  // The guest's used_event index (EVENT_IDX): the word after the avail ring.
+  Result<uint16_t> UsedEvent(mem::GuestMemory& memory) const {
+    return memory.ReadU16(avail_gpa_ + 4 + 2u * size_);
+  }
+  // avail.flags (bit0 = legacy NO_INTERRUPT suppression).
+  Result<uint16_t> AvailFlags(mem::GuestMemory& memory) const {
+    return memory.ReadU16(avail_gpa_);
+  }
+  // Sets/clears used.flags bit0 (kUsedNoNotify) — kick suppression while the
+  // device polls this queue.
+  Status SetNoNotify(mem::GuestMemory& memory, bool on) {
+    return memory.WriteU16(used_gpa_, on ? kUsedNoNotify : 0);
+  }
+
+  // EVENT_IDX crossing test: true when the used index moved from old_idx to
+  // new_idx past the guest's published event, in modulo-2^16 arithmetic
+  // (virtio spec vring_need_event). Handles wraparound by construction.
+  static bool NeedEvent(uint16_t event, uint16_t new_idx, uint16_t old_idx) {
+    return static_cast<uint16_t>(new_idx - event - 1) <
+           static_cast<uint16_t>(new_idx - old_idx);
+  }
 
   void Reset() {
     desc_gpa_ = avail_gpa_ = used_gpa_ = 0;
@@ -160,6 +201,7 @@ class VirtioDevice : public devices::MmioDevice {
     w.WriteU16(queue_sel_);
     w.WriteU32(isr_);
     w.WriteU32(device_status_);
+    w.WriteU32(features_);
   }
 
   Status Deserialize(const DirectPhase&, ByteReader& r) override {
@@ -169,6 +211,7 @@ class VirtioDevice : public devices::MmioDevice {
     HYP_ASSIGN_OR_RETURN(queue_sel_, r.ReadU16());
     HYP_ASSIGN_OR_RETURN(isr_, r.ReadU32());
     HYP_ASSIGN_OR_RETURN(device_status_, r.ReadU32());
+    HYP_ASSIGN_OR_RETURN(features_, r.ReadU32());
     return OkStatus();
   }
 
@@ -187,8 +230,14 @@ class VirtioDevice : public devices::MmioDevice {
     uint64_t bytes_read = 0;     // guest -> device
     uint64_t bytes_written = 0;  // device -> guest
     uint64_t interrupts = 0;
+    uint64_t interrupts_suppressed = 0;  // used-ring updates with no interrupt
+
+    bool operator==(const Stats&) const = default;
   };
   const Stats& stats() const { return stats_; }
+
+  // Feature bits the driver acked at 0x2C.
+  uint32_t features() const { return features_; }
 
  protected:
   virtual Status ProcessQueue(const Phase& ph, uint16_t queue) = 0;
@@ -196,10 +245,24 @@ class VirtioDevice : public devices::MmioDevice {
   // Raises the used-ring ISR bit and the interrupt line.
   void NotifyGuest(const Phase& ph);
 
+  // Interrupt delivery with coalescing: call after pushing completions that
+  // moved queue `q`'s used index from `old_used`. Interrupts unless the
+  // guest suppressed it — via used_event when kFeatureEventIdx is acked,
+  // via avail.flags NO_INTERRUPT otherwise. Suppressions are counted.
+  void NotifyUsed(const Phase& ph, uint16_t q, uint16_t old_used);
+
   // Copies a readable chain's bytes into a flat buffer (guest -> device).
   Result<std::vector<uint8_t>> GatherReadable(const Chain& chain);
   // Scatters `data` into the chain's writable elements (device -> guest).
   Result<uint32_t> ScatterWritable(const Chain& chain, const uint8_t* data, size_t n);
+
+  // Chunk-cursor variants for zero-copy payloads: read/write `n` bytes at
+  // byte offset `off` within the chain's readable/writable span, without
+  // flattening the chain into a temporary. ReadChain errors if the readable
+  // span is shorter than off+n; WriteChain clamps to capacity and returns
+  // the bytes actually written.
+  Status ReadChain(const Chain& chain, size_t off, uint8_t* dst, size_t n);
+  Result<uint32_t> WriteChain(const Chain& chain, size_t off, const uint8_t* src, size_t n);
 
   mem::GuestMemory& memory() { return *memory_; }
   VirtQueue& queue(uint16_t i) { return queues_[i]; }
@@ -214,6 +277,7 @@ class VirtioDevice : public devices::MmioDevice {
   uint16_t queue_sel_ = 0;
   uint32_t isr_ = 0;
   uint32_t device_status_ = 0;
+  uint32_t features_ = 0;
   Stats stats_;
 };
 

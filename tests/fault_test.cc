@@ -291,7 +291,7 @@ net::Frame MakeFrame(net::MacAddr src, net::MacAddr dst, size_t payload = 64) {
   net::Frame f;
   f.src = src;
   f.dst = dst;
-  f.payload.assign(payload, 0xCD);
+  f.payload.Assign(payload, 0xCD);
   return f;
 }
 

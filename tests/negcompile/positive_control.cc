@@ -6,6 +6,7 @@
 // failing for the wrong reason (broken headers, stale include paths) and
 // their WILL_FAIL results are meaningless.
 
+#include <span>
 #include <string>
 
 #include "src/mem/frame_pool.h"
@@ -17,11 +18,13 @@
 namespace hyperion {
 
 void Control(const SerialPhase& sp, SimClock& clock, net::VirtualSwitch& sw,
-             mem::FramePool& pool, net::Frame frame, mem::HostFrame f) {
+             mem::FramePool& pool, net::Frame frame, mem::HostFrame f,
+             net::FrameSink& sink, std::span<const net::Frame> frames) {
   clock.ScheduleAt(sp, 100, [](const SerialPhase&) {});
   sw.Send(sp, std::move(frame));
   pool.DecRefImmediate(sp, f);
   internal::WriteLogText(sp, std::string("direct log line"));
+  sink.OnFrameBurst(sp, frames);
 }
 
 }  // namespace hyperion

@@ -24,7 +24,9 @@
 #include "src/fault/fault.h"
 #include "src/guest/programs.h"
 #include "src/migrate/migrate.h"
+#include "src/net/network.h"
 #include "src/storage/block_store.h"
+#include "src/virtio/virtio_net.h"
 #include "src/util/crc32.h"
 #include "src/verify/audit.h"
 
@@ -83,6 +85,11 @@ struct ScenarioResult {
   std::vector<uint32_t> digests;       // per VM, creation order; migrated VM last
   std::vector<std::string> consoles;   // same order
   std::vector<uint64_t> instructions;  // same order
+  // Data-plane counters: the coalescing machinery (EVENT_IDX suppression,
+  // NAPI polling, burst delivery) must also replay bit-identically.
+  net::VirtualSwitch::Stats switch_stats;
+  std::vector<virtio::VirtioNet::NetStats> nic_stats;     // per paravirt NIC
+  std::vector<virtio::VirtioDevice::Stats> nic_dev_stats;  // same order
   migrate::MigrationReport report;
   bool migrate_ok = false;
   StatusCode code = StatusCode::kOk;
@@ -154,6 +161,20 @@ ScenarioResult RunScenario(int workers, uint64_t seed, bool short_run = false) {
   echo.mac = 2;
   vms.push_back(Boot(src, echo, guest::VirtioNetEchoProgram(np.payload_bytes)));
 
+  // A bulk stream/sink pair with the full coalescing data plane engaged:
+  // EVENT_IDX completions, kick-suppressed NAPI polling, burst delivery.
+  guest::NetStreamParams sp;
+  sp.peer_mac = 4;
+  sp.payload_bytes = 256;
+  VmConfig stream{.name = "stream"};
+  stream.net_model = IoModel::kParavirt;
+  stream.mac = 3;
+  vms.push_back(Boot(src, stream, guest::VirtioNetStreamProgram(sp)));
+  VmConfig bulk_sink{.name = "sink"};
+  bulk_sink.net_model = IoModel::kParavirt;
+  bulk_sink.mac = 4;
+  vms.push_back(Boot(src, bulk_sink, guest::VirtioNetSinkProgram(sp)));
+
   SimTime unit = short_run ? 2 * kSimTicksPerMs : 10 * kSimTicksPerMs;
   src.RunFor(3 * unit);
 
@@ -176,6 +197,13 @@ ScenarioResult RunScenario(int workers, uint64_t seed, bool short_run = false) {
     out.consoles.push_back((*moved)->console());
     out.instructions.push_back((*moved)->TotalStats().instructions);
   }
+  out.switch_stats = src.vswitch().stats();
+  for (Vm* vm : vms) {
+    if (vm->virtio_net() != nullptr) {
+      out.nic_stats.push_back(vm->virtio_net()->net_stats());
+      out.nic_dev_stats.push_back(vm->virtio_net()->stats());
+    }
+  }
   out.src_stats = src.stats();
   out.dst_stats = dst.stats();
   out.src_now = src.clock().now();
@@ -191,6 +219,17 @@ TEST(StagedExecutionTest, ResultsAreIdenticalAcrossWorkerCounts) {
   ScenarioResult serial = RunScenario(/*workers=*/0, /*seed=*/42);
   ScenarioResult one = RunScenario(/*workers=*/1, /*seed=*/42);
   ScenarioResult four = RunScenario(/*workers=*/4, /*seed=*/42);
+  // The equality below must not hold vacuously: the stream/sink pair has to
+  // actually exercise kick suppression and burst delivery in this scenario.
+  uint64_t suppressed = 0;
+  uint64_t burst_frames = 0;
+  for (const auto& s : serial.nic_stats) {
+    suppressed += s.kicks_suppressed;
+    burst_frames += s.burst_frames;
+  }
+  EXPECT_GT(suppressed, 0u) << "NAPI polling never engaged";
+  EXPECT_GT(burst_frames, 0u) << "no coalesced burst deliveries";
+  EXPECT_GT(serial.switch_stats.bursts_delivered, 0u);
   EXPECT_TRUE(serial == one) << "1-worker run diverged from serial";
   EXPECT_TRUE(serial == four) << "4-worker run diverged from serial";
   // And the scenario itself replays deterministically at a fixed count.

@@ -524,7 +524,7 @@ class VirtQueueAuditTest : public ::testing::Test {
 
   void WriteDesc(uint16_t i, uint32_t gpa, uint32_t len, uint16_t flags,
                  uint16_t next) {
-    uint32_t d = kDesc + 16u * i;
+    uint32_t d = kDesc + virtio::kDescBytes * i;
     ASSERT_TRUE(memory_->WriteU32(d, gpa).ok());
     ASSERT_TRUE(memory_->WriteU32(d + 4, len).ok());
     ASSERT_TRUE(memory_->WriteU16(d + 8, flags).ok());

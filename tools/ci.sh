@@ -17,10 +17,13 @@
 #      clang is available, a -DHYPERION_THREAD_SAFETY=ON build that enforces
 #      clang -Wthread-safety over the annotated core
 #   8. clang-tidy lint (skipped gracefully where clang-tidy is absent)
-#   9. perf smoke: Release bench_exec; the DBT engine must clear 2x the
-#      interpreter's guest-MIPS on the hot compute kernel — a coarse
-#      anti-regression tripwire, not a microbench gate (steady-state margin
-#      is ~3x; 2x absorbs shared-runner noise)
+#   9. perf smoke: Release bench_exec and bench_net. The DBT engine must
+#      clear 2x the interpreter's guest-MIPS on the hot compute kernel — a
+#      coarse anti-regression tripwire, not a microbench gate (steady-state
+#      margin is ~3x; 2x absorbs shared-runner noise). The net data plane
+#      gate is exact: batched virtio must clear 3x the per-frame path's
+#      frames/sec and stay under 50 interrupts per 1k frames, measured in
+#      deterministic simulated time (immune to runner noise)
 #
 # Usage: tools/ci.sh [--fast]     --fast skips the sanitizer builds.
 
@@ -88,9 +91,9 @@ fi
 echo "=== [8/9] lint ==="
 tools/run_lint.sh build
 
-echo "=== [9/9] perf smoke: hot DBT vs interpreter ==="
+echo "=== [9/9] perf smoke: hot DBT vs interpreter; net data plane ==="
 cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build build-perf -j "$JOBS" --target bench_exec
+cmake --build build-perf -j "$JOBS" --target bench_exec bench_net
 # --benchmark_min_time takes a bare seconds value (no "s" suffix). The ratio
 # is computed from per-benchmark medians of 3 repetitions, and the stage
 # retries once on failure, so a single noisy sample on an oversubscribed
@@ -118,5 +121,24 @@ if ! perf_smoke; then
   echo "perf smoke: ratio below threshold once; retrying to absorb runner noise"
   perf_smoke
 fi
+
+# Net data-plane gate: bench_net measures simulated time, so the numbers are
+# bit-identical run to run — one run, no retry. Enforces the batched path's
+# reason to exist: >=3x the per-frame seed throughput with <50 interrupts
+# per 1k frames at the 256-byte payload point.
+build-perf/bench/bench_net --gate | tee build-perf/bench_net_gate.txt
+python3 - build-perf/bench_net_gate.txt <<'EOF'
+import re, sys
+text = open(sys.argv[1]).read()
+m = re.search(r"gate: perframe_fps=(\S+) batched_fps=(\S+) ratio=(\S+) "
+              r"batched_intr_per_1k=(\S+)", text)
+if not m:
+    print("net gate: summary line missing from bench_net output")
+    sys.exit(1)
+ratio, intr = float(m.group(3)), float(m.group(4))
+print(f"net gate: batched/per-frame ratio {ratio:.2f}x (floor 3.0), "
+      f"{intr:.1f} interrupts per 1k batched frames (ceiling 50)")
+sys.exit(0 if ratio >= 3.0 and intr < 50.0 else 1)
+EOF
 
 echo "ci: all stages passed"

@@ -378,6 +378,8 @@ const std::map<std::string, MnemonicInfo, std::less<>>& Mnemonics() {
     t.emplace("hcall", MnemonicInfo{F::kSys, Opcode::kHcall});
     t.emplace("halt", MnemonicInfo{F::kSys, Opcode::kHalt});
     t.emplace("sfence", MnemonicInfo{F::kSfence, Opcode::kSfence});
+    t.emplace("amoswap", MnemonicInfo{F::kR3, Opcode::kAmoSwap});
+    t.emplace("amoadd", MnemonicInfo{F::kR3, Opcode::kAmoAdd});
     t.emplace("li", MnemonicInfo{F::kLi});
     t.emplace("la", MnemonicInfo{F::kLi});
     t.emplace("mv", MnemonicInfo{F::kMv});

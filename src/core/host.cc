@@ -62,8 +62,14 @@ Result<Vm*> Host::CreateVm(VmConfig vm_config) {
   sched::EntityId base = next_entity_;
   next_entity_ += vm->num_vcpus();
   vm_base_entity_[vm.get()] = base;
+  sched::EntityConfig entity_cfg = vm->config().sched;
+  if (vm->num_vcpus() > 1 && entity_cfg.gang == 0) {
+    // Siblings of an SMP guest form a gang (co-scheduling): a descheduled
+    // lock holder must not strand spinning siblings for whole rounds.
+    entity_cfg.gang = base + 1;  // nonzero and unique per VM
+  }
   for (uint32_t i = 0; i < vm->num_vcpus(); ++i) {
-    HYP_RETURN_IF_ERROR(sched_->AddEntity(base + i, vm->config().sched));
+    HYP_RETURN_IF_ERROR(sched_->AddEntity(base + i, entity_cfg));
     entities_[base + i] = EntityRef{vm.get(), i};
     sched_->SetRunnable(base + i, true, clock_.now());
   }
@@ -209,6 +215,7 @@ bool Host::RunRound(SimTime end) {
     return false;
   };
 
+  sched_->BeginRound();
   while (!pcpu_heap_.empty()) {
     auto [free_at, p] = pcpu_heap_.top();
     SimTime t = std::max(free_at, clock_.now());

@@ -31,6 +31,7 @@ Status Vm::Init(const SerialPhase& ph) {
   HYP_ASSIGN_OR_RETURN(memory_, mem::GuestMemory::Create(&host_->pool(), config_.ram_bytes));
   virt_ = mmu::MakeVirtualizer(config_.paging_mode, memory_.get(), host_->costs(),
                                config_.tlb_entries);
+  virt_->ConfigureVcpus(config_.num_vcpus);
   memory_->SetInvalidateHook([this](uint32_t gpn) { InvalidateGpn(gpn); });
 
   // Platform devices.
@@ -112,6 +113,27 @@ Status Vm::Init(const SerialPhase& ph) {
       s.ClearPending(isa::Interrupt::kExternal);
     }
   });
+
+  // IPI doorbells drive the per-target software-interrupt line. The sink
+  // fires only on level edges (the PIC coalesces re-raises), in the phase of
+  // the access that moved the doorbell: a sibling's MMIO write from its
+  // slice, or a snapshot restore re-raising pending IPIs from a serial
+  // phase. Sends are attributed to the vCPU whose slice is executing.
+  pic_.SetIpiSink([this](const Phase& sink_ph, uint32_t vcpu, bool level) {
+    if (vcpu >= num_vcpus()) {
+      return;  // doorbell bits beyond the vCPU count are inert
+    }
+    cpu::CpuState& s = vcpus_[vcpu]->ctx.state;
+    if (level) {
+      s.RaisePending(isa::Interrupt::kSoftware);
+      if (running_vcpu_ != kNoVcpu) {
+        ++vcpus_[running_vcpu_]->ctx.stats.ipis_sent;
+      }
+      host_->WakeVcpu(sink_ph, this, vcpu);
+    } else {
+      s.ClearPending(isa::Interrupt::kSoftware);
+    }
+  });
   return OkStatus();
 }
 
@@ -132,13 +154,18 @@ SliceResult Vm::RunVcpuSlice(const ExecutePhase& ph, uint32_t vcpu_idx, uint64_t
   // COW breaks inside GuestMemory::Write charge their decref to it.
   vcpus_[vcpu_idx]->ctx.phase = &ph;
   memory_->SetEffectPhase(&ph);
+  // Select this vCPU's private TLB (and shadow active root); the engine's
+  // fast-translation array validates against its generation automatically.
+  virt_->SetActiveVcpu(vcpu_idx);
+  running_vcpu_ = vcpu_idx;
   SliceResult res = RunVcpuSliceInner(ph, vcpu_idx, budget, now);
+  running_vcpu_ = kNoVcpu;
   memory_->SetEffectPhase(nullptr);
   vcpus_[vcpu_idx]->ctx.phase = nullptr;
   // Slice boundaries are trap boundaries: every VMM data structure must be
   // coherent here, whatever the guest just did.
   if (verify::AuditEnabled() && state_ == VmState::kRunning) {
-    verify::AuditReport report = AuditInvariants(vcpu_idx);
+    verify::AuditReport report = AuditInvariants();
     if (!report.ok()) {
       Crash(ph, InternalError("invariant audit failed for " + name() + ":\n" +
                               report.ToString()));
@@ -148,10 +175,15 @@ SliceResult Vm::RunVcpuSlice(const ExecutePhase& ph, uint32_t vcpu_idx, uint64_t
   return res;
 }
 
-verify::AuditReport Vm::AuditInvariants(uint32_t vcpu_idx) const {
+verify::AuditReport Vm::AuditInvariants() const {
   verify::AuditReport report;
-  const cpu::CpuState& s = vcpus_[vcpu_idx]->ctx.state;
-  verify::AuditMmuCoherence(*virt_, s.paging_enabled(), s.ptbr, &report);
+  // Every sibling's TLB must be coherent at a trap boundary, not just the
+  // vCPU that happened to run: a shootdown bug shows up precisely as a stale
+  // entry in somebody *else's* TLB.
+  for (uint32_t i = 0; i < num_vcpus(); ++i) {
+    const cpu::CpuState& s = vcpus_[i]->ctx.state;
+    verify::AuditMmuCoherence(*virt_, s.paging_enabled(), s.ptbr, &report, i);
+  }
   if (vblk_ != nullptr) {
     verify::AuditVirtioDevice(*vblk_, *memory_, name() + "/vblk", &report);
   }
@@ -389,6 +421,16 @@ cpu::VcpuStats Vm::TotalStats() const {
     total.dirty_first_writes += s.dirty_first_writes;
     total.blocks_translated += s.blocks_translated;
     total.block_executions += s.block_executions;
+    total.chain_hits += s.chain_hits;
+    total.traces_formed += s.traces_formed;
+    total.trace_executions += s.trace_executions;
+    total.mem_fastpath_hits += s.mem_fastpath_hits;
+    total.mem_fastpath_misses += s.mem_fastpath_misses;
+    total.evictions_surgical += s.evictions_surgical;
+    total.evictions_full += s.evictions_full;
+    total.ipis_sent += s.ipis_sent;
+    total.ipis_received += s.ipis_received;
+    total.shootdowns += s.shootdowns;
   }
   return total;
 }

@@ -167,11 +167,12 @@ class Vm {
   // Aggregated stats over all vCPUs.
   cpu::VcpuStats TotalStats() const;
 
-  // Runs the invariant auditors (src/verify) over this VM: MMU coherence as
-  // seen through `vcpu`'s STATUS/PTBR CSRs plus every virtio queue. Called
-  // automatically at slice boundaries when HYPERION_AUDIT is on (a violation
-  // crashes the VM); tests may call it directly at any trap boundary.
-  verify::AuditReport AuditInvariants(uint32_t vcpu) const;
+  // Runs the invariant auditors (src/verify) over this VM: MMU coherence for
+  // *every* vCPU's TLB, each checked under that vCPU's own STATUS/PTBR CSRs,
+  // plus every virtio queue. Called automatically at slice boundaries when
+  // HYPERION_AUDIT is on (a violation crashes the VM); tests may call it
+  // directly at any trap boundary.
+  verify::AuditReport AuditInvariants() const;
 
   // Marks the VM crashed (also used by the host on fatal conditions).
   void Crash(const Phase& ph, const Status& reason);
@@ -220,6 +221,12 @@ class Vm {
   std::unique_ptr<virtio::VirtioBlk> vblk_;
   std::unique_ptr<virtio::VirtioNet> vnet_;
   std::unique_ptr<virtio::VirtioConsole> vcon_;
+
+  // vCPU whose slice is currently executing, or kNoVcpu between slices.
+  // Same-VM slices always run serially on one lane, so a plain field is
+  // race-free; it attributes IPI doorbell raises to their sender.
+  static constexpr uint32_t kNoVcpu = UINT32_MAX;
+  uint32_t running_vcpu_ = kNoVcpu;
 
   std::string console_;
   std::vector<uint32_t> logged_;

@@ -76,10 +76,17 @@ struct VcpuStats {
   uint64_t mem_fastpath_misses = 0;  // fell through to Virtualizer::Translate
   uint64_t evictions_surgical = 0;   // DBT: single blocks evicted at capacity
   uint64_t evictions_full = 0;       // DBT: whole-cache flushes
+  uint64_t ipis_sent = 0;       // IPI doorbell edges this vCPU raised
+  uint64_t ipis_received = 0;   // software interrupts delivered to this vCPU
+  uint64_t shootdowns = 0;      // sfence executed inside an IPI handler
 
   uint64_t TotalExits() const {
     return mmio_exits + hypercalls + pt_write_exits + cow_breaks + priv_emulations;
   }
+
+  // Field-for-field equality: the staged-execution determinism oracle
+  // compares whole per-vCPU stat blocks across worker counts.
+  bool operator==(const VcpuStats&) const = default;
 };
 
 // L0 translation cache: a tiny direct-mapped va-page → host-frame array

@@ -93,6 +93,9 @@ class ExecCore {
     auto cause = static_cast<isa::TrapCause>(static_cast<uint32_t>(isa::TrapCause::kInterruptFlag) |
                                              line);
     ++ctx_.stats.interrupts_delivered;
+    if (line == static_cast<uint32_t>(isa::Interrupt::kSoftware)) {
+      ++ctx_.stats.ipis_received;
+    }
     Charge(ctx_.costs->interrupt_inject);
     Vector(cause, 0);
     return true;
@@ -348,6 +351,10 @@ class ExecCore {
         return ExecSfence(in);
       case Opcode::kHalt:
         return ExecHalt();
+      case Opcode::kAmoSwap:
+        return ExecAmo(in, /*is_add=*/false);
+      case Opcode::kAmoAdd:
+        return ExecAmo(in, /*is_add=*/true);
       default:
         Trap(isa::TrapCause::kIllegalInstruction, 0);
         return true;
@@ -394,6 +401,9 @@ class ExecCore {
     st |= StatusBits::kPrv;
     s.status = st;
     s.pc = s.tvec;
+    // The trap stack is one deep, so any trap that is not itself a software
+    // interrupt ends the IPI-handler window for shootdown accounting.
+    s.in_ipi_handler = cause == isa::TrapCause::kSoftwareInterrupt;
   }
 
   mmu::TranslateOutcome Translate(uint32_t va, mmu::Access access) {
@@ -683,6 +693,7 @@ class ExecCore {
     st &= ~StatusBits::kPprv;
     s.status = st;
     s.pc = s.epc;
+    s.in_ipi_handler = false;
     return true;
   }
 
@@ -727,6 +738,9 @@ class ExecCore {
     if (s.paging_enabled()) {
       engine_->InvalidateMappings();
     }
+    if (s.in_ipi_handler) {
+      ++ctx_.stats.shootdowns;  // the remote half of a TLB shootdown
+    }
     s.pc += 4;
     return true;
   }
@@ -740,6 +754,71 @@ class ExecCore {
     ChargePrivileged();
     s.halted = true;
     Exit(ExitReason::kHalt);
+    return false;
+  }
+
+  // Word-sized atomic read-modify-write: rd = mem[rs1]; mem[rs1] = (is_add ?
+  // old + rs2 : rs2). Atomicity is architectural rather than emulated:
+  // sibling vCPU slices of one VM always execute serially on one lane, so an
+  // instruction-granular RMW can never interleave with another vCPU's access.
+  // Requires store permission on the page; MMIO and write-protected
+  // page-table pages take a store fault (no atomics on either).
+  bool ExecAmo(const isa::Instruction& in, bool is_add) {
+    CpuState& s = ctx_.state;
+    uint32_t va = s.ReadReg(in.rs1);
+    if (va & 3u) {
+      Trap(isa::TrapCause::kStoreMisaligned, va);
+      return true;
+    }
+    // COW breaking may require one retry after the private copy is made.
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      mmu::TranslateOutcome t = Translate(va, mmu::Access::kStore);
+      switch (t.event) {
+        case mmu::MemEvent::kGuestFault:
+          Trap(t.fault_cause, va);
+          return true;
+        case mmu::MemEvent::kMissingPage:
+          ExitMissingPage(isa::PageNumber(t.gpa));
+          return false;
+        case mmu::MemEvent::kPtWriteTrap:
+          Trap(isa::TrapCause::kStorePageFault, va);
+          return true;
+        case mmu::MemEvent::kCowBreak: {
+          Charge(ctx_.costs->vm_exit + ctx_.costs->cow_break);
+          ++ctx_.stats.cow_breaks;
+          uint32_t gpn = isa::PageNumber(t.gpa);
+          Status st = ctx_.memory->BreakSharing(*phase_, gpn);
+          if (!st.ok()) {
+            ExitError(std::move(st));
+            return false;
+          }
+          ctx_.virt->InvalidateGpn(gpn);
+          continue;
+        }
+        case mmu::MemEvent::kNone:
+          break;
+      }
+      if (t.is_mmio) {
+        Trap(isa::TrapCause::kStorePageFault, va);
+        return true;
+      }
+      uint32_t gpn = isa::PageNumber(t.gpa);
+      uint8_t* page = ctx_.memory->pool().FrameData(t.frame);
+      uint32_t old = 0;
+      std::memcpy(&old, page + isa::VaPageOffset(t.gpa), 4);
+      uint32_t next = is_add ? old + s.ReadReg(in.rs2) : s.ReadReg(in.rs2);
+      std::memcpy(page + isa::VaPageOffset(t.gpa), &next, 4);
+      if (ctx_.memory->MarkDirty(gpn)) {
+        Charge(ctx_.costs->dirty_log_first_write);
+        ++ctx_.stats.dirty_first_writes;
+      }
+      engine_->InvalidateCodePage(gpn);
+      FastFill(va, t);
+      s.WriteReg(in.rd, old);
+      s.pc += 4;
+      return true;
+    }
+    ExitError(InternalError("amo did not settle after COW retries"));
     return false;
   }
 

@@ -32,6 +32,10 @@ struct CpuState {
 
   bool halted = false;   // HALT executed
   bool waiting = false;  // parked in WFI
+  // True between delivery of a software (IPI) interrupt and the matching
+  // sret (or any other trap — the trap stack is one deep). While set, an
+  // sfence counts as the remote half of a TLB shootdown in VcpuStats.
+  bool in_ipi_handler = false;
 
   // --- Helpers -------------------------------------------------------------
 
@@ -76,6 +80,7 @@ struct CpuState {
     w.WriteU32(ipend);
     w.WriteU8(halted ? 1 : 0);
     w.WriteU8(waiting ? 1 : 0);
+    w.WriteU8(in_ipi_handler ? 1 : 0);
   }
 
   static Result<CpuState> Deserialize(ByteReader& r) {
@@ -98,8 +103,10 @@ struct CpuState {
     HYP_ASSIGN_OR_RETURN(s.ipend, r.ReadU32());
     HYP_ASSIGN_OR_RETURN(uint8_t halted, r.ReadU8());
     HYP_ASSIGN_OR_RETURN(uint8_t waiting, r.ReadU8());
+    HYP_ASSIGN_OR_RETURN(uint8_t in_ipi, r.ReadU8());
     s.halted = halted != 0;
     s.waiting = waiting != 0;
+    s.in_ipi_handler = in_ipi != 0;
     s.regs[0] = 0;  // restore the ReadReg invariant against hostile streams
     return s;
   }

@@ -9,6 +9,12 @@ void InterruptController::Assert(const Phase& ph, uint8_t line) {
   UpdateLevel(ph);
 }
 
+void InterruptController::RaiseIpi(const DirectPhase& ph, uint32_t targets) {
+  uint32_t before = ipi_pending_;
+  ipi_pending_ |= targets;
+  UpdateIpiLevels(ph, before);
+}
+
 Result<uint32_t> InterruptController::Read(uint32_t offset, uint32_t size) {
   if (size != 4) {
     return InvalidArgumentError("pic registers are word-only");
@@ -22,6 +28,8 @@ Result<uint32_t> InterruptController::Read(uint32_t offset, uint32_t size) {
       uint32_t active = pending_ & enable_;
       return active == 0 ? 0xFFFFFFFFu : static_cast<uint32_t>(std::countr_zero(active));
     }
+    case 0x18:
+      return ipi_pending_;
     default:
       return NotFoundError("bad pic register");
   }
@@ -42,6 +50,17 @@ Status InterruptController::Write(const Phase& ph, uint32_t offset, uint32_t siz
     case 0x0C:
       pending_ |= value;
       break;
+    case 0x14:
+    case 0x1C: {
+      uint32_t before = ipi_pending_;
+      if (offset == 0x14) {
+        ipi_pending_ |= value;
+      } else {
+        ipi_pending_ &= ~value;
+      }
+      UpdateIpiLevels(ph, before);
+      return OkStatus();
+    }
     default:
       return NotFoundError("bad pic register");
   }
@@ -52,7 +71,10 @@ Status InterruptController::Write(const Phase& ph, uint32_t offset, uint32_t siz
 void InterruptController::Reset(const DirectPhase& ph) {
   pending_ = 0;
   enable_ = 0;
+  uint32_t before = ipi_pending_;
+  ipi_pending_ = 0;
   UpdateLevel(ph);
+  UpdateIpiLevels(ph, before);
 }
 
 void InterruptController::UpdateLevel(const Phase& ph) {
@@ -61,15 +83,34 @@ void InterruptController::UpdateLevel(const Phase& ph) {
   }
 }
 
+void InterruptController::UpdateIpiLevels(const Phase& ph, uint32_t before) {
+  if (!ipi_sink_) {
+    return;
+  }
+  uint32_t changed = before ^ ipi_pending_;
+  while (changed != 0) {
+    uint32_t vcpu = static_cast<uint32_t>(std::countr_zero(changed));
+    changed &= changed - 1;
+    ipi_sink_(ph, vcpu, (ipi_pending_ >> vcpu) & 1u);
+  }
+}
+
 void InterruptController::Serialize(ByteWriter& w) const {
   w.WriteU32(pending_);
   w.WriteU32(enable_);
+  w.WriteU32(ipi_pending_);
 }
 
 Status InterruptController::Deserialize(const DirectPhase& ph, ByteReader& r) {
   HYP_ASSIGN_OR_RETURN(pending_, r.ReadU32());
   HYP_ASSIGN_OR_RETURN(enable_, r.ReadU32());
+  uint32_t before = ipi_pending_;
+  HYP_ASSIGN_OR_RETURN(ipi_pending_, r.ReadU32());
   UpdateLevel(ph);
+  // Re-fire every doorbell whose level differs from the pre-restore state so
+  // a VM restored mid-shootdown re-raises (or clears) each sibling's
+  // software-interrupt line; no vCPU is left spinning on a dead ack.
+  UpdateIpiLevels(ph, before);
   return OkStatus();
 }
 

@@ -9,8 +9,17 @@
 //   0x00 PENDING (RO)   latched lines
 //   0x04 ENABLE  (RW)   per-line mask
 //   0x08 ACK     (W1C)  clear pending bits
-//   0x0C RAISE   (WO)   software-set pending bits (IPIs, tests)
+//   0x0C RAISE   (WO)   software-set pending bits (tests)
 //   0x10 CLAIM   (RO)   lowest pending&enabled line, 0xFFFFFFFF if none
+//
+// Inter-processor interrupts use a separate per-vCPU doorbell bank: each bit
+// of IPI_PENDING belongs to one vCPU and drives that vCPU's software-
+// interrupt input as a level. Raising an already-pending bit coalesces (no
+// new edge); the target clears its own bit once the IPI is handled.
+//
+//   0x14 IPI_RAISE   (WO)   bitmask of target vCPUs to interrupt
+//   0x18 IPI_PENDING (RO)   per-vCPU doorbell bits
+//   0x1C IPI_ACK     (W1C)  clear doorbell bits (targets write 1 << hartid)
 
 #ifndef SRC_DEVICES_PIC_H_
 #define SRC_DEVICES_PIC_H_
@@ -29,10 +38,23 @@ class InterruptController final : public MmioDevice {
   // effects (vCPU wakes) stage or act accordingly.
   using LevelSink = std::function<void(const Phase& ph, bool level)>;
 
+  // `ipi_sink` is invoked once per vCPU whose doorbell level changed (the VMM
+  // wires it to that vCPU's software-interrupt IPEND bit). Coalesced raises
+  // (bit already pending) produce no call.
+  using IpiSink = std::function<void(const Phase& ph, uint32_t vcpu, bool level)>;
+
   void SetSink(LevelSink sink) { sink_ = std::move(sink); }
+  void SetIpiSink(IpiSink sink) { ipi_sink_ = std::move(sink); }
 
   // Device-side line assertion (edge-latched into PENDING).
   void Assert(const Phase& ph, uint8_t line);
+
+  // VMM-side IPI injection (equivalent to a guest IPI_RAISE write). Demands
+  // a direct-phase token: host-side code may ring doorbells only from the
+  // serial regimes (setup, clock callbacks, restore, commit). Guest raises
+  // arrive through Write() on the owning VM's execute lane instead; nothing
+  // running on a worker lane can deliver an IPI to another VM's PIC.
+  void RaiseIpi(const DirectPhase& ph, uint32_t targets);
 
   std::string_view name() const override { return "pic"; }
   Result<uint32_t> Read(uint32_t offset, uint32_t size) override;
@@ -44,13 +66,17 @@ class InterruptController final : public MmioDevice {
 
   uint32_t pending() const { return pending_; }
   uint32_t enable() const { return enable_; }
+  uint32_t ipi_pending() const { return ipi_pending_; }
 
  private:
   void UpdateLevel(const Phase& ph);
+  void UpdateIpiLevels(const Phase& ph, uint32_t before);
 
   uint32_t pending_ = 0;
   uint32_t enable_ = 0;
+  uint32_t ipi_pending_ = 0;
   LevelSink sink_;
+  IpiSink ipi_sink_;
 };
 
 // A device's handle to one PIC line.

@@ -288,6 +288,302 @@ maybe_done:
   return out.str();
 }
 
+std::string SmpMcsLockProgram(const SmpLockParams& params) {
+  const uint32_t n = params.num_vcpus;
+  const uint32_t sibling_mask = ((1u << n) - 1u) & ~1u;
+  const uint32_t expect_val = 0xB0B0 + params.shootdown_rounds;
+  std::ostringstream out;
+  out << R"(.org 0x1000
+.equ HC_SHUTDOWN, 4
+.equ HC_START_VCPU, 10
+.equ PIC_BASE, 0xF0001000
+.equ PT_ROOT, 0x80000
+.equ VA_PAGE, 0x400000
+    j _start
+.align 4096
+progress:
+    .word 0
+mcs_tail:
+    .word 0
+bar_count:
+    .word 0
+bar_sense:
+    .word 0
+rounds_done:
+    .word 0
+shared:
+    .word 0
+acks:
+    .space 64              ; one word per possible vCPU
+results:
+    .space 64              ; probe value each vCPU observed after the rounds
+qnodes:
+    .space 256             ; MCS qnode per vCPU: +0 next, +4 locked
+save:
+    .space 256             ; IPI handler register save area per vCPU
+.align 4096
+_start:
+    ; Page tables: identity 4MiB superpage, MMIO superpage, and an L2 table
+    ; so the probe VA has a remappable 4KiB leaf.
+    li t0, PT_ROOT
+    li t1, 0x7F              ; identity 4MiB superpage V|R|W|X|U|A|D
+    sw t1, 0(t0)
+    li t1, 0xF0000067        ; MMIO window superpage V|R|W|A|D
+    li t2, PT_ROOT + 960*4
+    sw t1, 0(t2)
+    li t1, 0x82001           ; L1[1] -> L2 table at page 0x82
+    li t2, PT_ROOT + 4
+    sw t1, 0(t2)
+    li t0, 0x82000
+    li t1, 0x30006F          ; VA_PAGE -> pa 0x300000 initially
+    sw t1, 0(t0)
+    li t0, 0x300000          ; round-0 probe value
+    li t1, 0xB0B0
+    sw t1, 0(t0)
+    li s0, 1
+start_loop:
+    li t0, )" << n << R"(
+    bgeu s0, t0, boot_done
+    li a0, HC_START_VCPU
+    mv a1, s0
+    la a2, secondary
+    mv a3, s0                ; worker receives its hart index in a0
+    hcall
+    addi s0, s0, 1
+    j start_loop
+boot_done:
+    li a0, 0
+secondary:
+    mv s1, a0                ; s1 = hartid, for the rest of the run
+    li t1, 0x80
+    csrw ptbr, t1
+    la t0, ipi_handler
+    csrw tvec, t0
+    la gp, save              ; gp = this vCPU's handler save area
+    slli t0, s1, 4
+    add gp, gp, t0
+    la s2, qnodes            ; s2 = this vCPU's MCS qnode
+    slli t0, s1, 4
+    add s2, s2, t0
+    li s3, 0                 ; barrier sense
+    csrr t0, status
+    ori t0, t0, 0x11         ; STATUS.PG | STATUS.IE
+    csrw status, t0
+
+    ; --- Phase B: warm a TLB entry for the probe VA on every vCPU ----------
+    jal barrier
+    li t0, VA_PAGE
+    lw t1, 0(t0)
+    jal barrier
+
+    ; --- Phase C: shootdown rounds -----------------------------------------
+    bnez s1, wait_rounds
+    li s0, 1                 ; vCPU 0 initiates round s0 = 1..R
+init_round:
+    li t0, )" << params.shootdown_rounds << R"(
+    bgtu s0, t0, rounds_over
+    li t0, 0x300000          ; prefill page (0x300 + round) with 0xB0B0+round
+    slli t1, s0, 12
+    add t0, t0, t1
+    li t1, 0xB0B0
+    add t1, t1, s0
+    sw t1, 0(t0)
+    li t0, 0x82000           ; remap VA_PAGE -> page (0x300 + round)
+    li t1, 0x30006F
+    slli t2, s0, 12
+    add t1, t1, t2
+    sw t1, 0(t0)
+    sfence                   ; local half of the shootdown
+    la t0, acks              ; clear sibling acks
+    li t2, 1
+clear_acks:
+    li t1, )" << n << R"(
+    bgeu t2, t1, acks_cleared
+    slli t3, t2, 2
+    add t3, t0, t3
+    sw zero, 0(t3)
+    addi t2, t2, 1
+    j clear_acks
+acks_cleared:
+    li t0, PIC_BASE          ; kick every sibling's doorbell
+    li t1, )" << sibling_mask << R"(
+    sw t1, 0x14(t0)
+    li t2, 1                 ; spin until every sibling has acked in memory
+wait_acks:
+    li t1, )" << n << R"(
+    bgeu t2, t1, acks_in
+    la t0, acks
+    slli t3, t2, 2
+    add t3, t0, t3
+    lw t1, 0(t3)
+    beqz t1, wait_acks
+    addi t2, t2, 1
+    j wait_acks
+acks_in:
+    la t0, rounds_done
+    sw s0, 0(t0)
+    addi s0, s0, 1
+    j init_round
+rounds_over:
+    j after_rounds
+wait_rounds:
+    la t0, rounds_done       ; siblings wait out the rounds, taking IPIs
+wait_rounds_spin:
+    lw t1, 0(t0)
+    li t2, )" << params.shootdown_rounds << R"(
+    bltu t1, t2, wait_rounds_spin
+after_rounds:
+    jal barrier
+
+    ; --- Phase D: every vCPU probes the remapped VA ------------------------
+    li t0, VA_PAGE
+    lw t1, 0(t0)             ; stale TLB => old page => wrong value
+    la t0, results
+    slli t2, s1, 2
+    add t0, t0, t2
+    sw t1, 0(t0)
+    jal barrier
+
+    ; --- Phase E: MCS-lock benchmark ---------------------------------------
+    li s0, )" << params.lock_iters << R"(
+lock_loop:
+    jal mcs_acquire
+    la t0, shared            ; non-atomic RMW: only the lock protects it
+    lw t1, 0(t0)
+    addi t1, t1, 1
+    sltu t2, t1, t1          ; widen the lw->sw window across budget exits
+    add t1, t1, t2
+    sw t1, 0(t0)
+    jal mcs_release
+    addi s0, s0, -1
+    bnez s0, lock_loop
+    jal barrier
+
+    ; --- Phase F: vCPU 0 grades the run ------------------------------------
+    bnez s1, worker_done
+    li s2, 0                 ; failure flag
+    li s0, 0
+check_loop:
+    li t0, )" << n << R"(
+    bgeu s0, t0, check_shared
+    la t0, results
+    slli t1, s0, 2
+    add t0, t0, t1
+    lw t1, 0(t0)
+    li t2, )" << expect_val << R"(
+    beq t1, t2, check_next
+    li s2, 1
+check_next:
+    addi s0, s0, 1
+    j check_loop
+check_shared:
+    la t0, shared
+    lw t1, 0(t0)
+    li t2, )" << n * params.lock_iters << R"(
+    beq t1, t2, graded
+    li s2, 1
+graded:
+    bnez s2, fail
+    la t0, progress
+    sw t1, 0(t0)
+    j finish
+fail:
+    la t0, progress
+    sw zero, 0(t0)
+finish:
+    li a0, HC_SHUTDOWN
+    hcall
+    halt
+worker_done:
+    halt
+
+    ; --- IPI handler: the remote half of a TLB shootdown -------------------
+    ; Doorbell ack must precede the memory ack: once the initiator sees the
+    ; memory word it may raise the next round, and a raise onto a still-set
+    ; doorbell bit is no edge (coalesced) -- the interrupt would be lost.
+ipi_handler:
+    sw t0, 0(gp)
+    sw t1, 4(gp)
+    sw t2, 8(gp)
+    sw t3, 12(gp)
+    sfence                   ; drop whatever the initiator just invalidated
+    csrr t0, hartid
+    li t1, PIC_BASE
+    li t3, 1
+    sll t3, t3, t0
+    sw t3, 0x1C(t1)          ; IPI_ACK own doorbell bit (W1C)
+    la t1, acks
+    slli t2, t0, 2
+    add t1, t1, t2
+    li t2, 1
+    sw t2, 0(t1)             ; memory ack the initiator spins on
+    lw t3, 12(gp)
+    lw t2, 8(gp)
+    lw t1, 4(gp)
+    lw t0, 0(gp)
+    sret
+
+    ; --- Sense-reversing barrier (amoadd); clobbers t0-t2, keeps s3 --------
+barrier:
+    xori s3, s3, 1
+    la t0, bar_count
+    li t1, 1
+    amoadd t2, t0, t1
+    li t1, )" << n - 1 << R"(
+    bne t2, t1, bar_wait
+    la t0, bar_count         ; last arrival: reset count, then publish sense
+    sw zero, 0(t0)
+    la t0, bar_sense
+    sw s3, 0(t0)
+    ret
+bar_wait:
+    la t0, bar_sense
+bar_spin:
+    lw t1, 0(t0)
+    bne t1, s3, bar_spin
+    ret
+
+    ; --- MCS lock (amoswap); qnode in s2; clobbers t0-t3 -------------------
+mcs_acquire:
+    sw zero, 0(s2)           ; I->next = nil
+    la t0, mcs_tail
+    amoswap t1, t0, s2       ; pred = swap(tail, I)
+    beqz t1, acq_done
+    li t2, 1
+    sw t2, 4(s2)             ; I->locked = true
+    sw s2, 0(t1)             ; pred->next = I
+acq_spin:
+    lw t2, 4(s2)
+    bnez t2, acq_spin
+acq_done:
+    ret
+
+    ; Swap-only release (no compare-and-swap in HV32): detect usurpers that
+    ; enqueued between our nil-swap and the tail restore.
+mcs_release:
+    lw t1, 0(s2)
+    bnez t1, rel_grant
+    la t0, mcs_tail
+    amoswap t1, t0, zero     ; old_tail = swap(tail, nil)
+    beq t1, s2, rel_done     ; no waiter: lock is free
+    amoswap t2, t0, t1       ; usurper = swap(tail, old_tail)
+rel_wait_next:
+    lw t3, 0(s2)
+    beqz t3, rel_wait_next   ; our successor is mid-enqueue; wait for the link
+    beqz t2, rel_no_usurper
+    sw t3, 0(t2)             ; splice our waiters behind the usurper's queue
+    j rel_done
+rel_no_usurper:
+    sw zero, 4(t3)           ; grant to our successor
+    j rel_done
+rel_grant:
+    sw zero, 4(t1)
+rel_done:
+    ret
+)";
+  return out.str();
+}
+
 std::string PagingBootPrelude() {
   return R"(.equ PT_ROOT, 0x80000
     li t0, PT_ROOT

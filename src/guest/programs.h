@@ -65,6 +65,27 @@ std::string SmcChurnProgram(const SmcChurnParams& params);
 // total in progress[0], and shuts the VM down. Requires num_vcpus >= 2.
 std::string SmpCounterProgram(uint32_t work_per_vcpu);
 
+struct SmpLockParams {
+  uint32_t num_vcpus = 4;    // must match the VM config (1..16)
+  uint32_t lock_iters = 64;  // lock acquisitions per vCPU
+  // Remap+IPI rounds initiated by vCPU 0. Max 255: round r remaps the probe
+  // VA to pa 0x300000 + r*0x1000, and the prefill store that seeds the page
+  // must stay inside the 4 MiB identity superpage (pa < 0x400000).
+  uint32_t shootdown_rounds = 3;
+};
+// The SMP coherence gauntlet, run under guest paging. All vCPUs warm a TLB
+// entry for a probe VA, then vCPU 0 remaps it `shootdown_rounds` times; each
+// round follows the shootdown protocol: write PTE, local sfence, IPI the
+// siblings through the PIC doorbell, spin on their memory acks. A sibling's
+// IPI handler runs sfence (the remote half), acks the doorbell, then the
+// memory word. Afterwards every vCPU re-reads the probe VA — a stale sibling
+// TLB surfaces as a wrong value. Then an MCS-lock benchmark (amoswap, with
+// the swap-only release of Mellor-Crummey & Scott) increments a shared
+// counter `lock_iters` times per vCPU, phases separated by sense-reversing
+// barriers (amoadd). progress = num_vcpus * lock_iters on success, 0 on any
+// coherence or mutual-exclusion failure. Needs >= 8 MiB guest RAM.
+std::string SmpMcsLockProgram(const SmpLockParams& params);
+
 // --- Memory workloads -------------------------------------------------------
 
 // The boot stub from the test suite, exported for reuse: identity 4 MiB

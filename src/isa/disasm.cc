@@ -134,6 +134,10 @@ std::string Disassemble(const Instruction& i) {
       return i.rs1 == 0 ? "sfence" : "sfence " + R(i.rs1);
     case Opcode::kHalt:
       return "halt";
+    case Opcode::kAmoSwap:
+      return "amoswap " + R(i.rd) + ", " + R(i.rs1) + ", " + R(i.rs2);
+    case Opcode::kAmoAdd:
+      return "amoadd " + R(i.rd) + ", " + R(i.rs1) + ", " + R(i.rs2);
     default:
       return "illegal";
   }

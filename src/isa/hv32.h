@@ -124,8 +124,10 @@ enum class Opcode : uint8_t {
   kHcall = 22,  // hypercall to the VMM; number in a0, args a1..a3
   kSfence = 23, // TLB flush (privileged); rs1!=zero flushes one VA
   kHalt = 24,   // stop the virtual machine (privileged)
+  kAmoSwap = 25, // rd = mem[rs1]; mem[rs1] = rs2   (word, rs1 4-aligned)
+  kAmoAdd = 26,  // rd = mem[rs1]; mem[rs1] += rs2  (word, rs1 4-aligned)
 
-  kMaxOpcode = kHalt,
+  kMaxOpcode = kAmoAdd,
   kIllegal = 63,
 };
 

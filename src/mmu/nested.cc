@@ -31,7 +31,7 @@ class NestedPaging final : public MemoryVirtualizer {
     uint32_t vpn = isa::PageNumber(va);
     uint32_t asid = asid_tlb_ ? ptbr : 0;
 
-    const TlbEntry* e = tlb_.Lookup(vpn, asid);
+    const TlbEntry* e = tlb_->Lookup(vpn, asid);
     if (e != nullptr && RightsAllow(access, e->readable, e->writable, e->executable) &&
         (priv != isa::PrivMode::kUser || e->user)) {
       TranslateOutcome out;
@@ -80,7 +80,7 @@ class NestedPaging final : public MemoryVirtualizer {
     fill.executable = wr.executable;
     fill.user = wr.user;
     fill.superpage = wr.superpage;
-    tlb_.Insert(fill);
+    tlb_->Insert(fill);
     ++stats_.tlb_fill;
     return out;
   }
@@ -90,11 +90,11 @@ class NestedPaging final : public MemoryVirtualizer {
     // Address-space switch: with ASID tagging, other spaces' entries survive
     // the switch; untagged TLBs flush wholesale. No VMM involvement either way.
     if (!asid_tlb_) {
-      tlb_.FlushAll();
+      tlb_->FlushAll();
     } else {
       // No entries are dropped, but derived caches (the per-vCPU
       // fast-translation array) are untagged and must not survive the switch.
-      tlb_.BumpGeneration();
+      tlb_->BumpGeneration();
     }
     ++stats_.root_switches;
     return 0;

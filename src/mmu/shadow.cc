@@ -45,7 +45,7 @@ class ShadowPaging final : public MemoryVirtualizer {
     uint32_t vpn = isa::PageNumber(va);
 
     // 1. TLB fast path.
-    const TlbEntry* e = tlb_.Lookup(vpn);
+    const TlbEntry* e = tlb_->Lookup(vpn);
     if (e != nullptr && RightsAllow(access, e->readable, e->writable, e->executable) &&
         (priv != isa::PrivMode::kUser || e->user)) {
       TranslateOutcome out;
@@ -126,16 +126,16 @@ class ShadowPaging final : public MemoryVirtualizer {
   }
 
   uint64_t OnPtbrWrite(uint32_t new_ptbr) override {
-    tlb_.FlushAll();
+    tlb_->FlushAll();
     for (auto& root : roots_) {
       if (root->ptbr == new_ptbr) {
         root->last_used = ++tick_;
-        active_ = root.get();
+        SetActiveRoot(root.get());
         ++stats_.root_switches;
         return costs_.shadow_root_switch;
       }
     }
-    active_ = &CreateRoot(new_ptbr);
+    SetActiveRoot(&CreateRoot(new_ptbr));
     return costs_.shadow_root_build;
   }
 
@@ -151,7 +151,10 @@ class ShadowPaging final : public MemoryVirtualizer {
         }
         for (uint32_t vpn : it->second) {
           root->map.erase(vpn);
-          tlb_.FlushPage(vpn);
+          // The shadow map is shared by every vCPU, so the dropped entry must
+          // leave every vCPU's TLB — WP interception, not guest shootdowns,
+          // keeps shadow state coherent.
+          FlushPageAllVcpus(vpn);
         }
         root->derived.erase(it);
       }
@@ -162,11 +165,13 @@ class ShadowPaging final : public MemoryVirtualizer {
   }
 
   void InvalidateGpn(uint32_t gpn) override {
-    tlb_.FlushGpn(gpn);
+    for (Tlb& t : tlbs_) {
+      t.FlushGpn(gpn);
+    }
     for (auto& root : roots_) {
       for (auto it = root->map.begin(); it != root->map.end();) {
         if (it->second.gpn == gpn) {
-          tlb_.FlushPage(it->first);
+          FlushPageAllVcpus(it->first);
           it = root->map.erase(it);
         } else {
           ++it;
@@ -176,8 +181,22 @@ class ShadowPaging final : public MemoryVirtualizer {
   }
 
   void FlushAll() override {
-    tlb_.FlushAll();
-    // Keep shadow roots: they stay coherent through write-protection.
+    // Flush every vCPU's TLB but keep shadow roots: they stay coherent
+    // through write-protection.
+    MemoryVirtualizer::FlushAll();
+  }
+
+  void ConfigureVcpus(uint32_t num_vcpus) override {
+    MemoryVirtualizer::ConfigureVcpus(num_vcpus);
+    active_per_vcpu_.assign(num_vcpus, nullptr);
+    active_ = nullptr;
+  }
+
+  void SetActiveVcpu(uint32_t vcpu) override {
+    MemoryVirtualizer::SetActiveVcpu(vcpu);
+    if (vcpu < active_per_vcpu_.size()) {
+      active_ = active_per_vcpu_[vcpu];
+    }
   }
 
   // Shadow-specific invariants on top of the generic TLB checks: every shadow
@@ -187,8 +206,9 @@ class ShadowPaging final : public MemoryVirtualizer {
   // WP bitmap), and with paging on the TLB must be a subset of the active
   // root's shadow map.
   void AuditInvariants(bool paging, uint32_t ptbr,
-                       std::vector<std::string>* violations) const override {
-    MemoryVirtualizer::AuditInvariants(paging, ptbr, violations);
+                       std::vector<std::string>* violations,
+                       uint32_t vcpu = 0) const override {
+    MemoryVirtualizer::AuditInvariants(paging, ptbr, violations, vcpu);
 
     for (const auto& root : roots_) {
       for (const auto& [vpn, se] : root->map) {
@@ -246,12 +266,14 @@ class ShadowPaging final : public MemoryVirtualizer {
       }
     }
 
-    if (paging && active_ != nullptr) {
-      tlb_.ForEachValid([&](const TlbEntry& e) {
-        auto it = active_->map.find(e.vpn);
+    const Root* audited_active =
+        vcpu < active_per_vcpu_.size() ? active_per_vcpu_[vcpu] : nullptr;
+    if (paging && audited_active != nullptr) {
+      tlb(vcpu).ForEachValid([&](const TlbEntry& e) {
+        auto it = audited_active->map.find(e.vpn);
         std::ostringstream where;
-        where << "shadow TLB vpn=0x" << std::hex << e.vpn << ": ";
-        if (it == active_->map.end()) {
+        where << "shadow TLB[vcpu" << vcpu << "] vpn=0x" << std::hex << e.vpn << ": ";
+        if (it == audited_active->map.end()) {
           violations->push_back(where.str() + "no shadow entry in the active root");
           return;
         }
@@ -304,10 +326,38 @@ class ShadowPaging final : public MemoryVirtualizer {
     return *roots_.back();
   }
 
+  // Marks `root` active for the currently selected vCPU.
+  void SetActiveRoot(Root* root) {
+    active_ = root;
+    if (active_vcpu_ < active_per_vcpu_.size()) {
+      active_per_vcpu_[active_vcpu_] = root;
+    }
+  }
+
+  bool IsActiveForAnyVcpu(const Root* root) const {
+    if (root == active_) {
+      return true;
+    }
+    for (const Root* r : active_per_vcpu_) {
+      if (r == root) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Flushes one vpn from every vCPU's TLB (VMM-side shadow invalidation).
+  void FlushPageAllVcpus(uint32_t vpn) {
+    for (Tlb& t : tlbs_) {
+      t.FlushPage(vpn);
+    }
+  }
+
   void EvictLruRoot() {
     size_t victim = SIZE_MAX;
     for (size_t i = 0; i < roots_.size(); ++i) {
-      if (roots_[i].get() == active_) {
+      // A root that is any sibling vCPU's active address space must survive.
+      if (IsActiveForAnyVcpu(roots_[i].get())) {
         continue;
       }
       if (victim == SIZE_MAX || roots_[i]->last_used < roots_[victim]->last_used) {
@@ -344,12 +394,15 @@ class ShadowPaging final : public MemoryVirtualizer {
   void RegisterPtPage(Root& root, uint32_t pt_gpn, uint32_t vpn) {
     if (!memory_->IsWriteProtected(pt_gpn)) {
       memory_->SetWriteProtected(pt_gpn, true);
-      // Any cached translation that could still write this page must go.
-      tlb_.FlushGpn(pt_gpn);
+      // Any cached translation that could still write this page — on any
+      // vCPU — must go.
+      for (Tlb& t : tlbs_) {
+        t.FlushGpn(pt_gpn);
+      }
       for (auto& r : roots_) {
         for (auto it = r->map.begin(); it != r->map.end();) {
           if (it->second.gpn == pt_gpn && it->second.writable) {
-            tlb_.FlushPage(it->first);
+            FlushPageAllVcpus(it->first);
             it = r->map.erase(it);
           } else {
             ++it;
@@ -383,12 +436,15 @@ class ShadowPaging final : public MemoryVirtualizer {
     e.readable = se.readable;
     e.executable = se.executable;
     e.user = se.user;
-    tlb_.Insert(e);
+    tlb_->Insert(e);
     ++stats_.tlb_fill;
   }
 
   std::vector<std::unique_ptr<Root>> roots_;
+  // The selected vCPU's active root (mirrors active_per_vcpu_[active_vcpu_]).
   Root* active_ = nullptr;
+  // Per-vCPU active address space; sized by ConfigureVcpus (default: one).
+  std::vector<Root*> active_per_vcpu_{nullptr};
   uint64_t tick_ = 0;
 };
 

@@ -5,21 +5,47 @@
 namespace hyperion::mmu {
 
 void MemoryVirtualizer::OnSfence(uint32_t va) {
+  // sfence is local to the executing vCPU, as on real hardware; flushing the
+  // siblings is the guest's job (IPI shootdown).
   if (va == 0) {
-    tlb_.FlushAll();
+    tlb_->FlushAll();
   } else {
-    tlb_.FlushPage(isa::PageNumber(va));
+    tlb_->FlushPage(isa::PageNumber(va));
   }
 }
 
-void MemoryVirtualizer::OnPagingToggle() { tlb_.FlushAll(); }
+void MemoryVirtualizer::OnPagingToggle() { tlb_->FlushAll(); }
 
 void MemoryVirtualizer::OnPtWriteEmulated(uint32_t gpa, uint32_t size) {
   (void)gpa;
   (void)size;
 }
 
-void MemoryVirtualizer::InvalidateGpn(uint32_t gpn) { tlb_.FlushGpn(gpn); }
+void MemoryVirtualizer::InvalidateGpn(uint32_t gpn) {
+  // VMM-side page change: every vCPU's cached translations are stale.
+  for (Tlb& t : tlbs_) {
+    t.FlushGpn(gpn);
+  }
+}
+
+void MemoryVirtualizer::ConfigureVcpus(uint32_t num_vcpus) {
+  while (tlbs_.size() < num_vcpus) {
+    tlbs_.emplace_back(tlb_entries_);
+  }
+  while (tlbs_.size() > num_vcpus && tlbs_.size() > 1) {
+    tlbs_.pop_back();
+  }
+  active_vcpu_ = 0;
+  tlb_ = &tlbs_.front();
+  FlushAll();
+}
+
+void MemoryVirtualizer::SetActiveVcpu(uint32_t vcpu) {
+  if (vcpu < tlbs_.size()) {
+    active_vcpu_ = vcpu;
+    tlb_ = &tlbs_[vcpu];
+  }
+}
 
 TranslateOutcome MemoryVirtualizer::ResolveGpa(uint32_t gpa, Access access, bool pte_writable,
                                                uint64_t cost) {
@@ -64,7 +90,7 @@ TranslateOutcome MemoryVirtualizer::TranslateBare(uint32_t va, Access access) {
   ++stats_.translations;
   if (!isa::IsMmio(va)) {
     uint32_t vpn = isa::PageNumber(va);
-    const TlbEntry* e = tlb_.Lookup(vpn);
+    const TlbEntry* e = tlb_->Lookup(vpn);
     if (e != nullptr && RightsAllow(access, e->readable, e->writable, e->executable)) {
       TranslateOutcome out;
       out.gpa = va;
@@ -91,7 +117,7 @@ TranslateOutcome MemoryVirtualizer::TranslateBare(uint32_t va, Access access) {
     e.readable = true;
     e.executable = true;
     e.user = true;
-    tlb_.Insert(e);
+    tlb_->Insert(e);
     ++stats_.tlb_fill;
   }
   return out;
@@ -134,12 +160,17 @@ std::unique_ptr<MemoryVirtualizer> MakeVirtualizer(PagingMode mode, mem::GuestMe
 }
 
 void MemoryVirtualizer::AuditInvariants(bool paging, uint32_t ptbr,
-                                        std::vector<std::string>* violations) const {
+                                        std::vector<std::string>* violations,
+                                        uint32_t vcpu) const {
   (void)ptbr;
-  tlb_.ForEachValid([&](const TlbEntry& e) {
+  if (vcpu >= tlbs_.size()) {
+    violations->push_back(std::string(name()) + " audit: vcpu index out of range");
+    return;
+  }
+  tlbs_[vcpu].ForEachValid([&](const TlbEntry& e) {
     std::ostringstream where;
-    where << name() << " TLB vpn=0x" << std::hex << e.vpn << " asid=" << std::dec
-          << e.asid << ": ";
+    where << name() << " TLB[vcpu" << vcpu << "] vpn=0x" << std::hex << e.vpn
+          << " asid=" << std::dec << e.asid << ": ";
     if (!paging && e.gpn != e.vpn) {
       violations->push_back(where.str() + "non-identity entry while paging is off");
       return;

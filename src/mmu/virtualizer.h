@@ -20,6 +20,7 @@
 #define SRC_MMU_VIRTUALIZER_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -77,7 +78,10 @@ class MemoryVirtualizer {
   explicit MemoryVirtualizer(mem::GuestMemory* memory,
                              const CostModel& costs = CostModel::Default(),
                              size_t tlb_entries = 256)
-      : memory_(memory), costs_(costs), tlb_(tlb_entries) {}
+      : memory_(memory), costs_(costs), tlb_entries_(tlb_entries) {
+    tlbs_.emplace_back(tlb_entries);
+    tlb_ = &tlbs_.front();
+  }
   virtual ~MemoryVirtualizer() = default;
 
   MemoryVirtualizer(const MemoryVirtualizer&) = delete;
@@ -106,7 +110,32 @@ class MemoryVirtualizer {
   // balloon, migration page arrival): drop every cached translation to it.
   virtual void InvalidateGpn(uint32_t gpn);
 
-  virtual void FlushAll() { tlb_.FlushAll(); }
+  virtual void FlushAll() {
+    for (Tlb& t : tlbs_) {
+      t.FlushAll();
+    }
+  }
+
+  // --- SMP -------------------------------------------------------------------
+  //
+  // Each vCPU owns a private software TLB (and fast-translation array keyed
+  // to its generation), mirroring per-core hardware TLBs. Guest-local
+  // maintenance (sfence, paging toggle, ptbr write) touches only the active
+  // vCPU's TLB — cross-vCPU coherence is the *guest's* job, via the IPI
+  // shootdown protocol. VMM-side page events (COW, KSM, balloon, migration,
+  // shadow PT invalidation) flush every vCPU's TLB: the VMM must never rely
+  // on guest shootdowns for its own consistency.
+
+  // Sizes the per-vCPU TLB array. Called once at VM init, before any
+  // translation; existing cached state is discarded.
+  virtual void ConfigureVcpus(uint32_t num_vcpus);
+
+  // Selects which vCPU's TLB subsequent Translate/OnSfence/... calls use.
+  // Called at slice entry (and by audits); cheap pointer swap.
+  virtual void SetActiveVcpu(uint32_t vcpu);
+
+  uint32_t active_vcpu() const { return active_vcpu_; }
+  uint32_t num_tlbs() const { return static_cast<uint32_t>(tlbs_.size()); }
 
   // Invariant audit (debug; see src/verify/audit.h): appends a human-readable
   // line to `violations` for every cached translation that disagrees with the
@@ -115,16 +144,23 @@ class MemoryVirtualizer {
   // strategy: no entry maps an absent page or a stale frame, writable entries
   // never cover KSM-shared or write-protected pages, and with paging off all
   // entries are identity. Strategies with more internal state (shadow roots)
-  // extend it. Must not mutate any state.
+  // extend it. Must not mutate any state. `vcpu` selects which vCPU's TLB
+  // (and, under shadow paging, active root) is checked; `paging`/`ptbr` must
+  // come from that same vCPU's CSRs.
   virtual void AuditInvariants(bool paging, uint32_t ptbr,
-                               std::vector<std::string>* violations) const;
+                               std::vector<std::string>* violations,
+                               uint32_t vcpu = 0) const;
 
   mem::GuestMemory& memory() { return *memory_; }
-  Tlb& tlb() { return tlb_; }
+  Tlb& tlb() { return *tlb_; }
+  Tlb& tlb(uint32_t vcpu) { return tlbs_[vcpu]; }
+  const Tlb& tlb(uint32_t vcpu) const { return tlbs_[vcpu]; }
   const MmuStats& stats() const { return stats_; }
   void ResetStats() {
     stats_ = MmuStats{};
-    tlb_.ResetStats();
+    for (Tlb& t : tlbs_) {
+      t.ResetStats();
+    }
   }
 
  protected:
@@ -137,7 +173,12 @@ class MemoryVirtualizer {
 
   mem::GuestMemory* memory_;
   const CostModel& costs_;
-  Tlb tlb_;
+  // Per-vCPU TLBs (deque: growth must not move the active pointer). `tlb_`
+  // always points at the active vCPU's TLB.
+  std::deque<Tlb> tlbs_;
+  Tlb* tlb_;
+  uint32_t active_vcpu_ = 0;
+  size_t tlb_entries_;
   MmuStats stats_;
 };
 

@@ -59,10 +59,18 @@ class CreditScheduler final : public Scheduler {
     }
   }
 
+  void BeginRound() override { round_gangs_.clear(); }
+
   EntityId PickNext(SimTime now, const EligibleFn& eligible) override {
     MaybeNewPeriod(now);
-    // BOOST first (fresh wakers), then UNDER, then OVER; FIFO within class.
-    EntityId pick = ScanBoosted(now, eligible);
+    // Gang-mates of an already-dispatched gang jump every class: the point of
+    // co-scheduling is that siblings share the round, credit state be damned
+    // (caps still hold). Then BOOST (fresh wakers), UNDER, OVER; FIFO within
+    // class.
+    EntityId pick = ScanGangMates(now, eligible);
+    if (pick == kIdle) {
+      pick = ScanBoosted(now, eligible);
+    }
     if (pick == kIdle) {
       pick = ScanQueue(/*want_under=*/true, now, eligible);
     }
@@ -75,6 +83,9 @@ class CreditScheduler final : public Scheduler {
     std::erase(run_queue_, pick);
     Entity& e = entities_[pick];
     e.boosted = false;  // boost is consumed by the pick
+    if (e.config.gang != 0) {
+      round_gangs_.push_back(e.config.gang);
+    }
     stats_[pick].total_wait += now - e.runnable_since;
     ++stats_[pick].runs;
     return pick;
@@ -129,6 +140,34 @@ class CreditScheduler final : public Scheduler {
     }
     uint64_t cap_cycles = period_ * e.config.cap_percent / 100;
     return e.period_usage >= cap_cycles;
+  }
+
+  EntityId ScanGangMates(SimTime now, const EligibleFn& eligible) {
+    if (round_gangs_.empty()) {
+      return kIdle;
+    }
+    // entities_ is id-ordered, so a VM's gang-mates dispatch in vCPU-index
+    // order — one of the fixed orders the bit-identity oracle relies on.
+    for (const auto& [id, e] : entities_) {
+      if (e.config.gang == 0 || !e.runnable || CapExceeded(e) || e.not_before > now) {
+        continue;
+      }
+      // Only queued entities are candidates: an entity picked earlier this
+      // round is already out of the queue (still `runnable` until Account),
+      // and handing it a second pCPU would starve its waiting gang-mates.
+      if (std::find(run_queue_.begin(), run_queue_.end(), id) == run_queue_.end()) {
+        continue;
+      }
+      if (std::find(round_gangs_.begin(), round_gangs_.end(), e.config.gang) ==
+          round_gangs_.end()) {
+        continue;
+      }
+      if (eligible && !eligible(id)) {
+        continue;
+      }
+      return id;
+    }
+    return kIdle;
   }
 
   EntityId ScanBoosted(SimTime now, const EligibleFn& eligible) {
@@ -199,6 +238,7 @@ class CreditScheduler final : public Scheduler {
   SimTime period_start_ = 0;
   std::map<EntityId, Entity> entities_;
   std::deque<EntityId> run_queue_;
+  std::vector<uint32_t> round_gangs_;  // gangs dispatched this round
   std::map<EntityId, EntityStats> stats_;
 };
 

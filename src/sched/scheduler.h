@@ -30,6 +30,13 @@ inline constexpr EntityId kIdle = UINT32_MAX;
 struct EntityConfig {
   uint32_t weight = 256;   // proportional share (Xen default)
   uint32_t cap_percent = 0;  // max % of one pCPU per period; 0 = uncapped
+  // Co-scheduling group, 0 = none. Once one member of a gang is dispatched
+  // in a round, its runnable gang-mates jump the pick order for the round's
+  // remaining pCPUs (lowest entity id first). The host gangs the vCPUs of
+  // every SMP guest so siblings run the same rounds: a descheduled MCS-lock
+  // holder otherwise leaves its siblings spinning for whole timeslices
+  // (lock-holder preemption), and IPI round-trips stretch across rounds.
+  uint32_t gang = 0;
 };
 
 struct EntityStats {
@@ -51,6 +58,10 @@ class Scheduler {
 
   virtual Status AddEntity(EntityId id, EntityConfig config) = 0;
   virtual Status RemoveEntity(EntityId id) = 0;
+
+  // Called by the host at the top of every dispatch round. Schedulers that
+  // co-schedule gangs reset their per-round gang state here.
+  virtual void BeginRound() {}
 
   // Marks an entity runnable/blocked. `now` timestamps wait-latency tracking.
   virtual void SetRunnable(EntityId id, bool runnable, SimTime now) = 0;

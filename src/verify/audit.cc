@@ -40,8 +40,8 @@ std::string AuditReport::ToString() const {
 }
 
 void AuditMmuCoherence(const mmu::MemoryVirtualizer& virt, bool paging,
-                       uint32_t ptbr, AuditReport* report) {
-  virt.AuditInvariants(paging, ptbr, &report->violations);
+                       uint32_t ptbr, AuditReport* report, uint32_t vcpu) {
+  virt.AuditInvariants(paging, ptbr, &report->violations, vcpu);
 }
 
 void AuditFrameAccounting(const mem::FramePool& pool,

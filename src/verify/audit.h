@@ -46,10 +46,12 @@ struct AuditReport {
   std::string ToString() const;
 };
 
-// Checks every cached translation the virtualizer holds against the current
-// guest paging state (`paging`/`ptbr` from the vCPU's STATUS/PTBR CSRs).
+// Checks the cached translations the virtualizer holds for `vcpu` against
+// the current guest paging state (`paging`/`ptbr` from that vCPU's
+// STATUS/PTBR CSRs). For an SMP guest the caller audits each sibling in
+// turn, each under its own CSR state.
 void AuditMmuCoherence(const mmu::MemoryVirtualizer& virt, bool paging,
-                       uint32_t ptbr, AuditReport* report);
+                       uint32_t ptbr, AuditReport* report, uint32_t vcpu = 0);
 
 // Checks pool refcounts against the mappings of every address space using
 // the pool. `spaces` must be complete: a missing space shows up as a leaked

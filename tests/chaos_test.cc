@@ -27,6 +27,7 @@ namespace hyperion {
 namespace {
 
 using core::Host;
+using core::HostConfig;
 using core::Vm;
 using core::VmConfig;
 using core::VmState;
@@ -270,6 +271,126 @@ TEST(ChaosTest, RoundTimeoutCarriesRemainderForward) {
   EXPECT_GT(report.timeouts, 0u);
   EXPECT_GT(report.rounds, 1u);
   EXPECT_EQ(RamDigest(*vm), RamDigest(**moved));
+}
+
+// ---------------------------------------------------------------------------
+// SMP chaos: the same seeded fault plans, but the workload is a 4-vCPU guest
+// running its IPI/TLB-shootdown gauntlet while the migration fights the link.
+// On top of the single-vCPU oracles this adds a liveness oracle: whichever VM
+// survives the scenario — the destination on success, the rolled-back source
+// on abort — must still finish the gauntlet and reach its shutdown hypercall
+// with every shootdown accounted for. A migration that drops a doorbell or an
+// ack word leaves a vCPU spinning forever and fails the run-limit instead.
+// ---------------------------------------------------------------------------
+
+struct SmpChaosOutcome {
+  bool ok = false;
+  StatusCode code = StatusCode::kOk;
+  migrate::MigrationReport report;
+  uint32_t progress = 0;
+  uint32_t end_digest = 0;
+  uint64_t shootdowns = 0;
+  uint64_t ipis_sent = 0;
+
+  bool operator==(const SmpChaosOutcome& other) const {
+    return ok == other.ok && code == other.code && report == other.report &&
+           progress == other.progress && end_digest == other.end_digest &&
+           shootdowns == other.shootdowns && ipis_sent == other.ipis_sent;
+  }
+};
+
+SmpChaosOutcome RunSmpChaos(uint64_t seed) {
+  fault::ChaosProfile profile;
+  profile.link_site = kLinkSite;
+  profile.host_site = kHostSite;
+  profile.horizon = 100 * kSimTicksPerMs;
+  fault::FaultInjector inj(fault::FaultPlan::Random(seed, profile));
+
+  HostConfig hc;
+  hc.num_pcpus = 4;
+  Host src(hc), dst(hc);
+  src.SetFaultInjector(&inj, kHostSite);
+
+  guest::SmpLockParams params;
+  params.num_vcpus = 4;
+  params.lock_iters = 64;
+  params.shootdown_rounds = 20;
+  std::string prog = guest::SmpMcsLockProgram(params);
+  auto image = guest::Build(prog);
+  EXPECT_TRUE(image.ok()) << image.status().ToString();
+  uint32_t progress_addr = *guest::ProgressAddress(*image);
+
+  VmConfig cfg;
+  cfg.name = "smp-chaos";
+  cfg.ram_bytes = 8u << 20;
+  cfg.num_vcpus = 4;
+  cfg.paging_mode = mmu::PagingMode::kNested;
+  Vm* vm = Boot(src, cfg, prog);
+  src.RunFor(4 * kSimTicksPerMs);  // migration lands inside the gauntlet
+  EXPECT_EQ(vm->state(), VmState::kRunning) << "seed " << seed;
+
+  migrate::MigrateOptions options = ChaosOptions(&inj);
+  SmpChaosOutcome out;
+  migrate::MigrationReport report;
+  auto moved = migrate::PreCopyMigrate(src, vm, dst, options, &report);
+  out.ok = moved.ok();
+  out.code = moved.status().code();
+  out.report = report;
+
+  const uint32_t want_progress = params.num_vcpus * params.lock_iters;
+  const uint64_t expected_events =
+      static_cast<uint64_t>(params.shootdown_rounds) * (params.num_vcpus - 1);
+  if (moved.ok()) {
+    // Fidelity at switchover, then liveness on the destination: the restored
+    // machine must carry the whole IPI protocol state across the wire.
+    EXPECT_EQ(vm->state(), VmState::kPaused) << "seed " << seed;
+    EXPECT_EQ(RamDigest(*vm), RamDigest(**moved)) << "seed " << seed;
+    EXPECT_TRUE(dst.RunUntilVmStops(*moved, 10 * kSimTicksPerSec))
+        << "seed " << seed << ": destination never stopped";
+    EXPECT_EQ((*moved)->state(), VmState::kShutdown)
+        << "seed " << seed << ": " << (*moved)->crash_reason().ToString();
+    out.progress = (*moved)->memory().ReadU32(progress_addr).value_or(0);
+    cpu::VcpuStats total = vm->TotalStats();
+    cpu::VcpuStats dst_total = (*moved)->TotalStats();
+    out.shootdowns = total.shootdowns + dst_total.shootdowns;
+    out.ipis_sent = total.ipis_sent + dst_total.ipis_sent;
+    out.end_digest = RamDigest(**moved);
+  } else {
+    // Atomicity + liveness on the rolled-back source: the abort may not leave
+    // a vCPU stuck on an ack from a half-delivered shootdown.
+    EXPECT_EQ(out.code, StatusCode::kAborted)
+        << "seed " << seed << ": " << moved.status().ToString();
+    EXPECT_EQ(vm->state(), VmState::kRunning) << "seed " << seed;
+    EXPECT_TRUE(dst.vms().empty()) << "half-VM left behind, seed " << seed;
+    verify::SetAuditEnabled(true);
+    src.RunFor(2 * kSimTicksPerMs);
+    verify::SetAuditEnabled(false);
+    EXPECT_TRUE(src.RunUntilVmStops(vm, 10 * kSimTicksPerSec))
+        << "seed " << seed << ": source never stopped after rollback";
+    EXPECT_EQ(vm->state(), VmState::kShutdown)
+        << "seed " << seed << ": " << vm->crash_reason().ToString();
+    verify::AuditReport frames = src.AuditFrameAccounting();
+    EXPECT_TRUE(frames.ok()) << "seed " << seed << ":\n" << frames.ToString();
+    out.progress = vm->memory().ReadU32(progress_addr).value_or(0);
+    cpu::VcpuStats total = vm->TotalStats();
+    out.shootdowns = total.shootdowns;
+    out.ipis_sent = total.ipis_sent;
+    out.end_digest = RamDigest(*vm);
+  }
+  // Either way the gauntlet finished: all vCPUs graded, every shootdown
+  // delivered exactly once across however many hosts the VM lived on.
+  EXPECT_EQ(out.progress, want_progress) << "seed " << seed;
+  EXPECT_EQ(out.shootdowns, expected_events) << "seed " << seed;
+  EXPECT_EQ(out.ipis_sent, expected_events) << "seed " << seed;
+  return out;
+}
+
+TEST(ChaosSmpTest, PreCopySweepOnFourVcpuGuestIsDeterministicAndLive) {
+  for (uint64_t seed : {uint64_t{9101}, uint64_t{9102}}) {
+    SmpChaosOutcome first = RunSmpChaos(seed);
+    SmpChaosOutcome second = RunSmpChaos(seed);
+    EXPECT_TRUE(first == second) << "non-deterministic replay, seed " << seed;
+  }
 }
 
 }  // namespace

@@ -720,6 +720,110 @@ park:
   EXPECT_EQ(vm->vcpu(0).state.ReadReg(isa::kS3), 2u);
 }
 
+// The SMP coherence gauntlet: MCS lock (amoswap), sense-reversing barriers
+// (amoadd), and guest-initiated TLB shootdowns over the PIC IPI doorbell.
+// Nested paging is load-bearing: guest PTE writes do not trap there, so a
+// sibling's stale translation survives unless the shootdown IPI + sfence
+// protocol actually works. progress != 4*iters means either a lost update
+// under the lock or a stale TLB read after the remap rounds.
+TEST(SmpTest, McsLockWithTlbShootdowns) {
+  for (auto engine : {cpu::EngineKind::kInterpreter, cpu::EngineKind::kDbt}) {
+    core::HostConfig hc;
+    hc.num_pcpus = 4;
+    Host host(hc);
+    guest::SmpLockParams p;
+    std::string prog = guest::SmpMcsLockProgram(p);
+    VmConfig cfg{.name = "mcs"};
+    cfg.ram_bytes = 8u << 20;
+    cfg.num_vcpus = p.num_vcpus;
+    cfg.paging_mode = mmu::PagingMode::kNested;
+    cfg.engine = engine;
+    Vm* vm = BootVm(host, cfg, prog);
+    ASSERT_TRUE(host.RunUntilVmStops(vm, 60 * kSimTicksPerSec));
+    ASSERT_EQ(vm->state(), VmState::kShutdown) << vm->crash_reason().ToString();
+    EXPECT_EQ(ReadProgress(vm, prog), p.num_vcpus * p.lock_iters);
+    // Non-vacuity: the IPI and shootdown machinery actually fired.
+    cpu::VcpuStats total = vm->TotalStats();
+    uint64_t expected_ipis = uint64_t{p.shootdown_rounds} * (p.num_vcpus - 1);
+    EXPECT_EQ(vm->vcpu(0).stats.ipis_sent, expected_ipis);
+    EXPECT_EQ(total.ipis_received, expected_ipis);
+    EXPECT_EQ(total.shootdowns, expected_ipis);
+    for (uint32_t i = 1; i < p.num_vcpus; ++i) {
+      EXPECT_EQ(vm->vcpu(i).stats.shootdowns, p.shootdown_rounds) << "vcpu " << i;
+    }
+  }
+}
+
+// vCPU > 0 must be a first-class citizen on the hypercall and MMIO paths:
+// console output, value logging, time reads and UART stores issued from a
+// secondary must behave exactly as from the boot vCPU.
+TEST(SmpTest, SecondaryVcpuHypercallsAndMmioMatchBoot) {
+  auto run = [](bool from_secondary) {
+    Host host;
+    VmConfig cfg{.name = "io"};
+    cfg.num_vcpus = 2;
+    std::ostringstream prog;
+    prog << R"(.org 0x1000
+    j _start
+.align 4096
+progress:
+    .word 0
+.align 4096
+_start:
+)";
+    if (from_secondary) {
+      prog << R"(
+    li a0, 10
+    li a1, 1
+    la a2, body
+    hcall
+park:
+    wfi
+    j park
+)";
+    } else {
+      prog << "    j body\n";
+    }
+    prog << R"(
+body:
+    li a0, 0              ; putchar 'X'
+    li t0, 'X'
+    mv a1, t0
+    hcall
+    li a0, 8              ; log a value
+    li a1, 0xC0FFEE
+    hcall
+    li a0, 3              ; gettime must not fault
+    hcall
+    li t0, 0xF0000000     ; UART MMIO store
+    li t1, 'Y'
+    sw t1, 0(t0)
+    la t3, progress
+    li t2, 1
+    sw t2, 0(t3)
+    li a0, 4              ; shutdown
+    hcall
+    halt
+)";
+    struct Out {
+      std::string console;
+      std::string uart;
+      std::vector<uint32_t> logged;
+    };
+    Vm* vm = BootVm(host, cfg, prog.str());
+    EXPECT_TRUE(host.RunUntilVmStops(vm, 10 * kSimTicksPerSec));
+    EXPECT_EQ(vm->state(), VmState::kShutdown) << vm->crash_reason().ToString();
+    return Out{vm->console(), vm->uart() ? vm->uart()->output() : "", vm->logged_values()};
+  };
+  auto boot = run(false);
+  auto secondary = run(true);
+  EXPECT_EQ(boot.console, secondary.console);
+  EXPECT_EQ(boot.uart, secondary.uart);
+  EXPECT_EQ(boot.logged, secondary.logged);
+  EXPECT_EQ(secondary.console, "X");
+  EXPECT_EQ(secondary.logged, std::vector<uint32_t>{0xC0FFEE});
+}
+
 TEST(SmpTest, UnstartedSecondariesStayParked) {
   Host host;
   VmConfig cfg{.name = "smp"};

@@ -9,12 +9,14 @@
 #include "src/guest/programs.h"
 #include "src/migrate/migrate.h"
 #include "src/snapshot/snapshot.h"
+#include "src/util/crc32.h"
 #include "src/util/rng.h"
 
 namespace hyperion {
 namespace {
 
 using core::Host;
+using core::HostConfig;
 using core::IoModel;
 using core::Vm;
 using core::VmConfig;
@@ -153,6 +155,123 @@ TEST(MigrateStateTest, BalloonedPagesStayAbsentAcrossPreCopy) {
     present += (*moved)->memory().IsPresent(gpn) ? 1 : 0;
   }
   EXPECT_EQ(present, (*moved)->memory().num_pages() - 64);
+}
+
+// ---------------------------------------------------------------------------
+// SMP migration and snapshotting: a 4-vCPU guest is moved / checkpointed in
+// the middle of its TLB-shootdown gauntlet. The restored machine must carry
+// the whole IPI protocol state — doorbell levels, per-vCPU ipend bits,
+// in-handler flags, ack words — or some vCPU ends up spinning on an ack that
+// will never arrive and the guest never reaches its shutdown hypercall.
+// ---------------------------------------------------------------------------
+
+// Digest of guest RAM: presence map + contents of every present page.
+uint32_t SmpRamDigest(Vm& vm) {
+  mem::GuestMemory& mem = vm.memory();
+  uint32_t crc = 0;
+  for (uint32_t gpn = 0; gpn < mem.num_pages(); ++gpn) {
+    uint8_t present = mem.IsPresent(gpn) ? 1 : 0;
+    crc = Crc32(&present, 1, crc);
+    if (present) {
+      crc = Crc32(mem.PageData(gpn), isa::kPageSize, crc);
+    }
+  }
+  return crc;
+}
+
+guest::SmpLockParams SmpGauntletParams() {
+  guest::SmpLockParams p;
+  p.num_vcpus = 4;
+  p.lock_iters = 100;
+  p.shootdown_rounds = 40;  // long phase C so the migration lands inside it
+  return p;
+}
+
+VmConfig SmpVmConfig(const char* name) {
+  VmConfig cfg;
+  cfg.name = name;
+  cfg.ram_bytes = 8u << 20;
+  cfg.num_vcpus = 4;
+  cfg.paging_mode = mmu::PagingMode::kNested;
+  return cfg;
+}
+
+HostConfig SmpHostConfig() {
+  HostConfig hc;
+  hc.num_pcpus = 4;
+  return hc;
+}
+
+TEST(MigrateSmpTest, PreCopyMovesAFourVcpuVmMidShootdown) {
+  Host src(SmpHostConfig()), dst(SmpHostConfig());
+  guest::SmpLockParams params = SmpGauntletParams();
+  std::string prog = guest::SmpMcsLockProgram(params);
+  Vm* vm = Boot(src, SmpVmConfig("smp-mig"), prog);
+  src.RunFor(4 * kSimTicksPerMs);
+  ASSERT_EQ(vm->state(), VmState::kRunning);
+
+  migrate::MigrationReport report;
+  auto moved = migrate::PreCopyMigrate(src, vm, dst, migrate::MigrateOptions{}, &report);
+  ASSERT_TRUE(moved.ok()) << moved.status().ToString();
+  // Fidelity at the switchover point: the paused source and the not-yet-run
+  // destination hold identical RAM.
+  EXPECT_EQ(vm->state(), VmState::kPaused);
+  EXPECT_EQ(SmpRamDigest(*vm), SmpRamDigest(**moved));
+
+  // The destination finishes the gauntlet: every post-restore shootdown
+  // round completes, so no vCPU is left spinning on a dead ack.
+  ASSERT_TRUE(dst.RunUntilVmStops(*moved, 5 * kSimTicksPerSec));
+  EXPECT_EQ((*moved)->state(), VmState::kShutdown)
+      << (*moved)->crash_reason().ToString();
+  auto image = guest::Build(prog);
+  auto v = (*moved)->memory().ReadU32(*guest::ProgressAddress(*image));
+  EXPECT_EQ(v.value_or(0), params.num_vcpus * params.lock_iters);
+
+  // Shootdown events split across the two hosts but none is lost or
+  // double-counted: the totals add up exactly, and both sides saw some.
+  const uint64_t expected = params.shootdown_rounds * (params.num_vcpus - 1);
+  cpu::VcpuStats src_total = vm->TotalStats();
+  cpu::VcpuStats dst_total = (*moved)->TotalStats();
+  EXPECT_EQ(src_total.shootdowns + dst_total.shootdowns, expected);
+  EXPECT_EQ(src_total.ipis_received + dst_total.ipis_received, expected);
+  EXPECT_EQ(src_total.ipis_sent + dst_total.ipis_sent, expected);
+  EXPECT_GT(src_total.ipis_sent, 0u);
+  EXPECT_GT(dst_total.shootdowns, 0u);
+}
+
+TEST(MigrateSmpTest, SnapshotClonesAFourVcpuVmMidShootdown) {
+  Host host(SmpHostConfig());
+  guest::SmpLockParams params = SmpGauntletParams();
+  std::string prog = guest::SmpMcsLockProgram(params);
+  auto image = guest::Build(prog);
+  uint32_t progress_addr = *guest::ProgressAddress(*image);
+  Vm* vm = Boot(host, SmpVmConfig("smp-snap"), prog);
+  host.RunFor(10 * kSimTicksPerMs);
+  ASSERT_EQ(vm->state(), VmState::kRunning);
+  vm->Pause(TestPhase());
+
+  // The checkpoint really is mid-protocol: some shootdown rounds remain.
+  uint32_t rounds_at_save = vm->memory().ReadU32(progress_addr + 16).value_or(0);
+  EXPECT_GT(rounds_at_save, 0u);
+  EXPECT_LT(rounds_at_save, params.shootdown_rounds);
+
+  auto bytes = snapshot::SaveVm(*vm);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  auto clone = snapshot::CloneVm(host, SmpVmConfig("smp-clone"), *bytes);
+  ASSERT_TRUE(clone.ok()) << clone.status().ToString();
+
+  // Original and clone resume from identical state and execution is
+  // deterministic, so both finish the gauntlet with identical RAM.
+  vm->Resume(TestPhase());
+  ASSERT_TRUE(host.RunUntilVmStops(vm, 5 * kSimTicksPerSec));
+  ASSERT_TRUE(host.RunUntilVmStops(*clone, 5 * kSimTicksPerSec));
+  EXPECT_EQ(vm->state(), VmState::kShutdown) << vm->crash_reason().ToString();
+  EXPECT_EQ((*clone)->state(), VmState::kShutdown)
+      << (*clone)->crash_reason().ToString();
+  const uint32_t want = params.num_vcpus * params.lock_iters;
+  EXPECT_EQ(vm->memory().ReadU32(progress_addr).value_or(0), want);
+  EXPECT_EQ((*clone)->memory().ReadU32(progress_addr).value_or(0), want);
+  EXPECT_EQ(SmpRamDigest(*vm), SmpRamDigest(**clone));
 }
 
 // Property: random corruption of a valid snapshot must never crash the

@@ -9,6 +9,7 @@
 #include <span>
 #include <string>
 
+#include "src/devices/pic.h"
 #include "src/mem/frame_pool.h"
 #include "src/net/network.h"
 #include "src/util/logging.h"
@@ -19,8 +20,10 @@ namespace hyperion {
 
 void Control(const SerialPhase& sp, SimClock& clock, net::VirtualSwitch& sw,
              mem::FramePool& pool, net::Frame frame, mem::HostFrame f,
-             net::FrameSink& sink, std::span<const net::Frame> frames) {
+             net::FrameSink& sink, std::span<const net::Frame> frames,
+             devices::InterruptController& pic) {
   clock.ScheduleAt(sp, 100, [](const SerialPhase&) {});
+  pic.RaiseIpi(sp, 0b0110);
   sw.Send(sp, std::move(frame));
   pool.DecRefImmediate(sp, f);
   internal::WriteLogText(sp, std::string("direct log line"));

@@ -1,0 +1,20 @@
+// MUST NOT COMPILE: VMM-side IPI delivery from inside an execute slice.
+//
+// InterruptController::RaiseIpi demands a DirectPhase token: host-side code
+// rings doorbells only from the serial regimes (setup, clock callbacks,
+// snapshot restore, commit), where the wake it triggers may touch the
+// scheduler immediately. A worker lane holds only its slice's ExecutePhase —
+// ringing another VM's doorbell from there would race that PIC's pending
+// word and bypass the staged wake path. Guest-initiated IPIs go through the
+// MMIO Write() on the owning VM's lane, which stages downstream effects.
+
+#include "src/devices/pic.h"
+#include "src/util/phase.h"
+
+namespace hyperion {
+
+void Violation(const ExecutePhase& ep, devices::InterruptController& pic) {
+  pic.RaiseIpi(ep, 0b0110);
+}
+
+}  // namespace hyperion

@@ -252,6 +252,79 @@ TEST(StagedExecutionTest, ChaosSweepAtFourWorkersMatchesSerialUnderAudit) {
 }
 
 // ---------------------------------------------------------------------------
+// SMP bit-identity
+// ---------------------------------------------------------------------------
+
+// Everything a 4-vCPU MCS-lock/shootdown run can observably produce,
+// including the whole per-vCPU stat blocks (ipis_sent, ipis_received,
+// shootdowns among them).
+struct SmpResult {
+  uint32_t digest = 0;
+  std::string console;
+  std::vector<cpu::VcpuStats> stats;
+  VmState state = VmState::kRunning;
+  uint32_t progress = 0;
+  SimTime now = 0;
+
+  bool operator==(const SmpResult&) const = default;
+};
+
+SmpResult RunSmpMcsScenario(int workers) {
+  HostConfig hc;
+  hc.worker_threads = workers;
+  hc.num_pcpus = 4;
+  Host host(hc);
+  guest::SmpLockParams p;
+  std::string prog = guest::SmpMcsLockProgram(p);
+  VmConfig cfg{.name = "mcs"};
+  cfg.ram_bytes = 8u << 20;
+  cfg.num_vcpus = p.num_vcpus;
+  cfg.paging_mode = mmu::PagingMode::kNested;
+  Vm* vm = Boot(host, cfg, prog);
+  // A second VM so multi-worker runs genuinely execute concurrent lanes.
+  Vm* other = Boot(host, VmConfig{.name = "compute"}, guest::ComputeProgram(0));
+  // The MCS gauntlet completes in ~20 simulated ms; 50 ms is deterministic
+  // headroom without simulating the compute VM for long after.
+  host.RunFor(50 * kSimTicksPerMs);
+
+  SmpResult out;
+  out.digest = RamDigest(*vm);
+  out.console = vm->console();
+  for (uint32_t i = 0; i < vm->num_vcpus(); ++i) {
+    out.stats.push_back(vm->vcpu(i).stats);
+  }
+  out.state = vm->state();
+  auto image = guest::Build(prog);
+  EXPECT_TRUE(image.ok());
+  auto addr = guest::ProgressAddress(*image);
+  EXPECT_TRUE(addr.ok());
+  out.progress = vm->memory().ReadU32(*addr).value_or(0);
+  out.now = host.clock().now();
+  EXPECT_GT(other->TotalStats().instructions, 0u);
+  return out;
+}
+
+// An SMP guest whose vCPUs genuinely interact — MCS lock handoffs, IPI
+// doorbells, cross-vCPU TLB shootdowns — must replay bit-identically at any
+// worker count: same RAM digest, same console, same per-vCPU stat blocks.
+TEST(StagedExecutionTest, SmpMcsLockIsIdenticalAcrossWorkerCounts) {
+  SmpResult serial = RunSmpMcsScenario(/*workers=*/0);
+  // Non-vacuity: the run finished, held the lock, and actually shot down.
+  guest::SmpLockParams p;
+  EXPECT_EQ(serial.state, VmState::kShutdown);
+  EXPECT_EQ(serial.progress, p.num_vcpus * p.lock_iters);
+  EXPECT_GT(serial.stats[0].ipis_sent, 0u);
+  for (uint32_t i = 1; i < p.num_vcpus; ++i) {
+    EXPECT_GT(serial.stats[i].ipis_received, 0u) << "vcpu " << i;
+    EXPECT_GT(serial.stats[i].shootdowns, 0u) << "vcpu " << i;
+  }
+  SmpResult one = RunSmpMcsScenario(/*workers=*/1);
+  SmpResult four = RunSmpMcsScenario(/*workers=*/4);
+  EXPECT_TRUE(serial == one) << "1-worker SMP run diverged from serial";
+  EXPECT_TRUE(serial == four) << "4-worker SMP run diverged from serial";
+}
+
+// ---------------------------------------------------------------------------
 // DestroyVm lifetime
 // ---------------------------------------------------------------------------
 

@@ -237,5 +237,76 @@ TEST(RoundRobinTest, RemoveWhileQueued) {
   EXPECT_EQ(s->PickNext(10), 2u);
 }
 
+// --- Gang (co-)scheduling ---------------------------------------------------
+// The host gangs the vCPUs of every SMP guest: once one member dispatches in
+// a round, its runnable gang-mates jump the pick order for the round's
+// remaining pCPUs (lowest entity id first). Boost is disabled below so the
+// FIFO baseline order is unambiguous.
+
+TEST(GangSchedulerTest, GangMatesJumpThePickOrderWithinARound) {
+  auto s = MakeCreditScheduler(4, kPeriod, /*boost=*/false);
+  // Two 2-vCPU "VMs": gang 1 = {1, 2}, gang 2 = {3, 4}.
+  ASSERT_TRUE(s->AddEntity(1, {.gang = 1}).ok());
+  ASSERT_TRUE(s->AddEntity(2, {.gang = 1}).ok());
+  ASSERT_TRUE(s->AddEntity(3, {.gang = 2}).ok());
+  ASSERT_TRUE(s->AddEntity(4, {.gang = 2}).ok());
+  // Wake order interleaves the gangs: 1, 3, 2, 4.
+  for (EntityId id : {1u, 3u, 2u, 4u}) {
+    s->SetRunnable(id, true, 0);
+  }
+
+  s->BeginRound();
+  EXPECT_EQ(s->PickNext(0), 1u);  // queue head
+  // Plain FIFO would hand the second pCPU to 3; co-scheduling hands it to
+  // 1's gang-mate so both halves of the VM run the same round.
+  EXPECT_EQ(s->PickNext(0), 2u);
+  EXPECT_EQ(s->PickNext(0), 3u);
+  EXPECT_EQ(s->PickNext(0), 4u);
+}
+
+TEST(GangSchedulerTest, GangMatesDispatchInEntityIdOrder) {
+  auto s = MakeCreditScheduler(4, kPeriod, /*boost=*/false);
+  for (EntityId id : {5u, 6u, 7u, 8u}) {
+    ASSERT_TRUE(s->AddEntity(id, {.gang = 9}).ok());
+  }
+  // Wake in scrambled order; 7 sits at the head of the FIFO queue.
+  for (EntityId id : {7u, 8u, 5u, 6u}) {
+    s->SetRunnable(id, true, 0);
+  }
+
+  s->BeginRound();
+  EXPECT_EQ(s->PickNext(0), 7u);
+  // Once the gang is live its remaining members come in entity-id order, not
+  // wake order — the fixed dispatch order the SMP bit-identity oracle
+  // depends on (vCPU slices serialize by index within a round).
+  EXPECT_EQ(s->PickNext(0), 5u);
+  EXPECT_EQ(s->PickNext(0), 6u);
+  EXPECT_EQ(s->PickNext(0), 8u);
+}
+
+TEST(GangSchedulerTest, BeginRoundResetsGangStateThenReestablishesIt) {
+  auto s = MakeCreditScheduler(2, kPeriod, /*boost=*/false);
+  ASSERT_TRUE(s->AddEntity(1, {.gang = 1}).ok());
+  ASSERT_TRUE(s->AddEntity(2, {.gang = 1}).ok());
+  ASSERT_TRUE(s->AddEntity(3, {}).ok());
+  for (EntityId id : {3u, 1u, 2u}) {
+    s->SetRunnable(id, true, 0);
+  }
+
+  // Round 1 (2 pCPUs): 3 leads, then 1 by FIFO; 2 misses the round.
+  s->BeginRound();
+  EXPECT_EQ(s->PickNext(0), 3u);
+  EXPECT_EQ(s->PickNext(0), 1u);
+  s->Account(3, 1000, /*still_runnable=*/true, 1000);
+  s->Account(1, 1000, /*still_runnable=*/true, 1000);
+
+  // Round 2: the gang state from round 1 is gone, so the queue head (2)
+  // opens the round by FIFO — but dispatching it makes gang 1 live again and
+  // its mate 1 jumps ahead of 3.
+  s->BeginRound();
+  EXPECT_EQ(s->PickNext(1000), 2u);
+  EXPECT_EQ(s->PickNext(1000), 1u);
+}
+
 }  // namespace
 }  // namespace hyperion::sched

@@ -623,7 +623,7 @@ TEST_F(RuntimeAuditTest, CleanGuestPassesVmAndHostAudits) {
   EXPECT_EQ((*vm)->state(), core::VmState::kShutdown);
 
   EXPECT_TRUE(host.AuditFrameAccounting().ok());
-  EXPECT_TRUE((*vm)->AuditInvariants(0).ok());
+  EXPECT_TRUE((*vm)->AuditInvariants().ok());
 }
 
 TEST_F(RuntimeAuditTest, HostAuditCatchesInjectedLeak) {

@@ -41,7 +41,11 @@ run_suite() {  # run_suite <build-dir> [extra cmake flags...]
   (cd "$dir" && ctest --output-on-failure -j "$JOBS")
 }
 
-CHAOS_FILTER='ChaosTest|FaultPlanTest|InjectorTest|FaultyStoreTest|SwitchFaultTest|DeviceFaultTest|HvdCrashTest'
+CHAOS_FILTER='ChaosTest|ChaosSmpTest|FaultPlanTest|InjectorTest|FaultyStoreTest|SwitchFaultTest|DeviceFaultTest|HvdCrashTest'
+# Everything that drives a multi-vCPU guest: the IPI/TLB-shootdown gauntlet,
+# the cross-engine SMP differential matrix, SMP migration/snapshot/chaos, and
+# the gang-scheduling unit tests.
+SMP_FILTER='SmpTest|FuzzDiffSmpTest|MigrateSmpTest|ChaosSmpTest|GangSchedulerTest|StagedExecutionTest'
 
 echo "=== [1/9] plain build + tests ==="
 run_suite build
@@ -51,6 +55,12 @@ echo "=== [2/9] tests under HYPERION_AUDIT=1 ==="
 
 echo "=== [3/9] chaos: seeded fault-injection sweeps under audit ==="
 (cd build && HYPERION_AUDIT=1 ctest -R "$CHAOS_FILTER" --output-on-failure -j "$JOBS")
+
+echo "=== [3b/9] SMP suites under audit with a 4-thread worker pool ==="
+# Stage 2 already ran these serially; this rerun pins that per-vCPU TLB
+# audits, IPI accounting, and the shootdown protocol stay green when same-VM
+# lanes execute on a real worker pool.
+(cd build && HYPERION_AUDIT=1 HYPERION_WORKERS=4 ctest -R "$SMP_FILTER" --output-on-failure -j "$JOBS")
 
 if [ "$FAST" = "0" ]; then
   echo "=== [4/9] AddressSanitizer (suite + chaos sweeps) ==="
@@ -67,7 +77,7 @@ if [ "$FAST" = "0" ]; then
   # worker threads. HYPERION_WORKERS=4 overrides the serial default so the
   # pool genuinely runs multi-threaded even for configs that leave
   # worker_threads unset.
-  TSAN_FILTER='HostVmTest|SmpTest|SchedulingTest|StagedExecutionTest|DestroyVmTest|WorkerPoolTest|MigrationTest|MigrateIoTest|MigrateStateTest|ChaosTest|FaultPlanTest|InjectorTest|HvdCrashTest'
+  TSAN_FILTER='HostVmTest|SmpTest|FuzzDiffSmpTest|SchedulingTest|StagedExecutionTest|DestroyVmTest|WorkerPoolTest|MigrationTest|MigrateIoTest|MigrateStateTest|MigrateSmpTest|ChaosTest|ChaosSmpTest|FaultPlanTest|InjectorTest|HvdCrashTest'
   cmake -B build-tsan -S . -DHYPERION_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS"
   (cd build-tsan && HYPERION_WORKERS=4 ctest -R "$TSAN_FILTER" --output-on-failure -j "$JOBS")

@@ -97,7 +97,7 @@ Status Vm::Init(const SerialPhase& ph) {
     unit->ctx.state.hartid = i;
     // Secondary vCPUs park until the boot vCPU starts them (kStartVcpu).
     unit->ctx.state.waiting = i != 0;
-    unit->engine = cpu::MakeEngine(config_.engine);
+    unit->engine = cpu::MakeEngine(config_.engine, config_.dbt);
     vcpus_.push_back(std::move(unit));
   }
 

@@ -46,6 +46,7 @@ struct VmConfig {
   uint32_t num_vcpus = 1;
   mmu::PagingMode paging_mode = mmu::PagingMode::kNested;
   cpu::EngineKind engine = cpu::EngineKind::kInterpreter;
+  cpu::DbtOptions dbt;  // tier-2 threshold / cache size (DBT engines only)
   cpu::VirtMode virt_mode = cpu::VirtMode::kHardwareAssist;
   sched::EntityConfig sched;
   size_t tlb_entries = 256;

@@ -5,6 +5,8 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "src/cpu/state.h"
 #include "src/mem/guest_memory.h"
@@ -79,6 +81,15 @@ struct VcpuStats {
   uint64_t ipis_sent = 0;       // IPI doorbell edges this vCPU raised
   uint64_t ipis_received = 0;   // software interrupts delivered to this vCPU
   uint64_t shootdowns = 0;      // sfence executed inside an IPI handler
+  uint64_t tier2_promotions = 0;   // DBT: superblocks compiled to tier-2 units
+  uint64_t tier2_executions = 0;   // DBT: full passes through a tier-2 unit
+  uint64_t deopts = 0;             // DBT: tier-2 bailouts back to tier-1
+  uint64_t guards_elided = 0;      // DBT: per-chunk pc guards removed by tier-2
+  uint64_t csr_writes_elided = 0;  // DBT: dead scratch-CSR writes removed
+  uint64_t tier2_ops_folded = 0;   // DBT: instructions constant-folded
+  uint64_t tier2_ops_dead = 0;     // DBT: instructions removed as dead
+  uint64_t persist_hits = 0;    // translations revalidated from a snapshot
+  uint64_t persist_misses = 0;  // persisted translations rejected on restore
 
   uint64_t TotalExits() const {
     return mmio_exits + hypercalls + pt_write_exits + cow_breaks + priv_emulations;
@@ -157,6 +168,18 @@ class ExecutionEngine {
   // The guest switched address spaces (PTBR write). Translations keyed by the
   // old root stay valid; only cross-block assumptions (chains) must be cut.
   virtual void OnAddressSpaceSwitch() {}
+  // Persistent translation cache (DBT). SerializeTranslations emits every
+  // validated translation unit as a self-describing versioned blob (empty
+  // when the engine has nothing to persist). InstallTranslations replaces the
+  // engine's caches with units from such a blob, revalidating each against
+  // the current guest memory/mappings in `ctx` and silently dropping any that
+  // fail — a rejected blob degrades to cold translation, never to stale code.
+  virtual std::vector<uint8_t> SerializeTranslations() const { return {}; }
+  virtual void InstallTranslations(VcpuContext& ctx,
+                                   std::span<const uint8_t> blob) {
+    (void)ctx;
+    (void)blob;
+  }
 };
 
 }  // namespace hyperion::cpu

@@ -38,12 +38,18 @@
 #include <cstring>
 #include <limits>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/cpu/exec_core.h"
 #include "src/cpu/interpreter.h"
+#include "src/cpu/ir/tier2.h"
+#include "src/cpu/ir/tier2_exec.h"
+#include "src/util/byte_stream.h"
+#include "src/util/crc32.h"
 
 namespace hyperion::cpu {
 
@@ -52,7 +58,11 @@ namespace {
 using isa::Opcode;
 
 // An instruction that may change control flow, privileged state, or the
-// validity of cached translations ends its block.
+// validity of cached translations ends its block. Scratch-CSR accesses are
+// the exception among CSR ops: they cannot toggle paging, move ptbr, or
+// change status/timecmp, so the code that follows them in the same block is
+// fetched under the same translation regime — they may sit mid-block (a
+// user-mode access still traps precisely there, like a faulting load).
 bool EndsBlock(const isa::Instruction& in) {
   switch (in.opcode) {
     case Opcode::kJal:
@@ -65,11 +75,12 @@ bool EndsBlock(const isa::Instruction& in) {
     case Opcode::kHcall:
     case Opcode::kSfence:
     case Opcode::kHalt:
+    case Opcode::kIllegal:
+      return true;
     case Opcode::kCsrrw:
     case Opcode::kCsrrs:
     case Opcode::kCsrrc:
-    case Opcode::kIllegal:
-      return true;
+      return in.imm != static_cast<int32_t>(isa::Csr::kScratch);
     default:
       return false;
   }
@@ -77,7 +88,8 @@ bool EndsBlock(const isa::Instruction& in) {
 
 class DbtEngine final : public ExecutionEngine {
  public:
-  explicit DbtEngine(size_t max_blocks) : max_blocks_(max_blocks) {}
+  explicit DbtEngine(const DbtOptions& options)
+      : options_(options), max_blocks_(options.max_blocks) {}
 
   std::string_view name() const override { return "dbt"; }
 
@@ -170,16 +182,34 @@ class DbtEngine final : public ExecutionEngine {
         trace_blocks_.push_back(block);
       }
 
-      // Execute: the superblock when present and current-epoch, else the
-      // block itself.
+      // Execute: the tier-2 unit when promoted, else the superblock when
+      // present and current-epoch, else the block itself.
       if (block->trace != nullptr) {
-        if (block->trace->map_gen != map_gen_) {
-          KillTrace(*block);  // lazy epoch invalidation
+        Trace& tr = *block->trace;
+        if (tr.map_gen != map_gen_) {
+          // Lazy epoch invalidation. A tier-2 unit carries its guard set
+          // (one probe per code page), so an sfence that didn't move the
+          // hot loop revalidates in a few translations instead of
+          // retranslating and re-optimizing from scratch.
+          if (tr.tier2 != nullptr && RevalidateUnit(core, ctx, *tr.tier2)) {
+            tr.map_gen = map_gen_;
+            tr.tier2->map_gen = map_gen_;
+          } else {
+            KillTrace(*block);
+          }
+        } else if (options_.enable_tier2 && tr.tier2 == nullptr &&
+                   !tr.tier2_failed && tr.execs >= options_.tier2_threshold) {
+          PromoteToTier2(core, ctx, *block);
+        }
+      }
+      if (block->trace != nullptr) {
+        if (block->trace->tier2 != nullptr) {
+          RunTier2(core, ctx, *block, max_cycles);
         } else {
           RunTrace(core, ctx, *block, max_cycles);
-          prev = nullptr;  // the exit block is not known
-          continue;
         }
+        prev = nullptr;  // the exit block is not known
+        continue;
       }
       ++ctx.stats.block_executions;
       block->hot = true;
@@ -229,6 +259,108 @@ class DbtEngine final : public ExecutionEngine {
     ++chain_gen_;
   }
 
+  // Emits every cached block (and any tier-2 unit) as a self-describing
+  // versioned blob: per block the key, a CRC of the translated code words
+  // (the image-digest binding), the pre-decoded instructions, the guest
+  // code pages, heat, and an optional tier-2 section. Tier-1 traces are not
+  // persisted — with heat restored they re-form in one recorded loop pass
+  // at zero translation cost. Blocks are sorted by key so identical caches
+  // serialize to identical bytes.
+  std::vector<uint8_t> SerializeTranslations() const override {
+    ByteWriter w;
+    w.WriteU32(kPersistMagic);
+    w.WriteU32(kPersistVersion);
+    std::vector<const Block*> ordered;
+    ordered.reserve(blocks_.size());
+    for (const auto& [key, b] : blocks_) {
+      ordered.push_back(&b);
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Block* a, const Block* b) { return a->key < b->key; });
+    w.WriteU32(static_cast<uint32_t>(ordered.size()));
+    for (const Block* bp : ordered) {
+      const Block& b = *bp;
+      w.WriteU64(b.key);
+      w.WriteU32(b.start_va);
+      w.WriteU32(b.code_crc);
+      w.WriteU32(b.heat);
+      w.WriteU16(static_cast<uint16_t>(b.instrs.size()));
+      for (const isa::Instruction& in : b.instrs) {
+        w.WriteU8(static_cast<uint8_t>(in.opcode));
+        w.WriteU8(in.rd);
+        w.WriteU8(in.rs1);
+        w.WriteU8(in.rs2);
+        w.WriteU8(in.funct);
+        w.WriteU32(static_cast<uint32_t>(in.imm));
+      }
+      w.WriteU8(static_cast<uint8_t>(b.gpns.size()));
+      for (uint32_t g : b.gpns) {
+        w.WriteU32(g);
+      }
+      bool t2 = b.trace != nullptr && b.trace->tier2 != nullptr;
+      w.WriteU8(t2 ? 1 : 0);
+      if (t2) {
+        const Trace& tr = *b.trace;
+        w.WriteU8(static_cast<uint8_t>(tr.gpns.size()));
+        for (uint32_t g : tr.gpns) {
+          w.WriteU32(g);
+        }
+        w.WriteU64(tr.execs);
+        ir::SerializeUnit(*tr.tier2, w);
+      }
+    }
+    uint32_t crc = Crc32(w.buffer().data(), w.size());
+    w.WriteU32(crc);
+    return w.TakeBuffer();
+  }
+
+  // Replaces the caches with units from a persisted blob, revalidating each
+  // against the *restored* guest memory and mappings: a block installs only
+  // if its va still translates to the recorded pages and the code words
+  // still hash to the recorded CRC; a tier-2 unit additionally reruns its
+  // guard probes. Anything that fails — trailer CRC, version, a torn or
+  // tampered block — is counted in persist_misses and degrades to cold
+  // translation. Revalidation is host-side provisioning work and charges
+  // no guest cycles, so a restored VM's timeline is identical to one that
+  // never snapshotted.
+  void InstallTranslations(VcpuContext& ctx, std::span<const uint8_t> blob) override {
+    // The restore path replaced guest memory wholesale: start from empty
+    // caches and drop queued invalidation work — it described the old
+    // contents, and an empty cache has nothing left to invalidate.
+    ResetCaches();
+    pending_page_invalidations_.clear();
+    pending_flush_ = false;
+    have_pending_ = false;
+    if (blob.empty()) {
+      return;  // v1 snapshot or non-DBT source: plain cold start
+    }
+    uint32_t trailer = 0;
+    if (blob.size() < 16) {
+      ++ctx.stats.persist_misses;
+      return;
+    }
+    std::memcpy(&trailer, blob.data() + blob.size() - 4, 4);
+    if (Crc32(blob.data(), blob.size() - 4) != trailer) {
+      ++ctx.stats.persist_misses;
+      return;
+    }
+    ByteReader r(blob.first(blob.size() - 4));
+    auto magic = r.ReadU32();
+    auto version = r.ReadU32();
+    auto count = r.ReadU32();
+    if (!count.ok() || *magic != kPersistMagic || *version != kPersistVersion) {
+      ++ctx.stats.persist_misses;
+      return;
+    }
+    for (uint32_t n = 0; n < *count; ++n) {
+      if (!InstallOneBlock(ctx, r)) {
+        // Parse desync: nothing after this point can be trusted.
+        ++ctx.stats.persist_misses;
+        return;
+      }
+    }
+  }
+
  private:
   struct Block;
 
@@ -253,12 +385,20 @@ class DbtEngine final : public ExecutionEngine {
   };
 
   // A superblock: the concatenated instructions of a hot loop's blocks.
+  // Once `execs` crosses the tier-up threshold the trace is lifted into an
+  // optimized tier-2 unit (src/cpu/ir/); the unit shares the trace's page
+  // registrations, so SMC/sfence invalidation kills both at once. A trace
+  // restored from a persisted translation blob may be a stub (empty instrs)
+  // that exists only to host its tier-2 unit.
   struct Trace {
     uint32_t head_va = 0;
     uint64_t map_gen = 0;
+    uint64_t execs = 0;        // full passes, for tier-2 promotion
+    bool tier2_failed = false;  // compile refused; don't retry every pass
     std::vector<isa::Instruction> instrs;
     std::vector<Chunk> chunks;
     std::vector<uint32_t> gpns;
+    std::unique_ptr<ir::Tier2Unit> tier2;
   };
 
   // Instructions that can neither trap nor redirect control: pc advances by
@@ -281,7 +421,8 @@ class DbtEngine final : public ExecutionEngine {
     uint64_t key = 0;
     uint64_t map_gen = 0;  // epoch the translation was (re)validated in
     uint32_t heat = 0;     // backward-transfer arrivals (trace promotion)
-    bool hot = false;      // clock reference bit
+    uint32_t code_crc = 0;  // CRC of the translated instruction words
+    bool hot = false;       // clock reference bit
     std::vector<isa::Instruction> instrs;
     std::vector<uint32_t> gpns;  // guest pages the code bytes came from
     Link links[2];
@@ -294,6 +435,10 @@ class DbtEngine final : public ExecutionEngine {
   static constexpr uint32_t kHotThreshold = 16;
   static constexpr size_t kMaxTraceBlocks = 8;
   static constexpr size_t kMaxTraceInstrs = 256;
+  // Persisted translation cache: "HCT2" little-endian, bumped on any layout
+  // change so stale blobs are rejected wholesale instead of misparsed.
+  static constexpr uint32_t kPersistMagic = 0x32544348;
+  static constexpr uint32_t kPersistVersion = 1;
 
   static uint64_t Key(uint32_t va, uint32_t ptbr, bool paging) {
     uint64_t k = va;
@@ -303,7 +448,9 @@ class DbtEngine final : public ExecutionEngine {
   }
 
   // A block whose terminal cannot touch privileged state or translations may
-  // be spliced into a superblock.
+  // be spliced into a superblock. Scratch-CSR accesses qualify: they cannot
+  // move status/timecmp (the values RunTrace and the tier-2 executor hoist)
+  // or any translation state, and tier-2 elides the dead ones.
   static bool Traceable(const Block& b) {
     if (b.instrs.empty()) {
       return false;
@@ -314,6 +461,10 @@ class DbtEngine final : public ExecutionEngine {
       case Opcode::kJalr:
       case Opcode::kBranch:
         return true;
+      case Opcode::kCsrrw:
+      case Opcode::kCsrrs:
+      case Opcode::kCsrrc:
+        return last.imm == static_cast<int32_t>(isa::Csr::kScratch);
       default:
         return !EndsBlock(last);  // plain fall-through (length-capped block)
     }
@@ -340,6 +491,7 @@ class DbtEngine final : public ExecutionEngine {
       std::memcpy(&word, page + isa::VaPageOffset(out.gpa), 4);
       isa::Instruction in = isa::Decode(word);
       block.instrs.push_back(in);
+      block.code_crc = Crc32(&word, 4, block.code_crc);
       uint32_t gpn = isa::PageNumber(out.gpa);
       if (block.gpns.empty() || block.gpns.back() != gpn) {
         block.gpns.push_back(gpn);
@@ -505,12 +657,22 @@ class DbtEngine final : public ExecutionEngine {
     const Chunk* chunks = tr.chunks.data();
     const size_t nchunks = tr.chunks.size();
     const uint32_t head_va = tr.head_va;
-    // CSR writes end blocks, and a trap mid-trace fails the next guard, so
-    // status (IE) and timecmp are fixed for the whole stay in this trace —
-    // hoist them so the per-seam timer/interrupt tests are two compares.
+    // The only CSR a traceable block may touch is the scratch register
+    // (which cannot move status or timecmp), and a trap mid-trace fails the
+    // next guard, so status (IE) and timecmp are fixed for the whole stay in
+    // this trace — hoist them so the per-seam timer/interrupt tests are two
+    // compares.
     const uint64_t timer_due =
         s.timecmp != 0 ? s.timecmp : std::numeric_limits<uint64_t>::max();
     const bool ie = s.interrupts_enabled();
+    // A long-lived loop would otherwise never return to dispatch (where
+    // tier-up happens): once the pass count will cross the promotion
+    // threshold, yield so the next dispatch compiles the tier-2 unit.
+    uint64_t pass_budget = std::numeric_limits<uint64_t>::max();
+    if (options_.enable_tier2 && tr.tier2 == nullptr && !tr.tier2_failed &&
+        tr.execs < options_.tier2_threshold) {
+      pass_budget = options_.tier2_threshold - tr.execs;
+    }
     uint64_t passes = 0;
     for (;;) {
       ++passes;
@@ -519,7 +681,7 @@ class DbtEngine final : public ExecutionEngine {
         if (c.seam != 0) {
           if (have_pending_) {
             // Apply SMC invalidations exactly at a block seam.
-            ctx.stats.trace_executions += passes;
+            CountTracePasses(ctx, tr, passes);
             return;
           }
           // Mirror the dispatch loop's per-block interrupt window at every
@@ -530,23 +692,24 @@ class DbtEngine final : public ExecutionEngine {
             core.CheckTimer();
           }
           if (ie && s.ipend != 0) {
-            ctx.stats.trace_executions += passes;
+            CountTracePasses(ctx, tr, passes);
             return;
           }
         }
         if (s.pc != c.va) {
           // Guard failed: trap or off-trace branch.
-          ctx.stats.trace_executions += passes;
+          CountTracePasses(ctx, tr, passes);
           return;
         }
         for (uint32_t i = c.begin; i < c.end; ++i) {
           if (!core.Execute(instrs[i])) {
-            ctx.stats.trace_executions += passes;
+            CountTracePasses(ctx, tr, passes);
             return;  // exit latched
           }
         }
       }
-      if (s.pc != head_va || have_pending_ || core.cycles() >= max_cycles) {
+      if (s.pc != head_va || have_pending_ || core.cycles() >= max_cycles ||
+          passes >= pass_budget) {
         break;
       }
       // Mirror the dispatch loop's per-block interrupt window.
@@ -557,7 +720,286 @@ class DbtEngine final : public ExecutionEngine {
         break;
       }
     }
+    CountTracePasses(ctx, tr, passes);
+  }
+
+  // Trace passes feed both the external stat and the tier-up counter.
+  static void CountTracePasses(VcpuContext& ctx, Trace& tr, uint64_t passes) {
     ctx.stats.trace_executions += passes;
+    tr.execs += passes;
+  }
+
+  // --- Tier-2 ---------------------------------------------------------------
+
+  // Lifts the head's superblock into an optimized tier-2 unit. A refusal
+  // (unsupported instruction in the trace) is remembered so the hot loop
+  // does not pay a failed compile on every dispatch.
+  void PromoteToTier2(ExecCore& core, VcpuContext& ctx, Block& head) {
+    Trace& tr = *head.trace;
+    ir::Tier2Input input;
+    input.head_va = tr.head_va;
+    input.instrs = tr.instrs;
+    input.pieces.reserve(tr.chunks.size());
+    for (const Chunk& c : tr.chunks) {
+      input.pieces.push_back({c.begin, c.end, c.va, c.seam});
+    }
+    std::optional<ir::Tier2Unit> unit = ir::Compile(input);
+    if (!unit || !FillPageMap(core, ctx, *unit)) {
+      tr.tier2_failed = true;
+      return;
+    }
+    core.Charge(3 * unit->ops.size());  // optimizer cost, paid once
+    unit->map_gen = map_gen_;
+    ++ctx.stats.tier2_promotions;
+    ctx.stats.guards_elided += unit->guards_elided;
+    ctx.stats.csr_writes_elided += unit->csr_elided;
+    ctx.stats.tier2_ops_folded += unit->folds;
+    ctx.stats.tier2_ops_dead += unit->dead;
+    tr.tier2 = std::make_unique<ir::Tier2Unit>(std::move(*unit));
+  }
+
+  // Records the unit's guard set: one (probe va, expected gpn) pair per
+  // guest code page the trace fetches from, resolved under the current
+  // mapping (the trace is current-epoch when promotion happens).
+  bool FillPageMap(ExecCore& core, VcpuContext& ctx, ir::Tier2Unit& unit) {
+    CpuState& s = ctx.state;
+    auto seen = [&unit](uint32_t vpn) {
+      for (const auto& [probe_va, gpn] : unit.page_map) {
+        if (isa::PageNumber(probe_va) == vpn) {
+          return true;
+        }
+      }
+      return false;
+    };
+    for (const ir::Tier2Op& o : unit.ops) {
+      if (o.op == ir::T2Op::kSeam) {
+        continue;  // seams reuse their block entry's va
+      }
+      uint32_t vpn = isa::PageNumber(o.va);
+      if (seen(vpn)) {
+        continue;
+      }
+      mmu::TranslateOutcome out = ctx.virt->Translate(
+          o.va, mmu::Access::kFetch, s.priv(), s.paging_enabled(), s.ptbr);
+      core.Charge(out.cost);
+      if (out.event != mmu::MemEvent::kNone || out.is_mmio) {
+        return false;
+      }
+      unit.page_map.emplace_back(o.va, isa::PageNumber(out.gpa));
+    }
+    return !unit.page_map.empty();
+  }
+
+  // Reruns the unit's guard probes against the current mapping epoch.
+  bool RevalidateUnit(ExecCore& core, VcpuContext& ctx, const ir::Tier2Unit& unit) {
+    CpuState& s = ctx.state;
+    for (const auto& [probe_va, want_gpn] : unit.page_map) {
+      mmu::TranslateOutcome out = ctx.virt->Translate(
+          probe_va, mmu::Access::kFetch, s.priv(), s.paging_enabled(), s.ptbr);
+      core.Charge(out.cost);
+      if (out.event != mmu::MemEvent::kNone || out.is_mmio ||
+          isa::PageNumber(out.gpa) != want_gpn) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // --- Persistence ----------------------------------------------------------
+
+  // Parses one block record from a persisted blob and installs it if it
+  // revalidates against the restored guest. Returns false only on a parse
+  // desync (torn/truncated stream); a semantically stale block is skipped
+  // with a persist_miss and parsing continues.
+  bool InstallOneBlock(VcpuContext& ctx, ByteReader& r) {
+    auto key = r.ReadU64();
+    auto start_va = r.ReadU32();
+    auto code_crc = r.ReadU32();
+    auto heat = r.ReadU32();
+    auto ninstr = r.ReadU16();
+    if (!ninstr.ok() || *ninstr == 0 || *ninstr > kMaxBlockInstrs) {
+      return false;
+    }
+    Block b;
+    b.key = *key;
+    b.start_va = *start_va;
+    b.code_crc = *code_crc;
+    b.heat = *heat;
+    b.instrs.resize(*ninstr);
+    for (isa::Instruction& in : b.instrs) {
+      auto op = r.ReadU8();
+      auto rd = r.ReadU8();
+      auto rs1 = r.ReadU8();
+      auto rs2 = r.ReadU8();
+      auto funct = r.ReadU8();
+      auto imm = r.ReadU32();
+      if (!imm.ok() || *rd >= 16 || *rs1 >= 16 || *rs2 >= 16) {
+        return false;
+      }
+      in.opcode = static_cast<isa::Opcode>(*op);
+      in.rd = *rd;
+      in.rs1 = *rs1;
+      in.rs2 = *rs2;
+      in.funct = *funct;
+      in.imm = static_cast<int32_t>(*imm);
+    }
+    auto ngpns = r.ReadU8();
+    if (!ngpns.ok() || *ngpns == 0 || *ngpns > 2) {
+      return false;
+    }
+    b.gpns.resize(*ngpns);
+    for (uint32_t& g : b.gpns) {
+      auto v = r.ReadU32();
+      if (!v.ok()) {
+        return false;
+      }
+      g = *v;
+    }
+    auto has_t2 = r.ReadU8();
+    if (!has_t2.ok()) {
+      return false;
+    }
+    std::unique_ptr<Trace> stub;
+    if (*has_t2 != 0) {
+      // The tier-2 section must parse even if the block is later rejected —
+      // the stream has to stay in sync for the blocks behind it.
+      auto ntg = r.ReadU8();
+      if (!ntg.ok() || *ntg == 0 || *ntg > 64) {
+        return false;
+      }
+      stub = std::make_unique<Trace>();
+      stub->head_va = b.start_va;
+      stub->gpns.resize(*ntg);
+      for (uint32_t& g : stub->gpns) {
+        auto v = r.ReadU32();
+        if (!v.ok()) {
+          return false;
+        }
+        g = *v;
+      }
+      auto execs = r.ReadU64();
+      if (!execs.ok()) {
+        return false;
+      }
+      stub->execs = *execs;
+      std::optional<ir::Tier2Unit> unit = ir::DeserializeUnit(r);
+      if (!unit) {
+        return false;
+      }
+      stub->tier2 = std::make_unique<ir::Tier2Unit>(std::move(*unit));
+    }
+    // Semantic acceptance: the va must still map to the recorded pages and
+    // the restored code words must hash to the recorded CRC.
+    if (blocks_.size() >= max_blocks_ || blocks_.count(b.key) != 0 ||
+        !RevalidateRestoredBlock(ctx, b)) {
+      ++ctx.stats.persist_misses;
+      return true;
+    }
+    if (stub != nullptr) {
+      bool paging = (b.key >> 63) != 0;
+      uint32_t ptbr = static_cast<uint32_t>((b.key >> 32) & 0x7FFFFFFFu);
+      if (options_.enable_tier2 &&
+          RevalidateUnitUncharged(ctx, *stub->tier2, paging, ptbr)) {
+        stub->map_gen = map_gen_;
+        stub->tier2->map_gen = map_gen_;
+        for (uint32_t gpn : stub->gpns) {
+          code_pages_.insert(gpn);
+          page_traces_[gpn].push_back(b.key);
+        }
+        b.trace = std::move(stub);
+      } else {
+        // Unit dropped (guard drift or tier-2 disabled here); the tier-1
+        // block underneath is still good.
+        ++ctx.stats.persist_misses;
+      }
+    }
+    b.map_gen = map_gen_;
+    uint64_t key2 = b.key;
+    auto [it, inserted] = blocks_.emplace(key2, std::move(b));
+    for (uint32_t gpn : it->second.gpns) {
+      code_pages_.insert(gpn);
+      page_blocks_[gpn].push_back(key2);
+    }
+    ring_.push_back(key2);
+    ++ctx.stats.persist_hits;
+    return true;
+  }
+
+  // Like Revalidate(), but for a block parsed from a blob rather than one the
+  // current guest produced: decodes (ptbr, paging) from the key instead of
+  // trusting live CSRs, additionally re-hashes the code words out of restored
+  // memory, and charges nothing — provisioning is host work, so a restored
+  // VM's cycle timeline matches a never-snapshotted one.
+  bool RevalidateRestoredBlock(VcpuContext& ctx, const Block& b) {
+    if ((b.start_va & 3u) != 0 ||
+        static_cast<uint32_t>(b.key & 0xFFFFFFFFu) != b.start_va) {
+      return false;
+    }
+    bool paging = (b.key >> 63) != 0;
+    uint32_t ptbr = static_cast<uint32_t>((b.key >> 32) & 0x7FFFFFFFu);
+    auto xlate = [&](uint32_t va, mmu::TranslateOutcome* out) {
+      *out = ctx.virt->Translate(va, mmu::Access::kFetch, ctx.state.priv(),
+                                 paging, ptbr);
+      return out->event == mmu::MemEvent::kNone && !out->is_mmio;
+    };
+    mmu::TranslateOutcome first;
+    if (!xlate(b.start_va, &first) ||
+        isa::PageNumber(first.gpa) != b.gpns.front()) {
+      return false;
+    }
+    uint32_t last_va =
+        b.start_va + 4 * static_cast<uint32_t>(b.instrs.size() - 1);
+    mmu::TranslateOutcome last = first;
+    if (isa::PageNumber(last_va) != isa::PageNumber(b.start_va)) {
+      if (b.gpns.size() != 2 || !xlate(last_va, &last) ||
+          isa::PageNumber(last.gpa) != b.gpns.back()) {
+        return false;
+      }
+    } else if (b.gpns.size() != 1) {
+      return false;
+    }
+    const uint8_t* page0 = ctx.memory->pool().FrameData(first.frame);
+    const uint8_t* page1 = ctx.memory->pool().FrameData(last.frame);
+    uint32_t first_vpn = isa::PageNumber(b.start_va);
+    uint32_t crc = 0;
+    for (size_t i = 0; i < b.instrs.size(); ++i) {
+      uint32_t va = b.start_va + 4 * static_cast<uint32_t>(i);
+      const uint8_t* page = isa::PageNumber(va) == first_vpn ? page0 : page1;
+      uint32_t word;
+      std::memcpy(&word, page + isa::VaPageOffset(va), 4);
+      crc = Crc32(&word, 4, crc);
+    }
+    return crc == b.code_crc;
+  }
+
+  // RevalidateUnit without the cycle charge, under an explicit address-space
+  // root (from the block key) instead of the live CSRs.
+  bool RevalidateUnitUncharged(VcpuContext& ctx, const ir::Tier2Unit& unit,
+                               bool paging, uint32_t ptbr) {
+    for (const auto& [probe_va, want_gpn] : unit.page_map) {
+      mmu::TranslateOutcome out = ctx.virt->Translate(
+          probe_va, mmu::Access::kFetch, ctx.state.priv(), paging, ptbr);
+      if (out.event != mmu::MemEvent::kNone || out.is_mmio ||
+          isa::PageNumber(out.gpa) != want_gpn) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void RunTier2(ExecCore& core, VcpuContext& ctx, Block& head, uint64_t max_cycles) {
+    head.hot = true;
+    Trace& tr = *head.trace;
+    ir::Tier2Outcome out =
+        ir::RunTier2Unit(core, ctx, *tr.tier2, have_pending_, max_cycles);
+    // Tier-2 passes count as trace executions too: the unit *is* the trace,
+    // executed better, and external consumers key off trace_executions.
+    ctx.stats.trace_executions += out.passes;
+    ctx.stats.tier2_executions += out.passes;
+    tr.execs += out.passes;
+    if (out.deopt) {
+      ++ctx.stats.deopts;
+    }
   }
 
   void AbortRecording() {
@@ -703,6 +1145,13 @@ class DbtEngine final : public ExecutionEngine {
   }
 
   void EvictAll(VcpuContext& ctx) {
+    ResetCaches();
+    ++ctx.stats.evictions_full;
+  }
+
+  // Cache reset without the eviction stat: InstallTranslations replaces the
+  // caches wholesale (that is provisioning, not an eviction).
+  void ResetCaches() {
     blocks_.clear();
     page_blocks_.clear();
     page_traces_.clear();
@@ -711,9 +1160,9 @@ class DbtEngine final : public ExecutionEngine {
     hand_ = 0;
     AbortRecording();
     ++chain_gen_;
-    ++ctx.stats.evictions_full;
   }
 
+  DbtOptions options_;
   size_t max_blocks_;
   std::unordered_map<uint64_t, Block> blocks_;
   std::unordered_map<uint32_t, std::vector<uint64_t>> page_blocks_;
@@ -741,15 +1190,26 @@ class DbtEngine final : public ExecutionEngine {
 }  // namespace
 
 std::unique_ptr<ExecutionEngine> MakeDbtEngine(size_t max_blocks) {
-  return std::make_unique<DbtEngine>(max_blocks);
+  DbtOptions options;
+  options.max_blocks = max_blocks;
+  return std::make_unique<DbtEngine>(options);
+}
+
+std::unique_ptr<ExecutionEngine> MakeDbtEngine(const DbtOptions& options) {
+  return std::make_unique<DbtEngine>(options);
 }
 
 std::unique_ptr<ExecutionEngine> MakeEngine(EngineKind kind) {
+  return MakeEngine(kind, DbtOptions{});
+}
+
+std::unique_ptr<ExecutionEngine> MakeEngine(EngineKind kind,
+                                            const DbtOptions& options) {
   switch (kind) {
     case EngineKind::kInterpreter:
       return MakeInterpreter();
     case EngineKind::kDbt:
-      return MakeDbtEngine();
+      return MakeDbtEngine(options);
   }
   return nullptr;
 }

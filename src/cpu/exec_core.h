@@ -43,6 +43,25 @@ class ExecCore {
 
   void Charge(uint64_t c) { cycles_ += c; }
 
+  // Retires `n` guest instructions at the base per-instruction cost in one
+  // step. The tier-2 executor batches retirement accounting across runs of
+  // micro-ops instead of paying Charge + increment per instruction; the
+  // totals are indistinguishable from n individual Execute() retirements.
+  void RetireBulk(uint64_t n) {
+    cycles_ += n * guest_insn_cost_;
+    instret_ += n;
+  }
+
+  // Charged when the guest touches privileged state under trap-and-emulate.
+  // Public because the tier-2 executor emulates scratch-CSR accesses inline
+  // and must preserve the interception cost model.
+  void ChargePrivileged() {
+    if (ctx_.virt_mode == VirtMode::kTrapAndEmulate) {
+      Charge(ctx_.costs->vm_exit + ctx_.costs->emulate_insn);
+      ++ctx_.stats.priv_emulations;
+    }
+  }
+
   SimTime Now() const { return ctx_.slice_start + cycles_; }
 
   // Finalizes the run: folds slice counters into persistent state and stats.
@@ -371,14 +390,6 @@ class ExecCore {
       return ctx_.costs->vm_exit + ctx_.costs->emulate_insn;
     }
     return 40;  // native exception latency
-  }
-
-  // Charged when the guest touches privileged state under trap-and-emulate.
-  void ChargePrivileged() {
-    if (ctx_.virt_mode == VirtMode::kTrapAndEmulate) {
-      Charge(ctx_.costs->vm_exit + ctx_.costs->emulate_insn);
-      ++ctx_.stats.priv_emulations;
-    }
   }
 
   void Vector(isa::TrapCause cause, uint32_t tval) {
@@ -822,6 +833,9 @@ class ExecCore {
     return false;
   }
 
+ public:
+  // Shared with the tier-2 compiler/executor (constant folding evaluates
+  // through the same tables the interpreter uses, so folds cannot diverge).
   static uint32_t Alu(isa::AluOp op, uint32_t a, uint32_t b) {
     using isa::AluOp;
     switch (op) {
@@ -898,6 +912,7 @@ class ExecCore {
     return false;
   }
 
+ private:
   VcpuContext& ctx_;
   ExecutionEngine* engine_;
   // See the constructor; `phase_` is never null after construction.

@@ -1,0 +1,208 @@
+// Tier-2 executor: runs a compiled Tier2Unit against an ExecCore.
+//
+// The unit is re-entered while the loop keeps closing, exactly like the
+// tier-1 superblock runner, but with three structural differences:
+//
+//  * no pc guards — inside a unit the logical pc is the op index; every
+//    exit path writes the correct architectural pc before returning;
+//  * batched retirement — pure micro-ops accumulate a pending-retirement
+//    count that is folded into the core's cycle/instret counters in one
+//    RetireBulk call at seams, exits and fallback boundaries, instead of a
+//    Charge + increment per instruction;
+//  * deopt — anything the unit cannot retire inline (a trap from a
+//    fallback op, a privilege violation on a scratch-CSR op) flushes,
+//    restores the precise pc and returns with `deopt` set, and the caller
+//    resumes in tier-1 blocks. Off-trace branches are ordinary exits, not
+//    deopts.
+//
+// Seams mirror RunTrace: pending SMC invalidations and the per-block
+// timer/interrupt window are honored at every former block entry, so a
+// tier-2 unit never widens worst-case interrupt latency beyond one block.
+// The hoisted timer_due/ie values stay valid for the whole stay because the
+// only CSR the unit can retire inline is the scratch register.
+
+#ifndef SRC_CPU_IR_TIER2_EXEC_H_
+#define SRC_CPU_IR_TIER2_EXEC_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "src/cpu/exec_core.h"
+#include "src/cpu/ir/tier2.h"
+
+namespace hyperion::cpu::ir {
+
+struct Tier2Outcome {
+  uint64_t passes = 0;  // loop passes, counting a partial final pass
+  bool deopt = false;   // bailed to tier-1 (trap or privilege violation)
+};
+
+inline Tier2Outcome RunTier2Unit(ExecCore& core, VcpuContext& ctx,
+                                 const Tier2Unit& u, const bool& have_pending,
+                                 uint64_t max_cycles) {
+  CpuState& s = ctx.state;
+  const Tier2Op* ops = u.ops.data();
+  const size_t nops = u.ops.size();
+  const uint32_t head_va = u.head_va;
+  // Valid for the whole stay: the unit retires no CSR but scratch inline,
+  // and any other status/timecmp writer exits through a fallback trap.
+  const uint64_t timer_due =
+      s.timecmp != 0 ? s.timecmp : std::numeric_limits<uint64_t>::max();
+  const bool ie = s.interrupts_enabled();
+  Tier2Outcome out;
+  uint64_t pend = 0;  // retirements not yet folded into the core counters
+  auto flush = [&] {
+    if (pend != 0) {
+      core.RetireBulk(pend);
+      pend = 0;
+    }
+  };
+  for (;;) {
+    ++out.passes;
+    for (size_t i = 0; i < nops; ++i) {
+      const Tier2Op& o = ops[i];
+      switch (o.op) {
+        case T2Op::kNop:
+          pend += o.aux;
+          break;
+        case T2Op::kMovImm:
+          s.WriteReg(o.rd, static_cast<uint32_t>(o.imm));
+          ++pend;
+          break;
+        case T2Op::kMov:
+          s.WriteReg(o.rd, s.ReadReg(o.rs1));
+          ++pend;
+          break;
+        case T2Op::kAluRR:
+          s.WriteReg(o.rd, ExecCore::Alu(static_cast<isa::AluOp>(o.funct),
+                                         s.ReadReg(o.rs1), s.ReadReg(o.rs2)));
+          ++pend;
+          break;
+        case T2Op::kAluRI:
+          s.WriteReg(o.rd, ExecCore::Alu(static_cast<isa::AluOp>(o.funct),
+                                         s.ReadReg(o.rs1),
+                                         static_cast<uint32_t>(o.imm)));
+          ++pend;
+          break;
+        case T2Op::kBranch: {
+          ++pend;
+          bool taken =
+              ExecCore::EvalBranch(static_cast<isa::BranchCond>(o.funct),
+                                   s.ReadReg(o.rs1), s.ReadReg(o.rs2));
+          uint32_t next = taken ? static_cast<uint32_t>(o.imm) : o.va + 4;
+          if (next != o.aux) {
+            flush();
+            s.pc = next;
+            return out;  // off-trace transfer: ordinary exit
+          }
+          break;
+        }
+        case T2Op::kJal: {
+          ++pend;
+          s.WriteReg(o.rd, o.va + 4);
+          if (static_cast<uint32_t>(o.imm) != o.aux) {
+            flush();
+            s.pc = static_cast<uint32_t>(o.imm);
+            return out;
+          }
+          break;
+        }
+        case T2Op::kJalr: {
+          ++pend;
+          // Target before link write: jalr with rd == rs1 jumps through the
+          // pre-link value, exactly as ExecCore::Execute does.
+          uint32_t next = (s.ReadReg(o.rs1) + static_cast<uint32_t>(o.imm)) & ~3u;
+          s.WriteReg(o.rd, o.va + 4);
+          if (next != o.aux) {
+            flush();
+            s.pc = next;
+            return out;
+          }
+          break;
+        }
+        case T2Op::kSeam:
+          // Former block entry: apply SMC invalidations and the per-block
+          // interrupt window exactly where block-by-block dispatch would.
+          flush();
+          if (have_pending) {
+            s.pc = o.va;
+            return out;
+          }
+          if (core.Now() >= timer_due) {
+            core.CheckTimer();
+          }
+          if (ie && s.ipend != 0) {
+            s.pc = o.va;
+            return out;
+          }
+          break;
+        case T2Op::kCsrScratch: {
+          if (s.priv() != isa::PrivMode::kSupervisor) {
+            flush();
+            s.pc = o.va;
+            out.deopt = true;  // tier-1/interp raises the precise trap
+            return out;
+          }
+          core.ChargePrivileged();
+          ++pend;
+          uint32_t old = s.scratch;
+          uint32_t a = s.ReadReg(o.rs1);
+          bool write = o.funct == 0 || o.rs1 != 0;
+          uint32_t next = o.funct == 0 ? a : (o.funct == 1 ? (old | a) : (old & ~a));
+          if (write) {
+            s.scratch = next;
+          }
+          s.WriteReg(o.rd, old);
+          break;
+        }
+        case T2Op::kPrivGuard:
+          // An elided dead scratch write: privilege semantics and the
+          // trap-and-emulate interception cost survive, the write does not.
+          if (s.priv() != isa::PrivMode::kSupervisor) {
+            flush();
+            s.pc = o.va;
+            out.deopt = true;
+            return out;
+          }
+          core.ChargePrivileged();
+          ++pend;
+          break;
+        case T2Op::kFallback:
+          // Execute retires the instruction itself; flush first so the
+          // retirement order matches per-instruction execution.
+          flush();
+          s.pc = o.va;
+          if (!core.Execute(u.fallback[static_cast<size_t>(o.imm)])) {
+            return out;  // exit latched; pc already precise
+          }
+          if (s.pc != o.va + 4) {
+            out.deopt = true;  // trap vectored into the guest
+            return out;
+          }
+          break;
+        default:
+          flush();
+          s.pc = o.va;
+          out.deopt = true;
+          return out;
+      }
+    }
+    // Loop closure: mirror the dispatch loop's per-block window.
+    flush();
+    if (have_pending || core.cycles() >= max_cycles) {
+      s.pc = head_va;
+      return out;
+    }
+    if (core.Now() >= timer_due) {
+      core.CheckTimer();
+    }
+    if (ie && s.ipend != 0) {
+      s.pc = head_va;
+      return out;
+    }
+  }
+}
+
+}  // namespace hyperion::cpu::ir
+
+#endif  // SRC_CPU_IR_TIER2_EXEC_H_

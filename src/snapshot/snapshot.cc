@@ -10,7 +10,13 @@ namespace hyperion::snapshot {
 namespace {
 
 constexpr uint32_t kMagic = 0x504E5348;  // "HSNP"
-constexpr uint32_t kVersion = 1;
+// v1: no feature-bits word. v2 adds a u32 feature-bit mask right after the
+// version; each bit gates an optional trailing section, so a v2 reader can
+// restore any v1 image and reject (rather than misparse) images from a
+// future writer that set bits it does not know.
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kFeatTranslations = 1u << 0;  // per-vCPU translation cache
+constexpr uint32_t kKnownFeatures = kFeatTranslations;
 
 constexpr uint8_t kPageData = 0;
 constexpr uint8_t kPageZero = 1;
@@ -23,7 +29,24 @@ constexpr uint8_t kFlagIncremental = 1;
 Result<std::vector<uint8_t>> SaveVm(core::Vm& vm, SaveOptions options, SnapshotInfo* info) {
   ByteWriter w;
   w.WriteU32(kMagic);
-  w.WriteU32(kVersion);
+  uint32_t version = options.legacy_v1 ? 1 : kVersion;
+  w.WriteU32(version);
+  // Translation sections are collected up front so the feature word can say
+  // definitively whether the trailing sections exist. An interpreter engine
+  // serializes to an empty blob; that still counts as the section being
+  // present (restore passes it through and the engine ignores it).
+  uint32_t features = 0;
+  std::vector<std::vector<uint8_t>> translations;
+  if (version >= 2 && options.translations) {
+    features |= kFeatTranslations;
+    translations.reserve(vm.num_vcpus());
+    for (uint32_t i = 0; i < vm.num_vcpus(); ++i) {
+      translations.push_back(vm.engine(i).SerializeTranslations());
+    }
+  }
+  if (version >= 2) {
+    w.WriteU32(features);
+  }
   w.WriteU8(options.incremental ? kFlagIncremental : 0);
   w.WriteU32(vm.memory().ram_size());
   w.WriteU32(vm.num_vcpus());
@@ -97,6 +120,13 @@ Result<std::vector<uint8_t>> SaveVm(core::Vm& vm, SaveOptions options, SnapshotI
     w.WriteBlob(dw.buffer());
   }
 
+  // Translation cache sections, one blob per vCPU, inside the outer CRC.
+  if ((features & kFeatTranslations) != 0) {
+    for (const std::vector<uint8_t>& blob : translations) {
+      w.WriteBlob(blob);
+    }
+  }
+
   uint32_t crc = Crc32(w.buffer().data(), w.size());
   w.WriteU32(crc);
 
@@ -123,8 +153,15 @@ Status LoadVm(core::Vm& vm, std::span<const uint8_t> bytes) {
     return DataLossError("bad snapshot magic");
   }
   HYP_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
-  if (version != kVersion) {
+  if (version < 1 || version > kVersion) {
     return UnimplementedError("unsupported snapshot version");
+  }
+  uint32_t features = 0;
+  if (version >= 2) {
+    HYP_ASSIGN_OR_RETURN(features, r.ReadU32());
+    if ((features & ~kKnownFeatures) != 0) {
+      return UnimplementedError("snapshot carries unknown feature bits");
+    }
   }
   HYP_ASSIGN_OR_RETURN(uint8_t flags, r.ReadU8());
   bool incremental = flags & kFlagIncremental;
@@ -209,6 +246,15 @@ Status LoadVm(core::Vm& vm, std::span<const uint8_t> bytes) {
     HYP_RETURN_IF_ERROR(devs[i]->Deserialize(serial, dr));
   }
 
+  std::vector<std::vector<uint8_t>> translations;
+  if ((features & kFeatTranslations) != 0) {
+    translations.reserve(vcpus);
+    for (uint32_t i = 0; i < vcpus; ++i) {
+      HYP_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, r.ReadBlob());
+      translations.push_back(std::move(blob));
+    }
+  }
+
   // Host-side state last: balloon accounting depends on final page presence.
   vm.RestoreHostSideState(std::move(console), std::move(logged), balloon_target);
 
@@ -216,6 +262,13 @@ Status LoadVm(core::Vm& vm, std::span<const uint8_t> bytes) {
   vm.virt().FlushAll();
   for (uint32_t i = 0; i < vm.num_vcpus(); ++i) {
     vm.engine(i).FlushCodeCache();
+  }
+  // Then pre-warm from the snapshot's own translation cache: each engine
+  // revalidates every persisted unit against the memory restored above and
+  // installs what survives. A corrupt or stale blob degrades to cold
+  // translation — the restore itself still succeeds.
+  for (uint32_t i = 0; i < translations.size(); ++i) {
+    vm.engine(i).InstallTranslations(vm.vcpu(i), translations[i]);
   }
   return OkStatus();
 }
@@ -253,6 +306,10 @@ Result<core::Vm*> ForkVm(core::Host& host, core::VmConfig config, core::Vm& pare
   parent.memory().DisableDirtyLog();
   SaveOptions opts;
   opts.incremental = true;
+  // Translations cannot ride the state image: the child's RAM is not shared
+  // yet, so revalidation would reject every unit. They install below, after
+  // the COW remap, straight from the parent's engines.
+  opts.translations = false;
   auto state_image = SaveVm(parent, opts);
   if (!state_image.ok()) {
     return fail(state_image.status());
@@ -284,6 +341,13 @@ Result<core::Vm*> ForkVm(core::Host& host, core::VmConfig config, core::Vm& pare
   child->virt().FlushAll();
   for (uint32_t i = 0; i < child->num_vcpus(); ++i) {
     child->engine(i).FlushCodeCache();
+  }
+  // Pre-warm the child's code caches from the parent now that its pages
+  // share the parent's frames: revalidation reads the shared frames, so a
+  // fork of a warmed parent starts with zero cold translates.
+  for (uint32_t i = 0; i < child->num_vcpus(); ++i) {
+    std::vector<uint8_t> blob = parent.engine(i).SerializeTranslations();
+    child->engine(i).InstallTranslations(child->vcpu(i), blob);
   }
   child->Pause(serial);
   child->Resume(serial);

@@ -20,6 +20,14 @@ struct SaveOptions {
   // Capture only pages dirtied since the last dirty-log harvest. The restore
   // target must already hold the base state.
   bool incremental = false;
+  // Capture each vCPU engine's validated translation cache so a restored or
+  // cloned VM starts with pre-warmed code caches (zero cold translates on
+  // its first pass). Restore revalidates every unit against the restored
+  // memory; anything stale degrades to cold translation.
+  bool translations = true;
+  // Emit the pre-translation v1 layout (no feature-bits word, no optional
+  // sections) for downgrade paths and compatibility testing.
+  bool legacy_v1 = false;
 };
 
 struct SnapshotInfo {

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "src/balloon/balloon.h"
 #include "tests/test_phase.h"
 #include "src/core/host.h"
@@ -10,6 +12,7 @@
 #include "src/ksm/ksm.h"
 #include "src/migrate/migrate.h"
 #include "src/snapshot/snapshot.h"
+#include "src/util/crc32.h"
 #include "src/util/histogram.h"
 
 namespace hyperion {
@@ -468,6 +471,140 @@ TEST(SnapshotTest, TemplateCloningProvisionsManyVms) {
 }
 
 // ---------------------------------------------------------------------------
+// Persistent translations: a snapshot of a warmed DBT VM carries its
+// validated translation units (snapshot v2, kFeatTranslations), so a
+// restored clone starts hot instead of re-translating (DESIGN.md §12).
+// ---------------------------------------------------------------------------
+
+VmConfig WarmDbtConfig(const std::string& name) {
+  VmConfig cfg{.name = name};
+  cfg.engine = cpu::EngineKind::kDbt;
+  cfg.dbt.tier2_threshold = 4;  // promote almost immediately
+  return cfg;
+}
+
+// Boots a DBT VM on `prog`, runs it partway (hot + tiered up), and pauses it.
+Vm* WarmPausedVm(Host& host, const std::string& name, const std::string& prog) {
+  Vm* vm = BootVm(host, WarmDbtConfig(name), prog);
+  host.RunFor(5 * kSimTicksPerMs);
+  EXPECT_EQ(vm->state(), VmState::kRunning);
+  vm->Pause(TestPhase());
+  EXPECT_GT(vm->vcpu(0).stats.blocks_translated, 0u);
+  EXPECT_GT(vm->vcpu(0).stats.tier2_promotions, 0u);
+  return vm;
+}
+
+TEST(SnapshotTest, WarmTranslationsPrimeRestoredClone) {
+  Host host;
+  constexpr uint32_t kIters = 600000;
+  std::string prog = guest::ComputeProgram(kIters);
+  Vm* vm = WarmPausedVm(host, "warm", prog);
+  uint32_t progress_at_save = ReadProgress(vm, prog);
+  ASSERT_GT(progress_at_save, 0u);
+  ASSERT_LT(progress_at_save, kIters);
+
+  auto bytes = snapshot::SaveVm(*vm);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+
+  // The clone installs the persisted units during restore: every unit
+  // revalidates against the restored RAM, none is rejected.
+  auto restored = snapshot::CloneVm(host, WarmDbtConfig("warm2"), *bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_GT((*restored)->vcpu(0).stats.persist_hits, 0u);
+  EXPECT_EQ((*restored)->vcpu(0).stats.persist_misses, 0u);
+
+  // First pass after restore: the clone's hot loop runs entirely on
+  // pre-warmed translations -- zero cold translates, straight into tier-2.
+  host.RunFor(5 * kSimTicksPerMs);
+  (*restored)->Pause(TestPhase());
+  EXPECT_GT(ReadProgress(*restored, prog), progress_at_save);
+  EXPECT_EQ((*restored)->vcpu(0).stats.blocks_translated, 0u);
+  EXPECT_GT((*restored)->vcpu(0).stats.tier2_executions, 0u);
+  (*restored)->Resume(TestPhase());
+
+  // Both finish with digest-identical architectural outcomes.
+  vm->Resume(TestPhase());
+  ASSERT_TRUE(host.RunUntilVmStops(vm, 30 * kSimTicksPerSec));
+  ASSERT_TRUE(host.RunUntilVmStops(*restored, 30 * kSimTicksPerSec));
+  EXPECT_EQ(vm->state(), VmState::kShutdown);
+  EXPECT_EQ((*restored)->state(), VmState::kShutdown);
+  EXPECT_EQ(ReadProgress(vm, prog), kIters);
+  EXPECT_EQ(ReadProgress(*restored, prog), kIters);
+  EXPECT_EQ((*restored)->vcpu(0).state.regs, vm->vcpu(0).state.regs);
+  EXPECT_EQ((*restored)->vcpu(0).state.instret, vm->vcpu(0).state.instret);
+}
+
+TEST(SnapshotTest, LegacyV1ImageStillRestores) {
+  // Backward compatibility: a v1-format snapshot (no feature-bits word, no
+  // translation sections) must still restore on the current code -- the
+  // clone just starts cold.
+  Host host;
+  constexpr uint32_t kIters = 600000;
+  std::string prog = guest::ComputeProgram(kIters);
+  Vm* vm = WarmPausedVm(host, "v1src", prog);
+
+  snapshot::SaveOptions opts;
+  opts.legacy_v1 = true;
+  auto bytes = snapshot::SaveVm(*vm, opts);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+
+  auto restored = snapshot::CloneVm(host, WarmDbtConfig("v1dst"), *bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ((*restored)->vcpu(0).stats.persist_hits, 0u);
+  EXPECT_EQ((*restored)->vcpu(0).stats.persist_misses, 0u);
+
+  ASSERT_TRUE(host.RunUntilVmStops(*restored, 30 * kSimTicksPerSec));
+  EXPECT_EQ((*restored)->state(), VmState::kShutdown);
+  EXPECT_EQ(ReadProgress(*restored, prog), kIters);
+  EXPECT_GT((*restored)->vcpu(0).stats.blocks_translated, 0u);  // cold start
+}
+
+// Chaos: a torn write inside the persisted translation section. The outer
+// snapshot still parses (its trailer CRC is re-sealed, the way a torn-then-
+// rewritten file would checksum clean at the container level), so the
+// corruption is only detectable by the translation blob's own CRC: the
+// engine must reject the blob, count a persist miss, and degrade to cold
+// translation with identical architectural results.
+TEST(SnapshotTornWriteTest, TornTranslationBlobDegradesToColdTranslate) {
+  Host host;
+  constexpr uint32_t kIters = 600000;
+  std::string prog = guest::ComputeProgram(kIters);
+  Vm* vm = WarmPausedVm(host, "torn", prog);
+
+  auto bytes = snapshot::SaveVm(*vm);
+  ASSERT_TRUE(bytes.ok());
+
+  // Locate the inner 'HCT2' translation header (the section sits near the
+  // tail, after RAM and devices) and tear a byte inside the first unit.
+  const uint8_t sig[4] = {'H', 'C', 'T', '2'};
+  size_t pos = bytes->size();
+  for (size_t i = bytes->size() - sizeof(sig); i-- > 0;) {
+    if (std::memcmp(bytes->data() + i, sig, sizeof(sig)) == 0) {
+      pos = i;
+      break;
+    }
+  }
+  ASSERT_LT(pos, bytes->size()) << "no translation section in the snapshot";
+  ASSERT_LT(pos + 16, bytes->size() - 4);
+  (*bytes)[pos + 16] ^= 0xA5;
+  // Re-seal the outer CRC so only the inner blob checksum can catch it.
+  uint32_t crc = Crc32(bytes->data(), bytes->size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    (*bytes)[bytes->size() - 4 + i] = static_cast<uint8_t>(crc >> (8 * i));
+  }
+
+  auto restored = snapshot::CloneVm(host, WarmDbtConfig("torn2"), *bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ((*restored)->vcpu(0).stats.persist_hits, 0u);
+  EXPECT_GT((*restored)->vcpu(0).stats.persist_misses, 0u);
+
+  ASSERT_TRUE(host.RunUntilVmStops(*restored, 30 * kSimTicksPerSec));
+  EXPECT_EQ((*restored)->state(), VmState::kShutdown);
+  EXPECT_EQ(ReadProgress(*restored, prog), kIters);
+  EXPECT_GT((*restored)->vcpu(0).stats.blocks_translated, 0u);  // cold fallback
+}
+
+// ---------------------------------------------------------------------------
 // Migration
 // ---------------------------------------------------------------------------
 
@@ -569,6 +706,37 @@ TEST(ForkTest, ChildContinuesFromForkPoint) {
   EXPECT_EQ((*child)->state(), VmState::kShutdown) << (*child)->crash_reason().ToString();
   EXPECT_EQ(ReadProgress(parent, prog), kIters);
   EXPECT_EQ(ReadProgress(*child, prog), kIters);
+}
+
+TEST(ForkTest, LinkedClonesInheritWarmTranslations) {
+  // A fork of a warmed DBT parent boots with the parent's translation units
+  // already installed: the child's first pass runs hot with zero cold
+  // translates (the pre-warmed linked-clone path of DESIGN.md §12).
+  Host host;
+  constexpr uint32_t kIters = 600000;
+  std::string prog = guest::ComputeProgram(kIters);
+  Vm* parent = WarmPausedVm(host, "warmparent", prog);
+  uint32_t at_fork = ReadProgress(parent, prog);
+  ASSERT_LT(at_fork, kIters);
+
+  auto child = snapshot::ForkVm(host, WarmDbtConfig("warmchild"), *parent);
+  ASSERT_TRUE(child.ok()) << child.status().ToString();
+  EXPECT_GT((*child)->vcpu(0).stats.persist_hits, 0u);
+  EXPECT_EQ((*child)->vcpu(0).stats.persist_misses, 0u);
+
+  host.RunFor(5 * kSimTicksPerMs);
+  (*child)->Pause(TestPhase());
+  EXPECT_GT(ReadProgress(*child, prog), at_fork);
+  EXPECT_EQ((*child)->vcpu(0).stats.blocks_translated, 0u);
+  EXPECT_GT((*child)->vcpu(0).stats.tier2_executions, 0u);
+  (*child)->Resume(TestPhase());
+
+  parent->Resume(TestPhase());
+  ASSERT_TRUE(host.RunUntilVmStops(parent, 30 * kSimTicksPerSec));
+  ASSERT_TRUE(host.RunUntilVmStops(*child, 30 * kSimTicksPerSec));
+  EXPECT_EQ(ReadProgress(parent, prog), kIters);
+  EXPECT_EQ(ReadProgress(*child, prog), kIters);
+  EXPECT_EQ((*child)->vcpu(0).state.regs, parent->vcpu(0).state.regs);
 }
 
 TEST(ForkTest, WritesDivergePrivately) {

@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <vector>
+
 #include "src/util/cost_model.h"
+#include "src/util/crc32.h"
 #include "tests/test_phase.h"
 #include "src/verify/audit.h"
 #include "tests/guest_harness.h"
@@ -875,6 +879,339 @@ again:
   EXPECT_EQ(m.Reg(isa::kA0), 5u * kBlocks);
   EXPECT_GT(m.ctx().stats.evictions_surgical, 0u);
   EXPECT_EQ(m.ctx().stats.evictions_full, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Tier-2 optimizing JIT (src/cpu/ir/)
+// ---------------------------------------------------------------------------
+
+cpu::DbtOptions LowTier2Threshold() {
+  cpu::DbtOptions o;
+  o.tier2_threshold = 2;  // promote almost immediately, for unit tests
+  return o;
+}
+
+TestMachine MakeTier2Machine() {
+  return TestMachine(1u << 20, PagingMode::kNested, EngineKind::kDbt,
+                     VirtMode::kHardwareAssist, /*dbt_max_blocks=*/0,
+                     LowTier2Threshold());
+}
+
+// A data-dependent compute loop: enough ALU work per iteration that tier-2's
+// batched retirement matters, and a final value that any skipped or
+// double-retired instruction would change.
+constexpr char kComputeLoop[] = R"(
+_start:
+    li a0, 0
+    li t1, 20000
+    li s0, 3
+    li s1, 7
+loop:
+    addi a0, a0, 1
+    mul t2, a0, s0
+    xor t3, t2, s1
+    add s1, s1, t3
+    srli t0, s1, 3
+    xor s1, s1, t0
+    blt a0, t1, loop
+    halt
+)";
+
+TEST(Tier2Test, PromotesHotLoopAndMatchesInterpreter) {
+  TestMachine interp(1u << 20, PagingMode::kNested, EngineKind::kInterpreter);
+  interp.Load(kComputeLoop);
+  interp.RunToHalt(100'000'000);
+
+  TestMachine m = MakeTier2Machine();
+  m.Load(kComputeLoop);
+  m.RunToHalt(100'000'000);
+
+  // Bit-identical architectural outcome, including the retirement count.
+  for (uint8_t r = 0; r < 16; ++r) {
+    EXPECT_EQ(m.Reg(r), interp.Reg(r)) << "register x" << int(r);
+  }
+  EXPECT_EQ(m.ctx().state.instret, interp.ctx().state.instret);
+
+  const cpu::VcpuStats& st = m.ctx().stats;
+  EXPECT_GE(st.tier2_promotions, 1u);
+  EXPECT_GT(st.tier2_executions, 15000u);  // steady state runs in tier-2
+  EXPECT_GT(st.guards_elided, 0u);         // per-chunk pc guards removed
+  EXPECT_EQ(st.deopts, 0u);                // nothing in this loop bails out
+}
+
+TEST(Tier2Test, ConstantFoldingAndDeadCodeFireAndStayCorrect) {
+  // `li a1, 11` is fully overwritten by `li a1, 22` (dead), and both `li`
+  // expansions give the optimizer lui+addi pairs to fold into single
+  // constants. s1 accumulates t5 so the surviving write stays observable.
+  constexpr char kSrc[] = R"(
+_start:
+    li a0, 0
+    li t1, 5000
+    li s1, 0
+loop:
+    li a1, 11
+    li a1, 22
+    add s1, s1, a1
+    addi a0, a0, 1
+    blt a0, t1, loop
+    halt
+)";
+  TestMachine m = MakeTier2Machine();
+  m.Load(kSrc);
+  m.RunToHalt(100'000'000);
+  EXPECT_EQ(m.Reg(isa::kA0), 5000u);
+  EXPECT_EQ(m.Reg(isa::kS1), 5000u * 22u);
+  EXPECT_GE(m.ctx().stats.tier2_promotions, 1u);
+  EXPECT_GT(m.ctx().stats.tier2_ops_folded, 0u);
+  EXPECT_GT(m.ctx().stats.tier2_ops_dead, 0u);
+}
+
+TEST(Tier2Test, DeadScratchWriteElided) {
+  // Two back-to-back scratch writes per iteration: the first is dead (no
+  // read between them, no seam — scratch CSR ops sit mid-block) and must be
+  // demoted to a bare privilege check. The final csrr observes the second.
+  constexpr char kSrc[] = R"(
+_start:
+    li a0, 0
+    li t1, 5000
+loop:
+    csrw scratch, a0
+    csrw scratch, t1
+    addi a0, a0, 1
+    blt a0, t1, loop
+    csrr s2, scratch
+    halt
+)";
+  TestMachine interp(1u << 20, PagingMode::kNested, EngineKind::kInterpreter);
+  interp.Load(kSrc);
+  interp.RunToHalt(100'000'000);
+
+  TestMachine m = MakeTier2Machine();
+  m.Load(kSrc);
+  m.RunToHalt(100'000'000);
+  EXPECT_EQ(m.Reg(isa::kS2), interp.Reg(isa::kS2));
+  EXPECT_EQ(m.Reg(isa::kS2), 5000u);
+  EXPECT_EQ(m.ctx().state.scratch, interp.ctx().state.scratch);
+  EXPECT_EQ(m.ctx().state.instret, interp.ctx().state.instret);
+  EXPECT_GE(m.ctx().stats.tier2_promotions, 1u);
+  EXPECT_GT(m.ctx().stats.csr_writes_elided, 0u);
+}
+
+TEST(Tier2Test, FallbackTrapDeoptsPrecisely) {
+  // The load address gains +1 exactly once (iteration 1500 of 3000), which
+  // misaligns it: the in-unit fallback load traps, the unit deopts with a
+  // precise pc, and the handler observes the same state the interpreter
+  // produces.
+  constexpr char kSrc[] = R"(
+_start:
+    la t0, handler
+    csrw tvec, t0
+    li a1, 0x40000
+    li a0, 0
+    li t1, 3000
+    li a2, 1500
+loop:
+    lw t2, 0(a1)
+    addi a0, a0, 1
+    xor t3, a0, a2
+    sltui t3, t3, 1       ; t3 = (a0 == 1500) ? 1 : 0
+    add a1, a1, t3
+    blt a0, t1, loop
+    halt
+handler:
+    csrr s2, epc
+    csrr s3, cause
+    halt
+)";
+  TestMachine interp(1u << 20, PagingMode::kNested, EngineKind::kInterpreter);
+  interp.Load(kSrc);
+  interp.RunToHalt(100'000'000);
+
+  TestMachine m = MakeTier2Machine();
+  m.Load(kSrc);
+  m.RunToHalt(100'000'000);
+  EXPECT_EQ(m.Reg(isa::kA0), interp.Reg(isa::kA0));
+  EXPECT_EQ(m.Reg(isa::kS2), interp.Reg(isa::kS2));  // epc: the faulting lw
+  EXPECT_EQ(m.Reg(isa::kS3), interp.Reg(isa::kS3));  // cause: misaligned load
+  EXPECT_EQ(m.ctx().state.instret, interp.ctx().state.instret);
+  EXPECT_GE(m.ctx().stats.tier2_promotions, 1u);
+  EXPECT_GE(m.ctx().stats.deopts, 1u);
+}
+
+TEST(Tier2Test, SelfModifyingCodeInvalidatesTier2Unit) {
+  // The loop runs 500 iterations at +1, then patches its own increment
+  // instruction to +2 and runs 500 more — while the loop body is a hot
+  // tier-2 unit. The store must kill the unit at the next seam.
+  constexpr char kSrc[] = R"(
+_start:
+    li a0, 0
+    li t1, 1000
+    li a2, 500
+loop:
+    addi a0, a0, 1
+inc_site:
+    addi s1, s1, 1
+    beq a0, a2, patch
+back:
+    blt a0, t1, loop
+    halt
+patch:
+    la t0, patch_word
+    lw t2, 0(t0)
+    la t3, inc_site
+    sw t2, 0(t3)          ; addi s1, s1, 1  ->  addi s1, s1, 2
+    j back
+patch_word:
+    addi s1, s1, 2
+)";
+  TestMachine m = MakeTier2Machine();
+  m.Load(kSrc);
+  m.RunToHalt(100'000'000);
+  EXPECT_EQ(m.Reg(isa::kA0), 1000u);
+  EXPECT_EQ(m.Reg(isa::kS1), 500u * 1 + 500u * 2);
+  EXPECT_GE(m.ctx().stats.tier2_promotions, 1u);
+  EXPECT_GT(m.ctx().stats.tier2_executions, 0u);
+}
+
+TEST(Tier2Test, SfenceRevalidatesTier2UnitWithoutRetranslation) {
+  // An sfence between hot-loop episodes bumps the mapping epoch; the tier-2
+  // unit must revalidate via its guard probes and keep running rather than
+  // being dropped and recompiled from scratch.
+  constexpr char kSrc[] = R"(
+_start:
+    li s0, 40
+    li s1, 0
+outer:
+    li a0, 0
+    li t1, 400
+inner:
+    addi a0, a0, 1
+    add s1, s1, a0
+    blt a0, t1, inner
+    sfence
+    addi s0, s0, -1
+    bnez s0, outer
+    halt
+)";
+  TestMachine m = MakeTier2Machine();
+  m.Load(kSrc);
+  m.RunToHalt(100'000'000);
+  EXPECT_EQ(m.Reg(isa::kS1), 40u * (400u * 401u / 2));
+  const cpu::VcpuStats& st = m.ctx().stats;
+  EXPECT_GE(st.tier2_promotions, 1u);
+  // One compile total: every sfence afterwards revalidates instead of
+  // killing the unit (a kill would force a fresh promotion per episode).
+  EXPECT_LE(st.tier2_promotions, 2u);
+  EXPECT_GT(st.tier2_executions, 35u * 1u);
+}
+
+TEST(Tier2Test, PersistRoundTripInstallsWithZeroColdTranslates) {
+  TestMachine warm = MakeTier2Machine();
+  warm.Load(kComputeLoop);
+  warm.RunToHalt(100'000'000);
+  ASSERT_GE(warm.ctx().stats.tier2_promotions, 1u);
+  std::vector<uint8_t> blob = warm.engine().SerializeTranslations();
+  ASSERT_FALSE(blob.empty());
+
+  // Fresh machine, same image: install the persisted cache, then run. Every
+  // block must come from the blob — zero cold translates — and the run must
+  // be bit-identical to the warm machine's.
+  TestMachine fresh = MakeTier2Machine();
+  fresh.Load(kComputeLoop);
+  fresh.engine().InstallTranslations(fresh.ctx(), blob);
+  EXPECT_GT(fresh.ctx().stats.persist_hits, 0u);
+  EXPECT_EQ(fresh.ctx().stats.persist_misses, 0u);
+  fresh.RunToHalt(100'000'000);
+  EXPECT_EQ(fresh.ctx().stats.blocks_translated, 0u);
+  for (uint8_t r = 0; r < 16; ++r) {
+    EXPECT_EQ(fresh.Reg(r), warm.Reg(r)) << "register x" << int(r);
+  }
+  EXPECT_EQ(fresh.ctx().state.instret, warm.ctx().state.instret);
+  // The pre-warmed cache starts hot: tier-2 units run without re-promotion.
+  EXPECT_GT(fresh.ctx().stats.tier2_executions, 0u);
+  EXPECT_EQ(fresh.ctx().stats.tier2_promotions, 0u);
+}
+
+TEST(Tier2Test, CorruptOrMismatchedBlobRejectedCleanly) {
+  TestMachine warm = MakeTier2Machine();
+  warm.Load(kComputeLoop);
+  warm.RunToHalt(100'000'000);
+  std::vector<uint8_t> blob = warm.engine().SerializeTranslations();
+  ASSERT_GT(blob.size(), 32u);
+
+  {
+    // Bit flip in the middle: the trailer CRC must reject the whole blob.
+    std::vector<uint8_t> bad = blob;
+    bad[bad.size() / 2] ^= 0x40;
+    TestMachine m = MakeTier2Machine();
+    m.Load(kComputeLoop);
+    m.engine().InstallTranslations(m.ctx(), bad);
+    EXPECT_EQ(m.ctx().stats.persist_hits, 0u);
+    EXPECT_GT(m.ctx().stats.persist_misses, 0u);
+    m.RunToHalt(100'000'000);  // falls back to cold translation
+    EXPECT_GT(m.ctx().stats.blocks_translated, 0u);
+    EXPECT_EQ(m.Reg(isa::kS1), warm.Reg(isa::kS1));
+  }
+  {
+    // Version bump with a re-sealed CRC: rejected as a format mismatch.
+    std::vector<uint8_t> bad = blob;
+    bad[4] ^= 0xFF;  // version word
+    uint32_t crc = Crc32(bad.data(), bad.size() - 4);
+    std::memcpy(bad.data() + bad.size() - 4, &crc, 4);
+    TestMachine m = MakeTier2Machine();
+    m.Load(kComputeLoop);
+    m.engine().InstallTranslations(m.ctx(), bad);
+    EXPECT_EQ(m.ctx().stats.persist_hits, 0u);
+    EXPECT_GT(m.ctx().stats.persist_misses, 0u);
+  }
+  {
+    // Truncation mid-stream.
+    std::vector<uint8_t> bad(blob.begin(), blob.begin() + blob.size() / 2);
+    TestMachine m = MakeTier2Machine();
+    m.Load(kComputeLoop);
+    m.engine().InstallTranslations(m.ctx(), bad);
+    EXPECT_EQ(m.ctx().stats.persist_hits, 0u);
+    EXPECT_GT(m.ctx().stats.persist_misses, 0u);
+  }
+}
+
+TEST(Tier2Test, StaleBlobAgainstDifferentImageRevalidatesAway) {
+  // Persist from one program, install into a machine running another: the
+  // code-CRC check must reject every block (the translation would be stale),
+  // and the run proceeds correctly via cold translation.
+  TestMachine warm = MakeTier2Machine();
+  warm.Load(kComputeLoop);
+  warm.RunToHalt(100'000'000);
+  std::vector<uint8_t> blob = warm.engine().SerializeTranslations();
+
+  constexpr char kOther[] = R"(
+_start:
+    li a0, 0
+    li t1, 100
+loop:
+    addi a0, a0, 3
+    blt a0, t1, loop
+    halt
+)";
+  TestMachine m = MakeTier2Machine();
+  m.Load(kOther);
+  m.engine().InstallTranslations(m.ctx(), blob);
+  EXPECT_GT(m.ctx().stats.persist_misses, 0u);
+  m.RunToHalt(100'000'000);
+  EXPECT_EQ(m.Reg(isa::kA0), 102u);
+  EXPECT_GT(m.ctx().stats.blocks_translated, 0u);
+}
+
+TEST(Tier2Test, Tier1OnlyOptionDisablesPromotion) {
+  cpu::DbtOptions o;
+  o.enable_tier2 = false;
+  TestMachine m(1u << 20, PagingMode::kNested, EngineKind::kDbt,
+                VirtMode::kHardwareAssist, /*dbt_max_blocks=*/0, o);
+  m.Load(kComputeLoop);
+  m.RunToHalt(100'000'000);
+  EXPECT_EQ(m.ctx().stats.tier2_promotions, 0u);
+  EXPECT_EQ(m.ctx().stats.tier2_executions, 0u);
+  EXPECT_GT(m.ctx().stats.trace_executions, 0u);  // tier-1 still traces
 }
 
 TEST_P(MachineTest, MemoryFastPathCountersAdvance) {

@@ -164,6 +164,91 @@ std::vector<uint32_t> RandomProgram(Xoshiro256& rng, size_t n) {
   return words;
 }
 
+// The DBT's tier axis: tier-1 only (superblock traces, no optimizer) versus
+// tier-2 with a forced-low promotion threshold, so hot loops spend nearly
+// all their iterations inside optimized units. Differential equality across
+// this axis is what proves the optimizer preserves architectural semantics.
+cpu::DbtOptions Tier1Only() {
+  cpu::DbtOptions o;
+  o.enable_tier2 = false;
+  return o;
+}
+
+cpu::DbtOptions Tier2Hot() {
+  cpu::DbtOptions o;
+  o.tier2_threshold = 2;
+  return o;
+}
+
+// Like RandomProgram, but wraps the random body in a counted hot loop so the
+// DBT forms traces and (on the tier-2 axis) optimized units over it.
+// Register 14 (s2) is additionally reserved as the loop counter; a pad of
+// NOPs before the loop latch keeps the body's forward jumps (<= 8 instrs)
+// from skipping the decrement.
+std::vector<uint32_t> RandomLoopedProgram(Xoshiro256& rng, size_t n) {
+  constexpr uint8_t kLoopCounter = 14;
+  std::vector<uint32_t> words = RandomProgram(rng, n);
+  // Strip RandomProgram's NOP pad + HALT tail; rebuild around the loop.
+  words.resize(words.size() - 10);
+  std::vector<uint32_t> out;
+  auto push = [&out](const Instruction& in) {
+    auto w = isa::Encode(in);
+    if (w.ok()) {
+      out.push_back(*w);
+    }
+  };
+  Instruction li_cnt;
+  li_cnt.opcode = Opcode::kOpImm;
+  li_cnt.funct = static_cast<uint8_t>(AluOp::kAdd);
+  li_cnt.rd = kLoopCounter;
+  li_cnt.imm = 40;  // iterations: far past heat + tier-2 thresholds
+  push(li_cnt);
+  const size_t body_start = out.size();
+  // The body: random code with rd != loop counter (and != scratch base).
+  for (uint32_t w : words) {
+    Instruction in = isa::Decode(w);
+    bool writes = in.opcode == Opcode::kOp || in.opcode == Opcode::kOpImm ||
+                  in.opcode == Opcode::kLui || in.opcode == Opcode::kJal ||
+                  in.opcode == Opcode::kLw || in.opcode == Opcode::kLh ||
+                  in.opcode == Opcode::kLhu || in.opcode == Opcode::kLb ||
+                  in.opcode == Opcode::kLbu;
+    if (writes && in.rd == kLoopCounter) {
+      in.rd = 4;  // retarget to a0: keeps the instruction, guards the counter
+    }
+    auto rw = isa::Encode(in);
+    if (rw.ok()) {
+      out.push_back(*rw);
+    }
+  }
+  Instruction nop;
+  nop.opcode = Opcode::kOpImm;
+  nop.funct = static_cast<uint8_t>(AluOp::kAdd);
+  for (int i = 0; i < 8; ++i) {
+    push(nop);  // landing zone: forward jumps resolve before the latch
+  }
+  Instruction dec;
+  dec.opcode = Opcode::kOpImm;
+  dec.funct = static_cast<uint8_t>(AluOp::kAdd);
+  dec.rd = kLoopCounter;
+  dec.rs1 = kLoopCounter;
+  dec.imm = -1;
+  push(dec);
+  Instruction latch;
+  latch.opcode = Opcode::kBranch;
+  latch.funct = static_cast<uint8_t>(isa::BranchCond::kNe);
+  latch.rs1 = kLoopCounter;
+  latch.rs2 = 0;
+  latch.imm = -static_cast<int32_t>(4 * (out.size() - body_start));
+  push(latch);
+  for (int i = 0; i < 9; ++i) {
+    push(nop);
+  }
+  Instruction halt;
+  halt.opcode = Opcode::kHalt;
+  push(halt);
+  return out;
+}
+
 struct MachineSnapshot {
   std::array<uint32_t, 16> regs;
   uint32_t pc;
@@ -172,8 +257,10 @@ struct MachineSnapshot {
 };
 
 MachineSnapshot Execute(const std::vector<uint32_t>& words, mmu::PagingMode paging,
-                        cpu::EngineKind engine) {
-  testing::TestMachine m(1u << 20, paging, engine, cpu::VirtMode::kHardwareAssist);
+                        cpu::EngineKind engine, cpu::DbtOptions dbt = {},
+                        cpu::VcpuStats* stats_out = nullptr) {
+  testing::TestMachine m(1u << 20, paging, engine, cpu::VirtMode::kHardwareAssist,
+                         /*dbt_max_blocks=*/0, dbt);
   // Load raw words at the reset pc.
   uint32_t addr = isa::kResetPc;
   for (uint32_t w : words) {
@@ -192,6 +279,9 @@ MachineSnapshot Execute(const std::vector<uint32_t>& words, mmu::PagingMode pagi
   std::vector<uint8_t> scratch(0x2000);
   EXPECT_TRUE(m.memory().Read(kScratchAddr, scratch.data(), scratch.size()).ok());
   snap.mem_crc = Crc32(scratch.data(), scratch.size());
+  if (stats_out != nullptr) {
+    *stats_out = m.ctx().stats;
+  }
   return snap;
 }
 
@@ -207,6 +297,40 @@ TEST(FuzzDiffTest, EnginesAgreeOnRandomPrograms) {
     ASSERT_EQ(interp.instret, dbt.instret) << "trial " << trial;
     ASSERT_EQ(interp.mem_crc, dbt.mem_crc) << "trial " << trial;
   }
+}
+
+// The tier axis over looped random programs: the interpreter, the tier-1-only
+// DBT, and the tier-2 DBT with a forced-low promotion threshold must agree on
+// every architectural bit -- including instret, since the optimizer's folded
+// and eliminated micro-ops must still retire their original instructions.
+// Non-vacuity: the counted loops are hot enough that tier-2 units actually
+// form and execute across the trial set.
+TEST(FuzzDiffTest, TiersAgreeOnRandomLoopedPrograms) {
+  Xoshiro256 rng(0x7EE27EE2);
+  uint64_t total_promotions = 0;
+  uint64_t total_tier2_execs = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<uint32_t> words = RandomLoopedProgram(rng, 60 + rng.NextBelow(120));
+    MachineSnapshot interp =
+        Execute(words, mmu::PagingMode::kNested, cpu::EngineKind::kInterpreter);
+    MachineSnapshot tier1 =
+        Execute(words, mmu::PagingMode::kNested, cpu::EngineKind::kDbt, Tier1Only());
+    cpu::VcpuStats stats;
+    MachineSnapshot tier2 = Execute(words, mmu::PagingMode::kNested, cpu::EngineKind::kDbt,
+                                    Tier2Hot(), &stats);
+    ASSERT_EQ(interp.regs, tier1.regs) << "trial " << trial;
+    ASSERT_EQ(interp.pc, tier1.pc) << "trial " << trial;
+    ASSERT_EQ(interp.instret, tier1.instret) << "trial " << trial;
+    ASSERT_EQ(interp.mem_crc, tier1.mem_crc) << "trial " << trial;
+    ASSERT_EQ(interp.regs, tier2.regs) << "trial " << trial;
+    ASSERT_EQ(interp.pc, tier2.pc) << "trial " << trial;
+    ASSERT_EQ(interp.instret, tier2.instret) << "trial " << trial;
+    ASSERT_EQ(interp.mem_crc, tier2.mem_crc) << "trial " << trial;
+    total_promotions += stats.tier2_promotions;
+    total_tier2_execs += stats.tier2_executions;
+  }
+  EXPECT_GT(total_promotions, 0u);
+  EXPECT_GT(total_tier2_execs, 0u);
 }
 
 TEST(FuzzDiffTest, VirtualizersAgreeOnRandomPrograms) {
@@ -230,8 +354,10 @@ TEST(FuzzDiffTest, VirtualizersAgreeOnRandomPrograms) {
 // ---------------------------------------------------------------------------
 
 MachineSnapshot ExecuteAsm(const std::string& source, mmu::PagingMode paging,
-                           cpu::EngineKind engine, uint64_t max_cycles = 100'000'000) {
-  testing::TestMachine m(8u << 20, paging, engine, cpu::VirtMode::kHardwareAssist);
+                           cpu::EngineKind engine, uint64_t max_cycles = 100'000'000,
+                           cpu::DbtOptions dbt = {}) {
+  testing::TestMachine m(8u << 20, paging, engine, cpu::VirtMode::kHardwareAssist,
+                         /*dbt_max_blocks=*/0, dbt);
   m.Load(source);
   auto r = m.Run(max_cycles);
   EXPECT_EQ(r.reason, cpu::ExitReason::kHalt) << "engine " << static_cast<int>(engine);
@@ -287,6 +413,14 @@ patch_b:
   EXPECT_EQ(interp.pc, dbt.pc);
   EXPECT_EQ(interp.instret, dbt.instret);
   EXPECT_GT(dbt.regs[isa::kA0], 200u);  // both increments actually landed
+  // SMC under tier-2: the forced-low threshold promotes the caller loop (and
+  // the victim) before the first rewrite, so the page-write guard must tear
+  // down an optimized unit, not just a chained block.
+  MachineSnapshot tier2 = ExecuteAsm(program, mmu::PagingMode::kNested,
+                                     cpu::EngineKind::kDbt, 100'000'000, Tier2Hot());
+  EXPECT_EQ(interp.regs, tier2.regs);
+  EXPECT_EQ(interp.pc, tier2.pc);
+  EXPECT_EQ(interp.instret, tier2.instret);
 }
 
 TEST(FuzzDiffAdversarialTest, SfenceAndPtbrSwitchLandMidTrace) {
@@ -334,6 +468,19 @@ inner:
       ExecuteAsm(program, mmu::PagingMode::kShadow, cpu::EngineKind::kDbt);
   EXPECT_EQ(interp.regs, shadow.regs);
   EXPECT_EQ(interp.mem_crc, shadow.mem_crc);
+  // Mid-trace sfence under tier-2: the inner loop promotes within the first
+  // two episodes, so every later sfence + ptbr rewrite lands against a live
+  // optimized unit and must revalidate (or kill) it without state skew.
+  MachineSnapshot tier2 = ExecuteAsm(program, mmu::PagingMode::kNested,
+                                     cpu::EngineKind::kDbt, 100'000'000, Tier2Hot());
+  EXPECT_EQ(interp.regs, tier2.regs);
+  EXPECT_EQ(interp.pc, tier2.pc);
+  EXPECT_EQ(interp.instret, tier2.instret);
+  EXPECT_EQ(interp.mem_crc, tier2.mem_crc);
+  MachineSnapshot tier1 = ExecuteAsm(program, mmu::PagingMode::kNested,
+                                     cpu::EngineKind::kDbt, 100'000'000, Tier1Only());
+  EXPECT_EQ(interp.regs, tier1.regs);
+  EXPECT_EQ(interp.instret, tier1.instret);
 }
 
 TEST(FuzzDiffAdversarialTest, InterruptsAssertedBetweenChainedBlocks) {
@@ -382,6 +529,15 @@ rearm:
   EXPECT_EQ(interp.pc, dbt.pc);
   EXPECT_EQ(interp.mem_crc, dbt.mem_crc);
   EXPECT_EQ(dbt.regs[isa::kA0], 5u);
+  // Timer interrupts must also preempt a tier-2 unit at its seams: the spin
+  // loop promotes almost immediately at the forced-low threshold, so every
+  // handler entry exits an optimized unit mid-flight.
+  MachineSnapshot tier2 = ExecuteAsm(program, mmu::PagingMode::kNested,
+                                     cpu::EngineKind::kDbt, 100'000'000, Tier2Hot());
+  EXPECT_EQ(interp.regs, tier2.regs);
+  EXPECT_EQ(interp.pc, tier2.pc);
+  EXPECT_EQ(interp.mem_crc, tier2.mem_crc);
+  EXPECT_EQ(tier2.regs[isa::kA0], 5u);
 }
 
 // ---------------------------------------------------------------------------
@@ -775,7 +931,8 @@ void ExpectSnapshotsEqual(const SmpSnapshot& baseline, const SmpSnapshot& snap,
 }
 
 SmpSnapshot SmpExecute(const std::string& program, uint32_t vcpus, cpu::EngineKind engine,
-                       mmu::PagingMode paging, cpu::VirtMode virt) {
+                       mmu::PagingMode paging, cpu::VirtMode virt,
+                       cpu::DbtOptions dbt = {}) {
   HostConfig host_cfg;
   host_cfg.num_pcpus = 4;
   Host host(host_cfg);
@@ -788,6 +945,7 @@ SmpSnapshot SmpExecute(const std::string& program, uint32_t vcpus, cpu::EngineKi
   cfg.paging_mode = paging;
   cfg.engine = engine;
   cfg.virt_mode = virt;
+  cfg.dbt = dbt;
   auto vm = host.CreateVm(cfg);
   EXPECT_TRUE(vm.ok());
   EXPECT_TRUE((*vm)->LoadImage(*image).ok());
@@ -830,30 +988,42 @@ SmpSnapshot SmpExecute(const std::string& program, uint32_t vcpus, cpu::EngineKi
   return snap;
 }
 
-// The full cross-engine differential matrix of ISSUE satellite 1: for each
-// seed and vcpu count, all engine × paging × virt combinations must yield
-// the same SmpSnapshot, with shootdowns observed mid-trace whenever there is
-// more than one vCPU.
+// The full cross-engine differential matrix: for each seed and vcpu count,
+// all engine-tier × paging × virt combinations must yield the same
+// SmpSnapshot, with shootdowns observed mid-trace whenever there is more
+// than one vCPU. The DBT runs twice -- tier-1 only, and tier-2 at a
+// forced-low threshold so IPIs and shootdowns land against optimized units.
 TEST(FuzzDiffSmpTest, MatrixAgreesAcrossVcpuCounts) {
+  struct EngineTier {
+    cpu::EngineKind kind;
+    cpu::DbtOptions dbt;
+    const char* name;
+  };
+  const EngineTier tiers[] = {
+      {cpu::EngineKind::kInterpreter, {}, "interp"},
+      {cpu::EngineKind::kDbt, Tier1Only(), "dbt-t1"},
+      {cpu::EngineKind::kDbt, Tier2Hot(), "dbt-t2"},
+  };
   const uint64_t seeds[] = {0x5EED0001, 0x5EED0002};
   for (uint64_t seed : seeds) {
     for (uint32_t vcpus : {1u, 2u, 4u}) {
       std::string program = SmpFuzzProgram(seed, vcpus);
       SmpSnapshot baseline;
       bool have_baseline = false;
-      for (auto engine : {cpu::EngineKind::kInterpreter, cpu::EngineKind::kDbt}) {
+      for (const EngineTier& tier : tiers) {
         for (auto paging : {mmu::PagingMode::kShadow, mmu::PagingMode::kNested}) {
           for (auto virt : {cpu::VirtMode::kTrapAndEmulate, cpu::VirtMode::kHardwareAssist}) {
-            SmpSnapshot snap = SmpExecute(program, vcpus, engine, paging, virt);
+            SmpSnapshot snap =
+                SmpExecute(program, vcpus, tier.kind, paging, virt, tier.dbt);
             if (!have_baseline) {
               baseline = snap;
               have_baseline = true;
               continue;
             }
             std::ostringstream label;
-            label << "seed " << seed << " vcpus " << vcpus << " engine "
-                  << static_cast<int>(engine) << " paging " << static_cast<int>(paging)
-                  << " virt " << static_cast<int>(virt);
+            label << "seed " << seed << " vcpus " << vcpus << " tier " << tier.name
+                  << " paging " << static_cast<int>(paging) << " virt "
+                  << static_cast<int>(virt);
             ExpectSnapshotsEqual(baseline, snap, label.str());
           }
         }

@@ -1,0 +1,322 @@
+// Experiment T5 — cluster-scale consolidation with DRS rebalancing.
+//
+// The deck's end state is not one loaded host but a fleet: many physical
+// boxes behind one pane of glass, VMs placed by the resource scheduler and
+// moved by live migration as load shifts (DESIGN.md §13). This harness runs
+// hundreds of VMs across an 8-host cluster through a realistic lifecycle —
+// deliberately skewed initial placement, churn (arrivals + departures), a
+// rolling-maintenance drain, and one injected host crash — and accounts for
+// what the automation cost: migrations by reason, pages shipped, blackout
+// percentiles, and whether every guest survived.
+//
+// `--gate` runs a smaller fixed scenario at 0 and 4 workers and prints a
+// single machine-parseable line for tools/ci.sh: guests conserved, zero
+// lost, every claimed migration reconciled against its MigrationReport, and
+// bit-identical results across worker counts.
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/cluster/cluster.h"
+#include "src/fault/fault.h"
+#include "src/util/crc32.h"
+
+using namespace hyperion;
+using namespace hyperion::bench;
+
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+core::Vm* MustBootCluster(cluster::Cluster& cl, core::VmConfig config,
+                          const std::string& source, core::Host* pin = nullptr) {
+  auto image = guest::Build(source);
+  if (!image.ok()) {
+    std::fprintf(stderr, "bench guest failed to assemble: %s\n",
+                 image.status().ToString().c_str());
+    std::abort();
+  }
+  auto vm = cl.CreateVm(std::move(config), pin);
+  if (!vm.ok()) {
+    std::fprintf(stderr, "CreateVm: %s\n", vm.status().ToString().c_str());
+    std::abort();
+  }
+  if (!(*vm)->LoadImage(*image).ok()) {
+    std::abort();
+  }
+  return *vm;
+}
+
+// Digest of guest RAM: presence map + contents of every present page.
+uint32_t RamDigest(core::Vm& vm) {
+  mem::GuestMemory& mem = vm.memory();
+  uint32_t crc = 0;
+  for (uint32_t gpn = 0; gpn < mem.num_pages(); ++gpn) {
+    uint8_t present = mem.IsPresent(gpn) ? 1 : 0;
+    crc = Crc32(&present, 1, crc);
+    if (present) {
+      crc = Crc32(mem.PageData(gpn), isa::kPageSize, crc);
+    }
+  }
+  return crc;
+}
+
+void AddPingEchoPair(cluster::Cluster& cl, core::Host* ping_host,
+                     core::Host* echo_host) {
+  guest::NetParams np;
+  np.peer_mac = 2;
+  np.payload_bytes = 128;
+  np.iterations = 0;
+  core::VmConfig ping{.name = "ping"};
+  ping.net_model = core::IoModel::kParavirt;
+  ping.mac = 1;
+  MustBootCluster(cl, std::move(ping), guest::VirtioNetPingProgram(np), ping_host);
+  core::VmConfig echo{.name = "echo"};
+  echo.net_model = core::IoModel::kParavirt;
+  echo.mac = 2;
+  MustBootCluster(cl, std::move(echo), guest::VirtioNetEchoProgram(np.payload_bytes),
+                  echo_host);
+}
+
+// ---------------------------------------------------------------------------
+// T5: the full fleet lifecycle.
+// ---------------------------------------------------------------------------
+
+void RunFleet() {
+  constexpr int kHosts = 8;
+  constexpr int kVms = 200;
+
+  cluster::ClusterConfig cc;
+  cc.worker_threads = 4;
+  cc.cpu_overcommit = 32.0;
+  cc.ram_overcommit = 4.0;
+  cc.drs.interval = 4 * kSimTicksPerMs;
+  cc.drs.hot_busy = 0.45;
+  cc.drs.cool_until = 0.40;
+  cc.drs.min_gain = 0.05;
+  cluster::Cluster cl(cc);
+  std::vector<core::Host*> hosts;
+  for (int i = 0; i < kHosts; ++i) {
+    hosts.push_back(
+        cl.AddHost(core::HostConfig{.name = "t5-h" + std::to_string(i), .num_pcpus = 4}));
+  }
+
+  fault::FaultPlan plan;
+  plan.AddHostCrash("t5:h5", 22 * kSimTicksPerMs);
+  fault::FaultInjector inj(plan);
+  hosts[5]->SetFaultInjector(&inj, "t5:h5");
+
+  // Deliberately bad initial placement: everything lands on the first four
+  // hosts (half the fleet idle), as after a rack migration. Every 8th VM is
+  // a cycle burner; the rest tick idly — the mix DRS has to unskew.
+  std::string busy = guest::ComputeProgram(0);
+  std::string idle = guest::IdleTickProgram(500'000);
+  std::vector<std::string> alive;
+  for (int i = 0; i < kVms; ++i) {
+    char name[8];
+    std::snprintf(name, sizeof(name), "vm%03d", i);
+    MustBootCluster(cl, core::VmConfig{.name = name}, i % 8 == 0 ? busy : idle,
+                    hosts[i % 4]);
+    alive.push_back(name);
+  }
+  AddPingEchoPair(cl, hosts[0], hosts[2]);
+  alive.push_back("ping");
+  alive.push_back("echo");
+
+  auto w0 = WallClock::now();
+  cl.RunFor(10 * kSimTicksPerMs);
+
+  Section("T5: fleet skew after 10ms (200 VMs pinned onto 4 of 8 hosts)");
+  Row("%-8s %10s %6s", "host", "busy-frac", "vms");
+  for (core::Host* h : hosts) {
+    Row("%-8s %9.0f%% %6zu", h->name().c_str(), cl.BusyFraction(h) * 100,
+        h->vms().size());
+  }
+
+  // Churn: every 9th VM departs, as many arrive unpinned; then maintenance
+  // begins on h7 and the crash on h5 fires mid-flight (t=22ms).
+  for (int i = 0; i < kVms; i += 9) {
+    char name[8];
+    std::snprintf(name, sizeof(name), "vm%03d", i);
+    if (!cl.DestroyVm(name).ok()) {
+      std::abort();
+    }
+    alive.erase(std::find(alive.begin(), alive.end(), name));
+  }
+  for (int i = 0; i < kVms / 9 + 1; ++i) {
+    std::string name = "new" + std::to_string(i);
+    MustBootCluster(cl, core::VmConfig{.name = name}, idle);
+    alive.push_back(name);
+  }
+  cl.RunFor(8 * kSimTicksPerMs);
+  cl.CheckpointAll();
+  if (!cl.DrainHost(hosts[7]).ok()) {
+    std::abort();
+  }
+  cl.RunFor(14 * kSimTicksPerMs);
+  auto w1 = WallClock::now();
+
+  Section("T5b: fleet state after churn, drain of h7, crash of h5");
+  Row("%-8s %10s %6s %9s", "host", "busy-frac", "vms", "state");
+  for (core::Host* h : hosts) {
+    Row("%-8s %9.0f%% %6zu %9s", h->name().c_str(), cl.BusyFraction(h) * 100,
+        h->vms().size(),
+        h->failed() ? "FAILED" : (cl.IsDraining(h) ? "draining" : "up"));
+  }
+
+  size_t survivors = 0;
+  for (const std::string& name : alive) {
+    if (cl.FindVm(name) != nullptr) {
+      ++survivors;
+    }
+  }
+  const cluster::ClusterStats& st = cl.stats();
+  uint64_t pages = 0;
+  uint64_t ok_moves = 0;
+  SimTime downtime_max = 0;
+  SimTime downtime_sum = 0;
+  for (const cluster::MigrationRecord& rec : cl.migrations()) {
+    if (!rec.ok) {
+      continue;
+    }
+    ++ok_moves;
+    pages += rec.report.pages_sent;
+    downtime_sum += rec.report.downtime;
+    downtime_max = std::max(downtime_max, rec.report.downtime);
+  }
+  double wall_s = std::chrono::duration<double>(w1 - w0).count();
+
+  Section("T5c: automation cost accounting");
+  Row("guests conserved        : %zu / %zu%s", survivors, alive.size(),
+      survivors == alive.size() ? "" : "  (GUESTS LOST)");
+  Row("rebalance migrations    : %llu", (unsigned long long)st.rebalance_migrations);
+  Row("drain migrations        : %llu", (unsigned long long)st.drain_migrations);
+  Row("failed migrations       : %llu", (unsigned long long)st.failed_migrations);
+  Row("crash evacuations       : %llu respawned, %llu lost",
+      (unsigned long long)st.evacuations_respawned,
+      (unsigned long long)st.evacuations_lost);
+  Row("pages shipped           : %llu", (unsigned long long)pages);
+  if (ok_moves > 0) {
+    Row("blackout per migration  : mean %.2fms, max %.2fms",
+        (double)downtime_sum / ok_moves / kSimTicksPerMs,
+        (double)downtime_max / kSimTicksPerMs);
+  }
+  Row("fabric frames forwarded : %llu (%llu flooded, %llu unroutable)",
+      (unsigned long long)cl.fabric().stats().frames_forwarded,
+      (unsigned long long)cl.fabric().stats().frames_flooded,
+      (unsigned long long)cl.fabric().stats().frames_no_route);
+  Row("wall clock for 32ms sim : %.2fs (%d hosts, %zu guests, 4 workers)",
+      wall_s, kHosts, alive.size());
+}
+
+// ---------------------------------------------------------------------------
+// --gate: fixed small scenario, bit-identity across worker counts.
+// ---------------------------------------------------------------------------
+
+struct GateResult {
+  uint32_t digest = 0;  // everything observable, crushed to one word
+  size_t guests = 0;
+  uint64_t lost = 0;
+  uint64_t migrations = 0;
+  uint64_t reconciled = 0;
+};
+
+GateResult RunGate(int workers) {
+  cluster::ClusterConfig cc;
+  cc.worker_threads = workers;
+  cc.cpu_overcommit = 32.0;
+  cc.ram_overcommit = 4.0;
+  cc.drs.interval = 4 * kSimTicksPerMs;
+  cc.drs.hot_busy = 0.45;
+  cc.drs.cool_until = 0.40;
+  cc.drs.min_gain = 0.05;
+  cluster::Cluster cl(cc);
+  std::vector<core::Host*> hosts;
+  for (int i = 0; i < 4; ++i) {
+    hosts.push_back(
+        cl.AddHost(core::HostConfig{.name = "g-h" + std::to_string(i), .num_pcpus = 2}));
+  }
+  fault::FaultPlan plan;
+  plan.AddHostCrash("gate:h1", 14 * kSimTicksPerMs);
+  fault::FaultInjector inj(plan);
+  hosts[1]->SetFaultInjector(&inj, "gate:h1");
+
+  std::string busy = guest::ComputeProgram(0);
+  std::string idle = guest::IdleTickProgram(500'000);
+  std::vector<std::string> alive;
+  for (int i = 0; i < 46; ++i) {
+    char name[8];
+    std::snprintf(name, sizeof(name), "vm%02d", i);
+    MustBootCluster(cl, core::VmConfig{.name = name}, i % 12 == 0 ? busy : idle,
+                    hosts[i % 2]);
+    alive.push_back(name);
+  }
+  AddPingEchoPair(cl, hosts[0], hosts[2]);
+  alive.push_back("ping");
+  alive.push_back("echo");
+  std::sort(alive.begin(), alive.end());
+
+  cl.RunFor(8 * kSimTicksPerMs);
+  cl.CheckpointAll();
+  if (!cl.DrainHost(hosts[3]).ok()) {
+    std::abort();
+  }
+  cl.RunFor(16 * kSimTicksPerMs);
+
+  GateResult out;
+  uint32_t crc = 0;
+  for (const std::string& name : alive) {
+    core::Vm* vm = cl.FindVm(name);
+    if (vm == nullptr) {
+      continue;
+    }
+    ++out.guests;
+    std::string line = name + "@" + cl.HostOf(name)->name() + " " +
+                       std::to_string(static_cast<int>(vm->state())) + " " +
+                       std::to_string(RamDigest(*vm)) + " " +
+                       std::to_string(vm->TotalStats().instructions);
+    crc = Crc32(line.data(), line.size(), crc);
+  }
+  const cluster::ClusterStats& st = cl.stats();
+  crc = Crc32(&st, sizeof(st), crc);
+  SimTime end = cl.clock().now();
+  crc = Crc32(&end, sizeof(end), crc);
+  out.digest = crc;
+  out.lost = st.evacuations_lost;
+  for (const cluster::MigrationRecord& rec : cl.migrations()) {
+    if (!rec.ok) {
+      continue;
+    }
+    ++out.migrations;
+    if (rec.report.pages_sent > 0 && rec.report.total_time > 0 &&
+        rec.report.downtime < 10 * kSimTicksPerMs) {
+      ++out.reconciled;
+    }
+  }
+  return out;
+}
+
+void RunGateMode() {
+  GateResult serial = RunGate(/*workers=*/0);
+  GateResult four = RunGate(/*workers=*/4);
+  bool deterministic = serial.digest == four.digest && serial.guests == four.guests;
+  Row("gate: vms=%zu lost=%llu migrations=%llu reconciled=%llu determinism=%s",
+      serial.guests, (unsigned long long)serial.lost,
+      (unsigned long long)serial.migrations, (unsigned long long)serial.reconciled,
+      deterministic ? "ok" : "DIVERGED");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--gate") == 0) {
+    RunGateMode();
+    return 0;
+  }
+  RunFleet();
+  return 0;
+}

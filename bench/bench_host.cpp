@@ -60,6 +60,45 @@ RunResult RunOne(uint32_t num_vms, int workers, SimTime sim_time) {
   return r;
 }
 
+// F7b: where the cycles went, pCPU by pCPU. The per-pCPU counters are the
+// load signal the cluster DRS controller steers by (DESIGN.md §13), so the
+// bench prints them for an asymmetric mix: more runnable vCPUs than pCPUs,
+// which makes busy, steal and idle all nonzero at once.
+void PerPcpuBreakdown() {
+  core::HostConfig hc;
+  hc.num_pcpus = 4;
+  hc.worker_threads = 0;
+  core::Host host(hc);
+  std::string busy = guest::ComputeProgram(0);
+  std::string idle = guest::IdleTickProgram(500'000);
+  for (uint32_t i = 0; i < 6; ++i) {
+    core::VmConfig cfg;
+    cfg.name = "mix" + std::to_string(i);
+    MustBoot(host, cfg, i % 3 == 2 ? idle : busy);
+  }
+  host.RunFor(30 * kSimTicksPerMs);
+
+  const core::Host::HostStats& hs = host.stats();
+  Section("F7b: per-pCPU cycle accounting (4 pCPUs, 6 VMs: 4 busy + 2 idle)");
+  Row("%-6s %16s %16s %16s", "pcpu", "busy-cycles", "steal-cycles", "idle-ticks");
+  uint64_t busy_sum = 0;
+  uint64_t steal_sum = 0;
+  for (size_t i = 0; i < hs.pcpu.size(); ++i) {
+    const core::Host::PcpuStats& p = hs.pcpu[i];
+    Row("%-6zu %16llu %16llu %16llu", i,
+        static_cast<unsigned long long>(p.busy_cycles),
+        static_cast<unsigned long long>(p.steal_cycles),
+        static_cast<unsigned long long>(p.idle_time));
+    busy_sum += p.busy_cycles;
+    steal_sum += p.steal_cycles;
+  }
+  bool reconciles = busy_sum == hs.cycles_executed;
+  Row("sum(busy)=%llu host.cycles_executed=%llu reconciles=%s sum(steal)=%llu",
+      static_cast<unsigned long long>(busy_sum),
+      static_cast<unsigned long long>(hs.cycles_executed),
+      reconciles ? "yes" : "NO", static_cast<unsigned long long>(steal_sum));
+}
+
 }  // namespace
 
 int main() {
@@ -77,5 +116,6 @@ int main() {
     Row("%-6u %14.1f %14.1f %14.1f %9.2fx %12s", vms, serial.mips, two.mips, four.mips,
         four.mips / serial.mips, match ? "yes" : "NO");
   }
+  PerPcpuBreakdown();
   return 0;
 }

@@ -1,0 +1,75 @@
+#include "src/cluster/fabric.h"
+
+#include <utility>
+
+#include "src/fault/fault.h"
+
+namespace hyperion::cluster {
+
+void Fabric::AddHost(core::Host* host) {
+  members_.push_back(std::make_unique<Attachment>(this, host));
+  host->vswitch().SetUplink(members_.back().get());
+}
+
+void Fabric::SetFaultInjector(fault::FaultInjector* injector, std::string site) {
+  injector_ = injector;
+  fault_site_ = std::move(site);
+}
+
+void Fabric::Forward(const DirectPhase& ph, Attachment& from, net::Frame frame, SimTime at) {
+  size_t wire = frame.wire_bytes();
+  uint32_t copies = 1;
+  SimTime extra_latency = 0;
+  if (injector_ != nullptr) {
+    fault::FrameFault ff = injector_->OnFrame(fault_site_, at, frame.src, frame.dst);
+    if (ff.drop) {
+      ++stats_.frames_injected_dropped;
+      return;
+    }
+    copies += ff.duplicates;
+    stats_.frames_injected_duplicated += ff.duplicates;
+    extra_latency = ff.extra_latency;
+  }
+  // Egress serializes on the source host's uplink regardless of where the
+  // frame is headed; fan-out (broadcast) shares that single transmission.
+  SimTime depart = from.tx.ScheduleTransferAt(at, wire) + extra_latency;
+
+  if (frame.dst == net::kBroadcast) {
+    ++stats_.frames_flooded;
+    stats_.bytes_forwarded += wire;
+    for (auto& member : members_) {
+      if (member.get() != &from) {
+        Relay(ph, *member, frame, depart);
+      }
+    }
+    return;
+  }
+
+  // Resolve the owner at ingress time, in member order: deterministic, and
+  // automatically correct across migrations (the port moves with the VM).
+  for (auto& member : members_) {
+    if (member.get() == &from) {
+      continue;
+    }
+    if (member->host->vswitch().HasPort(frame.dst)) {
+      ++stats_.frames_forwarded;
+      stats_.bytes_forwarded += wire;
+      for (uint32_t c = 1; c < copies; ++c) {
+        Relay(ph, *member, frame, depart);
+      }
+      Relay(ph, *member, std::move(frame), depart);
+      return;
+    }
+  }
+  ++stats_.frames_no_route;
+}
+
+void Fabric::Relay(const DirectPhase& ph, Attachment& to, net::Frame frame, SimTime at) {
+  SimTime done = to.rx.ScheduleTransferAt(at, frame.wire_bytes());
+  net::VirtualSwitch* sw = &to.host->vswitch();
+  clock_->ScheduleAt(ph, done, [sw, frame = std::move(frame), done](const SerialPhase& sp) {
+    sw->DeliverFromFabric(sp, frame, done);
+  });
+}
+
+}  // namespace hyperion::cluster

@@ -8,18 +8,6 @@
 
 namespace hyperion::core {
 
-namespace {
-
-uint32_t ResolveWorkerThreads(int configured) {
-  if (configured >= 0) {
-    return static_cast<uint32_t>(configured);
-  }
-  int from_env = HostConfig::FromEnv().worker_threads;
-  return from_env > 0 ? static_cast<uint32_t>(from_env) : 0;
-}
-
-}  // namespace
-
 HostConfig HostConfig::FromEnv() {
   HostConfig config;
   config.worker_threads = 0;
@@ -35,20 +23,33 @@ HostConfig HostConfig::FromEnv() {
   return config;
 }
 
-Host::Host(HostConfig config)
+Host::Host(HostConfig config) : Host(std::move(config), nullptr) {}
+
+Host::Host(HostConfig config, TimeDomain* domain)
     : config_(std::move(config)),
       pool_(config_.ram_bytes / isa::kPageSize),
-      switch_(&clock_),
+      owned_domain_(domain == nullptr
+                        ? std::make_unique<TimeDomain>(config_.worker_threads)
+                        : nullptr),
+      domain_(domain == nullptr ? owned_domain_.get() : domain),
+      switch_(&domain_->clock()),
       sched_(sched::MakeScheduler(config_.sched_policy, config_.num_pcpus)),
       pcpu_free_at_(config_.num_pcpus, 0),
-      pcpu_last_entity_(config_.num_pcpus, sched::kIdle),
-      worker_threads_(ResolveWorkerThreads(config_.worker_threads)) {
+      pcpu_last_entity_(config_.num_pcpus, sched::kIdle) {
+  stats_.pcpu.resize(config_.num_pcpus);
   for (uint32_t p = 0; p < config_.num_pcpus; ++p) {
     pcpu_heap_.push({0, p});
   }
+  domain_->AddMember(this);
 }
 
-Host::~Host() = default;
+Host::~Host() {
+  // Unlink from the domain before members die: a clustered domain outlives
+  // this host and must not step it again. VM teardown below (vms_ member
+  // destruction) still needs the domain clock, which outlives this call
+  // either way (owned_domain_ is destroyed after vms_).
+  domain_->RemoveMember(this);
+}
 
 Result<Vm*> Host::CreateVm(VmConfig vm_config) {
   for (const auto& vm : vms_) {
@@ -71,7 +72,7 @@ Result<Vm*> Host::CreateVm(VmConfig vm_config) {
   for (uint32_t i = 0; i < vm->num_vcpus(); ++i) {
     HYP_RETURN_IF_ERROR(sched_->AddEntity(base + i, entity_cfg));
     entities_[base + i] = EntityRef{vm.get(), i};
-    sched_->SetRunnable(base + i, true, clock_.now());
+    sched_->SetRunnable(base + i, true, clock().now());
   }
   vms_.push_back(std::move(vm));
   return vms_.back().get();
@@ -120,7 +121,7 @@ void Host::WakeVcpu(const Phase& ph, Vm* vm, uint32_t vcpu) {
     return;
   }
   (void)ph;
-  sched_->SetRunnable(id, true, clock_.now());
+  sched_->SetRunnable(id, true, clock().now());
 }
 
 void Host::BlockVcpu(const Phase& ph, Vm* vm, uint32_t vcpu) {
@@ -134,7 +135,7 @@ void Host::BlockVcpu(const Phase& ph, Vm* vm, uint32_t vcpu) {
     return;
   }
   (void)ph;
-  sched_->SetRunnable(id, false, clock_.now());
+  sched_->SetRunnable(id, false, clock().now());
 }
 
 void Host::SetFaultInjector(fault::FaultInjector* injector, std::string site) {
@@ -150,57 +151,48 @@ void Host::CrashAllVms(const Status& reason) {
   }
 }
 
-void Host::RunFor(SimTime duration) {
-  SimTime end = clock_.now() + duration;
-  if (workers_ == nullptr && worker_threads_ > 0) {
-    workers_ = std::make_unique<WorkerPool>(worker_threads_);
+void Host::RunFor(SimTime duration) { domain_->RunFor(duration); }
+
+void Host::FaultGate(SimTime end) {
+  paused_until_ = 0;
+  if (fault_injector_ == nullptr) {
+    return;
   }
-  while (clock_.now() < end) {
-    if (fault_injector_ != nullptr) {
-      if (fault_injector_->TakeCrash(fault_site_, clock_.now())) {
-        CrashAllVms(UnavailableError("injected host crash on " + config_.name));
-      }
-      if (auto until = fault_injector_->PauseUntil(fault_site_, clock_.now())) {
-        // The host is stalled: no vCPU runs, but time and device events
-        // still advance to the window's end (or `end`, whichever first).
-        SimTime stop = std::min(*until, end);
-        if (stop > clock_.now()) {
-          stats_.fault_pause_time += stop - clock_.now();
-          clock_.RunUntil(serial_, stop);
-          continue;
-        }
-      }
-    }
-    if (!RunRound(end)) {
-      return;
+  SimTime now = clock().now();
+  if (fault_injector_->TakeCrash(fault_site_, now)) {
+    failed_ = true;
+    CrashAllVms(UnavailableError("injected host crash on " + config_.name));
+  }
+  if (auto until = fault_injector_->PauseUntil(fault_site_, now)) {
+    // The host is stalled: no vCPU dispatches while now < paused_until_, but
+    // shared time and device events still advance (an SMI-style stall). The
+    // accounting is incremental — the domain may advance the clock by less
+    // than the window per round when other members still run.
+    paused_until_ = *until;
+    SimTime begin = std::max(now, pause_accounted_until_);
+    SimTime stop = std::min(*until, end);
+    if (stop > begin) {
+      stats_.fault_pause_time += stop - begin;
+      pause_accounted_until_ = stop;
     }
   }
 }
 
-bool Host::RunRound(SimTime end) {
-  // --- Dispatch ------------------------------------------------------------
-  // The earliest-free pCPU anchors the round.
-  SimTime t0 = std::max(pcpu_heap_.top().first, clock_.now());
-  if (t0 >= end) {
-    clock_.RunUntil(serial_, end);
-    return false;
-  }
-  clock_.RunUntil(serial_, t0);  // deliver device completions and timer wakes due by t0
+SimTime Host::DispatchAnchor() const {
+  return std::max(pcpu_heap_.top().first, paused_until_);
+}
 
-  // Conservative window: no slice may start at or after the next pending
-  // clock event — that event could wake a vCPU that deserves the pCPU first.
-  SimTime window_end = end;
-  if (clock_.HasPending()) {
-    window_end = std::min(window_end, clock_.NextEventTime());
+void Host::DispatchRound(SimTime window_end, SimTime end,
+                         std::map<const void*, const Vm*>& store_users, RoundPlan& plan) {
+  SimTime now = clock().now();
+  if (now < paused_until_) {
+    return;  // stalled inside an injected pause window: nothing dispatches
   }
-
-  std::vector<SliceWork> slices;
-  std::vector<IdlePick> idles;
   // VMs sharing one BlockStore must not execute in the same round: their
   // concurrent store accesses would race and perturb per-site fault-op
   // ordering. The first VM to claim a store vetoes the others until commit.
-  std::map<const void*, const Vm*> store_users;
-  bool vetoed = false;
+  // The map spans the whole domain round — a store can be shared across
+  // hosts mid-migration.
   auto eligible = [&](sched::EntityId id) {
     const EntityRef& ref = entities_.at(id);
     const void* store = ref.vm->config().disk.get();
@@ -211,14 +203,14 @@ bool Host::RunRound(SimTime end) {
     if (it == store_users.end() || it->second == ref.vm) {
       return true;
     }
-    vetoed = true;
+    plan.vetoed = true;
     return false;
   };
 
   sched_->BeginRound();
   while (!pcpu_heap_.empty()) {
     auto [free_at, p] = pcpu_heap_.top();
-    SimTime t = std::max(free_at, clock_.now());
+    SimTime t = std::max(free_at, now);
     if (t >= window_end) {
       break;
     }
@@ -226,7 +218,7 @@ bool Host::RunRound(SimTime end) {
     sched::EntityId id = sched_->PickNext(t, eligible);
     if (id == sched::kIdle) {
       ++stats_.idle_picks;
-      idles.push_back(IdlePick{p, t, std::min(window_end, sched_->NextEligibleTime(t))});
+      plan.idles.push_back(IdlePick{p, t, std::min(window_end, sched_->NextEligibleTime(t))});
       continue;
     }
     EntityRef ref = entities_[id];
@@ -242,46 +234,15 @@ bool Host::RunRound(SimTime end) {
     // The budget deliberately ignores window_end: like the serial loop, a
     // slice may overrun the next event (the event is simply processed after).
     work.budget = std::min<uint64_t>(config_.timeslice_cycles, end - t);
-    slices.push_back(std::move(work));
+    plan.slices.push_back(std::move(work));
   }
+}
 
-  // --- Execute -------------------------------------------------------------
-  // Same-VM slices form one lane, run sequentially in dispatch order (guest
-  // state is never touched by two threads at once — their simulated slices
-  // still overlap in time, as on real SMP). Distinct lanes run concurrently.
-  std::vector<std::vector<size_t>> lanes;
-  {
-    std::map<const Vm*, size_t> lane_of;
-    for (size_t i = 0; i < slices.size(); ++i) {
-      auto [it, inserted] = lane_of.try_emplace(slices[i].ref.vm, lanes.size());
-      if (inserted) {
-        lanes.emplace_back();
-      }
-      lanes[it->second].push_back(i);
-    }
-  }
-  auto run_lane = [&](size_t lane) {
-    for (size_t idx : lanes[lane]) {
-      ExecuteSlice(slices[idx]);
-    }
-  };
-  if (workers_ == nullptr || lanes.size() <= 1) {
-    for (size_t lane = 0; lane < lanes.size(); ++lane) {
-      run_lane(lane);
-    }
-  } else {
-    workers_->Run(lanes.size(), run_lane);
-  }
-
-  // --- Commit --------------------------------------------------------------
+void Host::CommitSlices(const CommitPhase& commit, RoundPlan& plan) {
   // Staged effects merge in dispatch order — (start time, pCPU index) — so
-  // the post-round state is identical for any worker count. The CommitPhase
-  // token minted here is the only way to reach the CommitStage entry points.
-  CommitPhase commit;
-  SimTime min_done = ~SimTime{0};
-  SimTime wake_horizon = ~SimTime{0};
-  for (SliceWork& work : slices) {
-    clock_.CommitStage(commit, work.clock_stage);
+  // the post-round state is identical for any worker count.
+  for (SliceWork& work : plan.slices) {
+    clock().CommitStage(commit, work.clock_stage);
     switch_.CommitStage(commit, work.tx_stage);
     pool_.CommitStage(commit, work.pool_stage);
     for (const WakeOp& op : work.wakes) {
@@ -290,7 +251,7 @@ bool Host::RunRound(SimTime end) {
         sched_->SetRunnable(wid, op.runnable, work.start);
       }
       if (op.runnable) {
-        wake_horizon = std::min(wake_horizon, work.start);
+        plan.wake_horizon = std::min(plan.wake_horizon, work.start);
       }
     }
     internal::WriteLogText(commit, work.log);
@@ -302,44 +263,56 @@ bool Host::RunRound(SimTime end) {
       done += config_.costs.context_switch;
       pcpu_last_entity_[work.pcpu] = work.id;
       ++stats_.context_switches;
+      stats_.pcpu[work.pcpu].steal_cycles += config_.costs.context_switch;
     }
     pcpu_free_at_[work.pcpu] = done;
     pcpu_heap_.push({done, work.pcpu});
-    min_done = std::min(min_done, done);
+    plan.min_done = std::min(plan.min_done, done);
     ++stats_.slices;
     stats_.cycles_executed += work.result.cycles;
+    stats_.pcpu[work.pcpu].busy_cycles += work.result.cycles;
 
     bool still_runnable =
         work.result.end == SliceEnd::kBudget || work.result.end == SliceEnd::kYielded;
     sched_->Account(work.id, work.result.cycles, still_runnable, done);
   }
 
-  if (!slices.empty() && verify::AuditEnabled()) {
+  if (!plan.slices.empty() && verify::AuditEnabled()) {
     verify::AuditReport report = AuditFrameAccounting();
     if (!report.ok()) {
       CrashAllVms(InternalError("frame accounting audit failed on " + config_.name +
                                 ":\n" + report.ToString()));
     }
   }
+}
 
+void Host::ParkIdles(const RoundPlan& plan, SimTime domain_min_done,
+                     SimTime event_horizon) {
   // Idle pCPUs park until their pick could change: a wake committed this
-  // round (visible from the waker's slice start) or, after a store veto, the
-  // end of the earliest conflicting slice. Without either, the park time is
-  // strictly in the future, so rounds always advance.
-  SimTime horizon = wake_horizon;
-  if (vetoed) {
-    horizon = std::min(horizon, min_done);
+  // round (visible from the waker's slice start); after a store veto, the
+  // end of the earliest conflicting slice — which may live on another member
+  // host, hence the domain-wide bound; or the next pending clock event as of
+  // the barrier. The last clamp matters across hosts: a frame committed this
+  // round can wake a vCPU on a member whose pCPUs all parked before the
+  // delivery event existed, and no busy pCPU over there would ever re-derive
+  // the horizon. Without any bound, the park time is strictly in the future,
+  // so rounds always advance.
+  SimTime horizon = std::min(plan.wake_horizon, event_horizon);
+  if (plan.vetoed) {
+    horizon = std::min(horizon, domain_min_done);
   }
-  for (const IdlePick& idle : idles) {
+  for (const IdlePick& idle : plan.idles) {
     SimTime park = idle.park;
     if (horizon != ~SimTime{0}) {
       park = std::min(park, std::max(idle.start, horizon));
+    }
+    if (park > idle.start) {
+      stats_.pcpu[idle.pcpu].idle_time += park - idle.start;
     }
     pcpu_free_at_[idle.pcpu] = park;
     pcpu_heap_.push({park, idle.pcpu});
   }
   ++stats_.rounds;
-  return true;
 }
 
 void Host::ExecuteSlice(SliceWork& work) {
@@ -347,7 +320,7 @@ void Host::ExecuteSlice(SliceWork& work) {
   // lifetime marks this thread as inside-execute so ScopedSerialPhase
   // cannot be minted from guest-triggered code.
   ExecutePhase ep;
-  work.clock_stage.clock = &clock_;
+  work.clock_stage.clock = &domain_->clock();
   work.clock_stage.vnow = work.start;
   work.tx_stage.sw = &switch_;
   work.tx_stage.vnow = work.start;
@@ -365,34 +338,37 @@ void Host::ExecuteSlice(SliceWork& work) {
   SimClock::SetStage(ep, nullptr);
 }
 
-bool Host::RunUntilQuiescent(SimTime max_time) {
-  for (;;) {
-    bool any_runnable = false;
-    for (const auto& [id, ref] : entities_) {
-      (void)id;
-      const cpu::CpuState& s = ref.vm->vcpu(ref.vcpu).state;
-      if (ref.vm->state() == VmState::kRunning && !s.halted && !s.waiting) {
-        any_runnable = true;
-        break;
-      }
-    }
-    if (!any_runnable && !clock_.HasPending()) {
+bool Host::AnyVcpuRunnable() const {
+  for (const auto& [id, ref] : entities_) {
+    (void)id;
+    const cpu::CpuState& s = ref.vm->vcpu(ref.vcpu).state;
+    if (ref.vm->state() == VmState::kRunning && !s.halted && !s.waiting) {
       return true;
     }
-    if (clock_.now() >= max_time) {
+  }
+  return false;
+}
+
+bool Host::RunUntilQuiescent(SimTime max_time) {
+  for (;;) {
+    bool any_runnable = AnyVcpuRunnable();
+    if (!any_runnable && !clock().HasPending()) {
+      return true;
+    }
+    if (clock().now() >= max_time) {
       return false;
     }
-    SimTime before = clock_.now();
+    SimTime before = clock().now();
     SimTime step = max_time - before;
     if (any_runnable) {
       step = std::min<SimTime>(step, 50 * kSimTicksPerMs);
     } else {
       // Nothing schedulable: hop straight to the next event instead of
       // grinding through fixed-size idle chunks.
-      step = std::min<SimTime>(step, std::max<SimTime>(clock_.NextEventTime() - before, 1));
+      step = std::min<SimTime>(step, std::max<SimTime>(clock().NextEventTime() - before, 1));
     }
     RunFor(step);
-    if (clock_.now() == before) {
+    if (clock().now() == before) {
       return false;  // no progress possible
     }
   }
@@ -410,8 +386,8 @@ verify::AuditReport Host::AuditFrameAccounting() const {
 }
 
 bool Host::RunUntilVmStops(Vm* vm, SimTime max_time) {
-  while (clock_.now() < max_time && vm->state() == VmState::kRunning) {
-    RunFor(std::min<SimTime>(max_time - clock_.now(), 10 * kSimTicksPerMs));
+  while (clock().now() < max_time && vm->state() == VmState::kRunning) {
+    RunFor(std::min<SimTime>(max_time - clock().now(), 10 * kSimTicksPerMs));
   }
   return vm->state() != VmState::kRunning;
 }

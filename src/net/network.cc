@@ -117,6 +117,20 @@ SimTime VirtualSwitch::SendBurstAt(const DirectPhase& ph, std::span<Frame> group
   stats_.frames_sent += group.size();
   auto it = ports_.find(group.front().dst);
   if (it == ports_.end()) {
+    if (uplink_ != nullptr) {
+      // Cross-host run: each frame egresses to the fabric individually (the
+      // fabric's links re-serialize them; coalescing happens again at the
+      // remote switch's ingress if the sink supports it).
+      for (Frame& frame : group) {
+        if (frame.payload.size() > kMaxFrameBytes) {
+          ++stats_.frames_dropped;
+          continue;
+        }
+        ++stats_.frames_uplinked;
+        uplink_->OnUplinkFrame(ph, std::move(frame), at);
+      }
+      return 0;
+    }
     stats_.frames_dropped += group.size();
     return 0;
   }
@@ -135,10 +149,45 @@ void VirtualSwitch::SendAt(const DirectPhase& ph, Frame frame, SimTime at) {
         DeliverTo(ph, addr, *port, frame, at);
       }
     }
+    if (uplink_ != nullptr) {
+      // Flood the fabric too; remote switches deliver locally only (split
+      // horizon in DeliverFromFabric), so the broadcast cannot loop back.
+      ++stats_.frames_uplinked;
+      uplink_->OnUplinkFrame(ph, std::move(frame), at);
+    }
     return;
   }
   auto it = ports_.find(frame.dst);
   if (it == ports_.end()) {
+    if (uplink_ != nullptr) {
+      ++stats_.frames_uplinked;
+      uplink_->OnUplinkFrame(ph, std::move(frame), at);
+      return;
+    }
+    ++stats_.frames_dropped;
+    return;
+  }
+  DeliverTo(ph, it->first, *it->second, frame, at);
+}
+
+void VirtualSwitch::DeliverFromFabric(const DirectPhase& ph, Frame frame, SimTime at) {
+  ++stats_.frames_from_fabric;
+  if (frame.payload.size() > kMaxFrameBytes) {
+    ++stats_.frames_dropped;
+    return;
+  }
+  if (frame.dst == kBroadcast) {
+    for (auto& [addr, port] : ports_) {
+      if (addr != frame.src) {
+        DeliverTo(ph, addr, *port, frame, at);
+      }
+    }
+    return;
+  }
+  auto it = ports_.find(frame.dst);
+  if (it == ports_.end()) {
+    // The port moved or detached while the frame crossed the fabric (live
+    // migration switchover): drop, exactly like an in-flight local frame.
     ++stats_.frames_dropped;
     return;
   }

@@ -152,9 +152,23 @@ class FrameSink {
   }
 };
 
+// A switch uplink: receives frames whose destination is not attached to this
+// switch (plus broadcast floods), for forwarding across a multi-host fabric
+// (src/cluster/fabric.h). Egress to the uplink happens only at commit/serial
+// time — the token requirement makes forwarding from an execute lane a type
+// error, like every other direct switch effect.
+class UplinkPort {
+ public:
+  virtual ~UplinkPort() = default;
+  // `at` is the frame's logical send time (the originating slice's start).
+  virtual void OnUplinkFrame(const DirectPhase& ph, Frame frame, SimTime at) = 0;
+};
+
 // A learningless switch: ports register with their address; unicast goes to
 // the owning port, broadcast to everyone else. Each port has its own link
-// characteristics; delivery happens through the SimClock.
+// characteristics; delivery happens through the SimClock. With an uplink
+// attached, unknown unicast destinations and broadcasts additionally egress
+// to the fabric instead of being dropped.
 class VirtualSwitch {
  public:
   explicit VirtualSwitch(SimClock* clock) : clock_(clock) {}
@@ -181,6 +195,21 @@ class VirtualSwitch {
   Status Attach(const DirectPhase&, MacAddr addr, FrameSink* sink,
                 LinkParams params = LinkParams{});
   Status Detach(const DirectPhase&, MacAddr addr);
+
+  // True when a port with address `addr` is attached. The fabric resolves
+  // destination hosts with this at send time, so a migrated VM's frames
+  // follow its NIC to the new host with no forwarding-table invalidation.
+  bool HasPort(MacAddr addr) const { return ports_.find(addr) != ports_.end(); }
+
+  // Joins this switch to a cluster fabric (nullptr to detach). Unknown
+  // unicast destinations and broadcast frames then egress through `uplink`.
+  void SetUplink(UplinkPort* uplink) { uplink_ = uplink; }
+
+  // Fabric ingress: delivers a frame arriving from the uplink to local ports
+  // only — never back out the uplink (split horizon), so a destination
+  // unknown fabric-wide cannot loop. Direct phases only: fabric delivery is
+  // a clock-event effect, off limits from execute lanes.
+  void DeliverFromFabric(const DirectPhase& ph, Frame frame, SimTime at);
 
   // Queues `frame` for immediate delivery scheduling (serial/commit only).
   // Invalid frames are counted and dropped.
@@ -219,6 +248,8 @@ class VirtualSwitch {
     uint64_t frames_dropped = 0;  // unknown destination or oversized
     uint64_t bytes_delivered = 0;
     uint64_t bursts_delivered = 0;  // multi-frame coalesced deliveries
+    uint64_t frames_uplinked = 0;     // egressed to the cluster fabric
+    uint64_t frames_from_fabric = 0;  // ingressed from the cluster fabric
     // Fault-injection tallies (subsets of the counters above).
     uint64_t frames_injected_dropped = 0;
     uint64_t frames_injected_duplicated = 0;
@@ -263,6 +294,7 @@ class VirtualSwitch {
 
   SimClock* clock_;
   std::map<MacAddr, std::unique_ptr<PortState>> ports_;
+  UplinkPort* uplink_ = nullptr;
   fault::FaultInjector* injector_ = nullptr;
   std::string fault_site_;
   Stats stats_;

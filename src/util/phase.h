@@ -43,6 +43,7 @@ namespace hyperion {
 
 namespace core {
 class Host;
+class TimeDomain;
 }  // namespace core
 
 class ExecutePhase;
@@ -99,20 +100,23 @@ class DirectPhase : public Phase {
 };
 
 // Held by the host thread while merging staged buffers at the round barrier.
-// Minted exclusively by Host::RunRound.
+// Minted exclusively by the domain round loop (TimeDomain::RunRound; Host
+// retains friendship for its commit helpers).
 class CommitPhase final : public DirectPhase {
  private:
   CommitPhase() = default;
   friend class core::Host;
+  friend class core::TimeDomain;
 };
 
 // Held by single-threaded code between rounds: clock callbacks (every
 // EventQueue::Callback receives one), setup/teardown, tests. Minted by the
-// host run loop and by ScopedSerialPhase.
+// domain run loop, by Host, and by ScopedSerialPhase.
 class SerialPhase final : public DirectPhase {
  private:
   SerialPhase() = default;
   friend class core::Host;
+  friend class core::TimeDomain;
   friend class ScopedSerialPhase;
 };
 

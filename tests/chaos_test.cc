@@ -13,9 +13,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
+#include "src/cluster/cluster.h"
 #include "src/core/host.h"
 #include "src/fault/fault.h"
 #include "src/guest/programs.h"
@@ -389,6 +391,117 @@ TEST(ChaosSmpTest, PreCopySweepOnFourVcpuGuestIsDeterministicAndLive) {
   for (uint64_t seed : {uint64_t{9101}, uint64_t{9102}}) {
     SmpChaosOutcome first = RunSmpChaos(seed);
     SmpChaosOutcome second = RunSmpChaos(seed);
+    EXPECT_TRUE(first == second) << "non-deterministic replay, seed " << seed;
+  }
+}
+
+// --- Cluster under chaos ---------------------------------------------------
+//
+// A two-host cluster with cross-host traffic runs under a seeded random
+// fault plan aimed at the fabric wire and at host h0 (pause windows from the
+// random plan, plus a scripted crash mid-flight). Checkpoints are taken
+// before the crash so every casualty has a respawn template. Oracles:
+//
+//  * Determinism: the same seed replays to a bit-identical fleet — same
+//    guests on the same hosts with the same RAM digests and stats, same
+//    fabric counters — faults included.
+//  * Conservation: no guest is lost; every crash victim respawns elsewhere.
+
+struct ClusterChaosOutcome {
+  std::vector<std::string> guests;  // "name@host state digest insns", sorted
+  cluster::Fabric::Stats fabric;
+  cluster::ClusterStats stats;
+  bool h0_failed = false;
+  SimTime end = 0;
+
+  bool operator==(const ClusterChaosOutcome&) const = default;
+};
+
+ClusterChaosOutcome RunClusterChaos(uint64_t seed) {
+  constexpr char kWireSite[] = "fabric:wire";
+  constexpr char kCrashSite[] = "h0:host";
+
+  cluster::ClusterConfig cc;
+  cc.worker_threads = 0;
+  cc.cpu_overcommit = 8.0;
+  cc.drs.interval = 4 * kSimTicksPerMs;
+  cluster::Cluster cl(cc);
+  Host* h0 = cl.AddHost(HostConfig{.name = "h0", .num_pcpus = 2});
+  Host* h1 = cl.AddHost(HostConfig{.name = "h1", .num_pcpus = 2});
+
+  fault::ChaosProfile profile;
+  profile.link_site = kWireSite;
+  profile.host_site = kCrashSite;
+  profile.horizon = 20 * kSimTicksPerMs;
+  fault::FaultPlan plan = fault::FaultPlan::Random(seed, profile);
+  plan.AddHostCrash(kCrashSite, 12 * kSimTicksPerMs);
+  fault::FaultInjector inj(plan);
+  cl.fabric().SetFaultInjector(&inj, kWireSite);
+  h0->SetFaultInjector(&inj, kCrashSite);
+
+  auto boot = [&](VmConfig config, const std::string& source, Host* pin) {
+    auto image = guest::Build(source);
+    EXPECT_TRUE(image.ok()) << image.status().ToString();
+    auto vm = cl.CreateVm(std::move(config), pin);
+    EXPECT_TRUE(vm.ok()) << vm.status().ToString();
+    EXPECT_TRUE((*vm)->LoadImage(*image).ok());
+  };
+  std::vector<std::string> names;
+  boot(VmConfig{.name = "burn"}, guest::ComputeProgram(0), nullptr);
+  names.push_back("burn");
+  std::string idle = guest::IdleTickProgram(500'000);
+  for (int i = 0; i < 5; ++i) {
+    std::string name = "idle" + std::to_string(i);
+    boot(VmConfig{.name = name}, idle, nullptr);
+    names.push_back(name);
+  }
+  guest::NetParams np;
+  np.peer_mac = 2;
+  np.payload_bytes = 64;
+  np.iterations = 0;
+  VmConfig ping{.name = "ping"};
+  ping.net_model = core::IoModel::kParavirt;
+  ping.mac = 1;
+  boot(ping, guest::VirtioNetPingProgram(np), h0);  // pinned on the doomed host
+  names.push_back("ping");
+  VmConfig echo{.name = "echo"};
+  echo.net_model = core::IoModel::kParavirt;
+  echo.mac = 2;
+  boot(echo, guest::VirtioNetEchoProgram(np.payload_bytes), h1);
+  names.push_back("echo");
+  std::sort(names.begin(), names.end());
+
+  cl.RunFor(8 * kSimTicksPerMs);
+  cl.CheckpointAll();  // respawn templates, taken before the crash at t=12ms
+  cl.RunFor(16 * kSimTicksPerMs);
+
+  ClusterChaosOutcome out;
+  for (const std::string& name : names) {
+    Vm* vm = cl.FindVm(name);
+    EXPECT_NE(vm, nullptr) << "seed " << seed << ": guest lost: " << name;
+    if (vm == nullptr) {
+      continue;
+    }
+    out.guests.push_back(name + "@" + cl.HostOf(name)->name() + " " +
+                         std::to_string(static_cast<int>(vm->state())) + " " +
+                         std::to_string(RamDigest(*vm)) + " " +
+                         std::to_string(vm->TotalStats().instructions));
+  }
+  out.fabric = cl.fabric().stats();
+  out.stats = cl.stats();
+  out.h0_failed = h0->failed();
+  out.end = cl.clock().now();
+  return out;
+}
+
+TEST(ClusterChaosTest, FabricFaultSweepIsDeterministicAndConservesGuests) {
+  for (uint64_t seed : {uint64_t{11}, uint64_t{12}, uint64_t{13}}) {
+    ClusterChaosOutcome first = RunClusterChaos(seed);
+    EXPECT_TRUE(first.h0_failed) << "seed " << seed;
+    EXPECT_EQ(first.guests.size(), 8u) << "seed " << seed;
+    EXPECT_EQ(first.stats.evacuations_lost, 0u) << "seed " << seed;
+    EXPECT_GT(first.stats.evacuations_respawned, 0u) << "seed " << seed;
+    ClusterChaosOutcome second = RunClusterChaos(seed);
     EXPECT_TRUE(first == second) << "non-deterministic replay, seed " << seed;
   }
 }

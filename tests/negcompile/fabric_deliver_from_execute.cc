@@ -1,0 +1,22 @@
+// MUST NOT COMPILE: fabric-side frame delivery from inside an execute slice.
+//
+// VirtualSwitch::DeliverFromFabric is the cluster fabric's ingress into a
+// member host's switch and demands a DirectPhase token: it runs only from
+// clock callbacks between rounds (the relay event the fabric schedules).
+// Calling it from a worker lane would deliver cross-host traffic ordered by
+// thread timing instead of by the shared domain's event queue. Slice code
+// can only stage frames at its own switch; the uplink crossing happens at
+// the barrier.
+
+#include <utility>
+
+#include "src/net/network.h"
+#include "src/util/phase.h"
+
+namespace hyperion {
+
+void Violation(const ExecutePhase& ep, net::VirtualSwitch& sw, net::Frame frame) {
+  sw.DeliverFromFabric(ep, std::move(frame), 0);
+}
+
+}  // namespace hyperion

@@ -19,12 +19,13 @@
 namespace hyperion {
 
 void Control(const SerialPhase& sp, SimClock& clock, net::VirtualSwitch& sw,
-             mem::FramePool& pool, net::Frame frame, mem::HostFrame f,
-             net::FrameSink& sink, std::span<const net::Frame> frames,
-             devices::InterruptController& pic) {
+             mem::FramePool& pool, net::Frame frame, net::Frame fabric_frame,
+             mem::HostFrame f, net::FrameSink& sink,
+             std::span<const net::Frame> frames, devices::InterruptController& pic) {
   clock.ScheduleAt(sp, 100, [](const SerialPhase&) {});
   pic.RaiseIpi(sp, 0b0110);
   sw.Send(sp, std::move(frame));
+  sw.DeliverFromFabric(sp, std::move(fabric_frame), 0);
   pool.DecRefImmediate(sp, f);
   internal::WriteLogText(sp, std::string("direct log line"));
   sink.OnFrameBurst(sp, frames);

@@ -12,12 +12,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <memory>
 #include <numeric>
 #include <string>
 #include <vector>
 
+#include "src/cluster/cluster.h"
 #include "src/core/host.h"
 #include "tests/test_phase.h"
 #include "src/core/worker_pool.h"
@@ -384,6 +387,167 @@ TEST(DestroyVmTest, CancelsInflightVirtioBlkCompletion) {
 // ---------------------------------------------------------------------------
 // WorkerPool
 // ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// Cluster acceptance scenario (DESIGN.md §13): a 4-host fleet of 64 VMs under
+// churn — arrivals and departures, one rolling-maintenance drain, one
+// injected host crash with checkpoint respawn, DRS rebalancing, and a
+// cross-host ping/echo pair through the fabric. The whole observable cluster
+// history must be bit-identical across worker counts: member hosts share one
+// TimeDomain, so the same staged-commit argument covers the fleet.
+// ---------------------------------------------------------------------------
+
+struct ClusterScenarioResult {
+  // "name@host state digest insns", sorted by name — one line per surviving
+  // guest, including respawned crash victims.
+  std::vector<std::string> guests;
+  std::vector<Host::HostStats> host_stats;
+  std::vector<net::VirtualSwitch::Stats> switch_stats;
+  cluster::Fabric::Stats fabric_stats;
+  cluster::ClusterStats cluster_stats;
+  std::vector<cluster::MigrationRecord> migrations;
+  SimTime now = 0;
+
+  bool operator==(const ClusterScenarioResult&) const = default;
+};
+
+ClusterScenarioResult RunClusterScenario(int workers) {
+  cluster::ClusterConfig cc;
+  cc.worker_threads = workers;
+  cc.cpu_overcommit = 32.0;
+  cc.ram_overcommit = 4.0;
+  cc.drs.interval = 4 * kSimTicksPerMs;
+  cc.drs.hot_busy = 0.45;
+  cc.drs.cool_until = 0.40;
+  cc.drs.min_gain = 0.05;
+  cluster::Cluster cl(cc);
+  std::vector<Host*> hosts;
+  for (int i = 0; i < 4; ++i) {
+    hosts.push_back(cl.AddHost(HostConfig{.num_pcpus = 2}));
+  }
+
+  fault::FaultPlan plan;
+  plan.AddHostCrash("fleet:h1", 14 * kSimTicksPerMs);
+  fault::FaultInjector inj(plan);
+  hosts[1]->SetFaultInjector(&inj, "fleet:h1");
+
+  std::string idle = guest::IdleTickProgram(500'000);
+  std::string compute = guest::ComputeProgram(0);
+  auto boot = [&](VmConfig config, const std::string& source, Host* pin = nullptr) {
+    auto image = guest::Build(source);
+    EXPECT_TRUE(image.ok()) << image.status().ToString();
+    auto vm = cl.CreateVm(std::move(config), pin);
+    EXPECT_TRUE(vm.ok()) << vm.status().ToString();
+    EXPECT_TRUE((*vm)->LoadImage(*image).ok());
+  };
+
+  // 62 bulk VMs (every 16th is a cycle burner, the rest tick idly) plus a
+  // pinned cross-host ping/echo pair: 64 guests.
+  for (int i = 0; i < 62; ++i) {
+    char name[8];
+    std::snprintf(name, sizeof(name), "vm%02d", i);
+    boot(VmConfig{.name = name}, i % 16 == 0 ? compute : idle);
+  }
+  guest::NetParams np;
+  np.peer_mac = 2;
+  np.payload_bytes = 128;
+  np.iterations = 0;
+  VmConfig ping{.name = "ping"};
+  ping.net_model = IoModel::kParavirt;
+  ping.mac = 1;
+  boot(ping, guest::VirtioNetPingProgram(np), hosts[0]);
+  VmConfig echo{.name = "echo"};
+  echo.net_model = IoModel::kParavirt;
+  echo.mac = 2;
+  boot(echo, guest::VirtioNetEchoProgram(np.payload_bytes), hosts[2]);
+
+  cl.RunFor(6 * kSimTicksPerMs);
+
+  // Churn: nine departures, nine arrivals.
+  for (int i = 0; i < 62; i += 7) {
+    char name[8];
+    std::snprintf(name, sizeof(name), "vm%02d", i);
+    EXPECT_TRUE(cl.DestroyVm(name).ok());
+  }
+  for (int i = 0; i < 9; ++i) {
+    boot(VmConfig{.name = "new" + std::to_string(i)}, idle);
+  }
+  cl.RunFor(6 * kSimTicksPerMs);
+
+  // Fresh respawn templates for everyone, then maintenance begins on h3 and
+  // the crash on h1 fires mid-flight (t=14ms).
+  cl.CheckpointAll();
+  EXPECT_TRUE(cl.DrainHost(hosts[3]).ok());
+  cl.RunFor(13 * kSimTicksPerMs);
+
+  ClusterScenarioResult out;
+  std::vector<std::string> names;
+  for (int i = 0; i < 62; ++i) {
+    if (i % 7 == 0) {
+      continue;  // departed
+    }
+    char name[8];
+    std::snprintf(name, sizeof(name), "vm%02d", i);
+    names.push_back(name);
+  }
+  for (int i = 0; i < 9; ++i) {
+    names.push_back("new" + std::to_string(i));
+  }
+  names.push_back("ping");
+  names.push_back("echo");
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    Vm* vm = cl.FindVm(name);
+    EXPECT_NE(vm, nullptr) << "guest lost: " << name;
+    if (vm == nullptr) {
+      continue;
+    }
+    out.guests.push_back(name + "@" + cl.HostOf(name)->name() + " " +
+                         std::to_string(static_cast<int>(vm->state())) + " " +
+                         std::to_string(RamDigest(*vm)) + " " +
+                         std::to_string(vm->TotalStats().instructions));
+  }
+  for (Host* h : hosts) {
+    out.host_stats.push_back(h->stats());
+    out.switch_stats.push_back(h->vswitch().stats());
+  }
+  out.fabric_stats = cl.fabric().stats();
+  out.cluster_stats = cl.stats();
+  out.migrations = cl.migrations();
+  out.now = cl.clock().now();
+  return out;
+}
+
+TEST(ClusterStagedTest, FleetUnderChurnIsIdenticalAcrossWorkerCounts) {
+  ClusterScenarioResult serial = RunClusterScenario(/*workers=*/0);
+
+  // Non-vacuity: the scenario must actually have exercised every moving
+  // part — evacuation, drain, the fabric, and DRS accounting.
+  EXPECT_EQ(serial.guests.size(), 64u);
+  EXPECT_EQ(serial.cluster_stats.evacuations_lost, 0u);
+  EXPECT_GT(serial.cluster_stats.evacuations_respawned, 0u);
+  EXPECT_GT(serial.cluster_stats.drain_migrations, 0u);
+  EXPECT_GT(serial.fabric_stats.frames_forwarded, 0u);
+  EXPECT_EQ(serial.fabric_stats.frames_no_route, 0u);
+  // Every DRS move reconciles against its MigrationReport: a claimed success
+  // shipped pages and kept blackout bounded; totals match the stats.
+  uint64_t ok_moves = 0;
+  for (const cluster::MigrationRecord& rec : serial.migrations) {
+    if (rec.ok) {
+      ++ok_moves;
+      EXPECT_GT(rec.report.pages_sent, 0u) << rec.vm;
+      EXPECT_GT(rec.report.total_time, 0u) << rec.vm;
+      EXPECT_LT(rec.report.downtime, 10 * kSimTicksPerMs) << rec.vm;
+    }
+  }
+  EXPECT_EQ(ok_moves, serial.cluster_stats.drain_migrations +
+                          serial.cluster_stats.rebalance_migrations);
+
+  ClusterScenarioResult one = RunClusterScenario(/*workers=*/1);
+  ClusterScenarioResult four = RunClusterScenario(/*workers=*/4);
+  EXPECT_TRUE(serial == one) << "1-worker fleet diverged from serial";
+  EXPECT_TRUE(serial == four) << "4-worker fleet diverged from serial";
+}
 
 TEST(WorkerPoolTest, RunsEveryLaneExactlyOnceAcrossBatches) {
   core::WorkerPool pool(3);

@@ -1,8 +1,11 @@
 // Scheduler unit tests: credit accounting, weights, caps, priorities,
-// round-robin baseline. The scheduler is driven directly (no VMs).
+// round-robin baseline. The scheduler is driven directly (no VMs), except
+// the per-pCPU accounting test at the end, which needs a real Host.
 
 #include <gtest/gtest.h>
 
+#include "src/core/host.h"
+#include "src/guest/programs.h"
 #include "src/sched/scheduler.h"
 
 namespace hyperion::sched {
@@ -306,6 +309,47 @@ TEST(GangSchedulerTest, BeginRoundResetsGangStateThenReestablishesIt) {
   s->BeginRound();
   EXPECT_EQ(s->PickNext(1000), 2u);
   EXPECT_EQ(s->PickNext(1000), 1u);
+}
+
+// Per-pCPU time accounting (the cluster DRS load signal) must be
+// non-vacuous and reconcile with the aggregate host counters: busy cycles
+// sum to cycles_executed, steal sums to context_switches * world-switch
+// cost, and a loaded host accrues busy on more than one pCPU while a parked
+// one accrues idle time.
+TEST(PcpuStatsTest, PerPcpuAccountingReconcilesWithAggregates) {
+  core::HostConfig hc;
+  hc.num_pcpus = 3;
+  hc.worker_threads = 0;
+  core::Host host(hc);
+  ASSERT_EQ(host.stats().pcpu.size(), 3u);
+
+  auto boot = [&](const std::string& name, const std::string& source) {
+    auto image = guest::Build(source);
+    ASSERT_TRUE(image.ok());
+    auto vm = host.CreateVm(core::VmConfig{.name = name});
+    ASSERT_TRUE(vm.ok());
+    ASSERT_TRUE((*vm)->LoadImage(*image).ok());
+  };
+  // Two busy VMs over three pCPUs: two pCPUs run, the third parks.
+  boot("busy0", guest::ComputeProgram(0));
+  boot("busy1", guest::ComputeProgram(0));
+  host.RunFor(10 * kSimTicksPerMs);
+
+  uint64_t busy = 0;
+  uint64_t steal = 0;
+  SimTime idle = 0;
+  uint32_t busy_pcpus = 0;
+  for (const core::Host::PcpuStats& pcpu : host.stats().pcpu) {
+    busy += pcpu.busy_cycles;
+    steal += pcpu.steal_cycles;
+    idle += pcpu.idle_time;
+    busy_pcpus += pcpu.busy_cycles > 0 ? 1 : 0;
+  }
+  EXPECT_GT(busy, 0u);
+  EXPECT_EQ(busy, host.stats().cycles_executed);
+  EXPECT_EQ(steal, host.stats().context_switches * host.costs().context_switch);
+  EXPECT_EQ(busy_pcpus, 2u);
+  EXPECT_GT(idle, 0u);  // the third pCPU parked for most of the run
 }
 
 }  // namespace

@@ -1,29 +1,38 @@
 #!/usr/bin/env bash
 # Full verification pipeline, in increasing order of cost:
 #
-#   1. plain build + tier-1 test suite
-#   2. the same suite with the runtime invariant auditors on (HYPERION_AUDIT=1)
-#   3. chaos: the seeded fault-injection sweeps (fixed seed ranges baked into
-#      tests/chaos_test.cc) rerun with the auditors on — migration must either
-#      converge with zero divergence or roll back to a source that still
-#      passes every invariant audit
-#   4. AddressSanitizer build + suite (includes the chaos sweeps)
-#   5. UndefinedBehaviorSanitizer build + suite (includes the chaos sweeps)
-#   6. ThreadSanitizer build + the concurrency-relevant suites with
-#      HYPERION_WORKERS=4, so the staged execution core's worker pool and
-#      every per-slice staging buffer actually run multi-threaded under TSan
-#   7. static staging discipline: the negative-compile suite (phase-token
-#      violations must fail to build; see tests/negcompile/) plus, where
-#      clang is available, a -DHYPERION_THREAD_SAFETY=ON build that enforces
-#      clang -Wthread-safety over the annotated core
-#   8. clang-tidy lint (skipped gracefully where clang-tidy is absent)
-#   9. perf smoke: Release bench_exec and bench_net. The DBT engine must
-#      clear 2x the interpreter's guest-MIPS on the hot compute kernel — a
-#      coarse anti-regression tripwire, not a microbench gate (steady-state
-#      margin is ~3x; 2x absorbs shared-runner noise). The net data plane
-#      gate is exact: batched virtio must clear 3x the per-frame path's
-#      frames/sec and stay under 50 interrupts per 1k frames, measured in
-#      deterministic simulated time (immune to runner noise)
+#   * plain build + tier-1 test suite
+#   * the same suite with the runtime invariant auditors on (HYPERION_AUDIT=1)
+#   * chaos: the seeded fault-injection sweeps (fixed seed ranges baked into
+#     tests/chaos_test.cc) rerun with the auditors on — migration must either
+#     converge with zero divergence or roll back to a source that still
+#     passes every invariant audit; the cluster sweep must conserve every
+#     guest across an injected host crash
+#   * SMP suites under audit with a real 4-thread worker pool
+#   * AddressSanitizer build + suite (includes the chaos sweeps)
+#   * UndefinedBehaviorSanitizer build + suite (includes the chaos sweeps)
+#   * ThreadSanitizer build + the concurrency-relevant suites with
+#     HYPERION_WORKERS=4, so the staged execution core's worker pool and
+#     every per-slice staging buffer actually run multi-threaded under TSan
+#   * static staging discipline: the negative-compile suite (phase-token
+#     violations must fail to build; see tests/negcompile/) plus, where
+#     clang is available, a -DHYPERION_THREAD_SAFETY=ON build that enforces
+#     clang -Wthread-safety over the annotated core
+#   * clang-tidy lint (skipped gracefully where clang-tidy is absent)
+#   * perf smoke: Release bench_exec and bench_net. The DBT engine must
+#     clear 2x the interpreter's guest-MIPS on the hot compute kernel — a
+#     coarse anti-regression tripwire, not a microbench gate (steady-state
+#     margin is ~3x; 2x absorbs shared-runner noise). The net data plane
+#     gate is exact: batched virtio must clear 3x the per-frame path's
+#     frames/sec and stay under 50 interrupts per 1k frames, measured in
+#     deterministic simulated time (immune to runner noise)
+#   * cluster gate: Release bench_cluster --gate runs the fixed fleet
+#     scenario (4 hosts, churn, drain, injected crash) at 0 and 4 workers —
+#     zero guests lost, every migration reconciled against its
+#     MigrationReport, bit-identical results across worker counts
+#
+# Stage numbers are printed by the stage() helper, so inserting a stage never
+# desynchronizes the [N/TOTAL] banners again.
 #
 # Usage: tools/ci.sh [--fast]     --fast skips the sanitizer builds.
 
@@ -34,6 +43,13 @@ FAST=0
 [ "${1:-}" = "--fast" ] && FAST=1
 JOBS=$(nproc 2>/dev/null || echo 4)
 
+TOTAL=11
+STAGE=0
+stage() {  # stage <banner text>
+  STAGE=$((STAGE + 1))
+  echo "=== [$STAGE/$TOTAL] $1 ==="
+}
+
 run_suite() {  # run_suite <build-dir> [extra cmake flags...]
   local dir="$1"; shift
   cmake -B "$dir" -S . "$@" >/dev/null
@@ -41,54 +57,55 @@ run_suite() {  # run_suite <build-dir> [extra cmake flags...]
   (cd "$dir" && ctest --output-on-failure -j "$JOBS")
 }
 
-CHAOS_FILTER='ChaosTest|ChaosSmpTest|FaultPlanTest|InjectorTest|FaultyStoreTest|SwitchFaultTest|DeviceFaultTest|HvdCrashTest|SnapshotTornWriteTest'
+CHAOS_FILTER='ChaosTest|ChaosSmpTest|ClusterChaosTest|FaultPlanTest|InjectorTest|FaultyStoreTest|SwitchFaultTest|DeviceFaultTest|HvdCrashTest|SnapshotTornWriteTest'
 # Everything that drives a multi-vCPU guest: the IPI/TLB-shootdown gauntlet,
 # the cross-engine SMP differential matrix, SMP migration/snapshot/chaos, and
 # the gang-scheduling unit tests.
 SMP_FILTER='SmpTest|FuzzDiffSmpTest|MigrateSmpTest|ChaosSmpTest|GangSchedulerTest|StagedExecutionTest'
 
-echo "=== [1/9] plain build + tests ==="
+stage "plain build + tests"
 run_suite build
 
-echo "=== [2/9] tests under HYPERION_AUDIT=1 ==="
+stage "tests under HYPERION_AUDIT=1"
 (cd build && HYPERION_AUDIT=1 ctest --output-on-failure -j "$JOBS")
 
-echo "=== [3/9] chaos: seeded fault-injection sweeps under audit ==="
+stage "chaos: seeded fault-injection sweeps under audit"
 (cd build && HYPERION_AUDIT=1 ctest -R "$CHAOS_FILTER" --output-on-failure -j "$JOBS")
 
-echo "=== [3b/9] SMP suites under audit with a 4-thread worker pool ==="
-# Stage 2 already ran these serially; this rerun pins that per-vCPU TLB
-# audits, IPI accounting, and the shootdown protocol stay green when same-VM
-# lanes execute on a real worker pool.
+stage "SMP suites under audit with a 4-thread worker pool"
+# The audit stage already ran these serially; this rerun pins that per-vCPU
+# TLB audits, IPI accounting, and the shootdown protocol stay green when
+# same-VM lanes execute on a real worker pool.
 (cd build && HYPERION_AUDIT=1 HYPERION_WORKERS=4 ctest -R "$SMP_FILTER" --output-on-failure -j "$JOBS")
 
 if [ "$FAST" = "0" ]; then
-  echo "=== [4/9] AddressSanitizer (suite + chaos sweeps) ==="
+  stage "AddressSanitizer (suite + chaos sweeps)"
   run_suite build-asan -DHYPERION_SANITIZE=address
 
-  echo "=== [5/9] UndefinedBehaviorSanitizer (suite + chaos sweeps) ==="
+  stage "UndefinedBehaviorSanitizer (suite + chaos sweeps)"
   run_suite build-ubsan -DHYPERION_SANITIZE=undefined
 
-  echo "=== [6/9] ThreadSanitizer (HYPERION_WORKERS=4, staged-core suites) ==="
+  stage "ThreadSanitizer (HYPERION_WORKERS=4, staged-core suites)"
   # The filter covers everything that exercises the worker pool end to end:
   # the host run loop and its staging buffers (Host/Smp/Staged/WorkerPool),
-  # VM teardown concurrent with in-flight events (DestroyVm), and the
-  # migration + fault-injection paths whose shared state is queried from
-  # worker threads. HYPERION_WORKERS=4 overrides the serial default so the
-  # pool genuinely runs multi-threaded even for configs that leave
-  # worker_threads unset.
-  TSAN_FILTER='HostVmTest|SmpTest|FuzzDiffSmpTest|SchedulingTest|StagedExecutionTest|DestroyVmTest|WorkerPoolTest|MigrationTest|MigrateIoTest|MigrateStateTest|MigrateSmpTest|ChaosTest|ChaosSmpTest|FaultPlanTest|InjectorTest|HvdCrashTest'
+  # VM teardown concurrent with in-flight events (DestroyVm), the migration +
+  # fault-injection paths whose shared state is queried from worker threads,
+  # and the cluster suites that run a whole fleet on one shared pool.
+  # HYPERION_WORKERS=4 overrides the serial default so the pool genuinely
+  # runs multi-threaded even for configs that leave worker_threads unset.
+  TSAN_FILTER='HostVmTest|SmpTest|FuzzDiffSmpTest|SchedulingTest|StagedExecutionTest|DestroyVmTest|WorkerPoolTest|MigrationTest|MigrateIoTest|MigrateStateTest|MigrateSmpTest|ChaosTest|ChaosSmpTest|FaultPlanTest|InjectorTest|HvdCrashTest|ClusterTest|ClusterStagedTest|ClusterChaosTest'
   cmake -B build-tsan -S . -DHYPERION_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS"
   (cd build-tsan && HYPERION_WORKERS=4 ctest -R "$TSAN_FILTER" --output-on-failure -j "$JOBS")
 else
-  echo "=== [4/9][5/9][6/9] sanitizers skipped (--fast) ==="
+  STAGE=$((STAGE + 3))
+  echo "=== sanitizers skipped (--fast) ==="
 fi
 
-echo "=== [7/9] static staging discipline: negative-compile + thread-safety ==="
-# The negative-compile tests already ran inside stage 1's ctest; rerunning
-# them by name here keeps the discipline visible as its own gate and fails
-# fast when someone weakens a token signature.
+stage "static staging discipline: negative-compile + thread-safety"
+# The negative-compile tests already ran inside the first stage's ctest;
+# rerunning them by name here keeps the discipline visible as its own gate
+# and fails fast when someone weakens a token signature.
 (cd build && ctest -R '^negcompile\.' --output-on-failure)
 if command -v clang++ >/dev/null 2>&1; then
   cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
@@ -98,12 +115,12 @@ else
   echo "thread-safety: clang++ not found; -Wthread-safety analysis skipped"
 fi
 
-echo "=== [8/9] lint ==="
+stage "lint"
 tools/run_lint.sh build
 
-echo "=== [9/9] perf smoke: hot DBT vs interpreter; tier-2 vs tier-1; net data plane ==="
+stage "perf smoke: hot DBT vs interpreter; tier-2 vs tier-1; net data plane"
 cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build build-perf -j "$JOBS" --target bench_exec bench_net
+cmake --build build-perf -j "$JOBS" --target bench_exec bench_net bench_cluster
 # --benchmark_min_time takes a bare seconds value (no "s" suffix). Ratios are
 # computed from per-benchmark medians of 3 repetitions, and the stage retries
 # once on failure, so a single noisy sample on an oversubscribed shared
@@ -156,6 +173,26 @@ ratio, intr = float(m.group(3)), float(m.group(4))
 print(f"net gate: batched/per-frame ratio {ratio:.2f}x (floor 3.0), "
       f"{intr:.1f} interrupts per 1k batched frames (ceiling 50)")
 sys.exit(0 if ratio >= 3.0 and intr < 50.0 else 1)
+EOF
+
+stage "cluster gate: fleet lifecycle, worker-count bit-identity"
+# Deterministic like the net gate: simulated time, fixed scenario, one run.
+# The binary itself replays the scenario at 0 and 4 workers and compares
+# digests; the parser enforces conservation and reconciliation.
+build-perf/bench/bench_cluster --gate | tee build-perf/bench_cluster_gate.txt
+python3 - build-perf/bench_cluster_gate.txt <<'EOF'
+import re, sys
+text = open(sys.argv[1]).read()
+m = re.search(r"gate: vms=(\d+) lost=(\d+) migrations=(\d+) reconciled=(\d+) "
+              r"determinism=(\S+)", text)
+if not m:
+    print("cluster gate: summary line missing from bench_cluster output")
+    sys.exit(1)
+vms, lost, migrations, reconciled, det = m.groups()
+ok = int(lost) == 0 and int(migrations) > 0 and reconciled == migrations and det == "ok"
+print(f"cluster gate: {vms} guests, {lost} lost, {migrations} migrations "
+      f"({reconciled} reconciled), determinism {det}")
+sys.exit(0 if ok else 1)
 EOF
 
 echo "ci: all stages passed"
